@@ -1,0 +1,134 @@
+// Shared plumbing for the paper-reproduction benches.
+//
+// Every bench regenerates one table or figure from the HERO paper on the
+// synthetic benchmarks (see DESIGN.md for the substitution map). Defaults are
+// sized for a ~1-2 minute run per binary on a small CPU; pass --scale=N (or
+// HERO_BENCH_SCALE=N) to multiply epochs and dataset sizes for tighter
+// numbers, and --out=DIR to change where CSVs are written.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+#include "core/experiments.hpp"
+#include "core/trainer.hpp"
+#include "nn/models.hpp"
+
+namespace hero::bench {
+
+/// Bench-wide settings derived from flags.
+struct BenchEnv {
+  double scale = 1.0;
+  std::string out_dir = ".";
+  int scaled(int base) const { return std::max(1, static_cast<int>(base * scale)); }
+  std::int64_t scaled64(std::int64_t base) const {
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(static_cast<double>(base) * scale));
+  }
+  std::string csv_path(const std::string& name) const { return out_dir + "/" + name; }
+};
+
+inline BenchEnv make_env(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchEnv env;
+  env.scale = flags.scale();
+  env.out_dir = flags.get("out", ".");
+  return env;
+}
+
+/// One training configuration: model x dataset x method.
+struct RunSpec {
+  std::string model;    ///< registry name (nn::make_model)
+  std::string dataset;  ///< benchmark name (data::make_benchmark)
+  std::string method;   ///< method name (core::make_method)
+  int epochs = 18;
+  std::int64_t train_n = 256;
+  std::int64_t test_n = 384;
+  std::int64_t batch_size = 64;
+  float base_lr = 0.1f;
+  double label_noise = 0.0;
+  std::uint64_t seed = 33;
+  /// Trainer (shuffle/augment) seed; negative derives it from `seed`.
+  std::int64_t trainer_seed = -1;
+  bool record_hessian = false;
+  core::MethodParams params;  ///< h auto-filled from dataset when h < 0
+};
+
+struct RunOutcome {
+  std::shared_ptr<nn::Module> model;
+  core::TrainResult result;
+  data::Benchmark bench;
+};
+
+/// Trains one configuration end to end (deterministic given the spec).
+inline RunOutcome run_training(const RunSpec& spec) {
+  RunOutcome outcome;
+  outcome.bench = data::make_benchmark(spec.dataset, spec.train_n, spec.test_n, spec.seed);
+  if (spec.label_noise > 0.0) {
+    Rng noise_rng(spec.seed ^ 0xbadbeefULL);
+    data::add_symmetric_label_noise(outcome.bench.train, spec.label_noise, noise_rng);
+  }
+  Rng model_rng(spec.seed + 7);
+  outcome.model = nn::make_model(spec.model, outcome.bench.spec.channels,
+                                 outcome.bench.train.classes, model_rng);
+  core::MethodParams params = spec.params;
+  if (params.h < 0.0f) params.h = core::default_h(spec.dataset);
+  auto method = core::make_method(spec.method, params);
+  core::TrainerConfig config;
+  config.epochs = spec.epochs;
+  config.batch_size = spec.batch_size;
+  config.base_lr = spec.base_lr;
+  config.seed = spec.trainer_seed >= 0 ? static_cast<std::uint64_t>(spec.trainer_seed)
+                                       : spec.seed + 11;
+  config.record_hessian = spec.record_hessian;
+  config.hessian_sample = 128;
+  outcome.result =
+      core::train(*outcome.model, *method, outcome.bench.train, outcome.bench.test, config);
+  return outcome;
+}
+
+/// Prints a markdown-style table row.
+inline void print_row(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const auto& c : cells) std::printf(" %s |", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void print_header(const std::vector<std::string>& cells) {
+  print_row(cells);
+  std::printf("|");
+  for (const auto& c : cells) std::printf("%s|", std::string(c.size() + 2, '-').c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Display names matching the paper's method labels.
+inline std::string method_label(const std::string& method) {
+  if (method == "hero") return "HERO";
+  if (method == "grad_l1") return "GRAD L1";
+  if (method == "sgd") return "SGD";
+  if (method == "first_order") return "First-order only";
+  return method;
+}
+
+/// Display names for the model analogs.
+inline std::string model_label(const std::string& model) {
+  if (model == "micro_resnet") return "MicroResNet (ResNet20 analog)";
+  if (model == "micro_resnet_wide") return "MicroResNet-wide (ResNet18 analog)";
+  if (model == "micro_mobilenet") return "MicroMobileNet (MobileNetV2 analog)";
+  if (model == "mini_vgg") return "MiniVGG (VGG19BN analog)";
+  return model;
+}
+
+inline std::string dataset_label(const std::string& dataset) {
+  if (dataset == "c10") return "C10-analog";
+  if (dataset == "c100") return "C100-analog";
+  if (dataset == "imnet") return "ImageNet-analog";
+  return dataset;
+}
+
+}  // namespace hero::bench

@@ -1,0 +1,66 @@
+// Figure 3: loss-surface contour around converged weights, HERO vs SGD.
+//
+// Paper: contours along two filter-normalized random directions (Li et al.
+// [15]) at the same scale; HERO's surface is smoother with a larger inner
+// (loss increase < 0.1) region. Here the contours are rendered as ASCII maps
+// and summarized by the flat-region fraction; the full grids go to CSV.
+#include "bench_common.hpp"
+#include "hessian/landscape.hpp"
+#include "nn/layers.hpp"
+#include "optim/methods.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hero;
+  using namespace hero::bench;
+  const BenchEnv env = make_env(argc, argv);
+
+  std::printf("== Figure 3: loss contour around converged weights ==\n");
+  CsvWriter csv(env.csv_path("fig3_loss_contour.csv"),
+                {"method", "iy", "ix", "loss", "center_loss"});
+
+  hessian::LandscapeConfig landscape;
+  landscape.grid = env.scaled(17);
+  if (landscape.grid % 2 == 0) ++landscape.grid;  // keep the center exact
+  landscape.radius = 0.5f;
+  landscape.seed = 1234;  // identical directions for both methods
+
+  for (const std::string& method : {std::string("hero"), std::string("sgd")}) {
+    RunSpec spec;
+    spec.model = "micro_resnet";
+    spec.dataset = "c10";
+    spec.method = method;
+    spec.epochs = env.scaled(16);
+    spec.train_n = env.scaled64(224);
+    spec.test_n = env.scaled64(128);
+    spec.params.h = 0.02f;
+    RunOutcome outcome = run_training(spec);
+
+    // Loss closure over a fixed training batch, train-mode statistics frozen.
+    nn::Module& model = *outcome.model;
+    model.set_training(true);
+    const data::Dataset part = outcome.bench.train.slice(0, outcome.bench.train.size());
+    const data::Batch batch{part.features, part.labels};
+    std::vector<ag::Variable> params;
+    for (nn::Parameter* p : model.parameters()) params.push_back(p->var);
+
+    nn::BatchNormFreezeGuard freeze;
+    auto closure = [&model, &batch]() { return optim::batch_loss(model, batch); };
+    const hessian::LossSurface surface =
+        hessian::scan_loss_surface(closure, params, landscape);
+
+    std::printf("\n(%s) center loss %.4f, flat fraction (rise < 0.1): %.3f\n",
+                method_label(method).c_str(), surface.center_loss,
+                surface.flat_fraction(0.1f));
+    std::printf("%s", hessian::render_ascii(surface).c_str());
+    for (int iy = 0; iy < surface.grid; ++iy) {
+      for (int ix = 0; ix < surface.grid; ++ix) {
+        csv.row({method, std::to_string(iy), std::to_string(ix),
+                 std::to_string(surface.at(iy, ix)), std::to_string(surface.center_loss)});
+      }
+    }
+  }
+  std::printf("\nPaper shape: HERO's inner contour ('.' region, loss rise < 0.1) is\n"
+              "larger than SGD's at the same scan scale (CSV: %s)\n",
+              env.csv_path("fig3_loss_contour.csv").c_str());
+  return 0;
+}

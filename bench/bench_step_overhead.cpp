@@ -1,0 +1,82 @@
+// Extra C: per-step training cost of each gradient rule (google-benchmark).
+//
+// SGD needs one backward pass; the first-order rule two; GRAD L1 and HERO a
+// double-backprop pass on top. This bench quantifies the overhead the paper
+// implicitly accepts for HERO's robustness gains.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "optim/methods.hpp"
+
+namespace {
+
+using namespace hero;
+
+struct Fixture {
+  data::Benchmark bench = data::make_benchmark("c10", 96, 32, 11);
+  std::shared_ptr<nn::Module> model;
+  data::Batch batch;
+
+  Fixture() {
+    Rng rng(3);
+    model = nn::make_model("micro_resnet", 3, bench.train.classes, rng);
+    batch = {bench.train.features.narrow(0, 0, 64), bench.train.labels.narrow(0, 0, 64)};
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void run_method(benchmark::State& state, optim::TrainingMethod& method) {
+  Fixture& f = fixture();
+  std::vector<Tensor> grads;
+  for (auto _ : state) {
+    const auto result = method.compute_gradients(*f.model, f.batch, grads);
+    benchmark::DoNotOptimize(result.loss);
+    benchmark::DoNotOptimize(grads.data());
+  }
+}
+
+void BM_SgdStep(benchmark::State& state) {
+  optim::SgdMethod method;
+  run_method(state, method);
+}
+
+void BM_FirstOrderStep(benchmark::State& state) {
+  optim::SamMethod method(0.02f);
+  run_method(state, method);
+}
+
+void BM_GradL1Step(benchmark::State& state) {
+  optim::GradL1Method method(0.01f);
+  run_method(state, method);
+}
+
+void BM_HeroStepExact(benchmark::State& state) {
+  core::HeroConfig config;
+  config.h = 0.02f;
+  config.gamma = 0.1f;
+  core::HeroMethod method(config);
+  run_method(state, method);
+}
+
+void BM_HeroStepFiniteDiff(benchmark::State& state) {
+  core::HeroConfig config;
+  config.h = 0.02f;
+  config.gamma = 0.1f;
+  config.hvp_mode = core::HvpMode::kFiniteDiff;
+  core::HeroMethod method(config);
+  run_method(state, method);
+}
+
+BENCHMARK(BM_SgdStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FirstOrderStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GradL1Step)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeroStepExact)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeroStepFiniteDiff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 2: test accuracy under noisy-label training.
+//
+// Paper: 20-80% symmetric label noise on CIFAR-10 with ResNet20 and
+// MobileNetV2; HERO stays ahead at every ratio and degrades gracefully at
+// 80% where the baselines collapse.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hero;
+  using namespace hero::bench;
+  const BenchEnv env = make_env(argc, argv);
+
+  std::printf("== Table 2: test accuracy under symmetric label noise ==\n");
+  CsvWriter csv(env.csv_path("table2_noisy_labels.csv"),
+                {"model", "noise_ratio", "method", "test_accuracy"});
+
+  const std::vector<double> ratios = {0.2, 0.4, 0.6, 0.8};
+  for (const std::string& model : {std::string("micro_resnet"),
+                                   std::string("micro_mobilenet")}) {
+    std::printf("\n(%s on C10-analog)\n", model_label(model).c_str());
+    std::vector<std::string> header{"Noise ratio"};
+    for (const double r : ratios) header.push_back(std::to_string(static_cast<int>(r * 100)) + "%");
+    print_header(header);
+    for (const std::string& method : {std::string("hero"), std::string("grad_l1"),
+                                      std::string("sgd")}) {
+      std::vector<std::string> cells{method_label(method)};
+      for (const double ratio : ratios) {
+        RunSpec spec;
+        spec.model = model;
+        spec.dataset = "c10";
+        spec.method = method;
+        spec.epochs = env.scaled(10);
+        spec.train_n = env.scaled64(192);
+        spec.test_n = env.scaled64(256);
+        spec.label_noise = ratio;
+        spec.params.h = -1.0f;
+        const RunOutcome outcome = run_training(spec);
+        cells.push_back(format_pct(outcome.result.final_test_accuracy));
+        csv.row({model, std::to_string(ratio), method,
+                 std::to_string(outcome.result.final_test_accuracy)});
+      }
+      print_row(cells);
+    }
+  }
+  std::printf("\nPaper shape: HERO best at every ratio; baselines drop sharply at 80%%\n"
+              "(CSV: %s)\n",
+              env.csv_path("table2_noisy_labels.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "autograd/functional.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::ag {
+
+Variable log_softmax(const Variable& logits) {
+  HERO_CHECK_MSG(logits.value().ndim() == 2,
+                 "log_softmax expects [N, C], got " << shape_to_string(logits.shape()));
+  // Detached max-shift for numerical stability; the shift is a constant per
+  // row and cancels in logp = z - logsumexp(z), so derivatives of any order
+  // are unaffected.
+  const Variable shift = Variable::constant(logits.value().reduce_max(1, /*keepdims=*/true));
+  const Variable z = sub(logits, shift);
+  const Variable lse = log(sum_axes(exp(z), {1}, /*keepdims=*/true));
+  return sub(z, lse);
+}
+
+Variable softmax_cross_entropy(const Variable& logits, const Tensor& labels) {
+  const std::int64_t n = logits.value().dim(0);
+  const std::int64_t classes = logits.value().dim(1);
+  HERO_CHECK_MSG(labels.ndim() == 1 && labels.numel() == n,
+                 "labels must be [N] matching logits rows");
+  const Variable targets = Variable::constant(one_hot(labels, classes));
+  return cross_entropy_with_targets(logits, targets);
+}
+
+Variable cross_entropy_with_targets(const Variable& logits, const Variable& targets) {
+  const std::int64_t n = logits.value().dim(0);
+  const Variable logp = log_softmax(logits);
+  return mul_scalar(neg(sum(mul(targets, logp))), 1.0f / static_cast<float>(n));
+}
+
+double accuracy(const Tensor& logits, const Tensor& labels) {
+  HERO_CHECK(logits.ndim() == 2 && labels.ndim() == 1 && labels.numel() == logits.dim(0));
+  const Tensor pred = logits.argmax(1);
+  const float* p = pred.data();
+  const float* l = labels.data();
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < labels.numel(); ++i) {
+    if (static_cast<std::int64_t>(p[i]) == static_cast<std::int64_t>(l[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.numel());
+}
+
+Variable sum_squares(const Variable& a) { return sum(mul(a, a)); }
+
+Variable l2_norm(const Variable& a, float eps) {
+  return sqrt(add_scalar(sum_squares(a), eps));
+}
+
+Variable l1_norm(const Variable& a) { return sum(abs(a)); }
+
+Variable group_sum_squares(const std::vector<Variable>& vars) {
+  HERO_CHECK(!vars.empty());
+  Variable total = sum_squares(vars.front());
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    total = add(total, sum_squares(vars[i]));
+  }
+  return total;
+}
+
+Variable group_l2_norm(const std::vector<Variable>& vars, float eps) {
+  return sqrt(add_scalar(group_sum_squares(vars), eps));
+}
+
+Variable group_l1_norm(const std::vector<Variable>& vars) {
+  HERO_CHECK(!vars.empty());
+  Variable total = l1_norm(vars.front());
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    total = add(total, l1_norm(vars[i]));
+  }
+  return total;
+}
+
+Variable group_dot(const std::vector<Variable>& a, const std::vector<Variable>& b) {
+  HERO_CHECK(!a.empty() && a.size() == b.size());
+  Variable total = sum(mul(a.front(), b.front()));
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    total = add(total, sum(mul(a[i], b[i])));
+  }
+  return total;
+}
+
+}  // namespace hero::ag

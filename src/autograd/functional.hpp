@@ -1,0 +1,49 @@
+// Composite differentiable functions built from autograd primitives.
+//
+// Everything here inherits double-backprop support from the primitives; the
+// softmax cross-entropy uses the standard detached max-shift, which is exact
+// for all derivative orders because the shift cancels analytically.
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.hpp"
+
+namespace hero::ag {
+
+/// Row-wise log-softmax of logits [N, C].
+Variable log_softmax(const Variable& logits);
+
+/// Mean softmax cross-entropy between logits [N, C] and float class labels
+/// [N] (values 0..C-1).
+Variable softmax_cross_entropy(const Variable& logits, const Tensor& labels);
+
+/// Mean softmax cross-entropy against an explicit one-hot/probability target
+/// [N, C] (used for label-smoothing style targets).
+Variable cross_entropy_with_targets(const Variable& logits, const Variable& targets);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const Tensor& labels);
+
+/// Σ elementwise square (scalar Variable).
+Variable sum_squares(const Variable& a);
+
+/// ℓ2 norm with an epsilon inside the sqrt so the gradient is finite at 0.
+Variable l2_norm(const Variable& a, float eps = 1e-12f);
+
+/// Σ |aᵢ| (scalar Variable): the Gradient-ℓ1 regularizer of Alizadeh et al.
+Variable l1_norm(const Variable& a);
+
+/// Σᵢ sum_squares(vᵢ) over a parameter group.
+Variable group_sum_squares(const std::vector<Variable>& vars);
+
+/// sqrt(Σᵢ ‖vᵢ‖² + eps): global ℓ2 norm of a parameter group.
+Variable group_l2_norm(const std::vector<Variable>& vars, float eps = 1e-12f);
+
+/// Σᵢ Σ|vᵢ|: global ℓ1 norm of a parameter group.
+Variable group_l1_norm(const std::vector<Variable>& vars);
+
+/// Σᵢ <aᵢ, bᵢ>: inner product across a parameter group.
+Variable group_dot(const std::vector<Variable>& a, const std::vector<Variable>& b);
+
+}  // namespace hero::ag

@@ -1,0 +1,115 @@
+#include "autograd/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero::ag {
+
+namespace {
+
+/// Evaluates fn at the current input values without recording a graph.
+float eval_value(const ScalarFn& fn, const std::vector<Variable>& inputs) {
+  NoGradGuard guard;
+  return fn(inputs).value().item();
+}
+
+}  // namespace
+
+GradcheckResult gradcheck(const ScalarFn& fn, const std::vector<Variable>& inputs, float eps,
+                          float tol) {
+  GradcheckResult result;
+  // Analytic gradients.
+  const Variable out = fn(inputs);
+  const std::vector<Variable> analytic = grad(out, inputs);
+
+  for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+    Tensor values = inputs[vi].value();  // aliases the leaf's storage
+    float* p = values.data();
+    const float* a = analytic[vi].value().data();
+    for (std::int64_t e = 0; e < values.numel(); ++e) {
+      const float saved = p[e];
+      p[e] = saved + eps;
+      const float up = eval_value(fn, inputs);
+      p[e] = saved - eps;
+      const float down = eval_value(fn, inputs);
+      p[e] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float abs_err = std::fabs(a[e] - numeric);
+      const float scale = std::max({1.0f, std::fabs(a[e]), std::fabs(numeric)});
+      const float rel_err = abs_err / scale;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tol && result.passed) {
+        result.passed = false;
+        std::ostringstream os;
+        os << "input " << vi << " element " << e << ": analytic " << a[e] << " numeric "
+           << numeric;
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+GradcheckResult hvp_check(const ScalarFn& fn, const std::vector<Variable>& inputs, Rng& rng,
+                          float eps, float tol) {
+  GradcheckResult result;
+
+  // Random probe direction per input.
+  std::vector<Tensor> direction;
+  direction.reserve(inputs.size());
+  for (const Variable& in : inputs) direction.push_back(Tensor::randn(in.shape(), rng));
+
+  // Analytic HVP: s = <grad f, v> then grad s (double backprop).
+  std::vector<Variable> analytic_hvp;
+  {
+    const Variable out = fn(inputs);
+    const std::vector<Variable> g = grad(out, inputs, /*create_graph=*/true);
+    std::vector<Variable> v_consts;
+    v_consts.reserve(direction.size());
+    for (const Tensor& d : direction) v_consts.emplace_back(Variable::constant(d));
+    const Variable dot = group_dot(g, v_consts);
+    analytic_hvp = grad(dot, inputs);
+  }
+
+  // Numeric HVP via central difference of first-order gradients.
+  auto grads_at_offset = [&](float offset) {
+    for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+      inputs[vi].mutable_value().add_(direction[vi], offset);
+    }
+    const Variable out = fn(inputs);
+    std::vector<Variable> g = grad(out, inputs);
+    for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+      inputs[vi].mutable_value().add_(direction[vi], -offset);
+    }
+    return g;
+  };
+  const std::vector<Variable> g_up = grads_at_offset(eps);
+  const std::vector<Variable> g_down = grads_at_offset(-eps);
+
+  for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+    const float* a = analytic_hvp[vi].value().data();
+    const float* up = g_up[vi].value().data();
+    const float* down = g_down[vi].value().data();
+    for (std::int64_t e = 0; e < inputs[vi].numel(); ++e) {
+      const float numeric = (up[e] - down[e]) / (2.0f * eps);
+      const float abs_err = std::fabs(a[e] - numeric);
+      const float scale = std::max({1.0f, std::fabs(a[e]), std::fabs(numeric)});
+      const float rel_err = abs_err / scale;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tol && result.passed) {
+        result.passed = false;
+        std::ostringstream os;
+        os << "hvp input " << vi << " element " << e << ": analytic " << a[e] << " numeric "
+           << numeric;
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hero::ag

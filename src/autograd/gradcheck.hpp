@@ -1,0 +1,38 @@
+// Numerical gradient checking.
+//
+// Compares analytic gradients (and, via grad-of-grad, Hessian-vector
+// products) against central finite differences. Used throughout the test
+// suite to validate every primitive and every layer; float32 forward math
+// limits achievable agreement to ~1e-2 relative on ill-conditioned ops, so
+// callers pick per-op tolerances.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/functional.hpp"
+#include "autograd/variable.hpp"
+
+namespace hero::ag {
+
+/// A scalar-valued differentiable function of a set of leaf Variables.
+using ScalarFn = std::function<Variable(const std::vector<Variable>&)>;
+
+struct GradcheckResult {
+  bool passed = true;
+  float max_abs_error = 0.0f;   ///< worst |analytic - numeric|
+  float max_rel_error = 0.0f;   ///< worst error relative to scale
+  std::string detail;           ///< which input/element failed
+};
+
+/// Checks d f / d inputs against central differences with step `eps`.
+GradcheckResult gradcheck(const ScalarFn& fn, const std::vector<Variable>& inputs,
+                          float eps = 1e-3f, float tol = 2e-2f);
+
+/// Checks the double-backprop path: for random direction v, compares the
+/// analytic Hessian-vector product d/dW <grad f(W), v> against the central
+/// difference (grad f(W + eps v) - grad f(W - eps v)) / (2 eps).
+GradcheckResult hvp_check(const ScalarFn& fn, const std::vector<Variable>& inputs, Rng& rng,
+                          float eps = 1e-2f, float tol = 5e-2f);
+
+}  // namespace hero::ag

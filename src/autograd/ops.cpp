@@ -1,0 +1,365 @@
+#include "autograd/ops.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::ag {
+
+namespace {
+
+/// Inverse of an axis permutation.
+std::vector<std::int64_t> inverse_perm(const std::vector<std::int64_t>& perm) {
+  std::vector<std::int64_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<std::int64_t>(i);
+  }
+  return inv;
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  Tensor out = hero::add(a.value(), b.value());
+  return make_op(
+      std::move(out), {a, b},
+      [a, b](const Variable& g) -> std::vector<Variable> {
+        return {sum_to(g, a.shape()), sum_to(g, b.shape())};
+      },
+      "add");
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  Tensor out = hero::sub(a.value(), b.value());
+  return make_op(
+      std::move(out), {a, b},
+      [a, b](const Variable& g) -> std::vector<Variable> {
+        return {sum_to(g, a.shape()), neg(sum_to(g, b.shape()))};
+      },
+      "sub");
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  Tensor out = hero::mul(a.value(), b.value());
+  return make_op(
+      std::move(out), {a, b},
+      [a, b](const Variable& g) -> std::vector<Variable> {
+        return {sum_to(mul(g, b), a.shape()), sum_to(mul(g, a), b.shape())};
+      },
+      "mul");
+}
+
+Variable divide(const Variable& a, const Variable& b) {
+  Tensor out = hero::divide(a.value(), b.value());
+  return make_op(
+      std::move(out), {a, b},
+      [a, b](const Variable& g) -> std::vector<Variable> {
+        const Variable ga = sum_to(divide(g, b), a.shape());
+        const Variable gb = sum_to(neg(divide(mul(g, a), mul(b, b))), b.shape());
+        return {ga, gb};
+      },
+      "div");
+}
+
+Variable neg(const Variable& a) {
+  return make_op(
+      hero::mul_scalar(a.value(), -1.0f), {a},
+      [](const Variable& g) -> std::vector<Variable> { return {neg(g)}; }, "neg");
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  return make_op(
+      hero::add_scalar(a.value(), s), {a},
+      [](const Variable& g) -> std::vector<Variable> { return {g}; }, "add_scalar");
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  return make_op(
+      hero::mul_scalar(a.value(), s), {a},
+      [s](const Variable& g) -> std::vector<Variable> { return {mul_scalar(g, s)}; },
+      "mul_scalar");
+}
+
+Variable exp(const Variable& a) {
+  return make_op(
+      hero::exp(a.value()), {a},
+      // Recomputing exp(a) keeps the closure differentiable (capturing the
+      // output node would create a reference cycle).
+      [a](const Variable& g) -> std::vector<Variable> { return {mul(g, exp(a))}; }, "exp");
+}
+
+Variable log(const Variable& a) {
+  return make_op(
+      hero::log(a.value()), {a},
+      [a](const Variable& g) -> std::vector<Variable> { return {divide(g, a)}; }, "log");
+}
+
+Variable sqrt(const Variable& a) {
+  return make_op(
+      hero::sqrt(a.value()), {a},
+      [a](const Variable& g) -> std::vector<Variable> {
+        return {mul_scalar(divide(g, sqrt(a)), 0.5f)};
+      },
+      "sqrt");
+}
+
+Variable tanh(const Variable& a) {
+  return make_op(
+      hero::tanh(a.value()), {a},
+      [a](const Variable& g) -> std::vector<Variable> {
+        const Variable t = tanh(a);
+        return {mul(g, add_scalar(neg(mul(t, t)), 1.0f))};
+      },
+      "tanh");
+}
+
+Variable relu(const Variable& a) {
+  return make_op(
+      hero::relu(a.value()), {a},
+      [a](const Variable& g) -> std::vector<Variable> {
+        // Mask is a data-dependent constant (a.e. derivative).
+        const Variable mask = Variable::constant(hero::step_positive(a.value()));
+        return {mul(g, mask)};
+      },
+      "relu");
+}
+
+Variable abs(const Variable& a) {
+  return make_op(
+      hero::abs(a.value()), {a},
+      [a](const Variable& g) -> std::vector<Variable> {
+        const Variable s = Variable::constant(hero::sign(a.value()));
+        return {mul(g, s)};
+      },
+      "abs");
+}
+
+Variable pow_scalar(const Variable& a, float exponent) {
+  return make_op(
+      hero::pow_scalar(a.value(), exponent), {a},
+      [a, exponent](const Variable& g) -> std::vector<Variable> {
+        return {mul(g, mul_scalar(pow_scalar(a, exponent - 1.0f), exponent))};
+      },
+      "pow_scalar");
+}
+
+Variable sigmoid(const Variable& a) {
+  return mul_scalar(add_scalar(tanh(mul_scalar(a, 0.5f)), 1.0f), 0.5f);
+}
+
+Variable sum(const Variable& a) {
+  return make_op(
+      a.value().sum(), {a},
+      [a](const Variable& g) -> std::vector<Variable> {
+        return {broadcast_to(g, a.shape())};
+      },
+      "sum");
+}
+
+Variable sum_axes(const Variable& a, const std::vector<std::int64_t>& axes, bool keepdims) {
+  Tensor out = a.value().sum(axes, keepdims);
+  // kept_shape: the keepdims form of the output, used to re-broadcast.
+  Shape kept_shape = a.value().sum(axes, /*keepdims=*/true).shape();
+  return make_op(
+      std::move(out), {a},
+      [a, kept_shape](const Variable& g) -> std::vector<Variable> {
+        return {broadcast_to(reshape(g, kept_shape), a.shape())};
+      },
+      "sum_axes");
+}
+
+Variable mean(const Variable& a) {
+  return mul_scalar(sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Variable mean_axes(const Variable& a, const std::vector<std::int64_t>& axes, bool keepdims) {
+  std::int64_t count = 1;
+  for (std::int64_t ax : axes) {
+    if (ax < 0) ax += a.value().ndim();
+    count *= a.value().dim(ax);
+  }
+  return mul_scalar(sum_axes(a, axes, keepdims), 1.0f / static_cast<float>(count));
+}
+
+Variable sum_to(const Variable& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  Tensor out = hero::sum_to(a.value(), target);
+  return make_op(
+      std::move(out), {a},
+      [a](const Variable& g) -> std::vector<Variable> {
+        return {broadcast_to(g, a.shape())};
+      },
+      "sum_to");
+}
+
+Variable broadcast_to(const Variable& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  Tensor out = hero::broadcast_to(a.value(), target);
+  return make_op(
+      std::move(out), {a},
+      [a](const Variable& g) -> std::vector<Variable> { return {sum_to(g, a.shape())}; },
+      "broadcast_to");
+}
+
+Variable reshape(const Variable& a, Shape shape) {
+  // reshape shares storage in the Tensor layer; clone so graph nodes own
+  // distinct values (optimizer in-place updates must not leak across nodes).
+  Tensor out = a.value().reshape(std::move(shape)).clone();
+  const Shape original = a.shape();
+  return make_op(
+      std::move(out), {a},
+      [a, original](const Variable& g) -> std::vector<Variable> {
+        return {reshape(g, original)};
+      },
+      "reshape");
+}
+
+Variable permute(const Variable& a, const std::vector<std::int64_t>& perm) {
+  Tensor out = a.value().permute(perm);
+  return make_op(
+      std::move(out), {a},
+      [a, inv = inverse_perm(perm)](const Variable& g) -> std::vector<Variable> {
+        return {permute(g, inv)};
+      },
+      "permute");
+}
+
+Variable transpose2d(const Variable& a) { return permute(a, {1, 0}); }
+
+Variable narrow(const Variable& a, std::int64_t axis, std::int64_t start, std::int64_t length) {
+  if (axis < 0) axis += a.value().ndim();
+  Tensor out = a.value().narrow(axis, start, length);
+  const std::int64_t full = a.value().dim(axis);
+  return make_op(
+      std::move(out), {a},
+      [axis, start, full](const Variable& g) -> std::vector<Variable> {
+        return {pad_narrow(g, axis, start, full)};
+      },
+      "narrow");
+}
+
+Variable pad_narrow(const Variable& a, std::int64_t axis, std::int64_t start,
+                    std::int64_t full_extent) {
+  if (axis < 0) axis += a.value().ndim();
+  const std::int64_t length = a.value().dim(axis);
+  HERO_CHECK_MSG(start >= 0 && start + length <= full_extent, "pad_narrow: bad range");
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(axis)] = full_extent;
+  Tensor out(out_shape);
+  // Copy the slab into place; layout is [outer, axis, inner].
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= a.value().dim(d);
+  std::int64_t inner = 1;
+  for (std::int64_t d = axis + 1; d < a.value().ndim(); ++d) inner *= a.value().dim(d);
+  const float* src = a.value().data();
+  float* dst = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t l = 0; l < length; ++l) {
+      std::copy_n(src + (o * length + l) * inner, inner,
+                  dst + (o * full_extent + start + l) * inner);
+    }
+  }
+  return make_op(
+      std::move(out), {a},
+      [axis, start, length](const Variable& g) -> std::vector<Variable> {
+        return {narrow(g, axis, start, length)};
+      },
+      "pad_narrow");
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  Tensor out = hero::matmul(a.value(), b.value());
+  return make_op(
+      std::move(out), {a, b},
+      [a, b](const Variable& g) -> std::vector<Variable> {
+        return {matmul(g, transpose2d(b)), matmul(transpose2d(a), g)};
+      },
+      "matmul");
+}
+
+Variable im2col(const Variable& x, const Conv2dGeom& geom) {
+  Tensor out = hero::im2col(x.value(), geom);
+  return make_op(
+      std::move(out), {x},
+      [geom](const Variable& g) -> std::vector<Variable> { return {col2im(g, geom)}; },
+      "im2col");
+}
+
+Variable col2im(const Variable& cols, const Conv2dGeom& geom) {
+  Tensor out = hero::col2im(cols.value(), geom);
+  return make_op(
+      std::move(out), {cols},
+      [geom](const Variable& g) -> std::vector<Variable> { return {im2col(g, geom)}; },
+      "col2im");
+}
+
+namespace {
+
+/// Transpose of average pooling as a first-class differentiable op.
+Variable avgpool2d_transpose(const Variable& y, const Conv2dGeom& geom) {
+  Tensor out = hero::avgpool2d_backward(y.value(), geom);
+  return make_op(
+      std::move(out), {y},
+      [geom](const Variable& g) -> std::vector<Variable> {
+        return {avgpool2d(g, geom.kernel_h, geom.stride)};
+      },
+      "avgpool2d_transpose");
+}
+
+/// Gather-by-argmax (transpose of the max-pool scatter).
+Variable maxpool_gather(const Variable& x, std::shared_ptr<std::vector<std::int64_t>> idx,
+                        const Shape& out_shape);
+
+/// Scatter-by-argmax: linear given the fixed indices.
+Variable maxpool_scatter(const Variable& g_out, std::shared_ptr<std::vector<std::int64_t>> idx,
+                         const Shape& in_shape) {
+  Tensor out = hero::maxpool2d_scatter(g_out.value(), *idx, in_shape);
+  const Shape out_shape = g_out.shape();
+  return make_op(
+      std::move(out), {g_out},
+      [idx, out_shape](const Variable& g) -> std::vector<Variable> {
+        return {maxpool_gather(g, idx, out_shape)};
+      },
+      "maxpool_scatter");
+}
+
+Variable maxpool_gather(const Variable& x, std::shared_ptr<std::vector<std::int64_t>> idx,
+                        const Shape& out_shape) {
+  Tensor out = hero::maxpool2d_gather(x.value(), *idx, out_shape);
+  const Shape in_shape = x.shape();
+  return make_op(
+      std::move(out), {x},
+      [idx, in_shape](const Variable& g) -> std::vector<Variable> {
+        return {maxpool_scatter(g, idx, in_shape)};
+      },
+      "maxpool_gather");
+}
+
+}  // namespace
+
+Variable avgpool2d(const Variable& x, std::int64_t kernel, std::int64_t stride) {
+  const Conv2dGeom geom = make_geom(x.shape(), kernel, kernel, stride, /*pad=*/0);
+  Tensor out = hero::avgpool2d(x.value(), kernel, stride);
+  return make_op(
+      std::move(out), {x},
+      [geom](const Variable& g) -> std::vector<Variable> {
+        return {avgpool2d_transpose(g, geom)};
+      },
+      "avgpool2d");
+}
+
+Variable maxpool2d(const Variable& x, std::int64_t kernel, std::int64_t stride) {
+  auto result = hero::maxpool2d(x.value(), kernel, stride);
+  auto idx = std::make_shared<std::vector<std::int64_t>>(std::move(result.argmax));
+  const Shape in_shape = x.shape();
+  return make_op(
+      std::move(result.output), {x},
+      [idx, in_shape](const Variable& g) -> std::vector<Variable> {
+        return {maxpool_scatter(g, idx, in_shape)};
+      },
+      "maxpool2d");
+}
+
+Variable zeros_like(const Variable& a) { return Variable(Tensor::zeros(a.shape())); }
+
+Variable ones_like(const Variable& a) { return Variable(Tensor::ones(a.shape())); }
+
+}  // namespace hero::ag

@@ -1,0 +1,83 @@
+// Differentiable primitive operations on Variables.
+//
+// Every backward closure below is written with these same ops, so gradients
+// are themselves graph nodes when create_graph is requested — the property
+// HERO's double-backprop Hessian term relies on. Ops that use data-dependent
+// constants (relu mask, |·| sign, max-pool argmax) follow the standard
+// almost-everywhere-derivative convention: the constant is captured detached,
+// exactly as PyTorch does.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "tensor/conv_ops.hpp"
+
+namespace hero::ag {
+
+// ---- Broadcasting arithmetic ------------------------------------------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable divide(const Variable& a, const Variable& b);
+Variable neg(const Variable& a);
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+
+inline Variable operator+(const Variable& a, const Variable& b) { return add(a, b); }
+inline Variable operator-(const Variable& a, const Variable& b) { return sub(a, b); }
+inline Variable operator*(const Variable& a, const Variable& b) { return mul(a, b); }
+inline Variable operator/(const Variable& a, const Variable& b) { return divide(a, b); }
+inline Variable operator-(const Variable& a) { return neg(a); }
+
+// ---- Elementwise functions --------------------------------------------------
+Variable exp(const Variable& a);
+Variable log(const Variable& a);
+Variable sqrt(const Variable& a);
+Variable tanh(const Variable& a);
+Variable relu(const Variable& a);
+Variable abs(const Variable& a);
+Variable pow_scalar(const Variable& a, float exponent);
+/// Logistic sigmoid, composed as 0.5 * (tanh(x / 2) + 1) for stability.
+Variable sigmoid(const Variable& a);
+
+// ---- Reductions --------------------------------------------------------------
+/// Sum over all elements (scalar result).
+Variable sum(const Variable& a);
+/// Sum over the given axes.
+Variable sum_axes(const Variable& a, const std::vector<std::int64_t>& axes, bool keepdims);
+/// Mean over all elements (scalar result).
+Variable mean(const Variable& a);
+/// Mean over the given axes.
+Variable mean_axes(const Variable& a, const std::vector<std::int64_t>& axes, bool keepdims);
+
+// ---- Shape --------------------------------------------------------------------
+/// Reduce-sum `a` down to `target` (inverse of broadcasting).
+Variable sum_to(const Variable& a, const Shape& target);
+/// Materialize `a` broadcast up to `target`.
+Variable broadcast_to(const Variable& a, const Shape& target);
+Variable reshape(const Variable& a, Shape shape);
+Variable permute(const Variable& a, const std::vector<std::int64_t>& perm);
+Variable transpose2d(const Variable& a);
+/// Contiguous slice along an axis; gradient scatters back into place.
+Variable narrow(const Variable& a, std::int64_t axis, std::int64_t start, std::int64_t length);
+/// Embeds `a` into a zero tensor whose `axis` has extent `full_extent`,
+/// starting at `start` (transpose of narrow).
+Variable pad_narrow(const Variable& a, std::int64_t axis, std::int64_t start,
+                    std::int64_t full_extent);
+
+// ---- Linear algebra -------------------------------------------------------------
+Variable matmul(const Variable& a, const Variable& b);
+
+// ---- Convolution / pooling kernels ----------------------------------------------
+Variable im2col(const Variable& x, const Conv2dGeom& geom);
+Variable col2im(const Variable& cols, const Conv2dGeom& geom);
+Variable avgpool2d(const Variable& x, std::int64_t kernel, std::int64_t stride);
+Variable maxpool2d(const Variable& x, std::int64_t kernel, std::int64_t stride);
+
+// ---- Constants -------------------------------------------------------------------
+Variable zeros_like(const Variable& a);
+Variable ones_like(const Variable& a);
+
+}  // namespace hero::ag

@@ -1,0 +1,230 @@
+#include "autograd/variable.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace hero::ag {
+
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+}  // namespace
+
+Variable::Variable(Tensor value) {
+  node_ = std::make_shared<detail::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = false;
+  node_->is_leaf = true;
+  node_->op_name = "constant";
+}
+
+Variable Variable::leaf(Tensor value) {
+  Variable v(std::move(value));
+  v.node_->requires_grad = true;
+  v.node_->op_name = "leaf";
+  return v;
+}
+
+Variable Variable::constant(Tensor value) { return Variable(std::move(value)); }
+
+const Tensor& Variable::value() const {
+  HERO_CHECK_MSG(node_ != nullptr, "value() on undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() const {
+  HERO_CHECK_MSG(node_ != nullptr, "mutable_value() on undefined Variable");
+  return node_->value;
+}
+
+bool Variable::requires_grad() const { return node_ && node_->requires_grad; }
+
+bool Variable::is_leaf() const { return node_ && node_->is_leaf; }
+
+const std::string& Variable::op_name() const {
+  HERO_CHECK(node_ != nullptr);
+  return node_->op_name;
+}
+
+Variable Variable::detach() const {
+  HERO_CHECK(node_ != nullptr);
+  return Variable(node_->value);
+}
+
+Tensor Variable::grad() const {
+  HERO_CHECK_MSG(node_ != nullptr && node_->is_leaf, "grad() is only stored on leaves");
+  if (!node_->grad_accum.has_value()) return Tensor::zeros(node_->value.shape());
+  return *node_->grad_accum;
+}
+
+bool Variable::has_grad() const { return node_ && node_->grad_accum.has_value(); }
+
+void Variable::zero_grad() const {
+  HERO_CHECK(node_ != nullptr);
+  node_->grad_accum.reset();
+}
+
+void Variable::accumulate_grad(const Tensor& g) const {
+  HERO_CHECK_MSG(node_ != nullptr && node_->is_leaf, "accumulate_grad on non-leaf");
+  if (!node_->grad_accum.has_value()) {
+    node_->grad_accum = g.clone();
+  } else {
+    node_->grad_accum->add_(g);
+  }
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+EnableGradGuard::EnableGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = true; }
+EnableGradGuard::~EnableGradGuard() { g_grad_enabled = previous_; }
+
+Variable make_op(Tensor value, std::vector<Variable> parents, detail::BackwardFn backward_fn,
+                 std::string op_name) {
+  bool any_requires = false;
+  if (g_grad_enabled) {
+    for (const Variable& p : parents) {
+      if (p.defined() && p.requires_grad()) {
+        any_requires = true;
+        break;
+      }
+    }
+  }
+  if (!any_requires) {
+    return Variable(std::move(value));
+  }
+  auto node = std::make_shared<detail::Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->is_leaf = false;
+  node->op_name = std::move(op_name);
+  node->parents.reserve(parents.size());
+  for (const Variable& p : parents) node->parents.push_back(p.node());
+  node->backward_fn = std::move(backward_fn);
+  return Variable(std::move(node));
+}
+
+namespace {
+
+/// Iterative post-order topological sort over the requires_grad subgraph.
+std::vector<detail::Node*> topo_order(detail::Node* root) {
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  // Explicit stack DFS: pair of (node, next-parent-index).
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  if (root->requires_grad) stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      detail::Node* parent = node->parents[next].get();
+      ++next;
+      if (parent != nullptr && parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // order is post-order (parents before children); reverse for backprop.
+  return {order.rbegin(), order.rend()};
+}
+
+}  // namespace
+
+std::vector<Variable> grad(const Variable& output, const std::vector<Variable>& inputs,
+                           bool create_graph) {
+  HERO_CHECK_MSG(output.defined(), "grad() on undefined output");
+  HERO_CHECK_MSG(output.numel() == 1, "grad() requires a scalar output, got shape "
+                                          << shape_to_string(output.shape()));
+  HERO_CHECK_MSG(output.requires_grad(), "grad(): output does not require grad");
+
+  std::unordered_map<detail::Node*, Variable> grads;
+  const auto order = topo_order(output.node().get());
+
+  // Seed with d(output)/d(output) = 1. Gradient arithmetic below runs with
+  // recording on (create_graph) or off; either way, the same ops are used so
+  // the code path is identical and independently gradcheck-able.
+  std::optional<NoGradGuard> no_grad;
+  std::optional<EnableGradGuard> with_grad;
+  if (create_graph) {
+    with_grad.emplace();
+  } else {
+    no_grad.emplace();
+  }
+
+  grads.emplace(output.node().get(), Variable(Tensor::ones(output.shape())));
+
+  for (detail::Node* node : order) {
+    const auto it = grads.find(node);
+    if (it == grads.end()) continue;  // not reachable from the output
+    if (!node->backward_fn) continue;  // leaf or constant
+    const Variable grad_out = it->second;
+    const std::vector<Variable> parent_grads = node->backward_fn(grad_out);
+    HERO_CHECK_MSG(parent_grads.size() == node->parents.size(),
+                   "op '" << node->op_name << "' returned " << parent_grads.size()
+                          << " gradients for " << node->parents.size() << " parents");
+    for (std::size_t i = 0; i < parent_grads.size(); ++i) {
+      detail::Node* parent = node->parents[i].get();
+      if (parent == nullptr || !parent->requires_grad) continue;
+      const Variable& pg = parent_grads[i];
+      if (!pg.defined()) continue;
+      HERO_CHECK_MSG(pg.shape() == parent->value.shape(),
+                     "op '" << node->op_name << "' produced gradient of shape "
+                            << shape_to_string(pg.shape()) << " for parent of shape "
+                            << shape_to_string(parent->value.shape()));
+      auto found = grads.find(parent);
+      if (found == grads.end()) {
+        grads.emplace(parent, pg);
+      } else {
+        found->second = add(found->second, pg);
+      }
+    }
+  }
+
+  std::vector<Variable> results;
+  results.reserve(inputs.size());
+  for (const Variable& input : inputs) {
+    HERO_CHECK_MSG(input.defined(), "grad(): undefined input");
+    const auto it = grads.find(input.node().get());
+    if (it == grads.end()) {
+      results.emplace_back(Tensor::zeros(input.shape()));
+    } else {
+      results.push_back(it->second);
+    }
+  }
+  return results;
+}
+
+void backward(const Variable& output) {
+  HERO_CHECK_MSG(output.defined() && output.numel() == 1, "backward() needs a scalar output");
+  // Collect reachable leaves, then reuse the functional API.
+  std::vector<Variable> leaves;
+  std::unordered_set<detail::Node*> seen;
+  std::vector<std::shared_ptr<detail::Node>> stack{output.node()};
+  std::vector<std::shared_ptr<detail::Node>> leaf_nodes;
+  while (!stack.empty()) {
+    auto node = stack.back();
+    stack.pop_back();
+    if (!node || seen.count(node.get())) continue;
+    seen.insert(node.get());
+    if (node->is_leaf && node->requires_grad) leaf_nodes.push_back(node);
+    for (const auto& p : node->parents) stack.push_back(p);
+  }
+  leaves.reserve(leaf_nodes.size());
+  for (auto& n : leaf_nodes) leaves.emplace_back(Variable(n));
+  const auto gs = grad(output, leaves, /*create_graph=*/false);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i].accumulate_grad(gs[i].value());
+  }
+}
+
+}  // namespace hero::ag

@@ -1,0 +1,132 @@
+// Reverse-mode automatic differentiation with higher-order gradients.
+//
+// Variables form a DAG: each op node stores its parents and a backward
+// closure. The defining property of this engine — required by HERO's Hessian
+// regularizer (Eq. 16), the Gradient-ℓ1 baseline, and exact Hessian-vector
+// products — is that backward closures are written in terms of *differentiable
+// ops on Variables*. Calling grad(..., create_graph=true) therefore records a
+// graph for the gradient itself, which can be differentiated again, to any
+// order (double backprop, as in torch.autograd.grad).
+//
+// Gradients accumulated on leaves by backward() are stored as plain detached
+// Tensors (what optimizers consume); the functional grad() API returns
+// Variables and is the entry point for higher-order derivatives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hero::ag {
+
+class Variable;
+
+namespace detail {
+
+using BackwardFn = std::function<std::vector<Variable>(const Variable& grad_out)>;
+
+struct Node {
+  Tensor value;
+  bool requires_grad = false;
+  bool is_leaf = false;
+  std::string op_name = "leaf";
+  std::vector<std::shared_ptr<Node>> parents;
+  BackwardFn backward_fn;                 // empty for leaves/constants
+  std::optional<Tensor> grad_accum;       // leaf gradient set by backward()
+};
+
+}  // namespace detail
+
+/// Handle to an autograd graph node. Copies are cheap and alias the node.
+/// A default-constructed Variable is "undefined" (used for absent gradients).
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Wraps a tensor as a constant (no gradient tracked).
+  explicit Variable(Tensor value);
+
+  /// Creates a trainable leaf (requires_grad = true).
+  static Variable leaf(Tensor value);
+
+  /// Creates a constant. Synonym of the Tensor constructor, for readability.
+  static Variable constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  /// Direct mutable access for optimizers; does not touch the graph.
+  /// const because Variable is a shared handle, not the data owner.
+  Tensor& mutable_value() const;
+  bool requires_grad() const;
+  bool is_leaf() const;
+  const std::string& op_name() const;
+  const Shape& shape() const { return value().shape(); }
+  std::int64_t numel() const { return value().numel(); }
+
+  /// The value, cut loose from the graph (constant).
+  Variable detach() const;
+
+  /// Gradient accumulated by backward(); zeros if backward never reached
+  /// this leaf. Only valid on leaves.
+  Tensor grad() const;
+  bool has_grad() const;
+  void zero_grad() const;
+  /// Adds `g` into the leaf's accumulated gradient (used by backward()).
+  void accumulate_grad(const Tensor& g) const;
+
+  std::shared_ptr<detail::Node> node() const { return node_; }
+  explicit Variable(std::shared_ptr<detail::Node> node) : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+/// True while gradient recording is enabled (thread-local).
+bool grad_enabled();
+
+/// RAII scope that disables graph recording (like torch.no_grad()).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// RAII scope that re-enables graph recording inside a NoGradGuard.
+class EnableGradGuard {
+ public:
+  EnableGradGuard();
+  ~EnableGradGuard();
+  EnableGradGuard(const EnableGradGuard&) = delete;
+  EnableGradGuard& operator=(const EnableGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Creates an op node. If recording is disabled or no parent requires grad,
+/// the result is a constant and `backward_fn` is dropped.
+Variable make_op(Tensor value, std::vector<Variable> parents, detail::BackwardFn backward_fn,
+                 std::string op_name);
+
+/// Reverse-mode gradient of a scalar `output` with respect to `inputs`.
+///
+/// With create_graph = true the returned gradients carry their own graph and
+/// can be differentiated again (this is how HERO computes ∇‖∇L(W*) − g‖).
+/// Inputs not reachable from `output` get zero gradients.
+std::vector<Variable> grad(const Variable& output, const std::vector<Variable>& inputs,
+                           bool create_graph = false);
+
+/// Convenience: runs grad() over all reachable leaves and accumulates the
+/// (detached) results into each leaf's .grad(), like loss.backward().
+void backward(const Variable& output);
+
+}  // namespace hero::ag

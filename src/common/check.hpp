@@ -1,0 +1,53 @@
+// Error-handling helpers shared by every module.
+//
+// Library code throws hero::Error (a std::runtime_error) on contract
+// violations; HERO_CHECK is used for user-facing argument validation and
+// stays active in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hero {
+
+/// Exception type thrown by all hero libraries on invalid arguments or
+/// broken invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HERO_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace hero
+
+/// Validates `cond`; on failure throws hero::Error with file/line context.
+/// Streams extra context: HERO_CHECK(a == b) << "a=" << a;  is not supported —
+/// pass a message via HERO_CHECK_MSG instead to keep the macro exception-safe.
+#define HERO_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::hero::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+    }                                                                        \
+  } while (0)
+
+#define HERO_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream hero_check_os_;                                     \
+      hero_check_os_ << msg;                                                 \
+      ::hero::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                          hero_check_os_.str());             \
+    }                                                                        \
+  } while (0)

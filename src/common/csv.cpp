@@ -1,0 +1,48 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  HERO_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+  HERO_CHECK(!header.empty());
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  HERO_CHECK_MSG(cells.size() == columns_,
+                 "CSV row has " << cells.size() << " cells, expected " << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << std::setprecision(6) << v;
+    formatted.push_back(os.str());
+  }
+  row(formatted);
+}
+
+std::string format_pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << (fraction * 100.0) << '%';
+  return os.str();
+}
+
+}  // namespace hero

@@ -1,0 +1,34 @@
+// Minimal CSV emission used by benches and examples to dump series that the
+// paper plots (quantization sweeps, Hessian-norm histories, loss contours).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hero {
+
+/// Streams rows into a CSV file. Writes the header on construction and
+/// flushes on destruction. Throws hero::Error if the file cannot be opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the column count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Formats a double for table display, e.g. format_pct(0.9344) == "93.44%".
+std::string format_pct(double fraction, int decimals = 2);
+
+}  // namespace hero

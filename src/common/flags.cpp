@@ -1,0 +1,56 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hero {
+
+namespace {
+
+std::string to_env_name(const std::string& name) {
+  std::string env = "HERO_";
+  for (char c : name) {
+    env += (c == '-') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return env;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) == 0 && std::strchr(arg, '=') != nullptr) {
+      args_ += '\n';
+      args_ += (arg + 2);
+    }
+  }
+  args_ += '\n';
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  const std::string key = "\n" + name + "=";
+  if (const auto pos = args_.find(key); pos != std::string::npos) {
+    const auto start = pos + key.size();
+    const auto end = args_.find('\n', start);
+    return args_.substr(start, end - start);
+  }
+  if (const char* env = std::getenv(to_env_name(name).c_str()); env != nullptr) {
+    return env;
+  }
+  return fallback;
+}
+
+int Flags::get_int(const std::string& name, int fallback) const {
+  const std::string v = get(name, "");
+  return v.empty() ? fallback : std::atoi(v.c_str());
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const std::string v = get(name, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+double Flags::scale() const { return get_double("scale", get_double("bench-scale", 1.0)); }
+
+}  // namespace hero

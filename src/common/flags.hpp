@@ -1,0 +1,30 @@
+// Tiny command-line / environment flag reader shared by benches and examples.
+//
+// Benches accept flags of the form --name=value and fall back to environment
+// variables HERO_<NAME>; this lets `for b in build/bench/*; do $b; done` run
+// with cheap defaults while HERO_BENCH_SCALE=3 scales every experiment up.
+#pragma once
+
+#include <string>
+
+namespace hero {
+
+/// Parses flags once from argv; later lookups are by name.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Returns the flag value: --name=value beats HERO_<NAME> beats fallback.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Global multiplier applied by benches to epochs / dataset sizes.
+  /// Controlled by --scale or HERO_BENCH_SCALE; defaults to 1.0.
+  double scale() const;
+
+ private:
+  std::string args_;  // "\n"-joined "name=value" entries for lookup
+};
+
+}  // namespace hero

@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace hero {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t n) {
+  HERO_CHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint32_t threshold = (~n + 1u) % n;  // == 2^32 mod n
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::uniform() {
+  // 32 bits of mantissa randomness is ample for float32 workloads.
+  return static_cast<double>(next_u32()) * 0x1.0p-32;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is nudged away from zero so log() stays finite.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-32;
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = next_below(static_cast<std::uint32_t>(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::split(std::uint64_t tag) {
+  // SplitMix64-style mixing of fresh output with the tag yields a child
+  // stream decorrelated from the parent and from other tags.
+  std::uint64_t z = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  z ^= tag + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z, tag * 2u + 1u);
+}
+
+}  // namespace hero

@@ -1,0 +1,45 @@
+#include "core/experiments.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::core {
+
+std::unique_ptr<optim::TrainingMethod> make_method(const std::string& name,
+                                                   const MethodParams& params) {
+  if (name == "hero") {
+    HeroConfig config;
+    config.h = params.h;
+    config.gamma = params.gamma;
+    config.hvp_mode = params.hvp_mode;
+    return std::make_unique<HeroMethod>(config);
+  }
+  if (name == "sgd") return std::make_unique<optim::SgdMethod>();
+  if (name == "grad_l1") return std::make_unique<optim::GradL1Method>(params.lambda);
+  if (name == "first_order" || name == "sam") {
+    return std::make_unique<optim::SamMethod>(params.h);
+  }
+  throw Error("unknown training method: " + name);
+}
+
+float default_h(const std::string& dataset_name) {
+  // §5.1 uses 0.5 for CIFAR-10 and 1.0 for the rest at full scale; the
+  // micro-scale calibration keeps the same 1:2 ratio (see MethodParams).
+  return dataset_name == "c10" ? 0.01f : 0.02f;
+}
+
+std::vector<QuantPoint> quantization_sweep(nn::Module& model, const data::Dataset& test,
+                                           const std::vector<int>& bits,
+                                           const quant::QuantConfig& base) {
+  std::vector<QuantPoint> points;
+  points.reserve(bits.size() + 1);
+  for (const int b : bits) {
+    quant::QuantConfig config = base;
+    config.bits = b;
+    quant::ScopedWeightQuantization scoped(model, config);
+    points.push_back({b, optim::evaluate(model, test).accuracy});
+  }
+  points.push_back({0, optim::evaluate(model, test).accuracy});  // full precision
+  return points;
+}
+
+}  // namespace hero::core

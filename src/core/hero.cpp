@@ -1,0 +1,119 @@
+#include "core/hero.hpp"
+
+#include "autograd/functional.hpp"
+#include "common/check.hpp"
+#include "hessian/spectral.hpp"
+#include "nn/layers.hpp"
+
+namespace hero::core {
+
+namespace {
+
+using hessian::ParamVector;
+
+/// Eq. (15) probe restricted to the perturbed subset: zero elsewhere.
+ParamVector masked_probe(const std::vector<nn::Parameter*>& plist,
+                         const std::vector<ag::Variable>& params, const ParamVector& g,
+                         bool perturb_all) {
+  ParamVector z = hessian::hero_probe(params, g);
+  if (!perturb_all) {
+    for (std::size_t i = 0; i < plist.size(); ++i) {
+      if (!plist[i]->is_weight) z[i].fill_(0.0f);
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+optim::StepResult HeroMethod::compute_gradients(nn::Module& model, const data::Batch& batch,
+                                                std::vector<Tensor>& grads) {
+  const std::vector<nn::Parameter*> plist = model.parameters();
+  std::vector<ag::Variable> params;
+  params.reserve(plist.size());
+  for (nn::Parameter* p : plist) params.push_back(p->var);
+
+  // (1) Clean gradient g_i = ∇L_B(W_i). This forward is the one that updates
+  // BatchNorm running statistics for the step.
+  const ag::Variable loss = optim::batch_loss(model, batch);
+  const float loss_value = loss.value().item();
+  const auto gs = ag::grad(loss, params);
+  ParamVector g;
+  g.reserve(gs.size());
+  for (const auto& gi : gs) g.push_back(gi.value().clone());
+
+  // (2)-(3) Probe and perturb to W* = W + h·z.
+  const ParamVector z = masked_probe(plist, params, g, config_.perturb_all_params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value().add_(z[i], config_.h);
+  }
+
+  grads.clear();
+  grads.reserve(params.size());
+  {
+    nn::BatchNormFreezeGuard bn_freeze;
+    if (config_.hvp_mode == HvpMode::kExact) {
+      // (4) Perturbed gradient with a differentiable graph, then
+      // G = Σ_i ‖∇L(W*_i) − g_i‖ and (5) ∇_{W*}G via double backprop.
+      const ag::Variable loss_star = optim::batch_loss(model, batch);
+      const auto gs_star = ag::grad(loss_star, params, /*create_graph=*/true);
+      ag::Variable reg;
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        const ag::Variable delta = ag::sub(gs_star[i], ag::Variable::constant(g[i]));
+        const ag::Variable term = config_.reg_norm == RegNorm::kL2
+                                      ? ag::l2_norm(delta)
+                                      : ag::sum_squares(delta);
+        reg = reg.defined() ? ag::add(reg, term) : term;
+      }
+      last_regularizer_ = reg.value().item();
+      const auto hess_grads = ag::grad(reg, params);
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        Tensor total = gs_star[i].value().clone();
+        total.add_(hess_grads[i].value(), config_.gamma);
+        grads.push_back(std::move(total));
+      }
+    } else {
+      // Finite-difference path: ∇_{W*}G = H(W*)·u with per-layer blocks
+      // u_i = Δg_i/‖Δg_i‖ (kL2) or u_i = 2·Δg_i (kL2Squared); H symmetric.
+      const ag::Variable loss_star = optim::batch_loss(model, batch);
+      const auto gs_star = ag::grad(loss_star, params);
+      ParamVector g_star;
+      g_star.reserve(gs_star.size());
+      for (const auto& gi : gs_star) g_star.push_back(gi.value().clone());
+
+      ParamVector u;
+      u.reserve(params.size());
+      float reg_value = 0.0f;
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        Tensor delta = g_star[i].clone();
+        delta.add_(g[i], -1.0f);
+        const float delta_norm = delta.l2_norm();
+        if (config_.reg_norm == RegNorm::kL2) {
+          reg_value += delta_norm;
+          if (delta_norm > 0.0f) delta.mul_(1.0f / delta_norm);
+        } else {
+          reg_value += delta_norm * delta_norm;
+          delta.mul_(2.0f);
+        }
+        u.push_back(std::move(delta));
+      }
+      last_regularizer_ = reg_value;
+
+      auto loss_closure = [&model, &batch]() { return optim::batch_loss(model, batch); };
+      const ParamVector hvp = hessian::hvp_finite_diff(loss_closure, params, u, config_.fd_eps);
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        Tensor total = g_star[i].clone();
+        total.add_(hvp[i], config_.gamma);
+        grads.push_back(std::move(total));
+      }
+    }
+  }
+
+  // Restore W from W*.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value().add_(z[i], -config_.h);
+  }
+  return {loss_value};
+}
+
+}  // namespace hero::core

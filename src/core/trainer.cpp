@@ -1,0 +1,106 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "data/loader.hpp"
+#include "hessian/spectral.hpp"
+#include "nn/layers.hpp"
+
+namespace hero::core {
+
+double measure_hessian_norm(nn::Module& model, const data::Dataset& train, std::int64_t sample,
+                            float probe_h) {
+  const std::int64_t count = std::min<std::int64_t>(sample, train.size());
+  const data::Dataset part = train.slice(0, count);
+  data::Batch batch{part.features, part.labels};
+
+  std::vector<ag::Variable> params;
+  for (nn::Parameter* p : model.parameters()) params.push_back(p->var);
+
+  const bool was_training = model.training();
+  model.set_training(true);
+  double result = 0.0;
+  {
+    nn::BatchNormFreezeGuard bn_freeze;
+    auto closure = [&model, &batch]() { return optim::batch_loss(model, batch); };
+    result = hessian::hessian_norm_along_gradient(closure, params, probe_h);
+  }
+  model.set_training(was_training);
+  return result;
+}
+
+TrainResult train(nn::Module& model, optim::TrainingMethod& method, const data::Dataset& train,
+                  const data::Dataset& test, const TrainerConfig& config) {
+  HERO_CHECK(config.epochs >= 1);
+  Rng seed_root(config.seed + 0x5eedULL);
+  data::DataLoader loader(train, config.batch_size, /*shuffle=*/true, seed_root.split(1));
+  Rng augment_rng = seed_root.split(2);
+
+  optim::SgdConfig sgd_config;
+  sgd_config.lr = config.base_lr;
+  sgd_config.momentum = config.momentum;
+  sgd_config.weight_decay = config.weight_decay;
+  optim::Sgd sgd(model.parameters(), sgd_config);
+
+  std::unique_ptr<optim::LrSchedule> schedule;
+  if (config.cosine_lr) {
+    schedule = std::make_unique<optim::CosineSchedule>(config.base_lr);
+  } else {
+    schedule = std::make_unique<optim::ConstantSchedule>(config.base_lr);
+  }
+
+  const std::int64_t total_steps =
+      static_cast<std::int64_t>(config.epochs) * loader.batches_per_epoch();
+  std::int64_t step = 0;
+
+  TrainResult result;
+  result.history.reserve(static_cast<std::size_t>(config.epochs));
+  std::vector<Tensor> grads;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    model.set_training(true);
+    double loss_sum = 0.0;
+    std::int64_t loss_count = 0;
+    for (data::Batch& batch : loader.epoch()) {
+      if (config.augment && batch.x.ndim() == 4) {
+        batch.x = data::augment_shift_flip(batch.x, config.augment_max_shift, augment_rng);
+      }
+      const float lr = schedule->lr(step, total_steps);
+      sgd.set_lr(lr);
+      const auto step_result = method.compute_gradients(model, batch, grads);
+      sgd.step_with(grads);
+      loss_sum += step_result.loss;
+      ++loss_count;
+      ++step;
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.lr = sgd.lr();
+    record.train_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(1, loss_count));
+    const auto train_eval = optim::evaluate(model, train);
+    const auto test_eval = optim::evaluate(model, test);
+    record.train_accuracy = train_eval.accuracy;
+    record.test_accuracy = test_eval.accuracy;
+    record.generalization_gap = train_eval.accuracy - test_eval.accuracy;
+    if (config.record_hessian) {
+      record.hessian_norm =
+          measure_hessian_norm(model, train, config.hessian_sample, config.hessian_probe_h);
+    }
+    if (config.verbose) {
+      std::printf("[%s] epoch %3d lr %.4f loss %.4f train %.4f test %.4f\n",
+                  method.name().c_str(), epoch, record.lr, record.train_loss,
+                  record.train_accuracy, record.test_accuracy);
+      std::fflush(stdout);
+    }
+    result.history.push_back(record);
+  }
+
+  result.final_train_accuracy = result.history.back().train_accuracy;
+  result.final_test_accuracy = result.history.back().test_accuracy;
+  return result;
+}
+
+}  // namespace hero::core

@@ -1,0 +1,58 @@
+// Training harness: epochs, cosine schedule, metrics history, and the
+// diagnostics Figure 2 plots (‖Hz‖ and the generalization gap per epoch).
+#pragma once
+
+#include <memory>
+
+#include "core/hero.hpp"
+#include "data/synthetic.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+
+namespace hero::core {
+
+struct TrainerConfig {
+  int epochs = 30;
+  std::int64_t batch_size = 128;
+  float base_lr = 0.1f;       ///< paper §5.1: cosine schedule from 0.1
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  bool cosine_lr = true;
+  bool augment = false;       ///< random shift+flip on image batches
+  std::int64_t augment_max_shift = 1;
+  std::uint64_t seed = 0;     ///< loader shuffle / augmentation seed
+  bool record_hessian = false;  ///< compute ‖Hz‖ each epoch (Figure 2)
+  float hessian_probe_h = 0.5f;
+  std::int64_t hessian_sample = 256;  ///< training samples used for ‖Hz‖
+  bool verbose = false;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  float lr = 0.0f;
+  double train_loss = 0.0;    ///< mean batch loss over the epoch
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double generalization_gap = 0.0;  ///< train_accuracy − test_accuracy
+  double hessian_norm = 0.0;  ///< ‖Hz‖ along the Eq. 15 probe, if recorded
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> history;
+  double final_train_accuracy = 0.0;
+  double final_test_accuracy = 0.0;
+
+  const EpochRecord& last() const { return history.back(); }
+};
+
+/// Trains `model` with `method` on `train`, evaluating on `test` each epoch.
+TrainResult train(nn::Module& model, optim::TrainingMethod& method,
+                  const data::Dataset& train, const data::Dataset& test,
+                  const TrainerConfig& config);
+
+/// ‖Hz‖ diagnostic on a training-sample batch (Figure 2 metric). Runs the
+/// model in train mode with frozen BatchNorm statistics.
+double measure_hessian_norm(nn::Module& model, const data::Dataset& train,
+                            std::int64_t sample, float probe_h);
+
+}  // namespace hero::core

@@ -1,0 +1,80 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hero::data {
+
+Dataset Dataset::slice(std::int64_t start, std::int64_t count) const {
+  Dataset out;
+  out.features = features.narrow(0, start, count);
+  out.labels = labels.narrow(0, start, count);
+  out.classes = classes;
+  return out;
+}
+
+std::int64_t add_symmetric_label_noise(Dataset& dataset, double ratio, Rng& rng) {
+  HERO_CHECK_MSG(ratio >= 0.0 && ratio <= 1.0, "noise ratio must be in [0, 1]");
+  const std::int64_t n = dataset.size();
+  const auto count = static_cast<std::int64_t>(ratio * static_cast<double>(n) + 0.5);
+  const auto perm = rng.permutation(static_cast<std::size_t>(n));
+  float* labels = dataset.labels.data();
+  std::int64_t changed = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::size_t idx = perm[static_cast<std::size_t>(i)];
+    const auto new_label =
+        static_cast<float>(rng.next_below(static_cast<std::uint32_t>(dataset.classes)));
+    if (labels[idx] != new_label) ++changed;
+    labels[idx] = new_label;
+  }
+  return changed;
+}
+
+TrainTest split(const Dataset& dataset, double train_fraction, Rng& rng) {
+  HERO_CHECK_MSG(train_fraction > 0.0 && train_fraction < 1.0,
+                 "train fraction must be in (0, 1)");
+  const std::int64_t n = dataset.size();
+  const auto n_train = static_cast<std::int64_t>(train_fraction * static_cast<double>(n));
+  HERO_CHECK(n_train >= 1 && n_train < n);
+  const auto perm = rng.permutation(static_cast<std::size_t>(n));
+
+  // Gather rows by permutation.
+  Shape row_shape = dataset.features.shape();
+  row_shape[0] = 1;
+  auto gather = [&](std::int64_t from, std::int64_t count) {
+    Shape shape = dataset.features.shape();
+    shape[0] = count;
+    Tensor features(shape);
+    Tensor labels(Shape{count});
+    const std::int64_t row = dataset.features.numel() / n;
+    for (std::int64_t i = 0; i < count; ++i) {
+      const auto src = static_cast<std::int64_t>(perm[static_cast<std::size_t>(from + i)]);
+      std::copy_n(dataset.features.data() + src * row, row, features.data() + i * row);
+      labels.data()[i] = dataset.labels.data()[src];
+    }
+    Dataset out;
+    out.features = std::move(features);
+    out.labels = std::move(labels);
+    out.classes = dataset.classes;
+    return out;
+  };
+
+  TrainTest out;
+  out.train = gather(0, n_train);
+  out.test = gather(n_train, n - n_train);
+  return out;
+}
+
+std::vector<std::int64_t> class_histogram(const Dataset& dataset) {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(dataset.classes), 0);
+  const float* labels = dataset.labels.data();
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    const auto c = static_cast<std::int64_t>(labels[i]);
+    HERO_CHECK_MSG(c >= 0 && c < dataset.classes, "label out of range in histogram");
+    ++hist[static_cast<std::size_t>(c)];
+  }
+  return hist;
+}
+
+}  // namespace hero::data

@@ -1,0 +1,38 @@
+// Dataset container and label manipulation utilities.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::data {
+
+/// In-memory supervised dataset. Features are [N, F] (point sets) or
+/// [N, C, H, W] (images); labels are class indices stored as floats [N].
+struct Dataset {
+  Tensor features;
+  Tensor labels;
+  std::int64_t classes = 0;
+
+  std::int64_t size() const { return features.numel() == 0 ? 0 : features.dim(0); }
+
+  /// Rows [start, start+count) as a new dataset (copies).
+  Dataset slice(std::int64_t start, std::int64_t count) const;
+};
+
+/// Symmetric label noise following the protocol of DivideMix [16] used by the
+/// paper's Table 2: a `ratio` fraction of samples is selected uniformly and
+/// their labels are replaced with a uniform draw over all classes (possibly
+/// the original class). Returns the number of labels actually changed.
+std::int64_t add_symmetric_label_noise(Dataset& dataset, double ratio, Rng& rng);
+
+/// Random split into train/test with the given train fraction.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+TrainTest split(const Dataset& dataset, double train_fraction, Rng& rng);
+
+/// Per-class sample counts (for balance checks).
+std::vector<std::int64_t> class_histogram(const Dataset& dataset);
+
+}  // namespace hero::data

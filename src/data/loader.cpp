@@ -1,0 +1,48 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hero::data {
+
+DataLoader::DataLoader(Dataset dataset, std::int64_t batch_size, bool shuffle, Rng rng)
+    : dataset_(std::move(dataset)), batch_size_(batch_size), shuffle_(shuffle), rng_(rng) {
+  HERO_CHECK_MSG(batch_size_ >= 1, "batch size must be positive");
+  HERO_CHECK_MSG(dataset_.size() >= 1, "empty dataset");
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<Batch> DataLoader::epoch() {
+  const std::int64_t n = dataset_.size();
+  std::vector<std::size_t> order;
+  if (shuffle_) {
+    order = rng_.permutation(static_cast<std::size_t>(n));
+  } else {
+    order.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
+  const std::int64_t row = dataset_.features.numel() / n;
+  std::vector<Batch> batches;
+  batches.reserve(static_cast<std::size_t>(batches_per_epoch()));
+  for (std::int64_t start = 0; start < n; start += batch_size_) {
+    const std::int64_t count = std::min(batch_size_, n - start);
+    Shape shape = dataset_.features.shape();
+    shape[0] = count;
+    Batch b;
+    b.x = Tensor(shape);
+    b.y = Tensor(Shape{count});
+    for (std::int64_t i = 0; i < count; ++i) {
+      const auto src = static_cast<std::int64_t>(order[static_cast<std::size_t>(start + i)]);
+      std::copy_n(dataset_.features.data() + src * row, row, b.x.data() + i * row);
+      b.y.data()[i] = dataset_.labels.data()[src];
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+}  // namespace hero::data

@@ -1,0 +1,36 @@
+// Mini-batch iteration with seeded shuffling.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace hero::data {
+
+/// One mini-batch: features plus labels.
+struct Batch {
+  Tensor x;
+  Tensor y;
+  std::int64_t size() const { return y.numel(); }
+};
+
+/// Deterministic mini-batch loader. Each call to epoch() reshuffles (when
+/// enabled) with the loader's own RNG stream, so training runs are exactly
+/// reproducible from the seed.
+class DataLoader {
+ public:
+  DataLoader(Dataset dataset, std::int64_t batch_size, bool shuffle, Rng rng);
+
+  /// All batches for one pass over the data. The final batch may be smaller
+  /// unless drop_last was requested.
+  std::vector<Batch> epoch();
+
+  std::int64_t batches_per_epoch() const;
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  Dataset dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+};
+
+}  // namespace hero::data

@@ -1,0 +1,155 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace hero::data {
+
+Dataset make_gaussian_clusters(std::int64_t n, std::int64_t classes, std::int64_t dim,
+                               float separation, float spread, Rng& rng) {
+  HERO_CHECK(classes >= 2 && dim >= 2 && n >= classes);
+  Dataset out;
+  out.features = Tensor(Shape{n, dim});
+  out.labels = Tensor(Shape{n});
+  out.classes = classes;
+  float* x = out.features.data();
+  float* y = out.labels.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint32_t>(classes)));
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(c) / classes;
+    // Center on a circle in the first two dims; other dims are pure noise.
+    x[i * dim + 0] = static_cast<float>(separation * std::cos(angle) + rng.normal(0, spread));
+    x[i * dim + 1] = static_cast<float>(separation * std::sin(angle) + rng.normal(0, spread));
+    for (std::int64_t d = 2; d < dim; ++d) {
+      x[i * dim + d] = static_cast<float>(rng.normal(0, spread));
+    }
+    y[i] = static_cast<float>(c);
+  }
+  return out;
+}
+
+Dataset make_spirals(std::int64_t n, std::int64_t classes, float noise, Rng& rng) {
+  HERO_CHECK(classes >= 2 && n >= classes);
+  Dataset out;
+  out.features = Tensor(Shape{n, 2});
+  out.labels = Tensor(Shape{n});
+  out.classes = classes;
+  float* x = out.features.data();
+  float* y = out.labels.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint32_t>(classes)));
+    const double t = rng.uniform();  // position along the arm
+    const double radius = 0.2 + 1.8 * t;
+    const double angle =
+        2.0 * std::numbers::pi * (1.75 * t + static_cast<double>(c) / classes);
+    x[i * 2 + 0] = static_cast<float>(radius * std::cos(angle) + rng.normal(0, noise));
+    x[i * 2 + 1] = static_cast<float>(radius * std::sin(angle) + rng.normal(0, noise));
+    y[i] = static_cast<float>(c);
+  }
+  return out;
+}
+
+Dataset make_grating_images(std::int64_t n, const ImageSpec& spec, Rng& rng) {
+  HERO_CHECK(spec.classes >= 2 && spec.channels >= 1 && spec.size >= 4);
+  Dataset out;
+  out.features = Tensor(Shape{n, spec.channels, spec.size, spec.size});
+  out.labels = Tensor(Shape{n});
+  out.classes = spec.classes;
+  float* dst = out.features.data();
+  float* labels = out.labels.data();
+  const double two_pi = 2.0 * std::numbers::pi;
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c =
+        static_cast<std::int64_t>(rng.next_below(static_cast<std::uint32_t>(spec.classes)));
+    labels[i] = static_cast<float>(c);
+    // Class-defining structure: orientation sweeps half a turn across the
+    // classes; frequency cycles through {1, 1.5, 2}; each channel carries a
+    // class-specific phase offset so color (channel) structure matters.
+    const double theta = std::numbers::pi * static_cast<double>(c) / spec.classes;
+    const double freq = 1.0 + 0.5 * static_cast<double>(c % 3);
+    const double channel_shift = two_pi * static_cast<double>(c % 4) / 4.0;
+    // Sample-level nuisance parameters (within-class variability).
+    const double phase = spec.random_offset ? rng.uniform(0.0, two_pi) : 0.0;
+    const double amplitude = 1.0 + spec.amplitude_jitter * (rng.uniform() - 0.5) * 2.0;
+    const double cos_t = std::cos(theta);
+    const double sin_t = std::sin(theta);
+    for (std::int64_t ch = 0; ch < spec.channels; ++ch) {
+      for (std::int64_t py = 0; py < spec.size; ++py) {
+        for (std::int64_t px = 0; px < spec.size; ++px) {
+          const double u = (static_cast<double>(px) * cos_t + static_cast<double>(py) * sin_t) *
+                           two_pi * freq / static_cast<double>(spec.size);
+          const double value = amplitude * std::sin(u + phase + channel_shift * ch) +
+                               rng.normal(0.0, spec.noise);
+          *dst++ = static_cast<float>(value);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Benchmark make_benchmark(const std::string& name, std::int64_t train_n, std::int64_t test_n,
+                         std::uint64_t seed) {
+  ImageSpec spec;
+  if (name == "c10") {
+    spec.classes = 10;
+    spec.size = 8;
+  } else if (name == "c100") {
+    spec.classes = 20;
+    spec.size = 8;
+    spec.noise = 0.30f;  // finer orientation separation needs less noise
+  } else if (name == "imnet") {
+    spec.classes = 16;
+    spec.size = 12;
+  } else {
+    throw Error("unknown benchmark name: " + name);
+  }
+  Rng root(seed);
+  Rng train_rng = root.split(1);
+  Rng test_rng = root.split(2);
+  Benchmark b;
+  b.spec = spec;
+  b.name = name;
+  b.train = make_grating_images(train_n, spec, train_rng);
+  b.test = make_grating_images(test_n, spec, test_rng);
+  return b;
+}
+
+Tensor augment_shift_flip(const Tensor& batch, std::int64_t max_shift, Rng& rng) {
+  HERO_CHECK_MSG(batch.ndim() == 4, "augmentation expects [N, C, H, W]");
+  const std::int64_t n = batch.dim(0);
+  const std::int64_t c = batch.dim(1);
+  const std::int64_t h = batch.dim(2);
+  const std::int64_t w = batch.dim(3);
+  Tensor out(batch.shape());
+  const float* src = batch.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t dy =
+        static_cast<std::int64_t>(rng.next_below(static_cast<std::uint32_t>(2 * max_shift + 1))) -
+        max_shift;
+    const std::int64_t dx =
+        static_cast<std::int64_t>(rng.next_below(static_cast<std::uint32_t>(2 * max_shift + 1))) -
+        max_shift;
+    const bool flip = rng.uniform() < 0.5;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = src + (i * c + ch) * h * w;
+      float* oplane = dst + (i * c + ch) * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          const std::int64_t sy = y + dy;
+          std::int64_t sx = x + dx;
+          if (flip) sx = w - 1 - sx;
+          const bool inside = sy >= 0 && sy < h && sx >= 0 && sx < w;
+          oplane[y * w + x] = inside ? plane[sy * w + sx] : 0.0f;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hero::data

@@ -1,0 +1,58 @@
+// Procedural dataset generators.
+//
+// The image generators stand in for CIFAR-10 / CIFAR-100 / ImageNet (none of
+// which is available offline): each class is a family of oriented sinusoidal
+// gratings with class-specific orientation, frequency, and per-channel phase;
+// samples vary by random phase, amplitude, spatial offset, and additive
+// Gaussian noise. Small train sets against over-parameterized conv nets
+// reproduce the overfitting / sharp-minimum regime that the HERO paper's
+// generalization and quantization experiments measure. The point-set
+// generators (Gaussian clusters, spirals) serve MLP examples and tests.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hero::data {
+
+/// k isotropic Gaussian blobs on a circle of radius `separation`.
+Dataset make_gaussian_clusters(std::int64_t n, std::int64_t classes, std::int64_t dim,
+                               float separation, float spread, Rng& rng);
+
+/// Interleaved spiral arms (classic non-linearly-separable 2-D benchmark).
+Dataset make_spirals(std::int64_t n, std::int64_t classes, float noise, Rng& rng);
+
+/// Parameters for the grating-image generator.
+struct ImageSpec {
+  std::int64_t classes = 10;
+  std::int64_t channels = 3;
+  std::int64_t size = 8;        ///< image height == width
+  float noise = 0.35f;          ///< additive pixel noise std
+  float amplitude_jitter = 0.3f;
+  bool random_offset = true;    ///< random spatial phase offset per sample
+};
+
+/// Generates `n` labelled grating images per the spec.
+Dataset make_grating_images(std::int64_t n, const ImageSpec& spec, Rng& rng);
+
+/// Named benchmark registry mirroring the paper's datasets:
+///   "c10"    10-class 3x8x8 gratings   (CIFAR-10 analog)
+///   "c100"   20-class 3x8x8 gratings   (CIFAR-100 analog: more classes,
+///            finer orientation separation)
+///   "imnet"  16-class 3x12x12 gratings (ImageNet analog: larger inputs)
+/// Returns train and test sets drawn independently from the same generator.
+struct Benchmark {
+  Dataset train;
+  Dataset test;
+  ImageSpec spec;
+  std::string name;
+};
+Benchmark make_benchmark(const std::string& name, std::int64_t train_n, std::int64_t test_n,
+                         std::uint64_t seed);
+
+/// Random shift (zero-pad + crop, the small-image analog of random crop) and
+/// horizontal flip augmentation applied to an image batch [N, C, H, W].
+Tensor augment_shift_flip(const Tensor& batch, std::int64_t max_shift, Rng& rng);
+
+}  // namespace hero::data

@@ -1,0 +1,37 @@
+// Umbrella header: the full public API of the HERO library.
+//
+//   #include "hero.hpp"
+//
+// pulls in the tensor/autograd substrate, the NN layer and model zoo, the
+// synthetic data benchmarks, the quantizer, the Hessian toolbox, the
+// baseline optimizers, and HERO itself. Link against the hero_all target.
+#pragma once
+
+#include "autograd/functional.hpp"
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "core/experiments.hpp"
+#include "core/hero.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+#include "hessian/hvp.hpp"
+#include "hessian/landscape.hpp"
+#include "hessian/spectral.hpp"
+#include "nn/blocks.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "nn/module.hpp"
+#include "optim/methods.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "quant/quantize.hpp"
+#include "tensor/conv_ops.hpp"
+#include "tensor/io.hpp"
+#include "tensor/tensor.hpp"

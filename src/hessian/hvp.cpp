@@ -1,0 +1,105 @@
+#include "hessian/hvp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::hessian {
+
+ParamVector hvp_exact(const LossClosure& loss, const Params& params, const ParamVector& v) {
+  HERO_CHECK(params.size() == v.size());
+  const ag::Variable out = loss();
+  const std::vector<ag::Variable> g = ag::grad(out, params, /*create_graph=*/true);
+  std::vector<ag::Variable> v_consts;
+  v_consts.reserve(v.size());
+  for (const Tensor& t : v) v_consts.emplace_back(ag::Variable::constant(t));
+  const ag::Variable gv = ag::group_dot(g, v_consts);
+  const std::vector<ag::Variable> hv = ag::grad(gv, params);
+  ParamVector result;
+  result.reserve(hv.size());
+  for (const auto& h : hv) result.push_back(h.value().clone());
+  return result;
+}
+
+ParamVector hvp_finite_diff(const LossClosure& loss, const Params& params, const ParamVector& v,
+                            float eps) {
+  HERO_CHECK(params.size() == v.size());
+  const double v_norm = norm(v);
+  if (v_norm == 0.0) return zeros_like(params);
+  const float step = eps / static_cast<float>(v_norm);
+
+  auto grads_at_offset = [&](float offset) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value().add_(v[i], offset);
+    }
+    ParamVector g = gradient(loss, params);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value().add_(v[i], -offset);
+    }
+    return g;
+  };
+
+  ParamVector up = grads_at_offset(step);
+  const ParamVector down = grads_at_offset(-step);
+  // (up - down) / (2 * step)
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    up[i].add_(down[i], -1.0f);
+    up[i].mul_(1.0f / (2.0f * step));
+  }
+  return up;
+}
+
+ParamVector clone(const ParamVector& v) {
+  ParamVector out;
+  out.reserve(v.size());
+  for (const Tensor& t : v) out.push_back(t.clone());
+  return out;
+}
+
+double dot(const ParamVector& a, const ParamVector& b) {
+  HERO_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    HERO_CHECK(a[i].numel() == b[i].numel());
+    const float* pa = a[i].data();
+    const float* pb = b[i].data();
+    for (std::int64_t e = 0; e < a[i].numel(); ++e) acc += static_cast<double>(pa[e]) * pb[e];
+  }
+  return acc;
+}
+
+double norm(const ParamVector& v) { return std::sqrt(dot(v, v)); }
+
+void scale(ParamVector& v, float s) {
+  for (Tensor& t : v) t.mul_(s);
+}
+
+void axpy(ParamVector& a, const ParamVector& b, float s) {
+  HERO_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i].add_(b[i], s);
+}
+
+ParamVector random_like(const Params& params, Rng& rng) {
+  ParamVector v;
+  v.reserve(params.size());
+  for (const auto& p : params) v.push_back(Tensor::randn(p.shape(), rng));
+  return v;
+}
+
+ParamVector zeros_like(const Params& params) {
+  ParamVector v;
+  v.reserve(params.size());
+  for (const auto& p : params) v.push_back(Tensor::zeros(p.shape()));
+  return v;
+}
+
+ParamVector gradient(const LossClosure& loss, const Params& params) {
+  const ag::Variable out = loss();
+  const std::vector<ag::Variable> g = ag::grad(out, params);
+  ParamVector result;
+  result.reserve(g.size());
+  for (const auto& gi : g) result.push_back(gi.value().clone());
+  return result;
+}
+
+}  // namespace hero::hessian

@@ -1,0 +1,53 @@
+// Hessian-vector products with respect to model weights.
+//
+// Two implementations:
+//  * hvp_exact — double backprop (grad of <grad L, v>), exact up to float32;
+//    requires the loss closure to be twice differentiable, which every layer
+//    in this library is.
+//  * hvp_finite_diff — central difference of first-order gradients, the
+//    approximation HERO's Eq. (14) builds on; cheaper but O(eps^2) biased.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/functional.hpp"
+#include "autograd/variable.hpp"
+
+namespace hero::hessian {
+
+/// Re-evaluates the loss at the parameters' *current* values, recording a
+/// fresh autograd graph each call (e.g. a closure running a model forward on
+/// a fixed batch).
+using LossClosure = std::function<ag::Variable()>;
+
+/// Parameter handles the Hessian is taken with respect to.
+using Params = std::vector<ag::Variable>;
+
+/// A vector in parameter space (one tensor per parameter).
+using ParamVector = std::vector<Tensor>;
+
+/// H·v via double backprop: grad_W <grad_W L, v>.
+ParamVector hvp_exact(const LossClosure& loss, const Params& params, const ParamVector& v);
+
+/// H·v ≈ (∇L(W + εu) − ∇L(W − εu)) / (2ε) · ‖v‖ with u = v/‖v‖.
+/// Perturbs and restores the parameter values in place.
+ParamVector hvp_finite_diff(const LossClosure& loss, const Params& params, const ParamVector& v,
+                            float eps = 1e-3f);
+
+// ---- Parameter-space vector helpers ----------------------------------------
+// NOTE: copying a ParamVector copies Tensor handles, which SHARE storage.
+// Use clone() before mutating a vector derived from another.
+/// Deep copy (fresh storage for every tensor).
+ParamVector clone(const ParamVector& v);
+double dot(const ParamVector& a, const ParamVector& b);
+double norm(const ParamVector& v);
+void scale(ParamVector& v, float s);
+/// a += s * b
+void axpy(ParamVector& a, const ParamVector& b, float s);
+ParamVector random_like(const Params& params, Rng& rng);
+ParamVector zeros_like(const Params& params);
+/// Materializes the current gradient of `loss` as a detached ParamVector.
+ParamVector gradient(const LossClosure& loss, const Params& params);
+
+}  // namespace hero::hessian

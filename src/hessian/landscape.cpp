@@ -1,0 +1,121 @@
+#include "hessian/landscape.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::hessian {
+
+double LossSurface::flat_fraction(float threshold) const {
+  std::int64_t flat = 0;
+  for (const float v : losses) {
+    if (v - center_loss < threshold) ++flat;
+  }
+  return static_cast<double>(flat) / static_cast<double>(losses.size());
+}
+
+ParamVector filter_normalized_direction(const Params& params, Rng& rng) {
+  ParamVector d;
+  d.reserve(params.size());
+  for (const auto& p : params) {
+    Tensor t = Tensor::randn(p.shape(), rng);
+    const Tensor& w = p.value();
+    if (t.ndim() >= 2) {
+      // Normalize each output filter (slice along dim 0) to the weight
+      // filter's norm: d_f <- d_f / ||d_f|| * ||w_f||.
+      const std::int64_t filters = t.dim(0);
+      const std::int64_t slab = t.numel() / filters;
+      for (std::int64_t f = 0; f < filters; ++f) {
+        float* pd = t.data() + f * slab;
+        const float* pw = w.data() + f * slab;
+        double dn = 0.0;
+        double wn = 0.0;
+        for (std::int64_t i = 0; i < slab; ++i) {
+          dn += static_cast<double>(pd[i]) * pd[i];
+          wn += static_cast<double>(pw[i]) * pw[i];
+        }
+        const double s = dn > 0.0 ? std::sqrt(wn / dn) : 0.0;
+        for (std::int64_t i = 0; i < slab; ++i) pd[i] = static_cast<float>(pd[i] * s);
+      }
+    } else {
+      const float dn = t.l2_norm();
+      const float wn = w.l2_norm();
+      t.mul_(dn > 0.0f ? wn / dn : 0.0f);
+    }
+    d.push_back(std::move(t));
+  }
+  return d;
+}
+
+LossSurface scan_loss_surface(const LossClosure& loss, const Params& params,
+                              const LandscapeConfig& config) {
+  HERO_CHECK(config.grid >= 3);
+  Rng rng(config.seed);
+  Rng rng1 = rng.split(1);
+  Rng rng2 = rng.split(2);
+  const ParamVector d1 = filter_normalized_direction(params, rng1);
+  const ParamVector d2 = filter_normalized_direction(params, rng2);
+
+  // Snapshot the center point.
+  ParamVector center;
+  center.reserve(params.size());
+  for (const auto& p : params) center.push_back(p.value().clone());
+
+  LossSurface surface;
+  surface.grid = config.grid;
+  surface.radius = config.radius;
+  surface.losses.resize(static_cast<std::size_t>(config.grid) * config.grid);
+
+  auto eval_loss = [&]() {
+    ag::NoGradGuard guard;
+    return loss().value().item();
+  };
+
+  surface.center_loss = eval_loss();
+
+  for (int iy = 0; iy < config.grid; ++iy) {
+    const float beta =
+        config.radius * (2.0f * static_cast<float>(iy) / (config.grid - 1) - 1.0f);
+    for (int ix = 0; ix < config.grid; ++ix) {
+      const float alpha =
+          config.radius * (2.0f * static_cast<float>(ix) / (config.grid - 1) - 1.0f);
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        Tensor& value = params[i].mutable_value();
+        value.copy_(center[i]);
+        value.add_(d1[i], alpha);
+        value.add_(d2[i], beta);
+      }
+      surface.losses[static_cast<std::size_t>(iy * config.grid + ix)] = eval_loss();
+    }
+  }
+  // Restore the center point.
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().copy_(center[i]);
+  return surface;
+}
+
+std::string render_ascii(const LossSurface& surface) {
+  // Bands of loss increase over the center, matching the paper's contours:
+  // '.' < 0.1, ':' < 0.3, '-' < 1, '=' < 3, '#' >= 3.
+  std::string out;
+  out.reserve(static_cast<std::size_t>(surface.grid + 1) * surface.grid);
+  for (int iy = 0; iy < surface.grid; ++iy) {
+    for (int ix = 0; ix < surface.grid; ++ix) {
+      const float rise = surface.at(iy, ix) - surface.center_loss;
+      char c = '#';
+      if (rise < 0.1f) {
+        c = '.';
+      } else if (rise < 0.3f) {
+        c = ':';
+      } else if (rise < 1.0f) {
+        c = '-';
+      } else if (rise < 3.0f) {
+        c = '=';
+      }
+      out += c;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hero::hessian

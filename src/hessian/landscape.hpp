@@ -1,0 +1,44 @@
+// Loss-surface contour scanning (Figure 3), following the filter-normalized
+// random-direction visualization of Li et al. [15]: two random directions are
+// rescaled so each output filter matches the norm of the corresponding weight
+// filter, removing scale invariances that would distort the picture.
+#pragma once
+
+#include <string>
+
+#include "hessian/hvp.hpp"
+
+namespace hero::hessian {
+
+struct LandscapeConfig {
+  int grid = 21;        ///< grid points per axis (odd keeps the center exact)
+  float radius = 1.0f;  ///< scan extent: alpha, beta in [-radius, radius]
+  std::uint64_t seed = 7;
+};
+
+struct LossSurface {
+  int grid = 0;
+  float radius = 0.0f;
+  std::vector<float> losses;  ///< row-major [grid x grid], losses[(iy*grid)+ix]
+  float center_loss = 0.0f;
+
+  float at(int iy, int ix) const { return losses[static_cast<std::size_t>(iy * grid + ix)]; }
+  /// Fraction of grid cells with loss - center_loss < threshold: the "flat
+  /// region" the paper's Figure 3 shows as the inner contour.
+  double flat_fraction(float threshold = 0.1f) const;
+};
+
+/// Generates a filter-normalized random direction for the given parameters.
+/// Rank >= 2 tensors are normalized per output filter; rank-1 per tensor.
+ParamVector filter_normalized_direction(const Params& params, Rng& rng);
+
+/// Scans loss(W + alpha d1 + beta d2) over the grid; parameter values are
+/// perturbed in place and restored afterwards.
+LossSurface scan_loss_surface(const LossClosure& loss, const Params& params,
+                              const LandscapeConfig& config);
+
+/// Renders the surface as an ASCII contour map (one char per cell, banded by
+/// loss increase over the center) for terminal inspection.
+std::string render_ascii(const LossSurface& surface);
+
+}  // namespace hero::hessian

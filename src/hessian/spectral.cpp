@@ -1,0 +1,108 @@
+#include "hessian/spectral.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::hessian {
+
+namespace {
+
+ParamVector apply_hvp(const LossClosure& loss, const Params& params, const ParamVector& v,
+                      HvpMode mode) {
+  return mode == HvpMode::kExact ? hvp_exact(loss, params, v)
+                                 : hvp_finite_diff(loss, params, v);
+}
+
+}  // namespace
+
+PowerIterationResult power_iteration(const LossClosure& loss, const Params& params, Rng& rng,
+                                     int max_iters, double tol, HvpMode mode) {
+  PowerIterationResult result;
+  ParamVector v = random_like(params, rng);
+  double v_norm = norm(v);
+  HERO_CHECK(v_norm > 0.0);
+  scale(v, static_cast<float>(1.0 / v_norm));
+
+  double lambda = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    ParamVector hv = apply_hvp(loss, params, v, mode);
+    const double new_lambda = dot(v, hv);  // Rayleigh quotient (v is unit)
+    const double hv_norm = norm(hv);
+    result.iterations = it + 1;
+    if (hv_norm < 1e-12) {
+      // H v ~ 0: the dominant eigenvalue along this direction is zero.
+      lambda = 0.0;
+      break;
+    }
+    // Residual ‖Hv − λv‖ measures eigenpair quality (deep copy: a plain
+    // ParamVector copy would alias hv's storage and corrupt it).
+    ParamVector residual = clone(hv);
+    axpy(residual, v, static_cast<float>(-new_lambda));
+    result.residual = norm(residual);
+    scale(hv, static_cast<float>(1.0 / hv_norm));
+    v = std::move(hv);
+    const bool converged = std::fabs(new_lambda - lambda) <= tol * std::max(1.0, std::fabs(new_lambda));
+    lambda = new_lambda;
+    if (converged && it > 0) break;
+  }
+  result.eigenvalue = lambda;
+  result.eigenvector = std::move(v);
+  return result;
+}
+
+double hutchinson_trace(const LossClosure& loss, const Params& params, Rng& rng, int probes,
+                        HvpMode mode) {
+  HERO_CHECK(probes >= 1);
+  double acc = 0.0;
+  for (int p = 0; p < probes; ++p) {
+    // Rademacher probe: ±1 entries.
+    ParamVector z;
+    z.reserve(params.size());
+    for (const auto& param : params) {
+      Tensor t(param.shape());
+      float* data = t.data();
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        data[i] = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+      }
+      z.push_back(std::move(t));
+    }
+    const ParamVector hz = apply_hvp(loss, params, z, mode);
+    acc += dot(z, hz);
+  }
+  return acc / static_cast<double>(probes);
+}
+
+ParamVector hero_probe(const Params& params, const ParamVector& g) {
+  HERO_CHECK(params.size() == g.size());
+  ParamVector z;
+  z.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g_norm = g[i].l2_norm();
+    const float w_norm = params[i].value().l2_norm();
+    Tensor zi = g[i].clone();
+    if (g_norm > 0.0f) {
+      zi.mul_(w_norm / g_norm);
+    } else {
+      zi.fill_(0.0f);
+    }
+    z.push_back(std::move(zi));
+  }
+  return z;
+}
+
+double hessian_norm_along_gradient(const LossClosure& loss, const Params& params, float h) {
+  HERO_CHECK(h > 0.0f);
+  const ParamVector g = gradient(loss, params);
+  const ParamVector z = hero_probe(params, g);
+  if (norm(z) == 0.0) return 0.0;
+  // ∇L(W + h z)
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], h);
+  ParamVector g_pert = gradient(loss, params);
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], -h);
+  // ‖∇L(W + h z) − ∇L(W)‖ / h ≈ ‖H z‖
+  axpy(g_pert, g, -1.0f);
+  return norm(g_pert) / static_cast<double>(h);
+}
+
+}  // namespace hero::hessian

@@ -1,0 +1,38 @@
+// Spectral diagnostics of the weight Hessian: the quantities Theorem 3 bounds
+// (λ_max) and the quantities Figure 2 plots (‖Hz‖ along the Eq. 15 probe).
+#pragma once
+
+#include "hessian/hvp.hpp"
+
+namespace hero::hessian {
+
+enum class HvpMode { kExact, kFiniteDiff };
+
+struct PowerIterationResult {
+  double eigenvalue = 0.0;   ///< dominant |eigenvalue| estimate of H
+  ParamVector eigenvector;   ///< unit-norm direction
+  int iterations = 0;
+  double residual = 0.0;     ///< ‖Hv − λv‖ at convergence
+};
+
+/// Power iteration on H using repeated HVPs. Converges to the eigenvalue of
+/// largest magnitude; for loss minima (H ⪰ 0) this is λ_max of Theorem 3.
+PowerIterationResult power_iteration(const LossClosure& loss, const Params& params, Rng& rng,
+                                     int max_iters = 30, double tol = 1e-3,
+                                     HvpMode mode = HvpMode::kExact);
+
+/// Hutchinson estimator of tr(H) = E_z[zᵀHz] with Rademacher probes.
+double hutchinson_trace(const LossClosure& loss, const Params& params, Rng& rng,
+                        int probes = 8, HvpMode mode = HvpMode::kExact);
+
+/// ‖H z‖ with z the HERO probe of Eq. (15): per-parameter-tensor
+/// z_i = ‖W_i‖₂ · g_i / ‖g_i‖₂, estimated by the same finite difference the
+/// regularizer uses: ‖∇L(W + h z) − ∇L(W)‖ / h. This is the Figure 2 metric.
+double hessian_norm_along_gradient(const LossClosure& loss, const Params& params,
+                                   float h = 0.5f);
+
+/// Builds the Eq. (15) probe from the current gradient `g`: scaled gradient
+/// direction per parameter tensor. Zero tensors where ‖g_i‖ = 0.
+ParamVector hero_probe(const Params& params, const ParamVector& g);
+
+}  // namespace hero::hessian

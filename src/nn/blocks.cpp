@@ -1,0 +1,58 @@
+#include "nn/blocks.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace hero::nn {
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                             std::int64_t stride, Rng& rng)
+    : Module("residual_block") {
+  conv1_ = register_child(
+      "conv1", std::make_shared<Conv2d>(in_channels, out_channels, 3, stride, 1, rng, false));
+  bn1_ = register_child("bn1", std::make_shared<BatchNorm2d>(out_channels));
+  conv2_ = register_child(
+      "conv2", std::make_shared<Conv2d>(out_channels, out_channels, 3, 1, 1, rng, false));
+  bn2_ = register_child("bn2", std::make_shared<BatchNorm2d>(out_channels));
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut_conv_ = register_child(
+        "shortcut_conv",
+        std::make_shared<Conv2d>(in_channels, out_channels, 1, stride, 0, rng, false));
+    shortcut_bn_ = register_child("shortcut_bn", std::make_shared<BatchNorm2d>(out_channels));
+  }
+}
+
+Variable ResidualBlock::forward(const Variable& x) {
+  Variable h = ag::relu(bn1_->forward(conv1_->forward(x)));
+  h = bn2_->forward(conv2_->forward(h));
+  Variable skip = x;
+  if (shortcut_conv_ != nullptr) {
+    skip = shortcut_bn_->forward(shortcut_conv_->forward(x));
+  }
+  return ag::relu(ag::add(h, skip));
+}
+
+InvertedBottleneck::InvertedBottleneck(std::int64_t in_channels, std::int64_t out_channels,
+                                       std::int64_t expansion, std::int64_t stride, Rng& rng)
+    : Module("inverted_bottleneck"),
+      use_residual_(stride == 1 && in_channels == out_channels) {
+  const std::int64_t hidden = in_channels * expansion;
+  expand_conv_ = register_child(
+      "expand_conv", std::make_shared<Conv2d>(in_channels, hidden, 1, 1, 0, rng, false));
+  expand_bn_ = register_child("expand_bn", std::make_shared<BatchNorm2d>(hidden));
+  dw_conv_ = register_child("dw_conv",
+                            std::make_shared<DepthwiseConv2d>(hidden, 3, stride, 1, rng));
+  dw_bn_ = register_child("dw_bn", std::make_shared<BatchNorm2d>(hidden));
+  project_conv_ = register_child(
+      "project_conv", std::make_shared<Conv2d>(hidden, out_channels, 1, 1, 0, rng, false));
+  project_bn_ = register_child("project_bn", std::make_shared<BatchNorm2d>(out_channels));
+}
+
+Variable InvertedBottleneck::forward(const Variable& x) {
+  Variable h = ag::relu(expand_bn_->forward(expand_conv_->forward(x)));
+  h = ag::relu(dw_bn_->forward(dw_conv_->forward(h)));
+  h = project_bn_->forward(project_conv_->forward(h));
+  if (use_residual_) h = ag::add(h, x);
+  return h;
+}
+
+}  // namespace hero::nn

@@ -1,0 +1,47 @@
+// Architecture blocks: the residual block (ResNet family) and the inverted
+// bottleneck with depthwise convolution (MobileNetV2 family). These preserve
+// the defining topology of the model families evaluated in the HERO paper.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace hero::nn {
+
+/// Basic pre-norm-free residual block (He et al.):
+/// y = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x)).
+/// The shortcut is identity when shapes match, else a strided 1x1 conv + BN.
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(std::int64_t in_channels, std::int64_t out_channels, std::int64_t stride,
+                Rng& rng);
+  Variable forward(const Variable& x) override;
+
+ private:
+  Module* conv1_;
+  Module* bn1_;
+  Module* conv2_;
+  Module* bn2_;
+  Module* shortcut_conv_ = nullptr;  // null -> identity shortcut
+  Module* shortcut_bn_ = nullptr;
+};
+
+/// MobileNetV2 inverted bottleneck: 1x1 expand -> depthwise 3x3 -> 1x1
+/// project, with a residual connection when stride == 1 and channel counts
+/// match.
+class InvertedBottleneck : public Module {
+ public:
+  InvertedBottleneck(std::int64_t in_channels, std::int64_t out_channels,
+                     std::int64_t expansion, std::int64_t stride, Rng& rng);
+  Variable forward(const Variable& x) override;
+
+ private:
+  bool use_residual_;
+  Module* expand_conv_;
+  Module* expand_bn_;
+  Module* dw_conv_;
+  Module* dw_bn_;
+  Module* project_conv_;
+  Module* project_bn_;
+};
+
+}  // namespace hero::nn

@@ -1,0 +1,221 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "autograd/functional.hpp"
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace hero::nn {
+
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  HERO_CHECK(fan_in > 0);
+  Tensor t = Tensor::randn(std::move(shape), rng);
+  t.mul_(std::sqrt(2.0f / static_cast<float>(fan_in)));
+  return t;
+}
+
+// ---- Linear -----------------------------------------------------------------
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool bias)
+    : Module("linear"),
+      in_features_(in_features),
+      out_features_(out_features),
+      weight_(register_parameter("weight",
+                                 kaiming_normal({in_features, out_features}, in_features, rng),
+                                 /*is_weight=*/true)),
+      bias_(bias ? register_parameter("bias", Tensor::zeros({out_features}), false) : nullptr) {}
+
+Variable Linear::forward(const Variable& x) {
+  HERO_CHECK_MSG(x.value().ndim() == 2 && x.value().dim(1) == in_features_,
+                 "Linear expects [N, " << in_features_ << "], got "
+                                       << shape_to_string(x.shape()));
+  Variable y = ag::matmul(x, weight_->var);
+  if (bias_ != nullptr) y = ag::add(y, bias_->var);
+  return y;
+}
+
+// ---- Conv2d -----------------------------------------------------------------
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, Rng& rng, bool bias)
+    : Module("conv2d"),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(register_parameter(
+          "weight",
+          kaiming_normal({out_channels, in_channels, kernel, kernel},
+                         in_channels * kernel * kernel, rng),
+          /*is_weight=*/true)),
+      bias_(bias ? register_parameter("bias", Tensor::zeros({out_channels}), false) : nullptr) {}
+
+Variable Conv2d::forward(const Variable& x) {
+  const Conv2dGeom g = make_geom(x.shape(), kernel_, kernel_, stride_, pad_);
+  HERO_CHECK_MSG(g.channels == in_channels_, "Conv2d expects " << in_channels_
+                                                               << " input channels, got "
+                                                               << g.channels);
+  // cols: [N*OH*OW, C*K*K]; weight as matrix: [C*K*K, out].
+  const Variable cols = ag::im2col(x, g);
+  const Variable wmat =
+      ag::transpose2d(ag::reshape(weight_->var, {out_channels_, in_channels_ * kernel_ * kernel_}));
+  Variable y = ag::matmul(cols, wmat);  // [N*OH*OW, out]
+  if (bias_ != nullptr) y = ag::add(y, bias_->var);
+  // [N, OH, OW, out] -> [N, out, OH, OW]
+  y = ag::reshape(y, {g.batch, g.out_h(), g.out_w(), out_channels_});
+  return ag::permute(y, {0, 3, 1, 2});
+}
+
+// ---- DepthwiseConv2d ----------------------------------------------------------
+
+DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel, std::int64_t stride,
+                                 std::int64_t pad, Rng& rng)
+    : Module("depthwise_conv2d"),
+      channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(register_parameter("weight",
+                                 kaiming_normal({channels, kernel, kernel}, kernel * kernel, rng),
+                                 /*is_weight=*/true)) {}
+
+Variable DepthwiseConv2d::forward(const Variable& x) {
+  const Conv2dGeom g = make_geom(x.shape(), kernel_, kernel_, stride_, pad_);
+  HERO_CHECK_MSG(g.channels == channels_, "DepthwiseConv2d expects " << channels_
+                                                                     << " channels, got "
+                                                                     << g.channels);
+  // Patches per channel: [N*OH*OW, C, K*K]; weights broadcast over rows.
+  const Variable cols =
+      ag::reshape(ag::im2col(x, g), {g.batch * g.out_h() * g.out_w(), channels_, kernel_ * kernel_});
+  const Variable w = ag::reshape(weight_->var, {1, channels_, kernel_ * kernel_});
+  Variable y = ag::sum_axes(ag::mul(cols, w), {2}, /*keepdims=*/false);  // [N*OH*OW, C]
+  y = ag::reshape(y, {g.batch, g.out_h(), g.out_w(), channels_});
+  return ag::permute(y, {0, 3, 1, 2});
+}
+
+// ---- BatchNorm ------------------------------------------------------------------
+
+namespace {
+
+thread_local bool g_bn_stats_frozen = false;
+
+/// Shared normalization core for BatchNorm1d/2d. `axes` are the reduction
+/// axes; `stat_shape` is the broadcastable keepdims shape of the statistics.
+Variable batchnorm_forward(const Variable& x, const std::vector<std::int64_t>& axes,
+                           const Shape& stat_shape, const Variable& gamma, const Variable& beta,
+                           Tensor& running_mean, Tensor& running_var, bool training, float eps,
+                           float momentum) {
+  Variable x_hat;
+  if (training) {
+    const Variable mean = ag::mean_axes(x, axes, /*keepdims=*/true);
+    const Variable centered = ag::sub(x, mean);
+    const Variable var = ag::mean_axes(ag::mul(centered, centered), axes, /*keepdims=*/true);
+    x_hat = ag::divide(centered, ag::sqrt(ag::add_scalar(var, eps)));
+    // Update running statistics outside the graph.
+    if (!g_bn_stats_frozen) {
+      ag::NoGradGuard guard;
+      Tensor m = mean.value().reshape(running_mean.shape()).clone();
+      Tensor v = var.value().reshape(running_var.shape()).clone();
+      running_mean.mul_(1.0f - momentum);
+      running_mean.add_(m, momentum);
+      running_var.mul_(1.0f - momentum);
+      running_var.add_(v, momentum);
+    }
+  } else {
+    const Variable mean = Variable::constant(running_mean.reshape(stat_shape).clone());
+    const Variable var = Variable::constant(running_var.reshape(stat_shape).clone());
+    x_hat = ag::divide(ag::sub(x, mean), ag::sqrt(ag::add_scalar(var, eps)));
+  }
+  const Variable g = ag::reshape(gamma, stat_shape);
+  const Variable b = ag::reshape(beta, stat_shape);
+  return ag::add(ag::mul(x_hat, g), b);
+}
+
+}  // namespace
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : Module("batchnorm2d"),
+      channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(register_parameter("gamma", Tensor::ones({channels}), false)),
+      beta_(register_parameter("beta", Tensor::zeros({channels}), false)),
+      running_mean_(register_buffer("running_mean", Tensor::zeros({channels}))),
+      running_var_(register_buffer("running_var", Tensor::ones({channels}))) {}
+
+Variable BatchNorm2d::forward(const Variable& x) {
+  HERO_CHECK_MSG(x.value().ndim() == 4 && x.value().dim(1) == channels_,
+                 "BatchNorm2d expects [N, " << channels_ << ", H, W], got "
+                                            << shape_to_string(x.shape()));
+  return batchnorm_forward(x, {0, 2, 3}, {1, channels_, 1, 1}, gamma_->var, beta_->var,
+                           running_mean_->tensor, running_var_->tensor, training(), eps_,
+                           momentum_);
+}
+
+BatchNorm1d::BatchNorm1d(std::int64_t features, float eps, float momentum)
+    : Module("batchnorm1d"),
+      features_(features),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(register_parameter("gamma", Tensor::ones({features}), false)),
+      beta_(register_parameter("beta", Tensor::zeros({features}), false)),
+      running_mean_(register_buffer("running_mean", Tensor::zeros({features}))),
+      running_var_(register_buffer("running_var", Tensor::ones({features}))) {}
+
+Variable BatchNorm1d::forward(const Variable& x) {
+  HERO_CHECK_MSG(x.value().ndim() == 2 && x.value().dim(1) == features_,
+                 "BatchNorm1d expects [N, " << features_ << "], got "
+                                            << shape_to_string(x.shape()));
+  return batchnorm_forward(x, {0}, {1, features_}, gamma_->var, beta_->var,
+                           running_mean_->tensor, running_var_->tensor, training(), eps_,
+                           momentum_);
+}
+
+BatchNormFreezeGuard::BatchNormFreezeGuard() : previous_(g_bn_stats_frozen) {
+  g_bn_stats_frozen = true;
+}
+
+BatchNormFreezeGuard::~BatchNormFreezeGuard() { g_bn_stats_frozen = previous_; }
+
+bool batchnorm_stats_frozen() { return g_bn_stats_frozen; }
+
+// ---- Activations / pooling / shape ------------------------------------------------
+
+Variable ReLU::forward(const Variable& x) { return ag::relu(x); }
+
+Variable Tanh::forward(const Variable& x) { return ag::tanh(x); }
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : Module("maxpool2d"), kernel_(kernel), stride_(stride) {}
+
+Variable MaxPool2d::forward(const Variable& x) { return ag::maxpool2d(x, kernel_, stride_); }
+
+AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride)
+    : Module("avgpool2d"), kernel_(kernel), stride_(stride) {}
+
+Variable AvgPool2d::forward(const Variable& x) { return ag::avgpool2d(x, kernel_, stride_); }
+
+Variable GlobalAvgPool::forward(const Variable& x) {
+  HERO_CHECK_MSG(x.value().ndim() == 4, "GlobalAvgPool expects [N, C, H, W]");
+  return ag::mean_axes(x, {2, 3}, /*keepdims=*/false);
+}
+
+Variable Flatten::forward(const Variable& x) {
+  return ag::reshape(x, {x.value().dim(0), -1});
+}
+
+Sequential& Sequential::add(std::shared_ptr<Module> layer) {
+  Module* raw = register_child("layer" + std::to_string(layers_.size()), std::move(layer));
+  layers_.push_back(raw);
+  return *this;
+}
+
+Variable Sequential::forward(const Variable& x) {
+  Variable h = x;
+  for (Module* layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+}  // namespace hero::nn

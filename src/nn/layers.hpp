@@ -1,0 +1,184 @@
+// Primitive layers. All forward passes are compositions of autograd
+// primitives, so every layer is differentiable to arbitrary order — the
+// property HERO's double-backprop regularizer needs end-to-end.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace hero::nn {
+
+/// Fully connected layer: y = x W + b, x: [N, in], W: [in, out].
+/// Weights use Kaiming-normal init (fan_in, ReLU gain), biases start at 0.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool bias = true);
+  Variable forward(const Variable& x) override;
+
+  Parameter* weight() { return weight_; }
+  Parameter* bias() { return bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Parameter* weight_;
+  Parameter* bias_;
+};
+
+/// 2-D convolution via im2col + matmul. Weight layout [out_ch, in_ch, k, k].
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         std::int64_t stride, std::int64_t pad, Rng& rng, bool bias = true);
+  Variable forward(const Variable& x) override;
+
+  Parameter* weight() { return weight_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Parameter* weight_;
+  Parameter* bias_;
+};
+
+/// Depthwise 2-D convolution (one k x k filter per channel), the core of the
+/// MobileNet family. Weight layout [channels, k, k].
+class DepthwiseConv2d : public Module {
+ public:
+  DepthwiseConv2d(std::int64_t channels, std::int64_t kernel, std::int64_t stride,
+                  std::int64_t pad, Rng& rng);
+  Variable forward(const Variable& x) override;
+
+  Parameter* weight() { return weight_; }
+
+ private:
+  std::int64_t channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Parameter* weight_;
+};
+
+/// Batch normalization over [N, C, H, W] (per-channel statistics).
+/// Training uses batch statistics and updates running estimates; eval
+/// normalizes with the running estimates as constants.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+  Variable forward(const Variable& x) override;
+
+  const Tensor& running_mean() const { return running_mean_->tensor; }
+  const Tensor& running_var() const { return running_var_->tensor; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter* gamma_;
+  Parameter* beta_;
+  Buffer* running_mean_;
+  Buffer* running_var_;
+};
+
+/// Batch normalization over [N, F] features.
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(std::int64_t features, float eps = 1e-5f, float momentum = 0.1f);
+  Variable forward(const Variable& x) override;
+
+ private:
+  std::int64_t features_;
+  float eps_;
+  float momentum_;
+  Parameter* gamma_;
+  Parameter* beta_;
+  Buffer* running_mean_;
+  Buffer* running_var_;
+};
+
+class ReLU : public Module {
+ public:
+  ReLU() : Module("relu") {}
+  Variable forward(const Variable& x) override;
+};
+
+class Tanh : public Module {
+ public:
+  Tanh() : Module("tanh") {}
+  Variable forward(const Variable& x) override;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+  Variable forward(const Variable& x) override;
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride);
+  Variable forward(const Variable& x) override;
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Module {
+ public:
+  GlobalAvgPool() : Module("global_avg_pool") {}
+  Variable forward(const Variable& x) override;
+};
+
+/// Flattens [N, ...] -> [N, rest].
+class Flatten : public Module {
+ public:
+  Flatten() : Module("flatten") {}
+  Variable forward(const Variable& x) override;
+};
+
+/// Runs children in order.
+class Sequential : public Module {
+ public:
+  Sequential() : Module("sequential") {}
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::shared_ptr<Module> layer);
+  Variable forward(const Variable& x) override;
+
+ private:
+  std::vector<Module*> layers_;
+};
+
+/// Kaiming-normal init: N(0, sqrt(2 / fan_in)), the standard for ReLU nets.
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+
+/// RAII scope that stops BatchNorm layers from updating running statistics
+/// while still normalizing with batch statistics. Training methods that run
+/// several forward passes per step (SAM's perturbed pass, HERO's perturbed
+/// and regularizer passes, Hessian probes) freeze stats on the extra passes
+/// so a step sees each batch's statistics exactly once.
+class BatchNormFreezeGuard {
+ public:
+  BatchNormFreezeGuard();
+  ~BatchNormFreezeGuard();
+  BatchNormFreezeGuard(const BatchNormFreezeGuard&) = delete;
+  BatchNormFreezeGuard& operator=(const BatchNormFreezeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True while a BatchNormFreezeGuard is active on this thread.
+bool batchnorm_stats_frozen();
+
+}  // namespace hero::nn

@@ -1,0 +1,96 @@
+#include "nn/models.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::nn {
+
+std::shared_ptr<Module> mlp(const std::vector<std::int64_t>& dims, std::int64_t classes,
+                            Rng& rng) {
+  HERO_CHECK_MSG(dims.size() >= 2, "mlp needs at least input and one hidden width");
+  auto net = std::make_shared<Sequential>();
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    net->add(std::make_shared<Linear>(dims[i], dims[i + 1], rng));
+    net->add(std::make_shared<ReLU>());
+  }
+  net->add(std::make_shared<Linear>(dims.back(), classes, rng));
+  return net;
+}
+
+std::shared_ptr<Module> micro_resnet(std::int64_t in_channels, std::int64_t base_width,
+                                     std::int64_t blocks_per_stage, std::int64_t classes,
+                                     Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  // Stem.
+  net->add(std::make_shared<Conv2d>(in_channels, base_width, 3, 1, 1, rng, false));
+  net->add(std::make_shared<BatchNorm2d>(base_width));
+  net->add(std::make_shared<ReLU>());
+  // Three stages with widths w, 2w, 4w; stages 2 and 3 downsample by 2.
+  std::int64_t width = base_width;
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::int64_t out_width = stage == 0 ? width : width * 2;
+    const std::int64_t stride = stage == 0 ? 1 : 2;
+    net->add(std::make_shared<ResidualBlock>(width, out_width, stride, rng));
+    for (std::int64_t b = 1; b < blocks_per_stage; ++b) {
+      net->add(std::make_shared<ResidualBlock>(out_width, out_width, 1, rng));
+    }
+    width = out_width;
+  }
+  net->add(std::make_shared<GlobalAvgPool>());
+  net->add(std::make_shared<Linear>(width, classes, rng));
+  return net;
+}
+
+std::shared_ptr<Module> micro_mobilenet(std::int64_t in_channels, std::int64_t base_width,
+                                        std::int64_t expansion, std::int64_t classes, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  net->add(std::make_shared<Conv2d>(in_channels, base_width, 3, 1, 1, rng, false));
+  net->add(std::make_shared<BatchNorm2d>(base_width));
+  net->add(std::make_shared<ReLU>());
+  // Inverted bottleneck stack mirroring MobileNetV2's progression.
+  net->add(std::make_shared<InvertedBottleneck>(base_width, base_width, expansion, 1, rng));
+  net->add(
+      std::make_shared<InvertedBottleneck>(base_width, base_width * 2, expansion, 2, rng));
+  net->add(
+      std::make_shared<InvertedBottleneck>(base_width * 2, base_width * 2, expansion, 1, rng));
+  net->add(
+      std::make_shared<InvertedBottleneck>(base_width * 2, base_width * 4, expansion, 2, rng));
+  net->add(std::make_shared<GlobalAvgPool>());
+  net->add(std::make_shared<Linear>(base_width * 4, classes, rng));
+  return net;
+}
+
+std::shared_ptr<Module> mini_vgg(std::int64_t in_channels, std::int64_t base_width,
+                                 std::int64_t classes, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  auto conv_bn_relu = [&](std::int64_t in, std::int64_t out) {
+    net->add(std::make_shared<Conv2d>(in, out, 3, 1, 1, rng, false));
+    net->add(std::make_shared<BatchNorm2d>(out));
+    net->add(std::make_shared<ReLU>());
+  };
+  // Stage 1: w, w, pool. Stage 2: 2w, 2w, pool.
+  conv_bn_relu(in_channels, base_width);
+  conv_bn_relu(base_width, base_width);
+  net->add(std::make_shared<MaxPool2d>(2, 2));
+  conv_bn_relu(base_width, base_width * 2);
+  conv_bn_relu(base_width * 2, base_width * 2);
+  net->add(std::make_shared<MaxPool2d>(2, 2));
+  net->add(std::make_shared<GlobalAvgPool>());
+  net->add(std::make_shared<Linear>(base_width * 2, base_width * 2, rng));
+  net->add(std::make_shared<ReLU>());
+  net->add(std::make_shared<Linear>(base_width * 2, classes, rng));
+  return net;
+}
+
+std::shared_ptr<Module> make_model(const std::string& name, std::int64_t input_dim,
+                                   std::int64_t classes, Rng& rng) {
+  // Widths keep the paper's size ordering |VGG19BN| > |MobileNetV2| >
+  // |ResNet20| at micro scale (see Models.ParameterOrderingMirrorsPaperSizes).
+  if (name == "mlp") return mlp({input_dim, 32, 32}, classes, rng);
+  if (name == "micro_resnet") return micro_resnet(input_dim, 6, 1, classes, rng);
+  if (name == "micro_resnet_wide") return micro_resnet(input_dim, 10, 2, classes, rng);
+  if (name == "micro_mobilenet") return micro_mobilenet(input_dim, 10, 4, classes, rng);
+  if (name == "mini_vgg") return mini_vgg(input_dim, 16, classes, rng);
+  throw Error("unknown model name: " + name);
+}
+
+}  // namespace hero::nn

@@ -1,0 +1,42 @@
+// Model zoo: scaled-down analogs of the architectures evaluated in the HERO
+// paper (ResNet20, MobileNetV2, VGG19BN, ResNet18), preserving each family's
+// defining topology (residual shortcuts, inverted bottlenecks with depthwise
+// convolutions, plain conv-conv-pool stacks with BN).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/blocks.hpp"
+
+namespace hero::nn {
+
+/// Multi-layer perceptron with ReLU activations. `dims` lists layer widths
+/// including input; the final Linear maps to `classes` logits.
+std::shared_ptr<Module> mlp(const std::vector<std::int64_t>& dims, std::int64_t classes,
+                            Rng& rng);
+
+/// MicroResNet: stem conv + `blocks_per_stage` residual blocks in each of 3
+/// stages (widths base, 2*base, 4*base; stages 2-3 downsample), global average
+/// pooling, linear head. blocks_per_stage=1, base=8 gives the ResNet20 analog.
+std::shared_ptr<Module> micro_resnet(std::int64_t in_channels, std::int64_t base_width,
+                                     std::int64_t blocks_per_stage, std::int64_t classes,
+                                     Rng& rng);
+
+/// MicroMobileNet: stem conv + a stack of inverted bottlenecks with depthwise
+/// convolutions (MobileNetV2 analog), global average pooling, linear head.
+std::shared_ptr<Module> micro_mobilenet(std::int64_t in_channels, std::int64_t base_width,
+                                        std::int64_t expansion, std::int64_t classes, Rng& rng);
+
+/// MiniVGG: two conv-conv-maxpool stages with BatchNorm (VGG19BN analog),
+/// flatten, two-layer classifier head.
+std::shared_ptr<Module> mini_vgg(std::int64_t in_channels, std::int64_t base_width,
+                                 std::int64_t classes, Rng& rng);
+
+/// Builds a model by registry name: "mlp" (for 2-D point datasets),
+/// "micro_resnet" | "micro_mobilenet" | "mini_vgg" (for image datasets).
+/// `input_dim` is the feature count for mlp and channel count otherwise.
+std::shared_ptr<Module> make_model(const std::string& name, std::int64_t input_dim,
+                                   std::int64_t classes, Rng& rng);
+
+}  // namespace hero::nn

@@ -1,0 +1,123 @@
+#include "nn/module.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace hero::nn {
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+std::vector<Parameter*> Module::weight_parameters() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : parameters()) {
+    if (p->is_weight) out.push_back(p);
+  }
+  return out;
+}
+
+void Module::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& p : params_) out.push_back(p.get());
+  for (auto& [name, child] : children_) child->collect_parameters(out);
+}
+
+std::vector<NamedTensor> Module::state_dict() const {
+  std::vector<NamedTensor> out;
+  collect_state("", out);
+  return out;
+}
+
+void Module::collect_state(const std::string& prefix, std::vector<NamedTensor>& out) const {
+  for (const auto& p : params_) {
+    out.push_back({prefix + p->name, p->var.value().clone()});
+  }
+  for (const auto& b : buffers_) {
+    out.push_back({prefix + b->name, b->tensor.clone()});
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect_state(prefix + name + ".", out);
+  }
+}
+
+void Module::load_state_dict(const std::vector<NamedTensor>& state) {
+  apply_state("", state);
+}
+
+void Module::apply_state(const std::string& prefix, const std::vector<NamedTensor>& state) {
+  auto find = [&state](const std::string& name) -> const NamedTensor* {
+    for (const auto& nt : state) {
+      if (nt.name == name) return &nt;
+    }
+    return nullptr;
+  };
+  for (auto& p : params_) {
+    const NamedTensor* nt = find(prefix + p->name);
+    HERO_CHECK_MSG(nt != nullptr, "state_dict missing parameter " << prefix + p->name);
+    HERO_CHECK_MSG(nt->tensor.shape() == p->var.shape(),
+                   "state_dict shape mismatch for " << prefix + p->name);
+    p->var.mutable_value().copy_(nt->tensor);
+  }
+  for (auto& b : buffers_) {
+    const NamedTensor* nt = find(prefix + b->name);
+    HERO_CHECK_MSG(nt != nullptr, "state_dict missing buffer " << prefix + b->name);
+    HERO_CHECK_MSG(nt->tensor.shape() == b->tensor.shape(),
+                   "state_dict shape mismatch for " << prefix + b->name);
+    b->tensor.copy_(nt->tensor);
+  }
+  for (auto& [name, child] : children_) {
+    child->apply_state(prefix + name + ".", state);
+  }
+}
+
+std::int64_t Module::parameter_count() {
+  std::int64_t total = 0;
+  for (const Parameter* p : parameters()) total += p->var.numel();
+  return total;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  on_set_training(training);
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->var.zero_grad();
+}
+
+Parameter* Module::register_parameter(std::string name, Tensor init, bool is_weight) {
+  auto p = std::make_unique<Parameter>();
+  p->name = std::move(name);
+  p->var = Variable::leaf(std::move(init));
+  p->is_weight = is_weight;
+  params_.push_back(std::move(p));
+  return params_.back().get();
+}
+
+Buffer* Module::register_buffer(std::string name, Tensor init) {
+  auto b = std::make_unique<Buffer>();
+  b->name = std::move(name);
+  b->tensor = std::move(init);
+  buffers_.push_back(std::move(b));
+  return buffers_.back().get();
+}
+
+Module* Module::register_child(std::string name, std::shared_ptr<Module> child) {
+  HERO_CHECK_MSG(child != nullptr, "registering null child module");
+  children_.emplace_back(std::move(name), std::move(child));
+  return children_.back().second.get();
+}
+
+void save_module(const std::string& path, const Module& module) {
+  save_tensors(path, module.state_dict());
+}
+
+void load_module(const std::string& path, Module& module) {
+  module.load_state_dict(load_tensors(path));
+}
+
+}  // namespace hero::nn

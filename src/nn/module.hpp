@@ -1,0 +1,98 @@
+// Module system: composable layers with named parameters and buffers.
+//
+// A Module owns Parameters (trainable leaf Variables) and named child
+// modules. parameters() yields stable pointers for optimizers; state_dict()
+// flattens parameters and buffers (e.g. BatchNorm running stats) into dotted
+// paths for checkpointing. set_training() toggles layer behaviour
+// (BatchNorm batch stats vs running stats).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "tensor/io.hpp"
+
+namespace hero::nn {
+
+using ag::Variable;
+
+/// A trainable tensor with metadata the optimizers and the quantizer use.
+struct Parameter {
+  std::string name;   ///< local name within the owning module, e.g. "weight"
+  Variable var;       ///< leaf Variable holding the value and gradient
+  /// True for multiplicative weights (Linear/Conv kernels). HERO perturbs and
+  /// the quantizer rounds exactly these; biases and BatchNorm affine
+  /// parameters stay full-precision, as in the paper's setup.
+  bool is_weight = false;
+};
+
+/// Non-trainable named state (BatchNorm running statistics).
+struct Buffer {
+  std::string name;
+  Tensor tensor;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual Variable forward(const Variable& x) = 0;
+
+  /// All parameters of this module and its children, in registration order.
+  std::vector<Parameter*> parameters();
+
+  /// Parameters with is_weight set (the tensors HERO perturbs / quant rounds).
+  std::vector<Parameter*> weight_parameters();
+
+  /// Flattened name -> tensor snapshot including buffers ("block1.bn.gamma").
+  std::vector<NamedTensor> state_dict() const;
+  /// Restores parameters and buffers from a state_dict snapshot; names and
+  /// shapes must match exactly.
+  void load_state_dict(const std::vector<NamedTensor>& state);
+
+  /// Total number of scalar parameters.
+  std::int64_t parameter_count();
+
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Clears accumulated gradients on every parameter.
+  void zero_grad();
+
+  const std::string& kind() const { return kind_; }
+
+ protected:
+  explicit Module(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers a trainable parameter; the returned pointer is stable.
+  Parameter* register_parameter(std::string name, Tensor init, bool is_weight);
+  /// Registers a non-trainable buffer; the returned pointer is stable.
+  Buffer* register_buffer(std::string name, Tensor init);
+  /// Registers a child module (participates in parameters()/state_dict()).
+  Module* register_child(std::string name, std::shared_ptr<Module> child);
+
+  virtual void on_set_training(bool) {}
+
+ private:
+  void collect_parameters(std::vector<Parameter*>& out);
+  void collect_state(const std::string& prefix, std::vector<NamedTensor>& out) const;
+  void apply_state(const std::string& prefix,
+                   const std::vector<NamedTensor>& state);
+
+  std::string kind_;
+  bool training_ = true;
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+/// Saves/loads a module checkpoint to disk.
+void save_module(const std::string& path, const Module& module);
+void load_module(const std::string& path, Module& module);
+
+}  // namespace hero::nn

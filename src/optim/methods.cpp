@@ -1,0 +1,99 @@
+#include "optim/methods.hpp"
+
+#include "autograd/functional.hpp"
+#include "common/check.hpp"
+#include "hessian/spectral.hpp"
+#include "nn/layers.hpp"
+
+namespace hero::optim {
+
+namespace {
+
+std::vector<ag::Variable> param_vars(nn::Module& model) {
+  std::vector<ag::Variable> vars;
+  for (nn::Parameter* p : model.parameters()) vars.push_back(p->var);
+  return vars;
+}
+
+}  // namespace
+
+ag::Variable batch_loss(nn::Module& model, const data::Batch& batch) {
+  const ag::Variable logits = model.forward(ag::Variable::constant(batch.x));
+  return ag::softmax_cross_entropy(logits, batch.y);
+}
+
+EvalResult evaluate(nn::Module& model, const data::Dataset& dataset, std::int64_t batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  ag::NoGradGuard guard;
+  EvalResult result;
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  std::int64_t total = 0;
+  for (std::int64_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::int64_t count = std::min(batch_size, dataset.size() - start);
+    const data::Dataset part = dataset.slice(start, count);
+    const ag::Variable logits = model.forward(ag::Variable::constant(part.features));
+    const ag::Variable loss = ag::softmax_cross_entropy(logits, part.labels);
+    loss_sum += static_cast<double>(loss.value().item()) * count;
+    acc_sum += ag::accuracy(logits.value(), part.labels) * count;
+    total += count;
+  }
+  model.set_training(was_training);
+  result.loss = loss_sum / static_cast<double>(total);
+  result.accuracy = acc_sum / static_cast<double>(total);
+  return result;
+}
+
+StepResult SgdMethod::compute_gradients(nn::Module& model, const data::Batch& batch,
+                                        std::vector<Tensor>& grads) {
+  const auto params = param_vars(model);
+  const ag::Variable loss = batch_loss(model, batch);
+  const auto gs = ag::grad(loss, params);
+  grads.clear();
+  grads.reserve(gs.size());
+  for (const auto& g : gs) grads.push_back(g.value());
+  return {loss.value().item()};
+}
+
+StepResult SamMethod::compute_gradients(nn::Module& model, const data::Batch& batch,
+                                        std::vector<Tensor>& grads) {
+  const auto params = param_vars(model);
+  // Gradient at W for the probe direction.
+  const ag::Variable loss = batch_loss(model, batch);
+  const auto gs = ag::grad(loss, params);
+  hessian::ParamVector g;
+  g.reserve(gs.size());
+  for (const auto& gi : gs) g.push_back(gi.value().clone());
+  const hessian::ParamVector z = hessian::hero_probe(params, g);
+
+  // Perturb to W* = W + h z; gradient there; restore.
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], h_);
+  {
+    nn::BatchNormFreezeGuard bn_freeze;
+    const ag::Variable loss_star = batch_loss(model, batch);
+    const auto gs_star = ag::grad(loss_star, params);
+    grads.clear();
+    grads.reserve(gs_star.size());
+    for (const auto& gi : gs_star) grads.push_back(gi.value().clone());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], -h_);
+  return {loss.value().item()};
+}
+
+StepResult GradL1Method::compute_gradients(nn::Module& model, const data::Batch& batch,
+                                           std::vector<Tensor>& grads) {
+  const auto params = param_vars(model);
+  // Total objective L + λ‖∇L‖₁; its gradient needs grad-of-grad.
+  const ag::Variable loss = batch_loss(model, batch);
+  const auto gs = ag::grad(loss, params, /*create_graph=*/true);
+  const ag::Variable g_l1 = ag::group_l1_norm(gs);
+  const ag::Variable reg_loss = ag::add(loss, ag::mul_scalar(g_l1, lambda_));
+  const auto total = ag::grad(reg_loss, params);
+  grads.clear();
+  grads.reserve(total.size());
+  for (const auto& g : total) grads.push_back(g.value());
+  return {loss.value().item()};
+}
+
+}  // namespace hero::optim

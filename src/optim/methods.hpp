@@ -1,0 +1,82 @@
+// Training methods: per-batch gradient rules.
+//
+// A TrainingMethod turns (model, batch) into the gradient vector the
+// optimizer steps with. This file holds the paper's baselines:
+//  * SgdMethod      — plain ERM gradient ∇L(W).
+//  * SamMethod      — "first-order only" rule of Table 3: the descent
+//                     gradient is taken at the HERO-perturbed point,
+//                     ∇L(W + h·z), the SAM-style sharpness term without the
+//                     Hessian regularizer.
+//  * GradL1Method   — Gradient ℓ1 (Alizadeh et al. [1]): ∇(L + λ‖∇L‖₁),
+//                     computed exactly via double backprop.
+// HERO itself lives in src/core (it is the paper's contribution).
+// Weight decay is applied uniformly by the Sgd optimizer, not here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/loader.hpp"
+#include "nn/module.hpp"
+
+namespace hero::optim {
+
+/// Result of one gradient computation.
+struct StepResult {
+  float loss = 0.0f;  ///< unregularized batch loss L(W)
+};
+
+class TrainingMethod {
+ public:
+  virtual ~TrainingMethod() = default;
+  /// Computes this method's gradients for the batch into `grads` (resized to
+  /// match the model's parameters) and returns the batch loss.
+  virtual StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
+                                       std::vector<Tensor>& grads) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Mean softmax cross-entropy of the model on a batch (graph-recording).
+ag::Variable batch_loss(nn::Module& model, const data::Batch& batch);
+
+/// Evaluation helper: accuracy and mean loss over a dataset in eval mode.
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+EvalResult evaluate(nn::Module& model, const data::Dataset& dataset,
+                    std::int64_t batch_size = 256);
+
+class SgdMethod : public TrainingMethod {
+ public:
+  StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
+                               std::vector<Tensor>& grads) override;
+  std::string name() const override { return "sgd"; }
+};
+
+/// First-order-only ablation (Table 3): gradient at the perturbed point
+/// W* = W + h·z with z the Eq. (15) probe.
+class SamMethod : public TrainingMethod {
+ public:
+  explicit SamMethod(float h) : h_(h) {}
+  StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
+                               std::vector<Tensor>& grads) override;
+  std::string name() const override { return "first_order"; }
+
+ private:
+  float h_;
+};
+
+/// Gradient ℓ1 regularization: total gradient ∇L + λ·∇‖∇L‖₁.
+class GradL1Method : public TrainingMethod {
+ public:
+  explicit GradL1Method(float lambda) : lambda_(lambda) {}
+  StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
+                               std::vector<Tensor>& grads) override;
+  std::string name() const override { return "grad_l1"; }
+
+ private:
+  float lambda_;
+};
+
+}  // namespace hero::optim

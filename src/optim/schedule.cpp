@@ -1,0 +1,26 @@
+#include "optim/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hero::optim {
+
+float CosineSchedule::lr(std::int64_t step, std::int64_t total_steps) const {
+  if (total_steps <= 1) return base_lr_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(total_steps - 1);
+  const double clamped = progress < 0.0 ? 0.0 : (progress > 1.0 ? 1.0 : progress);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * clamped));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+float StepSchedule::lr(std::int64_t step, std::int64_t total_steps) const {
+  if (total_steps <= 0 || num_drops_ <= 0) return base_lr_;
+  const std::int64_t period = total_steps / (num_drops_ + 1);
+  const std::int64_t drops = period > 0 ? step / period : 0;
+  float lr = base_lr_;
+  for (std::int64_t d = 0; d < drops && d < num_drops_; ++d) lr *= factor_;
+  return lr;
+}
+
+}  // namespace hero::optim

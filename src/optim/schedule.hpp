@@ -1,0 +1,51 @@
+// Learning-rate schedules. The paper trains every method with a cosine
+// schedule from a 0.1 initial rate (§5.1).
+#pragma once
+
+#include <cstdint>
+
+namespace hero::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate at `step` of `total_steps`.
+  virtual float lr(std::int64_t step, std::int64_t total_steps) const = 0;
+};
+
+/// Cosine annealing from base_lr to min_lr over the full run.
+class CosineSchedule : public LrSchedule {
+ public:
+  explicit CosineSchedule(float base_lr, float min_lr = 0.0f)
+      : base_lr_(base_lr), min_lr_(min_lr) {}
+  float lr(std::int64_t step, std::int64_t total_steps) const override;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+};
+
+/// Constant rate.
+class ConstantSchedule : public LrSchedule {
+ public:
+  explicit ConstantSchedule(float base_lr) : base_lr_(base_lr) {}
+  float lr(std::int64_t, std::int64_t) const override { return base_lr_; }
+
+ private:
+  float base_lr_;
+};
+
+/// Step decay: lr *= factor every `period` fraction of training.
+class StepSchedule : public LrSchedule {
+ public:
+  StepSchedule(float base_lr, float factor, int num_drops)
+      : base_lr_(base_lr), factor_(factor), num_drops_(num_drops) {}
+  float lr(std::int64_t step, std::int64_t total_steps) const override;
+
+ private:
+  float base_lr_;
+  float factor_;
+  int num_drops_;
+};
+
+}  // namespace hero::optim

@@ -1,0 +1,38 @@
+#include "optim/sgd.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::optim {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, const SgdConfig& config)
+    : params_(std::move(params)), config_(config) {
+  HERO_CHECK_MSG(!params_.empty(), "Sgd created with no parameters");
+  velocity_.reserve(params_.size());
+  for (const nn::Parameter* p : params_) {
+    velocity_.push_back(Tensor::zeros(p->var.shape()));
+  }
+}
+
+void Sgd::step_with(const std::vector<Tensor>& grads) {
+  HERO_CHECK_MSG(grads.size() == params_.size(), "gradient count mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = params_[i]->var.mutable_value();
+    HERO_CHECK_MSG(grads[i].numel() == w.numel(), "gradient shape mismatch at parameter " << i);
+    Tensor& v = velocity_[i];
+    // v <- momentum * v + (g + wd * w)
+    v.mul_(config_.momentum);
+    v.add_(grads[i]);
+    if (config_.weight_decay != 0.0f) v.add_(w, config_.weight_decay);
+    // w <- w - lr * v
+    w.add_(v, -config_.lr);
+  }
+}
+
+void Sgd::step() {
+  std::vector<Tensor> grads;
+  grads.reserve(params_.size());
+  for (const nn::Parameter* p : params_) grads.push_back(p->var.grad());
+  step_with(grads);
+}
+
+}  // namespace hero::optim

@@ -1,0 +1,44 @@
+// Momentum SGD over explicit gradient vectors.
+//
+// The HERO family of methods (Eq. 17) produces *custom* gradient vectors
+// (perturbed gradients plus regularizer terms), so the optimizer exposes
+// step_with(grads) rather than reading Parameter::grad(); the convenience
+// step() reads accumulated .grad()s for plain training loops. Weight decay
+// (the paper's alpha·W term) is added here so every training method shares
+// the identical decay path.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace hero::optim {
+
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, const SgdConfig& config);
+
+  /// v <- momentum*v + (g + wd*w);  w <- w − lr*v
+  void step_with(const std::vector<Tensor>& grads);
+
+  /// Reads gradients accumulated on the parameters by ag::backward().
+  void step();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  const SgdConfig& config() const { return config_; }
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace hero::optim

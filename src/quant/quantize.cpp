@@ -1,0 +1,140 @@
+#include "quant/quantize.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::quant {
+
+namespace {
+
+/// Quantizes a contiguous run of `count` floats sharing one scale.
+/// Returns the bin width used.
+float quantize_run(const float* src, float* dst, std::int64_t count, int bits, Scheme scheme) {
+  const auto levels = static_cast<float>((1LL << bits) - 1);  // 2^n - 1 steps
+  float lo = 0.0f;
+  float hi = 0.0f;
+  if (scheme == Scheme::kSymmetric) {
+    float max_abs = 0.0f;
+    for (std::int64_t i = 0; i < count; ++i) max_abs = std::max(max_abs, std::fabs(src[i]));
+    lo = -max_abs;
+    hi = max_abs;
+  } else {
+    lo = src[0];
+    hi = src[0];
+    for (std::int64_t i = 1; i < count; ++i) {
+      lo = std::min(lo, src[i]);
+      hi = std::max(hi, src[i]);
+    }
+  }
+  const float range = hi - lo;
+  if (range <= 0.0f) {
+    // Constant tensor: representable exactly.
+    for (std::int64_t i = 0; i < count; ++i) dst[i] = src[i];
+    return 0.0f;
+  }
+  const float delta = range / levels;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float q = std::round((src[i] - lo) / delta);
+    dst[i] = lo + q * delta;
+  }
+  return delta;
+}
+
+/// Output-channel axis for per-channel quantization: conv weights
+/// [out, in, k, k] use dim 0; linear weights [in, out] use dim 1.
+std::int64_t channel_axis(const Tensor& w) { return w.ndim() == 2 ? 1 : 0; }
+
+}  // namespace
+
+Tensor quantize_dequantize(const Tensor& w, const QuantConfig& config, QuantStats* stats) {
+  HERO_CHECK_MSG(config.bits >= 1 && config.bits <= 16,
+                 "quantization bits must be in [1, 16], got " << config.bits);
+  Tensor out(w.shape());
+  float max_delta = 0.0f;
+
+  if (config.granularity == Granularity::kPerTensor || w.ndim() <= 1) {
+    max_delta = quantize_run(w.data(), out.data(), w.numel(), config.bits, config.scheme);
+  } else {
+    const std::int64_t axis = channel_axis(w);
+    if (axis == 0) {
+      // Channels are contiguous slabs.
+      const std::int64_t channels = w.dim(0);
+      const std::int64_t slab = w.numel() / channels;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const float delta = quantize_run(w.data() + c * slab, out.data() + c * slab, slab,
+                                         config.bits, config.scheme);
+        max_delta = std::max(max_delta, delta);
+      }
+    } else {
+      // Linear [in, out]: gather each output column, quantize, scatter back.
+      const std::int64_t rows = w.dim(0);
+      const std::int64_t cols = w.dim(1);
+      std::vector<float> column(static_cast<std::size_t>(rows));
+      std::vector<float> qcolumn(static_cast<std::size_t>(rows));
+      for (std::int64_t c = 0; c < cols; ++c) {
+        for (std::int64_t r = 0; r < rows; ++r) column[static_cast<std::size_t>(r)] =
+            w.data()[r * cols + c];
+        const float delta = quantize_run(column.data(), qcolumn.data(), rows, config.bits,
+                                         config.scheme);
+        max_delta = std::max(max_delta, delta);
+        for (std::int64_t r = 0; r < rows; ++r) out.data()[r * cols + c] =
+            qcolumn[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->max_bin_width = max_delta;
+    stats->max_abs_error = max_abs_diff(out, w);
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const double d = static_cast<double>(out.data()[i]) - w.data()[i];
+      mse += d * d;
+    }
+    stats->mse = static_cast<float>(mse / static_cast<double>(w.numel()));
+  }
+  return out;
+}
+
+WeightSnapshot snapshot_weights(nn::Module& model) {
+  WeightSnapshot snapshot;
+  for (nn::Parameter* p : model.weight_parameters()) {
+    snapshot.push_back(p->var.value().clone());
+  }
+  return snapshot;
+}
+
+void restore_weights(nn::Module& model, const WeightSnapshot& snapshot) {
+  const auto params = model.weight_parameters();
+  HERO_CHECK_MSG(params.size() == snapshot.size(), "snapshot does not match model");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->var.mutable_value().copy_(snapshot[i]);
+  }
+}
+
+QuantStats quantize_module_weights(nn::Module& model, const QuantConfig& config) {
+  QuantStats aggregate;
+  double mse_sum = 0.0;
+  std::size_t count = 0;
+  for (nn::Parameter* p : model.weight_parameters()) {
+    QuantStats stats;
+    const Tensor q = quantize_dequantize(p->var.value(), config, &stats);
+    p->var.mutable_value().copy_(q);
+    aggregate.max_abs_error = std::max(aggregate.max_abs_error, stats.max_abs_error);
+    aggregate.max_bin_width = std::max(aggregate.max_bin_width, stats.max_bin_width);
+    mse_sum += stats.mse;
+    ++count;
+  }
+  if (count > 0) aggregate.mse = static_cast<float>(mse_sum / static_cast<double>(count));
+  return aggregate;
+}
+
+ScopedWeightQuantization::ScopedWeightQuantization(nn::Module& model, const QuantConfig& config)
+    : model_(model), snapshot_(snapshot_weights(model)) {
+  stats_ = quantize_module_weights(model, config);
+}
+
+ScopedWeightQuantization::~ScopedWeightQuantization() { restore_weights(model_, snapshot_); }
+
+}  // namespace hero::quant

@@ -1,0 +1,78 @@
+// Post-training linear uniform weight quantization (paper §3.1, Theorem 2).
+//
+// The weight range is split into 2^n uniform bins of width Δ and every value
+// is rounded to its bin's representable point, so ‖W_q − W‖∞ ≤ Δ/2 — the ℓ∞
+// perturbation bound that Theorem 2 converts into a loss bound. Symmetric
+// and asymmetric variants and per-tensor / per-channel granularity cover the
+// "all quantization schemes" claim of the paper's §5.3.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::quant {
+
+enum class Scheme {
+  kSymmetric,   ///< range [-max|w|, +max|w|], zero-point 0
+  kAsymmetric,  ///< range [min(w), max(w)] with affine zero-point
+};
+
+enum class Granularity {
+  kPerTensor,   ///< one scale for the whole tensor
+  kPerChannel,  ///< one scale per output channel (conv dim 0 / linear dim 1)
+};
+
+struct QuantConfig {
+  int bits = 8;
+  Scheme scheme = Scheme::kSymmetric;
+  Granularity granularity = Granularity::kPerTensor;
+};
+
+/// Error statistics of one quantization round trip.
+struct QuantStats {
+  float max_abs_error = 0.0f;  ///< ‖W_q − W‖∞ (must be ≤ max bin_width / 2)
+  float mse = 0.0f;
+  float max_bin_width = 0.0f;  ///< largest Δ across channels
+};
+
+/// Fake-quantizes `w`: quantize to `bits` then dequantize back to float.
+/// This is exactly the deployed-weight value; stats (if non-null) receive the
+/// round-trip error.
+Tensor quantize_dequantize(const Tensor& w, const QuantConfig& config,
+                           QuantStats* stats = nullptr);
+
+/// Snapshot of the full-precision weights, used to restore after evaluating a
+/// quantized model.
+using WeightSnapshot = std::vector<Tensor>;
+
+/// Clones all is_weight parameter tensors.
+WeightSnapshot snapshot_weights(nn::Module& model);
+
+/// Restores a snapshot taken by snapshot_weights.
+void restore_weights(nn::Module& model, const WeightSnapshot& snapshot);
+
+/// Quantizes every is_weight parameter in place (paper setting: weights only;
+/// biases and BatchNorm affine/stats stay full precision). Returns aggregate
+/// stats (max over tensors of max_abs_error / bin width, mean of MSEs).
+QuantStats quantize_module_weights(nn::Module& model, const QuantConfig& config);
+
+/// RAII helper: quantizes on construction, restores full precision on
+/// destruction. Use for post-training quantization sweeps.
+class ScopedWeightQuantization {
+ public:
+  ScopedWeightQuantization(nn::Module& model, const QuantConfig& config);
+  ~ScopedWeightQuantization();
+  ScopedWeightQuantization(const ScopedWeightQuantization&) = delete;
+  ScopedWeightQuantization& operator=(const ScopedWeightQuantization&) = delete;
+
+  const QuantStats& stats() const { return stats_; }
+
+ private:
+  nn::Module& model_;
+  WeightSnapshot snapshot_;
+  QuantStats stats_;
+};
+
+}  // namespace hero::quant

@@ -1,0 +1,202 @@
+#include "tensor/conv_ops.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace hero {
+
+Conv2dGeom make_geom(const Shape& input, std::int64_t kernel_h, std::int64_t kernel_w,
+                     std::int64_t stride, std::int64_t pad) {
+  HERO_CHECK_MSG(input.size() == 4, "conv input must be [N, C, H, W], got "
+                                        << shape_to_string(input));
+  Conv2dGeom g;
+  g.batch = input[0];
+  g.channels = input[1];
+  g.in_h = input[2];
+  g.in_w = input[3];
+  g.kernel_h = kernel_h;
+  g.kernel_w = kernel_w;
+  g.stride = stride;
+  g.pad = pad;
+  HERO_CHECK_MSG(stride >= 1 && pad >= 0 && kernel_h >= 1 && kernel_w >= 1,
+                 "invalid conv geometry");
+  HERO_CHECK_MSG(g.out_h() >= 1 && g.out_w() >= 1,
+                 "conv output would be empty for input " << shape_to_string(input));
+  return g;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t patch = g.channels * g.kernel_h * g.kernel_w;
+  Tensor cols(Shape{g.batch * oh * ow, patch});
+  const float* src = input.data();
+  float* dst = cols.data();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float* row = dst + ((n * oh + y) * ow + x) * patch;
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          const float* plane = src + (n * g.channels + c) * g.in_h * g.in_w;
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::int64_t iy = y * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::int64_t ix = x * g.stride + kx - g.pad;
+              const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+              *row++ = inside ? plane[iy * g.in_w + ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dGeom& g) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t patch = g.channels * g.kernel_h * g.kernel_w;
+  HERO_CHECK_MSG(cols.ndim() == 2 && cols.dim(0) == g.batch * oh * ow && cols.dim(1) == patch,
+                 "col2im: cols shape " << shape_to_string(cols.shape())
+                                       << " does not match geometry");
+  Tensor out(Shape{g.batch, g.channels, g.in_h, g.in_w});
+  const float* src = cols.data();
+  float* dst = out.data();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float* row = src + ((n * oh + y) * ow + x) * patch;
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          float* plane = dst + (n * g.channels + c) * g.in_h * g.in_w;
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::int64_t iy = y * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::int64_t ix = x * g.stride + kx - g.pad;
+              const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+              if (inside) plane[iy * g.in_w + ix] += *row;
+              ++row;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride) {
+  const Conv2dGeom g = make_geom(input.shape(), kernel, kernel, stride, /*pad=*/0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  Tensor out(Shape{g.batch, g.channels, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  const float* src = input.data();
+  float* dst = out.data();
+  for (std::int64_t nc = 0; nc < g.batch * g.channels; ++nc) {
+    const float* plane = src + nc * g.in_h * g.in_w;
+    float* oplane = dst + nc * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float acc = 0.0f;
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            acc += plane[(y * stride + ky) * g.in_w + (x * stride + kx)];
+          }
+        }
+        oplane[y * ow + x] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool2d_backward(const Tensor& grad_out, const Conv2dGeom& g) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  HERO_CHECK_MSG(grad_out.ndim() == 4 && grad_out.dim(0) == g.batch &&
+                     grad_out.dim(1) == g.channels && grad_out.dim(2) == oh &&
+                     grad_out.dim(3) == ow,
+                 "avgpool2d_backward: grad shape mismatch");
+  Tensor out(Shape{g.batch, g.channels, g.in_h, g.in_w});
+  const float inv = 1.0f / static_cast<float>(g.kernel_h * g.kernel_w);
+  const float* src = grad_out.data();
+  float* dst = out.data();
+  for (std::int64_t nc = 0; nc < g.batch * g.channels; ++nc) {
+    const float* gplane = src + nc * oh * ow;
+    float* plane = dst + nc * g.in_h * g.in_w;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float v = gplane[y * ow + x] * inv;
+        for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+          for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
+            plane[(y * g.stride + ky) * g.in_w + (x * g.stride + kx)] += v;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MaxPoolResult maxpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride) {
+  const Conv2dGeom g = make_geom(input.shape(), kernel, kernel, stride, /*pad=*/0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  MaxPoolResult result{Tensor(Shape{g.batch, g.channels, oh, ow}), {}};
+  result.argmax.resize(static_cast<std::size_t>(result.output.numel()));
+  const float* src = input.data();
+  float* dst = result.output.data();
+  std::int64_t out_i = 0;
+  for (std::int64_t nc = 0; nc < g.batch * g.channels; ++nc) {
+    const float* plane = src + nc * g.in_h * g.in_w;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_at = 0;
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            const std::int64_t at = (y * stride + ky) * g.in_w + (x * stride + kx);
+            if (plane[at] > best) {
+              best = plane[at];
+              best_at = at;
+            }
+          }
+        }
+        dst[out_i] = best;
+        result.argmax[static_cast<std::size_t>(out_i)] = nc * g.in_h * g.in_w + best_at;
+        ++out_i;
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_scatter(const Tensor& grad_out, const std::vector<std::int64_t>& argmax,
+                         const Shape& input_shape) {
+  HERO_CHECK_MSG(static_cast<std::size_t>(grad_out.numel()) == argmax.size(),
+                 "maxpool2d_scatter: index count mismatch");
+  Tensor out(input_shape);
+  const float* src = grad_out.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    dst[argmax[i]] += src[i];
+  }
+  return out;
+}
+
+Tensor maxpool2d_gather(const Tensor& input, const std::vector<std::int64_t>& argmax,
+                        const Shape& output_shape) {
+  Tensor out(output_shape);
+  HERO_CHECK_MSG(static_cast<std::size_t>(out.numel()) == argmax.size(),
+                 "maxpool2d_gather: index count mismatch");
+  const float* src = input.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    dst[i] = src[argmax[i]];
+  }
+  return out;
+}
+
+}  // namespace hero

@@ -1,0 +1,69 @@
+// Convolution and pooling kernels on raw tensors.
+//
+// Convolution layers are composed as matmul(im2col(x), W) in the autograd
+// layer; because im2col and col2im are mutually transposed linear maps, the
+// whole composition is differentiable to arbitrary order for free. Pooling
+// ships forward kernels plus the linear scatter/gather pair used by its
+// backward pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hero {
+
+/// Static geometry of a 2-D convolution / pooling window.
+struct Conv2dGeom {
+  std::int64_t batch = 0;
+  std::int64_t channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+};
+
+/// Builds geometry from an input shape [N, C, H, W]; validates extents.
+Conv2dGeom make_geom(const Shape& input, std::int64_t kernel_h, std::int64_t kernel_w,
+                     std::int64_t stride, std::int64_t pad);
+
+/// Unfolds [N, C, H, W] into patch rows [N * OH * OW, C * KH * KW]
+/// (zero padding). Linear in the input.
+Tensor im2col(const Tensor& input, const Conv2dGeom& g);
+
+/// Transpose of im2col: folds patch rows back into [N, C, H, W],
+/// accumulating overlapping contributions.
+Tensor col2im(const Tensor& cols, const Conv2dGeom& g);
+
+/// Average pooling over kernel windows; returns [N, C, OH, OW].
+Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride);
+
+/// Transpose of avgpool2d: spreads gradients back uniformly over windows.
+Tensor avgpool2d_backward(const Tensor& grad_out, const Conv2dGeom& g);
+
+/// Max pooling; also emits the flat input index chosen for every output
+/// element so the backward scatter (and its transposed gather) are linear
+/// maps given the indices.
+struct MaxPoolResult {
+  Tensor output;                     ///< [N, C, OH, OW]
+  std::vector<std::int64_t> argmax;  ///< flat index into the input per output element
+};
+MaxPoolResult maxpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride);
+
+/// Scatters grad_out[i] into position argmax[i] of a zero tensor shaped like
+/// the pooling input.
+Tensor maxpool2d_scatter(const Tensor& grad_out, const std::vector<std::int64_t>& argmax,
+                         const Shape& input_shape);
+
+/// Gathers input[argmax[i]] into a tensor shaped like the pooling output
+/// (transpose of maxpool2d_scatter).
+Tensor maxpool2d_gather(const Tensor& input, const std::vector<std::int64_t>& argmax,
+                        const Shape& output_shape);
+
+}  // namespace hero

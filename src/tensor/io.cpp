@@ -1,0 +1,97 @@
+#include "tensor/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace hero {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'T', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  HERO_CHECK_MSG(in.good(), "tensor stream truncated");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  HERO_CHECK_MSG(in.good(), "tensor stream truncated in string");
+  return s;
+}
+
+}  // namespace
+
+void save_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.ndim()));
+  for (const std::int64_t d : t.shape()) write_pod(out, d);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  HERO_CHECK_MSG(out.good(), "tensor write failed");
+}
+
+Tensor load_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  HERO_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0, "bad tensor magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(version == kVersion, "unsupported tensor version " << version);
+  const auto rank = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(rank <= 8, "implausible tensor rank " << rank);
+  Shape shape(rank);
+  for (auto& d : shape) d = read_pod<std::int64_t>(in);
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  HERO_CHECK_MSG(in.good(), "tensor payload truncated");
+  return t;
+}
+
+void save_tensors(const std::string& path, const std::vector<NamedTensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  HERO_CHECK_MSG(out.good(), "cannot open checkpoint for writing: " << path);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_string(out, name);
+    save_tensor(out, tensor);
+  }
+}
+
+std::vector<NamedTensor> load_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HERO_CHECK_MSG(in.good(), "cannot open checkpoint for reading: " << path);
+  const auto count = read_pod<std::uint32_t>(in);
+  std::vector<NamedTensor> tensors;
+  tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NamedTensor nt;
+    nt.name = read_string(in);
+    nt.tensor = load_tensor(in);
+    tensors.push_back(std::move(nt));
+  }
+  return tensors;
+}
+
+}  // namespace hero

@@ -1,0 +1,27 @@
+// Binary tensor (de)serialization for checkpoints.
+//
+// Format: "HTSR" magic, u32 version, u32 rank, i64 extents, then float32
+// payload, little-endian. Checkpoints store a sequence of named tensors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hero {
+
+void save_tensor(std::ostream& out, const Tensor& t);
+Tensor load_tensor(std::istream& in);
+
+/// Named tensor collection, the checkpoint unit for models/optimizers.
+struct NamedTensor {
+  std::string name;
+  Tensor tensor;
+};
+
+void save_tensors(const std::string& path, const std::vector<NamedTensor>& tensors);
+std::vector<NamedTensor> load_tensors(const std::string& path);
+
+}  // namespace hero

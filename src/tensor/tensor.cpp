@@ -1,0 +1,667 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero {
+
+namespace {
+
+/// Row-major strides for a shape (stride of innermost dim is 1).
+std::vector<std::int64_t> contiguous_strides(const Shape& shape) {
+  std::vector<std::int64_t> strides(shape.size(), 1);
+  for (std::int64_t i = static_cast<std::int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+/// Strides for reading `shape` as if broadcast to `out_shape`: broadcast
+/// dimensions get stride 0. `shape` is right-aligned against `out_shape`.
+std::vector<std::int64_t> broadcast_strides(const Shape& shape, const Shape& out_shape) {
+  const auto in_strides = contiguous_strides(shape);
+  std::vector<std::int64_t> strides(out_shape.size(), 0);
+  const std::int64_t offset =
+      static_cast<std::int64_t>(out_shape.size()) - static_cast<std::int64_t>(shape.size());
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] != 1) strides[static_cast<std::size_t>(offset) + i] = in_strides[i];
+  }
+  return strides;
+}
+
+/// Applies `fn(a_elem, b_elem)` over the broadcast of a and b.
+template <typename F>
+Tensor broadcast_binary(const Tensor& a, const Tensor& b, F fn) {
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const auto sa = broadcast_strides(a.shape(), out_shape);
+  const auto sb = broadcast_strides(b.shape(), out_shape);
+  const auto ndim = static_cast<std::int64_t>(out_shape.size());
+  std::vector<std::int64_t> idx(out_shape.size(), 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  std::int64_t off_a = 0;
+  std::int64_t off_b = 0;
+  const std::int64_t n = out.numel();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[off_a], pb[off_b]);
+    // Odometer increment of the multi-index, updating offsets incrementally.
+    for (std::int64_t d = ndim - 1; d >= 0; --d) {
+      idx[d] += 1;
+      off_a += sa[d];
+      off_b += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      off_a -= sa[d] * out_shape[d];
+      off_b -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary_map(const Tensor& a, F fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    HERO_CHECK_MSG(d >= 0, "negative extent in shape " << shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Shape broadcast_shapes(const Shape& a, const Shape& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  Shape out(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t da = i < n - a.size() ? 1 : a[i - (n - a.size())];
+    const std::int64_t db = i < n - b.size() ? 1 : b[i - (n - b.size())];
+    HERO_CHECK_MSG(da == db || da == 1 || db == 1,
+                   "cannot broadcast " << shape_to_string(a) << " with " << shape_to_string(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor::Tensor() : Tensor(Shape{}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(static_cast<std::size_t>(numel_), 0.0f)) {}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::scalar(float value) { return full(Shape{}, value); }
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  HERO_CHECK_MSG(shape_numel(shape) == static_cast<std::int64_t>(values.size()),
+                 "from_vector: " << values.size() << " values for shape "
+                                 << shape_to_string(shape));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<std::int64_t>(values.size());
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = static_cast<float>(rng.normal());
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t(Shape{n});
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  HERO_CHECK_MSG(axis >= 0 && axis < ndim(), "dim axis " << axis << " out of range");
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> index) const {
+  HERO_CHECK_MSG(static_cast<std::int64_t>(index.size()) == ndim(),
+                 "at(): rank mismatch for shape " << shape_to_string(shape_));
+  const auto strides = contiguous_strides(shape_);
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (const std::int64_t i : index) {
+    HERO_CHECK_MSG(i >= 0 && i < shape_[d], "at(): index out of range");
+    flat += i * strides[d];
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> index) {
+  return (*storage_)[static_cast<std::size_t>(flat_index(index))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return (*storage_)[static_cast<std::size_t>(flat_index(index))];
+}
+
+float Tensor::item() const {
+  HERO_CHECK_MSG(numel_ == 1, "item() on tensor with " << numel_ << " elements");
+  return (*storage_)[0];
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  // Support a single -1 extent, inferred from the remaining extents.
+  std::int64_t known = 1;
+  std::int64_t infer_at = -1;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      HERO_CHECK_MSG(infer_at == -1, "reshape: more than one -1 extent");
+      infer_at = static_cast<std::int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    HERO_CHECK_MSG(known > 0 && numel_ % known == 0,
+                   "reshape: cannot infer extent for " << shape_to_string(shape));
+    shape[static_cast<std::size_t>(infer_at)] = numel_ / known;
+  }
+  HERO_CHECK_MSG(shape_numel(shape) == numel_, "reshape " << shape_to_string(shape_) << " -> "
+                                                          << shape_to_string(shape)
+                                                          << " changes element count");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = numel_;
+  t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::permute(const std::vector<std::int64_t>& perm) const {
+  HERO_CHECK_MSG(static_cast<std::int64_t>(perm.size()) == ndim(), "permute: rank mismatch");
+  Shape out_shape(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const std::int64_t p = perm[i];
+    HERO_CHECK_MSG(p >= 0 && p < ndim() && !seen[static_cast<std::size_t>(p)],
+                   "permute: invalid permutation");
+    seen[static_cast<std::size_t>(p)] = true;
+    out_shape[i] = shape_[static_cast<std::size_t>(p)];
+  }
+  Tensor out(out_shape);
+  const auto in_strides = contiguous_strides(shape_);
+  // Stride of output dim i is the input stride of the axis it came from.
+  std::vector<std::int64_t> gather_strides(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    gather_strides[i] = in_strides[static_cast<std::size_t>(perm[i])];
+  }
+  const float* src = data();
+  float* dst = out.data();
+  std::vector<std::int64_t> idx(out_shape.size(), 0);
+  std::int64_t src_off = 0;
+  const std::int64_t n = out.numel();
+  const auto nd = static_cast<std::int64_t>(out_shape.size());
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    dst[flat] = src[src_off];
+    for (std::int64_t d = nd - 1; d >= 0; --d) {
+      idx[d] += 1;
+      src_off += gather_strides[d];
+      if (idx[d] < out_shape[d]) break;
+      src_off -= gather_strides[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transpose2d() const {
+  HERO_CHECK_MSG(ndim() == 2, "transpose2d on rank-" << ndim() << " tensor");
+  return permute({1, 0});
+}
+
+Tensor Tensor::narrow(std::int64_t axis, std::int64_t start, std::int64_t length) const {
+  if (axis < 0) axis += ndim();
+  HERO_CHECK_MSG(axis >= 0 && axis < ndim(), "narrow: bad axis");
+  HERO_CHECK_MSG(start >= 0 && length >= 0 && start + length <= dim(axis),
+                 "narrow: range out of bounds");
+  Shape out_shape = shape_;
+  out_shape[static_cast<std::size_t>(axis)] = length;
+  Tensor out(out_shape);
+  // Treat the tensor as [outer, axis_extent, inner] and copy slabs.
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= shape_[static_cast<std::size_t>(d)];
+  std::int64_t inner = 1;
+  for (std::int64_t d = axis + 1; d < ndim(); ++d) inner *= shape_[static_cast<std::size_t>(d)];
+  const std::int64_t in_axis = dim(axis);
+  const float* src = data();
+  float* dst = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* s = src + (o * in_axis + start) * inner;
+    float* d = dst + o * length * inner;
+    std::memcpy(d, s, static_cast<std::size_t>(length * inner) * sizeof(float));
+  }
+  return out;
+}
+
+void Tensor::fill_(float value) { std::fill(storage_->begin(), storage_->end(), value); }
+
+void Tensor::add_(const Tensor& other, float alpha) {
+  HERO_CHECK_MSG(other.numel() == numel_, "add_: element count mismatch");
+  float* p = data();
+  const float* q = other.data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] += alpha * q[i];
+}
+
+void Tensor::mul_(float value) {
+  float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] *= value;
+}
+
+void Tensor::copy_(const Tensor& other) {
+  HERO_CHECK_MSG(other.numel() == numel_, "copy_: element count mismatch");
+  std::memcpy(data(), other.data(), static_cast<std::size_t>(numel_) * sizeof(float));
+}
+
+Tensor Tensor::sum() const {
+  // Pairwise-style two-pass accumulation in double for accuracy.
+  double acc = 0.0;
+  const float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) acc += p[i];
+  return Tensor::scalar(static_cast<float>(acc));
+}
+
+Tensor Tensor::sum(const std::vector<std::int64_t>& axes, bool keepdims) const {
+  std::vector<bool> reduce(shape_.size(), false);
+  for (std::int64_t a : axes) {
+    if (a < 0) a += ndim();
+    HERO_CHECK_MSG(a >= 0 && a < ndim(), "sum: axis out of range");
+    reduce[static_cast<std::size_t>(a)] = true;
+  }
+  Shape kept_shape = shape_;  // with reduced extents set to 1
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    if (reduce[d]) kept_shape[d] = 1;
+  }
+  Tensor out(kept_shape);
+  // Accumulate into out via broadcast-style odometer over the input.
+  const auto out_strides_full = broadcast_strides(kept_shape, shape_);
+  const float* src = data();
+  float* dst = out.data();
+  std::vector<std::int64_t> idx(shape_.size(), 0);
+  std::int64_t dst_off = 0;
+  const auto nd = static_cast<std::int64_t>(shape_.size());
+  for (std::int64_t flat = 0; flat < numel_; ++flat) {
+    dst[dst_off] += src[flat];
+    for (std::int64_t d = nd - 1; d >= 0; --d) {
+      idx[d] += 1;
+      dst_off += out_strides_full[d];
+      if (idx[d] < shape_[static_cast<std::size_t>(d)]) break;
+      dst_off -= out_strides_full[d] * shape_[static_cast<std::size_t>(d)];
+      idx[d] = 0;
+    }
+  }
+  if (keepdims) return out;
+  Shape squeezed;
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    if (!reduce[d]) squeezed.push_back(shape_[d]);
+  }
+  return out.reshape(std::move(squeezed));
+}
+
+Tensor Tensor::mean() const { return mul_scalar(sum(), 1.0f / static_cast<float>(numel_)); }
+
+Tensor Tensor::mean(const std::vector<std::int64_t>& axes, bool keepdims) const {
+  std::int64_t count = 1;
+  for (std::int64_t a : axes) {
+    if (a < 0) a += ndim();
+    count *= dim(a);
+  }
+  return mul_scalar(sum(axes, keepdims), 1.0f / static_cast<float>(count));
+}
+
+Tensor Tensor::reduce_max(std::int64_t axis, bool keepdims) const {
+  if (axis < 0) axis += ndim();
+  HERO_CHECK_MSG(axis >= 0 && axis < ndim(), "reduce_max: axis out of range");
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= shape_[static_cast<std::size_t>(d)];
+  std::int64_t inner = 1;
+  for (std::int64_t d = axis + 1; d < ndim(); ++d) inner *= shape_[static_cast<std::size_t>(d)];
+  const std::int64_t extent = dim(axis);
+  HERO_CHECK_MSG(extent > 0, "reduce_max over empty axis");
+  Shape out_shape = shape_;
+  out_shape[static_cast<std::size_t>(axis)] = 1;
+  Tensor out(out_shape);
+  const float* src = data();
+  float* dst = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      float best = src[o * extent * inner + i];
+      for (std::int64_t k = 1; k < extent; ++k) {
+        best = std::max(best, src[(o * extent + k) * inner + i]);
+      }
+      dst[o * inner + i] = best;
+    }
+  }
+  if (keepdims) return out;
+  Shape squeezed;
+  for (std::int64_t d = 0; d < ndim(); ++d) {
+    if (d != axis) squeezed.push_back(shape_[static_cast<std::size_t>(d)]);
+  }
+  return out.reshape(std::move(squeezed));
+}
+
+Tensor Tensor::argmax(std::int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  HERO_CHECK_MSG(axis >= 0 && axis < ndim(), "argmax: axis out of range");
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= shape_[static_cast<std::size_t>(d)];
+  std::int64_t inner = 1;
+  for (std::int64_t d = axis + 1; d < ndim(); ++d) inner *= shape_[static_cast<std::size_t>(d)];
+  const std::int64_t extent = dim(axis);
+  Shape out_shape;
+  for (std::int64_t d = 0; d < ndim(); ++d) {
+    if (d != axis) out_shape.push_back(shape_[static_cast<std::size_t>(d)]);
+  }
+  Tensor out(out_shape);
+  const float* src = data();
+  float* dst = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      float best = src[o * extent * inner + i];
+      std::int64_t best_k = 0;
+      for (std::int64_t k = 1; k < extent; ++k) {
+        const float v = src[(o * extent + k) * inner + i];
+        if (v > best) {
+          best = v;
+          best_k = k;
+        }
+      }
+      dst[o * inner + i] = static_cast<float>(best_k);
+    }
+  }
+  return out;
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  const float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) acc += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::l1_norm() const {
+  double acc = 0.0;
+  const float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) acc += std::fabs(p[i]);
+  return static_cast<float>(acc);
+}
+
+float Tensor::max_abs() const {
+  float best = 0.0f;
+  const float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) best = std::max(best, std::fabs(p[i]));
+  return best;
+}
+
+float Tensor::min_value() const {
+  HERO_CHECK(numel_ > 0);
+  const float* p = data();
+  float best = p[0];
+  for (std::int64_t i = 1; i < numel_; ++i) best = std::min(best, p[i]);
+  return best;
+}
+
+float Tensor::max_value() const {
+  HERO_CHECK(numel_ > 0);
+  const float* p = data();
+  float best = p[0];
+  for (std::int64_t i = 1; i < numel_; ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+Tensor Tensor::map(float (*fn)(float)) const { return unary_map(*this, fn); }
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor divide(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_map(a, [s](float x) { return x + s; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_map(a, [s](float x) { return x * s; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_map(a, [](float x) { return std::exp(x); });
+}
+
+Tensor log(const Tensor& a) {
+  return unary_map(a, [](float x) { return std::log(x); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary_map(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary_map(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor abs(const Tensor& a) {
+  return unary_map(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor sign(const Tensor& a) {
+  return unary_map(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor pow_scalar(const Tensor& a, float exponent) {
+  return unary_map(a, [exponent](float x) { return std::pow(x, exponent); });
+}
+
+Tensor step_positive(const Tensor& a) {
+  return unary_map(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  HERO_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2,
+                 "matmul expects rank-2 operands, got " << shape_to_string(a.shape()) << " x "
+                                                        << shape_to_string(b.shape()));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  HERO_CHECK_MSG(b.dim(0) == k, "matmul inner extents differ: " << shape_to_string(a.shape())
+                                                                << " x "
+                                                                << shape_to_string(b.shape()));
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order keeps the innermost accesses contiguous in b and out.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    const float* a_row = pa + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor sum_to(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  HERO_CHECK_MSG(broadcast_shapes(t.shape(), target) == t.shape(),
+                 "sum_to: target " << shape_to_string(target) << " does not broadcast to "
+                                   << shape_to_string(t.shape()));
+  // Sum the leading extra dims, then the dims where target extent is 1.
+  const std::int64_t extra = t.ndim() - static_cast<std::int64_t>(target.size());
+  std::vector<std::int64_t> axes;
+  for (std::int64_t d = 0; d < extra; ++d) axes.push_back(d);
+  for (std::size_t d = 0; d < target.size(); ++d) {
+    if (target[d] == 1 && t.dim(extra + static_cast<std::int64_t>(d)) != 1) {
+      axes.push_back(extra + static_cast<std::int64_t>(d));
+    }
+  }
+  Tensor out = axes.empty() ? t : t.sum(axes, /*keepdims=*/true);
+  return out.reshape(target);
+}
+
+Tensor broadcast_to(const Tensor& t, const Shape& target) {
+  HERO_CHECK_MSG(broadcast_shapes(t.shape(), target) == target,
+                 "broadcast_to: " << shape_to_string(t.shape()) << " does not broadcast to "
+                                  << shape_to_string(target));
+  return add(t, Tensor::zeros(target));
+}
+
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t axis) {
+  HERO_CHECK(!parts.empty());
+  const Tensor& first = parts.front();
+  if (axis < 0) axis += first.ndim();
+  HERO_CHECK_MSG(axis >= 0 && axis < first.ndim(), "concat: bad axis");
+  Shape out_shape = first.shape();
+  std::int64_t total = 0;
+  for (const Tensor& p : parts) {
+    HERO_CHECK_MSG(p.ndim() == first.ndim(), "concat: rank mismatch");
+    for (std::int64_t d = 0; d < first.ndim(); ++d) {
+      if (d != axis) HERO_CHECK_MSG(p.dim(d) == first.dim(d), "concat: extent mismatch");
+    }
+    total += p.dim(axis);
+  }
+  out_shape[static_cast<std::size_t>(axis)] = total;
+  Tensor out(out_shape);
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= first.dim(d);
+  std::int64_t inner = 1;
+  for (std::int64_t d = axis + 1; d < first.ndim(); ++d) inner *= first.dim(d);
+  float* dst = out.data();
+  std::int64_t axis_off = 0;
+  for (const Tensor& p : parts) {
+    const std::int64_t extent = p.dim(axis);
+    const float* src = p.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      std::memcpy(dst + (o * total + axis_off) * inner, src + o * extent * inner,
+                  static_cast<std::size_t>(extent * inner) * sizeof(float));
+    }
+    axis_off += extent;
+  }
+  return out;
+}
+
+Tensor one_hot(const Tensor& labels, std::int64_t classes) {
+  HERO_CHECK_MSG(labels.ndim() == 1, "one_hot expects rank-1 labels");
+  const std::int64_t n = labels.numel();
+  Tensor out(Shape{n, classes});
+  const float* src = labels.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int64_t>(src[i]);
+    HERO_CHECK_MSG(c >= 0 && c < classes, "one_hot: label " << c << " out of range");
+    dst[i * classes + c] = 1.0f;
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  HERO_CHECK_MSG(a.numel() == b.numel(), "max_abs_diff: element count mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float best = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    best = std::max(best, std::fabs(pa[i] - pb[i]));
+  }
+  return best;
+}
+
+}  // namespace hero

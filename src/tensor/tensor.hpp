@@ -1,0 +1,181 @@
+// Dense row-major float32 N-D tensor.
+//
+// This is the numerical substrate for the whole repository. Design points:
+//  * Value type with shared, contiguous storage: copying a Tensor is O(1) and
+//    aliases the buffer; clone() deep-copies. Ops return fresh tensors; the
+//    only mutating entry points are the explicitly suffixed *_ methods and
+//    data(), which optimizers use deliberately.
+//  * NumPy-style right-aligned broadcasting on elementwise binary ops.
+//  * Reductions over arbitrary axis subsets with keepdims, so autograd
+//    backward passes can re-broadcast without special cases.
+//  * No expression templates or laziness: models here are small and the goal
+//    is auditable numerics (every op independently gradient-checked).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hero {
+
+/// Tensor extents, outermost dimension first. A rank-0 tensor (scalar) has an
+/// empty Shape and one element.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape.
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form for diagnostics.
+std::string shape_to_string(const Shape& shape);
+
+/// Result shape of broadcasting `a` with `b`; throws hero::Error when the
+/// shapes are incompatible.
+Shape broadcast_shapes(const Shape& a, const Shape& b);
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, one element, value 0).
+  Tensor();
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // ---- Factories ----------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor scalar(float value);
+  /// Takes ownership of `values`; size must equal shape_numel(shape).
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+  /// I.i.d. N(0, 1) entries.
+  static Tensor randn(Shape shape, Rng& rng);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// arange(n): [0, 1, ..., n-1] as a 1-D tensor.
+  static Tensor arange(std::int64_t n);
+
+  // ---- Introspection ------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t numel() const { return numel_; }
+  std::int64_t dim(std::int64_t axis) const;
+
+  /// Raw contiguous storage. Mutating through data() is visible to all
+  /// tensors sharing this buffer; optimizers rely on that.
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  /// Element access by multi-index (slow; for tests and small setups).
+  float& at(std::initializer_list<std::int64_t> index);
+  float at(std::initializer_list<std::int64_t> index) const;
+
+  /// Value of a one-element tensor.
+  float item() const;
+
+  /// True when both tensors alias the same storage buffer.
+  bool shares_storage_with(const Tensor& other) const { return storage_ == other.storage_; }
+
+  // ---- Copies and views ---------------------------------------------------
+  /// Deep copy.
+  Tensor clone() const;
+  /// Same storage, new shape; numel must match. One extent may be -1 and is
+  /// inferred.
+  Tensor reshape(Shape shape) const;
+  /// Deep-copied permutation of axes (e.g. {1, 0} transposes a matrix).
+  Tensor permute(const std::vector<std::int64_t>& perm) const;
+  /// 2-D transpose convenience.
+  Tensor transpose2d() const;
+  /// Contiguous sub-tensor covering [start, start+length) along `axis`.
+  Tensor narrow(std::int64_t axis, std::int64_t start, std::int64_t length) const;
+
+  // ---- In-place (explicitly mutating; shared storage is affected) ---------
+  void fill_(float value);
+  void add_(const Tensor& other, float alpha = 1.0f);  ///< this += alpha*other
+  void mul_(float value);                              ///< this *= value
+  void copy_(const Tensor& other);                     ///< elementwise copy
+
+  // ---- Reductions ---------------------------------------------------------
+  /// Sum over all elements (rank-0 result).
+  Tensor sum() const;
+  /// Sum over the given axes. keepdims keeps reduced extents as 1.
+  Tensor sum(const std::vector<std::int64_t>& axes, bool keepdims) const;
+  Tensor mean() const;
+  Tensor mean(const std::vector<std::int64_t>& axes, bool keepdims) const;
+  /// Max over one axis; keepdims as above.
+  Tensor reduce_max(std::int64_t axis, bool keepdims) const;
+  /// Index of the max element along `axis` (float-valued indices).
+  Tensor argmax(std::int64_t axis) const;
+
+  // ---- Norms / scalars ----------------------------------------------------
+  float l2_norm() const;
+  float l1_norm() const;
+  float max_abs() const;
+  float min_value() const;
+  float max_value() const;
+
+  // ---- Elementwise maps (return fresh tensors) ----------------------------
+  Tensor map(float (*fn)(float)) const;
+
+ private:
+  Shape shape_;
+  std::int64_t numel_;
+  std::shared_ptr<std::vector<float>> storage_;
+
+  std::int64_t flat_index(std::initializer_list<std::int64_t> index) const;
+};
+
+// ---- Broadcasting elementwise arithmetic ----------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor divide(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return divide(a, b); }
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+inline Tensor operator+(const Tensor& a, float s) { return add_scalar(a, s); }
+inline Tensor operator*(const Tensor& a, float s) { return mul_scalar(a, s); }
+inline Tensor operator*(float s, const Tensor& a) { return mul_scalar(a, s); }
+inline Tensor operator-(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+// ---- Elementwise functions -------------------------------------------------
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor sign(const Tensor& a);
+/// Elementwise power with a scalar exponent.
+Tensor pow_scalar(const Tensor& a, float exponent);
+/// 1 where a > 0 else 0 (used for relu backward).
+Tensor step_positive(const Tensor& a);
+
+// ---- Linear algebra ---------------------------------------------------------
+/// Matrix product of [M, K] x [K, N] -> [M, N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ---- Shape manipulation -----------------------------------------------------
+/// Sums `t` down to `target` (inverse of broadcasting); shapes must be
+/// broadcast-compatible with target <= t.
+Tensor sum_to(const Tensor& t, const Shape& target);
+/// Materializes `t` broadcast to `target`.
+Tensor broadcast_to(const Tensor& t, const Shape& target);
+/// Concatenates tensors along `axis`; all other extents must match.
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t axis);
+/// One-hot encodes integer labels (given as floats) into [n, classes].
+Tensor one_hot(const Tensor& labels, std::int64_t classes);
+
+// ---- Comparisons ------------------------------------------------------------
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f, float atol = 1e-7f);
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace hero

@@ -1,0 +1,157 @@
+#include "autograd/functional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+
+namespace hero::ag {
+namespace {
+
+TEST(LogSoftmax, RowsAreLogProbabilities) {
+  Rng rng(1);
+  const Variable logits = Variable::leaf(Tensor::randn({4, 5}, rng));
+  const Variable logp = log_softmax(logits);
+  // exp(logp) sums to 1 per row.
+  const Tensor probs = hero::exp(logp.value());
+  const Tensor row_sums = probs.sum({1}, false);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(row_sums.data()[i], 1.0f, 1e-5f);
+  }
+}
+
+TEST(LogSoftmax, StableUnderLargeLogits) {
+  const Variable logits =
+      Variable::leaf(Tensor::from_vector({1, 3}, {1000.0f, 1001.0f, 999.0f}));
+  const Variable logp = log_softmax(logits);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(logp.value().data()[i]));
+  }
+  // max logit keeps highest probability.
+  EXPECT_GT(logp.value().data()[1], logp.value().data()[0]);
+}
+
+TEST(LogSoftmax, ShiftInvariance) {
+  Rng rng(2);
+  const Tensor base = Tensor::randn({3, 4}, rng);
+  const Variable a = Variable::leaf(base.clone());
+  const Variable b = Variable::leaf(hero::add_scalar(base, 100.0f));
+  EXPECT_TRUE(allclose(log_softmax(a).value(), log_softmax(b).value(), 1e-3f, 1e-3f));
+}
+
+TEST(CrossEntropy, KnownValueUniformLogits) {
+  // Uniform logits -> loss = log(C).
+  const Variable logits = Variable::leaf(Tensor::zeros({2, 4}));
+  const Tensor labels = Tensor::from_vector({2}, {0, 3});
+  const Variable loss = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(loss.value().item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  Tensor logits_t = Tensor::zeros({2, 3});
+  logits_t.at({0, 1}) = 20.0f;
+  logits_t.at({1, 2}) = 20.0f;
+  const Variable logits = Variable::leaf(logits_t);
+  const Tensor labels = Tensor::from_vector({2}, {1, 2});
+  const Variable loss = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(loss.value().item(), 1e-3f);
+}
+
+TEST(CrossEntropy, GradcheckPasses) {
+  Rng rng(3);
+  const Tensor labels = Tensor::from_vector({4}, {0, 2, 1, 2});
+  const auto fn = [&labels](const std::vector<Variable>& in) {
+    return softmax_cross_entropy(in[0], labels);
+  };
+  std::vector<Variable> inputs{Variable::leaf(Tensor::randn({4, 3}, rng))};
+  const auto result = gradcheck(fn, inputs, 1e-2f, 2e-2f);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(CrossEntropy, HvpCheckPasses) {
+  // The critical property for HERO: cross-entropy must be twice
+  // differentiable through our graph.
+  Rng rng(4);
+  const Tensor labels = Tensor::from_vector({4}, {0, 2, 1, 2});
+  const auto fn = [&labels](const std::vector<Variable>& in) {
+    return softmax_cross_entropy(in[0], labels);
+  };
+  std::vector<Variable> inputs{Variable::leaf(Tensor::randn({4, 3}, rng))};
+  Rng probe(5);
+  const auto result = hvp_check(fn, inputs, probe, 1e-2f, 5e-2f);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  Rng rng(6);
+  const Variable logits = Variable::leaf(Tensor::randn({3, 4}, rng));
+  const Tensor labels = Tensor::from_vector({3}, {1, 0, 3});
+  const Variable loss = softmax_cross_entropy(logits, labels);
+  const auto g = grad(loss, {logits});
+  const Tensor probs = hero::exp(log_softmax(logits).value());
+  const Tensor expected =
+      hero::mul_scalar(hero::sub(probs, one_hot(labels, 4)), 1.0f / 3.0f);
+  EXPECT_TRUE(allclose(g[0].value(), expected, 1e-3f, 1e-4f));
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits = Tensor::from_vector({3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  Tensor labels = Tensor::from_vector({3}, {0, 1, 1});
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Norms, SumSquaresAndL2) {
+  const Variable v = Variable::leaf(Tensor::from_vector({3}, {3.0f, 0.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(sum_squares(v).value().item(), 25.0f);
+  EXPECT_NEAR(l2_norm(v).value().item(), 5.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(l1_norm(v).value().item(), 7.0f);
+}
+
+TEST(Norms, L2NormGradientIsUnitVector) {
+  const Variable v = Variable::leaf(Tensor::from_vector({2}, {3.0f, 4.0f}));
+  const auto g = grad(l2_norm(v), {v});
+  EXPECT_NEAR(g[0].value().data()[0], 0.6f, 1e-4f);
+  EXPECT_NEAR(g[0].value().data()[1], 0.8f, 1e-4f);
+}
+
+TEST(Norms, L2NormFiniteGradientAtZero) {
+  const Variable v = Variable::leaf(Tensor::zeros({3}));
+  const auto g = grad(l2_norm(v), {v});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(g[0].value().data()[i]));
+  }
+}
+
+TEST(Norms, GroupOpsMatchConcatenation) {
+  Rng rng(8);
+  const Variable a = Variable::leaf(Tensor::randn({3}, rng));
+  const Variable b = Variable::leaf(Tensor::randn({2, 2}, rng));
+  const float ss = group_sum_squares({a, b}).value().item();
+  const float expect = a.value().l2_norm() * a.value().l2_norm() +
+                       b.value().l2_norm() * b.value().l2_norm();
+  EXPECT_NEAR(ss, expect, 1e-3f);
+  EXPECT_NEAR(group_l2_norm({a, b}).value().item(), std::sqrt(expect), 1e-3f);
+  const float l1 = group_l1_norm({a, b}).value().item();
+  EXPECT_NEAR(l1, a.value().l1_norm() + b.value().l1_norm(), 1e-3f);
+}
+
+TEST(Norms, GroupDotMatchesManual) {
+  const Variable a = Variable::leaf(Tensor::from_vector({2}, {1.0f, 2.0f}));
+  const Variable b = Variable::leaf(Tensor::from_vector({2}, {3.0f, 4.0f}));
+  const Variable c = Variable::leaf(Tensor::from_vector({2}, {5.0f, 6.0f}));
+  const Variable d = Variable::leaf(Tensor::from_vector({2}, {7.0f, 8.0f}));
+  // (1*3 + 2*4) + (5*7 + 6*8) = 11 + 83 = 94
+  EXPECT_FLOAT_EQ(group_dot({a, c}, {b, d}).value().item(), 94.0f);
+}
+
+TEST(Norms, L1NormGradientIsSign) {
+  const Variable v = Variable::leaf(Tensor::from_vector({3}, {-2.0f, 0.5f, 3.0f}));
+  const auto g = grad(l1_norm(v), {v});
+  EXPECT_FLOAT_EQ(g[0].value().data()[0], -1.0f);
+  EXPECT_FLOAT_EQ(g[0].value().data()[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[0].value().data()[2], 1.0f);
+}
+
+}  // namespace
+}  // namespace hero::ag

@@ -1,0 +1,170 @@
+// Finite-difference gradient checks for every autograd primitive.
+//
+// Each case defines a scalar function of one or two leaf tensors; gradcheck
+// compares analytic reverse-mode gradients against central differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+
+namespace hero::ag {
+namespace {
+
+struct OpCase {
+  std::string name;
+  std::vector<Shape> input_shapes;
+  ScalarFn fn;
+  // Inputs are sampled N(0,1); offset shifts them (e.g. to keep log/sqrt
+  // arguments positive).
+  float offset = 0.0f;
+  float tol = 2e-2f;
+};
+
+class OpGradcheck : public testing::TestWithParam<OpCase> {};
+
+TEST_P(OpGradcheck, MatchesFiniteDifference) {
+  const OpCase& c = GetParam();
+  Rng rng(42);
+  std::vector<Variable> inputs;
+  for (const Shape& s : c.input_shapes) {
+    Tensor t = Tensor::randn(s, rng);
+    if (c.offset != 0.0f) t = add_scalar(t.map([](float x) { return std::fabs(x); }), c.offset);
+    inputs.push_back(Variable::leaf(t));
+  }
+  const auto result = gradcheck(c.fn, inputs, 1e-2f, c.tol);
+  EXPECT_TRUE(result.passed) << c.name << ": " << result.detail
+                             << " (max rel err " << result.max_rel_error << ")";
+}
+
+// Wraps an expression in a mean so the output is scalar and well-scaled.
+Variable reduce(const Variable& v) { return mean(v); }
+
+const OpCase kCases[] = {
+    {"add", {{3, 4}, {3, 4}}, [](const auto& in) { return reduce(add(in[0], in[1])); }},
+    {"add_broadcast", {{3, 4}, {4}}, [](const auto& in) { return reduce(add(in[0], in[1])); }},
+    {"add_broadcast_col",
+     {{3, 1}, {1, 4}},
+     [](const auto& in) { return reduce(add(in[0], in[1])); }},
+    {"sub", {{2, 5}, {2, 5}}, [](const auto& in) { return reduce(sub(in[0], in[1])); }},
+    {"mul", {{3, 4}, {3, 4}}, [](const auto& in) { return reduce(mul(in[0], in[1])); }},
+    {"mul_broadcast", {{2, 3, 4}, {3, 1}},
+     [](const auto& in) { return reduce(mul(in[0], in[1])); }},
+    {"div", {{3, 3}, {3, 3}}, [](const auto& in) { return reduce(divide(in[0], in[1])); }, 0.5f},
+    {"neg", {{4}}, [](const auto& in) { return reduce(neg(in[0])); }},
+    {"add_scalar", {{4}}, [](const auto& in) { return reduce(add_scalar(in[0], 1.5f)); }},
+    {"mul_scalar", {{4}}, [](const auto& in) { return reduce(mul_scalar(in[0], -2.5f)); }},
+    {"exp", {{3, 3}}, [](const auto& in) { return reduce(exp(in[0])); }},
+    {"log", {{3, 3}}, [](const auto& in) { return reduce(log(in[0])); }, 0.5f},
+    {"sqrt", {{3, 3}}, [](const auto& in) { return reduce(sqrt(in[0])); }, 0.5f},
+    {"tanh", {{3, 3}}, [](const auto& in) { return reduce(tanh(in[0])); }},
+    {"sigmoid", {{3, 3}}, [](const auto& in) { return reduce(sigmoid(in[0])); }},
+    {"pow2", {{3, 3}}, [](const auto& in) { return reduce(pow_scalar(in[0], 2.0f)); }},
+    {"pow3", {{3, 3}}, [](const auto& in) { return reduce(pow_scalar(in[0], 3.0f)); }},
+    // relu/abs: shift away from the kink so finite differences are valid.
+    {"relu", {{3, 3}}, [](const auto& in) { return reduce(relu(in[0])); }, 0.3f},
+    {"abs", {{3, 3}}, [](const auto& in) { return reduce(abs(in[0])); }, 0.3f},
+    {"sum", {{3, 4}}, [](const auto& in) { return sum(in[0]); }},
+    {"sum_axes0", {{3, 4}}, [](const auto& in) { return reduce(sum_axes(in[0], {0}, false)); }},
+    {"sum_axes1_keep",
+     {{3, 4}},
+     [](const auto& in) { return reduce(sum_axes(in[0], {1}, true)); }},
+    {"sum_axes_multi",
+     {{2, 3, 4}},
+     [](const auto& in) { return reduce(sum_axes(in[0], {0, 2}, false)); }},
+    {"mean_axes", {{2, 6}}, [](const auto& in) { return reduce(mean_axes(in[0], {1}, false)); }},
+    {"sum_to", {{2, 3, 4}}, [](const auto& in) { return reduce(sum_to(in[0], {3, 1})); }},
+    {"broadcast_to",
+     {{3, 1}},
+     [](const auto& in) { return reduce(broadcast_to(in[0], {2, 3, 4})); }},
+    {"reshape", {{3, 4}}, [](const auto& in) { return reduce(reshape(in[0], {2, 6})); }},
+    {"permute",
+     {{2, 3, 4}},
+     [](const auto& in) { return reduce(mul(permute(in[0], {2, 0, 1}), permute(in[0], {2, 0, 1}))); }},
+    {"transpose2d", {{3, 4}}, [](const auto& in) { return reduce(mul(transpose2d(in[0]), transpose2d(in[0]))); }},
+    {"narrow", {{4, 5}}, [](const auto& in) { return reduce(mul(narrow(in[0], 1, 1, 3), narrow(in[0], 1, 1, 3))); }},
+    {"pad_narrow", {{4, 2}}, [](const auto& in) { return reduce(pow_scalar(pad_narrow(in[0], 1, 2, 6), 2.0f)); }},
+    {"matmul", {{3, 4}, {4, 5}}, [](const auto& in) { return reduce(matmul(in[0], in[1])); }},
+    {"matmul_squared",
+     {{3, 4}, {4, 3}},
+     [](const auto& in) { return reduce(pow_scalar(matmul(in[0], in[1]), 2.0f)); }},
+};
+
+INSTANTIATE_TEST_SUITE_P(Primitives, OpGradcheck, testing::ValuesIn(kCases),
+                         [](const testing::TestParamInfo<OpCase>& info) {
+                           return info.param.name;
+                         });
+
+// Convolution-shaped primitives need 4-D inputs; separate cases.
+struct ConvCase {
+  std::string name;
+  Shape input;
+  ScalarFn fn;
+  float tol = 2e-2f;
+  // maxpool uses a smaller step: a finite-difference step that crosses a
+  // window's argmax boundary would flip the selected element.
+  float eps = 1e-2f;
+};
+
+class ConvGradcheck : public testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradcheck, MatchesFiniteDifference) {
+  const ConvCase& c = GetParam();
+  Rng rng(7);
+  std::vector<Variable> inputs{Variable::leaf(Tensor::randn(c.input, rng))};
+  const auto result = gradcheck(c.fn, inputs, c.eps, c.tol);
+  EXPECT_TRUE(result.passed) << c.name << ": " << result.detail
+                             << " (max rel err " << result.max_rel_error << ")";
+}
+
+const ConvCase kConvCases[] = {
+    {"im2col_3x3",
+     {1, 2, 5, 5},
+     [](const auto& in) {
+       const auto g = make_geom(in[0].shape(), 3, 3, 1, 1);
+       return mean(pow_scalar(im2col(in[0], g), 2.0f));
+     }},
+    {"im2col_stride2",
+     {2, 1, 6, 6},
+     [](const auto& in) {
+       const auto g = make_geom(in[0].shape(), 3, 3, 2, 0);
+       return mean(pow_scalar(im2col(in[0], g), 2.0f));
+     }},
+    {"col2im",
+     {9, 4},
+     [](const auto& in) {
+       const Conv2dGeom g = make_geom({1, 1, 4, 4}, 2, 2, 1, 0);
+       return mean(pow_scalar(col2im(in[0], g), 2.0f));
+     }},
+    {"avgpool",
+     {1, 2, 4, 4},
+     [](const auto& in) { return mean(pow_scalar(avgpool2d(in[0], 2, 2), 2.0f)); }},
+    {"avgpool_stride1",
+     {1, 1, 4, 4},
+     [](const auto& in) { return mean(pow_scalar(avgpool2d(in[0], 3, 1), 2.0f)); }},
+};
+
+INSTANTIATE_TEST_SUITE_P(ConvPrimitives, ConvGradcheck, testing::ValuesIn(kConvCases),
+                         [](const testing::TestParamInfo<ConvCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(MaxPoolGradcheck, MatchesFiniteDifference) {
+  // Gaussian inputs can produce near-ties inside a pooling window (Box-Muller
+  // pairs), which a finite-difference step flips. Use a shuffled ramp instead:
+  // every pair of elements is at least 0.1 apart, far above eps.
+  Rng rng(7);
+  const auto perm = rng.permutation(32);
+  std::vector<float> vals(32);
+  for (std::size_t i = 0; i < 32; ++i) vals[i] = 0.1f * static_cast<float>(perm[i]) - 1.6f;
+  std::vector<Variable> inputs{Variable::leaf(Tensor::from_vector({1, 2, 4, 4}, vals))};
+  const auto fn = [](const std::vector<Variable>& in) {
+    return mean(pow_scalar(maxpool2d(in[0], 2, 2), 2.0f));
+  };
+  const auto result = gradcheck(fn, inputs, 1e-2f, 2e-2f);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+}  // namespace
+}  // namespace hero::ag

@@ -1,0 +1,165 @@
+// Double-backprop (create_graph) validation — the capability HERO's Hessian
+// regularizer, Gradient-ℓ1, and exact HVPs all depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/functional.hpp"
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+
+namespace hero::ag {
+namespace {
+
+TEST(SecondOrder, QuadraticHasConstantHessian) {
+  // f(w) = 3 w^2 -> f' = 6w, f'' = 6 regardless of w.
+  for (const float w0 : {-2.0f, 0.5f, 4.0f}) {
+    const Variable w = Variable::leaf(Tensor::scalar(w0));
+    const Variable f = mul_scalar(mul(w, w), 3.0f);
+    const auto g1 = grad(f, {w}, /*create_graph=*/true);
+    EXPECT_NEAR(g1[0].value().item(), 6.0f * w0, 1e-4f);
+    const auto g2 = grad(sum(g1[0]), {w});
+    EXPECT_NEAR(g2[0].value().item(), 6.0f, 1e-4f);
+  }
+}
+
+TEST(SecondOrder, CubicSecondDerivative) {
+  // f(w) = w^3 -> f'' = 6w.
+  const Variable w = Variable::leaf(Tensor::scalar(2.0f));
+  const Variable f = pow_scalar(w, 3.0f);
+  const auto g1 = grad(f, {w}, true);
+  EXPECT_NEAR(g1[0].value().item(), 12.0f, 1e-3f);
+  const auto g2 = grad(sum(g1[0]), {w}, true);
+  EXPECT_NEAR(g2[0].value().item(), 12.0f, 1e-3f);
+  // Third order: f''' = 6.
+  const auto g3 = grad(sum(g2[0]), {w});
+  EXPECT_NEAR(g3[0].value().item(), 6.0f, 1e-3f);
+}
+
+TEST(SecondOrder, ExpDerivativesAllEqual) {
+  const Variable w = Variable::leaf(Tensor::scalar(0.7f));
+  const Variable f = exp(w);
+  const float expect = std::exp(0.7f);
+  const auto g1 = grad(f, {w}, true);
+  EXPECT_NEAR(g1[0].value().item(), expect, 1e-4f);
+  const auto g2 = grad(sum(g1[0]), {w}, true);
+  EXPECT_NEAR(g2[0].value().item(), expect, 1e-4f);
+  const auto g3 = grad(sum(g2[0]), {w});
+  EXPECT_NEAR(g3[0].value().item(), expect, 1e-4f);
+}
+
+TEST(SecondOrder, WithoutCreateGraphGradsAreConstant) {
+  const Variable w = Variable::leaf(Tensor::scalar(1.0f));
+  const Variable f = mul(w, w);
+  const auto g1 = grad(f, {w}, /*create_graph=*/false);
+  EXPECT_FALSE(g1[0].requires_grad());
+}
+
+TEST(SecondOrder, WithCreateGraphGradsCarryGraph) {
+  const Variable w = Variable::leaf(Tensor::scalar(1.0f));
+  const Variable f = mul(w, w);
+  const auto g1 = grad(f, {w}, /*create_graph=*/true);
+  EXPECT_TRUE(g1[0].requires_grad());
+}
+
+TEST(SecondOrder, KnownHessianOfTwoVariableFunction) {
+  // f(x, y) = x^2 y + y^3.
+  // df/dx = 2xy; df/dy = x^2 + 3y^2.
+  // H = [[2y, 2x], [2x, 6y]]. At (x, y) = (2, 3): [[6, 4], [4, 18]].
+  const Variable x = Variable::leaf(Tensor::scalar(2.0f));
+  const Variable y = Variable::leaf(Tensor::scalar(3.0f));
+  const Variable f = add(mul(mul(x, x), y), pow_scalar(y, 3.0f));
+  const auto g = grad(f, {x, y}, true);
+  EXPECT_NEAR(g[0].value().item(), 12.0f, 1e-3f);
+  EXPECT_NEAR(g[1].value().item(), 31.0f, 1e-3f);
+  const auto hx = grad(sum(g[0]), {x, y}, true);
+  EXPECT_NEAR(hx[0].value().item(), 6.0f, 1e-3f);
+  EXPECT_NEAR(hx[1].value().item(), 4.0f, 1e-3f);
+  const auto hy = grad(sum(g[1]), {x, y});
+  EXPECT_NEAR(hy[0].value().item(), 4.0f, 1e-3f);
+  EXPECT_NEAR(hy[1].value().item(), 18.0f, 1e-3f);
+}
+
+TEST(SecondOrder, GradNormGradientMatchesAnalyticQuadratic) {
+  // f(w) = 0.5 w^T A w with A symmetric PD. grad = A w; r = ||grad||^2;
+  // dr/dw = 2 A^T A w = 2 A^2 w. This is the exact structure of HERO's
+  // regularizer gradient (Eq. 16) on a quadratic model.
+  const Tensor a_vals = Tensor::from_vector({2, 2}, {2.0f, 1.0f, 1.0f, 3.0f});
+  const Variable a = Variable::constant(a_vals);
+  const Variable w = Variable::leaf(Tensor::from_vector({2, 1}, {1.0f, -2.0f}));
+  const Variable f = mul_scalar(sum(mul(w, matmul(a, w))), 0.5f);
+  const auto g = grad(f, {w}, true);
+  // A w = (0, -5)
+  EXPECT_NEAR(g[0].value().data()[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(g[0].value().data()[1], -5.0f, 1e-3f);
+  const Variable r = sum_squares(g[0]);
+  const auto dr = grad(r, {w});
+  // 2 A^2 w: A^2 = [[5, 5], [5, 10]]; A^2 w = (-5, -15); doubled = (-10, -30).
+  EXPECT_NEAR(dr[0].value().data()[0], -10.0f, 1e-2f);
+  EXPECT_NEAR(dr[0].value().data()[1], -30.0f, 1e-2f);
+}
+
+// Parameterized HVP checks: analytic double-backprop HVP vs central
+// differences of first-order gradients, across representative compositions.
+struct HvpCase {
+  std::string name;
+  std::vector<Shape> input_shapes;
+  ScalarFn fn;
+  float offset = 0.0f;
+  float tol = 5e-2f;
+};
+
+class HvpCheck : public testing::TestWithParam<HvpCase> {};
+
+TEST_P(HvpCheck, AnalyticMatchesFiniteDifference) {
+  const HvpCase& c = GetParam();
+  Rng rng(21);
+  std::vector<Variable> inputs;
+  for (const Shape& s : c.input_shapes) {
+    Tensor t = Tensor::randn(s, rng);
+    if (c.offset != 0.0f) t = add_scalar(t.map([](float x) { return std::fabs(x); }), c.offset);
+    inputs.push_back(Variable::leaf(t));
+  }
+  Rng probe_rng(31);
+  const auto result = hvp_check(c.fn, inputs, probe_rng, 1e-2f, c.tol);
+  EXPECT_TRUE(result.passed) << c.name << ": " << result.detail
+                             << " (max rel err " << result.max_rel_error << ")";
+}
+
+const HvpCase kHvpCases[] = {
+    {"quadratic_form",
+     {{3, 1}},
+     [](const auto& in) {
+       const Variable a = Variable::constant(
+           Tensor::from_vector({3, 3}, {4, 1, 0, 1, 3, 1, 0, 1, 2}));
+       return sum(mul(in[0], matmul(a, in[0])));
+     }},
+    {"exp_sum", {{2, 3}}, [](const auto& in) { return mean(exp(mul_scalar(in[0], 0.5f))); }},
+    {"tanh_net",
+     {{4, 3}, {3, 2}},
+     [](const auto& in) { return mean(pow_scalar(tanh(matmul(in[0], in[1])), 2.0f)); }},
+    {"log_barrier", {{5}}, [](const auto& in) { return neg(mean(log(in[0]))); }, 1.0f},
+    {"deep_composition",
+     {{3, 3}},
+     [](const auto& in) {
+       const Variable h = tanh(matmul(in[0], in[0]));
+       return mean(mul(h, exp(mul_scalar(h, 0.3f))));
+     }},
+    {"broadcast_interaction",
+     {{3, 1}, {1, 4}},
+     [](const auto& in) { return mean(pow_scalar(mul(in[0], in[1]), 2.0f)); }},
+    {"conv_like",
+     {{1, 1, 4, 4}},
+     [](const auto& in) {
+       const auto g = make_geom(in[0].shape(), 3, 3, 1, 1);
+       return mean(pow_scalar(tanh(im2col(in[0], g)), 2.0f));
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(Compositions, HvpCheck, testing::ValuesIn(kHvpCases),
+                         [](const testing::TestParamInfo<HvpCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace hero::ag

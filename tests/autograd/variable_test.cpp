@@ -1,0 +1,158 @@
+// Graph-mechanics tests: leaves, constants, detach, accumulation, guards.
+#include "autograd/variable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autograd/functional.hpp"
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace hero::ag {
+namespace {
+
+TEST(Variable, LeafAndConstantFlags) {
+  const Variable leaf = Variable::leaf(Tensor::ones({2}));
+  EXPECT_TRUE(leaf.requires_grad());
+  EXPECT_TRUE(leaf.is_leaf());
+  const Variable c = Variable::constant(Tensor::ones({2}));
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.is_leaf());
+  const Variable undefined;
+  EXPECT_FALSE(undefined.defined());
+}
+
+TEST(Variable, OpsOnConstantsStayConstant) {
+  const Variable a = Variable::constant(Tensor::ones({3}));
+  const Variable b = Variable::constant(Tensor::ones({3}));
+  const Variable c = add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_FLOAT_EQ(c.value().data()[0], 2.0f);
+}
+
+TEST(Variable, OpsOnLeavesRecordGraph) {
+  const Variable a = Variable::leaf(Tensor::ones({3}));
+  const Variable c = mul_scalar(a, 2.0f);
+  EXPECT_TRUE(c.requires_grad());
+  EXPECT_FALSE(c.is_leaf());
+  EXPECT_EQ(c.op_name(), "mul_scalar");
+}
+
+TEST(Variable, NoGradGuardDisablesRecording) {
+  const Variable a = Variable::leaf(Tensor::ones({3}));
+  {
+    NoGradGuard guard;
+    const Variable c = mul_scalar(a, 2.0f);
+    EXPECT_FALSE(c.requires_grad());
+  }
+  const Variable d = mul_scalar(a, 2.0f);
+  EXPECT_TRUE(d.requires_grad());
+}
+
+TEST(Variable, EnableGradGuardRestores) {
+  const Variable a = Variable::leaf(Tensor::ones({3}));
+  NoGradGuard outer;
+  {
+    EnableGradGuard inner;
+    EXPECT_TRUE(grad_enabled());
+    const Variable c = mul_scalar(a, 2.0f);
+    EXPECT_TRUE(c.requires_grad());
+  }
+  EXPECT_FALSE(grad_enabled());
+}
+
+TEST(Variable, DetachCutsGraph) {
+  const Variable a = Variable::leaf(Tensor::ones({3}));
+  const Variable b = mul_scalar(a, 2.0f).detach();
+  EXPECT_FALSE(b.requires_grad());
+  const Variable loss = sum(mul(b, b));
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(Backward, SimpleChain) {
+  const Variable w = Variable::leaf(Tensor::from_vector({2}, {3.0f, -1.0f}));
+  // loss = sum(2w)^... : loss = sum(w * w) -> d/dw = 2w
+  const Variable loss = sum(mul(w, w));
+  backward(loss);
+  EXPECT_FLOAT_EQ(w.grad().data()[0], 6.0f);
+  EXPECT_FLOAT_EQ(w.grad().data()[1], -2.0f);
+}
+
+TEST(Backward, AccumulatesAcrossCalls) {
+  const Variable w = Variable::leaf(Tensor::ones({2}));
+  backward(sum(mul(w, w)));
+  backward(sum(mul(w, w)));
+  EXPECT_FLOAT_EQ(w.grad().data()[0], 4.0f);  // 2 + 2
+  w.zero_grad();
+  EXPECT_FALSE(w.has_grad());
+  EXPECT_FLOAT_EQ(w.grad().data()[0], 0.0f);  // zeros when unset
+}
+
+TEST(Backward, FanOutAccumulates) {
+  const Variable w = Variable::leaf(Tensor::scalar(3.0f));
+  // y = w*w + 2*w  -> dy/dw = 2w + 2 = 8
+  const Variable y = add(mul(w, w), mul_scalar(w, 2.0f));
+  backward(y);
+  EXPECT_FLOAT_EQ(w.grad().item(), 8.0f);
+}
+
+TEST(Backward, RequiresScalar) {
+  const Variable w = Variable::leaf(Tensor::ones({2}));
+  EXPECT_THROW(backward(mul(w, w)), Error);
+}
+
+TEST(Grad, UnreachedInputGetsZeros) {
+  const Variable a = Variable::leaf(Tensor::ones({2}));
+  const Variable b = Variable::leaf(Tensor::ones({3}));
+  const Variable loss = sum(mul(a, a));
+  const auto gs = grad(loss, {a, b});
+  EXPECT_FLOAT_EQ(gs[0].value().data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(gs[1].value().l2_norm(), 0.0f);
+  EXPECT_EQ(gs[1].shape(), (Shape{3}));
+}
+
+TEST(Grad, DiamondGraph) {
+  // z = (a*b) + (a/b): fan-in and fan-out in one graph.
+  const Variable a = Variable::leaf(Tensor::scalar(2.0f));
+  const Variable b = Variable::leaf(Tensor::scalar(4.0f));
+  const Variable z = add(mul(a, b), divide(a, b));
+  const auto gs = grad(z, {a, b});
+  EXPECT_NEAR(gs[0].value().item(), 4.0f + 0.25f, 1e-5f);          // b + 1/b
+  EXPECT_NEAR(gs[1].value().item(), 2.0f - 2.0f / 16.0f, 1e-5f);   // a - a/b^2
+}
+
+TEST(Grad, SharedSubexpressionCountedOnce) {
+  const Variable w = Variable::leaf(Tensor::scalar(2.0f));
+  const Variable s = mul(w, w);      // 4
+  const Variable y = add(s, s);      // 2w^2 -> dy/dw = 4w = 8
+  const auto gs = grad(y, {w});
+  EXPECT_FLOAT_EQ(gs[0].value().item(), 8.0f);
+}
+
+TEST(Grad, MutableValueAllowsOptimizerUpdates) {
+  const Variable w = Variable::leaf(Tensor::ones({2}));
+  w.mutable_value().add_(Tensor::full({2}, 0.5f));
+  EXPECT_FLOAT_EQ(w.value().data()[0], 1.5f);
+}
+
+TEST(Grad, GradOfNonScalarThrows) {
+  const Variable w = Variable::leaf(Tensor::ones({2}));
+  const Variable y = mul(w, w);
+  EXPECT_THROW(grad(y, {w}), Error);
+}
+
+TEST(Grad, ConstantOutputThrows) {
+  const Variable c = Variable::constant(Tensor::scalar(1.0f));
+  EXPECT_THROW(grad(c, {c}), Error);
+}
+
+TEST(Grad, DeepChainNoRecursionLimit) {
+  // 3000-op chain exercises the iterative topological sort.
+  Variable x = Variable::leaf(Tensor::scalar(1.0f));
+  Variable y = x;
+  for (int i = 0; i < 3000; ++i) y = add_scalar(y, 0.001f);
+  const auto gs = grad(sum(y), {x});
+  EXPECT_FLOAT_EQ(gs[0].value().item(), 1.0f);
+}
+
+}  // namespace
+}  // namespace hero::ag

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+
+namespace hero {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<std::string>{"1", "2"});
+    csv.row(std::vector<double>{3.5, 4.25});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n3.5,4.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+  const std::string path = testing::TempDir() + "csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FormatPct) {
+  EXPECT_EQ(format_pct(0.9344), "93.44%");
+  EXPECT_EQ(format_pct(0.5, 1), "50.0%");
+  EXPECT_EQ(format_pct(1.0, 0), "100%");
+}
+
+TEST(Flags, ParsesCommandLine) {
+  const char* argv[] = {"prog", "--epochs=12", "--lr=0.05", "not-a-flag"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("epochs", 1), 12);
+  EXPECT_DOUBLE_EQ(flags.get_double("lr", 0.1), 0.05);
+  EXPECT_EQ(flags.get("missing", "fallback"), "fallback");
+}
+
+TEST(Flags, EnvFallback) {
+  setenv("HERO_TEST_FLAG_XYZ", "99", 1);
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("test-flag-xyz", 0), 99);
+  unsetenv("HERO_TEST_FLAG_XYZ");
+}
+
+TEST(Flags, CommandLineBeatsEnv) {
+  setenv("HERO_PRIORITY", "1", 1);
+  const char* argv[] = {"prog", "--priority=2"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("priority", 0), 2);
+  unsetenv("HERO_PRIORITY");
+}
+
+TEST(Flags, DefaultScaleIsOne) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.scale(), 1.0);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    HERO_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hero

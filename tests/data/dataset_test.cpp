@@ -1,0 +1,124 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/synthetic.hpp"
+
+namespace hero::data {
+namespace {
+
+Dataset tiny_dataset(std::int64_t n, std::int64_t classes, Rng& rng) {
+  return make_gaussian_clusters(n, classes, 2, 3.0f, 0.5f, rng);
+}
+
+TEST(Dataset, SliceCopiesRows) {
+  Rng rng(1);
+  Dataset d = tiny_dataset(10, 2, rng);
+  Dataset s = d.slice(2, 3);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.classes, 2);
+  EXPECT_FLOAT_EQ(s.labels.data()[0], d.labels.data()[2]);
+  EXPECT_FLOAT_EQ((s.features.at({0, 0})), (d.features.at({2, 0})));
+}
+
+TEST(LabelNoise, ZeroRatioChangesNothing) {
+  Rng rng(2);
+  Dataset d = tiny_dataset(100, 4, rng);
+  const Tensor before = d.labels.clone();
+  Rng noise_rng(3);
+  EXPECT_EQ(add_symmetric_label_noise(d, 0.0, noise_rng), 0);
+  EXPECT_TRUE(allclose(d.labels, before, 0.0f, 0.0f));
+}
+
+TEST(LabelNoise, FullRatioTouchesAllSamples) {
+  Rng rng(4);
+  Dataset d = tiny_dataset(1000, 10, rng);
+  const Tensor before = d.labels.clone();
+  Rng noise_rng(5);
+  const std::int64_t changed = add_symmetric_label_noise(d, 1.0, noise_rng);
+  // Uniform resampling leaves ~1/classes unchanged.
+  EXPECT_NEAR(static_cast<double>(changed) / 1000.0, 0.9, 0.05);
+  EXPECT_FALSE(allclose(d.labels, before, 0.0f, 0.0f));
+}
+
+TEST(LabelNoise, RatioConcentration) {
+  // Property (parameterized below by ratio): the fraction of differing labels
+  // concentrates near ratio * (1 - 1/classes).
+  for (const double ratio : {0.2, 0.4, 0.6, 0.8}) {
+    Rng rng(6);
+    Dataset d = tiny_dataset(2000, 10, rng);
+    const Tensor before = d.labels.clone();
+    Rng noise_rng(7);
+    add_symmetric_label_noise(d, ratio, noise_rng);
+    std::int64_t diff = 0;
+    for (std::int64_t i = 0; i < d.size(); ++i) {
+      if (d.labels.data()[i] != before.data()[i]) ++diff;
+    }
+    const double expected = ratio * 0.9;
+    EXPECT_NEAR(static_cast<double>(diff) / 2000.0, expected, 0.04) << "ratio " << ratio;
+  }
+}
+
+TEST(LabelNoise, LabelsStayInRange) {
+  Rng rng(8);
+  Dataset d = tiny_dataset(500, 3, rng);
+  Rng noise_rng(9);
+  add_symmetric_label_noise(d, 0.8, noise_rng);
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const auto c = static_cast<std::int64_t>(d.labels.data()[i]);
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 3);
+  }
+}
+
+TEST(LabelNoise, RejectsBadRatio) {
+  Rng rng(10);
+  Dataset d = tiny_dataset(10, 2, rng);
+  EXPECT_THROW(add_symmetric_label_noise(d, 1.5, rng), Error);
+  EXPECT_THROW(add_symmetric_label_noise(d, -0.1, rng), Error);
+}
+
+TEST(Split, PreservesAllSamplesDisjointly) {
+  Rng rng(11);
+  Dataset d = tiny_dataset(100, 2, rng);
+  // Tag each sample with a unique feature value to track identity.
+  for (std::int64_t i = 0; i < 100; ++i) d.features.at({i, 0}) = static_cast<float>(i);
+  Rng split_rng(12);
+  const TrainTest tt = split(d, 0.7, split_rng);
+  EXPECT_EQ(tt.train.size(), 70);
+  EXPECT_EQ(tt.test.size(), 30);
+  std::set<float> seen;
+  for (std::int64_t i = 0; i < 70; ++i) seen.insert(tt.train.features.at({i, 0}));
+  for (std::int64_t i = 0; i < 30; ++i) seen.insert(tt.test.features.at({i, 0}));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Split, LabelsTravelWithFeatures) {
+  Rng rng(13);
+  Dataset d = tiny_dataset(50, 2, rng);
+  // Make label recoverable from feature: label = (index < 25) ? 0 : 1 and
+  // feature0 = index.
+  for (std::int64_t i = 0; i < 50; ++i) {
+    d.features.at({i, 0}) = static_cast<float>(i);
+    d.labels.data()[i] = i < 25 ? 0.0f : 1.0f;
+  }
+  Rng split_rng(14);
+  const TrainTest tt = split(d, 0.5, split_rng);
+  for (std::int64_t i = 0; i < tt.train.size(); ++i) {
+    const float f = tt.train.features.at({i, 0});
+    EXPECT_FLOAT_EQ(tt.train.labels.data()[i], f < 25.0f ? 0.0f : 1.0f);
+  }
+}
+
+TEST(ClassHistogram, CountsMatch) {
+  Dataset d;
+  d.features = Tensor::zeros({6, 1});
+  d.labels = Tensor::from_vector({6}, {0, 1, 1, 2, 2, 2});
+  d.classes = 3;
+  const auto hist = class_histogram(d);
+  EXPECT_EQ(hist, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hero::data

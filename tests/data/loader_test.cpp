@@ -1,0 +1,104 @@
+#include "data/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "data/synthetic.hpp"
+
+namespace hero::data {
+namespace {
+
+Dataset indexed_dataset(std::int64_t n) {
+  Dataset d;
+  d.features = Tensor::zeros({n, 2});
+  d.labels = Tensor::zeros({n});
+  d.classes = 2;
+  for (std::int64_t i = 0; i < n; ++i) {
+    d.features.at({i, 0}) = static_cast<float>(i);
+    d.labels.data()[i] = static_cast<float>(i % 2);
+  }
+  return d;
+}
+
+TEST(DataLoader, BatchCountAndSizes) {
+  DataLoader loader(indexed_dataset(10), 4, false, Rng(1));
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+  const auto batches = loader.epoch();
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4);
+  EXPECT_EQ(batches[1].size(), 4);
+  EXPECT_EQ(batches[2].size(), 2);  // remainder
+}
+
+TEST(DataLoader, NoShuffleKeepsOrder) {
+  DataLoader loader(indexed_dataset(6), 2, false, Rng(2));
+  const auto batches = loader.epoch();
+  EXPECT_FLOAT_EQ((batches[0].x.at({0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ((batches[0].x.at({1, 0})), 1.0f);
+  EXPECT_FLOAT_EQ((batches[2].x.at({1, 0})), 5.0f);
+}
+
+TEST(DataLoader, ShuffleCoversAllSamplesExactlyOnce) {
+  DataLoader loader(indexed_dataset(20), 6, true, Rng(3));
+  const auto batches = loader.epoch();
+  std::multiset<float> seen;
+  for (const auto& b : batches) {
+    for (std::int64_t i = 0; i < b.size(); ++i) seen.insert(b.x.at({i, 0}));
+  }
+  EXPECT_EQ(seen.size(), 20u);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u) << i;
+  }
+}
+
+TEST(DataLoader, ShuffleChangesAcrossEpochs) {
+  DataLoader loader(indexed_dataset(32), 32, true, Rng(4));
+  const auto e1 = loader.epoch();
+  const auto e2 = loader.epoch();
+  EXPECT_FALSE(allclose(e1[0].x, e2[0].x, 0.0f, 0.0f));
+}
+
+TEST(DataLoader, DeterministicFromSeed) {
+  DataLoader a(indexed_dataset(16), 8, true, Rng(5));
+  DataLoader b(indexed_dataset(16), 8, true, Rng(5));
+  const auto ba = a.epoch();
+  const auto bb = b.epoch();
+  EXPECT_TRUE(allclose(ba[0].x, bb[0].x, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(ba[1].y, bb[1].y, 0.0f, 0.0f));
+}
+
+TEST(DataLoader, LabelsStayAlignedUnderShuffle) {
+  DataLoader loader(indexed_dataset(50), 7, true, Rng(6));
+  for (const auto& batch : loader.epoch()) {
+    for (std::int64_t i = 0; i < batch.size(); ++i) {
+      const auto index = static_cast<std::int64_t>(batch.x.at({i, 0}));
+      EXPECT_FLOAT_EQ(batch.y.data()[i], static_cast<float>(index % 2));
+    }
+  }
+}
+
+TEST(DataLoader, ImageDatasetBatches) {
+  Rng rng(7);
+  ImageSpec spec;
+  spec.classes = 3;
+  spec.channels = 2;
+  spec.size = 4;
+  DataLoader loader(make_grating_images(10, spec, rng), 4, true, Rng(8));
+  const auto batches = loader.epoch();
+  EXPECT_EQ(batches[0].x.shape(), (Shape{4, 2, 4, 4}));
+  EXPECT_EQ(batches[2].x.shape(), (Shape{2, 2, 4, 4}));
+}
+
+TEST(DataLoader, RejectsBadConfig) {
+  EXPECT_THROW(DataLoader(indexed_dataset(4), 0, false, Rng(9)), Error);
+  Dataset empty;
+  empty.features = Tensor::zeros({0, 2});
+  empty.labels = Tensor::zeros({0});
+  empty.classes = 2;
+  EXPECT_THROW(DataLoader(empty, 2, false, Rng(10)), Error);
+}
+
+}  // namespace
+}  // namespace hero::data

@@ -1,0 +1,162 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::data {
+namespace {
+
+TEST(GaussianClusters, ShapesAndLabels) {
+  Rng rng(1);
+  const Dataset d = make_gaussian_clusters(200, 4, 3, 4.0f, 0.5f, rng);
+  EXPECT_EQ(d.features.shape(), (Shape{200, 3}));
+  EXPECT_EQ(d.labels.shape(), (Shape{200}));
+  EXPECT_EQ(d.classes, 4);
+  const auto hist = class_histogram(d);
+  for (const auto count : hist) EXPECT_GT(count, 20);
+}
+
+TEST(GaussianClusters, WellSeparatedClassesAreLinearlyClusterable) {
+  Rng rng(2);
+  const Dataset d = make_gaussian_clusters(400, 2, 2, 6.0f, 0.3f, rng);
+  // Class 0 centers at angle 0 -> positive x; class 1 at angle pi -> negative.
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const bool predicted_one = d.features.at({i, 0}) < 0.0f;
+    if (predicted_one == (d.labels.data()[i] == 1.0f)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.size(), 0.99);
+}
+
+TEST(Spirals, ShapesAndBalance) {
+  Rng rng(3);
+  const Dataset d = make_spirals(300, 3, 0.05f, rng);
+  EXPECT_EQ(d.features.shape(), (Shape{300, 2}));
+  EXPECT_EQ(d.classes, 3);
+  const auto hist = class_histogram(d);
+  for (const auto count : hist) EXPECT_GT(count, 60);
+}
+
+TEST(Spirals, PointsLieWithinRadius) {
+  Rng rng(4);
+  const Dataset d = make_spirals(200, 2, 0.1f, rng);
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const float x = d.features.at({i, 0});
+    const float y = d.features.at({i, 1});
+    EXPECT_LT(std::sqrt(x * x + y * y), 3.0f);
+  }
+}
+
+TEST(GratingImages, ShapesAndRange) {
+  Rng rng(5);
+  ImageSpec spec;
+  spec.classes = 10;
+  spec.channels = 3;
+  spec.size = 8;
+  const Dataset d = make_grating_images(64, spec, rng);
+  EXPECT_EQ(d.features.shape(), (Shape{64, 3, 8, 8}));
+  EXPECT_EQ(d.classes, 10);
+  // Signal + noise stays in a sane range.
+  EXPECT_LT(d.features.max_abs(), 10.0f);
+}
+
+TEST(GratingImages, ClassesAreStatisticallyDistinct) {
+  // Mean image of class 0 should differ from mean image of another class
+  // far more than sampling noise.
+  Rng rng(6);
+  ImageSpec spec;
+  spec.classes = 4;
+  spec.channels = 1;
+  spec.size = 8;
+  spec.noise = 0.1f;
+  spec.random_offset = false;  // keep phase fixed so means don't wash out
+  const Dataset d = make_grating_images(400, spec, rng);
+  std::vector<Tensor> means;
+  std::vector<std::int64_t> counts(4, 0);
+  for (int c = 0; c < 4; ++c) means.push_back(Tensor::zeros({64}));
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const auto c = static_cast<std::int64_t>(d.labels.data()[i]);
+    ++counts[static_cast<std::size_t>(c)];
+    for (std::int64_t p = 0; p < 64; ++p) {
+      means[static_cast<std::size_t>(c)].data()[p] += d.features.data()[i * 64 + p];
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    means[static_cast<std::size_t>(c)].mul_(1.0f / static_cast<float>(counts[c]));
+  }
+  EXPECT_GT(max_abs_diff(means[0], means[2]), 0.5f);
+}
+
+TEST(Benchmark, RegistryConfigurations) {
+  const Benchmark c10 = make_benchmark("c10", 64, 32, 1);
+  EXPECT_EQ(c10.train.classes, 10);
+  EXPECT_EQ(c10.train.features.dim(3), 8);
+  const Benchmark c100 = make_benchmark("c100", 64, 32, 1);
+  EXPECT_EQ(c100.train.classes, 20);
+  const Benchmark imnet = make_benchmark("imnet", 64, 32, 1);
+  EXPECT_EQ(imnet.train.classes, 16);
+  EXPECT_EQ(imnet.train.features.dim(3), 12);
+  EXPECT_THROW(make_benchmark("bogus", 8, 8, 1), Error);
+}
+
+TEST(Benchmark, TrainAndTestAreIndependentDraws) {
+  const Benchmark b = make_benchmark("c10", 64, 64, 9);
+  EXPECT_GT(max_abs_diff(b.train.features.narrow(0, 0, 1), b.test.features.narrow(0, 0, 1)),
+            1e-3f);
+}
+
+TEST(Benchmark, DeterministicFromSeed) {
+  const Benchmark a = make_benchmark("c10", 32, 16, 123);
+  const Benchmark b = make_benchmark("c10", 32, 16, 123);
+  EXPECT_TRUE(allclose(a.train.features, b.train.features, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(a.test.labels, b.test.labels, 0.0f, 0.0f));
+  const Benchmark c = make_benchmark("c10", 32, 16, 124);
+  EXPECT_FALSE(allclose(a.train.features, c.train.features, 0.0f, 0.0f));
+}
+
+TEST(Augmentation, PreservesShapeAndZeroShiftIdentity) {
+  Rng rng(7);
+  const Tensor batch = Tensor::randn({4, 3, 8, 8}, rng);
+  Rng aug_rng(8);
+  const Tensor out = augment_shift_flip(batch, 0, aug_rng);
+  EXPECT_EQ(out.shape(), batch.shape());
+  // With max_shift 0 the only change is a possible horizontal flip: each
+  // sample either equals the original or its mirror.
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const Tensor orig = batch.narrow(0, i, 1);
+    const Tensor aug = out.narrow(0, i, 1);
+    bool is_identity = allclose(aug, orig, 0.0f, 0.0f);
+    // Build the mirrored original.
+    Tensor mirrored = orig.clone();
+    for (std::int64_t c = 0; c < 3; ++c) {
+      for (std::int64_t y = 0; y < 8; ++y) {
+        for (std::int64_t x = 0; x < 8; ++x) {
+          mirrored.at({0, c, y, x}) = orig.at({0, c, y, 7 - x});
+        }
+      }
+    }
+    const bool is_mirror = allclose(aug, mirrored, 0.0f, 0.0f);
+    EXPECT_TRUE(is_identity || is_mirror) << "sample " << i;
+  }
+}
+
+TEST(Augmentation, ShiftMovesContent) {
+  // A one-hot pixel must end up somewhere within the shift radius (or off
+  // the canvas).
+  Tensor batch = Tensor::zeros({1, 1, 8, 8});
+  batch.at({0, 0, 4, 4}) = 1.0f;
+  Rng aug_rng(9);
+  const Tensor out = augment_shift_flip(batch, 2, aug_rng);
+  EXPECT_LE(out.sum().item(), 1.0f + 1e-6f);
+}
+
+TEST(Augmentation, RejectsNonImageBatch) {
+  Rng rng(10);
+  EXPECT_THROW(augment_shift_flip(Tensor::zeros({4, 3}), 1, rng), Error);
+}
+
+}  // namespace
+}  // namespace hero::data

@@ -1,0 +1,136 @@
+// HVP validation on models with closed-form Hessians.
+#include "hessian/hvp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace hero::hessian {
+namespace {
+
+using ag::Variable;
+
+/// f(w) = 0.5 wᵀ A w: Hessian is exactly A (symmetrized).
+struct Quadratic {
+  Tensor a;  // [n, n], symmetric
+  Variable w;
+
+  LossClosure closure() const {
+    return [this]() {
+      const Variable av = Variable::constant(a);
+      return ag::mul_scalar(ag::sum(ag::mul(w, ag::matmul(av, w))), 0.5f);
+    };
+  }
+};
+
+Quadratic make_quadratic() {
+  Quadratic q;
+  q.a = Tensor::from_vector({3, 3}, {4, 1, 0, 1, 3, 1, 0, 1, 2});
+  q.w = Variable::leaf(Tensor::from_vector({3, 1}, {1.0f, -1.0f, 2.0f}));
+  return q;
+}
+
+Tensor apply_matrix(const Tensor& a, const Tensor& v) { return matmul(a, v); }
+
+TEST(HvpExact, MatchesClosedFormQuadratic) {
+  const Quadratic q = make_quadratic();
+  const ParamVector v{Tensor::from_vector({3, 1}, {1.0f, 0.5f, -2.0f})};
+  const ParamVector hv = hvp_exact(q.closure(), {q.w}, v);
+  const Tensor expected = apply_matrix(q.a, v[0]);
+  EXPECT_TRUE(allclose(hv[0], expected, 1e-3f, 1e-4f));
+}
+
+TEST(HvpFiniteDiff, MatchesClosedFormQuadratic) {
+  const Quadratic q = make_quadratic();
+  const ParamVector v{Tensor::from_vector({3, 1}, {1.0f, 0.5f, -2.0f})};
+  const ParamVector hv = hvp_finite_diff(q.closure(), {q.w}, v);
+  const Tensor expected = apply_matrix(q.a, v[0]);
+  EXPECT_TRUE(allclose(hv[0], expected, 1e-2f, 1e-2f));
+}
+
+TEST(HvpFiniteDiff, RestoresParameters) {
+  const Quadratic q = make_quadratic();
+  const Tensor before = q.w.value().clone();
+  const ParamVector v{Tensor::ones({3, 1})};
+  hvp_finite_diff(q.closure(), {q.w}, v);
+  EXPECT_TRUE(allclose(q.w.value(), before, 1e-6f, 1e-6f));
+}
+
+TEST(HvpExact, AgreesWithFiniteDiffOnNonQuadratic) {
+  Rng rng(1);
+  const Variable w = Variable::leaf(Tensor::randn({4, 4}, rng));
+  const LossClosure loss = [&w]() {
+    return ag::mean(ag::exp(ag::mul_scalar(ag::tanh(ag::matmul(w, w)), 0.5f)));
+  };
+  Rng probe(2);
+  const ParamVector v = random_like({w}, probe);
+  const ParamVector exact = hvp_exact(loss, {w}, v);
+  const ParamVector fd = hvp_finite_diff(loss, {w}, v, 1e-2f);
+  EXPECT_LT(max_abs_diff(exact[0], fd[0]),
+            0.05f * (exact[0].max_abs() + 1e-3f));
+}
+
+TEST(HvpExact, LinearInV) {
+  const Quadratic q = make_quadratic();
+  Rng rng(3);
+  const ParamVector v1 = random_like({q.w}, rng);
+  const ParamVector v2 = random_like({q.w}, rng);
+  ParamVector v_sum = clone(v1);  // plain copy would alias v1's storage
+  axpy(v_sum, v2, 2.0f);          // v1 + 2 v2
+  const ParamVector h1 = hvp_exact(q.closure(), {q.w}, v1);
+  const ParamVector h2 = hvp_exact(q.closure(), {q.w}, v2);
+  const ParamVector hs = hvp_exact(q.closure(), {q.w}, v_sum);
+  Tensor expected = h1[0].clone();
+  expected.add_(h2[0], 2.0f);
+  EXPECT_TRUE(allclose(hs[0], expected, 1e-3f, 1e-3f));
+}
+
+TEST(HvpExact, ZeroVectorGivesZero) {
+  const Quadratic q = make_quadratic();
+  const ParamVector hv = hvp_exact(q.closure(), {q.w}, zeros_like({q.w}));
+  EXPECT_FLOAT_EQ(hv[0].l2_norm(), 0.0f);
+}
+
+TEST(HvpFiniteDiff, ZeroVectorGivesZero) {
+  const Quadratic q = make_quadratic();
+  const ParamVector hv = hvp_finite_diff(q.closure(), {q.w}, zeros_like({q.w}));
+  EXPECT_FLOAT_EQ(hv[0].l2_norm(), 0.0f);
+}
+
+TEST(HvpExact, MultiParameterBlocks) {
+  // f(x, y) = x^2 y + y^3 from the autograd test; Hessian blocks known.
+  const Variable x = Variable::leaf(Tensor::scalar(2.0f));
+  const Variable y = Variable::leaf(Tensor::scalar(3.0f));
+  const LossClosure loss = [&x, &y]() {
+    return ag::add(ag::mul(ag::mul(x, x), y), ag::pow_scalar(y, 3.0f));
+  };
+  // H = [[2y, 2x], [2x, 6y]] = [[6, 4], [4, 18]]; v = (1, 1) -> Hv = (10, 22).
+  const ParamVector v{Tensor::scalar(1.0f), Tensor::scalar(1.0f)};
+  const ParamVector hv = hvp_exact(loss, {x, y}, v);
+  EXPECT_NEAR(hv[0].item(), 10.0f, 1e-3f);
+  EXPECT_NEAR(hv[1].item(), 22.0f, 1e-3f);
+}
+
+TEST(ParamVectorOps, DotNormScaleAxpy) {
+  ParamVector a{Tensor::from_vector({2}, {3, 4}), Tensor::from_vector({1}, {12})};
+  ParamVector b{Tensor::from_vector({2}, {1, 0}), Tensor::from_vector({1}, {1})};
+  EXPECT_DOUBLE_EQ(dot(a, b), 15.0);
+  EXPECT_DOUBLE_EQ(norm(a), 13.0);
+  scale(a, 2.0f);
+  EXPECT_DOUBLE_EQ(norm(a), 26.0);
+  axpy(a, b, -6.0f);
+  EXPECT_FLOAT_EQ(a[0].data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(a[1].data()[0], 18.0f);
+}
+
+TEST(Gradient, MaterializesDetachedGradient) {
+  const Quadratic q = make_quadratic();
+  const ParamVector g = gradient(q.closure(), {q.w});
+  // grad = 0.5 (A + A^T) w = A w for symmetric A.
+  const Tensor expected = apply_matrix(q.a, q.w.value());
+  EXPECT_TRUE(allclose(g[0], expected, 1e-3f, 1e-4f));
+}
+
+}  // namespace
+}  // namespace hero::hessian

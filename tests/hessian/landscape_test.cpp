@@ -1,0 +1,113 @@
+#include "hessian/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.hpp"
+#include "common/check.hpp"
+
+namespace hero::hessian {
+namespace {
+
+using ag::Variable;
+
+LossClosure quadratic_closure(const Variable& w, float curvature) {
+  return [&w, curvature]() {
+    return ag::mul_scalar(ag::sum(ag::mul(w, w)), 0.5f * curvature);
+  };
+}
+
+TEST(FilterNormalization, MatchesFilterNorms) {
+  Rng rng(1);
+  // Conv-like weight [4, 2, 3, 3]: direction filters must match weight
+  // filter norms.
+  Variable w = Variable::leaf(Tensor::randn({4, 2, 3, 3}, rng));
+  Rng dir_rng(2);
+  const ParamVector d = filter_normalized_direction({w}, dir_rng);
+  for (std::int64_t f = 0; f < 4; ++f) {
+    const Tensor wf = w.value().narrow(0, f, 1);
+    const Tensor df = d[0].narrow(0, f, 1);
+    EXPECT_NEAR(df.l2_norm(), wf.l2_norm(), 1e-3f * wf.l2_norm());
+  }
+}
+
+TEST(FilterNormalization, Rank1PerTensor) {
+  Variable w = Variable::leaf(Tensor::from_vector({3}, {3.0f, 0.0f, 4.0f}));  // norm 5
+  Rng rng(3);
+  const ParamVector d = filter_normalized_direction({w}, rng);
+  EXPECT_NEAR(d[0].l2_norm(), 5.0f, 1e-3f);
+}
+
+TEST(ScanLossSurface, CenterIsCurrentLoss) {
+  Variable w = Variable::leaf(Tensor::from_vector({2}, {1.0f, 1.0f}));
+  const LossClosure loss = quadratic_closure(w, 1.0f);
+  LandscapeConfig config;
+  config.grid = 5;
+  config.radius = 0.5f;
+  const LossSurface surface = scan_loss_surface(loss, {w}, config);
+  // Center cell (2,2) equals the unperturbed loss = 0.5*(1+1) = 1.
+  EXPECT_NEAR(surface.at(2, 2), 1.0f, 1e-4f);
+  EXPECT_NEAR(surface.center_loss, 1.0f, 1e-4f);
+}
+
+TEST(ScanLossSurface, RestoresWeights) {
+  Variable w = Variable::leaf(Tensor::from_vector({2}, {0.3f, -0.4f}));
+  const Tensor before = w.value().clone();
+  LandscapeConfig config;
+  config.grid = 5;
+  scan_loss_surface(quadratic_closure(w, 2.0f), {w}, config);
+  EXPECT_TRUE(allclose(w.value(), before, 0.0f, 0.0f));
+}
+
+TEST(ScanLossSurface, SharperCurvatureShrinksFlatRegion) {
+  // The paper's Figure 3 claim in miniature: higher curvature -> smaller
+  // flat fraction at the same scan scale.
+  Rng rng(4);
+  Variable w_flat = Variable::leaf(Tensor::randn({6}, rng));
+  Variable w_sharp = Variable::leaf(w_flat.value().clone());
+  LandscapeConfig config;
+  config.grid = 11;
+  config.radius = 1.0f;
+  config.seed = 9;
+  const LossSurface flat =
+      scan_loss_surface(quadratic_closure(w_flat, 0.1f), {w_flat}, config);
+  const LossSurface sharp =
+      scan_loss_surface(quadratic_closure(w_sharp, 10.0f), {w_sharp}, config);
+  EXPECT_GT(flat.flat_fraction(0.1f), sharp.flat_fraction(0.1f));
+}
+
+TEST(ScanLossSurface, GridGeometry) {
+  Variable w = Variable::leaf(Tensor::ones({2}));
+  LandscapeConfig config;
+  config.grid = 7;
+  const LossSurface s = scan_loss_surface(quadratic_closure(w, 1.0f), {w}, config);
+  EXPECT_EQ(s.grid, 7);
+  EXPECT_EQ(s.losses.size(), 49u);
+  EXPECT_THROW(
+      ([&] {
+        LandscapeConfig bad;
+        bad.grid = 2;
+        scan_loss_surface(quadratic_closure(w, 1.0f), {w}, bad);
+      }()),
+      Error);
+}
+
+TEST(RenderAscii, BandsAndDimensions) {
+  LossSurface s;
+  s.grid = 2;
+  s.center_loss = 0.0f;
+  s.losses = {0.05f, 0.2f, 0.5f, 5.0f};
+  const std::string art = render_ascii(s);
+  EXPECT_EQ(art, ".:\n-#\n");
+}
+
+TEST(FlatFraction, CountsBelowThreshold) {
+  LossSurface s;
+  s.grid = 2;
+  s.center_loss = 1.0f;
+  s.losses = {1.0f, 1.05f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(s.flat_fraction(0.1f), 0.5);
+  EXPECT_DOUBLE_EQ(s.flat_fraction(10.0f), 1.0);
+}
+
+}  // namespace
+}  // namespace hero::hessian

@@ -1,0 +1,209 @@
+// Forward-semantics tests for each layer (shapes, known values, BN modes).
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/functional.hpp"
+#include "common/check.hpp"
+
+namespace hero::nn {
+namespace {
+
+TEST(Linear, KnownValues) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  layer.parameters()[0]->var.mutable_value().copy_(
+      Tensor::from_vector({2, 2}, {1, 2, 3, 4}));
+  layer.parameters()[1]->var.mutable_value().copy_(Tensor::from_vector({2}, {10, 20}));
+  const Variable x = Variable::constant(Tensor::from_vector({1, 2}, {1, 1}));
+  const Variable y = layer.forward(x);
+  EXPECT_FLOAT_EQ((y.value().at({0, 0})), 1 + 3 + 10);
+  EXPECT_FLOAT_EQ((y.value().at({0, 1})), 2 + 4 + 20);
+}
+
+TEST(Linear, NoBias) {
+  Rng rng(2);
+  Linear layer(3, 4, rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  const Variable y = layer.forward(Variable::constant(Tensor::zeros({2, 3})));
+  EXPECT_FLOAT_EQ(y.value().l2_norm(), 0.0f);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Variable::constant(Tensor::zeros({2, 4}))), Error);
+}
+
+TEST(Conv2d, MatchesManualConvolution) {
+  Rng rng(4);
+  Conv2d conv(1, 1, 3, 1, 1, rng, /*bias=*/false);
+  // Identity-ish kernel: 1 at center.
+  Tensor w = Tensor::zeros({1, 1, 3, 3});
+  w.at({0, 0, 1, 1}) = 1.0f;
+  conv.parameters()[0]->var.mutable_value().copy_(w);
+  Rng data_rng(5);
+  const Tensor x = Tensor::randn({2, 1, 4, 4}, data_rng);
+  const Variable y = conv.forward(Variable::constant(x));
+  EXPECT_EQ(y.shape(), (Shape{2, 1, 4, 4}));
+  EXPECT_TRUE(allclose(y.value(), x, 1e-5f, 1e-6f));
+}
+
+TEST(Conv2d, EdgeDetectorKernel) {
+  Rng rng(6);
+  Conv2d conv(1, 1, 3, 1, 0, rng, /*bias=*/false);
+  // Horizontal difference kernel.
+  Tensor w = Tensor::zeros({1, 1, 3, 3});
+  w.at({0, 0, 1, 0}) = -1.0f;
+  w.at({0, 0, 1, 2}) = 1.0f;
+  conv.parameters()[0]->var.mutable_value().copy_(w);
+  // Ramp image: x value = column index -> derivative = 2 everywhere.
+  Tensor x = Tensor::zeros({1, 1, 5, 5});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) x.at({0, 0, i, j}) = static_cast<float>(j);
+  }
+  const Variable y = conv.forward(Variable::constant(x));
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(y.value().data()[i], 2.0f);
+  }
+}
+
+TEST(Conv2d, StrideAndChannels) {
+  Rng rng(7);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  const Variable y = conv.forward(Variable::constant(Tensor::zeros({2, 3, 8, 8})));
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 4, 4}));
+}
+
+TEST(DepthwiseConv2d, IndependentChannels) {
+  Rng rng(8);
+  DepthwiseConv2d conv(2, 3, 1, 1, rng);
+  // Channel 0 filter: identity; channel 1 filter: 2x identity.
+  Tensor w = Tensor::zeros({2, 3, 3});
+  w.at({0, 1, 1}) = 1.0f;
+  w.at({1, 1, 1}) = 2.0f;
+  conv.parameters()[0]->var.mutable_value().copy_(w);
+  Rng data_rng(9);
+  const Tensor x = Tensor::randn({1, 2, 4, 4}, data_rng);
+  const Variable y = conv.forward(Variable::constant(x));
+  EXPECT_TRUE(allclose(y.value().narrow(1, 0, 1), x.narrow(1, 0, 1), 1e-5f, 1e-6f));
+  EXPECT_TRUE(
+      allclose(y.value().narrow(1, 1, 1), mul_scalar(x.narrow(1, 1, 1), 2.0f), 1e-5f, 1e-6f));
+}
+
+TEST(BatchNorm2d, NormalizesBatchInTraining) {
+  BatchNorm2d bn(3);
+  Rng rng(10);
+  const Tensor x = add_scalar(mul_scalar(Tensor::randn({8, 3, 4, 4}, rng), 3.0f), 5.0f);
+  const Variable y = bn.forward(Variable::constant(x));
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  const Tensor mean = y.value().mean({0, 2, 3}, false);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(mean.data()[c], 0.0f, 1e-4f);
+  }
+  const Tensor sq = mul(y.value(), y.value()).mean({0, 2, 3}, false);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(sq.data()[c], 1.0f, 1e-2f);
+  }
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  Rng rng(11);
+  // Feed the same distribution repeatedly; running stats should approach it.
+  for (int i = 0; i < 20; ++i) {
+    const Tensor x = add_scalar(mul_scalar(Tensor::randn({64, 1, 2, 2}, rng), 2.0f), 3.0f);
+    bn.forward(Variable::constant(x));
+  }
+  EXPECT_NEAR(bn.running_mean().data()[0], 3.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var().data()[0], 4.0f, 0.8f);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.set_training(false);
+  Rng rng(12);
+  const Tensor x = Tensor::randn({4, 1, 2, 2}, rng);
+  // Fresh BN in eval mode: running_mean=0, running_var=1 -> y == x (approx).
+  const Variable y = bn.forward(Variable::constant(x));
+  EXPECT_TRUE(allclose(y.value(), x, 1e-3f, 1e-4f));
+}
+
+TEST(BatchNorm2d, FreezeGuardBlocksStatUpdates) {
+  BatchNorm2d bn(1);
+  Rng rng(13);
+  const Tensor before = bn.running_mean().clone();
+  {
+    BatchNormFreezeGuard guard;
+    EXPECT_TRUE(batchnorm_stats_frozen());
+    bn.forward(Variable::constant(add_scalar(Tensor::randn({16, 1, 2, 2}, rng), 10.0f)));
+  }
+  EXPECT_FALSE(batchnorm_stats_frozen());
+  EXPECT_TRUE(allclose(bn.running_mean(), before, 0.0f, 0.0f));
+  // Without the guard the same forward does update.
+  bn.forward(Variable::constant(add_scalar(Tensor::randn({16, 1, 2, 2}, rng), 10.0f)));
+  EXPECT_FALSE(allclose(bn.running_mean(), before, 0.0f, 0.0f));
+}
+
+TEST(BatchNorm1d, NormalizesFeatures) {
+  BatchNorm1d bn(4);
+  Rng rng(14);
+  const Tensor x = add_scalar(Tensor::randn({32, 4}, rng), -2.0f);
+  const Variable y = bn.forward(Variable::constant(x));
+  const Tensor mean = y.value().mean({0}, false);
+  for (std::int64_t f = 0; f < 4; ++f) {
+    EXPECT_NEAR(mean.data()[f], 0.0f, 1e-4f);
+  }
+}
+
+TEST(Pooling, MaxAndAvgShapes) {
+  Rng rng(15);
+  const Variable x = Variable::constant(Tensor::randn({2, 3, 8, 8}, rng));
+  MaxPool2d mp(2, 2);
+  AvgPool2d ap(2, 2);
+  EXPECT_EQ(mp.forward(x).shape(), (Shape{2, 3, 4, 4}));
+  EXPECT_EQ(ap.forward(x).shape(), (Shape{2, 3, 4, 4}));
+  GlobalAvgPool gap;
+  EXPECT_EQ(gap.forward(x).shape(), (Shape{2, 3}));
+}
+
+TEST(GlobalAvgPool, AveragesSpatially) {
+  Tensor x = Tensor::zeros({1, 2, 2, 2});
+  x.at({0, 0, 0, 0}) = 4.0f;  // channel 0 avg = 1
+  x.at({0, 1, 0, 0}) = 8.0f;  // channel 1 avg = 2
+  GlobalAvgPool gap;
+  const Variable y = gap.forward(Variable::constant(x));
+  EXPECT_FLOAT_EQ((y.value().at({0, 0})), 1.0f);
+  EXPECT_FLOAT_EQ((y.value().at({0, 1})), 2.0f);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Flatten f;
+  const Variable y = f.forward(Variable::constant(Tensor::zeros({2, 3, 4, 5})));
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+}
+
+TEST(Sequential, ChainsLayers) {
+  Rng rng(16);
+  Sequential net;
+  net.add(std::make_shared<Linear>(4, 8, rng));
+  net.add(std::make_shared<ReLU>());
+  net.add(std::make_shared<Linear>(8, 2, rng));
+  const Variable y = net.forward(Variable::constant(Tensor::ones({3, 4})));
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+}
+
+TEST(KaimingInit, VarianceScalesWithFanIn) {
+  Rng rng(17);
+  const Tensor w = kaiming_normal({1000, 10}, 1000, rng);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) var += static_cast<double>(w.data()[i]) * w.data()[i];
+  var /= static_cast<double>(w.numel());
+  EXPECT_NEAR(var, 2.0 / 1000.0, 3e-4);
+}
+
+}  // namespace
+}  // namespace hero::nn

@@ -1,0 +1,120 @@
+#include "nn/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autograd/functional.hpp"
+#include "common/check.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+
+namespace hero::nn {
+namespace {
+
+TEST(Module, ParametersCollectedInOrder) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  const auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "weight");
+  EXPECT_TRUE(params[0]->is_weight);
+  EXPECT_EQ(params[1]->name, "bias");
+  EXPECT_FALSE(params[1]->is_weight);
+}
+
+TEST(Module, WeightParametersFiltersBiases) {
+  Rng rng(2);
+  Sequential net;
+  net.add(std::make_shared<Linear>(4, 8, rng));
+  net.add(std::make_shared<ReLU>());
+  net.add(std::make_shared<Linear>(8, 2, rng));
+  EXPECT_EQ(net.parameters().size(), 4u);
+  EXPECT_EQ(net.weight_parameters().size(), 2u);
+}
+
+TEST(Module, ParameterCount) {
+  Rng rng(3);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.parameter_count(), 4 * 3 + 3);
+}
+
+TEST(Module, TrainingFlagPropagates) {
+  Rng rng(4);
+  Sequential net;
+  auto bn = std::make_shared<BatchNorm1d>(4);
+  net.add(bn);
+  EXPECT_TRUE(net.training());
+  net.set_training(false);
+  EXPECT_FALSE(net.training());
+  EXPECT_FALSE(bn->training());
+}
+
+TEST(Module, ZeroGradClearsAll) {
+  Rng rng(5);
+  Linear layer(3, 2, rng);
+  const Variable x = Variable::constant(Tensor::ones({1, 3}));
+  ag::backward(ag::sum(layer.forward(x)));
+  EXPECT_TRUE(layer.parameters()[0]->var.has_grad());
+  layer.zero_grad();
+  EXPECT_FALSE(layer.parameters()[0]->var.has_grad());
+}
+
+TEST(Module, StateDictNamesAreDotted) {
+  Rng rng(6);
+  auto net = micro_resnet(3, 4, 1, 10, rng);
+  const auto state = net->state_dict();
+  ASSERT_FALSE(state.empty());
+  bool found_nested = false;
+  for (const auto& nt : state) {
+    if (nt.name.find('.') != std::string::npos) found_nested = true;
+  }
+  EXPECT_TRUE(found_nested);
+}
+
+TEST(Module, StateDictRoundTripRestoresExactly) {
+  Rng rng(7);
+  Sequential net;
+  net.add(std::make_shared<Linear>(4, 4, rng));
+  net.add(std::make_shared<BatchNorm1d>(4));
+  const auto saved = net.state_dict();
+
+  // Mutate everything, then restore.
+  for (Parameter* p : net.parameters()) p->var.mutable_value().fill_(9.0f);
+  net.load_state_dict(saved);
+  const auto restored = net.state_dict();
+  ASSERT_EQ(restored.size(), saved.size());
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_EQ(restored[i].name, saved[i].name);
+    EXPECT_TRUE(allclose(restored[i].tensor, saved[i].tensor, 0.0f, 0.0f));
+  }
+}
+
+TEST(Module, LoadStateDictRejectsMissingEntries) {
+  Rng rng(8);
+  Linear layer(2, 2, rng);
+  EXPECT_THROW(layer.load_state_dict({}), Error);
+}
+
+TEST(Module, SaveLoadFileRoundTrip) {
+  Rng rng(9);
+  const std::string path = testing::TempDir() + "module_ckpt.bin";
+  Linear a(3, 3, rng);
+  Linear b(3, 3, rng);
+  save_module(path, a);
+  load_module(path, b);
+  EXPECT_TRUE(allclose(a.parameters()[0]->var.value(), b.parameters()[0]->var.value(), 0.0f,
+                       0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(Module, BatchNormBuffersInStateDict) {
+  BatchNorm1d bn(4);
+  const auto state = bn.state_dict();
+  ASSERT_EQ(state.size(), 4u);  // gamma, beta, running_mean, running_var
+  EXPECT_EQ(state[2].name, "running_mean");
+  EXPECT_EQ(state[3].name, "running_var");
+}
+
+}  // namespace
+}  // namespace hero::nn

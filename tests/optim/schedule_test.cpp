@@ -1,0 +1,61 @@
+#include "optim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hero::optim {
+namespace {
+
+TEST(CosineSchedule, Endpoints) {
+  CosineSchedule sched(0.1f);
+  EXPECT_NEAR(sched.lr(0, 100), 0.1f, 1e-6f);
+  EXPECT_NEAR(sched.lr(99, 100), 0.0f, 1e-6f);
+}
+
+TEST(CosineSchedule, Midpoint) {
+  CosineSchedule sched(0.2f);
+  // Cosine at progress 0.5 -> half the base rate.
+  EXPECT_NEAR(sched.lr(50, 101), 0.1f, 1e-4f);
+}
+
+TEST(CosineSchedule, MonotoneDecreasing) {
+  CosineSchedule sched(0.1f);
+  float prev = 1.0f;
+  for (int s = 0; s < 50; ++s) {
+    const float lr = sched.lr(s, 50);
+    EXPECT_LE(lr, prev + 1e-7f);
+    prev = lr;
+  }
+}
+
+TEST(CosineSchedule, RespectsMinLr) {
+  CosineSchedule sched(0.1f, 0.01f);
+  EXPECT_NEAR(sched.lr(99, 100), 0.01f, 1e-6f);
+  EXPECT_NEAR(sched.lr(0, 100), 0.1f, 1e-6f);
+}
+
+TEST(CosineSchedule, SingleStepReturnsBase) {
+  CosineSchedule sched(0.1f);
+  EXPECT_FLOAT_EQ(sched.lr(0, 1), 0.1f);
+}
+
+TEST(ConstantSchedule, AlwaysBase) {
+  ConstantSchedule sched(0.05f);
+  EXPECT_FLOAT_EQ(sched.lr(0, 10), 0.05f);
+  EXPECT_FLOAT_EQ(sched.lr(9, 10), 0.05f);
+}
+
+TEST(StepSchedule, DropsAtPeriods) {
+  StepSchedule sched(1.0f, 0.1f, 2);  // drops at 1/3 and 2/3
+  EXPECT_FLOAT_EQ(sched.lr(0, 90), 1.0f);
+  EXPECT_FLOAT_EQ(sched.lr(30, 90), 0.1f);
+  EXPECT_NEAR(sched.lr(60, 90), 0.01f, 1e-7f);
+  EXPECT_NEAR(sched.lr(89, 90), 0.01f, 1e-7f);
+}
+
+TEST(StepSchedule, NoDropsIsConstant) {
+  StepSchedule sched(0.5f, 0.1f, 0);
+  EXPECT_FLOAT_EQ(sched.lr(7, 10), 0.5f);
+}
+
+}  // namespace
+}  // namespace hero::optim

@@ -1,0 +1,115 @@
+#include "optim/sgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autograd/functional.hpp"
+#include "common/check.hpp"
+#include "nn/layers.hpp"
+
+namespace hero::optim {
+namespace {
+
+/// Single-scalar "model" for closed-form optimizer checks.
+class ScalarModel : public nn::Module {
+ public:
+  explicit ScalarModel(float w0) : Module("scalar") {
+    param_ = register_parameter("w", Tensor::scalar(w0), true);
+  }
+  ag::Variable forward(const ag::Variable& x) override { return x; }
+  nn::Parameter* param() { return param_; }
+
+ private:
+  nn::Parameter* param_;
+};
+
+TEST(Sgd, VanillaStepMatchesHandComputation) {
+  ScalarModel model(1.0f);
+  SgdConfig config;
+  config.lr = 0.1f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.0f;
+  Sgd sgd(model.parameters(), config);
+  sgd.step_with({Tensor::scalar(2.0f)});
+  EXPECT_NEAR(model.param()->var.value().item(), 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  ScalarModel model(0.0f);
+  SgdConfig config;
+  config.lr = 1.0f;
+  config.momentum = 0.5f;
+  config.weight_decay = 0.0f;
+  Sgd sgd(model.parameters(), config);
+  // Constant gradient 1: velocities 1, 1.5, 1.75; weights -1, -2.5, -4.25.
+  sgd.step_with({Tensor::scalar(1.0f)});
+  EXPECT_NEAR(model.param()->var.value().item(), -1.0f, 1e-6f);
+  sgd.step_with({Tensor::scalar(1.0f)});
+  EXPECT_NEAR(model.param()->var.value().item(), -2.5f, 1e-6f);
+  sgd.step_with({Tensor::scalar(1.0f)});
+  EXPECT_NEAR(model.param()->var.value().item(), -4.25f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayAddsAlphaW) {
+  ScalarModel model(10.0f);
+  SgdConfig config;
+  config.lr = 0.1f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.5f;
+  Sgd sgd(model.parameters(), config);
+  sgd.step_with({Tensor::scalar(0.0f)});
+  // g_total = 0 + 0.5 * 10 = 5; w = 10 - 0.1*5 = 9.5
+  EXPECT_NEAR(model.param()->var.value().item(), 9.5f, 1e-5f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // min 0.5*(w-3)^2 -> w* = 3.
+  ScalarModel model(0.0f);
+  SgdConfig config;
+  config.lr = 0.1f;
+  config.momentum = 0.9f;
+  config.weight_decay = 0.0f;
+  Sgd sgd(model.parameters(), config);
+  for (int i = 0; i < 200; ++i) {
+    const float w = model.param()->var.value().item();
+    sgd.step_with({Tensor::scalar(w - 3.0f)});
+  }
+  EXPECT_NEAR(model.param()->var.value().item(), 3.0f, 1e-2f);
+}
+
+TEST(Sgd, StepReadsAccumulatedGrads) {
+  Rng rng(1);
+  nn::Linear layer(2, 1, rng, /*bias=*/false);
+  layer.parameters()[0]->var.mutable_value().copy_(Tensor::from_vector({2, 1}, {1.0f, 1.0f}));
+  SgdConfig config;
+  config.lr = 0.5f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.0f;
+  Sgd sgd(layer.parameters(), config);
+  const ag::Variable x = ag::Variable::constant(Tensor::from_vector({1, 2}, {1.0f, 2.0f}));
+  ag::backward(ag::sum(layer.forward(x)));  // dL/dW = x^T = (1, 2)
+  sgd.step();
+  EXPECT_NEAR(layer.parameters()[0]->var.value().data()[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(layer.parameters()[0]->var.value().data()[1], 0.0f, 1e-5f);
+}
+
+TEST(Sgd, RejectsMismatchedGradients) {
+  ScalarModel model(0.0f);
+  Sgd sgd(model.parameters(), {});
+  EXPECT_THROW(sgd.step_with({}), Error);
+  EXPECT_THROW(sgd.step_with({Tensor::zeros({2})}), Error);
+}
+
+TEST(Sgd, LrCanChangeMidRun) {
+  ScalarModel model(1.0f);
+  SgdConfig config;
+  config.lr = 1.0f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.0f;
+  Sgd sgd(model.parameters(), config);
+  sgd.set_lr(0.01f);
+  sgd.step_with({Tensor::scalar(1.0f)});
+  EXPECT_NEAR(model.param()->var.value().item(), 0.99f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace hero::optim

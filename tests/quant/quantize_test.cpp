@@ -1,0 +1,199 @@
+// Quantizer tests, including the property Theorem 2 depends on:
+// ‖W_q − W‖∞ ≤ Δ/2 for every bit width and scheme.
+#include "quant/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/models.hpp"
+
+namespace hero::quant {
+namespace {
+
+TEST(Quantize, KnownValuesAsymmetric8bit) {
+  // Values 0..255 with 8-bit asymmetric quantization are exactly representable.
+  std::vector<float> vals(256);
+  for (int i = 0; i < 256; ++i) vals[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  const Tensor w = Tensor::from_vector({256}, vals);
+  QuantConfig config;
+  config.bits = 8;
+  config.scheme = Scheme::kAsymmetric;
+  QuantStats stats;
+  const Tensor q = quantize_dequantize(w, config, &stats);
+  EXPECT_TRUE(allclose(q, w, 0.0f, 1e-4f));
+  EXPECT_NEAR(stats.max_bin_width, 1.0f, 1e-5f);
+}
+
+TEST(Quantize, OneBitCollapsesToTwoLevels) {
+  Rng rng(1);
+  const Tensor w = Tensor::randn({100}, rng);
+  QuantConfig config;
+  config.bits = 1;
+  const Tensor q = quantize_dequantize(w, config);
+  std::set<float> levels(q.data(), q.data() + q.numel());
+  EXPECT_LE(levels.size(), 2u);
+}
+
+TEST(Quantize, ConstantTensorExact) {
+  const Tensor w = Tensor::full({10}, 3.25f);
+  QuantStats stats;
+  const Tensor q = quantize_dequantize(w, {4, Scheme::kSymmetric, Granularity::kPerTensor},
+                                       &stats);
+  EXPECT_TRUE(allclose(q, w, 0.0f, 0.0f));
+  EXPECT_FLOAT_EQ(stats.max_abs_error, 0.0f);
+}
+
+TEST(Quantize, SymmetricPreservesSign) {
+  Rng rng(2);
+  const Tensor w = Tensor::randn({1000}, rng);
+  const Tensor q = quantize_dequantize(w, {3, Scheme::kSymmetric, Granularity::kPerTensor});
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    // Symmetric quantization never flips sign (0 maps to 0 level).
+    EXPECT_GE(q.data()[i] * w.data()[i], -1e-6f);
+  }
+}
+
+TEST(Quantize, RejectsBadBits) {
+  const Tensor w = Tensor::ones({4});
+  EXPECT_THROW(quantize_dequantize(w, {0, Scheme::kSymmetric, Granularity::kPerTensor}), Error);
+  EXPECT_THROW(quantize_dequantize(w, {17, Scheme::kSymmetric, Granularity::kPerTensor}),
+               Error);
+}
+
+// ---- Theorem 2 property: ‖W_q − W‖∞ ≤ Δ/2 across all configurations -------
+
+struct QuantCase {
+  int bits;
+  Scheme scheme;
+  Granularity granularity;
+};
+
+std::string case_name(const testing::TestParamInfo<QuantCase>& info) {
+  std::string name = "b" + std::to_string(info.param.bits);
+  name += info.param.scheme == Scheme::kSymmetric ? "_sym" : "_asym";
+  name += info.param.granularity == Granularity::kPerTensor ? "_tensor" : "_channel";
+  return name;
+}
+
+class QuantProperty : public testing::TestWithParam<QuantCase> {};
+
+TEST_P(QuantProperty, InfNormBoundedByHalfBin) {
+  const QuantCase& c = GetParam();
+  Rng rng(42);
+  // Conv-shaped and linear-shaped weights.
+  for (const Shape& shape : {Shape{8, 4, 3, 3}, Shape{64, 32}}) {
+    const Tensor w = Tensor::randn(shape, rng);
+    QuantStats stats;
+    const Tensor q =
+        quantize_dequantize(w, {c.bits, c.scheme, c.granularity}, &stats);
+    // The Theorem 2 bound, with float32 rounding slack.
+    EXPECT_LE(stats.max_abs_error, stats.max_bin_width * 0.5f * 1.001f + 1e-6f)
+        << shape_to_string(shape);
+    // Idempotence: re-quantizing the quantized tensor is exact.
+    const Tensor qq = quantize_dequantize(q, {c.bits, c.scheme, c.granularity});
+    EXPECT_LE(max_abs_diff(qq, q), 1e-5f);
+  }
+}
+
+TEST_P(QuantProperty, ErrorShrinksWithMoreBits) {
+  const QuantCase& c = GetParam();
+  if (c.bits > 8) GTEST_SKIP() << "headroom case";
+  Rng rng(7);
+  const Tensor w = Tensor::randn({16, 16}, rng);
+  QuantStats coarse;
+  QuantStats fine;
+  quantize_dequantize(w, {c.bits, c.scheme, c.granularity}, &coarse);
+  quantize_dequantize(w, {c.bits + 2, c.scheme, c.granularity}, &fine);
+  EXPECT_LT(fine.mse, coarse.mse);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, QuantProperty,
+    testing::Values(QuantCase{2, Scheme::kSymmetric, Granularity::kPerTensor},
+                    QuantCase{3, Scheme::kSymmetric, Granularity::kPerTensor},
+                    QuantCase{4, Scheme::kSymmetric, Granularity::kPerTensor},
+                    QuantCase{4, Scheme::kAsymmetric, Granularity::kPerTensor},
+                    QuantCase{4, Scheme::kSymmetric, Granularity::kPerChannel},
+                    QuantCase{4, Scheme::kAsymmetric, Granularity::kPerChannel},
+                    QuantCase{6, Scheme::kSymmetric, Granularity::kPerChannel},
+                    QuantCase{8, Scheme::kSymmetric, Granularity::kPerTensor},
+                    QuantCase{8, Scheme::kAsymmetric, Granularity::kPerChannel},
+                    QuantCase{12, Scheme::kSymmetric, Granularity::kPerTensor}),
+    case_name);
+
+TEST(Quantize, PerChannelBeatsPerTensorOnScaleSkewedWeights) {
+  // One channel with tiny weights, one with large: per-channel scales adapt.
+  Rng rng(3);
+  Tensor w = Tensor::zeros({2, 16});
+  for (std::int64_t i = 0; i < 16; ++i) {
+    w.at({0, i}) = static_cast<float>(rng.normal(0.0, 0.01));
+    w.at({1, i}) = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  // channel axis for rank-2 is dim 1, so transpose to put channels there.
+  const Tensor wt = w.transpose2d();  // [16, 2]
+  QuantStats per_tensor;
+  QuantStats per_channel;
+  quantize_dequantize(wt, {4, Scheme::kSymmetric, Granularity::kPerTensor}, &per_tensor);
+  quantize_dequantize(wt, {4, Scheme::kSymmetric, Granularity::kPerChannel}, &per_channel);
+  EXPECT_LT(per_channel.mse, per_tensor.mse);
+}
+
+TEST(ModuleQuant, SnapshotRestoreRoundTrip) {
+  Rng rng(4);
+  auto model = nn::micro_resnet(3, 4, 1, 10, rng);
+  const WeightSnapshot snapshot = snapshot_weights(*model);
+  quantize_module_weights(*model, {2, Scheme::kSymmetric, Granularity::kPerTensor});
+  // 2-bit destroys precision; restore must bring it back exactly.
+  restore_weights(*model, snapshot);
+  const auto weights = model->weight_parameters();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_TRUE(allclose(weights[i]->var.value(), snapshot[i], 0.0f, 0.0f));
+  }
+}
+
+TEST(ModuleQuant, OnlyWeightsAreQuantized) {
+  Rng rng(5);
+  auto model = nn::mini_vgg(3, 4, 10, rng);
+  // Set biases/BN params to values a coarse quantizer would destroy.
+  std::vector<Tensor> non_weight_before;
+  for (nn::Parameter* p : model->parameters()) {
+    if (!p->is_weight) non_weight_before.push_back(p->var.value().clone());
+  }
+  quantize_module_weights(*model, {2, Scheme::kSymmetric, Granularity::kPerTensor});
+  std::size_t i = 0;
+  for (nn::Parameter* p : model->parameters()) {
+    if (!p->is_weight) {
+      EXPECT_TRUE(allclose(p->var.value(), non_weight_before[i], 0.0f, 0.0f));
+      ++i;
+    }
+  }
+}
+
+TEST(ModuleQuant, ScopedQuantizationRestoresOnDestruction) {
+  Rng rng(6);
+  auto model = nn::micro_mobilenet(3, 4, 2, 10, rng);
+  const Tensor before = model->weight_parameters()[0]->var.value().clone();
+  {
+    ScopedWeightQuantization scoped(*model, {3, Scheme::kSymmetric, Granularity::kPerTensor});
+    EXPECT_GT(scoped.stats().max_abs_error, 0.0f);
+    EXPECT_FALSE(allclose(model->weight_parameters()[0]->var.value(), before, 0.0f, 0.0f));
+  }
+  EXPECT_TRUE(allclose(model->weight_parameters()[0]->var.value(), before, 0.0f, 0.0f));
+}
+
+TEST(ModuleQuant, HighPrecisionBarelyChangesOutputs) {
+  Rng rng(7);
+  auto model = nn::micro_resnet(3, 4, 1, 10, rng);
+  model->set_training(false);
+  Rng data_rng(8);
+  const Tensor x = Tensor::randn({4, 3, 8, 8}, data_rng);
+  const Tensor y_full = model->forward(ag::Variable::constant(x)).value().clone();
+  ScopedWeightQuantization scoped(*model, {12, Scheme::kSymmetric, Granularity::kPerTensor});
+  const Tensor y_quant = model->forward(ag::Variable::constant(x)).value();
+  EXPECT_LT(max_abs_diff(y_full, y_quant), 0.05f);
+}
+
+}  // namespace
+}  // namespace hero::quant

@@ -1,0 +1,123 @@
+// Property-style sweeps over broadcasting arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero {
+namespace {
+
+TEST(BroadcastShapes, Rules) {
+  EXPECT_EQ(broadcast_shapes({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shapes({2, 1}, {1, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shapes({3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shapes({}, {4, 5}), (Shape{4, 5}));
+  EXPECT_EQ(broadcast_shapes({1}, {1}), (Shape{1}));
+  EXPECT_THROW(broadcast_shapes({2, 3}, {3, 2}), Error);
+  EXPECT_THROW(broadcast_shapes({4}, {5}), Error);
+}
+
+TEST(Broadcast, ScalarWithMatrix) {
+  Tensor s = Tensor::scalar(2.0f);
+  Tensor m = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor r = s * m;
+  EXPECT_EQ(r.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ((r.at({1, 1})), 8.0f);
+}
+
+TEST(Broadcast, RowVectorPlusMatrix) {
+  Tensor row = Tensor::from_vector({3}, {10, 20, 30});
+  Tensor m = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = m + row;
+  EXPECT_FLOAT_EQ((r.at({0, 0})), 11.0f);
+  EXPECT_FLOAT_EQ((r.at({1, 2})), 36.0f);
+}
+
+TEST(Broadcast, ColumnVectorTimesMatrix) {
+  Tensor col = Tensor::from_vector({2, 1}, {2, 3});
+  Tensor m = Tensor::ones({2, 3});
+  Tensor r = m * col;
+  EXPECT_FLOAT_EQ((r.at({0, 2})), 2.0f);
+  EXPECT_FLOAT_EQ((r.at({1, 0})), 3.0f);
+}
+
+TEST(Broadcast, BothSidesBroadcast) {
+  Tensor a = Tensor::from_vector({2, 1}, {1, 2});
+  Tensor b = Tensor::from_vector({1, 3}, {10, 20, 30});
+  Tensor r = a + b;
+  EXPECT_EQ(r.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ((r.at({0, 0})), 11.0f);
+  EXPECT_FLOAT_EQ((r.at({1, 2})), 32.0f);
+}
+
+TEST(Broadcast, ThreeDim) {
+  Tensor a = Tensor::ones({2, 3, 4});
+  Tensor b = Tensor::from_vector({3, 1}, {1, 2, 3});
+  Tensor r = a * b;
+  EXPECT_EQ(r.shape(), (Shape{2, 3, 4}));
+  EXPECT_FLOAT_EQ((r.at({1, 2, 3})), 3.0f);
+  EXPECT_FLOAT_EQ((r.at({0, 0, 0})), 1.0f);
+}
+
+TEST(Broadcast, DivAndSub) {
+  Tensor a = Tensor::full({2, 2}, 8.0f);
+  Tensor b = Tensor::from_vector({2}, {2, 4});
+  Tensor d = a / b;
+  EXPECT_FLOAT_EQ((d.at({0, 0})), 4.0f);
+  EXPECT_FLOAT_EQ((d.at({1, 1})), 2.0f);
+  Tensor s = a - b;
+  EXPECT_FLOAT_EQ((s.at({0, 1})), 4.0f);
+}
+
+// Parameterized property: broadcast result matches manual expansion.
+struct BroadcastCase {
+  Shape a;
+  Shape b;
+};
+
+class BroadcastProperty : public testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastProperty, MatchesExplicitExpansion) {
+  Rng rng(7);
+  const auto& param = GetParam();
+  Tensor a = Tensor::randn(param.a, rng);
+  Tensor b = Tensor::randn(param.b, rng);
+  const Shape out_shape = broadcast_shapes(param.a, param.b);
+  Tensor ea = broadcast_to(a, out_shape);
+  Tensor eb = broadcast_to(b, out_shape);
+  // add/mul via broadcasting must equal op on explicit expansions.
+  EXPECT_TRUE(allclose(a + b, ea + eb));
+  EXPECT_TRUE(allclose(a * b, ea * eb));
+  EXPECT_TRUE(allclose(a - b, ea - eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastProperty,
+    testing::Values(BroadcastCase{{2, 3}, {2, 3}}, BroadcastCase{{2, 1}, {1, 3}},
+                    BroadcastCase{{4}, {2, 4}}, BroadcastCase{{}, {3, 2}},
+                    BroadcastCase{{2, 3, 4}, {3, 4}}, BroadcastCase{{2, 3, 4}, {3, 1}},
+                    BroadcastCase{{1, 1, 5}, {4, 1, 5}}, BroadcastCase{{6, 1}, {1, 7}}));
+
+// Property: sum_to inverts broadcast_to in the adjoint sense — for linear
+// maps, <Bx, y> == <x, B^T y> where B = broadcast_to, B^T = sum_to.
+class AdjointProperty : public testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(AdjointProperty, BroadcastAndSumToAreAdjoint) {
+  Rng rng(11);
+  const auto& param = GetParam();
+  const Shape big = broadcast_shapes(param.a, param.b);
+  Tensor x = Tensor::randn(param.a, rng);
+  Tensor y = Tensor::randn(big, rng);
+  const float lhs = (broadcast_to(x, big) * y).sum().item();
+  const float rhs = (x * sum_to(y, param.a)).sum().item();
+  EXPECT_NEAR(lhs, rhs, 1e-3f * (std::abs(lhs) + 1.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdjointProperty,
+    testing::Values(BroadcastCase{{2, 3}, {2, 3}}, BroadcastCase{{2, 1}, {1, 3}},
+                    BroadcastCase{{4}, {2, 4}}, BroadcastCase{{}, {3, 2}},
+                    BroadcastCase{{2, 3, 4}, {3, 4}}, BroadcastCase{{5, 1, 2}, {5, 3, 2}}));
+
+}  // namespace
+}  // namespace hero

@@ -1,0 +1,130 @@
+#include "tensor/conv_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hero {
+namespace {
+
+TEST(Conv2dGeom, OutputSize) {
+  Conv2dGeom g = make_geom({1, 1, 5, 5}, 3, 3, 1, 0);
+  EXPECT_EQ(g.out_h(), 3);
+  EXPECT_EQ(g.out_w(), 3);
+  g = make_geom({1, 1, 5, 5}, 3, 3, 1, 1);
+  EXPECT_EQ(g.out_h(), 5);
+  g = make_geom({1, 1, 8, 8}, 3, 3, 2, 1);
+  EXPECT_EQ(g.out_h(), 4);
+  EXPECT_THROW(make_geom({1, 1, 2, 2}, 5, 5, 1, 0), Error);
+  EXPECT_THROW(make_geom({4, 4}, 3, 3, 1, 0), Error);
+}
+
+TEST(Im2col, IdentityKernelGeometry) {
+  // 1x1 kernel, stride 1: im2col is a transposed reshape.
+  Tensor x = Tensor::arange(8).reshape({1, 2, 2, 2});
+  Conv2dGeom g = make_geom(x.shape(), 1, 1, 1, 0);
+  Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), (Shape{4, 2}));
+  // Row (y=0,x=0) has channels (0, 4).
+  EXPECT_FLOAT_EQ((cols.at({0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ((cols.at({0, 1})), 4.0f);
+}
+
+TEST(Im2col, ExtractsPatchesWithPadding) {
+  // 3x3 input, 3x3 kernel, pad 1: the center patch is the full image.
+  Tensor x = Tensor::arange(9).reshape({1, 1, 3, 3});
+  Conv2dGeom g = make_geom(x.shape(), 3, 3, 1, 1);
+  Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), (Shape{9, 9}));
+  // Center output (y=1, x=1) row equals the raw image.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ((cols.at({4, i})), static_cast<float>(i));
+  }
+  // Top-left output: first row/col of the patch comes from padding (0).
+  EXPECT_FLOAT_EQ((cols.at({0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ((cols.at({0, 4})), 0.0f);  // patch center = pixel (0,0)
+  EXPECT_FLOAT_EQ((cols.at({0, 8})), 4.0f);  // patch bottom-right = pixel (1,1)
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y: validates that the two
+  // kernels are exact transposes (the property autograd relies on).
+  Rng rng(3);
+  for (const std::int64_t pad : {0, 1}) {
+    for (const std::int64_t stride : {1, 2}) {
+      Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+      const Conv2dGeom g = make_geom(x.shape(), 3, 3, stride, pad);
+      Tensor y = Tensor::randn({g.batch * g.out_h() * g.out_w(),
+                                g.channels * g.kernel_h * g.kernel_w},
+                               rng);
+      const float lhs = (im2col(x, g) * y).sum().item();
+      const float rhs = (x * col2im(y, g)).sum().item();
+      ASSERT_NEAR(lhs, rhs, 1e-2f) << "pad=" << pad << " stride=" << stride;
+    }
+  }
+}
+
+TEST(AvgPool, KnownValues) {
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = avgpool2d(x, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.item(), 2.5f);
+}
+
+TEST(AvgPool, StrideAndShape) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor y = avgpool2d(x, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 2, 2}));
+  // Spot-check one window.
+  const float expect =
+      (x.at({1, 2, 2, 2}) + x.at({1, 2, 2, 3}) + x.at({1, 2, 3, 2}) + x.at({1, 2, 3, 3})) / 4.0f;
+  EXPECT_NEAR((y.at({1, 2, 1, 1})), expect, 1e-5f);
+}
+
+TEST(AvgPool, BackwardIsAdjoint) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  const Conv2dGeom g = make_geom(x.shape(), 2, 2, 2, 0);
+  Tensor y = Tensor::randn({1, 2, 2, 2}, rng);
+  const float lhs = (avgpool2d(x, 2, 2) * y).sum().item();
+  const float rhs = (x * avgpool2d_backward(y, g)).sum().item();
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+TEST(MaxPool, SelectsMaxAndIndices) {
+  Tensor x = Tensor::from_vector({1, 1, 2, 4}, {1, 9, 2, 3, 4, 5, 8, 6});
+  auto r = maxpool2d(x, 2, 2);
+  EXPECT_EQ(r.output.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ((r.output.at({0, 0, 0, 0})), 9.0f);
+  EXPECT_FLOAT_EQ((r.output.at({0, 0, 0, 1})), 8.0f);
+  EXPECT_EQ(r.argmax[0], 1);
+  EXPECT_EQ(r.argmax[1], 6);
+}
+
+TEST(MaxPool, ScatterGatherRoundTrip) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+  auto r = maxpool2d(x, 2, 2);
+  // gather(input, idx) must reproduce the pooled output.
+  Tensor g = maxpool2d_gather(x, r.argmax, r.output.shape());
+  EXPECT_TRUE(allclose(g, r.output));
+  // scatter/gather adjoint.
+  Tensor y = Tensor::randn(r.output.shape(), rng);
+  const float lhs = (maxpool2d_gather(x, r.argmax, r.output.shape()) * y).sum().item();
+  const float rhs = (x * maxpool2d_scatter(y, r.argmax, x.shape())).sum().item();
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+TEST(MaxPool, ScatterAccumulatesToArgmaxOnly) {
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 2, 3, 4});
+  auto r = maxpool2d(x, 2, 2);
+  Tensor grad = Tensor::full({1, 1, 1, 1}, 5.0f);
+  Tensor back = maxpool2d_scatter(grad, r.argmax, x.shape());
+  EXPECT_FLOAT_EQ((back.at({0, 0, 1, 1})), 5.0f);
+  EXPECT_FLOAT_EQ((back.at({0, 0, 0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ(back.sum().item(), 5.0f);
+}
+
+}  // namespace
+}  // namespace hero

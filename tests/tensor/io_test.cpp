@@ -1,0 +1,70 @@
+#include "tensor/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero {
+namespace {
+
+TEST(TensorIo, StreamRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  Tensor back = load_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_TRUE(allclose(back, t, 0.0f, 0.0f));
+}
+
+TEST(TensorIo, ScalarRoundTrip) {
+  Tensor t = Tensor::scalar(3.14f);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  Tensor back = load_tensor(ss);
+  EXPECT_EQ(back.ndim(), 0);
+  EXPECT_FLOAT_EQ(back.item(), 3.14f);
+}
+
+TEST(TensorIo, RejectsCorruptMagic) {
+  std::stringstream ss;
+  ss << "XXXXgarbage";
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(TensorIo, RejectsTruncatedPayload) {
+  Tensor t = Tensor::ones({10});
+  std::stringstream ss;
+  save_tensor(ss, t);
+  std::string s = ss.str();
+  s.resize(s.size() - 8);  // chop part of the payload
+  std::stringstream truncated(s);
+  EXPECT_THROW(load_tensor(truncated), Error);
+}
+
+TEST(TensorIo, NamedCheckpointRoundTrip) {
+  Rng rng(2);
+  const std::string path = testing::TempDir() + "ckpt_test.bin";
+  std::vector<NamedTensor> tensors;
+  tensors.push_back({"layer0.weight", Tensor::randn({4, 3}, rng)});
+  tensors.push_back({"layer0.bias", Tensor::randn({4}, rng)});
+  tensors.push_back({"scalar", Tensor::scalar(-1.0f)});
+  save_tensors(path, tensors);
+  const auto back = load_tensors(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].name, "layer0.weight");
+  EXPECT_EQ(back[1].name, "layer0.bias");
+  EXPECT_TRUE(allclose(back[0].tensor, tensors[0].tensor, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(back[2].tensor, tensors[2].tensor, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/nonexistent/path/x.bin"), Error);
+}
+
+}  // namespace
+}  // namespace hero

@@ -1,0 +1,262 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(Tensor, FactoriesFill) {
+  EXPECT_FLOAT_EQ(Tensor::ones({2, 3}).data()[5], 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::full({2}, 2.5f).data()[1], 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(-3.0f).item(), -3.0f);
+  const Tensor r = Tensor::arange(4);
+  EXPECT_FLOAT_EQ(r.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(r.data()[3], 3.0f);
+}
+
+TEST(Tensor, FromVectorValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_vector({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t = Tensor::from_vector({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ((t.at({0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ((t.at({1, 2})), 5.0f);
+  t.at({1, 0}) = 9.0f;
+  EXPECT_FLOAT_EQ(t.data()[3], 9.0f);
+  EXPECT_THROW((t.at({2, 0})), Error);
+  EXPECT_THROW((t.at({0})), Error);
+}
+
+TEST(Tensor, CopySharesStorageCloneDoesNot) {
+  Tensor a = Tensor::ones({3});
+  Tensor b = a;           // shares
+  Tensor c = a.clone();   // deep copy
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_FALSE(a.shares_storage_with(c));
+  a.data()[0] = 7.0f;
+  EXPECT_FLOAT_EQ(b.data()[0], 7.0f);
+  EXPECT_FLOAT_EQ(c.data()[0], 1.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorageAndInfers) {
+  Tensor a = Tensor::arange(12);
+  Tensor b = a.reshape({3, 4});
+  EXPECT_TRUE(a.shares_storage_with(b));
+  Tensor c = a.reshape({2, -1});
+  EXPECT_EQ(c.dim(1), 6);
+  EXPECT_THROW(a.reshape({5, 2}), Error);
+  EXPECT_THROW(a.reshape({-1, -1}), Error);
+}
+
+TEST(Tensor, PermuteTransposes) {
+  Tensor a = Tensor::from_vector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = a.transpose2d();
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ((t.at({0, 1})), 3.0f);
+  EXPECT_FLOAT_EQ((t.at({2, 0})), 2.0f);
+}
+
+TEST(Tensor, Permute3d) {
+  Tensor a = Tensor::arange(24).reshape({2, 3, 4});
+  Tensor p = a.permute({2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  // p[i][j][k] == a[j][k][i]
+  EXPECT_FLOAT_EQ((p.at({1, 1, 2})), (a.at({1, 2, 1})));
+}
+
+TEST(Tensor, NarrowCopiesSlice) {
+  Tensor a = Tensor::arange(12).reshape({3, 4});
+  Tensor s = a.narrow(0, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 4}));
+  EXPECT_FLOAT_EQ((s.at({0, 0})), 4.0f);
+  Tensor c = a.narrow(1, 2, 2);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ((c.at({2, 1})), 11.0f);
+  EXPECT_THROW(a.narrow(0, 2, 2), Error);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a = Tensor::ones({4});
+  Tensor b = Tensor::full({4}, 2.0f);
+  a.add_(b, 3.0f);
+  EXPECT_FLOAT_EQ(a.data()[0], 7.0f);
+  a.mul_(0.5f);
+  EXPECT_FLOAT_EQ(a.data()[0], 3.5f);
+  a.copy_(b);
+  EXPECT_FLOAT_EQ(a.data()[0], 2.0f);
+  a.fill_(0.0f);
+  EXPECT_FLOAT_EQ(a.data()[3], 0.0f);
+}
+
+TEST(Tensor, SumMeanAll) {
+  Tensor a = Tensor::arange(5);
+  EXPECT_FLOAT_EQ(a.sum().item(), 10.0f);
+  EXPECT_FLOAT_EQ(a.mean().item(), 2.0f);
+}
+
+TEST(Tensor, SumAxes) {
+  Tensor a = Tensor::arange(24).reshape({2, 3, 4});
+  Tensor s0 = a.sum({0}, false);
+  EXPECT_EQ(s0.shape(), (Shape{3, 4}));
+  EXPECT_FLOAT_EQ((s0.at({0, 0})), 0.0f + 12.0f);
+  Tensor s1k = a.sum({1}, true);
+  EXPECT_EQ(s1k.shape(), (Shape{2, 1, 4}));
+  EXPECT_FLOAT_EQ((s1k.at({0, 0, 0})), 0.0f + 4.0f + 8.0f);
+  Tensor s02 = a.sum({0, 2}, false);
+  EXPECT_EQ(s02.shape(), (Shape{3}));
+  // axis0+axis2 sum of row 0: elements a[0,0,:] + a[1,0,:]
+  EXPECT_FLOAT_EQ(s02.data()[0], (0 + 1 + 2 + 3) + (12 + 13 + 14 + 15));
+  // negative axis
+  Tensor sm1 = a.sum({-1}, false);
+  EXPECT_EQ(sm1.shape(), (Shape{2, 3}));
+}
+
+TEST(Tensor, ReduceMaxAndArgmax) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 5, 3, 9, 0, 2});
+  Tensor m = a.reduce_max(1, false);
+  EXPECT_EQ(m.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(m.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(m.data()[1], 9.0f);
+  Tensor mk = a.reduce_max(1, true);
+  EXPECT_EQ(mk.shape(), (Shape{2, 1}));
+  Tensor am = a.argmax(1);
+  EXPECT_FLOAT_EQ(am.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(am.data()[1], 0.0f);
+  // argmax over axis 0
+  Tensor am0 = a.argmax(0);
+  EXPECT_EQ(am0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(am0.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(am0.data()[1], 0.0f);
+}
+
+TEST(Tensor, Norms) {
+  Tensor a = Tensor::from_vector({4}, {3, -4, 0, 0});
+  EXPECT_FLOAT_EQ(a.l2_norm(), 5.0f);
+  EXPECT_FLOAT_EQ(a.l1_norm(), 7.0f);
+  EXPECT_FLOAT_EQ(a.max_abs(), 4.0f);
+  EXPECT_FLOAT_EQ(a.min_value(), -4.0f);
+  EXPECT_FLOAT_EQ(a.max_value(), 3.0f);
+}
+
+TEST(Tensor, ElementwiseMaps) {
+  Tensor a = Tensor::from_vector({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(relu(a).data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(relu(a).data()[2], 2.0f);
+  EXPECT_FLOAT_EQ(abs(a).data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(sign(a).data()[0], -1.0f);
+  EXPECT_FLOAT_EQ(sign(a).data()[1], 0.0f);
+  EXPECT_FLOAT_EQ(step_positive(a).data()[2], 1.0f);
+  EXPECT_FLOAT_EQ(step_positive(a).data()[1], 0.0f);
+  EXPECT_NEAR(exp(a).data()[2], std::exp(2.0f), 1e-5f);
+  EXPECT_NEAR(tanh(a).data()[0], std::tanh(-1.0f), 1e-6f);
+  Tensor b = Tensor::from_vector({2}, {4.0f, 9.0f});
+  EXPECT_FLOAT_EQ(sqrt(b).data()[1], 3.0f);
+  EXPECT_FLOAT_EQ(pow_scalar(b, 2.0f).data()[0], 16.0f);
+  EXPECT_NEAR(log(b).data()[0], std::log(4.0f), 1e-6f);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ((c.at({0, 0})), 58.0f);
+  EXPECT_FLOAT_EQ((c.at({0, 1})), 64.0f);
+  EXPECT_FLOAT_EQ((c.at({1, 0})), 139.0f);
+  EXPECT_FLOAT_EQ((c.at({1, 1})), 154.0f);
+}
+
+TEST(Tensor, MatmulShapeErrors) {
+  Tensor a = Tensor::ones({2, 3});
+  Tensor b = Tensor::ones({2, 3});
+  EXPECT_THROW(matmul(a, b), Error);
+  EXPECT_THROW(matmul(a, Tensor::ones({3})), Error);
+}
+
+TEST(Tensor, MatmulMatchesNaiveOnRandom) {
+  Rng rng(123);
+  Tensor a = Tensor::randn({7, 5}, rng);
+  Tensor b = Tensor::randn({5, 9}, rng);
+  Tensor c = matmul(a, b);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 9; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < 5; ++k) acc += a.at({i, k}) * b.at({k, j});
+      ASSERT_NEAR((c.at({i, j})), acc, 1e-4f);
+    }
+  }
+}
+
+TEST(Tensor, ConcatAlongAxes) {
+  Tensor a = Tensor::ones({2, 2});
+  Tensor b = Tensor::full({2, 2}, 2.0f);
+  Tensor c0 = concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{4, 2}));
+  EXPECT_FLOAT_EQ((c0.at({3, 1})), 2.0f);
+  Tensor c1 = concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{2, 4}));
+  EXPECT_FLOAT_EQ((c1.at({0, 3})), 2.0f);
+  EXPECT_FLOAT_EQ((c1.at({0, 0})), 1.0f);
+}
+
+TEST(Tensor, OneHot) {
+  Tensor labels = Tensor::from_vector({3}, {0, 2, 1});
+  Tensor oh = one_hot(labels, 3);
+  EXPECT_EQ(oh.shape(), (Shape{3, 3}));
+  EXPECT_FLOAT_EQ((oh.at({0, 0})), 1.0f);
+  EXPECT_FLOAT_EQ((oh.at({1, 2})), 1.0f);
+  EXPECT_FLOAT_EQ((oh.at({1, 0})), 0.0f);
+  EXPECT_THROW(one_hot(Tensor::from_vector({1}, {5}), 3), Error);
+}
+
+TEST(Tensor, AllcloseAndMaxAbsDiff) {
+  Tensor a = Tensor::from_vector({2}, {1.0f, 2.0f});
+  Tensor b = Tensor::from_vector({2}, {1.0f, 2.00001f});
+  EXPECT_TRUE(allclose(a, b, 1e-4f, 1e-4f));
+  EXPECT_FALSE(allclose(a, b, 1e-7f, 1e-7f));
+  EXPECT_NEAR(max_abs_diff(a, b), 1e-5f, 1e-6f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(99);
+  Tensor t = Tensor::randn({10000}, rng);
+  EXPECT_NEAR(t.mean().item(), 0.0f, 0.05f);
+  float var = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) var += t.data()[i] * t.data()[i];
+  EXPECT_NEAR(var / static_cast<float>(t.numel()), 1.0f, 0.05f);
+}
+
+TEST(Tensor, SumToReducesBroadcastDims) {
+  Tensor t = Tensor::ones({2, 3, 4});
+  Tensor r = sum_to(t, {3, 1});
+  EXPECT_EQ(r.shape(), (Shape{3, 1}));
+  EXPECT_FLOAT_EQ(r.data()[0], 8.0f);  // summed over 2 (leading) and 4 (axis)
+  Tensor full = sum_to(t, {2, 3, 4});
+  EXPECT_TRUE(allclose(full, t));
+  Tensor scalar = sum_to(t, {});
+  EXPECT_FLOAT_EQ(scalar.item(), 24.0f);
+}
+
+TEST(Tensor, BroadcastToExpands) {
+  Tensor t = Tensor::from_vector({3, 1}, {1, 2, 3});
+  Tensor b = broadcast_to(t, {2, 3, 4});
+  EXPECT_EQ(b.shape(), (Shape{2, 3, 4}));
+  EXPECT_FLOAT_EQ((b.at({1, 2, 3})), 3.0f);
+  EXPECT_THROW(broadcast_to(t, {2, 3}), Error);
+}
+
+}  // namespace
+}  // namespace hero
