@@ -21,17 +21,17 @@ int main(int argc, char** argv) {
     auto model = nn::make_model("micro_resnet", 3, b.train.classes, rng);
     data::Batch batch{b.train.features.narrow(0, 0, 64), b.train.labels.narrow(0, 0, 64)};
 
-    core::HeroConfig exact_config;
-    exact_config.h = 0.02f;
-    exact_config.gamma = 0.1f;
-    core::HeroConfig fd_config = exact_config;
-    fd_config.hvp_mode = core::HvpMode::kFiniteDiff;
-    core::HeroMethod exact(exact_config);
-    core::HeroMethod fd(fd_config);
-    std::vector<Tensor> ge;
-    std::vector<Tensor> gf;
-    exact.compute_gradients(*model, batch, ge);
-    fd.compute_gradients(*model, batch, gf);
+    auto& registry = optim::MethodRegistry::instance();
+    auto exact = registry.create_from_spec("hero:h=0.02,gamma=0.1");
+    auto fd = registry.create_from_spec("hero:h=0.02,gamma=0.1,hvp=fd");
+    optim::StepContext exact_ctx(*model);
+    optim::StepContext fd_ctx(*model);
+    exact_ctx.begin_step(batch);
+    fd_ctx.begin_step(batch);
+    exact->step(exact_ctx);
+    fd->step(fd_ctx);
+    const std::vector<Tensor>& ge = exact_ctx.grads();
+    const std::vector<Tensor>& gf = fd_ctx.grads();
     double dot = 0.0;
     double na = 0.0;
     double nb = 0.0;
@@ -45,16 +45,18 @@ int main(int argc, char** argv) {
     std::printf("step-gradient cosine similarity (exact vs FD): %.5f\n",
                 dot / std::sqrt(na * nb));
 
-    auto time_method = [&](core::HeroMethod& m) {
-      std::vector<Tensor> grads;
+    auto time_method = [&](optim::TrainingMethod& m, optim::StepContext& ctx) {
       const auto start = std::chrono::steady_clock::now();
       const int reps = 5;
-      for (int i = 0; i < reps; ++i) m.compute_gradients(*model, batch, grads);
+      for (int i = 0; i < reps; ++i) {
+        ctx.begin_step(batch, i);
+        m.step(ctx);
+      }
       const auto end = std::chrono::steady_clock::now();
       return std::chrono::duration<double, std::milli>(end - start).count() / reps;
     };
     std::printf("per-step cost: exact %.1f ms, finite-diff %.1f ms\n",
-                time_method(exact), time_method(fd));
+                time_method(*exact, exact_ctx), time_method(*fd, fd_ctx));
   }
 
   // (2) End-to-end accuracy under each mode.
@@ -64,12 +66,10 @@ int main(int argc, char** argv) {
     RunSpec spec;
     spec.model = "micro_resnet";
     spec.dataset = "c10";
-    spec.method = "hero";
     spec.epochs = env.scaled(14);
     spec.train_n = env.scaled64(192);
     spec.test_n = env.scaled64(256);
-    spec.params.h = 0.02f;
-    spec.params.hvp_mode = use_fd ? core::HvpMode::kFiniteDiff : core::HvpMode::kExact;
+    spec.method = use_fd ? "hero:h=0.02,hvp=fd" : "hero:h=0.02";
     RunOutcome outcome = run_training(spec);
     const auto q = core::quantization_sweep(*outcome.model, outcome.bench.test, {4});
     const std::string mode = use_fd ? "finite-diff" : "exact";

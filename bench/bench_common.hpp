@@ -5,6 +5,11 @@
 // sized for a ~1-2 minute run per binary on a small CPU; pass --scale=N (or
 // HERO_BENCH_SCALE=N) to multiply epochs and dataset sizes for tighter
 // numbers, and --out=DIR to change where CSVs are written.
+//
+// Training methods are spelled as MethodRegistry specs ("hero",
+// "hero:gamma=0.2,h=0.01", "first_order", ...) so new configurations need no
+// recompile; when a spec for an h-accepting method omits "h", run_training
+// fills in the dataset-calibrated default (core::default_h).
 #pragma once
 
 #include <cstdio>
@@ -14,9 +19,11 @@
 
 #include "common/csv.hpp"
 #include "common/flags.hpp"
+#include "common/parse.hpp"
 #include "core/experiments.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 namespace hero::bench {
 
@@ -43,7 +50,7 @@ inline BenchEnv make_env(int argc, char** argv) {
 struct RunSpec {
   std::string model;    ///< registry name (nn::make_model)
   std::string dataset;  ///< benchmark name (data::make_benchmark)
-  std::string method;   ///< method name (core::make_method)
+  std::string method;   ///< MethodRegistry spec, e.g. "hero:gamma=0.2"
   int epochs = 18;
   std::int64_t train_n = 256;
   std::int64_t test_n = 384;
@@ -53,15 +60,24 @@ struct RunSpec {
   std::uint64_t seed = 33;
   /// Trainer (shuffle/augment) seed; negative derives it from `seed`.
   std::int64_t trainer_seed = -1;
+  /// Record Figure 2's ‖Hz‖ each epoch (core::record_hessian_norm hook).
   bool record_hessian = false;
-  core::MethodParams params;  ///< h auto-filled from dataset when h < 0
+  /// Perturbation step for h-accepting methods when the spec omits "h";
+  /// negative means the dataset default (core::default_h).
+  float h = -1.0f;
 };
 
 struct RunOutcome {
   std::shared_ptr<nn::Module> model;
   core::TrainResult result;
   data::Benchmark bench;
+  std::string method_name;  ///< canonical method name parsed from the spec
 };
+
+/// Canonical method name of a registry spec ("hero:h=0.02" -> "hero").
+inline std::string method_name(const std::string& spec) {
+  return optim::parse_method_spec(spec).name;
+}
 
 /// Trains one configuration end to end (deterministic given the spec).
 inline RunOutcome run_training(const RunSpec& spec) {
@@ -74,19 +90,29 @@ inline RunOutcome run_training(const RunSpec& spec) {
   Rng model_rng(spec.seed + 7);
   outcome.model = nn::make_model(spec.model, outcome.bench.spec.channels,
                                  outcome.bench.train.classes, model_rng);
-  core::MethodParams params = spec.params;
-  if (params.h < 0.0f) params.h = core::default_h(spec.dataset);
-  auto method = core::make_method(spec.method, params);
+
+  optim::MethodSpec mspec = optim::parse_method_spec(spec.method);
+  outcome.method_name = mspec.name;
+  auto& registry = optim::MethodRegistry::instance();
+  // Inject the calibrated perturbation default for any method that takes
+  // "h" (the registry knows which do — including ones registered later).
+  if (registry.accepts_key(mspec.name, "h") && mspec.config.find("h") == mspec.config.end()) {
+    const float h = spec.h >= 0.0f ? spec.h : core::default_h(spec.dataset);
+    mspec.config["h"] = format_float_exact(h);
+  }
+  auto method = registry.create(mspec.name, mspec.config);
+
   core::TrainerConfig config;
   config.epochs = spec.epochs;
   config.batch_size = spec.batch_size;
   config.base_lr = spec.base_lr;
   config.seed = spec.trainer_seed >= 0 ? static_cast<std::uint64_t>(spec.trainer_seed)
                                        : spec.seed + 11;
-  config.record_hessian = spec.record_hessian;
-  config.hessian_sample = 128;
-  outcome.result =
-      core::train(*outcome.model, *method, outcome.bench.train, outcome.bench.test, config);
+  core::Trainer trainer(*outcome.model, *method, config);
+  if (spec.record_hessian) {
+    trainer.on_epoch_end(core::record_hessian_norm(/*sample=*/128));
+  }
+  outcome.result = trainer.fit(outcome.bench.train, outcome.bench.test);
   return outcome;
 }
 
@@ -106,13 +132,14 @@ inline void print_header(const std::vector<std::string>& cells) {
   std::fflush(stdout);
 }
 
-/// Display names matching the paper's method labels.
-inline std::string method_label(const std::string& method) {
-  if (method == "hero") return "HERO";
-  if (method == "grad_l1") return "GRAD L1";
-  if (method == "sgd") return "SGD";
-  if (method == "first_order") return "First-order only";
-  return method;
+/// Display names matching the paper's method labels; accepts full specs.
+inline std::string method_label(const std::string& spec) {
+  const std::string name = method_name(spec);
+  if (name == "hero") return "HERO";
+  if (name == "grad_l1") return "GRAD L1";
+  if (name == "sgd") return "SGD";
+  if (name == "first_order") return "First-order only";
+  return name;
 }
 
 /// Display names for the model analogs.

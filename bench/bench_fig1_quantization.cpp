@@ -47,7 +47,6 @@ int main(int argc, char** argv) {
       spec.epochs = env.scaled(panel.dataset == "imnet" ? 12 : 20);
       spec.train_n = env.scaled64(256);
       spec.test_n = env.scaled64(384);
-      spec.params.h = -1.0f;
       RunOutcome outcome = run_training(spec);
       const auto points =
           core::quantization_sweep(*outcome.model, outcome.bench.test, bits);

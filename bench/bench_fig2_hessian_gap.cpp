@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     spec.train_n = env.scaled64(224);
     spec.test_n = env.scaled64(256);
     spec.record_hessian = true;
-    spec.params.h = 0.02f;  // calibrated curvature-visible setting
+    spec.h = 0.02f;  // calibrated curvature-visible setting
     const RunOutcome outcome = run_training(spec);
     for (const auto& rec : outcome.result.history) {
       csv.row({method, std::to_string(rec.epoch), std::to_string(rec.hessian_norm),

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     spec.epochs = env.scaled(16);
     spec.train_n = env.scaled64(224);
     spec.test_n = env.scaled64(128);
-    spec.params.h = 0.02f;
+    spec.h = 0.02f;
     RunOutcome outcome = run_training(spec);
 
     // Loss closure over a fixed training batch, train-mode statistics frozen.

@@ -3,10 +3,39 @@
 // SGD needs one backward pass; the first-order rule two; GRAD L1 and HERO a
 // double-backprop pass on top. This bench quantifies the overhead the paper
 // implicitly accepts for HERO's robustness gains.
+//
+// It also audits the Session API's buffer reuse: global operator new is
+// replaced with a counting wrapper, and each timing loop reports
+//   allocs/step    heap allocations of one steady-state step
+//   alloc_growth   last-step allocations minus first-measured-step
+//                  allocations — 0 when StepContext's gradient and scratch
+//                  buffers are genuinely reused instead of reallocated.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "bench_common.hpp"
 #include "optim/methods.hpp"
+#include "optim/step.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -29,46 +58,43 @@ Fixture& fixture() {
   return f;
 }
 
-void run_method(benchmark::State& state, optim::TrainingMethod& method) {
+void run_method(benchmark::State& state, const std::string& spec) {
   Fixture& f = fixture();
-  std::vector<Tensor> grads;
+  const auto method = optim::MethodRegistry::instance().create_from_spec(spec);
+  // One context for the whole loop, as in Trainer::fit — its gradient and
+  // scratch buffers are allocated on the first step and reused afterwards.
+  optim::StepContext ctx(*f.model);
+  std::int64_t step = 0;
+  ctx.begin_step(f.batch, step++);
+  method->step(ctx);  // warm-up: materializes lazily-created scratch slots
+
+  std::size_t first_step_allocs = 0;
+  std::size_t last_step_allocs = 0;
+  bool measured = false;
   for (auto _ : state) {
-    const auto result = method.compute_gradients(*f.model, f.batch, grads);
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    ctx.begin_step(f.batch, step++);
+    const auto result = method->step(ctx);
     benchmark::DoNotOptimize(result.loss);
-    benchmark::DoNotOptimize(grads.data());
+    last_step_allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+    if (!measured) {
+      first_step_allocs = last_step_allocs;
+      measured = true;
+    }
   }
+  state.counters["allocs/step"] = static_cast<double>(last_step_allocs);
+  state.counters["alloc_growth"] =
+      static_cast<double>(last_step_allocs) - static_cast<double>(first_step_allocs);
 }
 
-void BM_SgdStep(benchmark::State& state) {
-  optim::SgdMethod method;
-  run_method(state, method);
-}
-
-void BM_FirstOrderStep(benchmark::State& state) {
-  optim::SamMethod method(0.02f);
-  run_method(state, method);
-}
-
-void BM_GradL1Step(benchmark::State& state) {
-  optim::GradL1Method method(0.01f);
-  run_method(state, method);
-}
-
+void BM_SgdStep(benchmark::State& state) { run_method(state, "sgd"); }
+void BM_FirstOrderStep(benchmark::State& state) { run_method(state, "first_order:h=0.02"); }
+void BM_GradL1Step(benchmark::State& state) { run_method(state, "grad_l1:lambda=0.01"); }
 void BM_HeroStepExact(benchmark::State& state) {
-  core::HeroConfig config;
-  config.h = 0.02f;
-  config.gamma = 0.1f;
-  core::HeroMethod method(config);
-  run_method(state, method);
+  run_method(state, "hero:h=0.02,gamma=0.1");
 }
-
 void BM_HeroStepFiniteDiff(benchmark::State& state) {
-  core::HeroConfig config;
-  config.h = 0.02f;
-  config.gamma = 0.1f;
-  config.hvp_mode = core::HvpMode::kFiniteDiff;
-  core::HeroMethod method(config);
-  run_method(state, method);
+  run_method(state, "hero:h=0.02,gamma=0.1,hvp=fd");
 }
 
 BENCHMARK(BM_SgdStep)->Unit(benchmark::kMillisecond);

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       spec.epochs = env.scaled(row.dataset == "imnet" ? 12 : 18);
       spec.train_n = env.scaled64(256);
       spec.test_n = env.scaled64(384);
-      spec.params.h = -1.0f;  // use the dataset default (paper ratio)
+      // spec.h < 0: dataset-default perturbation (paper §5.1 ratio)
       const RunOutcome outcome = run_training(spec);
       cells.push_back(format_pct(outcome.result.final_test_accuracy));
       csv.row({row.dataset, row.model, method,

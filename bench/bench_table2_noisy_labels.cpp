@@ -33,7 +33,6 @@ int main(int argc, char** argv) {
         spec.train_n = env.scaled64(192);
         spec.test_n = env.scaled64(256);
         spec.label_noise = ratio;
-        spec.params.h = -1.0f;
         const RunOutcome outcome = run_training(spec);
         cells.push_back(format_pct(outcome.result.final_test_accuracy));
         csv.row({model, std::to_string(ratio), method,

@@ -10,6 +10,7 @@
 #include "core/experiments.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
@@ -32,20 +33,18 @@ int main(int argc, char** argv) {
   std::printf("scenario: MicroMobileNet deployed on an edge device with dynamic\n"
               "precision scaling (no finetuning allowed at deploy time)\n\n");
 
-  for (const char* method_name : {"hero", "grad_l1", "sgd"}) {
+  for (const char* method_spec : {"hero:h=0.01", "grad_l1", "sgd"}) {
     Rng rng(21);
     auto model =
         nn::make_model("micro_mobilenet", bench.spec.channels, bench.train.classes, rng);
-    core::MethodParams params;
-    params.h = 0.01f;
-    auto method = core::make_method(method_name, params);
+    auto method = optim::MethodRegistry::instance().create_from_spec(method_spec);
     core::TrainerConfig config;
     config.epochs = epochs;
     config.batch_size = 64;
     config.base_lr = 0.1f;
-    core::train(*model, *method, bench.train, bench.test, config);
+    core::Trainer(*model, *method, config).fit(bench.train, bench.test);
 
-    std::printf("trained with %s:\n", method_name);
+    std::printf("trained with %s:\n", method->name().c_str());
     for (const PowerState& state : states) {
       double accuracy = 0.0;
       if (state.bits == 0) {

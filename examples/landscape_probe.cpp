@@ -2,7 +2,7 @@
 // model — top Hessian eigenvalue (power iteration with exact HVPs),
 // Hutchinson trace, the HERO probe norm ||Hz||, and an ASCII loss contour.
 //
-//   ./landscape_probe [--method=hero] [--epochs=14]
+//   ./landscape_probe [--method=hero:h=0.02] [--epochs=14]
 #include <cstdio>
 
 #include "common/flags.hpp"
@@ -12,24 +12,25 @@
 #include "hessian/spectral.hpp"
 #include "nn/layers.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
   const Flags flags(argc, argv);
-  const std::string method_name = flags.get("method", "hero");
+  // Any registry spec works here: --method=sgd, --method=hero:gamma=0.3,...
+  const std::string method_spec = flags.get("method", "hero:h=0.02");
 
   const data::Benchmark bench = data::make_benchmark("c10", 224, 256, 29);
   Rng rng(31);
   auto model =
       nn::make_model("micro_resnet", bench.spec.channels, bench.train.classes, rng);
-  core::MethodParams params;
-  params.h = 0.02f;
-  auto method = core::make_method(method_name, params);
+  auto method = optim::MethodRegistry::instance().create_from_spec(method_spec);
   core::TrainerConfig config;
   config.epochs = flags.get_int("epochs", 14);
   config.batch_size = 64;
-  const auto result = core::train(*model, *method, bench.train, bench.test, config);
-  std::printf("trained with %s: test accuracy %.2f%%\n\n", method_name.c_str(),
+  core::Trainer trainer(*model, *method, config);
+  const auto result = trainer.fit(bench.train, bench.test);
+  std::printf("trained with %s: test accuracy %.2f%%\n\n", method->name().c_str(),
               100.0 * result.final_test_accuracy);
 
   // Build a loss closure on a fixed training batch (train mode, frozen BN).

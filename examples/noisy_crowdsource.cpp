@@ -10,6 +10,7 @@
 #include "core/experiments.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
@@ -25,18 +26,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(changed), static_cast<long long>(bench.train.size()),
               100.0 * noise);
 
-  for (const char* method_name : {"hero", "sgd"}) {
+  for (const char* method_spec : {"hero:h=0.02", "sgd"}) {
     Rng rng(5);
     auto model =
         nn::make_model("micro_resnet", bench.spec.channels, bench.train.classes, rng);
-    core::MethodParams params;
-    params.h = 0.02f;
-    auto method = core::make_method(method_name, params);
+    auto method = optim::MethodRegistry::instance().create_from_spec(method_spec);
     core::TrainerConfig config;
     config.epochs = epochs;
     config.batch_size = 64;
     config.base_lr = 0.1f;
-    const auto result = core::train(*model, *method, bench.train, bench.test, config);
+    const auto result = core::Trainer(*model, *method, config).fit(bench.train, bench.test);
 
     // How many of the *corrupted* labels did the model fit? (Memorization
     // indicator: fitting noise is what destroys generalization.)
@@ -46,7 +45,7 @@ int main(int argc, char** argv) {
     clean_view.labels = clean_labels;
     const auto fit_clean = optim::evaluate(*model, clean_view).accuracy;
 
-    std::printf("%s:\n", method_name);
+    std::printf("%s:\n", method->name().c_str());
     std::printf("  clean test accuracy        %.2f%%\n",
                 100.0 * result.final_test_accuracy);
     std::printf("  fits corrupted train labels %.2f%%\n", 100.0 * fit_noisy);

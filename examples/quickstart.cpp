@@ -1,16 +1,18 @@
 // Quickstart: train a small model with HERO and deploy it quantized.
 //
-// Walks the whole public API in ~50 lines: build a dataset, build a model,
-// train with the HERO optimizer, evaluate, post-training-quantize to 4 bits,
-// and save a checkpoint.
+// Walks the Session API in ~60 lines: build a dataset, build a model, build
+// the training method from a registry spec string, train with a hook-driven
+// Trainer, evaluate, post-training-quantize to 4 bits, and save a
+// checkpoint.
 //
-//   ./quickstart [--epochs=15] [--gamma=0.1]
+//   ./quickstart [--epochs=15] [--method=hero:gamma=0.1,h=0.02]
 #include <cstdio>
 
 #include "common/flags.hpp"
 #include "core/experiments.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
@@ -26,23 +28,31 @@ int main(int argc, char** argv) {
   std::printf("model parameters: %lld\n",
               static_cast<long long>(model->parameter_count()));
 
-  // 3. Optimizer: HERO (Algorithm 1) — perturbed gradient + Hessian
-  //    regularizer, on momentum SGD with a cosine schedule.
-  core::HeroConfig hero_config;
-  hero_config.h = 0.02f;
-  hero_config.gamma = static_cast<float>(flags.get_double("gamma", 0.1));
-  core::HeroMethod method(hero_config);
+  // 3. Method: any registered training rule, configured by a spec string —
+  //    no recompile to try "sgd", "grad_l1:lambda=0.02", or a new gamma.
+  const std::string spec = flags.get("method", "hero:gamma=0.1,h=0.02");
+  auto method = optim::MethodRegistry::instance().create_from_spec(spec);
 
+  // 4. Trainer: owns momentum SGD + cosine schedule, drives the method
+  //    through a reused StepContext, and exposes hooks. Here on_step samples
+  //    HERO's per-step diagnostics (loss, ‖∇‖, the Hessian regularizer G).
   core::TrainerConfig config;
   config.epochs = flags.get_int("epochs", 15);
   config.batch_size = 64;
   config.base_lr = 0.1f;
   config.verbose = true;
-  const core::TrainResult result =
-      core::train(*model, method, bench.train, bench.test, config);
+  core::Trainer trainer(*model, *method, config);
+  trainer.on_step([](const core::StepEvent& event) {
+    if (event.step % 20 == 0) {
+      std::printf("    step %3lld  loss %.4f  |grad| %.3f  G %.3f\n",
+                  static_cast<long long>(event.step), event.result.loss,
+                  event.result.grad_norm, event.result.regularizer);
+    }
+  });
+  const core::TrainResult result = trainer.fit(bench.train, bench.test);
   std::printf("\nfinal test accuracy: %.2f%%\n", 100.0 * result.final_test_accuracy);
 
-  // 4. Deploy: post-training 4-bit weight quantization, no finetuning.
+  // 5. Deploy: post-training 4-bit weight quantization, no finetuning.
   {
     quant::QuantConfig qconfig;
     qconfig.bits = 4;
@@ -52,7 +62,7 @@ int main(int argc, char** argv) {
                 100.0 * eval.accuracy, scoped.stats().max_abs_error);
   }  // full-precision weights restored here
 
-  // 5. Save a checkpoint for later.
+  // 6. Save a checkpoint for later.
   nn::save_module("quickstart_model.bin", *model);
   std::printf("checkpoint written to quickstart_model.bin\n");
   return 0;

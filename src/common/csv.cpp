@@ -7,13 +7,30 @@
 
 namespace hero {
 
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string escaped;
+  escaped.reserve(cell.size() + 2);
+  escaped += '"';
+  for (const char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
     : path_(path), out_(path), columns_(header.size()) {
   HERO_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
   HERO_CHECK(!header.empty());
-  for (std::size_t i = 0; i < header.size(); ++i) {
+  write_line(header);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << header[i];
+    out_ << csv_escape(cells[i]);
   }
   out_ << '\n';
 }
@@ -21,11 +38,7 @@ CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& he
 void CsvWriter::row(const std::vector<std::string>& cells) {
   HERO_CHECK_MSG(cells.size() == columns_,
                  "CSV row has " << cells.size() << " cells, expected " << columns_);
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << cells[i];
-  }
-  out_ << '\n';
+  write_line(cells);
 }
 
 void CsvWriter::row(const std::vector<double>& cells) {

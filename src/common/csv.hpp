@@ -8,8 +8,15 @@
 
 namespace hero {
 
+/// RFC-4180 cell escaping: cells containing a comma, double quote, CR, or LF
+/// are wrapped in double quotes with embedded quotes doubled; anything else
+/// passes through verbatim.
+std::string csv_escape(const std::string& cell);
+
 /// Streams rows into a CSV file. Writes the header on construction and
 /// flushes on destruction. Throws hero::Error if the file cannot be opened.
+/// Header and row cells are escaped with csv_escape, so labels containing
+/// commas or quotes cannot corrupt the row structure.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
@@ -23,6 +30,8 @@ class CsvWriter {
   const std::string& path() const { return path_; }
 
  private:
+  void write_line(const std::vector<std::string>& cells);
+
   std::string path_;
   std::ofstream out_;
   std::size_t columns_;

@@ -1,7 +1,12 @@
 #include "common/flags.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
 
 namespace hero {
 
@@ -23,6 +28,9 @@ Flags::Flags(int argc, char** argv) {
     if (std::strncmp(arg, "--", 2) == 0 && std::strchr(arg, '=') != nullptr) {
       args_ += '\n';
       args_ += (arg + 2);
+    } else {
+      std::fprintf(stderr, "warning: ignoring argument '%s' (flags must be --key=value)\n",
+                   arg);
     }
   }
   args_ += '\n';
@@ -49,6 +57,14 @@ int Flags::get_int(const std::string& name, int fallback) const {
 double Flags::get_double(const std::string& name, double fallback) const {
   const std::string v = get(name, "");
   return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  if (const auto parsed = parse_bool(v)) return *parsed;
+  throw Error("flag --" + name + " is not a boolean: '" + v +
+              "' (accepted: " + std::string(kBoolSpellings) + ")");
 }
 
 double Flags::scale() const { return get_double("scale", get_double("bench-scale", 1.0)); }

@@ -3,6 +3,8 @@
 // Benches accept flags of the form --name=value and fall back to environment
 // variables HERO_<NAME>; this lets `for b in build/bench/*; do $b; done` run
 // with cheap defaults while HERO_BENCH_SCALE=3 scales every experiment up.
+// Arguments that are not --key=value are not silently dropped: the
+// constructor warns about them on stderr.
 #pragma once
 
 #include <string>
@@ -18,6 +20,9 @@ class Flags {
   std::string get(const std::string& name, const std::string& fallback) const;
   int get_int(const std::string& name, int fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Parses 1/0, true/false, yes/no, on/off (case-insensitive); throws
+  /// hero::Error on any other value.
+  bool get_bool(const std::string& name, bool fallback) const;
 
   /// Global multiplier applied by benches to epochs / dataset sizes.
   /// Controlled by --scale or HERO_BENCH_SCALE; defaults to 1.0.

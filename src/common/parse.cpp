@@ -1,0 +1,25 @@
+#include "common/parse.hpp"
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+
+namespace hero {
+
+std::optional<bool> parse_bool(const std::string& value) {
+  std::string v;
+  v.reserve(value.size());
+  for (char c : value) v += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return std::nullopt;
+}
+
+std::string format_float_exact(float value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+}  // namespace hero

@@ -1,0 +1,20 @@
+// Small shared string-parsing helpers used by flag and config readers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace hero {
+
+/// The boolean spellings parse_bool accepts, for error messages.
+inline constexpr const char* kBoolSpellings = "1/0, true/false, yes/no, on/off";
+
+/// Parses 1/0, true/false, yes/no, on/off (case-insensitive); nullopt on
+/// anything else.
+std::optional<bool> parse_bool(const std::string& value);
+
+/// Formats a float so that std::stof round-trips to the identical value
+/// (max_digits10 precision); used wherever numeric config travels as text.
+std::string format_float_exact(float value);
+
+}  // namespace hero

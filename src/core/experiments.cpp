@@ -4,26 +4,9 @@
 
 namespace hero::core {
 
-std::unique_ptr<optim::TrainingMethod> make_method(const std::string& name,
-                                                   const MethodParams& params) {
-  if (name == "hero") {
-    HeroConfig config;
-    config.h = params.h;
-    config.gamma = params.gamma;
-    config.hvp_mode = params.hvp_mode;
-    return std::make_unique<HeroMethod>(config);
-  }
-  if (name == "sgd") return std::make_unique<optim::SgdMethod>();
-  if (name == "grad_l1") return std::make_unique<optim::GradL1Method>(params.lambda);
-  if (name == "first_order" || name == "sam") {
-    return std::make_unique<optim::SamMethod>(params.h);
-  }
-  throw Error("unknown training method: " + name);
-}
-
 float default_h(const std::string& dataset_name) {
   // §5.1 uses 0.5 for CIFAR-10 and 1.0 for the rest at full scale; the
-  // micro-scale calibration keeps the same 1:2 ratio (see MethodParams).
+  // micro-scale calibration keeps the same 1:2 ratio (see default_h docs).
   return dataset_name == "c10" ? 0.01f : 0.02f;
 }
 

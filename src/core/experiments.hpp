@@ -1,36 +1,26 @@
-// Shared experiment plumbing for the paper-reproduction benches: method
-// factory with the paper's hyperparameters (§5.1), dataset registry, and a
-// quantization sweep helper used by Figure 1 / Table 3.
+// Shared experiment plumbing for the paper-reproduction benches: the
+// dataset-calibrated perturbation default (§5.1) and a quantization sweep
+// helper used by Figure 1 / Table 3.
+//
+// Training methods are built through the MethodRegistry
+// (optim/registry.hpp); the old make_method switch is gone.
 #pragma once
 
-#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/hero.hpp"
 #include "core/trainer.hpp"
 #include "quant/quantize.hpp"
 
 namespace hero::core {
 
-/// Method hyperparameters. The paper (§5.1) uses h = 0.5 on CIFAR-10 and
-/// 1.0 elsewhere for full-scale networks; because the Eq. 15 probe scales
-/// with ‖W_i‖, the equivalent *relative* perturbation for our micro-scale
-/// models calibrates to h ≈ 0.01–0.02 (the paper's 1:2 dataset ratio is
-/// preserved by default_h below; calibration sweep recorded in
-/// EXPERIMENTS.md). γ and λ come from the same small grid searches the
-/// paper describes.
-struct MethodParams {
-  float h = 0.01f;
-  float gamma = 0.1f;
-  float lambda = 0.01f;  ///< GRAD L1 strength
-  HvpMode hvp_mode = HvpMode::kExact;
-};
-
-/// Builds a training method by name: "hero", "sgd", "grad_l1",
-/// "first_order" (the SAM-style Table 3 ablation).
-std::unique_ptr<optim::TrainingMethod> make_method(const std::string& name,
-                                                   const MethodParams& params);
-
-/// Default perturbation step per dataset, following §5.1.
+/// Default perturbation step per dataset, following §5.1. The paper uses
+/// h = 0.5 on CIFAR-10 and 1.0 elsewhere for full-scale networks; because
+/// the Eq. 15 probe scales with ‖W_i‖, the equivalent *relative*
+/// perturbation for our micro-scale models calibrates to h ≈ 0.01–0.02,
+/// preserving the paper's 1:2 dataset ratio (calibration sweep recorded in
+/// EXPERIMENTS.md).
 float default_h(const std::string& dataset_name);
 
 /// One row of a post-training quantization sweep (Figure 1 / Table 3).

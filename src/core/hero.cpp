@@ -4,6 +4,7 @@
 #include "common/check.hpp"
 #include "hessian/spectral.hpp"
 #include "nn/layers.hpp"
+#include "optim/registry.hpp"
 
 namespace hero::core {
 
@@ -12,44 +13,43 @@ namespace {
 using hessian::ParamVector;
 
 /// Eq. (15) probe restricted to the perturbed subset: zero elsewhere.
-ParamVector masked_probe(const std::vector<nn::Parameter*>& plist,
-                         const std::vector<ag::Variable>& params, const ParamVector& g,
-                         bool perturb_all) {
-  ParamVector z = hessian::hero_probe(params, g);
+/// Writes into preallocated `z` (StepContext scratch), no allocation.
+void masked_probe(const std::vector<nn::Parameter*>& plist,
+                  const std::vector<ag::Variable>& params, const ParamVector& g,
+                  bool perturb_all, ParamVector& z) {
+  hessian::hero_probe(params, g, z);
   if (!perturb_all) {
     for (std::size_t i = 0; i < plist.size(); ++i) {
       if (!plist[i]->is_weight) z[i].fill_(0.0f);
     }
   }
-  return z;
 }
 
 }  // namespace
 
-optim::StepResult HeroMethod::compute_gradients(nn::Module& model, const data::Batch& batch,
-                                                std::vector<Tensor>& grads) {
-  const std::vector<nn::Parameter*> plist = model.parameters();
-  std::vector<ag::Variable> params;
-  params.reserve(plist.size());
-  for (nn::Parameter* p : plist) params.push_back(p->var);
+optim::StepResult HeroMethod::step(optim::StepContext& ctx) {
+  nn::Module& model = ctx.model();
+  const data::Batch& batch = ctx.batch();
+  const std::vector<nn::Parameter*>& plist = ctx.params();
+  const std::vector<ag::Variable>& params = ctx.param_vars();
 
   // (1) Clean gradient g_i = ∇L_B(W_i). This forward is the one that updates
   // BatchNorm running statistics for the step.
   const ag::Variable loss = optim::batch_loss(model, batch);
   const float loss_value = loss.value().item();
   const auto gs = ag::grad(loss, params);
-  ParamVector g;
-  g.reserve(gs.size());
-  for (const auto& gi : gs) g.push_back(gi.value().clone());
+  ParamVector& g = ctx.scratch(0);
+  for (std::size_t i = 0; i < params.size(); ++i) g[i].copy_(gs[i].value());
 
   // (2)-(3) Probe and perturb to W* = W + h·z.
-  const ParamVector z = masked_probe(plist, params, g, config_.perturb_all_params);
+  ParamVector& z = ctx.scratch(1);
+  masked_probe(plist, params, g, config_.perturb_all_params, z);
   for (std::size_t i = 0; i < params.size(); ++i) {
     params[i].mutable_value().add_(z[i], config_.h);
   }
 
-  grads.clear();
-  grads.reserve(params.size());
+  std::vector<Tensor>& grads = ctx.grads();
+  float regularizer = 0.0f;
   {
     nn::BatchNormFreezeGuard bn_freeze;
     if (config_.hvp_mode == HvpMode::kExact) {
@@ -65,46 +65,39 @@ optim::StepResult HeroMethod::compute_gradients(nn::Module& model, const data::B
                                       : ag::sum_squares(delta);
         reg = reg.defined() ? ag::add(reg, term) : term;
       }
-      last_regularizer_ = reg.value().item();
+      regularizer = reg.value().item();
       const auto hess_grads = ag::grad(reg, params);
       for (std::size_t i = 0; i < params.size(); ++i) {
-        Tensor total = gs_star[i].value().clone();
-        total.add_(hess_grads[i].value(), config_.gamma);
-        grads.push_back(std::move(total));
+        grads[i].copy_(gs_star[i].value());
+        grads[i].add_(hess_grads[i].value(), config_.gamma);
       }
     } else {
       // Finite-difference path: ∇_{W*}G = H(W*)·u with per-layer blocks
       // u_i = Δg_i/‖Δg_i‖ (kL2) or u_i = 2·Δg_i (kL2Squared); H symmetric.
       const ag::Variable loss_star = optim::batch_loss(model, batch);
       const auto gs_star = ag::grad(loss_star, params);
-      ParamVector g_star;
-      g_star.reserve(gs_star.size());
-      for (const auto& gi : gs_star) g_star.push_back(gi.value().clone());
+      ParamVector& g_star = ctx.scratch(2);
+      for (std::size_t i = 0; i < params.size(); ++i) g_star[i].copy_(gs_star[i].value());
 
-      ParamVector u;
-      u.reserve(params.size());
-      float reg_value = 0.0f;
+      ParamVector& u = ctx.scratch(3);
       for (std::size_t i = 0; i < params.size(); ++i) {
-        Tensor delta = g_star[i].clone();
-        delta.add_(g[i], -1.0f);
-        const float delta_norm = delta.l2_norm();
+        u[i].copy_(g_star[i]);
+        u[i].add_(g[i], -1.0f);
+        const float delta_norm = u[i].l2_norm();
         if (config_.reg_norm == RegNorm::kL2) {
-          reg_value += delta_norm;
-          if (delta_norm > 0.0f) delta.mul_(1.0f / delta_norm);
+          regularizer += delta_norm;
+          if (delta_norm > 0.0f) u[i].mul_(1.0f / delta_norm);
         } else {
-          reg_value += delta_norm * delta_norm;
-          delta.mul_(2.0f);
+          regularizer += delta_norm * delta_norm;
+          u[i].mul_(2.0f);
         }
-        u.push_back(std::move(delta));
       }
-      last_regularizer_ = reg_value;
 
       auto loss_closure = [&model, &batch]() { return optim::batch_loss(model, batch); };
       const ParamVector hvp = hessian::hvp_finite_diff(loss_closure, params, u, config_.fd_eps);
       for (std::size_t i = 0; i < params.size(); ++i) {
-        Tensor total = g_star[i].clone();
-        total.add_(hvp[i], config_.gamma);
-        grads.push_back(std::move(total));
+        grads[i].copy_(g_star[i]);
+        grads[i].add_(hvp[i], config_.gamma);
       }
     }
   }
@@ -113,7 +106,43 @@ optim::StepResult HeroMethod::compute_gradients(nn::Module& model, const data::B
   for (std::size_t i = 0; i < params.size(); ++i) {
     params[i].mutable_value().add_(z[i], -config_.h);
   }
-  return {loss_value};
+
+  optim::StepResult result;
+  result.loss = loss_value;
+  result.grad_norm = ctx.grad_norm();
+  result.regularizer = regularizer;
+  result.perturbation_norm = config_.h * optim::param_vector_norm(z);
+  return result;
 }
+
+HERO_REGISTER_METHOD(
+    "hero",
+    [](const optim::MethodConfig& config) {
+  HeroConfig hero_config;
+  hero_config.h = optim::config_float(config, "h", hero_config.h);
+  hero_config.gamma = optim::config_float(config, "gamma", hero_config.gamma);
+  const std::string hvp = optim::config_str(config, "hvp", "exact");
+  if (hvp == "exact") {
+    hero_config.hvp_mode = HvpMode::kExact;
+  } else if (hvp == "fd" || hvp == "finite_diff") {
+    hero_config.hvp_mode = HvpMode::kFiniteDiff;
+  } else {
+    throw Error("hero config key 'hvp' must be 'exact' or 'fd', got '" + hvp + "'");
+  }
+  const std::string reg_norm = optim::config_str(config, "reg_norm", "l2");
+  if (reg_norm == "l2") {
+    hero_config.reg_norm = RegNorm::kL2;
+  } else if (reg_norm == "l2_squared") {
+    hero_config.reg_norm = RegNorm::kL2Squared;
+  } else {
+    throw Error("hero config key 'reg_norm' must be 'l2' or 'l2_squared', got '" +
+                reg_norm + "'");
+  }
+  hero_config.perturb_all_params =
+      optim::config_bool(config, "perturb_all", hero_config.perturb_all_params);
+  hero_config.fd_eps = optim::config_float(config, "fd_eps", hero_config.fd_eps);
+  return std::make_unique<HeroMethod>(hero_config);
+    },
+    {"h", "gamma", "hvp", "reg_norm", "perturb_all", "fd_eps"})
 
 }  // namespace hero::core

@@ -12,6 +12,12 @@
 // ∇z is matched by differentiating with respect to W* only). A
 // finite-difference fallback reproduces the same quantity without a second
 // graph, for the ablation bench.
+//
+// The per-step regularizer value G is reported through StepResult::regularizer
+// (with ‖h·z‖ in StepResult::perturbation_norm); HERO registers itself as
+// "hero" with the MethodRegistry, accepting the config keys
+//   h, gamma, hvp (exact|fd), reg_norm (l2|l2_squared), perturb_all, fd_eps
+// so benches can spell --method=hero:gamma=0.2,h=0.01.
 #pragma once
 
 #include "optim/methods.hpp"
@@ -32,7 +38,7 @@ struct HeroConfig {
   /// Perturbation step. The probe z_i has norm ‖W_i‖ (Eq. 15), so h is a
   /// *relative* step; the paper uses 0.5/1.0 for full-scale networks, which
   /// calibrates to ~0.01-0.02 for this repository's micro-scale models (see
-  /// core::MethodParams and EXPERIMENTS.md).
+  /// core::default_h and EXPERIMENTS.md).
   float h = 0.01f;
   float gamma = 0.1f;   ///< Hessian regularization strength (grid-searched)
   HvpMode hvp_mode = HvpMode::kExact;
@@ -47,18 +53,13 @@ class HeroMethod : public optim::TrainingMethod {
  public:
   explicit HeroMethod(const HeroConfig& config) : config_(config) {}
 
-  optim::StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
-                                      std::vector<Tensor>& grads) override;
+  optim::StepResult step(optim::StepContext& ctx) override;
   std::string name() const override { return "hero"; }
 
   const HeroConfig& config() const { return config_; }
 
-  /// Value of the Hessian regularizer G at the last step (diagnostics).
-  float last_regularizer() const { return last_regularizer_; }
-
  private:
   HeroConfig config_;
-  float last_regularizer_ = 0.0f;
 };
 
 }  // namespace hero::core

@@ -7,6 +7,7 @@
 #include "data/loader.hpp"
 #include "hessian/spectral.hpp"
 #include "nn/layers.hpp"
+#include "optim/step.hpp"
 
 namespace hero::core {
 
@@ -31,67 +32,97 @@ double measure_hessian_norm(nn::Module& model, const data::Dataset& train, std::
   return result;
 }
 
-TrainResult train(nn::Module& model, optim::TrainingMethod& method, const data::Dataset& train,
-                  const data::Dataset& test, const TrainerConfig& config) {
-  HERO_CHECK(config.epochs >= 1);
-  Rng seed_root(config.seed + 0x5eedULL);
-  data::DataLoader loader(train, config.batch_size, /*shuffle=*/true, seed_root.split(1));
+Trainer::EpochHook record_hessian_norm(std::int64_t sample, float probe_h) {
+  return [sample, probe_h](const EpochEvent& event) {
+    event.record.hessian_norm =
+        measure_hessian_norm(event.model, event.train, sample, probe_h);
+  };
+}
+
+Trainer::EpochHook track_generalization_gap(std::vector<double>* out) {
+  HERO_CHECK_MSG(out != nullptr, "track_generalization_gap needs an output vector");
+  return [out](const EpochEvent& event) { out->push_back(event.record.generalization_gap); };
+}
+
+Trainer::Trainer(nn::Module& model, optim::TrainingMethod& method, TrainerConfig config)
+    : model_(&model), method_(&method), config_(config) {
+  HERO_CHECK(config_.epochs >= 1);
+}
+
+Trainer& Trainer::on_step(StepHook hook) {
+  step_hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+Trainer& Trainer::on_epoch_end(EpochHook hook) {
+  epoch_hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+TrainResult Trainer::fit(const data::Dataset& train, const data::Dataset& test) {
+  Rng seed_root(config_.seed + 0x5eedULL);
+  data::DataLoader loader(train, config_.batch_size, /*shuffle=*/true, seed_root.split(1));
   Rng augment_rng = seed_root.split(2);
 
   optim::SgdConfig sgd_config;
-  sgd_config.lr = config.base_lr;
-  sgd_config.momentum = config.momentum;
-  sgd_config.weight_decay = config.weight_decay;
-  optim::Sgd sgd(model.parameters(), sgd_config);
+  sgd_config.lr = config_.base_lr;
+  sgd_config.momentum = config_.momentum;
+  sgd_config.weight_decay = config_.weight_decay;
+  optim::Sgd sgd(model_->parameters(), sgd_config);
 
   std::unique_ptr<optim::LrSchedule> schedule;
-  if (config.cosine_lr) {
-    schedule = std::make_unique<optim::CosineSchedule>(config.base_lr);
+  if (config_.cosine_lr) {
+    schedule = std::make_unique<optim::CosineSchedule>(config_.base_lr);
   } else {
-    schedule = std::make_unique<optim::ConstantSchedule>(config.base_lr);
+    schedule = std::make_unique<optim::ConstantSchedule>(config_.base_lr);
   }
 
   const std::int64_t total_steps =
-      static_cast<std::int64_t>(config.epochs) * loader.batches_per_epoch();
+      static_cast<std::int64_t>(config_.epochs) * loader.batches_per_epoch();
   std::int64_t step = 0;
 
   TrainResult result;
-  result.history.reserve(static_cast<std::size_t>(config.epochs));
-  std::vector<Tensor> grads;
+  result.history.reserve(static_cast<std::size_t>(config_.epochs));
+  // One context for the whole run: gradient and scratch buffers are
+  // allocated once and reused by every step.
+  optim::StepContext ctx(*model_, seed_root.split(3));
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    model.set_training(true);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    model_->set_training(true);
     double loss_sum = 0.0;
     std::int64_t loss_count = 0;
     for (data::Batch& batch : loader.epoch()) {
-      if (config.augment && batch.x.ndim() == 4) {
-        batch.x = data::augment_shift_flip(batch.x, config.augment_max_shift, augment_rng);
+      if (config_.augment && batch.x.ndim() == 4) {
+        batch.x = data::augment_shift_flip(batch.x, config_.augment_max_shift, augment_rng);
       }
       const float lr = schedule->lr(step, total_steps);
       sgd.set_lr(lr);
-      const auto step_result = method.compute_gradients(model, batch, grads);
-      sgd.step_with(grads);
+      ctx.begin_step(batch, step, epoch);
+      const optim::StepResult step_result = method_->step(ctx);
+      sgd.step_with(ctx.grads());
       loss_sum += step_result.loss;
       ++loss_count;
       ++step;
+      for (const StepHook& hook : step_hooks_) {
+        hook(StepEvent{step - 1, epoch, lr, step_result, *model_});
+      }
     }
 
     EpochRecord record;
     record.epoch = epoch;
     record.lr = sgd.lr();
     record.train_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(1, loss_count));
-    const auto train_eval = optim::evaluate(model, train);
-    const auto test_eval = optim::evaluate(model, test);
+    const auto train_eval = optim::evaluate(*model_, train);
+    const auto test_eval = optim::evaluate(*model_, test);
     record.train_accuracy = train_eval.accuracy;
     record.test_accuracy = test_eval.accuracy;
     record.generalization_gap = train_eval.accuracy - test_eval.accuracy;
-    if (config.record_hessian) {
-      record.hessian_norm =
-          measure_hessian_norm(model, train, config.hessian_sample, config.hessian_probe_h);
+    for (const EpochHook& hook : epoch_hooks_) {
+      hook(EpochEvent{record, *model_, train, test});
     }
-    if (config.verbose) {
+    if (config_.verbose) {
       std::printf("[%s] epoch %3d lr %.4f loss %.4f train %.4f test %.4f\n",
-                  method.name().c_str(), epoch, record.lr, record.train_loss,
+                  method_->name().c_str(), epoch, record.lr, record.train_loss,
                   record.train_accuracy, record.test_accuracy);
       std::fflush(stdout);
     }

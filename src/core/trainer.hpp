@@ -1,7 +1,22 @@
-// Training harness: epochs, cosine schedule, metrics history, and the
-// diagnostics Figure 2 plots (‖Hz‖ and the generalization gap per epoch).
+// Session API v1: the Trainer — epochs, cosine schedule, metrics history,
+// and user hooks.
+//
+// Trainer owns the optimizer and LR schedule, drives the TrainingMethod
+// through a single reused StepContext (so per-step buffers amortize across
+// the whole run), and exposes two callback points:
+//   on_step(hook)       after every optimizer step (StepEvent)
+//   on_epoch_end(hook)  after each epoch's evaluation (EpochEvent; hooks may
+//                       fill extra EpochRecord fields)
+// The diagnostics that used to hide behind TrainerConfig flags are stock
+// callbacks now: record_hessian_norm() computes Figure 2's ‖Hz‖ per epoch,
+// track_generalization_gap() accumulates the per-epoch train−test gap.
+//
+//   Trainer trainer(model, method, config);
+//   trainer.on_epoch_end(record_hessian_norm(256, 0.5f));
+//   TrainResult result = trainer.fit(train, test);
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/hero.hpp"
@@ -20,11 +35,8 @@ struct TrainerConfig {
   bool cosine_lr = true;
   bool augment = false;       ///< random shift+flip on image batches
   std::int64_t augment_max_shift = 1;
-  std::uint64_t seed = 0;     ///< loader shuffle / augmentation seed
-  bool record_hessian = false;  ///< compute ‖Hz‖ each epoch (Figure 2)
-  float hessian_probe_h = 0.5f;
-  std::int64_t hessian_sample = 256;  ///< training samples used for ‖Hz‖
-  bool verbose = false;
+  std::uint64_t seed = 0;     ///< loader shuffle / augmentation / method RNG seed
+  bool verbose = false;       ///< per-epoch stdout summary
 };
 
 struct EpochRecord {
@@ -34,7 +46,7 @@ struct EpochRecord {
   double train_accuracy = 0.0;
   double test_accuracy = 0.0;
   double generalization_gap = 0.0;  ///< train_accuracy − test_accuracy
-  double hessian_norm = 0.0;  ///< ‖Hz‖ along the Eq. 15 probe, if recorded
+  double hessian_norm = 0.0;  ///< ‖Hz‖, filled by the record_hessian_norm hook
 };
 
 struct TrainResult {
@@ -45,10 +57,61 @@ struct TrainResult {
   const EpochRecord& last() const { return history.back(); }
 };
 
-/// Trains `model` with `method` on `train`, evaluating on `test` each epoch.
-TrainResult train(nn::Module& model, optim::TrainingMethod& method,
-                  const data::Dataset& train, const data::Dataset& test,
-                  const TrainerConfig& config);
+/// Passed to on_step hooks after each optimizer update.
+struct StepEvent {
+  std::int64_t step = 0;  ///< global step index across epochs
+  int epoch = 0;
+  float lr = 0.0f;
+  const optim::StepResult& result;  ///< loss + diagnostics from the method
+  nn::Module& model;
+};
+
+/// Passed to on_epoch_end hooks after the epoch's train/test evaluation.
+/// Hooks may write additional fields into `record` (it is pushed onto the
+/// history after all hooks ran).
+struct EpochEvent {
+  EpochRecord& record;
+  nn::Module& model;
+  const data::Dataset& train;
+  const data::Dataset& test;
+};
+
+class Trainer {
+ public:
+  using StepHook = std::function<void(const StepEvent&)>;
+  using EpochHook = std::function<void(const EpochEvent&)>;
+
+  /// Binds the model and method; both must outlive the Trainer.
+  Trainer(nn::Module& model, optim::TrainingMethod& method, TrainerConfig config = {});
+
+  /// Registers a hook; chainable (trainer.on_step(a).on_epoch_end(b)).
+  Trainer& on_step(StepHook hook);
+  Trainer& on_epoch_end(EpochHook hook);
+
+  /// Trains for config.epochs, evaluating on `test` each epoch.
+  TrainResult fit(const data::Dataset& train, const data::Dataset& test);
+
+  nn::Module& model() { return *model_; }
+  optim::TrainingMethod& method() { return *method_; }
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  nn::Module* model_;
+  optim::TrainingMethod* method_;
+  TrainerConfig config_;
+  std::vector<StepHook> step_hooks_;
+  std::vector<EpochHook> epoch_hooks_;
+};
+
+// ---- Stock callbacks -------------------------------------------------------
+
+/// on_epoch_end hook filling EpochRecord::hessian_norm with ‖Hz‖ along the
+/// Eq. 15 probe on a training-sample batch (the Figure 2 metric).
+Trainer::EpochHook record_hessian_norm(std::int64_t sample = 256, float probe_h = 0.5f);
+
+/// on_epoch_end hook appending each epoch's generalization gap to *out
+/// (Figure 2(b) series). `out` must outlive the fit() call.
+Trainer::EpochHook track_generalization_gap(std::vector<double>* out);
 
 /// ‖Hz‖ diagnostic on a training-sample batch (Figure 2 metric). Runs the
 /// model in train mode with frozen BatchNorm statistics.

@@ -3,8 +3,19 @@
 //   #include "hero.hpp"
 //
 // pulls in the tensor/autograd substrate, the NN layer and model zoo, the
-// synthetic data benchmarks, the quantizer, the Hessian toolbox, the
-// baseline optimizers, and HERO itself. Link against the hero_all target.
+// synthetic data benchmarks, the quantizer, the Hessian toolbox, and the
+// Session API v1 for training. Link against the hero_all target.
+//
+// The Session API is three pieces (see README.md for a walkthrough):
+//  * optim::StepContext / StepResult (optim/step.hpp) — the per-step
+//    contract: model + batch + reused gradient buffers in, loss + gradient
+//    norm + regularizer + perturbation norm out.
+//  * optim::MethodRegistry (optim/registry.hpp) — self-registering method
+//    factories; build any training rule from "name:key=value,..." specs
+//    such as "hero:gamma=0.2,h=0.01".
+//  * core::Trainer (core/trainer.hpp) — owns optimizer + schedule, drives
+//    TrainingMethod::step, and exposes on_step / on_epoch_end hooks with
+//    stock callbacks for the paper's Figure 2 diagnostics.
 #pragma once
 
 #include "autograd/functional.hpp"
@@ -14,6 +25,7 @@
 #include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/flags.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "core/experiments.hpp"
 #include "core/hero.hpp"
@@ -29,7 +41,9 @@
 #include "nn/models.hpp"
 #include "nn/module.hpp"
 #include "optim/methods.hpp"
+#include "optim/registry.hpp"
 #include "optim/schedule.hpp"
+#include "optim/step.hpp"
 #include "optim/sgd.hpp"
 #include "quant/quantize.hpp"
 #include "tensor/conv_ops.hpp"

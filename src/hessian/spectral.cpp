@@ -74,21 +74,26 @@ double hutchinson_trace(const LossClosure& loss, const Params& params, Rng& rng,
 }
 
 ParamVector hero_probe(const Params& params, const ParamVector& g) {
-  HERO_CHECK(params.size() == g.size());
   ParamVector z;
   z.reserve(params.size());
+  for (const Tensor& gi : g) z.emplace_back(gi.shape());
+  hero_probe(params, g, z);
+  return z;
+}
+
+void hero_probe(const Params& params, const ParamVector& g, ParamVector& out) {
+  HERO_CHECK(params.size() == g.size());
+  HERO_CHECK(out.size() == params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     const float g_norm = g[i].l2_norm();
     const float w_norm = params[i].value().l2_norm();
-    Tensor zi = g[i].clone();
+    out[i].copy_(g[i]);
     if (g_norm > 0.0f) {
-      zi.mul_(w_norm / g_norm);
+      out[i].mul_(w_norm / g_norm);
     } else {
-      zi.fill_(0.0f);
+      out[i].fill_(0.0f);
     }
-    z.push_back(std::move(zi));
   }
-  return z;
 }
 
 double hessian_norm_along_gradient(const LossClosure& loss, const Params& params, float h) {

@@ -35,4 +35,8 @@ double hessian_norm_along_gradient(const LossClosure& loss, const Params& params
 /// direction per parameter tensor. Zero tensors where ‖g_i‖ = 0.
 ParamVector hero_probe(const Params& params, const ParamVector& g);
 
+/// In-place variant writing into preallocated parameter-shaped `out` (the
+/// Session API's reused StepContext scratch buffers); no allocation.
+void hero_probe(const Params& params, const ParamVector& g, ParamVector& out);
+
 }  // namespace hero::hessian

@@ -4,18 +4,9 @@
 #include "common/check.hpp"
 #include "hessian/spectral.hpp"
 #include "nn/layers.hpp"
+#include "optim/registry.hpp"
 
 namespace hero::optim {
-
-namespace {
-
-std::vector<ag::Variable> param_vars(nn::Module& model) {
-  std::vector<ag::Variable> vars;
-  for (nn::Parameter* p : model.parameters()) vars.push_back(p->var);
-  return vars;
-}
-
-}  // namespace
 
 ag::Variable batch_loss(nn::Module& model, const data::Batch& batch) {
   const ag::Variable logits = model.forward(ag::Variable::constant(batch.x));
@@ -45,55 +36,78 @@ EvalResult evaluate(nn::Module& model, const data::Dataset& dataset, std::int64_
   return result;
 }
 
-StepResult SgdMethod::compute_gradients(nn::Module& model, const data::Batch& batch,
-                                        std::vector<Tensor>& grads) {
-  const auto params = param_vars(model);
-  const ag::Variable loss = batch_loss(model, batch);
+StepResult SgdMethod::step(StepContext& ctx) {
+  const auto& params = ctx.param_vars();
+  const ag::Variable loss = batch_loss(ctx.model(), ctx.batch());
   const auto gs = ag::grad(loss, params);
-  grads.clear();
-  grads.reserve(gs.size());
-  for (const auto& g : gs) grads.push_back(g.value());
-  return {loss.value().item()};
+  std::vector<Tensor>& grads = ctx.grads();
+  for (std::size_t i = 0; i < params.size(); ++i) grads[i].copy_(gs[i].value());
+  StepResult result;
+  result.loss = loss.value().item();
+  result.grad_norm = ctx.grad_norm();
+  return result;
 }
 
-StepResult SamMethod::compute_gradients(nn::Module& model, const data::Batch& batch,
-                                        std::vector<Tensor>& grads) {
-  const auto params = param_vars(model);
+StepResult SamMethod::step(StepContext& ctx) {
+  const auto& params = ctx.param_vars();
   // Gradient at W for the probe direction.
-  const ag::Variable loss = batch_loss(model, batch);
+  const ag::Variable loss = batch_loss(ctx.model(), ctx.batch());
   const auto gs = ag::grad(loss, params);
-  hessian::ParamVector g;
-  g.reserve(gs.size());
-  for (const auto& gi : gs) g.push_back(gi.value().clone());
-  const hessian::ParamVector z = hessian::hero_probe(params, g);
+  hessian::ParamVector& g = ctx.scratch(0);
+  for (std::size_t i = 0; i < params.size(); ++i) g[i].copy_(gs[i].value());
+  hessian::ParamVector& z = ctx.scratch(1);
+  hessian::hero_probe(params, g, z);
 
   // Perturb to W* = W + h z; gradient there; restore.
   for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], h_);
+  std::vector<Tensor>& grads = ctx.grads();
   {
     nn::BatchNormFreezeGuard bn_freeze;
-    const ag::Variable loss_star = batch_loss(model, batch);
+    const ag::Variable loss_star = batch_loss(ctx.model(), ctx.batch());
     const auto gs_star = ag::grad(loss_star, params);
-    grads.clear();
-    grads.reserve(gs_star.size());
-    for (const auto& gi : gs_star) grads.push_back(gi.value().clone());
+    for (std::size_t i = 0; i < params.size(); ++i) grads[i].copy_(gs_star[i].value());
   }
   for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], -h_);
-  return {loss.value().item()};
+
+  StepResult result;
+  result.loss = loss.value().item();
+  result.grad_norm = ctx.grad_norm();
+  result.perturbation_norm = h_ * param_vector_norm(z);
+  return result;
 }
 
-StepResult GradL1Method::compute_gradients(nn::Module& model, const data::Batch& batch,
-                                           std::vector<Tensor>& grads) {
-  const auto params = param_vars(model);
+StepResult GradL1Method::step(StepContext& ctx) {
+  const auto& params = ctx.param_vars();
   // Total objective L + λ‖∇L‖₁; its gradient needs grad-of-grad.
-  const ag::Variable loss = batch_loss(model, batch);
+  const ag::Variable loss = batch_loss(ctx.model(), ctx.batch());
   const auto gs = ag::grad(loss, params, /*create_graph=*/true);
   const ag::Variable g_l1 = ag::group_l1_norm(gs);
   const ag::Variable reg_loss = ag::add(loss, ag::mul_scalar(g_l1, lambda_));
   const auto total = ag::grad(reg_loss, params);
-  grads.clear();
-  grads.reserve(total.size());
-  for (const auto& g : total) grads.push_back(g.value());
-  return {loss.value().item()};
+  std::vector<Tensor>& grads = ctx.grads();
+  for (std::size_t i = 0; i < params.size(); ++i) grads[i].copy_(total[i].value());
+  StepResult result;
+  result.loss = loss.value().item();
+  result.grad_norm = ctx.grad_norm();
+  result.regularizer = g_l1.value().item();
+  return result;
 }
+
+HERO_REGISTER_METHOD(
+    "sgd", [](const MethodConfig&) { return std::make_unique<SgdMethod>(); }, {})
+
+HERO_REGISTER_METHOD(
+    "first_order",
+    [](const MethodConfig& config) {
+      return std::make_unique<SamMethod>(config_float(config, "h", 0.01f));
+    },
+    {"h"}, {"sam"})
+
+HERO_REGISTER_METHOD(
+    "grad_l1",
+    [](const MethodConfig& config) {
+      return std::make_unique<GradL1Method>(config_float(config, "lambda", 0.01f));
+    },
+    {"lambda"})
 
 }  // namespace hero::optim

@@ -1,7 +1,8 @@
-// Training methods: per-batch gradient rules.
+// Training methods: per-batch gradient rules behind the Session API.
 //
-// A TrainingMethod turns (model, batch) into the gradient vector the
-// optimizer steps with. This file holds the paper's baselines:
+// A TrainingMethod turns one StepContext (model + batch + reused buffers)
+// into the gradient vector the optimizer steps with, reporting loss and
+// diagnostics through StepResult. This file holds the paper's baselines:
 //  * SgdMethod      — plain ERM gradient ∇L(W).
 //  * SamMethod      — "first-order only" rule of Table 3: the descent
 //                     gradient is taken at the HERO-perturbed point,
@@ -11,6 +12,10 @@
 //                     computed exactly via double backprop.
 // HERO itself lives in src/core (it is the paper's contribution).
 // Weight decay is applied uniformly by the Sgd optimizer, not here.
+//
+// Methods self-register with the MethodRegistry (see optim/registry.hpp)
+// from their implementation files; build them by name via
+// MethodRegistry::instance().create("sgd") or a "name:key=value" spec.
 #pragma once
 
 #include <memory>
@@ -18,21 +23,16 @@
 
 #include "data/loader.hpp"
 #include "nn/module.hpp"
+#include "optim/step.hpp"
 
 namespace hero::optim {
-
-/// Result of one gradient computation.
-struct StepResult {
-  float loss = 0.0f;  ///< unregularized batch loss L(W)
-};
 
 class TrainingMethod {
  public:
   virtual ~TrainingMethod() = default;
-  /// Computes this method's gradients for the batch into `grads` (resized to
-  /// match the model's parameters) and returns the batch loss.
-  virtual StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
-                                       std::vector<Tensor>& grads) = 0;
+  /// Computes this method's gradients for ctx.batch() into ctx.grads()
+  /// (preallocated, written in place) and reports loss + diagnostics.
+  virtual StepResult step(StepContext& ctx) = 0;
   virtual std::string name() const = 0;
 };
 
@@ -49,8 +49,7 @@ EvalResult evaluate(nn::Module& model, const data::Dataset& dataset,
 
 class SgdMethod : public TrainingMethod {
  public:
-  StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
-                               std::vector<Tensor>& grads) override;
+  StepResult step(StepContext& ctx) override;
   std::string name() const override { return "sgd"; }
 };
 
@@ -59,8 +58,7 @@ class SgdMethod : public TrainingMethod {
 class SamMethod : public TrainingMethod {
  public:
   explicit SamMethod(float h) : h_(h) {}
-  StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
-                               std::vector<Tensor>& grads) override;
+  StepResult step(StepContext& ctx) override;
   std::string name() const override { return "first_order"; }
 
  private:
@@ -71,8 +69,7 @@ class SamMethod : public TrainingMethod {
 class GradL1Method : public TrainingMethod {
  public:
   explicit GradL1Method(float lambda) : lambda_(lambda) {}
-  StepResult compute_gradients(nn::Module& model, const data::Batch& batch,
-                               std::vector<Tensor>& grads) override;
+  StepResult step(StepContext& ctx) override;
   std::string name() const override { return "grad_l1"; }
 
  private:

@@ -1,0 +1,162 @@
+#include "optim/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+
+namespace hero::optim {
+
+namespace {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
+
+MethodSpec parse_method_spec(const std::string& spec) {
+  HERO_CHECK_MSG(!spec.empty(), "empty training-method spec");
+  MethodSpec parsed;
+  const auto colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  HERO_CHECK_MSG(!parsed.name.empty(), "training-method spec has no name: '" << spec << "'");
+  if (colon == std::string::npos) return parsed;
+
+  std::string entry;
+  std::istringstream rest(spec.substr(colon + 1));
+  while (std::getline(rest, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    HERO_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "method config entry is not key=value: '" << entry << "' in '" << spec
+                                                             << "'");
+    const std::string key = entry.substr(0, eq);
+    HERO_CHECK_MSG(parsed.config.find(key) == parsed.config.end(),
+                   "duplicate method config key '" << key << "' in '" << spec << "'");
+    parsed.config[key] = entry.substr(eq + 1);
+  }
+  return parsed;
+}
+
+float config_float(const MethodConfig& config, const std::string& key, float fallback) {
+  const auto it = config.find(key);
+  if (it == config.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const float value = std::stof(it->second, &used);
+    HERO_CHECK_MSG(used == it->second.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("method config key '" + key + "' is not a number: '" + it->second + "'");
+  }
+}
+
+int config_int(const MethodConfig& config, const std::string& key, int fallback) {
+  const auto it = config.find(key);
+  if (it == config.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(it->second, &used);
+    HERO_CHECK_MSG(used == it->second.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("method config key '" + key + "' is not an integer: '" + it->second + "'");
+  }
+}
+
+bool config_bool(const MethodConfig& config, const std::string& key, bool fallback) {
+  const auto it = config.find(key);
+  if (it == config.end()) return fallback;
+  if (const auto parsed = parse_bool(it->second)) return *parsed;
+  throw Error("method config key '" + key + "' is not a boolean: '" + it->second +
+              "' (accepted: " + std::string(kBoolSpellings) + ")");
+}
+
+std::string config_str(const MethodConfig& config, const std::string& key,
+                       const std::string& fallback) {
+  const auto it = config.find(key);
+  return it == config.end() ? fallback : it->second;
+}
+
+void check_known_keys(const MethodConfig& config, const std::vector<std::string>& known,
+                      const std::string& method_name) {
+  for (const auto& [key, value] : config) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      const std::string accepted =
+          known.empty() ? "takes no config keys" : "accepted: " + join(known);
+      throw Error("unknown config key '" + key + "' for training method '" + method_name +
+                  "' (" + accepted + ")");
+    }
+  }
+}
+
+MethodRegistry& MethodRegistry::instance() {
+  static MethodRegistry registry;
+  return registry;
+}
+
+void MethodRegistry::add(const std::string& name, Factory factory,
+                         const std::vector<std::string>& accepted_keys,
+                         const std::vector<std::string>& aliases) {
+  HERO_CHECK_MSG(!name.empty(), "cannot register a training method with an empty name");
+  HERO_CHECK_MSG(entries_.find(name) == entries_.end(),
+                 "training method '" << name << "' registered twice");
+  entries_[name] = Entry{factory, accepted_keys, /*is_alias=*/false};
+  for (const std::string& alias : aliases) {
+    HERO_CHECK_MSG(entries_.find(alias) == entries_.end(),
+                   "training-method alias '" << alias << "' registered twice");
+    entries_[alias] = Entry{factory, accepted_keys, /*is_alias=*/true};
+  }
+}
+
+std::unique_ptr<TrainingMethod> MethodRegistry::create(const std::string& name,
+                                                       const MethodConfig& config) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown training method '" + name + "' (registered: " + join(names()) +
+                ")");
+  }
+  check_known_keys(config, it->second.accepted_keys, name);
+  return it->second.factory(config);
+}
+
+std::unique_ptr<TrainingMethod> MethodRegistry::create_from_spec(
+    const std::string& spec) const {
+  const MethodSpec parsed = parse_method_spec(spec);
+  return create(parsed.name, parsed.config);
+}
+
+bool MethodRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+bool MethodRegistry::accepts_key(const std::string& name, const std::string& key) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  const auto& keys = it->second.accepted_keys;
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+std::vector<std::string> MethodRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.is_alias) out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+MethodRegistration::MethodRegistration(const std::string& name,
+                                       MethodRegistry::Factory factory,
+                                       const std::vector<std::string>& accepted_keys,
+                                       const std::vector<std::string>& aliases) {
+  MethodRegistry::instance().add(name, std::move(factory), accepted_keys, aliases);
+}
+
+}  // namespace hero::optim

@@ -1,0 +1,119 @@
+// Session API v1: self-registering training-method factories.
+//
+// Every TrainingMethod registers itself (name + factory) from its own
+// translation unit with HERO_REGISTER_METHOD, so adding a method never means
+// editing a central switch. Consumers build methods by name plus a
+// key→value config map, or from a single spec string:
+//
+//   auto m = MethodRegistry::instance().create("hero", {{"gamma", "0.2"}});
+//   auto m = MethodRegistry::instance().create_from_spec("hero:gamma=0.2,h=0.01");
+//
+// The spec form is what benches and examples accept on the command line
+// (--method=hero:gamma=0.2,h=0.01), so new configurations need no recompile.
+// Factories validate their keys: unknown method names and unknown config
+// keys both throw hero::Error with the accepted alternatives listed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optim/methods.hpp"
+
+namespace hero::optim {
+
+/// Key→value method configuration ("gamma" → "0.2"). String-typed so specs,
+/// flags, and environment variables all feed it directly.
+using MethodConfig = std::map<std::string, std::string>;
+
+/// A parsed "name:key=value,key=value" spec.
+struct MethodSpec {
+  std::string name;
+  MethodConfig config;
+};
+
+/// Parses "hero:gamma=0.2,h=0.01" (or a bare "hero"). Throws hero::Error on
+/// malformed entries (missing '=', empty key, duplicate key).
+MethodSpec parse_method_spec(const std::string& spec);
+
+// ---- Typed config lookups used by factories --------------------------------
+float config_float(const MethodConfig& config, const std::string& key, float fallback);
+int config_int(const MethodConfig& config, const std::string& key, int fallback);
+/// Accepts 1/0, true/false, yes/no, on/off (case-insensitive); throws on
+/// anything else.
+bool config_bool(const MethodConfig& config, const std::string& key, bool fallback);
+std::string config_str(const MethodConfig& config, const std::string& key,
+                       const std::string& fallback);
+/// Throws hero::Error naming the offending key when `config` contains a key
+/// not in `known` — factories call this so typos fail loudly.
+void check_known_keys(const MethodConfig& config, const std::vector<std::string>& known,
+                      const std::string& method_name);
+
+class MethodRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<TrainingMethod>(const MethodConfig&)>;
+
+  /// The process-wide registry the HERO_REGISTER_METHOD initializers fill.
+  static MethodRegistry& instance();
+
+  /// Registers a factory under `name` with the config keys it accepts, plus
+  /// optional aliases ("sam" for "first_order"). Throws on duplicate names.
+  /// create() rejects keys outside `accepted_keys` before invoking the
+  /// factory, so factories only parse.
+  void add(const std::string& name, Factory factory,
+           const std::vector<std::string>& accepted_keys = {},
+           const std::vector<std::string>& aliases = {});
+
+  /// Builds a method by (possibly aliased) name. Throws hero::Error listing
+  /// the registered names when `name` is unknown, or the accepted keys when
+  /// `config` contains one the method does not take.
+  std::unique_ptr<TrainingMethod> create(const std::string& name,
+                                         const MethodConfig& config = {}) const;
+
+  /// Builds from a "name:key=value,..." spec string.
+  std::unique_ptr<TrainingMethod> create_from_spec(const std::string& spec) const;
+
+  bool contains(const std::string& name) const;
+
+  /// True when the (possibly aliased) method takes the given config key —
+  /// lets generic drivers (benches) inject defaults like "h" only where
+  /// they apply, without hard-coding method names.
+  bool accepts_key(const std::string& name, const std::string& key) const;
+
+  /// Canonical (non-alias) registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  MethodRegistry() = default;
+  struct Entry {
+    Factory factory;
+    std::vector<std::string> accepted_keys;
+    bool is_alias = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Performs registration at static-initialization time; use through
+/// HERO_REGISTER_METHOD below.
+struct MethodRegistration {
+  MethodRegistration(const std::string& name, MethodRegistry::Factory factory,
+                     const std::vector<std::string>& accepted_keys = {},
+                     const std::vector<std::string>& aliases = {});
+};
+
+#define HERO_METHOD_CONCAT_INNER(a, b) a##b
+#define HERO_METHOD_CONCAT(a, b) HERO_METHOD_CONCAT_INNER(a, b)
+
+/// Registers a training method from its implementation file:
+///   HERO_REGISTER_METHOD("sgd", [](const MethodConfig& c) { ... }, {});
+///   HERO_REGISTER_METHOD("first_order", factory, {"h"}, {"sam"});
+/// Arguments after the factory: the accepted config keys, then aliases.
+/// The library is linked as an object library so these initializers always
+/// reach the final binary.
+#define HERO_REGISTER_METHOD(name, ...)                            \
+  static const ::hero::optim::MethodRegistration HERO_METHOD_CONCAT( \
+      hero_method_registration_, __LINE__){name, __VA_ARGS__};
+
+}  // namespace hero::optim

@@ -1,0 +1,53 @@
+#include "optim/step.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::optim {
+
+StepContext::StepContext(nn::Module& model, Rng rng) : model_(&model), rng_(rng) {
+  params_ = model.parameters();
+  HERO_CHECK_MSG(!params_.empty(), "StepContext created for a model with no parameters");
+  param_vars_.reserve(params_.size());
+  grads_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    param_vars_.push_back(p->var);
+    grads_.emplace_back(p->var.shape());
+  }
+}
+
+void StepContext::begin_step(const data::Batch& batch, std::int64_t step, int epoch) {
+  batch_ = &batch;
+  step_ = step;
+  epoch_ = epoch;
+}
+
+const data::Batch& StepContext::batch() const {
+  HERO_CHECK_MSG(batch_ != nullptr, "StepContext::batch() before begin_step()");
+  return *batch_;
+}
+
+std::vector<Tensor>& StepContext::scratch(std::size_t slot) {
+  while (slot >= scratch_.size()) scratch_.emplace_back();
+  std::vector<Tensor>& s = scratch_[slot];
+  if (s.size() != params_.size()) {
+    s.clear();
+    s.reserve(params_.size());
+    for (const nn::Parameter* p : params_) s.emplace_back(p->var.shape());
+  }
+  return s;
+}
+
+float StepContext::grad_norm() const { return param_vector_norm(grads_); }
+
+float param_vector_norm(const std::vector<Tensor>& v) {
+  double sum = 0.0;
+  for (const Tensor& t : v) {
+    const double n = t.l2_norm();
+    sum += n * n;
+  }
+  return static_cast<float>(std::sqrt(sum));
+}
+
+}  // namespace hero::optim

@@ -1,0 +1,98 @@
+// Session API v1: the per-step contract between the Trainer and a
+// TrainingMethod.
+//
+// A TrainingMethod no longer receives bare (model, batch, grads) arguments;
+// it receives a StepContext that carries everything one step may need —
+// model, batch, step/epoch indices, a deterministic RNG stream — and, most
+// importantly, owns *preallocated, reused* parameter-shaped buffers:
+//  * grads()    — the method's output gradient, one tensor per parameter,
+//                 allocated once and written in place every step;
+//  * scratch(k) — numbered parameter-shaped scratch vectors for
+//                 intermediate quantities (clean gradients, probes, ...).
+// Reusing these buffers keeps the per-step allocation count flat across a
+// training run (measured by bench_step_overhead).
+//
+// The method reports back through StepResult: the batch loss plus the
+// diagnostics that used to leak out of methods through side channels
+// (HeroMethod::last_regularizer() in the pre-session API).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/loader.hpp"
+#include "nn/module.hpp"
+
+namespace hero::optim {
+
+/// Result of one training step.
+struct StepResult {
+  float loss = 0.0f;       ///< unregularized batch loss L(W)
+  float grad_norm = 0.0f;  ///< ℓ2 norm of the produced gradient across all parameters
+  /// Method-specific regularizer value: HERO's Hessian term G (Alg. 1 line
+  /// 10), GRAD L1's ‖∇L‖₁. Zero for plain SGD.
+  float regularizer = 0.0f;
+  /// ‖h·z‖₂ of the weight perturbation applied this step (HERO and the
+  /// first-order rule); zero for unperturbed methods.
+  float perturbation_norm = 0.0f;
+};
+
+/// Per-step state handed to TrainingMethod::step. One StepContext lives for
+/// a whole training run (or bench loop) so its buffers amortize; bind each
+/// batch with begin_step() before calling the method.
+///
+/// The context caches the model's parameter list; it assumes the parameter
+/// set (count and shapes) is fixed for the lifetime of the context, which
+/// holds for every module in this library.
+class StepContext {
+ public:
+  explicit StepContext(nn::Module& model, Rng rng = Rng(0));
+
+  /// Binds the batch and indices for the next step.
+  void begin_step(const data::Batch& batch, std::int64_t step = 0, int epoch = 0);
+
+  nn::Module& model() { return *model_; }
+  const data::Batch& batch() const;
+  std::int64_t step() const { return step_; }
+  int epoch() const { return epoch_; }
+  /// Deterministic per-run RNG stream for stochastic methods.
+  Rng& rng() { return rng_; }
+
+  /// Cached parameter handles (registration order, stable for the run).
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+  const std::vector<ag::Variable>& param_vars() const { return param_vars_; }
+
+  /// The method's output gradient buffers: one tensor per parameter,
+  /// preallocated to the parameter shapes and reused across steps. Methods
+  /// write them in place (copy_/add_), never reallocate.
+  std::vector<Tensor>& grads() { return grads_; }
+  const std::vector<Tensor>& grads() const { return grads_; }
+
+  /// Numbered parameter-shaped scratch vectors, allocated on first use and
+  /// reused on every later step. Contents are unspecified on entry.
+  std::vector<Tensor>& scratch(std::size_t slot);
+
+  /// ℓ2 norm of the current grads() across all parameters (StepResult
+  /// convenience).
+  float grad_norm() const;
+
+ private:
+  nn::Module* model_;
+  const data::Batch* batch_ = nullptr;
+  std::int64_t step_ = 0;
+  int epoch_ = 0;
+  Rng rng_;
+  std::vector<nn::Parameter*> params_;
+  std::vector<ag::Variable> param_vars_;
+  std::vector<Tensor> grads_;
+  // Deque so growing one slot never invalidates references handed out for
+  // another (methods hold several slots at once).
+  std::deque<std::vector<Tensor>> scratch_;
+};
+
+/// ℓ2 norm of a parameter-space vector (Σ‖v_i‖² under one sqrt).
+float param_vector_norm(const std::vector<Tensor>& v);
+
+}  // namespace hero::optim

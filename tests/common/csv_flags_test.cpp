@@ -32,6 +32,28 @@ TEST(Csv, RejectsWrongColumnCount) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, EscapesCommasQuotesAndNewlines) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, QuotesCellsWithCommasInFile) {
+  // A label containing a comma must not change the column structure.
+  const std::string path = testing::TempDir() + "csv_quote_test.csv";
+  {
+    CsvWriter csv(path, {"method, variant", "acc"});
+    csv.row(std::vector<std::string>{"hero:gamma=0.2,h=0.01", "0.91"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "\"method, variant\",acc\n\"hero:gamma=0.2,h=0.01\",0.91\n");
+  std::remove(path.c_str());
+}
+
 TEST(Csv, FormatPct) {
   EXPECT_EQ(format_pct(0.9344), "93.44%");
   EXPECT_EQ(format_pct(0.5, 1), "50.0%");
@@ -60,6 +82,34 @@ TEST(Flags, CommandLineBeatsEnv) {
   Flags flags(2, const_cast<char**>(argv));
   EXPECT_EQ(flags.get_int("priority", 0), 2);
   unsetenv("HERO_PRIORITY");
+}
+
+TEST(Flags, GetBoolParsesCommonSpellings) {
+  const char* argv[] = {"prog", "--verbose=true", "--quiet=0", "--color=ON", "--fast=No"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("quiet", true));
+  EXPECT_TRUE(flags.get_bool("color", false));
+  EXPECT_FALSE(flags.get_bool("fast", true));
+  EXPECT_TRUE(flags.get_bool("missing", true));
+  EXPECT_FALSE(flags.get_bool("missing", false));
+}
+
+TEST(Flags, GetBoolRejectsGarbage) {
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_THROW(flags.get_bool("verbose", false), Error);
+}
+
+TEST(Flags, WarnsOnMalformedArguments) {
+  ::testing::internal::CaptureStderr();
+  const char* argv[] = {"prog", "--epochs=3", "not-a-flag", "--no-value"};
+  Flags flags(4, const_cast<char**>(argv));
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("not-a-flag"), std::string::npos);
+  EXPECT_NE(err.find("--no-value"), std::string::npos);
+  EXPECT_EQ(err.find("--epochs=3"), std::string::npos);  // well-formed: no warning
+  EXPECT_EQ(flags.get_int("epochs", 0), 3);              // still parsed
 }
 
 TEST(Flags, DefaultScaleIsOne) {

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "data/synthetic.hpp"
 #include "nn/layers.hpp"
+#include "support/step_test_util.hpp"
 
 namespace hero::core {
 namespace {
@@ -30,8 +31,7 @@ TEST(HeroMethod, RestoresWeightsAfterStep) {
   Rng data_rng(2);
   const data::Batch batch = small_batch(data_rng);
   HeroMethod method({});
-  std::vector<Tensor> grads;
-  method.compute_gradients(net, batch, grads);
+  testing_support::run_step(method, net, batch);
   const auto params = net.parameters();
   for (std::size_t i = 0; i < params.size(); ++i) {
     EXPECT_TRUE(allclose(params[i]->var.value(), before[i], 1e-6f, 1e-6f)) << i;
@@ -56,8 +56,8 @@ TEST(HeroMethod, GammaZeroEqualsFirstOrderOnly) {
   optim::SamMethod sam(0.4f);
   std::vector<Tensor> hero_grads;
   std::vector<Tensor> sam_grads;
-  hero.compute_gradients(net, batch, hero_grads);
-  sam.compute_gradients(net, batch, sam_grads);
+  testing_support::run_step(hero, net, batch, &hero_grads);
+  testing_support::run_step(sam, net, batch, &sam_grads);
   ASSERT_EQ(hero_grads.size(), sam_grads.size());
   for (std::size_t i = 0; i < hero_grads.size(); ++i) {
     EXPECT_TRUE(allclose(hero_grads[i], sam_grads[i], 1e-4f, 1e-5f)) << i;
@@ -65,7 +65,7 @@ TEST(HeroMethod, GammaZeroEqualsFirstOrderOnly) {
 }
 
 TEST(HeroMethod, RegularizerIsGradientDifferenceNorm) {
-  // last_regularizer() must equal Σ_i ||∇L(W*_i) − g_i|| computed by hand.
+  // StepResult::regularizer must equal Σ_i ||∇L(W*_i) − g_i|| computed by hand.
   Rng rng(5);
   nn::Linear layer(2, 2, rng, /*bias=*/false);
   Rng data_rng(6);
@@ -75,8 +75,7 @@ TEST(HeroMethod, RegularizerIsGradientDifferenceNorm) {
   config.h = 0.3f;
   config.gamma = 0.5f;
   HeroMethod method(config);
-  std::vector<Tensor> grads;
-  method.compute_gradients(layer, batch, grads);
+  const optim::StepResult step_result = testing_support::run_step(method, layer, batch);
 
   // Manual recomputation.
   std::vector<ag::Variable> params{layer.parameters()[0]->var};
@@ -90,7 +89,7 @@ TEST(HeroMethod, RegularizerIsGradientDifferenceNorm) {
   params[0].mutable_value().add_(z, -0.3f);
   Tensor delta = g_star[0].value().clone();
   delta.add_(g[0].value(), -1.0f);
-  EXPECT_NEAR(method.last_regularizer(), delta.l2_norm(), 2e-3f * (delta.l2_norm() + 1.0f));
+  EXPECT_NEAR(step_result.regularizer, delta.l2_norm(), 2e-3f * (delta.l2_norm() + 1.0f));
 }
 
 TEST(HeroMethod, GradientMatchesFiniteDifferenceOfObjective) {
@@ -114,7 +113,7 @@ TEST(HeroMethod, GradientMatchesFiniteDifferenceOfObjective) {
   config.gamma = gamma;
   HeroMethod method(config);
   std::vector<Tensor> grads;
-  method.compute_gradients(net, batch, grads);
+  testing_support::run_step(method, net, batch, &grads);
 
   std::vector<ag::Variable> params;
   for (nn::Parameter* p : net.parameters()) params.push_back(p->var);
@@ -185,8 +184,8 @@ TEST(HeroMethod, FiniteDiffModeApproximatesExact) {
   HeroMethod fd(fd_config);
   std::vector<Tensor> ge;
   std::vector<Tensor> gf;
-  exact.compute_gradients(net, batch, ge);
-  fd.compute_gradients(net, batch, gf);
+  testing_support::run_step(exact, net, batch, &ge);
+  testing_support::run_step(fd, net, batch, &gf);
   ASSERT_EQ(ge.size(), gf.size());
   // Cosine similarity per tensor should be high.
   for (std::size_t i = 0; i < ge.size(); ++i) {
@@ -213,8 +212,10 @@ TEST(HeroMethod, SquaredNormVariantDiffers) {
   sq.reg_norm = RegNorm::kL2Squared;
   std::vector<Tensor> a;
   std::vector<Tensor> b;
-  HeroMethod(l2).compute_gradients(layer, batch, a);
-  HeroMethod(sq).compute_gradients(layer, batch, b);
+  HeroMethod method_l2(l2);
+  HeroMethod method_sq(sq);
+  testing_support::run_step(method_l2, layer, batch, &a);
+  testing_support::run_step(method_sq, layer, batch, &b);
   EXPECT_FALSE(allclose(a[0], b[0], 1e-4f, 1e-5f));
 }
 
@@ -241,8 +242,10 @@ TEST(HeroMethod, PerturbWeightsOnlyLeavesBiasProbeZero) {
   weights_only.perturb_all_params = false;
   std::vector<Tensor> ga;
   std::vector<Tensor> gw;
-  HeroMethod(all).compute_gradients(net, batch, ga);
-  HeroMethod(weights_only).compute_gradients(net, batch, gw);
+  HeroMethod method_all(all);
+  HeroMethod method_weights(weights_only);
+  testing_support::run_step(method_all, net, batch, &ga);
+  testing_support::run_step(method_weights, net, batch, &gw);
   bool any_diff = false;
   for (std::size_t i = 0; i < ga.size(); ++i) {
     if (!allclose(ga[i], gw[i], 1e-5f, 1e-6f)) any_diff = true;
@@ -256,8 +259,7 @@ TEST(HeroMethod, ReportedLossIsCleanLoss) {
   Rng data_rng(16);
   const data::Batch batch = small_batch(data_rng);
   HeroMethod method({});
-  std::vector<Tensor> grads;
-  const auto result = method.compute_gradients(layer, batch, grads);
+  const auto result = testing_support::run_step(method, layer, batch);
   const float expected = optim::batch_loss(layer, batch).value().item();
   EXPECT_NEAR(result.loss, expected, 1e-5f);
 }

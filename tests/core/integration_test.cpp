@@ -1,12 +1,14 @@
 // End-to-end integration: the paper's core qualitative claims reproduced at
 // miniature scale with fixed seeds. These are the smoke versions of the
 // bench experiments (Table 1 / Figure 1 / Figure 2 / Table 3 shapes), using
-// the calibrated micro-scale hyperparameters (see core::MethodParams).
+// the calibrated micro-scale hyperparameters (see core::default_h).
 #include <gtest/gtest.h>
 
 #include "core/experiments.hpp"
 #include "core/trainer.hpp"
+#include "common/parse.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 namespace hero::core {
 namespace {
@@ -18,25 +20,30 @@ struct Trained {
   TrainResult result;
 };
 
-/// Trains one method on the tiny c10-analog benchmark.
+/// Trains one method on the tiny c10-analog benchmark. `method_name` is a
+/// bare registry name; h rides in the config map the way benches pass it.
 Trained train_method(const std::string& method_name, float h, int epochs = 14) {
   const data::Benchmark b = bench();
   Rng rng(77);
   auto model = nn::micro_resnet(3, 6, 1, b.train.classes, rng);
-  MethodParams params;
-  params.h = h;
-  params.gamma = 0.1f;
-  params.lambda = 0.01f;
-  auto method = make_method(method_name, params);
+  optim::MethodConfig method_config;
+  if (method_name == "hero") {
+    method_config = {{"h", format_float_exact(h)}, {"gamma", "0.1"}};
+  } else if (method_name == "first_order") {
+    method_config = {{"h", format_float_exact(h)}};
+  } else if (method_name == "grad_l1") {
+    method_config = {{"lambda", "0.01"}};
+  }
+  auto method = optim::MethodRegistry::instance().create(method_name, method_config);
   TrainerConfig config;
   config.epochs = epochs;
   config.batch_size = 64;
   config.base_lr = 0.1f;
   config.seed = 5;
-  config.record_hessian = true;
-  config.hessian_sample = 128;
   Trained t;
-  t.result = train(*model, *method, b.train, b.test, config);
+  Trainer trainer(*model, *method, config);
+  trainer.on_epoch_end(record_hessian_norm(/*sample=*/128));
+  t.result = trainer.fit(b.train, b.test);
   t.model = std::move(model);
   return t;
 }
@@ -92,13 +99,12 @@ TEST(Integration, LabelNoiseHurtsButTrainingStillRuns) {
   data::add_symmetric_label_noise(b.train, 0.4, noise_rng);
   Rng rng(78);
   auto model = nn::micro_resnet(3, 6, 1, b.train.classes, rng);
-  MethodParams params;
-  auto method = make_method("hero", params);
+  auto method = optim::MethodRegistry::instance().create_from_spec("hero:h=0.01");
   TrainerConfig config;
   config.epochs = 6;
   config.batch_size = 64;
   config.base_lr = 0.1f;
-  const TrainResult result = train(*model, *method, b.train, b.test, config);
+  const TrainResult result = Trainer(*model, *method, config).fit(b.train, b.test);
   EXPECT_GT(result.final_test_accuracy, 0.3);  // well above chance despite noise
 }
 

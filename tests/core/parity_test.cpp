@@ -1,0 +1,150 @@
+// Session-API parity: registry-built methods driven through
+// step(StepContext&) must reproduce the pre-session compute_gradients API
+// bit-for-bit on a fixed seed.
+//
+// The old API computed, for SGD, grads[i] = ∇L(W)[i], and for HERO the
+// Algorithm 1 update cloned from the same autograd calls this test makes
+// inline. The new code path writes preallocated buffers with copy_/add_
+// instead of clone()+push_back, which is the identical float arithmetic —
+// so equality here is exact (EXPECT_EQ per element, no tolerance).
+#include <gtest/gtest.h>
+
+#include "autograd/functional.hpp"
+#include "core/hero.hpp"
+#include "data/synthetic.hpp"
+#include "common/parse.hpp"
+#include "hessian/spectral.hpp"
+#include "nn/layers.hpp"
+#include "optim/registry.hpp"
+#include "support/step_test_util.hpp"
+
+namespace hero::core {
+namespace {
+
+data::Batch fixed_batch(std::uint64_t seed, std::int64_t n = 12) {
+  Rng rng(seed);
+  const data::Dataset d = data::make_gaussian_clusters(n, 2, 2, 3.0f, 0.5f, rng);
+  return {d.features, d.labels};
+}
+
+std::shared_ptr<nn::Module> fixed_net(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_shared<nn::Sequential>();
+  net->add(std::make_shared<nn::Linear>(2, 5, rng));
+  net->add(std::make_shared<nn::Tanh>());
+  net->add(std::make_shared<nn::Linear>(5, 2, rng));
+  return net;
+}
+
+void expect_bitwise_equal(const std::vector<Tensor>& actual,
+                          const std::vector<Tensor>& expected, const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i].numel(), expected[i].numel()) << label << " param " << i;
+    for (std::int64_t e = 0; e < actual[i].numel(); ++e) {
+      // Exact float equality: the new API must be the same arithmetic, not
+      // merely close.
+      EXPECT_EQ(actual[i].data()[e], expected[i].data()[e])
+          << label << " param " << i << " elem " << e;
+    }
+  }
+}
+
+TEST(SessionParity, RegistrySgdMatchesSeedGradientsBitForBit) {
+  auto net = fixed_net(101);
+  const data::Batch batch = fixed_batch(102);
+
+  auto method = optim::MethodRegistry::instance().create("sgd");
+  std::vector<Tensor> grads;
+  const optim::StepResult result = testing_support::run_step(*method, *net, batch, &grads);
+
+  // The seed API: grads[i] = ∇L(W)[i] from one fresh backward pass.
+  std::vector<ag::Variable> params;
+  for (nn::Parameter* p : net->parameters()) params.push_back(p->var);
+  const ag::Variable loss = optim::batch_loss(*net, batch);
+  const auto gs = ag::grad(loss, params);
+  std::vector<Tensor> expected;
+  for (const auto& g : gs) expected.push_back(g.value());
+
+  expect_bitwise_equal(grads, expected, "sgd");
+  EXPECT_EQ(result.loss, loss.value().item());
+}
+
+TEST(SessionParity, RegistryHeroMatchesSeedAlgorithmBitForBit) {
+  const float h = 0.3f;
+  const float gamma = 0.25f;
+
+  auto net = fixed_net(103);
+  const data::Batch batch = fixed_batch(104);
+
+  auto method = optim::MethodRegistry::instance().create(
+      "hero", {{"h", format_float_exact(h)}, {"gamma", format_float_exact(gamma)}});
+  std::vector<Tensor> grads;
+  const optim::StepResult result = testing_support::run_step(*method, *net, batch, &grads);
+
+  // The seed API's Algorithm 1, exactly as HeroMethod::compute_gradients
+  // spelled it: clean gradient, Eq. 15 probe, perturb, double backprop
+  // through G, combine, restore.
+  auto net2 = fixed_net(103);  // identical weights from the same seed
+  std::vector<ag::Variable> params;
+  for (nn::Parameter* p : net2->parameters()) params.push_back(p->var);
+
+  const ag::Variable loss = optim::batch_loss(*net2, batch);
+  const auto gs = ag::grad(loss, params);
+  hessian::ParamVector g;
+  for (const auto& gi : gs) g.push_back(gi.value().clone());
+
+  const hessian::ParamVector z = hessian::hero_probe(params, g);
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], h);
+
+  std::vector<Tensor> expected;
+  float expected_reg = 0.0f;
+  {
+    nn::BatchNormFreezeGuard bn_freeze;
+    const ag::Variable loss_star = optim::batch_loss(*net2, batch);
+    const auto gs_star = ag::grad(loss_star, params, /*create_graph=*/true);
+    ag::Variable reg;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const ag::Variable delta = ag::sub(gs_star[i], ag::Variable::constant(g[i]));
+      const ag::Variable term = ag::l2_norm(delta);
+      reg = reg.defined() ? ag::add(reg, term) : term;
+    }
+    expected_reg = reg.value().item();
+    const auto hess_grads = ag::grad(reg, params);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Tensor total = gs_star[i].value().clone();
+      total.add_(hess_grads[i].value(), gamma);
+      expected.push_back(std::move(total));
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i].mutable_value().add_(z[i], -h);
+
+  expect_bitwise_equal(grads, expected, "hero");
+  EXPECT_EQ(result.loss, loss.value().item());
+  EXPECT_EQ(result.regularizer, expected_reg);
+}
+
+TEST(SessionParity, RegistryConfigEqualsDirectConstruction) {
+  // Building through the registry with a config map is the same method as
+  // constructing HeroMethod directly with the equivalent HeroConfig.
+  const data::Batch batch = fixed_batch(106);
+
+  auto net_a = fixed_net(105);
+  auto from_registry =
+      optim::MethodRegistry::instance().create_from_spec("hero:h=0.2,gamma=0.4");
+  std::vector<Tensor> grads_a;
+  testing_support::run_step(*from_registry, *net_a, batch, &grads_a);
+
+  auto net_b = fixed_net(105);
+  HeroConfig config;
+  config.h = 0.2f;
+  config.gamma = 0.4f;
+  HeroMethod direct(config);
+  std::vector<Tensor> grads_b;
+  testing_support::run_step(direct, *net_b, batch, &grads_b);
+
+  expect_bitwise_equal(grads_a, grads_b, "registry vs direct");
+}
+
+}  // namespace
+}  // namespace hero::core

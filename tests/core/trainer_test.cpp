@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "core/experiments.hpp"
 #include "nn/models.hpp"
+#include "optim/registry.hpp"
 
 namespace hero::core {
 namespace {
@@ -25,7 +26,7 @@ TEST(Trainer, SgdLearnsSeparableClusters) {
   config.epochs = 15;
   config.batch_size = 32;
   config.base_lr = 0.05f;
-  const TrainResult result = train(*model, method, tt.train, tt.test, config);
+  const TrainResult result = Trainer(*model, method, config).fit(tt.train, tt.test);
   EXPECT_GT(result.final_test_accuracy, 0.95);
   EXPECT_EQ(result.history.size(), 15u);
 }
@@ -42,7 +43,7 @@ TEST(Trainer, HeroLearnsSeparableClusters) {
   config.epochs = 15;
   config.batch_size = 32;
   config.base_lr = 0.05f;
-  const TrainResult result = train(*model, method, tt.train, tt.test, config);
+  const TrainResult result = Trainer(*model, method, config).fit(tt.train, tt.test);
   EXPECT_GT(result.final_test_accuracy, 0.95);
 }
 
@@ -54,7 +55,7 @@ TEST(Trainer, HistoryRecordsMonotoneFields) {
   TrainerConfig config;
   config.epochs = 5;
   config.batch_size = 64;
-  const TrainResult result = train(*model, method, tt.train, tt.test, config);
+  const TrainResult result = Trainer(*model, method, config).fit(tt.train, tt.test);
   for (std::size_t e = 0; e < result.history.size(); ++e) {
     const auto& rec = result.history[e];
     EXPECT_EQ(rec.epoch, static_cast<int>(e));
@@ -75,26 +76,54 @@ TEST(Trainer, DeterministicGivenSeeds) {
     TrainerConfig config;
     config.epochs = 3;
     config.seed = seed;
-    return train(*model, method, tt.train, tt.test, config).final_test_accuracy;
+    return Trainer(*model, method, config).fit(tt.train, tt.test).final_test_accuracy;
   };
   EXPECT_DOUBLE_EQ(run(9), run(9));
 }
 
-TEST(Trainer, RecordsHessianNormWhenRequested) {
+TEST(Trainer, HessianNormHookFillsRecords) {
   Rng rng(8);
   auto model = nn::mlp({2, 8}, 2, rng);
   const auto tt = clusters_split(9, 128);
   optim::SgdMethod method;
   TrainerConfig config;
   config.epochs = 2;
-  config.record_hessian = true;
-  config.hessian_sample = 64;
-  const TrainResult result = train(*model, method, tt.train, tt.test, config);
+  Trainer trainer(*model, method, config);
+  trainer.on_epoch_end(record_hessian_norm(/*sample=*/64));
+  const TrainResult result = trainer.fit(tt.train, tt.test);
   for (const auto& rec : result.history) {
     EXPECT_GE(rec.hessian_norm, 0.0);
   }
   // At least one epoch should see nonzero curvature on an untrained net.
   EXPECT_GT(result.history.front().hessian_norm, 0.0);
+}
+
+TEST(Trainer, StepAndEpochHooksFire) {
+  Rng rng(20);
+  auto model = nn::mlp({2, 8}, 2, rng);
+  const auto tt = clusters_split(21, 128);
+  optim::SgdMethod method;
+  TrainerConfig config;
+  config.epochs = 3;
+  config.batch_size = 32;
+  Trainer trainer(*model, method, config);
+  std::int64_t steps_seen = 0;
+  double last_loss = -1.0;
+  trainer.on_step([&](const StepEvent& event) {
+    ++steps_seen;
+    last_loss = event.result.loss;
+    EXPECT_GT(event.result.grad_norm, 0.0f);
+  });
+  std::vector<double> gaps;
+  trainer.on_epoch_end(track_generalization_gap(&gaps));
+  const TrainResult result = trainer.fit(tt.train, tt.test);
+  // 64 train samples / batch 32 = 2 steps per epoch, 3 epochs.
+  EXPECT_EQ(steps_seen, 6);
+  EXPECT_GE(last_loss, 0.0);
+  ASSERT_EQ(gaps.size(), result.history.size());
+  for (std::size_t e = 0; e < gaps.size(); ++e) {
+    EXPECT_DOUBLE_EQ(gaps[e], result.history[e].generalization_gap);
+  }
 }
 
 TEST(Trainer, AugmentationPathRunsOnImages) {
@@ -112,7 +141,7 @@ TEST(Trainer, AugmentationPathRunsOnImages) {
   config.epochs = 2;
   config.batch_size = 16;
   config.augment = true;
-  const TrainResult result = train(*model, method, train_set, test_set, config);
+  const TrainResult result = Trainer(*model, method, config).fit(train_set, test_set);
   EXPECT_EQ(result.history.size(), 2u);
 }
 
@@ -125,14 +154,14 @@ TEST(MeasureHessianNorm, PositiveOnUntrainedModel) {
   EXPECT_GT(norm, 0.0);
 }
 
-TEST(Experiments, MakeMethodRegistry) {
-  MethodParams params;
-  EXPECT_EQ(make_method("hero", params)->name(), "hero");
-  EXPECT_EQ(make_method("sgd", params)->name(), "sgd");
-  EXPECT_EQ(make_method("grad_l1", params)->name(), "grad_l1");
-  EXPECT_EQ(make_method("first_order", params)->name(), "first_order");
-  EXPECT_EQ(make_method("sam", params)->name(), "first_order");
-  EXPECT_THROW(make_method("bogus", params), Error);
+TEST(Experiments, RegistryBuildsPaperMethods) {
+  auto& registry = optim::MethodRegistry::instance();
+  EXPECT_EQ(registry.create("hero")->name(), "hero");
+  EXPECT_EQ(registry.create("sgd")->name(), "sgd");
+  EXPECT_EQ(registry.create("grad_l1")->name(), "grad_l1");
+  EXPECT_EQ(registry.create("first_order")->name(), "first_order");
+  EXPECT_EQ(registry.create("sam")->name(), "first_order");
+  EXPECT_THROW(registry.create("bogus"), Error);
 }
 
 TEST(Experiments, DefaultHKeepsPaperRatio) {
@@ -167,7 +196,7 @@ TEST(Experiments, QuantizationAccuracyImprovesWithBits) {
   optim::SgdMethod method;
   TrainerConfig config;
   config.epochs = 10;
-  train(*model, method, tt.train, tt.test, config);
+  Trainer(*model, method, config).fit(tt.train, tt.test);
   const auto points = quantization_sweep(*model, tt.test, {2, 8});
   EXPECT_GE(points[1].accuracy + 1e-9, points[0].accuracy);
 }

@@ -12,6 +12,7 @@
 #include "nn/layers.hpp"
 #include "nn/models.hpp"
 #include "optim/sgd.hpp"
+#include "support/step_test_util.hpp"
 
 namespace hero::optim {
 namespace {
@@ -72,7 +73,7 @@ TEST(SgdMethod, GradientsMatchDirectBackprop) {
 
   SgdMethod method;
   std::vector<Tensor> grads;
-  const StepResult result = method.compute_gradients(net, batch, grads);
+  const StepResult result = testing_support::run_step(method, net, batch, &grads);
 
   std::vector<ag::Variable> params;
   for (nn::Parameter* p : net.parameters()) params.push_back(p->var);
@@ -95,7 +96,7 @@ TEST(SamMethod, GradientTakenAtPerturbedPoint) {
 
   SamMethod method(0.3f);
   std::vector<Tensor> grads;
-  method.compute_gradients(layer, batch, grads);
+  testing_support::run_step(method, layer, batch, &grads);
 
   // Reproduce by hand.
   std::vector<ag::Variable> params{layer.parameters()[0]->var};
@@ -119,7 +120,7 @@ TEST(SamMethod, RestoresWeights) {
   const data::Batch batch = small_batch(data_rng);
   SamMethod method(0.5f);
   std::vector<Tensor> grads;
-  method.compute_gradients(layer, batch, grads);
+  testing_support::run_step(method, layer, batch, &grads);
   EXPECT_TRUE(allclose(layer.parameters()[0]->var.value(), before, 1e-6f, 1e-6f));
 }
 
@@ -138,7 +139,7 @@ TEST(GradL1Method, AddsHessianSignTerm) {
 
   GradL1Method method(lambda);
   std::vector<Tensor> grads;
-  method.compute_gradients(net, batch, grads);
+  testing_support::run_step(method, net, batch, &grads);
 
   // Central finite difference of R(w) on a few coordinates of each tensor.
   std::vector<ag::Variable> params;
@@ -180,15 +181,16 @@ TEST(GradL1Method, ReducesGradientL1OverTraining) {
     const data::Dataset d = data::make_gaussian_clusters(64, 2, 2, 2.5f, 0.8f, data_rng);
     const data::Batch batch{d.features, d.labels};
     std::vector<nn::Parameter*> plist = net.parameters();
-    std::vector<Tensor> grads;
     SgdConfig config;
     config.lr = 0.05f;
     config.momentum = 0.9f;
     config.weight_decay = 0.0f;
     Sgd sgd(plist, config);
+    StepContext ctx(net);
     for (int step = 0; step < 150; ++step) {
-      method.compute_gradients(net, batch, grads);
-      sgd.step_with(grads);
+      ctx.begin_step(batch, step);
+      method.step(ctx);
+      sgd.step_with(ctx.grads());
     }
     std::vector<ag::Variable> params;
     for (nn::Parameter* p : plist) params.push_back(p->var);

@@ -1,0 +1,129 @@
+// MethodRegistry tests: self-registration round-trip, spec-string parsing,
+// and config validation errors.
+#include "optim/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/hero.hpp"
+
+namespace hero::optim {
+namespace {
+
+TEST(MethodRegistry, EveryRegisteredNameConstructs) {
+  auto& registry = MethodRegistry::instance();
+  const auto names = registry.names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    auto method = registry.create(name);
+    ASSERT_NE(method, nullptr) << name;
+    // A method's reported name round-trips to a constructible entry.
+    EXPECT_TRUE(registry.contains(method->name())) << name;
+  }
+}
+
+TEST(MethodRegistry, ContainsPaperMethodsAndAliases) {
+  auto& registry = MethodRegistry::instance();
+  for (const char* name : {"hero", "sgd", "grad_l1", "first_order", "sam"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  // names() lists canonical entries only, sorted, without the "sam" alias.
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::count(names.begin(), names.end(), "sam"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "first_order"), 1);
+}
+
+TEST(MethodRegistry, UnknownNameGivesClearError) {
+  try {
+    MethodRegistry::instance().create("no_such_method");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_method"), std::string::npos);
+    EXPECT_NE(what.find("hero"), std::string::npos);  // lists registered names
+  }
+}
+
+TEST(MethodRegistry, ConfigMapReachesTheMethod) {
+  auto method = MethodRegistry::instance().create(
+      "hero", {{"h", "0.25"}, {"gamma", "0.5"}, {"hvp", "fd"}, {"fd_eps", "0.001"}});
+  auto* hero = dynamic_cast<core::HeroMethod*>(method.get());
+  ASSERT_NE(hero, nullptr);
+  EXPECT_FLOAT_EQ(hero->config().h, 0.25f);
+  EXPECT_FLOAT_EQ(hero->config().gamma, 0.5f);
+  EXPECT_EQ(hero->config().hvp_mode, core::HvpMode::kFiniteDiff);
+  EXPECT_FLOAT_EQ(hero->config().fd_eps, 0.001f);
+}
+
+TEST(MethodRegistry, AcceptsKeyReflectsRegisteredMetadata) {
+  auto& registry = MethodRegistry::instance();
+  EXPECT_TRUE(registry.accepts_key("hero", "h"));
+  EXPECT_TRUE(registry.accepts_key("hero", "gamma"));
+  EXPECT_TRUE(registry.accepts_key("first_order", "h"));
+  EXPECT_TRUE(registry.accepts_key("sam", "h"));  // aliases share metadata
+  EXPECT_TRUE(registry.accepts_key("grad_l1", "lambda"));
+  EXPECT_FALSE(registry.accepts_key("sgd", "h"));
+  EXPECT_FALSE(registry.accepts_key("grad_l1", "h"));
+  EXPECT_FALSE(registry.accepts_key("no_such_method", "h"));
+}
+
+TEST(MethodRegistry, UnknownConfigKeyThrows) {
+  EXPECT_THROW(MethodRegistry::instance().create("sgd", {{"h", "0.1"}}), Error);
+  EXPECT_THROW(MethodRegistry::instance().create("hero", {{"gama", "0.1"}}), Error);
+}
+
+TEST(MethodRegistry, MalformedConfigValueThrows) {
+  EXPECT_THROW(MethodRegistry::instance().create("hero", {{"h", "abc"}}), Error);
+  EXPECT_THROW(MethodRegistry::instance().create("hero", {{"hvp", "bogus"}}), Error);
+  EXPECT_THROW(MethodRegistry::instance().create("hero", {{"perturb_all", "maybe"}}), Error);
+}
+
+TEST(ParseMethodSpec, BareName) {
+  const MethodSpec spec = parse_method_spec("sgd");
+  EXPECT_EQ(spec.name, "sgd");
+  EXPECT_TRUE(spec.config.empty());
+}
+
+TEST(ParseMethodSpec, NameWithConfig) {
+  const MethodSpec spec = parse_method_spec("hero:gamma=0.2,h=0.01");
+  EXPECT_EQ(spec.name, "hero");
+  ASSERT_EQ(spec.config.size(), 2u);
+  EXPECT_EQ(spec.config.at("gamma"), "0.2");
+  EXPECT_EQ(spec.config.at("h"), "0.01");
+}
+
+TEST(ParseMethodSpec, RejectsMalformedEntries) {
+  EXPECT_THROW(parse_method_spec(""), Error);
+  EXPECT_THROW(parse_method_spec(":h=1"), Error);
+  EXPECT_THROW(parse_method_spec("hero:h"), Error);
+  EXPECT_THROW(parse_method_spec("hero:=1"), Error);
+  EXPECT_THROW(parse_method_spec("hero:h=1,h=2"), Error);
+}
+
+TEST(ParseMethodSpec, SpecStringBuildsConfiguredMethod) {
+  auto method =
+      MethodRegistry::instance().create_from_spec("hero:gamma=0.2,h=0.01,reg_norm=l2_squared");
+  auto* hero = dynamic_cast<core::HeroMethod*>(method.get());
+  ASSERT_NE(hero, nullptr);
+  EXPECT_FLOAT_EQ(hero->config().gamma, 0.2f);
+  EXPECT_FLOAT_EQ(hero->config().h, 0.01f);
+  EXPECT_EQ(hero->config().reg_norm, core::RegNorm::kL2Squared);
+}
+
+TEST(ConfigLookups, TypedGettersParseAndFallBack) {
+  const MethodConfig config{{"f", "1.5"}, {"i", "7"}, {"b", "yes"}, {"s", "text"}};
+  EXPECT_FLOAT_EQ(config_float(config, "f", 0.0f), 1.5f);
+  EXPECT_FLOAT_EQ(config_float(config, "missing", 2.5f), 2.5f);
+  EXPECT_EQ(config_int(config, "i", 0), 7);
+  EXPECT_EQ(config_int(config, "missing", 3), 3);
+  EXPECT_TRUE(config_bool(config, "b", false));
+  EXPECT_FALSE(config_bool(config, "missing", false));
+  EXPECT_EQ(config_str(config, "s", ""), "text");
+  EXPECT_THROW(config_int(config, "f", 0), Error);  // "1.5" is not an integer
+}
+
+}  // namespace
+}  // namespace hero::optim

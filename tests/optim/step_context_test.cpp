@@ -1,0 +1,146 @@
+// StepContext tests: gradient/scratch buffer reuse across steps and the
+// StepResult diagnostics contract.
+#include "optim/step.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/hero.hpp"
+#include "data/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "optim/methods.hpp"
+#include "optim/registry.hpp"
+
+namespace hero::optim {
+namespace {
+
+data::Batch small_batch(Rng& rng, std::int64_t n = 8) {
+  const data::Dataset d = data::make_gaussian_clusters(n, 2, 2, 3.0f, 0.5f, rng);
+  return {d.features, d.labels};
+}
+
+std::shared_ptr<nn::Module> small_net(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_shared<nn::Sequential>();
+  net->add(std::make_shared<nn::Linear>(2, 4, rng));
+  net->add(std::make_shared<nn::Tanh>());
+  net->add(std::make_shared<nn::Linear>(4, 2, rng));
+  return net;
+}
+
+TEST(StepContext, GradBuffersMatchParameterShapes) {
+  auto net = small_net(1);
+  StepContext ctx(*net);
+  const auto params = net->parameters();
+  ASSERT_EQ(ctx.grads().size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(ctx.grads()[i].shape(), params[i]->var.shape()) << i;
+  }
+}
+
+TEST(StepContext, BatchBeforeBeginStepThrows) {
+  auto net = small_net(2);
+  StepContext ctx(*net);
+  EXPECT_THROW(ctx.batch(), Error);
+}
+
+// The heart of the buffer-reuse contract: across many steps of every
+// registered method, the gradient and scratch tensors keep their storage —
+// methods write in place instead of reallocating per batch.
+TEST(StepContext, GradientBuffersAreReusedAcrossSteps) {
+  Rng data_rng(3);
+  const data::Batch batch = small_batch(data_rng);
+  auto& registry = MethodRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    auto net = small_net(4);
+    auto method = registry.create(name);
+    StepContext ctx(*net);
+
+    ctx.begin_step(batch, 0);
+    method->step(ctx);
+    // Snapshot the buffer storage after the first step (scratch slots are
+    // created lazily on first use).
+    std::vector<const float*> grad_storage;
+    for (Tensor& g : ctx.grads()) grad_storage.push_back(g.data());
+
+    for (int step = 1; step < 4; ++step) {
+      ctx.begin_step(batch, step);
+      method->step(ctx);
+      for (std::size_t i = 0; i < grad_storage.size(); ++i) {
+        EXPECT_EQ(ctx.grads()[i].data(), grad_storage[i])
+            << name << " reallocated grads[" << i << "] at step " << step;
+      }
+    }
+  }
+}
+
+TEST(StepContext, ScratchSlotsKeepStorageAcrossCalls) {
+  auto net = small_net(5);
+  StepContext ctx(*net);
+  std::vector<Tensor>& s0 = ctx.scratch(0);
+  ASSERT_EQ(s0.size(), net->parameters().size());
+  const float* storage = s0[0].data();
+  // Same slot, same storage; distinct slots, distinct storage.
+  EXPECT_EQ(ctx.scratch(0)[0].data(), storage);
+  EXPECT_NE(ctx.scratch(1)[0].data(), storage);
+  EXPECT_EQ(ctx.scratch(0)[0].data(), storage);
+}
+
+TEST(StepResult, SgdReportsLossAndGradNorm) {
+  auto net = small_net(6);
+  Rng data_rng(7);
+  const data::Batch batch = small_batch(data_rng);
+  SgdMethod method;
+  StepContext ctx(*net);
+  ctx.begin_step(batch);
+  const StepResult result = method.step(ctx);
+  EXPECT_GT(result.loss, 0.0f);
+  EXPECT_GT(result.grad_norm, 0.0f);
+  EXPECT_FLOAT_EQ(result.regularizer, 0.0f);
+  EXPECT_FLOAT_EQ(result.perturbation_norm, 0.0f);
+  // grad_norm matches the flattened l2 norm of the produced gradient.
+  double sum = 0.0;
+  for (const Tensor& g : ctx.grads()) {
+    const double n = g.l2_norm();
+    sum += n * n;
+  }
+  EXPECT_NEAR(result.grad_norm, std::sqrt(sum), 1e-5);
+}
+
+TEST(StepResult, HeroReportsRegularizerAndPerturbation) {
+  auto net = small_net(8);
+  Rng data_rng(9);
+  const data::Batch batch = small_batch(data_rng);
+  core::HeroConfig config;
+  config.h = 0.3f;
+  config.gamma = 0.5f;
+  core::HeroMethod method(config);
+  StepContext ctx(*net);
+  ctx.begin_step(batch);
+  const StepResult result = method.step(ctx);
+  EXPECT_GT(result.loss, 0.0f);
+  EXPECT_GT(result.grad_norm, 0.0f);
+  EXPECT_GT(result.regularizer, 0.0f);
+  // ‖h·z‖ with ‖z_i‖ = ‖W_i‖ (Eq. 15): h · sqrt(Σ‖W_i‖²) when all
+  // parameter gradients are nonzero.
+  double w_sum = 0.0;
+  for (nn::Parameter* p : net->parameters()) {
+    const double n = p->var.value().l2_norm();
+    w_sum += n * n;
+  }
+  EXPECT_NEAR(result.perturbation_norm, 0.3 * std::sqrt(w_sum),
+              1e-4 * (1.0 + 0.3 * std::sqrt(w_sum)));
+}
+
+TEST(ParamVectorNorm, MatchesFlattenedNorm) {
+  std::vector<Tensor> v;
+  v.push_back(Tensor::from_vector({2}, {3.0f, 0.0f}));
+  v.push_back(Tensor::from_vector({1}, {4.0f}));
+  EXPECT_FLOAT_EQ(param_vector_norm(v), 5.0f);
+}
+
+}  // namespace
+}  // namespace hero::optim

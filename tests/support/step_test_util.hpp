@@ -1,0 +1,30 @@
+// Test helper: run one TrainingMethod step on a throwaway StepContext, the
+// way tests used to call the pre-session compute_gradients(model, batch,
+// grads) API. Returns the StepResult; *grads_out (optional) receives deep
+// copies of the produced gradients.
+#pragma once
+
+#include <vector>
+
+#include "data/loader.hpp"
+#include "nn/module.hpp"
+#include "optim/methods.hpp"
+#include "optim/step.hpp"
+
+namespace hero::testing_support {
+
+inline optim::StepResult run_step(optim::TrainingMethod& method, nn::Module& model,
+                                  const data::Batch& batch,
+                                  std::vector<Tensor>* grads_out = nullptr) {
+  optim::StepContext ctx(model);
+  ctx.begin_step(batch);
+  const optim::StepResult result = method.step(ctx);
+  if (grads_out != nullptr) {
+    grads_out->clear();
+    grads_out->reserve(ctx.grads().size());
+    for (const Tensor& g : ctx.grads()) grads_out->push_back(g.clone());
+  }
+  return result;
+}
+
+}  // namespace hero::testing_support
