@@ -20,6 +20,7 @@
 #include "common/csv.hpp"
 #include "common/flags.hpp"
 #include "common/parse.hpp"
+#include "common/thread_pool.hpp"
 #include "core/experiments.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
@@ -31,6 +32,7 @@ namespace hero::bench {
 struct BenchEnv {
   double scale = 1.0;
   std::string out_dir = ".";
+  int threads = 0;  ///< resolved runtime thread budget (>= 1)
   int scaled(int base) const { return std::max(1, static_cast<int>(base * scale)); }
   std::int64_t scaled64(std::int64_t base) const {
     return std::max<std::int64_t>(1, static_cast<std::int64_t>(static_cast<double>(base) * scale));
@@ -43,6 +45,11 @@ inline BenchEnv make_env(int argc, char** argv) {
   BenchEnv env;
   env.scale = flags.scale();
   env.out_dir = flags.get("out", ".");
+  // --threads=N / HERO_THREADS sizes the kernel runtime for every bench (and
+  // the Trainer underneath them); 0 means the hardware default, 1 forces the
+  // serial path. Kernel results are bit-identical either way.
+  runtime::set_num_threads(flags.get_int("threads", 0));
+  env.threads = runtime::num_threads();
   return env;
 }
 

@@ -1,0 +1,208 @@
+// Kernel-runtime throughput: GFLOP/s of the matmul/im2col hot path and HERO
+// step latency, --threads=1 (legacy serial path) vs --threads=N, plus a
+// bit-identity audit of every parallel result against its serial twin.
+//
+// Writes <out>/bench_kernels.json (one record per measurement) so CI can
+// archive the numbers as a perf-trajectory artifact. --threads=N picks the
+// parallel configuration; the default is hardware concurrency.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "optim/step.hpp"
+#include "tensor/conv_ops.hpp"
+
+namespace {
+
+using namespace hero;
+
+/// Best-of-reps wall time of fn(), in seconds.
+template <class F>
+double time_best(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  std::string dims;
+  double flops = 0.0;         ///< arithmetic ops per invocation
+  double serial_s = 0.0;      ///< best time at threads=1
+  double parallel_s = 0.0;    ///< best time at threads=N
+  bool bit_identical = false; ///< parallel output bitwise equals serial
+  double gflops(double seconds) const { return flops / seconds * 1e-9; }
+  double speedup() const { return serial_s / parallel_s; }
+};
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+Row bench_matmul(std::int64_t m, std::int64_t k, std::int64_t n, int threads, int reps) {
+  Rng rng(91);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  Row row;
+  row.kernel = "matmul";
+  row.dims = std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(n);
+  row.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n);
+  runtime::set_num_threads(1);
+  const Tensor serial = matmul(a, b);  // warm
+  row.serial_s = time_best(reps, [&] { matmul(a, b); });
+  runtime::set_num_threads(threads);
+  runtime::warm_up();
+  const Tensor parallel = matmul(a, b);
+  row.parallel_s = time_best(reps, [&] { matmul(a, b); });
+  row.bit_identical = same_bits(serial, parallel);
+  return row;
+}
+
+Row bench_im2col(int threads, int reps) {
+  Rng rng(92);
+  const Tensor x = Tensor::randn({32, 16, 32, 32}, rng);
+  const Conv2dGeom g = make_geom(x.shape(), 3, 3, 1, 1);
+  Row row;
+  row.kernel = "im2col";
+  row.dims = "32x16x32x32 k3s1p1";
+  // One read-or-pad + one store per cols element.
+  row.flops = static_cast<double>(g.batch * g.out_h() * g.out_w() * g.channels * 9);
+  runtime::set_num_threads(1);
+  const Tensor serial = im2col(x, g);
+  row.serial_s = time_best(reps, [&] { im2col(x, g); });
+  runtime::set_num_threads(threads);
+  runtime::warm_up();
+  const Tensor parallel = im2col(x, g);
+  row.parallel_s = time_best(reps, [&] { im2col(x, g); });
+  row.bit_identical = same_bits(serial, parallel);
+  return row;
+}
+
+/// Full HERO training step (3 backprops) on the step-overhead fixture: the
+/// end-to-end latency the pool is meant to cut.
+Row bench_hero_step(int threads, int reps) {
+  data::Benchmark bench = data::make_benchmark("c10", 96, 32, 11);
+  Rng rng(3);
+  auto model = nn::make_model("micro_resnet", 3, bench.train.classes, rng);
+  const data::Batch batch{bench.train.features.narrow(0, 0, 64),
+                          bench.train.labels.narrow(0, 0, 64)};
+  const auto method =
+      optim::MethodRegistry::instance().create_from_spec("hero:h=0.02,gamma=0.1");
+  optim::StepContext ctx(*model);
+  std::int64_t step = 0;
+
+  Row row;
+  row.kernel = "hero_step";
+  row.dims = "micro_resnet b64";
+  row.flops = 0.0;  // latency-only row
+
+  auto run_step = [&] {
+    ctx.begin_step(batch, step++);
+    method->step(ctx);
+  };
+
+  // Bit-identity: one step per thread count from the *same* weight state.
+  // (HERO's perturb-and-restore leaves float-level weight drift between
+  // steps, so consecutive steps are not comparable to each other.)
+  std::vector<Tensor> w0;
+  for (nn::Parameter* p : model->parameters()) w0.push_back(p->var.value().clone());
+  auto restore = [&] {
+    std::size_t i = 0;
+    for (nn::Parameter* p : model->parameters()) p->var.mutable_value().copy_(w0[i++]);
+  };
+  runtime::set_num_threads(1);
+  restore();
+  run_step();
+  std::vector<Tensor> serial_grads;
+  for (const Tensor& g : ctx.grads()) serial_grads.push_back(g.clone());
+  runtime::set_num_threads(threads);
+  runtime::warm_up();
+  restore();
+  run_step();
+  row.bit_identical = true;
+  for (std::size_t i = 0; i < serial_grads.size(); ++i) {
+    row.bit_identical = row.bit_identical && same_bits(serial_grads[i], ctx.grads()[i]);
+  }
+
+  // Steady-state latency (drift across steps is irrelevant for timing).
+  runtime::set_num_threads(1);
+  row.serial_s = time_best(reps, run_step);
+  runtime::set_num_threads(threads);
+  row.parallel_s = time_best(reps, run_step);
+  return row;
+}
+
+void write_json(const std::string& path, int threads, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads\": %d,\n  \"results\": [\n", threads);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"dims\": \"%s\", \"serial_s\": %.6f, "
+                 "\"parallel_s\": %.6f, \"speedup\": %.3f, \"gflops_serial\": %.3f, "
+                 "\"gflops_parallel\": %.3f, \"bit_identical\": %s}%s\n",
+                 r.kernel.c_str(), r.dims.c_str(), r.serial_s, r.parallel_s, r.speedup(),
+                 r.flops > 0.0 ? r.gflops(r.serial_s) : 0.0,
+                 r.flops > 0.0 ? r.gflops(r.parallel_s) : 0.0,
+                 r.bit_identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hero;
+  using namespace hero::bench;
+  BenchEnv env = make_env(argc, argv);
+  const int threads = env.threads;
+  std::printf("kernel runtime bench: threads=%d (serial baseline is --threads=1)\n\n", threads);
+
+  std::vector<Row> rows;
+  rows.push_back(bench_matmul(128, 128, 128, threads, 5));
+  rows.push_back(bench_matmul(256, 256, 256, threads, 4));
+  rows.push_back(bench_matmul(512, 512, 512, threads, 3));
+  rows.push_back(bench_matmul(129, 67, 93, threads, 5));
+  rows.push_back(bench_im2col(threads, 5));
+  rows.push_back(bench_hero_step(threads, 3));
+
+  bench::print_header({"kernel", "dims", "GFLOP/s t1", "GFLOP/s tN", "speedup", "bit-identical"});
+  char buf[64];
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    std::vector<std::string> cells{r.kernel, r.dims};
+    std::snprintf(buf, sizeof buf, "%.2f", r.flops > 0.0 ? r.gflops(r.serial_s) : 0.0);
+    cells.push_back(r.flops > 0.0 ? buf : "-");
+    std::snprintf(buf, sizeof buf, "%.2f", r.flops > 0.0 ? r.gflops(r.parallel_s) : 0.0);
+    cells.push_back(r.flops > 0.0 ? buf : "-");
+    std::snprintf(buf, sizeof buf, "%.2fx", r.speedup());
+    cells.push_back(buf);
+    cells.push_back(r.bit_identical ? "yes" : "NO");
+    bench::print_row(cells);
+    all_identical = all_identical && r.bit_identical;
+  }
+
+  const std::string json_path = env.csv_path("bench_kernels.json");
+  write_json(json_path, threads, rows);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "ERROR: parallel kernel output is not bit-identical to serial\n");
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
@@ -23,6 +24,7 @@
 namespace {
 
 std::atomic<std::size_t> g_alloc_count{0};
+std::atomic<std::size_t> g_alloc_growth_failures{0};
 
 }  // namespace
 
@@ -50,6 +52,9 @@ struct Fixture {
     Rng rng(3);
     model = nn::make_model("micro_resnet", 3, bench.train.classes, rng);
     batch = {bench.train.features.narrow(0, 0, 64), bench.train.labels.narrow(0, 0, 64)};
+    // Spawn the kernel thread pool up front: its one-time allocations
+    // (thread stacks, the job slot) must not be charged to any step.
+    runtime::warm_up();
   }
 };
 
@@ -83,8 +88,18 @@ void run_method(benchmark::State& state, const std::string& spec) {
     }
   }
   state.counters["allocs/step"] = static_cast<double>(last_step_allocs);
-  state.counters["alloc_growth"] =
+  const double growth =
       static_cast<double>(last_step_allocs) - static_cast<double>(first_step_allocs);
+  state.counters["alloc_growth"] = growth;
+  // Hard assertion: with the pool warm, parallel_for must reuse the pool's
+  // job slot — steady-state steps may not accumulate heap allocations.
+  // SkipWithError alone exits 0, so main() also checks the failure count.
+  if (growth != 0.0) {
+    g_alloc_growth_failures.fetch_add(1, std::memory_order_relaxed);
+    state.SkipWithError(("alloc_growth != 0 for " + spec +
+                         ": per-step allocations grew with a warm thread pool")
+                            .c_str());
+  }
 }
 
 void BM_SgdStep(benchmark::State& state) { run_method(state, "sgd"); }
@@ -105,4 +120,14 @@ BENCHMARK(BM_HeroStepFiniteDiff)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const std::size_t failures = g_alloc_growth_failures.load(); failures != 0) {
+    std::fprintf(stderr, "FAILED: alloc_growth != 0 in %zu benchmark(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+namespace hero {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+/// RAII flag for the duration of chunk execution on any participant.
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { tl_in_parallel_region = true; }
+  ~ParallelRegionGuard() { tl_in_parallel_region = false; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_pool_thread() { return tl_in_parallel_region; }
+
+void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain, RangeFn fn,
+                     void* ctx) {
+  if (begin >= end) return;
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    begin_ = begin;
+    end_ = end;
+    grain_ = grain < 1 ? 1 : grain;
+    chunk_count_ = (end_ - begin_ + grain_ - 1) / grain_;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    finished_ = 0;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  drain();  // the caller works too
+  // Wait for every worker to check in, even ones that found no chunks left:
+  // only then may the caller's stack frame (ctx) go out of scope.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return finished_ == workers_.size(); });
+  fn_ = nullptr;
+  ctx_ = nullptr;
+}
+
+void ThreadPool::drain() {
+  ParallelRegionGuard guard;
+  for (;;) {
+    const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunk_count_) return;
+    const std::int64_t b = begin_ + c * grain_;
+    fn_(ctx_, b, std::min(end_, b + grain_));
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [this, seen] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++finished_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+namespace runtime {
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::atomic<int> g_threads{0};  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+int default_threads() {
+  if (const char* env = std::getenv("HERO_THREADS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int num_threads() {
+  int t = g_threads.load(std::memory_order_acquire);
+  if (t == 0) {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    t = g_threads.load(std::memory_order_relaxed);
+    if (t == 0) {
+      t = default_threads();
+      g_threads.store(t, std::memory_order_release);
+    }
+  }
+  return t;
+}
+
+void set_num_threads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const int resolved = n >= 1 ? n : default_threads();
+  if (resolved == g_threads.load(std::memory_order_relaxed) && g_pool) return;
+  g_pool.reset();
+  g_threads.store(resolved, std::memory_order_release);
+}
+
+void warm_up() {
+  if (num_threads() > 1) detail::pool();
+}
+
+bool in_parallel_region() { return ThreadPool::on_pool_thread(); }
+
+ThreadPool& detail::pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    int t = g_threads.load(std::memory_order_relaxed);
+    if (t == 0) {
+      t = default_threads();
+      g_threads.store(t, std::memory_order_release);
+    }
+    g_pool = std::make_unique<ThreadPool>(t);
+  }
+  return *g_pool;
+}
+
+}  // namespace runtime
+}  // namespace hero

@@ -1,0 +1,152 @@
+// Deterministic thread-pool runtime for the tensor/conv hot-path kernels.
+//
+// Design points:
+//  * One process-wide, fixed-size pool (hero::runtime), created lazily the
+//    first time a kernel actually dispatches parallel work. Thread count is
+//    HERO_THREADS (or runtime::set_num_threads, wired to --threads by the
+//    benches) and defaults to hardware concurrency; 1 forces the legacy
+//    serial path — parallel_for then runs inline on the caller.
+//  * Determinism: parallel_for partitions an index range into disjoint
+//    chunks, and kernels are written so every output element is produced by
+//    exactly one chunk in the serial accumulation order. Which thread runs a
+//    chunk is scheduling-dependent; what it computes is not, so results are
+//    bit-identical for any thread count. Reductions use parallel_reduce_sum,
+//    whose chunk boundaries depend only on the range (never on the thread
+//    count) and whose partials are combined in chunk order.
+//  * No per-call heap allocation: the pool reuses one job slot (the body is
+//    passed as a function pointer + context pointer into the caller's
+//    stack frame), so bench_step_overhead's alloc_growth=0 audit holds with
+//    the pool warm.
+//  * Bodies must not throw: kernels here are noexcept arithmetic loops.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hero {
+
+/// Fixed-size worker pool with a single reusable job slot. `size()` counts
+/// the caller as a participant: a pool of size N spawns N-1 worker threads
+/// and the thread calling run() drains chunks alongside them.
+class ThreadPool {
+ public:
+  using RangeFn = void (*)(void* ctx, std::int64_t begin, std::int64_t end);
+
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invokes fn over [begin, end) split into grain-sized chunks and blocks
+  /// until every chunk has run. Chunks are disjoint and cover the range
+  /// exactly once. Reuses the pool's job slot — no allocation. fn must not
+  /// throw. Calls are serialized; recursive calls from a pool thread are the
+  /// caller's responsibility to avoid (runtime::parallel_for handles this).
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain, RangeFn fn, void* ctx);
+
+  /// True on a thread currently executing chunks of a run() job.
+  static bool on_pool_thread();
+
+ private:
+  void worker_loop();
+  void drain();
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  // serializes concurrent run() callers
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  // The reused job slot; written under mutex_ before epoch_ is bumped.
+  RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t grain_ = 1;
+  std::int64_t chunk_count_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::uint64_t epoch_ = 0;
+  std::size_t finished_ = 0;  // workers done with the current epoch
+  bool stop_ = false;
+};
+
+namespace runtime {
+
+/// Current thread budget (>= 1). First call resolves HERO_THREADS, falling
+/// back to std::thread::hardware_concurrency().
+int num_threads();
+
+/// Sets the thread budget; n <= 0 restores the environment/hardware default.
+/// Replaces the pool if the size changes (existing work must have finished).
+void set_num_threads(int n);
+
+/// Forces pool construction so later steps pay no thread-spawn allocations
+/// (bench_step_overhead calls this before counting).
+void warm_up();
+
+/// True when called from inside a parallel_for body; nested parallel_for
+/// calls then run inline instead of deadlocking on the single job slot.
+bool in_parallel_region();
+
+namespace detail {
+ThreadPool& pool();
+}  // namespace detail
+
+/// Runs fn(chunk_begin, chunk_end) over disjoint grain-sized chunks of
+/// [begin, end). Runs inline (one call, full range) when the range fits one
+/// grain, the budget is a single thread, or we are already inside a parallel
+/// region — the legacy serial path, bit-identical by construction for
+/// kernels that keep per-element accumulation order chunk-local.
+template <class F>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain, F&& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (n <= grain || in_parallel_region() || num_threads() <= 1) {
+    fn(begin, end);
+    return;
+  }
+  using Body = std::remove_reference_t<F>;
+  detail::pool().run(
+      begin, end, grain,
+      [](void* ctx, std::int64_t b, std::int64_t e) { (*static_cast<Body*>(ctx))(b, e); },
+      const_cast<void*>(static_cast<const void*>(&fn)));
+}
+
+/// Upper bound on reduction chunks; partials live in a stack array.
+inline constexpr std::int64_t kMaxReduceChunks = 256;
+
+/// Deterministic parallel sum: fn(chunk_begin, chunk_end) -> double partial.
+/// Chunk boundaries depend only on (end - begin, grain) and partials are
+/// combined in ascending chunk order, so the result is bit-identical for any
+/// thread count (and equals the serial sum whenever the range fits one
+/// grain).
+template <class F>
+double parallel_reduce_sum(std::int64_t begin, std::int64_t end, std::int64_t grain, F&& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return 0.0;
+  if (grain < 1) grain = 1;
+  const std::int64_t chunks = std::min((n + grain - 1) / grain, kMaxReduceChunks);
+  if (chunks <= 1) return fn(begin, end);
+  const std::int64_t chunk_size = (n + chunks - 1) / chunks;
+  double partials[kMaxReduceChunks];
+  parallel_for(0, chunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const std::int64_t b = begin + c * chunk_size;
+      partials[c] = fn(b, std::min(end, b + chunk_size));
+    }
+  });
+  double acc = 0.0;
+  for (std::int64_t c = 0; c < chunks; ++c) acc += partials[c];
+  return acc;
+}
+
+}  // namespace runtime
+}  // namespace hero

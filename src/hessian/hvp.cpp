@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hero::hessian {
 
@@ -63,7 +64,14 @@ double dot(const ParamVector& a, const ParamVector& b) {
     HERO_CHECK(a[i].numel() == b[i].numel());
     const float* pa = a[i].data();
     const float* pb = b[i].data();
-    for (std::int64_t e = 0; e < a[i].numel(); ++e) acc += static_cast<double>(pa[e]) * pb[e];
+    // Deterministic chunked reduction per tensor (chunk layout independent
+    // of the thread count); tensors combine in parameter order.
+    acc += runtime::parallel_reduce_sum(
+        0, a[i].numel(), 1 << 15, [pa, pb](std::int64_t e0, std::int64_t e1) {
+          double partial = 0.0;
+          for (std::int64_t e = e0; e < e1; ++e) partial += static_cast<double>(pa[e]) * pb[e];
+          return partial;
+        });
   }
   return acc;
 }

@@ -11,29 +11,41 @@ namespace {
 /// Quantizes a contiguous run of `count` floats sharing one scale.
 /// Returns the bin width used.
 float quantize_run(const float* src, float* dst, std::int64_t count, int bits, Scheme scheme) {
-  const auto levels = static_cast<float>((1LL << bits) - 1);  // 2^n - 1 steps
-  float lo = 0.0f;
-  float hi = 0.0f;
-  if (scheme == Scheme::kSymmetric) {
-    float max_abs = 0.0f;
-    for (std::int64_t i = 0; i < count; ++i) max_abs = std::max(max_abs, std::fabs(src[i]));
-    lo = -max_abs;
-    hi = max_abs;
-  } else {
-    lo = src[0];
-    hi = src[0];
-    for (std::int64_t i = 1; i < count; ++i) {
-      lo = std::min(lo, src[i]);
-      hi = std::max(hi, src[i]);
-    }
+  float lo = src[0];
+  float hi = src[0];
+  for (std::int64_t i = 1; i < count; ++i) {
+    lo = std::min(lo, src[i]);
+    hi = std::max(hi, src[i]);
   }
-  const float range = hi - lo;
-  if (range <= 0.0f) {
-    // Constant tensor: representable exactly.
+  if (lo == hi) {
+    // Constant tensor: representable exactly under either scheme.
     for (std::int64_t i = 0; i < count; ++i) dst[i] = src[i];
     return 0.0f;
   }
-  const float delta = range / levels;
+  if (scheme == Scheme::kSymmetric) {
+    // Zero-preserving signed grid (the standard symmetric convention, as in
+    // HAWQ and the paper's W4/W8 setup): delta = max|w| / (2^(bits-1) - 1),
+    // q = round(w / delta) clamped to ±(2^(bits-1) - 1). Zero is exactly
+    // representable and the grid is odd-symmetric: Q(-w) == -Q(w).
+    const float max_abs = std::max(std::fabs(lo), std::fabs(hi));
+    const auto half_levels = static_cast<float>((1LL << (bits - 1)) - 1);
+    if (half_levels == 0.0f) {
+      // bits == 1 degenerates to a sign quantizer onto {-max|w|, 0, +max|w|}.
+      for (std::int64_t i = 0; i < count; ++i) {
+        dst[i] = src[i] > 0.0f ? max_abs : (src[i] < 0.0f ? -max_abs : 0.0f);
+      }
+      return 2.0f * max_abs;
+    }
+    const float delta = max_abs / half_levels;
+    for (std::int64_t i = 0; i < count; ++i) {
+      float q = std::round(src[i] / delta);
+      q = std::min(std::max(q, -half_levels), half_levels);  // clamp to ±max|w|
+      dst[i] = q * delta;
+    }
+    return delta;
+  }
+  const auto levels = static_cast<float>((1LL << bits) - 1);  // 2^n - 1 steps
+  const float delta = (hi - lo) / levels;
   for (std::int64_t i = 0; i < count; ++i) {
     const float q = std::round((src[i] - lo) / delta);
     dst[i] = lo + q * delta;

@@ -1,10 +1,13 @@
 // Post-training linear uniform weight quantization (paper §3.1, Theorem 2).
 //
-// The weight range is split into 2^n uniform bins of width Δ and every value
-// is rounded to its bin's representable point, so ‖W_q − W‖∞ ≤ Δ/2 — the ℓ∞
-// perturbation bound that Theorem 2 converts into a loss bound. Symmetric
-// and asymmetric variants and per-tensor / per-channel granularity cover the
-// "all quantization schemes" claim of the paper's §5.3.
+// Every value is rounded to a representable point at most Δ/2 away, so
+// ‖W_q − W‖∞ ≤ Δ/2 — the ℓ∞ perturbation bound that Theorem 2 converts into
+// a loss bound. The symmetric scheme uses the zero-preserving signed grid
+// Δ = max|w| / (2^(n-1) − 1), q = round(w/Δ) (HAWQ convention): zero is
+// exactly representable and Q(−w) == −Q(w). The asymmetric scheme is an
+// affine grid over [min(w), max(w)] with 2^n − 1 steps. Per-tensor and
+// per-channel granularity cover the "all quantization schemes" claim of the
+// paper's §5.3.
 #pragma once
 
 #include <vector>
@@ -15,7 +18,7 @@
 namespace hero::quant {
 
 enum class Scheme {
-  kSymmetric,   ///< range [-max|w|, +max|w|], zero-point 0
+  kSymmetric,   ///< signed grid over [-max|w|, +max|w|]; 0 is a grid point
   kAsymmetric,  ///< range [min(w), max(w)] with affine zero-point
 };
 

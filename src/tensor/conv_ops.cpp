@@ -1,8 +1,10 @@
 #include "tensor/conv_ops.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hero {
 
@@ -33,8 +35,14 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
   Tensor cols(Shape{g.batch * oh * ow, patch});
   const float* src = input.data();
   float* dst = cols.data();
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t y = 0; y < oh; ++y) {
+  // Partitioned over (batch, output row): every cols row is written by
+  // exactly one chunk, so results are bit-identical for any thread count.
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, ow * patch));
+  runtime::parallel_for(0, g.batch * oh, grain, [&](std::int64_t ny0, std::int64_t ny1) {
+    for (std::int64_t ny = ny0; ny < ny1; ++ny) {
+      const std::int64_t n = ny / oh;
+      const std::int64_t y = ny % oh;
       for (std::int64_t x = 0; x < ow; ++x) {
         float* row = dst + ((n * oh + y) * ow + x) * patch;
         for (std::int64_t c = 0; c < g.channels; ++c) {
@@ -50,7 +58,7 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -64,25 +72,31 @@ Tensor col2im(const Tensor& cols, const Conv2dGeom& g) {
   Tensor out(Shape{g.batch, g.channels, g.in_h, g.in_w});
   const float* src = cols.data();
   float* dst = out.data();
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x) {
-        const float* row = src + ((n * oh + y) * ow + x) * patch;
-        for (std::int64_t c = 0; c < g.channels; ++c) {
-          float* plane = dst + (n * g.channels + c) * g.in_h * g.in_w;
-          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
-            const std::int64_t iy = y * g.stride + ky - g.pad;
-            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
-              const std::int64_t ix = x * g.stride + kx - g.pad;
-              const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
-              if (inside) plane[iy * g.in_w + ix] += *row;
-              ++row;
+  // Overlapping patches scatter-add into the same input plane, but planes of
+  // different batch items are disjoint: partitioning on the batch axis keeps
+  // the accumulation race-free and in the serial (y, x, c, ky, kx) order per
+  // plane — bit-identical for any thread count.
+  runtime::parallel_for(0, g.batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const float* row = src + ((n * oh + y) * ow + x) * patch;
+          for (std::int64_t c = 0; c < g.channels; ++c) {
+            float* plane = dst + (n * g.channels + c) * g.in_h * g.in_w;
+            for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+              const std::int64_t iy = y * g.stride + ky - g.pad;
+              for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
+                const std::int64_t ix = x * g.stride + kx - g.pad;
+                const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+                if (inside) plane[iy * g.in_w + ix] += *row;
+                ++row;
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -6,10 +6,15 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hero {
 
 namespace {
+
+/// Elementwise/reduction work is split into chunks of this many elements;
+/// smaller tensors run inline on the caller (the legacy serial path).
+constexpr std::int64_t kElementwiseGrain = 1 << 15;
 
 /// Row-major strides for a shape (stride of innermost dim is 1).
 std::vector<std::int64_t> contiguous_strides(const Shape& shape) {
@@ -36,14 +41,17 @@ std::vector<std::int64_t> broadcast_strides(const Shape& shape, const Shape& out
 /// Applies `fn(a_elem, b_elem)` over the broadcast of a and b.
 template <typename F>
 Tensor broadcast_binary(const Tensor& a, const Tensor& b, F fn) {
-  // Fast path: identical shapes.
+  // Fast path: identical shapes. Each element is written by exactly one
+  // chunk, so the parallel split is bit-identical to the serial loop.
   if (a.shape() == b.shape()) {
     Tensor out(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    runtime::parallel_for(0, a.numel(), kElementwiseGrain,
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) po[i] = fn(pa[i], pb[i]);
+                          });
     return out;
   }
   const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
@@ -79,8 +87,10 @@ Tensor unary_map(const Tensor& a, F fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  runtime::parallel_for(0, a.numel(), kElementwiseGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) po[i] = fn(pa[i]);
+                        });
   return out;
 }
 
@@ -310,12 +320,16 @@ void Tensor::add_(const Tensor& other, float alpha) {
   HERO_CHECK_MSG(other.numel() == numel_, "add_: element count mismatch");
   float* p = data();
   const float* q = other.data();
-  for (std::int64_t i = 0; i < numel_; ++i) p[i] += alpha * q[i];
+  runtime::parallel_for(0, numel_, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) p[i] += alpha * q[i];
+  });
 }
 
 void Tensor::mul_(float value) {
   float* p = data();
-  for (std::int64_t i = 0; i < numel_; ++i) p[i] *= value;
+  runtime::parallel_for(0, numel_, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) p[i] *= value;
+  });
 }
 
 void Tensor::copy_(const Tensor& other) {
@@ -443,9 +457,15 @@ Tensor Tensor::argmax(std::int64_t axis) const {
 }
 
 float Tensor::l2_norm() const {
-  double acc = 0.0;
   const float* p = data();
-  for (std::int64_t i = 0; i < numel_; ++i) acc += static_cast<double>(p[i]) * p[i];
+  // Deterministic chunked reduction: chunk layout is independent of the
+  // thread count, partials combine in chunk order.
+  const double acc = runtime::parallel_reduce_sum(
+      0, numel_, kElementwiseGrain, [p](std::int64_t i0, std::int64_t i1) {
+        double partial = 0.0;
+        for (std::int64_t i = i0; i < i1; ++i) partial += static_cast<double>(p[i]) * p[i];
+        return partial;
+      });
   return static_cast<float>(std::sqrt(acc));
 }
 
@@ -555,17 +575,29 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order keeps the innermost accesses contiguous in b and out.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    const float* a_row = pa + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+  // Row-range partitioning: each output row is accumulated by exactly one
+  // chunk in ascending-k order, so any thread count (and the inline serial
+  // path) produces bit-identical results. Within a chunk, k is blocked so
+  // the B panel stays cache-resident across the rows of the chunk; the
+  // i-k-j order keeps the innermost accesses contiguous in b and out.
+  // No zero-skip on a[i][k]: 0 x NaN / 0 x Inf must propagate, not mask
+  // divergence as 0.
+  constexpr std::int64_t kKBlock = 64;
+  const std::int64_t grain = std::max<std::int64_t>(1, 32768 / std::max<std::int64_t>(1, k * n));
+  runtime::parallel_for(0, m, grain, [&](std::int64_t row0, std::int64_t row1) {
+    for (std::int64_t kb = 0; kb < k; kb += kKBlock) {
+      const std::int64_t kend = std::min(k, kb + kKBlock);
+      for (std::int64_t i = row0; i < row1; ++i) {
+        float* out_row = po + i * n;
+        const float* a_row = pa + i * k;
+        for (std::int64_t kk = kb; kk < kend; ++kk) {
+          const float av = a_row[kk];
+          const float* b_row = pb + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,113 @@
+// hero::runtime thread-pool contract: exact range coverage, the serial
+// inline path at --threads=1, nested-call safety, and determinism of the
+// chunked reduction across thread counts.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support/thread_budget_guard.hpp"
+
+namespace hero {
+namespace {
+
+using testing_support::ThreadBudgetGuard;
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadBudgetGuard guard;
+  runtime::set_num_threads(4);
+  const std::int64_t n = 10007;  // prime: chunks never divide evenly
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  runtime::parallel_for(0, n, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOneCall) {
+  ThreadBudgetGuard guard;
+  runtime::set_num_threads(1);
+  int calls = 0;
+  std::thread::id body_thread;
+  runtime::parallel_for(0, 1000, 10, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    body_thread = std::this_thread::get_id();
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1000);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadBudgetGuard guard;
+  runtime::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(256);
+  for (auto& h : hits) h.store(0);
+  runtime::parallel_for(0, 16, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      EXPECT_TRUE(runtime::in_parallel_region());
+      // The nested call must not re-enter the pool's single job slot.
+      runtime::parallel_for(0, 16, 1, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t j = ib; j < ie; ++j) {
+          hits[static_cast<std::size_t>(i * 16 + j)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReduceSumIsBitIdenticalAcrossThreadCounts) {
+  ThreadBudgetGuard guard;
+  Rng rng(17);
+  const std::int64_t n = 1 << 18;
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (auto& v : values) v = rng.normal();
+  auto body = [&](std::int64_t b, std::int64_t e) {
+    double acc = 0.0;
+    for (std::int64_t i = b; i < e; ++i) acc += values[static_cast<std::size_t>(i)];
+    return acc;
+  };
+  runtime::set_num_threads(1);
+  const double serial = runtime::parallel_reduce_sum(0, n, 1 << 12, body);
+  runtime::set_num_threads(4);
+  const double parallel = runtime::parallel_reduce_sum(0, n, 1 << 12, body);
+  runtime::set_num_threads(3);
+  const double parallel3 = runtime::parallel_reduce_sum(0, n, 1 << 12, body);
+  // Bitwise equality, not tolerance: chunk layout depends only on the range.
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, parallel3);
+}
+
+TEST(ThreadPool, SetNumThreadsRoundTrips) {
+  ThreadBudgetGuard guard;
+  runtime::set_num_threads(3);
+  EXPECT_EQ(runtime::num_threads(), 3);
+  runtime::set_num_threads(0);  // back to the environment/hardware default
+  EXPECT_GE(runtime::num_threads(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadBudgetGuard guard;
+  runtime::set_num_threads(4);
+  int calls = 0;
+  runtime::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(runtime::parallel_reduce_sum(
+                0, 0, 16, [](std::int64_t, std::int64_t) { return 1.0; }),
+            0.0);
+  double one = runtime::parallel_reduce_sum(
+      0, 3, 16, [](std::int64_t b, std::int64_t e) { return static_cast<double>(e - b); });
+  EXPECT_EQ(one, 3.0);
+}
+
+}  // namespace
+}  // namespace hero

@@ -48,6 +48,14 @@ TEST(LayerGradcheck, Conv2dStride2) {
   check_layer_params(layer, Tensor::randn({2, 1, 6, 6}, rng));
 }
 
+TEST(LayerGradcheck, Conv2dStride2Pad2) {
+  // stride > 1 and pad > 0 simultaneously, with the pad exceeding the
+  // stride-1 remainder so border patches are mostly padding.
+  Rng rng(8);
+  Conv2d layer(2, 2, 3, 2, 2, rng);
+  check_layer_params(layer, Tensor::randn({2, 2, 5, 5}, rng));
+}
+
 TEST(LayerGradcheck, DepthwiseConv2d) {
   Rng rng(4);
   DepthwiseConv2d layer(3, 3, 1, 1, rng);

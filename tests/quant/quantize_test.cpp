@@ -55,6 +55,33 @@ TEST(Quantize, SymmetricPreservesSign) {
   }
 }
 
+TEST(Quantize, SymmetricZeroIsExactlyRepresentable) {
+  // Regression: the old symmetric grid was anchored at -max|w| with 2^n - 1
+  // steps, so 0 fell between levels and pruned weights dequantized to
+  // ±delta/2. The signed grid must map 0.0f to exactly 0.0f.
+  const Tensor w = Tensor::from_vector({6}, {-1.7f, -0.3f, 0.0f, 0.4f, 0.9f, 1.3f});
+  for (const int bits : {2, 4, 8}) {
+    const Tensor q =
+        quantize_dequantize(w, {bits, Scheme::kSymmetric, Granularity::kPerTensor});
+    EXPECT_EQ(q.at({2}), 0.0f) << "bits=" << bits;
+  }
+}
+
+TEST(Quantize, SymmetricGridIsOddSymmetric) {
+  // Q(-w) == -Q(w) bitwise: the signed grid has no zero-point offset.
+  Rng rng(12);
+  const Tensor w = Tensor::randn({257}, rng);
+  const Tensor neg_w = mul_scalar(w, -1.0f);
+  for (const int bits : {2, 4, 8}) {
+    const QuantConfig config{bits, Scheme::kSymmetric, Granularity::kPerTensor};
+    const Tensor q = quantize_dequantize(w, config);
+    const Tensor neg_q = quantize_dequantize(neg_w, config);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      ASSERT_EQ(neg_q.data()[i], -q.data()[i]) << "bits=" << bits << " elem " << i;
+    }
+  }
+}
+
 TEST(Quantize, RejectsBadBits) {
   const Tensor w = Tensor::ones({4});
   EXPECT_THROW(quantize_dequantize(w, {0, Scheme::kSymmetric, Granularity::kPerTensor}), Error);

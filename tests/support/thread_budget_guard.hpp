@@ -1,0 +1,20 @@
+// RAII save/restore of the hero::runtime thread budget, for tests that
+// compare serial and parallel kernel output.
+#pragma once
+
+#include "common/thread_pool.hpp"
+
+namespace hero::testing_support {
+
+class ThreadBudgetGuard {
+ public:
+  ThreadBudgetGuard() : saved_(runtime::num_threads()) {}
+  ~ThreadBudgetGuard() { runtime::set_num_threads(saved_); }
+  ThreadBudgetGuard(const ThreadBudgetGuard&) = delete;
+  ThreadBudgetGuard& operator=(const ThreadBudgetGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace hero::testing_support

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "support/thread_budget_guard.hpp"
 
 namespace hero {
 namespace {
@@ -62,6 +66,58 @@ TEST(Im2col, Col2imIsAdjoint) {
       ASSERT_NEAR(lhs, rhs, 1e-2f) << "pad=" << pad << " stride=" << stride;
     }
   }
+}
+
+TEST(Im2col, AdjointWithStrideAndPadCombined) {
+  // stride > 1 AND pad > 0 simultaneously (including pad 2), the geometry
+  // the strided conv layers train with.
+  Rng rng(13);
+  for (const std::int64_t pad : {1, 2}) {
+    for (const std::int64_t stride : {2, 3}) {
+      Tensor x = Tensor::randn({2, 3, 7, 7}, rng);
+      const Conv2dGeom g = make_geom(x.shape(), 3, 3, stride, pad);
+      Tensor y = Tensor::randn({g.batch * g.out_h() * g.out_w(),
+                                g.channels * g.kernel_h * g.kernel_w},
+                               rng);
+      const float lhs = (im2col(x, g) * y).sum().item();
+      const float rhs = (x * col2im(y, g)).sum().item();
+      ASSERT_NEAR(lhs, rhs, 1e-2f) << "pad=" << pad << " stride=" << stride;
+    }
+  }
+}
+
+TEST(Im2col, Col2imRoundTripNonOverlappingStridePad) {
+  // kernel == stride with pad 1 tiles a 4x4 input so every pixel lands in
+  // exactly one patch: col2im(im2col(x)) must reconstruct x exactly.
+  Rng rng(21);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  const Conv2dGeom g = make_geom(x.shape(), 3, 3, /*stride=*/3, /*pad=*/1);
+  const Tensor back = col2im(im2col(x, g), g);
+  EXPECT_TRUE(allclose(back, x, 0.0f, 0.0f));
+}
+
+TEST(Im2col, ThreadedOutputBitIdenticalToSerial) {
+  testing_support::ThreadBudgetGuard guard;
+  Rng rng(31);
+  // Large enough that the (batch, output-row) partitioning actually
+  // dispatches to the pool instead of the inline small-range path.
+  Tensor x = Tensor::randn({5, 4, 33, 33}, rng);
+  const Conv2dGeom g = make_geom(x.shape(), 3, 3, 2, 1);
+  Tensor y = Tensor::randn({g.batch * g.out_h() * g.out_w(),
+                            g.channels * g.kernel_h * g.kernel_w},
+                           rng);
+  runtime::set_num_threads(1);
+  const Tensor cols_serial = im2col(x, g);
+  const Tensor img_serial = col2im(y, g);
+  runtime::set_num_threads(4);
+  const Tensor cols_threaded = im2col(x, g);
+  const Tensor img_threaded = col2im(y, g);
+  EXPECT_EQ(std::memcmp(cols_serial.data(), cols_threaded.data(),
+                        static_cast<std::size_t>(cols_serial.numel()) * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(img_serial.data(), img_threaded.data(),
+                        static_cast<std::size_t>(img_serial.numel()) * sizeof(float)),
+            0);
 }
 
 TEST(AvgPool, KnownValues) {

@@ -1,0 +1,79 @@
+// matmul runtime contract: NaN/Inf propagation (no sparsity shortcut may
+// mask divergence as 0) and bit-identical output across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/thread_pool.hpp"
+#include "support/thread_budget_guard.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero {
+namespace {
+
+using testing_support::ThreadBudgetGuard;
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(Matmul, NaNInRhsPropagatesThroughZeroLhs) {
+  // Regression: the old kernel skipped a[i][k] == 0 and silently turned
+  // 0 x NaN into 0.
+  const Tensor a = Tensor::from_vector({2, 2}, {0.0f, 1.0f, 2.0f, 3.0f});
+  const Tensor b = Tensor::from_vector({2, 2}, {kNaN, 0.0f, 0.0f, 0.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at({0, 0})));  // 0*NaN + 1*0
+  EXPECT_TRUE(std::isnan(c.at({1, 0})));  // 2*NaN + 3*0
+  EXPECT_FLOAT_EQ((c.at({0, 1})), 0.0f);
+}
+
+TEST(Matmul, NaNInLhsPropagatesThroughZeroRhs) {
+  const Tensor a = Tensor::from_vector({1, 2}, {kNaN, 1.0f});
+  const Tensor b = Tensor::from_vector({2, 1}, {0.0f, 5.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.item()));  // NaN*0 + 1*5
+}
+
+TEST(Matmul, InfTimesZeroProducesNaN) {
+  const Tensor a = Tensor::from_vector({1, 1}, {0.0f});
+  const Tensor b = Tensor::from_vector({1, 1}, {kInf});
+  EXPECT_TRUE(std::isnan(matmul(a, b).item()));
+}
+
+TEST(Matmul, ThreadedOutputBitIdenticalToSerial) {
+  // Non-multiple-of-tile shapes: 129 x 67 x 93 exercises ragged row chunks
+  // and a ragged final k block.
+  ThreadBudgetGuard guard;
+  Rng rng(123);
+  const Tensor a = Tensor::randn({129, 67}, rng);
+  const Tensor b = Tensor::randn({67, 93}, rng);
+
+  runtime::set_num_threads(1);
+  const Tensor serial = matmul(a, b);
+  runtime::set_num_threads(4);
+  const Tensor threaded = matmul(a, b);
+
+  ASSERT_EQ(serial.shape(), threaded.shape());
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                        static_cast<std::size_t>(serial.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(Matmul, ThreadedMatchesSerialOnSquareProblem) {
+  ThreadBudgetGuard guard;
+  Rng rng(9);
+  const Tensor a = Tensor::randn({96, 96}, rng);
+  const Tensor b = Tensor::randn({96, 96}, rng);
+  runtime::set_num_threads(1);
+  const Tensor serial = matmul(a, b);
+  runtime::set_num_threads(3);
+  const Tensor threaded = matmul(a, b);
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                        static_cast<std::size_t>(serial.numel()) * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace hero
