@@ -71,7 +71,9 @@ int main(int argc, char** argv) {
     spec.test_n = env.scaled64(256);
     spec.method = use_fd ? "hero:h=0.02,hvp=fd" : "hero:h=0.02";
     RunOutcome outcome = run_training(spec);
-    const auto q = core::quantization_sweep(*outcome.model, outcome.bench.test, {4});
+    // 4-bit point under the v2 sweep (uniform "sym:bits=4" spec).
+    const auto q =
+        core::quantization_sweep(*outcome.model, outcome.bench.test, std::vector<int>{4});
     const std::string mode = use_fd ? "finite-diff" : "exact";
     print_row({mode, format_pct(outcome.result.final_test_accuracy), format_pct(q[0].accuracy)});
     csv.row({mode, std::to_string(outcome.result.final_test_accuracy),

@@ -6,16 +6,26 @@
 // full precision. Panels (a)-(c): C10-analog models; (d): C100-analog;
 // (e): ImageNet-analog (panels reduced vs the paper to bound runtime; the
 // full grid is reachable with --scale).
+//
+// Quantization API v2 flags:
+//   --quantizer=sym            bits-free quantizer spec for the sweep
+//                              ("asym", "sym:per_channel", ...)
+//   --mixed=hawq:budget=5      optional planner spec adding a mixed-precision
+//                              column (Hessian-aware per-layer bits)
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
   using namespace hero::bench;
   const BenchEnv env = make_env(argc, argv);
+  const Flags flags(argc, argv);
+  const std::string quantizer = flags.get("quantizer", "sym");
+  const std::string mixed = flags.get("mixed", "");
 
   std::printf("== Figure 1: post-training quantization accuracy vs precision ==\n");
   CsvWriter csv(env.csv_path("fig1_quantization.csv"),
-                {"panel", "dataset", "model", "method", "bits", "accuracy"});
+                {"panel", "dataset", "model", "method", "bits", "avg_bits", "spec",
+                 "accuracy"});
 
   struct Panel {
     std::string name;
@@ -32,11 +42,13 @@ int main(int argc, char** argv) {
   const std::vector<int> bits = {3, 4, 5, 6, 7, 8};
 
   for (const Panel& panel : panels) {
-    std::printf("\n(%s) %s, %s\n", panel.name.c_str(), model_label(panel.model).c_str(),
-                dataset_label(panel.dataset).c_str());
+    std::printf("\n(%s) %s, %s [quantizer: %s]\n", panel.name.c_str(),
+                model_label(panel.model).c_str(), dataset_label(panel.dataset).c_str(),
+                quantizer.c_str());
     std::vector<std::string> header{"Method"};
     for (const int b : bits) header.push_back(std::to_string(b) + "-bit");
     header.push_back("FP32");
+    if (!mixed.empty()) header.push_back(mixed);
     print_header(header);
     for (const std::string& method : {std::string("hero"), std::string("grad_l1"),
                                       std::string("sgd")}) {
@@ -48,13 +60,19 @@ int main(int argc, char** argv) {
       spec.train_n = env.scaled64(256);
       spec.test_n = env.scaled64(384);
       RunOutcome outcome = run_training(spec);
-      const auto points =
-          core::quantization_sweep(*outcome.model, outcome.bench.test, bits);
+      auto points =
+          core::quantization_sweep(*outcome.model, outcome.bench.test, bits, quantizer);
+      if (!mixed.empty()) {
+        // Mixed-precision plans calibrate on training data, never the test set.
+        quant::PlannerContext ctx;
+        ctx.calib = &outcome.bench.train;
+        points.push_back(core::evaluate_planned(*outcome.model, outcome.bench.test, mixed, ctx));
+      }
       std::vector<std::string> cells{method_label(method)};
       for (const auto& p : points) {
         cells.push_back(format_pct(p.accuracy));
-        csv.row({panel.name, panel.dataset, panel.model, method,
-                 std::to_string(p.bits), std::to_string(p.accuracy)});
+        csv.row({panel.name, panel.dataset, panel.model, method, std::to_string(p.bits),
+                 std::to_string(p.avg_bits), p.label, std::to_string(p.accuracy)});
       }
       print_row(cells);
     }

@@ -1,30 +1,35 @@
 // Extra A: "HERO beats GRAD L1 under all quantization schemes" (§1, §5.3).
 //
-// Sweeps symmetric/asymmetric x per-tensor/per-channel at 3 and 4 bits for
-// models trained with each method.
+// Sweeps every registered quantizer x per-tensor/per-channel at 3 and 4 bits
+// for models trained with each method. Schemes are Quantizer-registry spec
+// strings, so a new self-registered quantizer shows up in this bench (and
+// its CI smoke run) without touching this file:
+//   --schemes=sym;asym;sym:per_channel;asym:per_channel
+#include <sstream>
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
   using namespace hero::bench;
   const BenchEnv env = make_env(argc, argv);
+  const Flags flags(argc, argv);
+
+  // ';'-separated bits-free quantizer specs.
+  std::vector<std::string> schemes;
+  {
+    std::istringstream list(
+        flags.get("schemes", "sym;asym;sym:per_channel;asym:per_channel"));
+    std::string entry;
+    while (std::getline(list, entry, ';')) {
+      if (!entry.empty()) schemes.push_back(entry);
+    }
+  }
+  const std::vector<int> bits = {3, 4};
 
   std::printf("== Quantization schemes: HERO vs GRAD L1 vs SGD ==\n");
   CsvWriter csv(env.csv_path("quant_schemes.csv"),
-                {"method", "scheme", "granularity", "bits", "accuracy"});
-
-  struct SchemeCase {
-    std::string label;
-    quant::Scheme scheme;
-    quant::Granularity granularity;
-  };
-  const std::vector<SchemeCase> schemes = {
-      {"symmetric/per-tensor", quant::Scheme::kSymmetric, quant::Granularity::kPerTensor},
-      {"asymmetric/per-tensor", quant::Scheme::kAsymmetric, quant::Granularity::kPerTensor},
-      {"symmetric/per-channel", quant::Scheme::kSymmetric, quant::Granularity::kPerChannel},
-      {"asymmetric/per-channel", quant::Scheme::kAsymmetric, quant::Granularity::kPerChannel},
-  };
-  const std::vector<int> bits = {3, 4};
+                {"method", "scheme", "bits", "accuracy", "max_abs_error"});
 
   // Train once per method, then sweep schemes on the same trained weights.
   std::vector<std::pair<std::string, RunOutcome>> trained;
@@ -41,22 +46,19 @@ int main(int argc, char** argv) {
     trained.emplace_back(method, run_training(spec));
   }
 
-  for (const SchemeCase& sc : schemes) {
-    std::printf("\n(%s)\n", sc.label.c_str());
+  for (const std::string& scheme : schemes) {
+    std::printf("\n(%s)\n", scheme.c_str());
     std::vector<std::string> header{"Method"};
     for (const int b : bits) header.push_back(std::to_string(b) + "-bit");
     print_header(header);
     for (auto& [method, outcome] : trained) {
       std::vector<std::string> cells{method_label(method)};
       for (const int b : bits) {
-        quant::QuantConfig config;
-        config.bits = b;
-        config.scheme = sc.scheme;
-        config.granularity = sc.granularity;
-        quant::ScopedWeightQuantization scoped(*outcome.model, config);
+        quant::ScopedWeightQuantization scoped(*outcome.model, quant::with_bits(scheme, b));
         const double acc = optim::evaluate(*outcome.model, outcome.bench.test).accuracy;
         cells.push_back(format_pct(acc));
-        csv.row({method, sc.label, sc.label, std::to_string(b), std::to_string(acc)});
+        csv.row({method, scheme, std::to_string(b), std::to_string(acc),
+                 std::to_string(scoped.stats().max_abs_error)});
       }
       print_row(cells);
     }

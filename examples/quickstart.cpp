@@ -53,10 +53,11 @@ int main(int argc, char** argv) {
   std::printf("\nfinal test accuracy: %.2f%%\n", 100.0 * result.final_test_accuracy);
 
   // 5. Deploy: post-training 4-bit weight quantization, no finetuning.
+  //    Quantizers are registry specs too ("asym:bits=8", "sym:bits=4,
+  //    per_channel", ...); mixed per-layer precision comes from
+  //    quant::plan_quantization ("hawq:budget=5") — see edge_deployment.
   {
-    quant::QuantConfig qconfig;
-    qconfig.bits = 4;
-    quant::ScopedWeightQuantization scoped(*model, qconfig);
+    quant::ScopedWeightQuantization scoped(*model, flags.get("quant", "sym:bits=4"));
     const auto eval = optim::evaluate(*model, bench.test);
     std::printf("4-bit quantized accuracy: %.2f%% (max weight error %.4f)\n",
                 100.0 * eval.accuracy, scoped.stats().max_abs_error);

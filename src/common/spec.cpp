@@ -1,0 +1,114 @@
+#include "common/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+
+namespace hero {
+
+ParsedSpec parse_spec(const std::string& spec, const std::string& what, bool allow_bare_keys) {
+  HERO_CHECK_MSG(!spec.empty(), "empty " << what << " spec");
+  ParsedSpec parsed;
+  const auto colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  HERO_CHECK_MSG(!parsed.name.empty(), what << " spec has no name: '" << spec << "'");
+  if (colon == std::string::npos) return parsed;
+
+  std::string entry;
+  std::istringstream rest(spec.substr(colon + 1));
+  while (std::getline(rest, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    std::string key;
+    std::string value;
+    if (eq == std::string::npos && allow_bare_keys) {
+      key = entry;  // bare flag: "per_channel" means "per_channel=1"
+      value = "1";
+    } else {
+      HERO_CHECK_MSG(eq != std::string::npos && eq > 0,
+                     what << " config entry is not key=value: '" << entry << "' in '" << spec
+                          << "'");
+      key = entry.substr(0, eq);
+      value = entry.substr(eq + 1);
+    }
+    HERO_CHECK_MSG(parsed.config.find(key) == parsed.config.end(),
+                   "duplicate " << what << " config key '" << key << "' in '" << spec << "'");
+    parsed.config[key] = value;
+  }
+  return parsed;
+}
+
+namespace {
+
+std::string key_label(const std::string& what, const std::string& key) {
+  return (what.empty() ? "" : what + " ") + "config key '" + key + "'";
+}
+
+}  // namespace
+
+float spec_float(const SpecConfig& config, const std::string& key, float fallback,
+                 const std::string& what) {
+  const auto it = config.find(key);
+  if (it == config.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const float value = std::stof(it->second, &used);
+    HERO_CHECK_MSG(used == it->second.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw Error(key_label(what, key) + " is not a number: '" + it->second + "'");
+  }
+}
+
+int spec_int(const SpecConfig& config, const std::string& key, int fallback,
+             const std::string& what) {
+  const auto it = config.find(key);
+  if (it == config.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(it->second, &used);
+    HERO_CHECK_MSG(used == it->second.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw Error(key_label(what, key) + " is not an integer: '" + it->second + "'");
+  }
+}
+
+bool spec_bool(const SpecConfig& config, const std::string& key, bool fallback,
+               const std::string& what) {
+  const auto it = config.find(key);
+  if (it == config.end()) return fallback;
+  if (const auto parsed = parse_bool(it->second)) return *parsed;
+  throw Error(key_label(what, key) + " is not a boolean: '" + it->second +
+              "' (accepted: " + std::string(kBoolSpellings) + ")");
+}
+
+std::string spec_str(const SpecConfig& config, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = config.find(key);
+  return it == config.end() ? fallback : it->second;
+}
+
+void check_known_spec_keys(const SpecConfig& config, const std::vector<std::string>& known,
+                           const std::string& owner) {
+  for (const auto& [key, value] : config) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      const std::string accepted =
+          known.empty() ? "takes no config keys" : "accepted: " + join_names(known);
+      throw Error("unknown config key '" + key + "' for " + owner + " (" + accepted + ")");
+    }
+  }
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace hero

@@ -1,0 +1,55 @@
+// Generic "name:key=value,key=value" spec parsing shared by every
+// self-registering factory family (training methods, quantizers, quantization
+// planners). A registry keeps its own domain vocabulary — the `what` strings
+// below feed the error messages — but the grammar, the typed config lookups,
+// and the unknown-key validation live here once.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hero {
+
+/// Key→value configuration ("gamma" → "0.2"). String-typed so specs, flags,
+/// and environment variables all feed it directly.
+using SpecConfig = std::map<std::string, std::string>;
+
+/// A parsed "name:key=value,key=value" spec.
+struct ParsedSpec {
+  std::string name;
+  SpecConfig config;
+};
+
+/// Parses "name:key=value,..." (or a bare "name"). `what` names the spec
+/// family in error messages ("training-method", "quantizer"). When
+/// `allow_bare_keys` is set, a valueless entry such as "per_channel" parses
+/// as a boolean flag ("per_channel" → "1"); otherwise it is rejected. Throws
+/// hero::Error on malformed entries (empty name/key, duplicate key).
+ParsedSpec parse_spec(const std::string& spec, const std::string& what,
+                      bool allow_bare_keys = false);
+
+// ---- Typed config lookups used by factories --------------------------------
+// `what` prefixes parse-error messages with the spec family ("method config
+// key 'h' is not a number" vs the context-free "config key ...").
+float spec_float(const SpecConfig& config, const std::string& key, float fallback,
+                 const std::string& what = "");
+int spec_int(const SpecConfig& config, const std::string& key, int fallback,
+             const std::string& what = "");
+/// Accepts 1/0, true/false, yes/no, on/off (case-insensitive); throws on
+/// anything else.
+bool spec_bool(const SpecConfig& config, const std::string& key, bool fallback,
+               const std::string& what = "");
+std::string spec_str(const SpecConfig& config, const std::string& key,
+                     const std::string& fallback);
+
+/// Throws hero::Error naming the offending key when `config` contains a key
+/// not in `known`. `owner` describes the consumer, e.g. "training method
+/// 'hero'" — factories call this so typos fail loudly.
+void check_known_spec_keys(const SpecConfig& config, const std::vector<std::string>& known,
+                           const std::string& owner);
+
+/// "a, b, c" — for "registered: ..." error messages.
+std::string join_names(const std::vector<std::string>& names);
+
+}  // namespace hero

@@ -12,16 +12,36 @@ float default_h(const std::string& dataset_name) {
 
 std::vector<QuantPoint> quantization_sweep(nn::Module& model, const data::Dataset& test,
                                            const std::vector<int>& bits,
-                                           const quant::QuantConfig& base) {
+                                           const std::string& quantizer) {
   std::vector<QuantPoint> points;
   points.reserve(bits.size() + 1);
   for (const int b : bits) {
-    quant::QuantConfig config = base;
-    config.bits = b;
-    quant::ScopedWeightQuantization scoped(model, config);
-    points.push_back({b, optim::evaluate(model, test).accuracy});
+    const std::string spec = quant::with_bits(quantizer, b);
+    quant::ScopedWeightQuantization scoped(model, spec);
+    points.push_back({b, optim::evaluate(model, test).accuracy, static_cast<double>(b), spec});
   }
-  points.push_back({0, optim::evaluate(model, test).accuracy});  // full precision
+  points.push_back({0, optim::evaluate(model, test).accuracy, 0.0, "fp32"});
+  return points;
+}
+
+QuantPoint evaluate_planned(nn::Module& model, const data::Dataset& test,
+                            const std::string& planner, const quant::PlannerContext& ctx) {
+  const quant::QuantPlan plan = quant::plan_quantization(model, planner, ctx);
+  const double avg_bits = plan.average_bits();
+  quant::ScopedWeightQuantization scoped(model, plan);
+  return {static_cast<int>(avg_bits + 0.5), optim::evaluate(model, test).accuracy, avg_bits,
+          planner};
+}
+
+std::vector<QuantPoint> quantization_sweep(nn::Module& model, const data::Dataset& test,
+                                           const std::vector<std::string>& planners,
+                                           const quant::PlannerContext& ctx) {
+  std::vector<QuantPoint> points;
+  points.reserve(planners.size() + 1);
+  for (const std::string& planner : planners) {
+    points.push_back(evaluate_planned(model, test, planner, ctx));
+  }
+  points.push_back({0, optim::evaluate(model, test).accuracy, 0.0, "fp32"});
   return points;
 }
 

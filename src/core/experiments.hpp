@@ -1,9 +1,12 @@
 // Shared experiment plumbing for the paper-reproduction benches: the
-// dataset-calibrated perturbation default (§5.1) and a quantization sweep
-// helper used by Figure 1 / Table 3.
+// dataset-calibrated perturbation default (§5.1) and the quantization sweep
+// helpers used by Figure 1 / Table 3.
 //
 // Training methods are built through the MethodRegistry
-// (optim/registry.hpp); the old make_method switch is gone.
+// (optim/registry.hpp) and quantization through the Quantizer/planner
+// registries (quant/quantizer.hpp, quant/planner.hpp) — both sides of a
+// sweep are spec strings now, so scheme- and precision-diverse runs need no
+// recompile.
 #pragma once
 
 #include <string>
@@ -11,6 +14,7 @@
 
 #include "core/hero.hpp"
 #include "core/trainer.hpp"
+#include "quant/planner.hpp"
 #include "quant/quantize.hpp"
 
 namespace hero::core {
@@ -25,14 +29,33 @@ float default_h(const std::string& dataset_name);
 
 /// One row of a post-training quantization sweep (Figure 1 / Table 3).
 struct QuantPoint {
-  int bits = 0;  ///< 0 denotes full precision
+  int bits = 0;           ///< nominal precision; 0 denotes full precision
   double accuracy = 0.0;
+  double avg_bits = 0.0;  ///< numel-weighted plan average (== bits when uniform)
+  std::string label;      ///< the spec that produced this point
 };
 
 /// Evaluates post-training weight quantization at each precision (no
-/// finetuning, per §5.3); restores full-precision weights afterwards.
+/// finetuning, per §5.3) under the uniform quantizer spelled by
+/// `quantizer` — a bits-free spec such as "sym", "asym" or
+/// "sym:per_channel". Restores full-precision weights afterwards and
+/// appends a bits=0 full-precision point.
 std::vector<QuantPoint> quantization_sweep(nn::Module& model, const data::Dataset& test,
                                            const std::vector<int>& bits,
-                                           const quant::QuantConfig& base = {});
+                                           const std::string& quantizer = "sym");
+
+/// Evaluates a single planner spec ("uniform:sym:bits=4", "hawq:budget=5");
+/// `ctx.calib` must point at training data for Hessian-aware planners.
+/// Restores full-precision weights afterwards.
+QuantPoint evaluate_planned(nn::Module& model, const data::Dataset& test,
+                            const std::string& planner,
+                            const quant::PlannerContext& ctx = {});
+
+/// Planner-spec sweep: one evaluate_planned point per planner, enabling
+/// mixed-precision rows next to uniform ones. Appends a bits=0
+/// full-precision point.
+std::vector<QuantPoint> quantization_sweep(nn::Module& model, const data::Dataset& test,
+                                           const std::vector<std::string>& planners,
+                                           const quant::PlannerContext& ctx = {});
 
 }  // namespace hero::core

@@ -73,6 +73,29 @@ double hutchinson_trace(const LossClosure& loss, const Params& params, Rng& rng,
   return acc / static_cast<double>(probes);
 }
 
+std::vector<double> block_sensitivities(const LossClosure& loss, const Params& params,
+                                        BlockMetric metric, Rng& rng, int iters,
+                                        HvpMode mode) {
+  HERO_CHECK(iters >= 1);
+  std::vector<double> out;
+  out.reserve(params.size());
+  for (const ag::Variable& param : params) {
+    // Restricting `params` to one block restricts the HVP to that block's
+    // rows and columns of H: the probe is zero outside the block and only
+    // the block's gradient entries are differentiated.
+    const Params block{param};
+    if (metric == BlockMetric::kLambdaMax) {
+      const PowerIterationResult top =
+          power_iteration(loss, block, rng, iters, /*tol=*/1e-2, mode);
+      out.push_back(std::fabs(top.eigenvalue));
+    } else {
+      const double trace = hutchinson_trace(loss, block, rng, iters, mode);
+      out.push_back(std::fabs(trace) / static_cast<double>(param.value().numel()));
+    }
+  }
+  return out;
+}
+
 ParamVector hero_probe(const Params& params, const ParamVector& g) {
   ParamVector z;
   z.reserve(params.size());

@@ -25,6 +25,21 @@ PowerIterationResult power_iteration(const LossClosure& loss, const Params& para
 double hutchinson_trace(const LossClosure& loss, const Params& params, Rng& rng,
                         int probes = 8, HvpMode mode = HvpMode::kExact);
 
+/// Metric for per-parameter-block Hessian sensitivity (block_sensitivities).
+enum class BlockMetric {
+  kLambdaMax,  ///< |λ_max| of the block Hessian via power iteration (HAWQ)
+  kTrace,      ///< average Hutchinson trace, tr(H_block)/numel (HAWQ-v2 style)
+};
+
+/// Per-layer Hessian sensitivity: for each parameter in `params`, the metric
+/// of the Hessian restricted to that parameter block alone (off-block
+/// curvature ignored — the HAWQ approximation that makes per-layer bit
+/// allocation tractable). `iters` bounds the power iterations / Hutchinson
+/// probes per block. Feeds the hawq quantization planner (quant/planner.hpp).
+std::vector<double> block_sensitivities(const LossClosure& loss, const Params& params,
+                                        BlockMetric metric, Rng& rng, int iters = 12,
+                                        HvpMode mode = HvpMode::kExact);
+
 /// ‖H z‖ with z the HERO probe of Eq. (15): per-parameter-tensor
 /// z_i = ‖W_i‖₂ · g_i / ‖g_i‖₂, estimated by the same finite difference the
 /// regularizer uses: ‖∇L(W + h z) − ∇L(W)‖ / h. This is the Figure 2 metric.

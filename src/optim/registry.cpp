@@ -1,100 +1,36 @@
 #include "optim/registry.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/check.hpp"
-#include "common/parse.hpp"
 
 namespace hero::optim {
 
-namespace {
-
-std::string join(const std::vector<std::string>& items) {
-  std::string out;
-  for (const auto& item : items) {
-    if (!out.empty()) out += ", ";
-    out += item;
-  }
-  return out;
-}
-
-}  // namespace
-
 MethodSpec parse_method_spec(const std::string& spec) {
-  HERO_CHECK_MSG(!spec.empty(), "empty training-method spec");
-  MethodSpec parsed;
-  const auto colon = spec.find(':');
-  parsed.name = spec.substr(0, colon);
-  HERO_CHECK_MSG(!parsed.name.empty(), "training-method spec has no name: '" << spec << "'");
-  if (colon == std::string::npos) return parsed;
-
-  std::string entry;
-  std::istringstream rest(spec.substr(colon + 1));
-  while (std::getline(rest, entry, ',')) {
-    if (entry.empty()) continue;
-    const auto eq = entry.find('=');
-    HERO_CHECK_MSG(eq != std::string::npos && eq > 0,
-                   "method config entry is not key=value: '" << entry << "' in '" << spec
-                                                             << "'");
-    const std::string key = entry.substr(0, eq);
-    HERO_CHECK_MSG(parsed.config.find(key) == parsed.config.end(),
-                   "duplicate method config key '" << key << "' in '" << spec << "'");
-    parsed.config[key] = entry.substr(eq + 1);
-  }
-  return parsed;
+  const ParsedSpec parsed = parse_spec(spec, "training-method");
+  return MethodSpec{parsed.name, parsed.config};
 }
 
 float config_float(const MethodConfig& config, const std::string& key, float fallback) {
-  const auto it = config.find(key);
-  if (it == config.end()) return fallback;
-  try {
-    std::size_t used = 0;
-    const float value = std::stof(it->second, &used);
-    HERO_CHECK_MSG(used == it->second.size(), "trailing characters");
-    return value;
-  } catch (const std::exception&) {
-    throw Error("method config key '" + key + "' is not a number: '" + it->second + "'");
-  }
+  return spec_float(config, key, fallback, "method");
 }
 
 int config_int(const MethodConfig& config, const std::string& key, int fallback) {
-  const auto it = config.find(key);
-  if (it == config.end()) return fallback;
-  try {
-    std::size_t used = 0;
-    const int value = std::stoi(it->second, &used);
-    HERO_CHECK_MSG(used == it->second.size(), "trailing characters");
-    return value;
-  } catch (const std::exception&) {
-    throw Error("method config key '" + key + "' is not an integer: '" + it->second + "'");
-  }
+  return spec_int(config, key, fallback, "method");
 }
 
 bool config_bool(const MethodConfig& config, const std::string& key, bool fallback) {
-  const auto it = config.find(key);
-  if (it == config.end()) return fallback;
-  if (const auto parsed = parse_bool(it->second)) return *parsed;
-  throw Error("method config key '" + key + "' is not a boolean: '" + it->second +
-              "' (accepted: " + std::string(kBoolSpellings) + ")");
+  return spec_bool(config, key, fallback, "method");
 }
 
 std::string config_str(const MethodConfig& config, const std::string& key,
                        const std::string& fallback) {
-  const auto it = config.find(key);
-  return it == config.end() ? fallback : it->second;
+  return spec_str(config, key, fallback);
 }
 
 void check_known_keys(const MethodConfig& config, const std::vector<std::string>& known,
                       const std::string& method_name) {
-  for (const auto& [key, value] : config) {
-    if (std::find(known.begin(), known.end(), key) == known.end()) {
-      const std::string accepted =
-          known.empty() ? "takes no config keys" : "accepted: " + join(known);
-      throw Error("unknown config key '" + key + "' for training method '" + method_name +
-                  "' (" + accepted + ")");
-    }
-  }
+  check_known_spec_keys(config, known, "training method '" + method_name + "'");
 }
 
 MethodRegistry& MethodRegistry::instance() {
@@ -120,7 +56,7 @@ std::unique_ptr<TrainingMethod> MethodRegistry::create(const std::string& name,
                                                        const MethodConfig& config) const {
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
-    throw Error("unknown training method '" + name + "' (registered: " + join(names()) +
+    throw Error("unknown training method '" + name + "' (registered: " + join_names(names()) +
                 ")");
   }
   check_known_keys(config, it->second.accepted_keys, name);

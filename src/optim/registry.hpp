@@ -15,18 +15,19 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/spec.hpp"
 #include "optim/methods.hpp"
 
 namespace hero::optim {
 
-/// Key→value method configuration ("gamma" → "0.2"). String-typed so specs,
-/// flags, and environment variables all feed it directly.
-using MethodConfig = std::map<std::string, std::string>;
+/// Key→value method configuration ("gamma" → "0.2"). The shared spec grammar
+/// (common/spec.hpp) is used by every registry family; this alias keeps the
+/// method-registry vocabulary.
+using MethodConfig = SpecConfig;
 
 /// A parsed "name:key=value,key=value" spec.
 struct MethodSpec {

@@ -1,0 +1,221 @@
+#include "quant/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/loader.hpp"
+#include "hessian/spectral.hpp"
+#include "nn/layers.hpp"
+#include "optim/methods.hpp"
+
+namespace hero::quant {
+
+namespace {
+
+/// Fills the per-layer bookkeeping (label, numel) for slot `i` of a plan.
+void bind_layer(LayerQuantSpec& slot, std::size_t i, const Tensor& w) {
+  slot.layer = "w" + std::to_string(i) + " " + shape_to_string(w.shape());
+  slot.numel = w.numel();
+}
+
+QuantPlan uniform_planner(nn::Module& model, const std::string& args,
+                          const PlannerContext& /*ctx*/) {
+  HERO_CHECK_MSG(!args.empty(),
+                 "uniform planner needs a quantizer spec after the colon, e.g. "
+                 "'uniform:sym:bits=4'");
+  return uniform_plan(model, parse_layer_spec(args));
+}
+
+/// Per-layer Hessian sensitivities of the is_weight parameters, measured on
+/// a calibration batch with frozen BatchNorm statistics (mirrors
+/// core::measure_hessian_norm so planning never perturbs running stats).
+std::vector<double> weight_sensitivities(nn::Module& model, const PlannerContext& ctx,
+                                         hessian::BlockMetric metric, int iters) {
+  HERO_CHECK_MSG(ctx.calib != nullptr,
+                 "hawq planner needs calibration data: set PlannerContext::calib to (a "
+                 "sample of) the training set");
+  const std::int64_t count = std::min<std::int64_t>(ctx.sample, ctx.calib->size());
+  HERO_CHECK_MSG(count > 0, "hawq calibration dataset is empty");
+  const data::Dataset part = ctx.calib->slice(0, count);
+  data::Batch batch{part.features, part.labels};
+
+  hessian::Params blocks;
+  for (nn::Parameter* p : model.weight_parameters()) blocks.push_back(p->var);
+
+  const bool was_training = model.training();
+  model.set_training(true);
+  std::vector<double> sensitivities;
+  {
+    nn::BatchNormFreezeGuard bn_freeze;
+    auto closure = [&model, &batch]() { return optim::batch_loss(model, batch); };
+    Rng rng(ctx.seed);
+    sensitivities = hessian::block_sensitivities(closure, blocks, metric, rng, iters);
+  }
+  model.set_training(was_training);
+  return sensitivities;
+}
+
+QuantPlan hawq_planner(nn::Module& model, const std::string& args, const PlannerContext& ctx) {
+  // The args are a plain key=value list; parse them through the shared spec
+  // grammar by re-attaching the planner name.
+  const SpecConfig config = parse_spec("hawq:" + args, "planner", /*allow_bare_keys=*/true).config;
+  check_known_spec_keys(
+      config, {"budget", "scheme", "per_channel", "metric", "min_bits", "max_bits", "iters"},
+      "planner 'hawq'");
+  HERO_CHECK_MSG(config.find("budget") != config.end(),
+                 "hawq planner needs a bit budget, e.g. 'hawq:budget=5'");
+  const float budget = spec_float(config, "budget", 0.0f, "planner");
+  const int min_bits = spec_int(config, "min_bits", 2, "planner");
+  const int max_bits = spec_int(config, "max_bits", 8, "planner");
+  const int iters = spec_int(config, "iters", 12, "planner");
+  HERO_CHECK_MSG(min_bits >= 1 && max_bits <= 16 && min_bits <= max_bits,
+                 "hawq bit range must satisfy 1 <= min_bits <= max_bits <= 16, got ["
+                     << min_bits << ", " << max_bits << "]");
+  HERO_CHECK_MSG(budget >= static_cast<float>(min_bits) &&
+                     budget <= static_cast<float>(max_bits),
+                 "hawq budget " << budget << " outside the allocatable range [" << min_bits
+                                << ", " << max_bits << "]");
+  const std::string metric_name = spec_str(config, "metric", "lmax");
+  HERO_CHECK_MSG(metric_name == "lmax" || metric_name == "trace",
+                 "hawq metric must be 'lmax' or 'trace', got '" << metric_name << "'");
+  const hessian::BlockMetric metric = metric_name == "lmax"
+                                          ? hessian::BlockMetric::kLambdaMax
+                                          : hessian::BlockMetric::kTrace;
+  SpecConfig quantizer_config;
+  if (spec_bool(config, "per_channel", false, "planner")) quantizer_config["per_channel"] = "1";
+  const auto quantizer =
+      QuantizerRegistry::instance().create(spec_str(config, "scheme", "sym"), quantizer_config);
+
+  const std::vector<double> sensitivities = weight_sensitivities(model, ctx, metric, iters);
+  const auto params = model.weight_parameters();
+
+  QuantPlan plan;
+  std::int64_t total_numel = 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& w = params[i]->var.value();
+    LayerQuantSpec slot;
+    slot.quantizer = quantizer;
+    slot.bits = min_bits;
+    slot.sensitivity = sensitivities[i];
+    bind_layer(slot, i, w);
+    plan.layers.push_back(std::move(slot));
+    total_numel += w.numel();
+  }
+  if (plan.layers.empty()) return plan;
+
+  // Greedy bit allocation on the HAWQ(-v2) objective: the second-order loss
+  // increase of quantizing layer i at b bits is ~ λ_i · ‖Q_b(W_i) − W_i‖².
+  // The error term is *measured* (one cheap quantize per layer per
+  // candidate precision), not modeled analytically, so heavy-tailed layers
+  // whose error shrinks slower than the ideal 4^(−b) keep their bits. Each
+  // +1-bit step costs numel_i of the budget and buys
+  // λ_i · (err_i(b) − err_i(b+1)); the greedy picks the best buy per bit.
+  const int span = max_bits - min_bits + 1;
+  std::vector<std::vector<double>> err(plan.layers.size());
+  for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+    const Tensor& w = params[i]->var.value();
+    err[i].resize(static_cast<std::size_t>(span));
+    for (int b = min_bits; b <= max_bits; ++b) {
+      QuantStats stats;
+      quantizer->quantize(w, b, &stats);
+      err[i][static_cast<std::size_t>(b - min_bits)] =
+          static_cast<double>(stats.mse) * static_cast<double>(w.numel());
+    }
+  }
+  auto marginal_gain = [&](std::size_t i) {
+    const int b = plan.layers[i].bits;
+    const double drop = err[i][static_cast<std::size_t>(b - min_bits)] -
+                        err[i][static_cast<std::size_t>(b + 1 - min_bits)];
+    // Floor the sensitivity so flat layers still rank (by error drop alone)
+    // instead of tying at exactly zero, and clamp pathological negative
+    // drops (possible for near-constant layers) to zero.
+    return std::max(sensitivities[i], 1e-12) * std::max(drop, 0.0) /
+           static_cast<double>(plan.layers[i].numel);
+  };
+
+  const auto budget_bits =
+      static_cast<std::int64_t>(std::llround(static_cast<double>(budget) * total_numel));
+  std::int64_t used = static_cast<std::int64_t>(min_bits) * total_numel;
+  while (true) {
+    std::size_t best = plan.layers.size();
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+      if (plan.layers[i].bits >= max_bits) continue;
+      if (used + plan.layers[i].numel > budget_bits) continue;
+      const double score = marginal_gain(i);
+      if (best == plan.layers.size() || score > best_score) {  // ties: lowest index
+        best = i;
+        best_score = score;
+      }
+    }
+    if (best == plan.layers.size()) break;
+    plan.layers[best].bits += 1;
+    used += plan.layers[best].numel;
+  }
+  return plan;
+}
+
+HERO_REGISTER_QUANT_PLANNER("uniform", uniform_planner)
+HERO_REGISTER_QUANT_PLANNER("hawq", hawq_planner, std::vector<std::string>{"hessian"})
+
+}  // namespace
+
+PlannerRegistry& PlannerRegistry::instance() {
+  static PlannerRegistry registry;
+  return registry;
+}
+
+void PlannerRegistry::add(const std::string& name, Factory factory,
+                          const std::vector<std::string>& aliases) {
+  HERO_CHECK_MSG(!name.empty(), "cannot register a quantization planner with an empty name");
+  HERO_CHECK_MSG(entries_.find(name) == entries_.end(),
+                 "quantization planner '" << name << "' registered twice");
+  entries_[name] = Entry{factory, /*is_alias=*/false};
+  for (const std::string& alias : aliases) {
+    HERO_CHECK_MSG(entries_.find(alias) == entries_.end(),
+                   "quantization-planner alias '" << alias << "' registered twice");
+    entries_[alias] = Entry{factory, /*is_alias=*/true};
+  }
+}
+
+QuantPlan PlannerRegistry::create(const std::string& name, const std::string& args,
+                                  nn::Module& model, const PlannerContext& ctx) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown quantization planner '" + name + "' (registered: " +
+                join_names(names()) + ")");
+  }
+  return it->second.factory(model, args, ctx);
+}
+
+bool PlannerRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> PlannerRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.is_alias) out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+PlannerRegistration::PlannerRegistration(const std::string& name,
+                                         PlannerRegistry::Factory factory,
+                                         const std::vector<std::string>& aliases) {
+  PlannerRegistry::instance().add(name, std::move(factory), aliases);
+}
+
+QuantPlan plan_quantization(nn::Module& model, const std::string& planner_spec,
+                            const PlannerContext& ctx) {
+  HERO_CHECK_MSG(!planner_spec.empty(), "empty quantization-planner spec");
+  const auto colon = planner_spec.find(':');
+  const std::string name = planner_spec.substr(0, colon);
+  HERO_CHECK_MSG(!name.empty(), "quantization-planner spec has no name: '" << planner_spec
+                                                                            << "'");
+  const std::string args = colon == std::string::npos ? "" : planner_spec.substr(colon + 1);
+  return PlannerRegistry::instance().create(name, args, model, ctx);
+}
+
+}  // namespace hero::quant

@@ -1,0 +1,98 @@
+// Quantization planners: spec string → QuantPlan.
+//
+// A planner decides which quantizer and how many bits each weight layer
+// gets. Planners self-register with the PlannerRegistry (same pattern as the
+// quantizer and training-method registries) and are addressed by spec
+// string, "name:<args>" — the args grammar is planner-specific because
+// uniform nests a whole quantizer spec after the colon:
+//
+//   uniform:sym:bits=4,per_channel   every layer gets that quantizer/bits
+//                                    (reproduces the v1 QuantConfig behavior
+//                                    bit for bit — pinned by a parity test)
+//   hawq:budget=5                    Hessian-aware mixed precision: layers
+//                                    are ranked by per-layer Hessian
+//                                    sensitivity (HAWQ, Dong et al. 2019;
+//                                    hessian/spectral.hpp block_sensitivities)
+//                                    and a greedy allocator spends an
+//                                    average-bits budget where curvature
+//                                    says precision matters most
+//
+// hawq accepts: budget (required, average bits per weight), scheme
+// (sym|asym, default sym), per_channel (flag), metric (lmax|trace, default
+// lmax), min_bits (2), max_bits (8), iters (12). It needs calibration data:
+// pass a PlannerContext with `calib` pointing at (a sample of) the training
+// set — sensitivities are measured there, never on the test set.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+#include "quant/quantizer.hpp"
+
+namespace hero::quant {
+
+/// Inputs Hessian-aware planners need; uniform ignores it entirely.
+struct PlannerContext {
+  const data::Dataset* calib = nullptr;  ///< calibration examples (hawq requires it)
+  std::int64_t sample = 128;             ///< max calibration examples used
+  std::uint64_t seed = 17;               ///< probe RNG seed (deterministic plans)
+};
+
+/// Self-registering planner factories, keyed by spec name.
+class PlannerRegistry {
+ public:
+  /// Builds a plan from the spec args after "name:" (may be empty).
+  using Factory = std::function<QuantPlan(nn::Module& model, const std::string& args,
+                                          const PlannerContext& ctx)>;
+
+  static PlannerRegistry& instance();
+
+  void add(const std::string& name, Factory factory,
+           const std::vector<std::string>& aliases = {});
+
+  /// Builds a plan by planner name. Throws hero::Error listing the
+  /// registered planners when `name` is unknown.
+  QuantPlan create(const std::string& name, const std::string& args, nn::Module& model,
+                   const PlannerContext& ctx) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Canonical (non-alias) registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  PlannerRegistry() = default;
+  struct Entry {
+    Factory factory;
+    bool is_alias = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Performs registration at static-initialization time; use through
+/// HERO_REGISTER_QUANT_PLANNER below.
+struct PlannerRegistration {
+  PlannerRegistration(const std::string& name, PlannerRegistry::Factory factory,
+                      const std::vector<std::string>& aliases = {});
+};
+
+#define HERO_PLANNER_CONCAT_INNER(a, b) a##b
+#define HERO_PLANNER_CONCAT(a, b) HERO_PLANNER_CONCAT_INNER(a, b)
+
+/// Registers a quantization planner from its implementation file:
+///   HERO_REGISTER_QUANT_PLANNER("hawq", factory)
+#define HERO_REGISTER_QUANT_PLANNER(name, ...)                           \
+  static const ::hero::quant::PlannerRegistration HERO_PLANNER_CONCAT(    \
+      hero_planner_registration_, __LINE__){name, __VA_ARGS__};
+
+/// Builds a QuantPlan for `model` from a planner spec ("uniform:sym:bits=4",
+/// "hawq:budget=5,per_channel"). The spec name is everything before the
+/// first ':'; the remainder is handed to the planner verbatim.
+QuantPlan plan_quantization(nn::Module& model, const std::string& planner_spec,
+                            const PlannerContext& ctx = {});
+
+}  // namespace hero::quant

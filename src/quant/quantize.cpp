@@ -1,112 +1,19 @@
 #include "quant/quantize.hpp"
 
-#include <cmath>
-
 #include "common/check.hpp"
 
 namespace hero::quant {
 
-namespace {
-
-/// Quantizes a contiguous run of `count` floats sharing one scale.
-/// Returns the bin width used.
-float quantize_run(const float* src, float* dst, std::int64_t count, int bits, Scheme scheme) {
-  float lo = src[0];
-  float hi = src[0];
-  for (std::int64_t i = 1; i < count; ++i) {
-    lo = std::min(lo, src[i]);
-    hi = std::max(hi, src[i]);
-  }
-  if (lo == hi) {
-    // Constant tensor: representable exactly under either scheme.
-    for (std::int64_t i = 0; i < count; ++i) dst[i] = src[i];
-    return 0.0f;
-  }
-  if (scheme == Scheme::kSymmetric) {
-    // Zero-preserving signed grid (the standard symmetric convention, as in
-    // HAWQ and the paper's W4/W8 setup): delta = max|w| / (2^(bits-1) - 1),
-    // q = round(w / delta) clamped to ±(2^(bits-1) - 1). Zero is exactly
-    // representable and the grid is odd-symmetric: Q(-w) == -Q(w).
-    const float max_abs = std::max(std::fabs(lo), std::fabs(hi));
-    const auto half_levels = static_cast<float>((1LL << (bits - 1)) - 1);
-    if (half_levels == 0.0f) {
-      // bits == 1 degenerates to a sign quantizer onto {-max|w|, 0, +max|w|}.
-      for (std::int64_t i = 0; i < count; ++i) {
-        dst[i] = src[i] > 0.0f ? max_abs : (src[i] < 0.0f ? -max_abs : 0.0f);
-      }
-      return 2.0f * max_abs;
-    }
-    const float delta = max_abs / half_levels;
-    for (std::int64_t i = 0; i < count; ++i) {
-      float q = std::round(src[i] / delta);
-      q = std::min(std::max(q, -half_levels), half_levels);  // clamp to ±max|w|
-      dst[i] = q * delta;
-    }
-    return delta;
-  }
-  const auto levels = static_cast<float>((1LL << bits) - 1);  // 2^n - 1 steps
-  const float delta = (hi - lo) / levels;
-  for (std::int64_t i = 0; i < count; ++i) {
-    const float q = std::round((src[i] - lo) / delta);
-    dst[i] = lo + q * delta;
-  }
-  return delta;
+QuantPlan uniform_plan(nn::Module& model, const QuantConfig& config) {
+  LayerQuantSpec layer;
+  layer.quantizer = make_uniform_quantizer(config.scheme, config.granularity);
+  layer.bits = config.bits;
+  return uniform_plan(model, layer);
 }
 
-/// Output-channel axis for per-channel quantization: conv weights
-/// [out, in, k, k] use dim 0; linear weights [in, out] use dim 1.
-std::int64_t channel_axis(const Tensor& w) { return w.ndim() == 2 ? 1 : 0; }
-
-}  // namespace
-
 Tensor quantize_dequantize(const Tensor& w, const QuantConfig& config, QuantStats* stats) {
-  HERO_CHECK_MSG(config.bits >= 1 && config.bits <= 16,
-                 "quantization bits must be in [1, 16], got " << config.bits);
-  Tensor out(w.shape());
-  float max_delta = 0.0f;
-
-  if (config.granularity == Granularity::kPerTensor || w.ndim() <= 1) {
-    max_delta = quantize_run(w.data(), out.data(), w.numel(), config.bits, config.scheme);
-  } else {
-    const std::int64_t axis = channel_axis(w);
-    if (axis == 0) {
-      // Channels are contiguous slabs.
-      const std::int64_t channels = w.dim(0);
-      const std::int64_t slab = w.numel() / channels;
-      for (std::int64_t c = 0; c < channels; ++c) {
-        const float delta = quantize_run(w.data() + c * slab, out.data() + c * slab, slab,
-                                         config.bits, config.scheme);
-        max_delta = std::max(max_delta, delta);
-      }
-    } else {
-      // Linear [in, out]: gather each output column, quantize, scatter back.
-      const std::int64_t rows = w.dim(0);
-      const std::int64_t cols = w.dim(1);
-      std::vector<float> column(static_cast<std::size_t>(rows));
-      std::vector<float> qcolumn(static_cast<std::size_t>(rows));
-      for (std::int64_t c = 0; c < cols; ++c) {
-        for (std::int64_t r = 0; r < rows; ++r) column[static_cast<std::size_t>(r)] =
-            w.data()[r * cols + c];
-        const float delta = quantize_run(column.data(), qcolumn.data(), rows, config.bits,
-                                         config.scheme);
-        max_delta = std::max(max_delta, delta);
-        for (std::int64_t r = 0; r < rows; ++r) out.data()[r * cols + c] =
-            qcolumn[static_cast<std::size_t>(r)];
-      }
-    }
-  }
-
-  if (stats != nullptr) {
-    stats->max_bin_width = max_delta;
-    stats->max_abs_error = max_abs_diff(out, w);
-    double mse = 0.0;
-    for (std::int64_t i = 0; i < w.numel(); ++i) {
-      const double d = static_cast<double>(out.data()[i]) - w.data()[i];
-      mse += d * d;
-    }
-    stats->mse = static_cast<float>(mse / static_cast<double>(w.numel()));
-  }
-  return out;
+  return make_uniform_quantizer(config.scheme, config.granularity)
+      ->quantize(w, config.bits, stats);
 }
 
 WeightSnapshot snapshot_weights(nn::Module& model) {
@@ -125,27 +32,49 @@ void restore_weights(nn::Module& model, const WeightSnapshot& snapshot) {
   }
 }
 
-QuantStats quantize_module_weights(nn::Module& model, const QuantConfig& config) {
+QuantStats quantize_module_weights(nn::Module& model, const QuantPlan& plan) {
+  const auto params = model.weight_parameters();
+  HERO_CHECK_MSG(plan.layers.size() == params.size(),
+                 "quantization plan has " << plan.layers.size() << " layers but the model has "
+                                          << params.size() << " weight parameters");
   QuantStats aggregate;
   double mse_sum = 0.0;
-  std::size_t count = 0;
-  for (nn::Parameter* p : model.weight_parameters()) {
+  double numel_sum = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const LayerQuantSpec& layer = plan.layers[i];
+    HERO_CHECK_MSG(layer.quantizer != nullptr,
+                   "quantization plan layer " << i << " has no quantizer");
     QuantStats stats;
-    const Tensor q = quantize_dequantize(p->var.value(), config, &stats);
-    p->var.mutable_value().copy_(q);
+    const Tensor& w = params[i]->var.value();
+    const Tensor q = layer.quantizer->quantize(w, layer.bits, &stats);
+    params[i]->var.mutable_value().copy_(q);
     aggregate.max_abs_error = std::max(aggregate.max_abs_error, stats.max_abs_error);
     aggregate.max_bin_width = std::max(aggregate.max_bin_width, stats.max_bin_width);
-    mse_sum += stats.mse;
-    ++count;
+    // Weight per-tensor MSEs by element count so the aggregate is the true
+    // model-wide mean squared error, not a mean of per-tensor means.
+    const auto numel = static_cast<double>(w.numel());
+    mse_sum += static_cast<double>(stats.mse) * numel;
+    numel_sum += numel;
   }
-  if (count > 0) aggregate.mse = static_cast<float>(mse_sum / static_cast<double>(count));
+  if (numel_sum > 0.0) aggregate.mse = static_cast<float>(mse_sum / numel_sum);
   return aggregate;
 }
 
-ScopedWeightQuantization::ScopedWeightQuantization(nn::Module& model, const QuantConfig& config)
-    : model_(model), snapshot_(snapshot_weights(model)) {
-  stats_ = quantize_module_weights(model, config);
+QuantStats quantize_module_weights(nn::Module& model, const QuantConfig& config) {
+  return quantize_module_weights(model, uniform_plan(model, config));
 }
+
+ScopedWeightQuantization::ScopedWeightQuantization(nn::Module& model, const QuantPlan& plan)
+    : model_(model), snapshot_(snapshot_weights(model)) {
+  stats_ = quantize_module_weights(model, plan);
+}
+
+ScopedWeightQuantization::ScopedWeightQuantization(nn::Module& model, const QuantConfig& config)
+    : ScopedWeightQuantization(model, uniform_plan(model, config)) {}
+
+ScopedWeightQuantization::ScopedWeightQuantization(nn::Module& model,
+                                                   const std::string& layer_spec)
+    : ScopedWeightQuantization(model, uniform_plan(model, parse_layer_spec(layer_spec))) {}
 
 ScopedWeightQuantization::~ScopedWeightQuantization() { restore_weights(model_, snapshot_); }
 

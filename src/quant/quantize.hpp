@@ -1,48 +1,48 @@
-// Post-training linear uniform weight quantization (paper §3.1, Theorem 2).
+// Post-training weight quantization of whole modules (paper §3.1/§5.3).
 //
-// Every value is rounded to a representable point at most Δ/2 away, so
-// ‖W_q − W‖∞ ≤ Δ/2 — the ℓ∞ perturbation bound that Theorem 2 converts into
-// a loss bound. The symmetric scheme uses the zero-preserving signed grid
-// Δ = max|w| / (2^(n-1) − 1), q = round(w/Δ) (HAWQ convention): zero is
-// exactly representable and Q(−w) == −Q(w). The asymmetric scheme is an
-// affine grid over [min(w), max(w)] with 2^n − 1 steps. Per-tensor and
-// per-channel granularity cover the "all quantization schemes" claim of the
-// paper's §5.3.
+// Quantization API v2: the single-tensor rules live behind the pluggable
+// Quantizer interface (quant/quantizer.hpp) and this header applies them to
+// models. quantize_module_weights / ScopedWeightQuantization take a
+// QuantPlan — one (quantizer, bits) slot per is_weight parameter — so layers
+// can run at heterogeneous precision (mixed-precision plans come from
+// quant/planner.hpp, e.g. "hawq:budget=5"). Biases and BatchNorm
+// affine/stats stay full precision, as in the paper's setup.
+//
+// Every built-in quantizer rounds each value to a representable point at
+// most Δ/2 away, so ‖W_q − W‖∞ ≤ Δ/2 — the ℓ∞ perturbation bound Theorem 2
+// converts into a loss bound.
+//
+// The enum-typed QuantConfig is the v1 configuration; it funnels through the
+// same built-in quantizers (bit-for-bit — pinned by the uniform-planner
+// parity test), so existing QuantConfig call sites keep working.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "nn/module.hpp"
+#include "quant/quantizer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hero::quant {
 
-enum class Scheme {
-  kSymmetric,   ///< signed grid over [-max|w|, +max|w|]; 0 is a grid point
-  kAsymmetric,  ///< range [min(w), max(w)] with affine zero-point
-};
-
-enum class Granularity {
-  kPerTensor,   ///< one scale for the whole tensor
-  kPerChannel,  ///< one scale per output channel (conv dim 0 / linear dim 1)
-};
-
+/// v1 homogeneous configuration: one scheme/granularity/bit-width for every
+/// weight tensor. Equivalent to the spec string
+/// "sym|asym:bits=<bits>[,per_channel]".
 struct QuantConfig {
   int bits = 8;
   Scheme scheme = Scheme::kSymmetric;
   Granularity granularity = Granularity::kPerTensor;
 };
 
-/// Error statistics of one quantization round trip.
-struct QuantStats {
-  float max_abs_error = 0.0f;  ///< ‖W_q − W‖∞ (must be ≤ max bin_width / 2)
-  float mse = 0.0f;
-  float max_bin_width = 0.0f;  ///< largest Δ across channels
-};
+/// The plan equivalent of a QuantConfig: that quantizer replicated over
+/// every weight parameter of `model`.
+QuantPlan uniform_plan(nn::Module& model, const QuantConfig& config);
 
-/// Fake-quantizes `w`: quantize to `bits` then dequantize back to float.
-/// This is exactly the deployed-weight value; stats (if non-null) receive the
-/// round-trip error.
+/// Fake-quantizes `w`: quantize to `config.bits` then dequantize back to
+/// float. This is exactly the deployed-weight value; stats (if non-null)
+/// receive the round-trip error. Shorthand for the built-in uniform
+/// quantizer's Quantizer::quantize.
 Tensor quantize_dequantize(const Tensor& w, const QuantConfig& config,
                            QuantStats* stats = nullptr);
 
@@ -56,16 +56,25 @@ WeightSnapshot snapshot_weights(nn::Module& model);
 /// Restores a snapshot taken by snapshot_weights.
 void restore_weights(nn::Module& model, const WeightSnapshot& snapshot);
 
-/// Quantizes every is_weight parameter in place (paper setting: weights only;
-/// biases and BatchNorm affine/stats stay full precision). Returns aggregate
-/// stats (max over tensors of max_abs_error / bin width, mean of MSEs).
+/// Quantizes every is_weight parameter in place, each through its own plan
+/// slot (plan.layers must match Module::weight_parameters() in count).
+/// Returns aggregate stats: max over tensors of max_abs_error / bin width,
+/// and the numel-weighted mean of per-tensor MSEs (= the true model-wide
+/// MSE).
+QuantStats quantize_module_weights(nn::Module& model, const QuantPlan& plan);
+
+/// Homogeneous v1 entry point: applies uniform_plan(model, config).
 QuantStats quantize_module_weights(nn::Module& model, const QuantConfig& config);
 
 /// RAII helper: quantizes on construction, restores full precision on
-/// destruction. Use for post-training quantization sweeps.
+/// destruction. Use for post-training quantization sweeps. Constructible
+/// from a heterogeneous QuantPlan, a v1 QuantConfig, or a quantizer spec
+/// string ("sym:bits=4,per_channel") applied uniformly.
 class ScopedWeightQuantization {
  public:
+  ScopedWeightQuantization(nn::Module& model, const QuantPlan& plan);
   ScopedWeightQuantization(nn::Module& model, const QuantConfig& config);
+  ScopedWeightQuantization(nn::Module& model, const std::string& layer_spec);
   ~ScopedWeightQuantization();
   ScopedWeightQuantization(const ScopedWeightQuantization&) = delete;
   ScopedWeightQuantization& operator=(const ScopedWeightQuantization&) = delete;

@@ -1,0 +1,315 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace hero::quant {
+
+namespace {
+
+/// Target elements per parallel_for chunk when partitioning channels; keeps
+/// chunk boundaries a pure function of the tensor shape (never the thread
+/// count), so per-channel quantization is bit-identical at any --threads=N.
+constexpr std::int64_t kChannelGrainElems = 4096;
+
+/// Quantizes a strided run of `count` floats sharing one scale (stride 1 for
+/// per-tensor / conv-slab channels, the column stride for linear channels —
+/// no gather/scatter temporaries). Returns the bin width. noexcept so it can
+/// run inside a thread-pool body: a NaN/Inf input sets *nonfinite (the run's
+/// output is then unspecified) instead of throwing.
+float quantize_run(const float* src, float* dst, std::int64_t count, std::int64_t stride,
+                   int bits, Scheme scheme, bool* nonfinite) noexcept {
+  float lo = src[0];
+  float hi = src[0];
+  bool finite = true;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float v = src[i * stride];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    finite &= std::isfinite(v);
+  }
+  if (!finite) {
+    // NaN slips through min/max (comparisons are false), so the grid would
+    // silently poison the whole run; the caller turns this into HERO_CHECK.
+    *nonfinite = true;
+    return 0.0f;
+  }
+  if (lo == hi) {
+    // Constant tensor: representable exactly under either scheme.
+    for (std::int64_t i = 0; i < count; ++i) dst[i * stride] = src[i * stride];
+    return 0.0f;
+  }
+  if (scheme == Scheme::kSymmetric) {
+    // Zero-preserving signed grid (the standard symmetric convention, as in
+    // HAWQ and the paper's W4/W8 setup): delta = max|w| / (2^(bits-1) - 1),
+    // q = round(w / delta) clamped to ±(2^(bits-1) - 1). Zero is exactly
+    // representable and the grid is odd-symmetric: Q(-w) == -Q(w).
+    const float max_abs = std::max(std::fabs(lo), std::fabs(hi));
+    const auto half_levels = static_cast<float>((1LL << (bits - 1)) - 1);
+    if (half_levels == 0.0f) {
+      // bits == 1 degenerates to a sign quantizer onto {-max|w|, 0, +max|w|}.
+      for (std::int64_t i = 0; i < count; ++i) {
+        const float v = src[i * stride];
+        dst[i * stride] = v > 0.0f ? max_abs : (v < 0.0f ? -max_abs : 0.0f);
+      }
+      return 2.0f * max_abs;
+    }
+    const float delta = max_abs / half_levels;
+    for (std::int64_t i = 0; i < count; ++i) {
+      float q = std::round(src[i * stride] / delta);
+      q = std::min(std::max(q, -half_levels), half_levels);  // clamp to ±max|w|
+      dst[i * stride] = q * delta;
+    }
+    return delta;
+  }
+  // Asymmetric: affine grid with 2^n - 1 steps of delta over [lo, hi], but
+  // anchored on integer multiples of delta (zero-point nudged to the nearest
+  // grid index — the standard asymmetric convention). The representable
+  // window still covers [lo, hi] to within delta/2, and 0.0 is a grid point
+  // whenever lo <= 0 <= hi, so pruned/zero weights dequantize to exactly
+  // 0.0f instead of a fractional offset. Bin indices are computed relative
+  // to the anchor in double: a raw round(w / delta) would need |lo|/delta
+  // units of integer precision and mis-bins once the offset dominates the
+  // range (e.g. values 300.0..300.001). For w == 0 the two anchor products
+  // cancel exactly, so the zero guarantee survives the double round trip.
+  const auto levels = static_cast<float>((1LL << bits) - 1);
+  const float delta = (hi - lo) / levels;
+  const double delta_d = static_cast<double>(delta);
+  const double anchor = std::round(static_cast<double>(lo) / delta_d) * delta_d;
+  for (std::int64_t i = 0; i < count; ++i) {
+    double q = std::round((static_cast<double>(src[i * stride]) - anchor) / delta_d);
+    q = std::min(std::max(q, 0.0), static_cast<double>(levels));
+    dst[i * stride] = static_cast<float>(anchor + q * delta_d);
+  }
+  return delta;
+}
+
+/// Output-channel axis for per-channel quantization: conv weights
+/// [out, in, k, k] use dim 0; linear weights [in, out] use dim 1.
+std::int64_t channel_axis(const Tensor& w) { return w.ndim() == 2 ? 1 : 0; }
+
+/// The built-in linear uniform quantizer: Scheme x Granularity, spelled
+/// "sym"/"asym" (+ per_channel) in specs.
+class UniformQuantizer : public Quantizer {
+ public:
+  UniformQuantizer(Scheme scheme, bool per_channel)
+      : scheme_(scheme), per_channel_(per_channel) {}
+
+  Tensor quantize(const Tensor& w, int bits, QuantStats* stats) const override {
+    HERO_CHECK_MSG(bits >= 1 && bits <= 16,
+                   "quantization bits must be in [1, 16], got " << bits);
+    Tensor out(w.shape());
+    float max_delta = 0.0f;
+    bool nonfinite = false;
+
+    if (!per_channel_ || w.ndim() <= 1) {
+      max_delta = quantize_run(w.data(), out.data(), w.numel(), 1, bits, scheme_, &nonfinite);
+    } else {
+      const std::int64_t axis = channel_axis(w);
+      const std::int64_t channels = w.dim(axis);
+      // Per-channel deltas land in per-channel slots, so chunks never share
+      // state; the serial max below keeps the reduction deterministic.
+      std::vector<float> deltas(static_cast<std::size_t>(channels), 0.0f);
+      std::atomic<bool> bad{false};
+      if (axis == 0) {
+        // Channels are contiguous slabs.
+        const std::int64_t slab = w.numel() / channels;
+        const std::int64_t grain =
+            std::max<std::int64_t>(1, kChannelGrainElems / std::max<std::int64_t>(1, slab));
+        runtime::parallel_for(0, channels, grain, [&](std::int64_t c0, std::int64_t c1) {
+          bool nf = false;
+          for (std::int64_t c = c0; c < c1; ++c) {
+            deltas[static_cast<std::size_t>(c)] =
+                quantize_run(w.data() + c * slab, out.data() + c * slab, slab, 1, bits,
+                             scheme_, &nf);
+          }
+          if (nf) bad.store(true, std::memory_order_relaxed);
+        });
+      } else {
+        // Linear [in, out]: each output column is a strided run (stride =
+        // cols) quantized in place — no per-column gather/scatter buffers.
+        const std::int64_t rows = w.dim(0);
+        const std::int64_t cols = w.dim(1);
+        const std::int64_t grain =
+            std::max<std::int64_t>(1, kChannelGrainElems / std::max<std::int64_t>(1, rows));
+        runtime::parallel_for(0, cols, grain, [&](std::int64_t c0, std::int64_t c1) {
+          bool nf = false;
+          for (std::int64_t c = c0; c < c1; ++c) {
+            deltas[static_cast<std::size_t>(c)] =
+                quantize_run(w.data() + c, out.data() + c, rows, cols, bits, scheme_, &nf);
+          }
+          if (nf) bad.store(true, std::memory_order_relaxed);
+        });
+      }
+      nonfinite = bad.load(std::memory_order_relaxed);
+      if (!nonfinite) max_delta = *std::max_element(deltas.begin(), deltas.end());
+    }
+    HERO_CHECK_MSG(!nonfinite,
+                   "quantization input " << shape_to_string(w.shape())
+                                         << " contains a non-finite value (NaN/Inf); the "
+                                            "grid range would be poisoned");
+
+    if (stats != nullptr) {
+      stats->max_bin_width = max_delta;
+      stats->max_abs_error = max_abs_diff(out, w);
+      double mse = 0.0;
+      for (std::int64_t i = 0; i < w.numel(); ++i) {
+        const double d = static_cast<double>(out.data()[i]) - w.data()[i];
+        mse += d * d;
+      }
+      stats->mse = static_cast<float>(mse / static_cast<double>(w.numel()));
+    }
+    return out;
+  }
+
+  std::string describe() const override {
+    std::string name = scheme_ == Scheme::kSymmetric ? "sym" : "asym";
+    return name + (per_channel_ ? "/per-channel" : "/per-tensor");
+  }
+
+ private:
+  Scheme scheme_;
+  bool per_channel_;
+};
+
+HERO_REGISTER_QUANTIZER(
+    "sym",
+    [](const SpecConfig& config) -> std::shared_ptr<Quantizer> {
+      return std::make_shared<UniformQuantizer>(Scheme::kSymmetric,
+                                                spec_bool(config, "per_channel", false, "quantizer"));
+    },
+    std::vector<std::string>{"per_channel"}, std::vector<std::string>{"symmetric"})
+
+HERO_REGISTER_QUANTIZER(
+    "asym",
+    [](const SpecConfig& config) -> std::shared_ptr<Quantizer> {
+      return std::make_shared<UniformQuantizer>(Scheme::kAsymmetric,
+                                                spec_bool(config, "per_channel", false, "quantizer"));
+    },
+    std::vector<std::string>{"per_channel"}, std::vector<std::string>{"asymmetric"})
+
+}  // namespace
+
+QuantizerRegistry& QuantizerRegistry::instance() {
+  static QuantizerRegistry registry;
+  return registry;
+}
+
+void QuantizerRegistry::add(const std::string& name, Factory factory,
+                            const std::vector<std::string>& accepted_keys,
+                            const std::vector<std::string>& aliases) {
+  HERO_CHECK_MSG(!name.empty(), "cannot register a quantizer with an empty name");
+  HERO_CHECK_MSG(entries_.find(name) == entries_.end(),
+                 "quantizer '" << name << "' registered twice");
+  entries_[name] = Entry{factory, accepted_keys, /*is_alias=*/false};
+  for (const std::string& alias : aliases) {
+    HERO_CHECK_MSG(entries_.find(alias) == entries_.end(),
+                   "quantizer alias '" << alias << "' registered twice");
+    entries_[alias] = Entry{factory, accepted_keys, /*is_alias=*/true};
+  }
+}
+
+std::shared_ptr<Quantizer> QuantizerRegistry::create(const std::string& name,
+                                                     const SpecConfig& config) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown quantizer '" + name + "' (registered: " + join_names(names()) + ")");
+  }
+  check_known_spec_keys(config, it->second.accepted_keys, "quantizer '" + name + "'");
+  return it->second.factory(config);
+}
+
+bool QuantizerRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+bool QuantizerRegistry::accepts_key(const std::string& name, const std::string& key) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  const auto& keys = it->second.accepted_keys;
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+std::vector<std::string> QuantizerRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.is_alias) out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+QuantizerRegistration::QuantizerRegistration(const std::string& name,
+                                             QuantizerRegistry::Factory factory,
+                                             const std::vector<std::string>& accepted_keys,
+                                             const std::vector<std::string>& aliases) {
+  QuantizerRegistry::instance().add(name, std::move(factory), accepted_keys, aliases);
+}
+
+LayerQuantSpec parse_layer_spec(const std::string& spec) {
+  ParsedSpec parsed = parse_spec(spec, "quantizer", /*allow_bare_keys=*/true);
+  LayerQuantSpec out;
+  out.bits = spec_int(parsed.config, "bits", 8, "quantizer");
+  HERO_CHECK_MSG(out.bits >= 1 && out.bits <= 16,
+                 "quantizer spec bits must be in [1, 16], got " << out.bits << " in '" << spec
+                                                                << "'");
+  // "bits" belongs to the LayerQuantSpec, not the quantizer: erase it so
+  // factories only declare (and see) their own keys.
+  parsed.config.erase("bits");
+  out.quantizer = QuantizerRegistry::instance().create(parsed.name, parsed.config);
+  return out;
+}
+
+std::string with_bits(const std::string& quantizer_spec, int bits) {
+  const char sep = quantizer_spec.find(':') == std::string::npos ? ':' : ',';
+  return quantizer_spec + sep + "bits=" + std::to_string(bits);
+}
+
+double QuantPlan::average_bits() const {
+  if (layers.empty()) return 0.0;
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const LayerQuantSpec& layer : layers) {
+    const double w = layer.numel > 0 ? static_cast<double>(layer.numel) : 1.0;
+    weighted += w * layer.bits;
+    total += w;
+  }
+  return weighted / total;
+}
+
+std::string QuantPlan::describe() const {
+  std::ostringstream os;
+  for (const LayerQuantSpec& layer : layers) {
+    os << (layer.layer.empty() ? "?" : layer.layer) << "  " << layer.bits << "-bit "
+       << (layer.quantizer ? layer.quantizer->describe() : "?");
+    if (layer.numel > 0) os << "  (" << layer.numel << " weights";
+    if (layer.sensitivity > 0.0) os << ", sensitivity " << layer.sensitivity;
+    if (layer.numel > 0) os << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+QuantPlan uniform_plan(nn::Module& model, const LayerQuantSpec& layer) {
+  HERO_CHECK_MSG(layer.quantizer != nullptr, "uniform_plan needs a quantizer");
+  QuantPlan plan;
+  std::size_t i = 0;
+  for (nn::Parameter* p : model.weight_parameters()) {
+    LayerQuantSpec slot = layer;
+    slot.layer = "w" + std::to_string(i++) + " " + shape_to_string(p->var.value().shape());
+    slot.numel = p->var.value().numel();
+    plan.layers.push_back(std::move(slot));
+  }
+  return plan;
+}
+
+std::shared_ptr<Quantizer> make_uniform_quantizer(Scheme scheme, Granularity granularity) {
+  return std::make_shared<UniformQuantizer>(scheme,
+                                            granularity == Granularity::kPerChannel);
+}
+
+}  // namespace hero::quant

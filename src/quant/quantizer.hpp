@@ -1,0 +1,173 @@
+// Quantization API v2: pluggable quantizers and per-layer plans.
+//
+// A Quantizer is a polymorphic fake-quantization rule: quantize(w, bits)
+// rounds `w` onto a `bits`-bit grid and dequantizes back to float — exactly
+// the deployed-weight value. Implementations self-register with the
+// QuantizerRegistry (name + factory + accepted config keys, mirroring
+// optim/registry.hpp), so a spec string builds any of them:
+//
+//   LayerQuantSpec q = parse_layer_spec("sym:bits=4,per_channel");
+//   Tensor deployed = q.quantizer->quantize(w, q.bits);
+//
+// Built-ins: "sym" — the zero-preserving signed grid Δ = max|w|/(2^(b-1)−1)
+// (HAWQ convention); "asym" — an affine grid over [min(w), max(w)] with its
+// zero-point nudged to the nearest grid index, so 0.0 stays exactly
+// representable whenever min(w) ≤ 0 ≤ max(w). Both support per-channel
+// granularity (conv dim 0 / linear dim 1); per-channel runs are partitioned
+// over hero::runtime::parallel_for with thread-count-independent channel
+// chunks, so results are bit-identical at any --threads=N.
+//
+// A QuantPlan lifts single-tensor quantizers to whole models: one
+// LayerQuantSpec (quantizer + bits) per is_weight parameter, in
+// Module::weight_parameters() order. Plans come from the planners in
+// quant/planner.hpp ("uniform:<spec>", "hawq:budget=<avg_bits>") and are
+// applied by quantize_module_weights / ScopedWeightQuantization
+// (quant/quantize.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spec.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::quant {
+
+enum class Scheme {
+  kSymmetric,   ///< signed grid over [-max|w|, +max|w|]; 0 is a grid point
+  kAsymmetric,  ///< affine grid over [min(w), max(w)], zero-point nudged
+};
+
+enum class Granularity {
+  kPerTensor,   ///< one scale for the whole tensor
+  kPerChannel,  ///< one scale per output channel (conv dim 0 / linear dim 1)
+};
+
+/// Error statistics of one quantization round trip.
+struct QuantStats {
+  float max_abs_error = 0.0f;  ///< ‖W_q − W‖∞ (must be ≤ max bin_width / 2)
+  float mse = 0.0f;
+  float max_bin_width = 0.0f;  ///< largest Δ across channels
+};
+
+/// A fake-quantization rule. Implementations are stateless and shareable
+/// across the layers of a plan.
+class Quantizer {
+ public:
+  virtual ~Quantizer() = default;
+
+  /// Quantizes `w` to `bits` bits and dequantizes back to float (the
+  /// deployed-weight value). Throws hero::Error on bits outside [1, 16] or
+  /// non-finite inputs; fills `stats` (if non-null) with round-trip error.
+  virtual Tensor quantize(const Tensor& w, int bits, QuantStats* stats = nullptr) const = 0;
+
+  /// Short label for reports, e.g. "sym/per-channel".
+  virtual std::string describe() const = 0;
+};
+
+/// Self-registering quantizer factories, keyed by spec name ("sym", "asym").
+class QuantizerRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Quantizer>(const SpecConfig&)>;
+
+  /// The process-wide registry the HERO_REGISTER_QUANTIZER initializers fill.
+  static QuantizerRegistry& instance();
+
+  /// Registers a factory under `name` with the config keys it accepts, plus
+  /// optional aliases. Throws on duplicate names. create() rejects keys
+  /// outside `accepted_keys` before invoking the factory.
+  void add(const std::string& name, Factory factory,
+           const std::vector<std::string>& accepted_keys = {},
+           const std::vector<std::string>& aliases = {});
+
+  /// Builds a quantizer by (possibly aliased) name. Throws hero::Error
+  /// listing the registered names when `name` is unknown, or the accepted
+  /// keys when `config` contains one the quantizer does not take.
+  std::shared_ptr<Quantizer> create(const std::string& name,
+                                    const SpecConfig& config = {}) const;
+
+  bool contains(const std::string& name) const;
+  bool accepts_key(const std::string& name, const std::string& key) const;
+
+  /// Canonical (non-alias) registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  QuantizerRegistry() = default;
+  struct Entry {
+    Factory factory;
+    std::vector<std::string> accepted_keys;
+    bool is_alias = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Performs registration at static-initialization time; use through
+/// HERO_REGISTER_QUANTIZER below.
+struct QuantizerRegistration {
+  QuantizerRegistration(const std::string& name, QuantizerRegistry::Factory factory,
+                        const std::vector<std::string>& accepted_keys = {},
+                        const std::vector<std::string>& aliases = {});
+};
+
+#define HERO_QUANTIZER_CONCAT_INNER(a, b) a##b
+#define HERO_QUANTIZER_CONCAT(a, b) HERO_QUANTIZER_CONCAT_INNER(a, b)
+
+/// Registers a quantizer from its implementation file:
+///   HERO_REGISTER_QUANTIZER("sym", factory, {"per_channel"});
+/// Arguments after the factory: the accepted config keys, then aliases.
+/// "bits" is a framework key — parse_layer_spec peels it off before the
+/// factory runs, so factories never declare or see it.
+#define HERO_REGISTER_QUANTIZER(name, ...)                                \
+  static const ::hero::quant::QuantizerRegistration HERO_QUANTIZER_CONCAT( \
+      hero_quantizer_registration_, __LINE__){name, __VA_ARGS__};
+
+/// One layer's slot in a QuantPlan: which quantizer, at how many bits.
+/// `layer` / `numel` / `sensitivity` are bookkeeping filled in when the spec
+/// is bound to a model (planners); parse_layer_spec leaves them empty.
+struct LayerQuantSpec {
+  std::shared_ptr<Quantizer> quantizer;
+  int bits = 8;
+  std::string layer;         ///< display label, e.g. "w3 [8, 16, 3, 3]"
+  std::int64_t numel = 0;    ///< parameter element count
+  double sensitivity = 0.0;  ///< per-layer Hessian sensitivity (hawq planner)
+};
+
+/// Parses "sym:bits=4,per_channel" / "asym:bits=8" into quantizer + bits.
+/// "bits" (default 8) is peeled off into the LayerQuantSpec; every other
+/// entry configures the quantizer (bare keys are boolean flags). Throws on
+/// unknown quantizer names, unknown keys, and bits outside [1, 16].
+LayerQuantSpec parse_layer_spec(const std::string& spec);
+
+/// Appends a bit width to a bits-free quantizer spec:
+/// ("sym", 4) → "sym:bits=4"; ("asym:per_channel", 3) → "asym:per_channel,bits=3".
+std::string with_bits(const std::string& quantizer_spec, int bits);
+
+/// Maps each weight parameter of a module (Module::weight_parameters()
+/// order) to a LayerQuantSpec, enabling heterogeneous per-layer precision.
+struct QuantPlan {
+  std::vector<LayerQuantSpec> layers;
+
+  /// numel-weighted mean bit width (the "average bits" a hawq budget is
+  /// spent against); plain mean when numels are unset.
+  double average_bits() const;
+
+  /// One line per layer: label, size, bits, quantizer description.
+  std::string describe() const;
+};
+
+/// Replicates one layer spec across every weight parameter of `model`
+/// (today's homogeneous behavior, as a plan).
+QuantPlan uniform_plan(nn::Module& model, const LayerQuantSpec& layer);
+
+/// The built-in uniform quantizer by enum configuration — the legacy
+/// QuantConfig path (quant/quantize.hpp) funnels through this, so enum- and
+/// spec-built quantizers are the same object type, bit for bit.
+std::shared_ptr<Quantizer> make_uniform_quantizer(Scheme scheme, Granularity granularity);
+
+}  // namespace hero::quant

@@ -71,8 +71,8 @@ TEST(Integration, HeroQuantizesBetterAtLowPrecision) {
   Trained hero = train_method("hero", 0.02f, 20);
   Trained sgd = train_method("sgd", 0.02f, 20);
   const data::Benchmark b = bench();
-  const auto hero_points = quantization_sweep(*hero.model, b.test, {3});
-  const auto sgd_points = quantization_sweep(*sgd.model, b.test, {3});
+  const auto hero_points = quantization_sweep(*hero.model, b.test, std::vector<int>{3});
+  const auto sgd_points = quantization_sweep(*sgd.model, b.test, std::vector<int>{3});
   const double hero_drop = hero_points[1].accuracy - hero_points[0].accuracy;
   const double sgd_drop = sgd_points[1].accuracy - sgd_points[0].accuracy;
   EXPECT_LE(hero_drop, sgd_drop + 0.02);

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "nn/models.hpp"
+#include "support/thread_budget_guard.hpp"
 
 namespace hero::quant {
 namespace {
@@ -78,6 +80,118 @@ TEST(Quantize, SymmetricGridIsOddSymmetric) {
     const Tensor neg_q = quantize_dequantize(neg_w, config);
     for (std::int64_t i = 0; i < w.numel(); ++i) {
       ASSERT_EQ(neg_q.data()[i], -q.data()[i]) << "bits=" << bits << " elem " << i;
+    }
+  }
+}
+
+TEST(Quantize, SymmetricGoldenValues3Bit) {
+  // Bit-for-bit pin of the symmetric grid (the uniform-planner parity
+  // anchor): max|w| = 1, half_levels = 3, delta = 1/3, q = round(3w).
+  const Tensor w = Tensor::from_vector({5}, {-1.0f, -0.5f, 0.0f, 0.25f, 1.0f});
+  const Tensor q = quantize_dequantize(w, {3, Scheme::kSymmetric, Granularity::kPerTensor});
+  const float delta = 1.0f / 3.0f;
+  const float expected[] = {-3.0f * delta, -2.0f * delta, 0.0f, 1.0f * delta, 3.0f * delta};
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_EQ(q.data()[i], expected[i]) << "elem " << i;
+  }
+}
+
+TEST(Quantize, AsymmetricZeroIsExactlyRepresentable) {
+  // Regression: the affine grid over [min(w), max(w)] did not contain 0.0,
+  // so pruned/zero weights dequantized to a fractional offset. The nudged
+  // zero-point must map 0.0f to exactly 0.0f whenever min(w) <= 0 <= max(w).
+  const Tensor w = Tensor::from_vector({6}, {-1.7f, -0.3f, 0.0f, 0.4f, 0.9f, 1.3f});
+  for (const int bits : {2, 3, 4, 8}) {
+    const Tensor q =
+        quantize_dequantize(w, {bits, Scheme::kAsymmetric, Granularity::kPerTensor});
+    EXPECT_EQ(q.at({2}), 0.0f) << "bits=" << bits;
+  }
+  // Per-channel too: each linear column carries its own zero-point.
+  Tensor wc = Tensor::from_vector({4, 2}, {-0.9f, 0.7f, 0.0f, 0.0f, 0.3f, -1.2f, 0.8f, 0.5f});
+  const Tensor qc = quantize_dequantize(wc, {3, Scheme::kAsymmetric, Granularity::kPerChannel});
+  EXPECT_EQ(qc.at({1, 0}), 0.0f);
+  EXPECT_EQ(qc.at({1, 1}), 0.0f);
+}
+
+TEST(Quantize, AsymmetricOffsetDominatedRangeStaysAccurate) {
+  // Regression: computing bin indices as round(w / delta) in float needs
+  // |w|/delta units of integer precision, which mis-bins by whole bins once
+  // the offset dominates the range. With the anchored double-precision
+  // index math the only residual error is float representation of the
+  // outputs themselves (ulp(300)/2 ~ 1.5e-5 here), never a mis-binned
+  // multiple of delta.
+  std::vector<float> vals(64);
+  for (int i = 0; i < 64; ++i) {
+    vals[static_cast<std::size_t>(i)] = 300.0f + 0.001f * static_cast<float>(i) / 63.0f;
+  }
+  const Tensor w = Tensor::from_vector({64}, vals);
+  QuantStats stats;
+  quantize_dequantize(w, {8, Scheme::kAsymmetric, Granularity::kPerTensor}, &stats);
+  EXPECT_LT(stats.max_abs_error, 1.8e-5f);  // delta/2 + ulp(300)/2, no bin hops
+}
+
+TEST(Quantize, NonFiniteInputRejected) {
+  for (const float bad : {std::numeric_limits<float>::quiet_NaN(),
+                          std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity()}) {
+    Tensor w = Tensor::from_vector({4}, {0.5f, -1.0f, bad, 0.25f});
+    EXPECT_THROW(quantize_dequantize(w, {4, Scheme::kSymmetric, Granularity::kPerTensor}),
+                 Error);
+    EXPECT_THROW(quantize_dequantize(w, {4, Scheme::kAsymmetric, Granularity::kPerTensor}),
+                 Error);
+    // Per-channel paths (conv slabs and strided linear columns) must also
+    // refuse rather than silently emit a NaN grid for the poisoned channel.
+    Rng rng(9);
+    Tensor conv = Tensor::randn({4, 2, 2, 2}, rng);
+    conv.at({2, 1, 0, 1}) = bad;
+    EXPECT_THROW(quantize_dequantize(conv, {4, Scheme::kSymmetric, Granularity::kPerChannel}),
+                 Error);
+    Tensor lin = Tensor::randn({6, 3}, rng);
+    lin.at({4, 2}) = bad;
+    EXPECT_THROW(quantize_dequantize(lin, {4, Scheme::kAsymmetric, Granularity::kPerChannel}),
+                 Error);
+  }
+}
+
+TEST(Quantize, PerChannelLinearMatchesPerColumnOracle) {
+  // The linear [in, out] per-channel path quantizes strided columns in
+  // place; it must match quantizing each extracted column as its own
+  // per-tensor run, bitwise, for both schemes.
+  Rng rng(11);
+  const Tensor w = Tensor::randn({7, 5}, rng);
+  for (const Scheme scheme : {Scheme::kSymmetric, Scheme::kAsymmetric}) {
+    const Tensor q = quantize_dequantize(w, {4, scheme, Granularity::kPerChannel});
+    for (std::int64_t c = 0; c < w.dim(1); ++c) {
+      std::vector<float> column(static_cast<std::size_t>(w.dim(0)));
+      for (std::int64_t r = 0; r < w.dim(0); ++r) {
+        column[static_cast<std::size_t>(r)] = w.at({r, c});
+      }
+      const Tensor oracle = quantize_dequantize(
+          Tensor::from_vector({w.dim(0)}, column), {4, scheme, Granularity::kPerTensor});
+      for (std::int64_t r = 0; r < w.dim(0); ++r) {
+        ASSERT_EQ(q.at({r, c}), oracle.at({r}))
+            << (scheme == Scheme::kSymmetric ? "sym" : "asym") << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(Quantize, PerChannelThreadedBitIdenticalToSerial) {
+  // Same contract as the PR 2 kernels: channel chunks depend only on the
+  // shape, so --threads=4 and --threads=1 produce byte-equal tensors.
+  testing_support::ThreadBudgetGuard guard;
+  Rng rng(13);
+  for (const Shape& shape : {Shape{64, 33}, Shape{32, 4, 3, 3}}) {
+    const Tensor w = Tensor::randn(shape, rng);
+    for (const Scheme scheme : {Scheme::kSymmetric, Scheme::kAsymmetric}) {
+      runtime::set_num_threads(1);
+      const Tensor serial = quantize_dequantize(w, {4, scheme, Granularity::kPerChannel});
+      runtime::set_num_threads(4);
+      const Tensor threaded = quantize_dequantize(w, {4, scheme, Granularity::kPerChannel});
+      for (std::int64_t i = 0; i < w.numel(); ++i) {
+        ASSERT_EQ(serial.data()[i], threaded.data()[i])
+            << shape_to_string(shape) << " elem " << i;
+      }
     }
   }
 }
@@ -196,6 +310,26 @@ TEST(ModuleQuant, OnlyWeightsAreQuantized) {
       ++i;
     }
   }
+}
+
+TEST(ModuleQuant, AggregateMseIsNumelWeighted) {
+  // Regression: the aggregate used to average per-tensor MSEs with equal
+  // weight regardless of tensor size; it must be the true model-wide MSE,
+  // i.e. per-tensor MSEs weighted by numel.
+  Rng rng(19);
+  auto model = nn::micro_resnet(3, 4, 1, 10, rng);
+  const QuantConfig config{3, Scheme::kSymmetric, Granularity::kPerTensor};
+  double mse_sum = 0.0;
+  double numel_sum = 0.0;
+  for (nn::Parameter* p : model->weight_parameters()) {
+    QuantStats stats;
+    quantize_dequantize(p->var.value(), config, &stats);
+    const auto numel = static_cast<double>(p->var.value().numel());
+    mse_sum += static_cast<double>(stats.mse) * numel;
+    numel_sum += numel;
+  }
+  const QuantStats aggregate = quantize_module_weights(*model, config);
+  EXPECT_NEAR(aggregate.mse, mse_sum / numel_sum, 1e-9);
 }
 
 TEST(ModuleQuant, ScopedQuantizationRestoresOnDestruction) {

@@ -1,0 +1,126 @@
+// QuantizerRegistry tests: self-registration round-trip, layer-spec parsing
+// (including bare boolean flags and the peeled "bits" key), and config
+// validation errors — the quant mirror of tests/optim/registry_test.cpp.
+#include "quant/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hero::quant {
+namespace {
+
+TEST(QuantizerRegistry, EveryRegisteredNameConstructs) {
+  auto& registry = QuantizerRegistry::instance();
+  const auto names = registry.names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    auto quantizer = registry.create(name);
+    ASSERT_NE(quantizer, nullptr) << name;
+    EXPECT_FALSE(quantizer->describe().empty()) << name;
+  }
+}
+
+TEST(QuantizerRegistry, ContainsBuiltinsAndAliases) {
+  auto& registry = QuantizerRegistry::instance();
+  for (const char* name : {"sym", "asym", "symmetric", "asymmetric"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  // names() lists canonical entries only, sorted, without aliases.
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::count(names.begin(), names.end(), "symmetric"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "sym"), 1);
+}
+
+TEST(QuantizerRegistry, UnknownNameGivesClearError) {
+  try {
+    QuantizerRegistry::instance().create("no_such_quantizer");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_quantizer"), std::string::npos);
+    EXPECT_NE(what.find("sym"), std::string::npos);  // lists registered names
+  }
+}
+
+TEST(QuantizerRegistry, UnknownConfigKeyThrows) {
+  EXPECT_THROW(QuantizerRegistry::instance().create("sym", {{"bogus", "1"}}), Error);
+  EXPECT_THROW(QuantizerRegistry::instance().create("asym", {{"granularity", "channel"}}),
+               Error);
+  // "bits" is a framework key peeled off by parse_layer_spec; factories
+  // never declare or receive it, so the registry rejects it directly.
+  EXPECT_THROW(QuantizerRegistry::instance().create("sym", {{"bits", "4"}}), Error);
+}
+
+TEST(QuantizerRegistry, AcceptsKeyReflectsRegisteredMetadata) {
+  auto& registry = QuantizerRegistry::instance();
+  EXPECT_TRUE(registry.accepts_key("sym", "per_channel"));
+  EXPECT_TRUE(registry.accepts_key("symmetric", "per_channel"));  // aliases share metadata
+  EXPECT_FALSE(registry.accepts_key("sym", "bits"));  // framework key, not a quantizer key
+  EXPECT_FALSE(registry.accepts_key("sym", "h"));
+  EXPECT_FALSE(registry.accepts_key("no_such_quantizer", "bits"));
+}
+
+TEST(ParseLayerSpec, BitsArePeeledAndDefaulted) {
+  const LayerQuantSpec four = parse_layer_spec("sym:bits=4");
+  EXPECT_EQ(four.bits, 4);
+  EXPECT_EQ(four.quantizer->describe(), "sym/per-tensor");
+  const LayerQuantSpec fallback = parse_layer_spec("asym");
+  EXPECT_EQ(fallback.bits, 8);
+  EXPECT_EQ(fallback.quantizer->describe(), "asym/per-tensor");
+}
+
+TEST(ParseLayerSpec, BareKeysAreBooleanFlags) {
+  const LayerQuantSpec spec = parse_layer_spec("sym:bits=4,per_channel");
+  EXPECT_EQ(spec.bits, 4);
+  EXPECT_EQ(spec.quantizer->describe(), "sym/per-channel");
+  const LayerQuantSpec off = parse_layer_spec("sym:per_channel=off");
+  EXPECT_EQ(off.quantizer->describe(), "sym/per-tensor");
+}
+
+TEST(ParseLayerSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_layer_spec(""), Error);
+  EXPECT_THROW(parse_layer_spec(":bits=4"), Error);
+  EXPECT_THROW(parse_layer_spec("sym:bogus=1"), Error);       // unknown key
+  EXPECT_THROW(parse_layer_spec("sym:bits=4,bits=5"), Error);  // duplicate key
+  EXPECT_THROW(parse_layer_spec("sym:bits=0"), Error);         // out of range
+  EXPECT_THROW(parse_layer_spec("sym:bits=17"), Error);
+  EXPECT_THROW(parse_layer_spec("sym:bits=abc"), Error);
+  EXPECT_THROW(parse_layer_spec("no_such_quantizer:bits=4"), Error);
+}
+
+TEST(ParseLayerSpec, SpecAndEnumPathsAgreeBitwise) {
+  // The registry-built quantizer and the enum-built one are the same rule.
+  Rng rng(3);
+  const Tensor w = Tensor::randn({12, 6}, rng);
+  const LayerQuantSpec spec = parse_layer_spec("asym:bits=4,per_channel");
+  const Tensor via_spec = spec.quantizer->quantize(w, spec.bits);
+  const Tensor via_enum =
+      make_uniform_quantizer(Scheme::kAsymmetric, Granularity::kPerChannel)->quantize(w, 4);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    ASSERT_EQ(via_spec.data()[i], via_enum.data()[i]) << "elem " << i;
+  }
+}
+
+TEST(WithBits, AppendsWithTheRightSeparator) {
+  EXPECT_EQ(with_bits("sym", 4), "sym:bits=4");
+  EXPECT_EQ(with_bits("asym:per_channel", 3), "asym:per_channel,bits=3");
+}
+
+TEST(QuantPlan, AverageBitsIsNumelWeighted) {
+  QuantPlan plan;
+  LayerQuantSpec a;
+  a.bits = 8;
+  a.numel = 100;
+  LayerQuantSpec b;
+  b.bits = 2;
+  b.numel = 300;
+  plan.layers = {a, b};
+  EXPECT_DOUBLE_EQ(plan.average_bits(), (8.0 * 100 + 2.0 * 300) / 400.0);
+}
+
+}  // namespace
+}  // namespace hero::quant
