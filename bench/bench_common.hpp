@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "common/parse.hpp"
 #include "common/thread_pool.hpp"
 #include "core/experiments.hpp"
+#include "core/listing.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
 #include "optim/registry.hpp"
@@ -41,7 +44,21 @@ struct BenchEnv {
 };
 
 inline BenchEnv make_env(int argc, char** argv) {
+  // --list prints every registered training method, quantizer, planner, and
+  // model architecture (with accepted keys) and exits — the discoverability
+  // counterpart of the spec strings the other flags take. Scanned before
+  // Flags so the bare spelling works without a key=value warning.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      std::fputs(core::describe_registries().c_str(), stdout);
+      std::exit(0);
+    }
+  }
   const Flags flags(argc, argv);
+  if (flags.get_bool("list", false)) {
+    std::fputs(core::describe_registries().c_str(), stdout);
+    std::exit(0);
+  }
   BenchEnv env;
   env.scale = flags.scale();
   env.out_dir = flags.get("out", ".");

@@ -1,0 +1,236 @@
+// Deployment bench: HPKG artifact compression + autograd-free serving
+// throughput (src/deploy).
+//
+// Three questions, answered in one run:
+//  1. How small is the shipped model? fp32 checkpoint bytes vs HPKG artifact
+//     bytes at uniform 8-bit, uniform 4-bit, and hawq:budget=5.
+//  2. Is serving faithful? For every artifact, the reloaded
+//     InferenceSession's logits must be BIT-IDENTICAL to the in-memory
+//     ScopedWeightQuantization forward under the same plan, and the served
+//     accuracy must match the fake-quant eval (exit 1 otherwise — CI relies
+//     on this as the export/reload correctness gate).
+//  3. How fast does it serve? images/s of batched predict() vs batch size,
+//     --threads=1 (serial kernels) vs --threads=N (thread-pool kernels).
+//
+// Writes <out>/inference.json for the CI perf-trajectory artifact.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+#include "deploy/inference.hpp"
+
+namespace {
+
+using namespace hero;
+
+template <class F>
+double time_best(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct ArtifactRow {
+  std::string label;
+  std::string path;
+  std::size_t bytes = 0;
+  double avg_bits = 0.0;
+  double ratio = 0.0;  ///< fp32 checkpoint bytes / artifact bytes
+  bool logits_identical = false;
+  double served_accuracy = 0.0;
+  double inmemory_accuracy = 0.0;
+};
+
+struct ThroughputRow {
+  std::int64_t batch = 0;
+  double serial_s = 0.0;    ///< best predict() latency at --threads=1
+  double parallel_s = 0.0;  ///< best predict() latency at --threads=N
+  double images_per_s(double seconds) const {
+    return seconds > 0.0 ? static_cast<double>(batch) / seconds : 0.0;
+  }
+};
+
+void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
+                const std::vector<ArtifactRow>& artifacts,
+                const std::vector<ThroughputRow>& throughput) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads\": %d,\n  \"fp32_checkpoint_bytes\": %zu,\n", threads,
+               fp32_bytes);
+  std::fprintf(f, "  \"artifacts\": [\n");
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    const ArtifactRow& r = artifacts[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"bytes\": %zu, \"avg_bits\": %.3f, "
+                 "\"compression\": %.3f, \"bit_identical\": %s, \"served_accuracy\": %.6f, "
+                 "\"inmemory_accuracy\": %.6f}%s\n",
+                 r.label.c_str(), r.bytes, r.avg_bits, r.ratio,
+                 r.logits_identical ? "true" : "false", r.served_accuracy,
+                 r.inmemory_accuracy, i + 1 < artifacts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"throughput\": [\n");
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputRow& r = throughput[i];
+    std::fprintf(f,
+                 "    {\"batch\": %lld, \"serial_s\": %.6f, \"parallel_s\": %.6f, "
+                 "\"images_per_s_serial\": %.1f, \"images_per_s_parallel\": %.1f}%s\n",
+                 static_cast<long long>(r.batch), r.serial_s, r.parallel_s,
+                 r.images_per_s(r.serial_s), r.images_per_s(r.parallel_s),
+                 i + 1 < throughput.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hero::bench;
+  BenchEnv env = make_env(argc, argv);
+  const int threads = env.threads;
+  const int reps = std::max(2, env.scaled(6));
+
+  // Untrained weights are fine here: compression and bit-level serving
+  // parity do not depend on accuracy, only on the weight tensors.
+  const data::Benchmark bench =
+      data::make_benchmark("c10", env.scaled64(256), 384, 29);
+  Rng rng(17);
+  auto model =
+      nn::make_model("micro_mobilenet", bench.spec.channels, bench.train.classes, rng);
+  const std::string model_spec =
+      nn::canonical_model_spec("micro_mobilenet", bench.spec.channels, bench.train.classes);
+
+  // fp32 baseline: the plain named-tensor checkpoint of the same model.
+  const std::string ckpt_path = env.csv_path("model_fp32.ckpt");
+  save_tensors(ckpt_path, model->state_dict());
+  const auto fp32_bytes = static_cast<std::size_t>(std::filesystem::file_size(ckpt_path));
+  std::printf("inference bench: micro_mobilenet, threads=%d, fp32 checkpoint %zu bytes\n\n",
+              threads, fp32_bytes);
+
+  quant::PlannerContext ctx;
+  ctx.calib = &bench.train;
+  const struct {
+    const char* label;
+    const char* planner;
+    const char* file;
+  } plans[] = {
+      {"uniform-8bit", "uniform:sym:bits=8", "model_u8.hpkg"},
+      {"uniform-5bit", "uniform:sym:bits=5", "model_u5.hpkg"},
+      {"uniform-4bit", "uniform:sym:bits=4", "model_u4.hpkg"},
+      {"hawq-budget5", "hawq:budget=5", "model_hawq5.hpkg"},
+  };
+
+  std::vector<ArtifactRow> artifacts;
+  bool all_identical = true;
+  print_header({"artifact", "bytes", "ratio", "avg bits", "bit-identical", "accuracy"});
+  for (const auto& p : plans) {
+    const quant::QuantPlan plan = quant::plan_quantization(*model, p.planner, ctx);
+    ArtifactRow row;
+    row.label = p.label;
+    row.path = env.csv_path(p.file);
+    row.avg_bits = plan.average_bits();
+    row.bytes = deploy::save_model(row.path, *model, plan, model_spec, p.planner);
+    row.ratio = static_cast<double>(fp32_bytes) / static_cast<double>(row.bytes);
+
+    // In-memory fake-quant reference: eval-mode logits + accuracy under the
+    // same plan (weights restored when the scope unwinds).
+    Tensor ref_logits;
+    {
+      quant::ScopedWeightQuantization scoped(*model, plan);
+      row.inmemory_accuracy = optim::evaluate(*model, bench.test).accuracy;
+      model->set_training(false);
+      ag::NoGradGuard no_grad;
+      ref_logits = model->forward(ag::Variable::constant(bench.test.features)).value();
+      model->set_training(true);
+    }
+
+    deploy::InferenceSession session(row.path);
+    const Tensor served_logits = session.predict(bench.test.features);
+    row.served_accuracy = session.evaluate(bench.test).accuracy;
+    row.logits_identical = same_bits(served_logits, ref_logits) &&
+                           std::fabs(row.served_accuracy - row.inmemory_accuracy) < 1e-9;
+    all_identical = all_identical && row.logits_identical;
+
+    char buf[64];
+    std::vector<std::string> cells{row.label, std::to_string(row.bytes)};
+    std::snprintf(buf, sizeof buf, "%.2fx", row.ratio);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof buf, "%.2f", row.avg_bits);
+    cells.push_back(buf);
+    cells.push_back(row.logits_identical ? "yes" : "NO");
+    std::snprintf(buf, sizeof buf, "%.2f%%", 100.0 * row.served_accuracy);
+    cells.push_back(buf);
+    print_row(cells);
+    artifacts.push_back(std::move(row));
+  }
+
+  // Serving throughput from the 4-bit artifact: batched predict() latency,
+  // serial kernels vs the thread pool.
+  const auto four_bit =
+      std::find_if(artifacts.begin(), artifacts.end(),
+                   [](const ArtifactRow& r) { return r.label == "uniform-4bit"; });
+  HERO_CHECK_MSG(four_bit != artifacts.end(), "uniform-4bit row missing from plans[]");
+  std::printf("\n");
+  print_header({"batch", "images/s t1", "images/s tN", "speedup"});
+  deploy::InferenceSession session(four_bit->path);
+  std::vector<ThroughputRow> throughput;
+  for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{8}, std::int64_t{32},
+                                   std::int64_t{128}}) {
+    const Tensor features = bench.test.features.narrow(0, 0, batch);
+    ThroughputRow row;
+    row.batch = batch;
+    runtime::set_num_threads(1);
+    session.predict(features);  // warm
+    row.serial_s = time_best(reps, [&] { session.predict(features); });
+    runtime::set_num_threads(threads);
+    runtime::warm_up();
+    session.predict(features);
+    row.parallel_s = time_best(reps, [&] { session.predict(features); });
+    char buf[64];
+    std::vector<std::string> cells{std::to_string(batch)};
+    std::snprintf(buf, sizeof buf, "%.0f", row.images_per_s(row.serial_s));
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof buf, "%.0f", row.images_per_s(row.parallel_s));
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof buf, "%.2fx", row.serial_s / row.parallel_s);
+    cells.push_back(buf);
+    print_row(cells);
+    throughput.push_back(row);
+  }
+  std::printf("\nsession totals: %lld batches, %lld examples, %.0f images/s overall\n",
+              static_cast<long long>(session.stats().batches),
+              static_cast<long long>(session.stats().examples),
+              session.stats().throughput());
+
+  const std::string json_path = env.csv_path("inference.json");
+  write_json(json_path, threads, fp32_bytes, artifacts, throughput);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr, "ERROR: a reloaded artifact is not bit-identical to the in-memory "
+                         "quantized model\n");
+    return 1;
+  }
+  return 0;
+}

@@ -7,21 +7,47 @@
 // spends an average-bits budget where curvature says precision matters
 // (quant/planner.hpp, HAWQ-style).
 //
+// The HERO-trained model is then actually SHIPPED: its hawq plan is packed
+// into an HPKG artifact (integer weight codes + scales, src/deploy), the
+// artifact is reloaded as a fresh InferenceSession, and the session serves
+// the test set — verifying that the served accuracy is exactly what the
+// in-memory quantization sweep promised (logits are bit-identical).
+//
 //   ./edge_deployment [--epochs=14] [--quant-plan=hawq:budget=5]
+//                     [--export=edge_model.hpkg] [--help]
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common/flags.hpp"
 #include "core/experiments.hpp"
+#include "core/listing.hpp"
 #include "core/trainer.hpp"
+#include "deploy/inference.hpp"
 #include "nn/models.hpp"
 #include "optim/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("edge_deployment: train, quantize, export, reload, serve.\n\n"
+                  "flags:\n"
+                  "  --epochs=N              training epochs per method (default 14)\n"
+                  "  --quant-plan=SPEC       planner spec for the mixed row (default "
+                  "hawq:budget=5; empty disables)\n"
+                  "  --export=PATH           HPKG artifact path (default edge_model.hpkg; "
+                  "empty disables export)\n"
+                  "  --help                  this text\n\n%s",
+                  core::describe_registries().c_str());
+      return 0;
+    }
+  }
   const Flags flags(argc, argv);
   const int epochs = flags.get_int("epochs", 14);
   // Any registered planner spec works here; empty disables the mixed row.
   const std::string plan_spec = flags.get("quant-plan", "hawq:budget=5");
+  const std::string export_path = flags.get("export", "edge_model.hpkg");
 
   // The device's power states map to uniform weight precisions.
   struct PowerState {
@@ -40,6 +66,7 @@ int main(int argc, char** argv) {
               "precision scaling (no finetuning allowed at deploy time)\n\n");
 
   bool printed_plan = false;
+  bool exported = false;
   for (const char* method_spec : {"hero:h=0.01", "grad_l1", "sgd"}) {
     Rng rng(21);
     auto model =
@@ -68,14 +95,59 @@ int main(int argc, char** argv) {
       quant::PlannerContext ctx;
       ctx.calib = &bench.train;
       const quant::QuantPlan plan = quant::plan_quantization(*model, plan_spec, ctx);
-      quant::ScopedWeightQuantization scoped(*model, plan);
-      const double accuracy = optim::evaluate(*model, bench.test).accuracy;
+      double mixed_accuracy = 0.0;
+      Tensor mixed_logits;
+      {
+        quant::ScopedWeightQuantization scoped(*model, plan);
+        mixed_accuracy = optim::evaluate(*model, bench.test).accuracy;
+        model->set_training(false);
+        ag::NoGradGuard no_grad;
+        mixed_logits = model->forward(ag::Variable::constant(bench.test.features)).value();
+      }  // full-precision weights restored here — export encodes from them
       std::printf("  %-26s accuracy %.2f%%  (avg %.2f bits)\n", plan_spec.c_str(),
-                  100.0 * accuracy, plan.average_bits());
+                  100.0 * mixed_accuracy, plan.average_bits());
       if (!printed_plan) {
         std::printf("  per-layer plan (most Hessian-sensitive layers get the most bits):\n%s",
                     plan.describe().c_str());
         printed_plan = true;
+      }
+
+      if (!exported && !export_path.empty()) {
+        // Ship it: pack the plan into an HPKG artifact, reload, serve, and
+        // verify the served logits are bit-identical to the in-memory
+        // quantized forward (exits non-zero on mismatch — CI relies on it).
+        exported = true;
+        const std::string model_spec = nn::canonical_model_spec(
+            "micro_mobilenet", bench.spec.channels, bench.train.classes);
+        const std::size_t artifact_bytes =
+            deploy::save_model(export_path, *model, plan, model_spec, plan_spec);
+        deploy::InferenceSession session(export_path);
+        const Tensor served_logits = session.predict(bench.test.features);
+        session.reset_stats();  // report serving numbers for evaluate() only
+        const deploy::InferenceEval served = session.evaluate(bench.test);
+        std::printf("\n  exported %s (%zu bytes, %.0f weights at avg %.2f bits, "
+                    "model spec '%s')\n",
+                    export_path.c_str(), artifact_bytes,
+                    static_cast<double>(model->parameter_count()), session.average_bits(),
+                    session.model_spec().c_str());
+        std::printf("  reloaded + served %lld examples at %.0f images/s: "
+                    "accuracy %.2f%% (in-memory quantized: %.2f%%)\n",
+                    static_cast<long long>(session.stats().examples),
+                    session.stats().throughput(), 100.0 * served.accuracy,
+                    100.0 * mixed_accuracy);
+        const bool logits_identical =
+            served_logits.shape() == mixed_logits.shape() &&
+            max_abs_diff(served_logits, mixed_logits) == 0.0f;
+        if (!logits_identical || std::fabs(served.accuracy - mixed_accuracy) > 1e-9) {
+          std::fprintf(stderr,
+                       "ERROR: reloaded artifact does not match the in-memory quantized "
+                       "model (logits %s, accuracy diff %.3g)\n",
+                       logits_identical ? "identical" : "differ",
+                       std::fabs(served.accuracy - mixed_accuracy));
+          return 1;
+        }
+        std::printf("  parity: served logits are bit-identical to the in-memory "
+                    "quantized forward\n");
       }
     }
     std::printf("\n");
@@ -83,6 +155,7 @@ int main(int argc, char** argv) {
   std::printf("a HERO-trained model keeps usable accuracy down to the lowest power\n"
               "state, and the Hessian-planned mixed-precision deployment holds the\n"
               "low-power accuracy at a fraction of the bit budget — so the device\n"
-              "can switch precision freely.\n");
+              "can switch precision freely (and the artifact it ships as serves\n"
+              "exactly that accuracy).\n");
   return 0;
 }

@@ -1,0 +1,52 @@
+#include "core/listing.hpp"
+
+#include <sstream>
+
+#include "nn/models.hpp"
+#include "optim/registry.hpp"
+#include "quant/planner.hpp"
+#include "quant/quantizer.hpp"
+
+namespace hero::core {
+
+namespace {
+
+std::string keys_suffix(const std::vector<std::string>& keys) {
+  if (keys.empty()) return "";
+  return "  (keys: " + join_names(keys) + ")";
+}
+
+}  // namespace
+
+std::string describe_registries() {
+  std::ostringstream os;
+
+  os << "training methods (--method=name:key=value,...):\n";
+  auto& methods = optim::MethodRegistry::instance();
+  for (const std::string& name : methods.names()) {
+    os << "  " << name << keys_suffix(methods.accepted_keys(name)) << "\n";
+  }
+
+  os << "quantizers (spec 'name:bits=B[,key...]'):\n";
+  auto& quantizers = quant::QuantizerRegistry::instance();
+  for (const std::string& name : quantizers.names()) {
+    // Default-configured instance's describe() labels the scheme/grain.
+    os << "  " << name << " — " << quantizers.create(name)->describe()
+       << keys_suffix(quantizers.accepted_keys(name)) << "\n";
+  }
+
+  os << "quantization planners (spec 'name:<args>'):\n";
+  for (const std::string& name : quant::PlannerRegistry::instance().names()) {
+    os << "  " << name << "\n";
+  }
+
+  os << "model architectures (spec 'name:key=value,...'):\n";
+  auto& models = nn::ModelRegistry::instance();
+  for (const std::string& name : models.names()) {
+    os << "  " << name << " — " << models.describe(name)
+       << keys_suffix(models.accepted_keys(name)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hero::core

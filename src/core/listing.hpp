@@ -1,0 +1,18 @@
+// One-stop discoverability: a human-readable listing of every
+// self-registering factory family — training methods, quantizers,
+// quantization planners, and model architectures — with the config keys
+// each accepts and (where available) its describe() string.
+//
+// Shared by the benches' --list flag (bench/bench_common.hpp) and
+// `edge_deployment --help`, so there is exactly one place that knows how to
+// render "what can this binary be asked to build?".
+#pragma once
+
+#include <string>
+
+namespace hero::core {
+
+/// The full multi-line registry listing (trailing newline included).
+std::string describe_registries();
+
+}  // namespace hero::core

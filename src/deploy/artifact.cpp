@@ -1,0 +1,261 @@
+#include "deploy/artifact.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "nn/models.hpp"
+
+namespace hero::deploy {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', 'K', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+// Shared with the checkpoint format (tensor/io.hpp) so the two serializers
+// keep one definition of the primitives and the truncation handling.
+using io::read_pod;
+using io::write_pod;
+
+/// Rejects declared payloads larger than what the stream still holds, so a
+/// tiny hostile header cannot drive the resize() calls below into
+/// gigabyte allocations (the "hero::Error, not bad_alloc" guarantee).
+void check_stream_budget(std::istream& in, std::uint64_t declared_bytes,
+                         const std::string& layer) {
+  const std::int64_t remaining = stream_remaining_bytes(in);
+  HERO_CHECK_MSG(remaining < 0 ||
+                     declared_bytes <= static_cast<std::uint64_t>(remaining),
+                 "artifact layer '" << layer << "' declares " << declared_bytes
+                                    << " payload bytes but only " << remaining
+                                    << " bytes remain in the stream");
+}
+
+/// The reconstructible quantizer spec of one packed layer ("sym:bits=4",
+/// "asym:per_channel,bits=3") — derived from the encoding itself so the
+/// artifact never depends on quantizer object state.
+std::string layer_quantizer_spec(const quant::QuantizedTensor& t) {
+  std::string spec = t.scheme == quant::Scheme::kSymmetric ? "sym" : "asym";
+  spec += t.axis >= 0 ? ":per_channel,bits=" : ":bits=";
+  return spec + std::to_string(t.bits);
+}
+
+void write_packed_layer(std::ostream& out, const PackedLayer& layer) {
+  const quant::QuantizedTensor& t = layer.tensor;
+  HERO_CHECK_MSG(t.scales.size() == t.zero_points.size() && !t.scales.empty(),
+                 "packed layer '" << layer.name << "' has " << t.scales.size()
+                                  << " scales but " << t.zero_points.size()
+                                  << " zero points — refusing to write a corrupt artifact");
+  write_string(out, layer.name);
+  write_string(out, layer.quantizer_spec);
+  write_pod<std::uint8_t>(out, t.scheme == quant::Scheme::kSymmetric ? 0 : 1);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(t.bits));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(t.code_bits));
+  write_pod<std::int8_t>(out, static_cast<std::int8_t>(t.axis));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.shape.size()));
+  for (const std::int64_t d : t.shape) write_pod(out, d);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.scales.size()));
+  out.write(reinterpret_cast<const char*>(t.scales.data()),
+            static_cast<std::streamsize>(t.scales.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(t.zero_points.data()),
+            static_cast<std::streamsize>(t.zero_points.size() * sizeof(std::int64_t)));
+  write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(t.packed.size()));
+  out.write(reinterpret_cast<const char*>(t.packed.data()),
+            static_cast<std::streamsize>(t.packed.size()));
+}
+
+PackedLayer read_packed_layer(std::istream& in) {
+  PackedLayer layer;
+  layer.name = read_string(in);
+  layer.quantizer_spec = read_string(in);
+  quant::QuantizedTensor& t = layer.tensor;
+  const auto scheme = read_pod<std::uint8_t>(in);
+  HERO_CHECK_MSG(scheme <= 1, "artifact layer '" << layer.name << "' has unknown scheme "
+                                                 << static_cast<int>(scheme));
+  t.scheme = scheme == 0 ? quant::Scheme::kSymmetric : quant::Scheme::kAsymmetric;
+  t.bits = read_pod<std::uint8_t>(in);
+  t.code_bits = read_pod<std::uint8_t>(in);
+  // The encoder never emits more than 16 storage bits (bits ≤ 16; sym 1-bit
+  // widens to 2), so anything beyond is corruption, not a format variant.
+  HERO_CHECK_MSG(t.bits >= 1 && t.bits <= 16 && t.code_bits >= 1 && t.code_bits <= 16,
+                 "artifact layer '" << layer.name << "' has implausible bit widths (bits="
+                                    << t.bits << ", code_bits=" << t.code_bits << ")");
+  t.axis = read_pod<std::int8_t>(in);
+  HERO_CHECK_MSG(t.axis >= -1 && t.axis <= 1,
+                 "artifact layer '" << layer.name << "' has invalid channel axis " << t.axis);
+  t.shape = read_checked_shape(in, "artifact layer '" + layer.name + "'");
+  const std::int64_t numel = shape_numel(t.shape);
+  const auto groups = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(groups > 0 && static_cast<std::int64_t>(groups) <= std::max<std::int64_t>(
+                                                                        1, numel),
+                 "artifact layer '" << layer.name << "' has implausible group count "
+                                    << groups);
+  check_stream_budget(in, static_cast<std::uint64_t>(groups) * (sizeof(float) +
+                                                                sizeof(std::int64_t)),
+                      layer.name);
+  t.scales.resize(groups);
+  in.read(reinterpret_cast<char*>(t.scales.data()),
+          static_cast<std::streamsize>(groups * sizeof(float)));
+  t.zero_points.resize(groups);
+  in.read(reinterpret_cast<char*>(t.zero_points.data()),
+          static_cast<std::streamsize>(groups * sizeof(std::int64_t)));
+  HERO_CHECK_MSG(in.good(), "artifact stream truncated in layer '" << layer.name << "' groups");
+  const auto packed_bytes = read_pod<std::uint64_t>(in);
+  const auto expected =
+      static_cast<std::uint64_t>((numel * static_cast<std::int64_t>(t.code_bits) + 7) / 8);
+  HERO_CHECK_MSG(packed_bytes == expected,
+                 "artifact layer '" << layer.name << "' declares " << packed_bytes
+                                    << " packed bytes but " << numel << " codes of "
+                                    << t.code_bits << " bits need " << expected);
+  check_stream_budget(in, packed_bytes, layer.name);
+  t.packed.resize(packed_bytes);
+  in.read(reinterpret_cast<char*>(t.packed.data()),
+          static_cast<std::streamsize>(packed_bytes));
+  HERO_CHECK_MSG(in.good(), "artifact stream truncated in layer '" << layer.name << "' codes");
+  return layer;
+}
+
+}  // namespace
+
+double ModelArtifact::average_bits() const {
+  if (packed.empty()) return 0.0;
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const PackedLayer& layer : packed) {
+    const auto n = static_cast<double>(std::max<std::int64_t>(1, layer.tensor.numel()));
+    weighted += n * layer.tensor.bits;
+    total += n;
+  }
+  return weighted / total;
+}
+
+std::size_t ModelArtifact::packed_payload_bytes() const {
+  std::size_t bytes = 0;
+  for (const PackedLayer& layer : packed) bytes += layer.tensor.payload_bytes();
+  return bytes;
+}
+
+ModelArtifact pack_model(nn::Module& model, const quant::QuantPlan& plan,
+                         const std::string& model_spec, const std::string& plan_label) {
+  ModelArtifact artifact;
+  artifact.model_spec = model_spec;
+  artifact.plan_label = plan_label;
+
+  // Weight parameters in weight_parameters() order — exactly how planners
+  // lay out plan.layers — with their state_dict paths alongside.
+  std::vector<std::pair<std::string, nn::Parameter*>> weights;
+  for (auto& [name, param] : model.named_parameters()) {
+    if (param->is_weight) weights.emplace_back(name, param);
+  }
+  HERO_CHECK_MSG(plan.layers.size() == weights.size(),
+                 "quantization plan has " << plan.layers.size() << " layers but the model has "
+                                          << weights.size() << " weight parameters");
+
+  std::unordered_set<std::string> packed_names;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const quant::LayerQuantSpec& slot = plan.layers[i];
+    HERO_CHECK_MSG(slot.quantizer != nullptr,
+                   "plan layer " << i << " has no quantizer (" << weights[i].first << ")");
+    PackedLayer layer;
+    layer.name = weights[i].first;
+    layer.tensor = slot.quantizer->encode(weights[i].second->var.value(), slot.bits);
+    layer.quantizer_spec = layer_quantizer_spec(layer.tensor);
+    packed_names.insert(layer.name);
+    artifact.packed.push_back(std::move(layer));
+  }
+
+  // Everything the state_dict holds beyond the packed weights ships full
+  // precision: biases, BatchNorm gamma/beta and running statistics.
+  for (auto& entry : model.state_dict()) {
+    if (packed_names.find(entry.name) == packed_names.end()) {
+      artifact.full_precision.push_back(std::move(entry));
+    }
+  }
+  return artifact;
+}
+
+std::shared_ptr<nn::Module> build_model(const ModelArtifact& artifact) {
+  // The RNG only feeds parameter initializers, and every parameter is about
+  // to be overwritten from the artifact — any seed reconstructs the same
+  // deployed model.
+  Rng rng(0);
+  std::shared_ptr<nn::Module> model = nn::make_model_from_spec(artifact.model_spec, rng);
+
+  std::vector<NamedTensor> state = artifact.full_precision;
+  for (const PackedLayer& layer : artifact.packed) {
+    state.push_back({layer.name, quant::decode(layer.tensor)});
+  }
+  // load_state_dict validates that names and shapes cover the architecture
+  // exactly — a truncated or mismatched artifact fails here, loudly.
+  model->load_state_dict(state);
+  model->set_training(false);
+  return model;
+}
+
+void save_artifact(std::ostream& out, const ModelArtifact& artifact) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_string(out, artifact.model_spec);
+  write_string(out, artifact.plan_label);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(artifact.packed.size()));
+  for (const PackedLayer& layer : artifact.packed) write_packed_layer(out, layer);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(artifact.full_precision.size()));
+  for (const auto& [name, tensor] : artifact.full_precision) {
+    write_string(out, name);
+    save_tensor(out, tensor);
+  }
+  HERO_CHECK_MSG(out.good(), "artifact write failed");
+}
+
+ModelArtifact load_artifact(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  HERO_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                 "not an HPKG artifact (bad magic)");
+  const auto version = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(version == kVersion, "unsupported HPKG version " << version);
+  ModelArtifact artifact;
+  artifact.model_spec = read_string(in);
+  artifact.plan_label = read_string(in);
+  const auto packed_count = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(packed_count <= 4096,
+                 "implausible packed-layer count " << packed_count << " (corrupt artifact?)");
+  artifact.packed.reserve(packed_count);
+  for (std::uint32_t i = 0; i < packed_count; ++i) {
+    artifact.packed.push_back(read_packed_layer(in));
+  }
+  const auto full_count = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(full_count <= 65536,
+                 "implausible full-precision count " << full_count << " (corrupt artifact?)");
+  artifact.full_precision.reserve(full_count);
+  for (std::uint32_t i = 0; i < full_count; ++i) {
+    NamedTensor nt;
+    nt.name = read_string(in);
+    nt.tensor = load_tensor(in);
+    artifact.full_precision.push_back(std::move(nt));
+  }
+  return artifact;
+}
+
+std::size_t save_model(const std::string& path, nn::Module& model,
+                       const quant::QuantPlan& plan, const std::string& model_spec,
+                       const std::string& plan_label) {
+  const ModelArtifact artifact = pack_model(model, plan, model_spec, plan_label);
+  std::ofstream out(path, std::ios::binary);
+  HERO_CHECK_MSG(out.good(), "cannot open artifact for writing: " << path);
+  save_artifact(out, artifact);
+  out.flush();
+  const auto size = out.tellp();
+  HERO_CHECK_MSG(out.good() && size > 0, "artifact write failed: " << path);
+  return static_cast<std::size_t>(size);
+}
+
+ModelArtifact load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HERO_CHECK_MSG(in.good(), "cannot open artifact for reading: " << path);
+  return load_artifact(in);
+}
+
+}  // namespace hero::deploy

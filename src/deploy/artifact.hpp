@@ -1,0 +1,102 @@
+// HPKG deployment artifacts: a trained + quantization-planned model as one
+// compact, self-contained file.
+//
+// The paper's deployment story (§3.1/§5.3) is that a HERO-trained model
+// survives post-training quantization on the device. ScopedWeightQuantization
+// only *simulates* that — float32 in, float32 out. An HPKG artifact is the
+// real deliverable: weight tensors stored as bit-packed integer codes (4-bit
+// weights cost 4 bits) plus grid metadata, everything else (biases,
+// BatchNorm affine + running stats) full precision, and the architecture as
+// a model spec string so a fresh process can rebuild the module without any
+// source-level knowledge of the training run. decode(encode(w)) is
+// bit-identical to the fake-quant path, so a reloaded artifact evaluates to
+// EXACTLY the accuracy the in-memory quantization sweep reported.
+//
+// ---- HPKG v1 wire format (little-endian) ----------------------------------
+//
+//   "HPKG"                     magic
+//   u32  version               (= 1)
+//   str  model_spec            nn::make_model_from_spec architecture string
+//   str  plan_label            informational, e.g. "hawq:budget=5"
+//   u32  packed_layer_count
+//   per packed layer:
+//     str  name                state_dict path of the weight parameter
+//     str  quantizer_spec      reconstructible, e.g. "sym:per_channel,bits=4"
+//     u8   scheme              0 = symmetric, 1 = asymmetric
+//     u8   bits                nominal grid precision
+//     u8   code_bits           storage bits per code (sym 1-bit packs at 2)
+//     i8   axis                -1 per-tensor, 0 conv slabs, 1 linear columns
+//     u32  rank, i64 extents[rank]
+//     u32  groups
+//     f32  scales[groups]
+//     i64  zero_points[groups]
+//     u64  packed_byte_count, u8 bytes[...]   bit-packed codes, LSB-first
+//   u32  full_precision_count
+//   per full-precision entry:
+//     str  name                state_dict path (biases, BN gamma/beta/stats)
+//     HTSR tensor block        (tensor/io save_tensor)
+//
+// `str` is the tensor/io length-prefixed string (u32 length + bytes).
+// Loaders validate every field (magic, version, enum ranges, extent
+// signs/overflow, group/axis consistency, payload sizes) before allocating,
+// so hostile or truncated files fail with hero::Error, not bad_alloc.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/io.hpp"
+
+namespace hero::deploy {
+
+/// One weight parameter in deployable form.
+struct PackedLayer {
+  std::string name;            ///< state_dict path, e.g. "block1.conv.weight"
+  std::string quantizer_spec;  ///< rebuildable spec, e.g. "sym:per_channel,bits=4"
+  quant::QuantizedTensor tensor;
+};
+
+/// In-memory form of an HPKG file.
+struct ModelArtifact {
+  std::string model_spec;  ///< nn::make_model_from_spec architecture string
+  std::string plan_label;  ///< informational provenance, e.g. "hawq:budget=5"
+  std::vector<PackedLayer> packed;
+  std::vector<NamedTensor> full_precision;  ///< biases, BN affine + running stats
+
+  /// numel-weighted mean bit width of the packed weights.
+  double average_bits() const;
+  /// Serialized size of the packed-weight payload (codes + grid metadata).
+  std::size_t packed_payload_bytes() const;
+};
+
+/// Packs `model` under `plan` into an artifact: every is_weight parameter is
+/// integer-encoded through its plan slot (plan.layers must match
+/// Module::weight_parameters() in count, as produced by the planners);
+/// everything else in the state_dict is stored full precision. The model's
+/// weights are read, never modified — export from the full-precision model,
+/// not from inside a ScopedWeightQuantization.
+ModelArtifact pack_model(nn::Module& model, const quant::QuantPlan& plan,
+                         const std::string& model_spec, const std::string& plan_label = "");
+
+/// Rebuilds the module an artifact describes: constructs the architecture
+/// from the model spec, decodes every packed weight once (bit-identical to
+/// the fake-quant weights), and installs weights + full-precision state via
+/// load_state_dict. The returned model is in eval mode.
+std::shared_ptr<nn::Module> build_model(const ModelArtifact& artifact);
+
+void save_artifact(std::ostream& out, const ModelArtifact& artifact);
+ModelArtifact load_artifact(std::istream& in);
+
+/// pack_model + save_artifact to `path`. Returns the artifact byte size.
+std::size_t save_model(const std::string& path, nn::Module& model,
+                       const quant::QuantPlan& plan, const std::string& model_spec,
+                       const std::string& plan_label = "");
+
+/// load_artifact from `path`.
+ModelArtifact load_model(const std::string& path);
+
+}  // namespace hero::deploy

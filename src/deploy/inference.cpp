@@ -1,0 +1,75 @@
+#include "deploy/inference.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "autograd/functional.hpp"
+#include "autograd/variable.hpp"
+#include "common/check.hpp"
+
+namespace hero::deploy {
+
+namespace {
+
+void init_from_artifact(const ModelArtifact& artifact, std::shared_ptr<nn::Module>& model,
+                        std::string& model_spec, std::string& plan_label,
+                        double& average_bits) {
+  model = build_model(artifact);  // decodes every packed weight exactly once
+  model_spec = artifact.model_spec;
+  plan_label = artifact.plan_label;
+  average_bits = artifact.average_bits();
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(const std::string& artifact_path) {
+  init_from_artifact(load_model(artifact_path), model_, model_spec_, plan_label_,
+                     average_bits_);
+}
+
+InferenceSession::InferenceSession(const ModelArtifact& artifact) {
+  init_from_artifact(artifact, model_, model_spec_, plan_label_, average_bits_);
+}
+
+Tensor InferenceSession::predict(const Tensor& features) {
+  HERO_CHECK_MSG(features.ndim() >= 1 && features.dim(0) > 0,
+                 "predict needs a non-empty batch, got shape "
+                     << shape_to_string(features.shape()));
+  const auto t0 = std::chrono::steady_clock::now();
+  Tensor logits;
+  {
+    // No graph recording: forward ops become constants (no parents, no
+    // backward closures) — inference allocates activations only.
+    ag::NoGradGuard no_grad;
+    logits = model_->forward(ag::Variable::constant(features)).value();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats_.batches += 1;
+  stats_.examples += features.dim(0);
+  stats_.total_seconds += seconds;
+  stats_.last_batch_seconds = seconds;
+  stats_.best_batch_seconds =
+      stats_.batches == 1 ? seconds : std::min(stats_.best_batch_seconds, seconds);
+  return logits;
+}
+
+InferenceEval InferenceSession::evaluate(const data::Dataset& dataset,
+                                         std::int64_t batch_size) {
+  HERO_CHECK_MSG(batch_size > 0, "evaluate batch_size must be positive, got " << batch_size);
+  InferenceEval eval;
+  double correct = 0.0;
+  for (std::int64_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::int64_t count = std::min(batch_size, dataset.size() - start);
+    const Tensor logits = predict(dataset.features.narrow(0, start, count));
+    // Same counting rule as optim::evaluate, so served and fake-quant
+    // accuracies are comparable digit for digit.
+    correct += ag::accuracy(logits, dataset.labels.narrow(0, start, count)) *
+               static_cast<double>(count);
+    eval.examples += count;
+  }
+  eval.accuracy = eval.examples > 0 ? correct / static_cast<double>(eval.examples) : 0.0;
+  return eval;
+}
+
+}  // namespace hero::deploy

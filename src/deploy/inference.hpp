@@ -1,0 +1,86 @@
+// Autograd-free batched inference over HPKG deployment artifacts.
+//
+// An InferenceSession is the serving half of the deployment subsystem: it
+// loads an artifact (fresh process, no training state), rebuilds the
+// architecture from the stored model spec, dequantizes the packed weights
+// ONCE at load time, and then serves batched predict() calls with
+//  * no autograd graph — every forward runs under ag::NoGradGuard, so op
+//    nodes carry no parents/backward closures and per-batch allocation is
+//    just the activations;
+//  * eval-mode semantics — BatchNorm normalizes with the artifact's running
+//    statistics, exactly like the quantization sweeps that promised the
+//    accuracy;
+//  * full kernel-runtime speed — matmul/im2col dispatch on the
+//    hero::runtime thread pool, bit-identical at any --threads=N.
+//
+// Logits from a reloaded artifact are bit-identical to an in-memory
+// ScopedWeightQuantization forward under the same plan (pinned by
+// tests/deploy/inference_test.cpp) — serving changes nothing but speed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "deploy/artifact.hpp"
+
+namespace hero::deploy {
+
+/// Cumulative serving counters, updated by every predict() call.
+struct InferenceStats {
+  std::int64_t batches = 0;
+  std::int64_t examples = 0;
+  double total_seconds = 0.0;
+  double last_batch_seconds = 0.0;
+  double best_batch_seconds = 0.0;  ///< fastest single batch so far
+
+  double throughput() const {  ///< examples per second over the session
+    return total_seconds > 0.0 ? static_cast<double>(examples) / total_seconds : 0.0;
+  }
+  double mean_latency() const {  ///< seconds per batch
+    return batches > 0 ? total_seconds / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// Accuracy summary of evaluate() (loss-free: serving has no labels graph).
+struct InferenceEval {
+  double accuracy = 0.0;
+  std::int64_t examples = 0;
+};
+
+class InferenceSession {
+ public:
+  /// Loads an artifact file, rebuilds the model, dequantizes once.
+  explicit InferenceSession(const std::string& artifact_path);
+  /// Serves an already-loaded artifact (e.g. straight from pack_model).
+  explicit InferenceSession(const ModelArtifact& artifact);
+
+  /// Batched forward pass: features [N, ...] → logits [N, classes], no
+  /// autograd graph, eval mode, timed into stats(). Throws on an empty
+  /// batch.
+  Tensor predict(const Tensor& features);
+
+  /// Top-1 accuracy of predict() over a dataset, in `batch_size` chunks —
+  /// the number to compare against the fake-quant sweep's.
+  InferenceEval evaluate(const data::Dataset& dataset, std::int64_t batch_size = 256);
+
+  const InferenceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = InferenceStats{}; }
+
+  const std::string& model_spec() const { return model_spec_; }
+  const std::string& plan_label() const { return plan_label_; }
+  double average_bits() const { return average_bits_; }
+
+  /// The reconstructed module (eval mode, dequantized weights). Exposed for
+  /// parity audits; serving goes through predict().
+  nn::Module& model() { return *model_; }
+
+ private:
+  std::shared_ptr<nn::Module> model_;
+  std::string model_spec_;
+  std::string plan_label_;
+  double average_bits_ = 0.0;
+  InferenceStats stats_;
+};
+
+}  // namespace hero::deploy

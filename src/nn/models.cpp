@@ -81,16 +81,155 @@ std::shared_ptr<Module> mini_vgg(std::int64_t in_channels, std::int64_t base_wid
   return net;
 }
 
-std::shared_ptr<Module> make_model(const std::string& name, std::int64_t input_dim,
-                                   std::int64_t classes, Rng& rng) {
+namespace {
+
+/// Parses the '|'-separated mlp width list ("2|32|32"); every entry must be
+/// a positive integer.
+std::vector<std::int64_t> parse_dims(const std::string& dims) {
+  HERO_CHECK_MSG(!dims.empty(), "mlp spec needs dims, e.g. 'mlp:dims=2|32|32'");
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (start <= dims.size()) {
+    const std::size_t bar = dims.find('|', start);
+    const std::string part =
+        dims.substr(start, bar == std::string::npos ? std::string::npos : bar - start);
+    std::size_t consumed = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(part, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    HERO_CHECK_MSG(consumed == part.size() && !part.empty() && value > 0,
+                   "mlp dims entry '" << part << "' is not a positive integer in '" << dims
+                                      << "'");
+    out.push_back(value);
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return out;
+}
+
+/// A positive spec integer with a default; `what` names the model family.
+std::int64_t spec_dim(const SpecConfig& config, const std::string& key, int fallback,
+                      const std::string& what) {
+  const int v = spec_int(config, key, fallback, what);
+  HERO_CHECK_MSG(v > 0, what << " spec key '" << key << "' must be positive, got " << v);
+  return v;
+}
+
+}  // namespace
+
+ModelRegistry& ModelRegistry::instance() {
+  static ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    r->add(
+        "mlp",
+        [](const SpecConfig& c, Rng& rng) {
+          return mlp(parse_dims(spec_str(c, "dims", "")), spec_dim(c, "classes", 2, "mlp"),
+                     rng);
+        },
+        {"dims", "classes"}, "multi-layer perceptron; dims incl. input width, '|'-separated");
+    r->add(
+        "micro_resnet",
+        [](const SpecConfig& c, Rng& rng) {
+          return micro_resnet(spec_dim(c, "in", 3, "micro_resnet"),
+                              spec_dim(c, "base", 6, "micro_resnet"),
+                              spec_dim(c, "blocks", 1, "micro_resnet"),
+                              spec_dim(c, "classes", 10, "micro_resnet"), rng);
+        },
+        {"in", "base", "blocks", "classes"},
+        "3-stage residual net (ResNet analog); widths base/2x/4x, stages 2-3 downsample");
+    r->add(
+        "micro_mobilenet",
+        [](const SpecConfig& c, Rng& rng) {
+          return micro_mobilenet(spec_dim(c, "in", 3, "micro_mobilenet"),
+                                 spec_dim(c, "base", 10, "micro_mobilenet"),
+                                 spec_dim(c, "expansion", 4, "micro_mobilenet"),
+                                 spec_dim(c, "classes", 10, "micro_mobilenet"), rng);
+        },
+        {"in", "base", "expansion", "classes"},
+        "inverted-bottleneck stack with depthwise convs (MobileNetV2 analog)");
+    r->add(
+        "mini_vgg",
+        [](const SpecConfig& c, Rng& rng) {
+          return mini_vgg(spec_dim(c, "in", 3, "mini_vgg"),
+                          spec_dim(c, "base", 16, "mini_vgg"),
+                          spec_dim(c, "classes", 10, "mini_vgg"), rng);
+        },
+        {"in", "base", "classes"},
+        "two conv-conv-pool stages with BatchNorm (VGG19BN analog)");
+    return r;
+  }();
+  return *registry;
+}
+
+void ModelRegistry::add(const std::string& name, Factory factory,
+                        const std::vector<std::string>& accepted_keys,
+                        const std::string& description) {
+  HERO_CHECK_MSG(!name.empty(), "cannot register a model family with an empty name");
+  HERO_CHECK_MSG(entries_.find(name) == entries_.end(),
+                 "model family '" << name << "' registered twice");
+  entries_[name] = Entry{std::move(factory), accepted_keys, description};
+}
+
+std::shared_ptr<Module> ModelRegistry::create(const std::string& name, const SpecConfig& config,
+                                              Rng& rng) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown model family '" + name + "' (registered: " + join_names(names()) +
+                ")");
+  }
+  check_known_spec_keys(config, it->second.accepted_keys, "model family '" + name + "'");
+  return it->second.factory(config, rng);
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::string ModelRegistry::describe(const std::string& name) const {
+  const auto it = entries_.find(name);
+  HERO_CHECK_MSG(it != entries_.end(), "unknown model family '" << name << "'");
+  return it->second.description;
+}
+
+std::vector<std::string> ModelRegistry::accepted_keys(const std::string& name) const {
+  const auto it = entries_.find(name);
+  HERO_CHECK_MSG(it != entries_.end(), "unknown model family '" << name << "'");
+  return it->second.accepted_keys;
+}
+
+std::shared_ptr<Module> make_model_from_spec(const std::string& spec, Rng& rng) {
+  const ParsedSpec parsed = parse_spec(spec, "model", /*allow_bare_keys=*/false);
+  return ModelRegistry::instance().create(parsed.name, parsed.config, rng);
+}
+
+std::string canonical_model_spec(const std::string& name, std::int64_t input_dim,
+                                 std::int64_t classes) {
+  const std::string in = std::to_string(input_dim);
+  const std::string cls = ",classes=" + std::to_string(classes);
   // Widths keep the paper's size ordering |VGG19BN| > |MobileNetV2| >
   // |ResNet20| at micro scale (see Models.ParameterOrderingMirrorsPaperSizes).
-  if (name == "mlp") return mlp({input_dim, 32, 32}, classes, rng);
-  if (name == "micro_resnet") return micro_resnet(input_dim, 6, 1, classes, rng);
-  if (name == "micro_resnet_wide") return micro_resnet(input_dim, 10, 2, classes, rng);
-  if (name == "micro_mobilenet") return micro_mobilenet(input_dim, 10, 4, classes, rng);
-  if (name == "mini_vgg") return mini_vgg(input_dim, 16, classes, rng);
+  if (name == "mlp") return "mlp:dims=" + in + "|32|32" + cls;
+  if (name == "micro_resnet") return "micro_resnet:in=" + in + ",base=6,blocks=1" + cls;
+  if (name == "micro_resnet_wide") return "micro_resnet:in=" + in + ",base=10,blocks=2" + cls;
+  if (name == "micro_mobilenet") {
+    return "micro_mobilenet:in=" + in + ",base=10,expansion=4" + cls;
+  }
+  if (name == "mini_vgg") return "mini_vgg:in=" + in + ",base=16" + cls;
   throw Error("unknown model name: " + name);
+}
+
+std::shared_ptr<Module> make_model(const std::string& name, std::int64_t input_dim,
+                                   std::int64_t classes, Rng& rng) {
+  return make_model_from_spec(canonical_model_spec(name, input_dim, classes), rng);
 }
 
 }  // namespace hero::nn

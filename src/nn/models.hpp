@@ -2,11 +2,28 @@
 // paper (ResNet20, MobileNetV2, VGG19BN, ResNet18), preserving each family's
 // defining topology (residual shortcuts, inverted bottlenecks with depthwise
 // convolutions, plain conv-conv-pool stacks with BN).
+//
+// Architectures are addressable by spec string through the ModelRegistry
+// (shared common/spec grammar — "name:key=value,..."):
+//
+//   "mlp:dims=2|32|32,classes=4"                     widths incl. input, '|'-separated
+//   "micro_resnet:in=3,base=6,blocks=1,classes=13"
+//   "micro_mobilenet:in=3,base=10,expansion=4,classes=13"
+//   "mini_vgg:in=3,base=16,classes=13"
+//
+// make_model_from_spec(spec) rebuilds the exact architecture the spec names,
+// and canonical_model_spec() produces the spec for each make_model shorthand
+// — the round-trip deployment artifacts (src/deploy) rely on: a saved spec
+// string reconstructs a model whose state_dict names and shapes match the
+// original bit for bit.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
+#include "common/spec.hpp"
 #include "nn/blocks.hpp"
 
 namespace hero::nn {
@@ -36,7 +53,57 @@ std::shared_ptr<Module> mini_vgg(std::int64_t in_channels, std::int64_t base_wid
 /// Builds a model by registry name: "mlp" (for 2-D point datasets),
 /// "micro_resnet" | "micro_mobilenet" | "mini_vgg" (for image datasets).
 /// `input_dim` is the feature count for mlp and channel count otherwise.
+/// Shorthand for make_model_from_spec(canonical_model_spec(...)).
 std::shared_ptr<Module> make_model(const std::string& name, std::int64_t input_dim,
                                    std::int64_t classes, Rng& rng);
+
+/// Architecture factories keyed by family name, configured by spec strings.
+/// Mirrors the method/quantizer/planner registries (one shared grammar, typo
+///-hostile key validation) so `--list` can enumerate every buildable model.
+class ModelRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Module>(const SpecConfig&, Rng&)>;
+
+  /// The process-wide registry, pre-populated with the built-in families.
+  static ModelRegistry& instance();
+
+  /// Registers a factory under `name`. Throws on duplicate names. create()
+  /// rejects config keys outside `accepted_keys` before invoking the
+  /// factory. `description` is the one-line blurb listings print.
+  void add(const std::string& name, Factory factory,
+           const std::vector<std::string>& accepted_keys, const std::string& description);
+
+  /// Builds a model by family name. Throws hero::Error listing the
+  /// registered names when `name` is unknown, or the accepted keys when
+  /// `config` contains one the family does not take.
+  std::shared_ptr<Module> create(const std::string& name, const SpecConfig& config,
+                                 Rng& rng) const;
+
+  bool contains(const std::string& name) const;
+  /// Canonical registered names, sorted.
+  std::vector<std::string> names() const;
+  std::string describe(const std::string& name) const;
+  std::vector<std::string> accepted_keys(const std::string& name) const;
+
+ private:
+  ModelRegistry() = default;
+  struct Entry {
+    Factory factory;
+    std::vector<std::string> accepted_keys;
+    std::string description;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Builds a model from an architecture spec ("mlp:dims=2|32|32,classes=4").
+/// The spec fully determines the architecture, so a spec saved into a
+/// deployment artifact reconstructs the same state_dict names and shapes in
+/// a fresh process.
+std::shared_ptr<Module> make_model_from_spec(const std::string& spec, Rng& rng);
+
+/// The full architecture spec behind a make_model shorthand:
+/// ("micro_resnet_wide", 3, 13) → "micro_resnet:in=3,base=10,blocks=2,classes=13".
+std::string canonical_model_spec(const std::string& name, std::int64_t input_dim,
+                                 std::int64_t classes);
 
 }  // namespace hero::nn

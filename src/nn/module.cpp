@@ -25,6 +25,20 @@ void Module::collect_parameters(std::vector<Parameter*>& out) {
   for (auto& [name, child] : children_) child->collect_parameters(out);
 }
 
+std::vector<std::pair<std::string, Parameter*>> Module::named_parameters() {
+  std::vector<std::pair<std::string, Parameter*>> out;
+  collect_named_parameters("", out);
+  return out;
+}
+
+void Module::collect_named_parameters(const std::string& prefix,
+                                      std::vector<std::pair<std::string, Parameter*>>& out) {
+  for (auto& p : params_) out.emplace_back(prefix + p->name, p.get());
+  for (auto& [name, child] : children_) {
+    child->collect_named_parameters(prefix + name + ".", out);
+  }
+}
+
 std::vector<NamedTensor> Module::state_dict() const {
   std::vector<NamedTensor> out;
   collect_state("", out);

@@ -49,6 +49,12 @@ class Module {
   /// Parameters with is_weight set (the tensors HERO perturbs / quant rounds).
   std::vector<Parameter*> weight_parameters();
 
+  /// (state_dict path, parameter) pairs in parameters() order — the names
+  /// match state_dict() exactly, so deployment artifacts can key packed
+  /// weights by path ("block1.conv.weight") and round-trip through
+  /// load_state_dict.
+  std::vector<std::pair<std::string, Parameter*>> named_parameters();
+
   /// Flattened name -> tensor snapshot including buffers ("block1.bn.gamma").
   std::vector<NamedTensor> state_dict() const;
   /// Restores parameters and buffers from a state_dict snapshot; names and
@@ -80,6 +86,8 @@ class Module {
 
  private:
   void collect_parameters(std::vector<Parameter*>& out);
+  void collect_named_parameters(const std::string& prefix,
+                                std::vector<std::pair<std::string, Parameter*>>& out);
   void collect_state(const std::string& prefix, std::vector<NamedTensor>& out) const;
   void apply_state(const std::string& prefix,
                    const std::vector<NamedTensor>& state);

@@ -80,6 +80,15 @@ bool MethodRegistry::accepts_key(const std::string& name, const std::string& key
   return std::find(keys.begin(), keys.end(), key) != keys.end();
 }
 
+std::vector<std::string> MethodRegistry::accepted_keys(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown training method '" + name + "' (registered: " + join_names(names()) +
+                ")");
+  }
+  return it->second.accepted_keys;
+}
+
 std::vector<std::string> MethodRegistry::names() const {
   std::vector<std::string> out;
   for (const auto& [name, entry] : entries_) {

@@ -83,6 +83,10 @@ class MethodRegistry {
   /// they apply, without hard-coding method names.
   bool accepts_key(const std::string& name, const std::string& key) const;
 
+  /// The config keys the (possibly aliased) method accepts — for listings
+  /// and generic --help output. Throws on unknown names.
+  std::vector<std::string> accepted_keys(const std::string& name) const;
+
   /// Canonical (non-alias) registered names, sorted.
   std::vector<std::string> names() const;
 

@@ -1,0 +1,159 @@
+#include "quant/encoding.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace hero::quant {
+
+namespace {
+
+/// Target elements per parallel_for chunk when partitioning decode groups;
+/// like the quantizer's, boundaries are a pure function of the tensor shape.
+constexpr std::int64_t kDecodeGrainElems = 4096;
+
+std::size_t packed_byte_count(std::int64_t count, int bits) {
+  return static_cast<std::size_t>((count * bits + 7) / 8);
+}
+
+/// Reconstructs one strided run sharing a (scale, zero_point) group. The
+/// arithmetic mirrors quantize_run (quant/quantizer.cpp) expression for
+/// expression, which is what makes decode(encode(w)) bit-identical to
+/// quantize(w):
+///   symmetric:  out = (code - zp) * scale        (zp = half_levels)
+///   asymmetric: out = (float)(zp * Δd + code * Δd) in double, Δd = (double)scale
+///   constant:   zp = 0, scale = c, code = 1 → 1 * c == c under both formulas
+void decode_run(const std::uint32_t* codes, float* dst, std::int64_t count,
+                std::int64_t stride, Scheme scheme, float scale,
+                std::int64_t zp) noexcept {
+  if (scheme == Scheme::kSymmetric) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      const float q =
+          static_cast<float>(static_cast<std::int64_t>(codes[i * stride]) - zp);
+      dst[i * stride] = q * scale;
+    }
+    return;
+  }
+  const double delta_d = static_cast<double>(scale);
+  const double anchor = static_cast<double>(zp) * delta_d;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double q = static_cast<double>(codes[i * stride]);
+    dst[i * stride] = static_cast<float>(anchor + q * delta_d);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> pack_codes(const std::vector<std::uint32_t>& codes, int bits) {
+  HERO_CHECK_MSG(bits >= 1 && bits <= 32, "pack_codes bits must be in [1, 32], got " << bits);
+  const std::uint64_t limit = 1ULL << bits;
+  std::vector<std::uint8_t> out(packed_byte_count(static_cast<std::int64_t>(codes.size()), bits),
+                                0);
+  std::uint64_t acc = 0;  // pending bits, LSB-first
+  int acc_bits = 0;
+  std::size_t byte = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    HERO_CHECK_MSG(static_cast<std::uint64_t>(codes[i]) < limit,
+                   "pack_codes: code " << codes[i] << " at index " << i << " does not fit in "
+                                       << bits << " bits");
+    acc |= static_cast<std::uint64_t>(codes[i]) << acc_bits;
+    acc_bits += bits;
+    while (acc_bits >= 8) {
+      out[byte++] = static_cast<std::uint8_t>(acc & 0xffu);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out[byte++] = static_cast<std::uint8_t>(acc & 0xffu);
+  return out;
+}
+
+std::vector<std::uint32_t> unpack_codes(const std::vector<std::uint8_t>& packed, int bits,
+                                        std::int64_t count) {
+  HERO_CHECK_MSG(bits >= 1 && bits <= 32, "unpack_codes bits must be in [1, 32], got " << bits);
+  HERO_CHECK_MSG(count >= 0, "unpack_codes count must be non-negative, got " << count);
+  HERO_CHECK_MSG(packed.size() >= packed_byte_count(count, bits),
+                 "unpack_codes: " << packed.size() << " packed bytes cannot hold " << count
+                                  << " codes of " << bits << " bits");
+  const std::uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(count));
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  std::size_t byte = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    while (acc_bits < bits) {
+      acc |= static_cast<std::uint64_t>(packed[byte++]) << acc_bits;
+      acc_bits += 8;
+    }
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(acc & mask);
+    acc >>= bits;
+    acc_bits -= bits;
+  }
+  return out;
+}
+
+Tensor decode(const QuantizedTensor& q) {
+  HERO_CHECK_MSG(q.bits >= 1 && q.bits <= 16,
+                 "QuantizedTensor bits must be in [1, 16], got " << q.bits);
+  HERO_CHECK_MSG(q.code_bits >= 1 && q.code_bits <= 32,
+                 "QuantizedTensor code_bits must be in [1, 32], got " << q.code_bits);
+  for (const std::int64_t d : q.shape) {
+    HERO_CHECK_MSG(d >= 0, "QuantizedTensor has a negative extent " << d);
+  }
+  HERO_CHECK_MSG(q.scales.size() == q.zero_points.size(),
+                 "QuantizedTensor group mismatch: " << q.scales.size() << " scales vs "
+                                                    << q.zero_points.size() << " zero points");
+  const std::int64_t numel = q.numel();
+  const std::int64_t groups = q.groups();
+  const std::vector<std::uint32_t> codes = unpack_codes(q.packed, q.code_bits, numel);
+
+  Tensor out(q.shape);
+  if (q.axis < 0) {
+    HERO_CHECK_MSG(groups == 1, "per-tensor QuantizedTensor must have exactly one group, got "
+                                    << groups);
+    decode_run(codes.data(), out.data(), numel, 1, q.scheme, q.scales[0], q.zero_points[0]);
+    return out;
+  }
+
+  HERO_CHECK_MSG(q.axis == 0 || q.axis == 1,
+                 "QuantizedTensor channel axis must be 0 or 1, got " << q.axis);
+  HERO_CHECK_MSG(q.axis < static_cast<std::int64_t>(q.shape.size()),
+                 "QuantizedTensor channel axis " << q.axis << " out of range for shape "
+                                                 << shape_to_string(q.shape));
+  const std::int64_t channels = q.shape[static_cast<std::size_t>(q.axis)];
+  HERO_CHECK_MSG(groups == channels, "QuantizedTensor has " << groups << " groups but axis "
+                                                            << q.axis << " holds " << channels
+                                                            << " channels");
+  if (q.axis == 0) {
+    // Channels are contiguous slabs.
+    const std::int64_t slab = channels == 0 ? 0 : numel / channels;
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kDecodeGrainElems / std::max<std::int64_t>(1, slab));
+    runtime::parallel_for(0, channels, grain, [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t c = c0; c < c1; ++c) {
+        decode_run(codes.data() + c * slab, out.data() + c * slab, slab, 1, q.scheme,
+                   q.scales[static_cast<std::size_t>(c)],
+                   q.zero_points[static_cast<std::size_t>(c)]);
+      }
+    });
+  } else {
+    // Linear [in, out]: each output column is a strided run (stride = cols).
+    HERO_CHECK_MSG(q.shape.size() == 2, "axis-1 QuantizedTensor must be 2-D, got shape "
+                                            << shape_to_string(q.shape));
+    const std::int64_t rows = q.shape[0];
+    const std::int64_t cols = q.shape[1];
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kDecodeGrainElems / std::max<std::int64_t>(1, rows));
+    runtime::parallel_for(0, cols, grain, [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t c = c0; c < c1; ++c) {
+        decode_run(codes.data() + c, out.data() + c, rows, cols, q.scheme,
+                   q.scales[static_cast<std::size_t>(c)],
+                   q.zero_points[static_cast<std::size_t>(c)]);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace hero::quant

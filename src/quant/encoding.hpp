@@ -1,0 +1,88 @@
+// Integer weight encodings: the deployable form of a quantized tensor.
+//
+// Quantizer::quantize (quant/quantizer.hpp) is *fake* quantization — it
+// rounds onto the low-bit grid but hands back float32, so nothing gets
+// smaller. This header is the real thing: encode() (on the Quantizer)
+// produces a QuantizedTensor holding raw integer codes plus the per-group
+// scale/zero-point metadata needed to reconstruct the grid, and decode()
+// maps it back to float32. The contract that makes artifacts trustworthy:
+//
+//   decode(quantizer.encode(w, bits)) is BIT-IDENTICAL to
+//   quantizer.quantize(w, bits)
+//
+// for every scheme, granularity, and bit width — so evaluating a reloaded
+// deployment artifact gives exactly the accuracy the fake-quant sweep
+// promised (pinned by tests/deploy/encoding_test.cpp).
+//
+// Codes are stored bit-packed (pack_codes / unpack_codes): b-bit weights
+// really cost b bits each, LSB-first in a little-endian bitstream. The only
+// widening is symmetric 1-bit, whose grid {-max|w|, 0, +max|w|} has three
+// points and therefore packs at code_bits = 2.
+//
+// Per-group layout (groups = quantization granularity):
+//   per-tensor:            one group covering the flat tensor
+//   per-channel, conv:     one group per dim-0 slab [out, in*k*k]
+//   per-channel, linear:   one group per dim-1 column (stride = cols)
+// Each group stores one float scale and one integer zero-point. Decoding is
+// parallelized over groups on hero::runtime with shape-only chunk
+// boundaries, so the output is bit-identical at any --threads=N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hero::quant {
+
+enum class Scheme {
+  kSymmetric,   ///< signed grid over [-max|w|, +max|w|]; 0 is a grid point
+  kAsymmetric,  ///< affine grid over [min(w), max(w)], zero-point nudged
+};
+
+enum class Granularity {
+  kPerTensor,   ///< one scale for the whole tensor
+  kPerChannel,  ///< one scale per output channel (conv dim 0 / linear dim 1)
+};
+
+/// Packs `codes` (each < 2^bits) at `bits` bits per value, LSB-first into a
+/// little-endian byte stream of ceil(codes.size() * bits / 8) bytes. Throws
+/// hero::Error on bits outside [1, 32] or a code that does not fit.
+std::vector<std::uint8_t> pack_codes(const std::vector<std::uint32_t>& codes, int bits);
+
+/// Inverse of pack_codes: extracts `count` bit-packed values. Throws
+/// hero::Error when `packed` is smaller than ceil(count * bits / 8) bytes.
+std::vector<std::uint32_t> unpack_codes(const std::vector<std::uint8_t>& packed, int bits,
+                                        std::int64_t count);
+
+/// A tensor in deployable integer form: bit-packed codes + per-group grid
+/// metadata. Self-describing — decode() needs nothing but this struct.
+struct QuantizedTensor {
+  Scheme scheme = Scheme::kSymmetric;
+  Shape shape;
+  int bits = 8;       ///< nominal precision of the grid
+  int code_bits = 8;  ///< storage bits per code (== bits except sym 1-bit → 2)
+  /// Channel axis for per-channel grids (0 conv slabs / 1 linear columns);
+  /// -1 means one per-tensor group.
+  std::int64_t axis = -1;
+  std::vector<float> scales;              ///< one grid step per group
+  std::vector<std::int64_t> zero_points;  ///< one grid offset per group
+  std::vector<std::uint8_t> packed;       ///< numel codes, code_bits each
+
+  std::int64_t numel() const { return shape_numel(shape); }
+  std::int64_t groups() const { return static_cast<std::int64_t>(scales.size()); }
+  /// Serialized payload cost: packed codes + per-group metadata (the number
+  /// compression ratios are computed from).
+  std::size_t payload_bytes() const {
+    return packed.size() + scales.size() * sizeof(float) +
+           zero_points.size() * sizeof(std::int64_t);
+  }
+};
+
+/// Reconstructs the float32 tensor a QuantizedTensor encodes — bit-identical
+/// to the fake-quant Quantizer::quantize output the codes were derived from,
+/// at any thread count. Throws hero::Error on inconsistent metadata
+/// (group/axis/shape mismatch, short code payload).
+Tensor decode(const QuantizedTensor& q);
+
+}  // namespace hero::quant

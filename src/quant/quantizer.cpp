@@ -40,8 +40,11 @@ float quantize_run(const float* src, float* dst, std::int64_t count, std::int64_
     return 0.0f;
   }
   if (lo == hi) {
-    // Constant tensor: representable exactly under either scheme.
-    for (std::int64_t i = 0; i < count; ++i) dst[i * stride] = src[i * stride];
+    // Constant tensor: representable exactly under either scheme. "+ 0.0f"
+    // canonicalizes -0.0 elements to +0.0 (identity otherwise) so the
+    // integer encoding, whose single per-run code cannot carry individual
+    // zero signs, decodes bit-identically.
+    for (std::int64_t i = 0; i < count; ++i) dst[i * stride] = src[i * stride] + 0.0f;
     return 0.0f;
   }
   if (scheme == Scheme::kSymmetric) {
@@ -63,7 +66,10 @@ float quantize_run(const float* src, float* dst, std::int64_t count, std::int64_
     for (std::int64_t i = 0; i < count; ++i) {
       float q = std::round(src[i * stride] / delta);
       q = std::min(std::max(q, -half_levels), half_levels);  // clamp to ±max|w|
-      dst[i * stride] = q * delta;
+      // "+ 0.0f" canonicalizes q = -0.0 (tiny negative inputs) to +0.0 — the
+      // identity for every other value — so the integer encoding, which
+      // cannot carry a zero's sign bit, decodes bit-identically.
+      dst[i * stride] = q * delta + 0.0f;
     }
     return delta;
   }
@@ -84,7 +90,10 @@ float quantize_run(const float* src, float* dst, std::int64_t count, std::int64_
   for (std::int64_t i = 0; i < count; ++i) {
     double q = std::round((static_cast<double>(src[i * stride]) - anchor) / delta_d);
     q = std::min(std::max(q, 0.0), static_cast<double>(levels));
-    dst[i * stride] = static_cast<float>(anchor + q * delta_d);
+    // "+ 0.0" canonicalizes the anchor = q = -0.0 corner (lo within half a
+    // bin of zero, tiny negative input) to +0.0, matching the integer
+    // encoding, which cannot carry a zero's sign bit. Identity otherwise.
+    dst[i * stride] = static_cast<float>(anchor + q * delta_d + 0.0);
   }
   return delta;
 }
@@ -92,6 +101,89 @@ float quantize_run(const float* src, float* dst, std::int64_t count, std::int64_
 /// Output-channel axis for per-channel quantization: conv weights
 /// [out, in, k, k] use dim 0; linear weights [in, out] use dim 1.
 std::int64_t channel_axis(const Tensor& w) { return w.ndim() == 2 ? 1 : 0; }
+
+/// Integer twin of quantize_run: emits the grid *codes* instead of the
+/// dequantized floats, plus the (scale, zero_point) pair decode_run
+/// (quant/encoding.cpp) needs to reproduce quantize_run's output bit for
+/// bit. Every grid computation below is copied from quantize_run expression
+/// for expression — if one changes, change both (the encoding bit-identity
+/// tests pin the pairing).
+///
+/// Code conventions (all codes are unsigned, ready for bit-packing):
+///   symmetric:  code = q + half_levels, zp = half_levels, scale = Δ
+///   sym 1-bit:  code = sign + 1 ∈ {0,1,2}, zp = 1, scale = max|w| (3 grid
+///               points → needs code_bits = 2)
+///   asymmetric: code = q ∈ [0, 2^bits − 1], zp = round(lo/Δ), scale = Δ
+///   constant:   code = 1, zp = 0, scale = c (decodes to 1·c == c exactly
+///               under both schemes' decode formulas)
+void encode_run(const float* src, std::uint32_t* codes, std::int64_t count,
+                std::int64_t stride, int bits, Scheme scheme, float* scale,
+                std::int64_t* zero_point, bool* bad) noexcept {
+  float lo = src[0];
+  float hi = src[0];
+  bool finite = true;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const float v = src[i * stride];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    finite &= std::isfinite(v);
+  }
+  if (!finite) {
+    *bad = true;
+    *scale = 0.0f;
+    *zero_point = 0;
+    return;
+  }
+  if (lo == hi) {
+    for (std::int64_t i = 0; i < count; ++i) codes[i * stride] = 1;
+    *scale = lo + 0.0f;  // canonicalize a -0.0 constant, matching quantize_run
+    *zero_point = 0;
+    return;
+  }
+  if (scheme == Scheme::kSymmetric) {
+    const float max_abs = std::max(std::fabs(lo), std::fabs(hi));
+    const auto half_levels = static_cast<float>((1LL << (bits - 1)) - 1);
+    if (half_levels == 0.0f) {
+      for (std::int64_t i = 0; i < count; ++i) {
+        const float v = src[i * stride];
+        codes[i * stride] = v > 0.0f ? 2u : (v < 0.0f ? 0u : 1u);
+      }
+      *scale = max_abs;
+      *zero_point = 1;
+      return;
+    }
+    const float delta = max_abs / half_levels;
+    const auto half = static_cast<std::int64_t>(half_levels);
+    for (std::int64_t i = 0; i < count; ++i) {
+      float q = std::round(src[i * stride] / delta);
+      q = std::min(std::max(q, -half_levels), half_levels);
+      codes[i * stride] = static_cast<std::uint32_t>(static_cast<std::int64_t>(q) + half);
+    }
+    *scale = delta;
+    *zero_point = half;
+    return;
+  }
+  const auto levels = static_cast<float>((1LL << bits) - 1);
+  const float delta = (hi - lo) / levels;
+  const double delta_d = static_cast<double>(delta);
+  const double anchor_index = std::round(static_cast<double>(lo) / delta_d);
+  if (!(std::fabs(anchor_index) < 9.0e18)) {
+    // Grid offset beyond int64: the range is absurdly narrow relative to its
+    // magnitude; refuse rather than overflow the zero-point.
+    *bad = true;
+    *scale = 0.0f;
+    *zero_point = 0;
+    return;
+  }
+  const double anchor = anchor_index * delta_d;
+  for (std::int64_t i = 0; i < count; ++i) {
+    double q = std::round((static_cast<double>(src[i * stride]) - anchor) / delta_d);
+    q = std::min(std::max(q, 0.0), static_cast<double>(levels));
+    codes[i * stride] = static_cast<std::uint32_t>(q);
+  }
+  *scale = delta;
+  *zero_point = static_cast<std::int64_t>(anchor_index);
+}
 
 /// The built-in linear uniform quantizer: Scheme x Granularity, spelled
 /// "sym"/"asym" (+ per_channel) in specs.
@@ -103,6 +195,8 @@ class UniformQuantizer : public Quantizer {
   Tensor quantize(const Tensor& w, int bits, QuantStats* stats) const override {
     HERO_CHECK_MSG(bits >= 1 && bits <= 16,
                    "quantization bits must be in [1, 16], got " << bits);
+    HERO_CHECK_MSG(w.numel() > 0, "cannot quantize an empty tensor "
+                                      << shape_to_string(w.shape()));
     Tensor out(w.shape());
     float max_delta = 0.0f;
     bool nonfinite = false;
@@ -167,6 +261,70 @@ class UniformQuantizer : public Quantizer {
     return out;
   }
 
+  QuantizedTensor encode(const Tensor& w, int bits) const override {
+    HERO_CHECK_MSG(bits >= 1 && bits <= 16,
+                   "quantization bits must be in [1, 16], got " << bits);
+    HERO_CHECK_MSG(w.numel() > 0, "cannot integer-encode an empty tensor "
+                                      << shape_to_string(w.shape()));
+    QuantizedTensor out;
+    out.scheme = scheme_;
+    out.shape = w.shape();
+    out.bits = bits;
+    // The symmetric 1-bit grid {-max|w|, 0, +max|w|} has three points.
+    out.code_bits = (scheme_ == Scheme::kSymmetric && bits == 1) ? 2 : bits;
+    std::vector<std::uint32_t> codes(static_cast<std::size_t>(w.numel()));
+    bool bad = false;
+
+    if (!per_channel_ || w.ndim() <= 1) {
+      out.axis = -1;
+      out.scales.resize(1);
+      out.zero_points.resize(1);
+      encode_run(w.data(), codes.data(), w.numel(), 1, bits, scheme_, &out.scales[0],
+                 &out.zero_points[0], &bad);
+    } else {
+      const std::int64_t axis = channel_axis(w);
+      const std::int64_t channels = w.dim(axis);
+      out.axis = axis;
+      out.scales.resize(static_cast<std::size_t>(channels));
+      out.zero_points.resize(static_cast<std::size_t>(channels));
+      std::atomic<bool> bad_any{false};
+      if (axis == 0) {
+        const std::int64_t slab = w.numel() / channels;
+        const std::int64_t grain =
+            std::max<std::int64_t>(1, kChannelGrainElems / std::max<std::int64_t>(1, slab));
+        runtime::parallel_for(0, channels, grain, [&](std::int64_t c0, std::int64_t c1) {
+          bool b = false;
+          for (std::int64_t c = c0; c < c1; ++c) {
+            encode_run(w.data() + c * slab, codes.data() + c * slab, slab, 1, bits, scheme_,
+                       &out.scales[static_cast<std::size_t>(c)],
+                       &out.zero_points[static_cast<std::size_t>(c)], &b);
+          }
+          if (b) bad_any.store(true, std::memory_order_relaxed);
+        });
+      } else {
+        const std::int64_t rows = w.dim(0);
+        const std::int64_t cols = w.dim(1);
+        const std::int64_t grain =
+            std::max<std::int64_t>(1, kChannelGrainElems / std::max<std::int64_t>(1, rows));
+        runtime::parallel_for(0, cols, grain, [&](std::int64_t c0, std::int64_t c1) {
+          bool b = false;
+          for (std::int64_t c = c0; c < c1; ++c) {
+            encode_run(w.data() + c, codes.data() + c, rows, cols, bits, scheme_,
+                       &out.scales[static_cast<std::size_t>(c)],
+                       &out.zero_points[static_cast<std::size_t>(c)], &b);
+          }
+          if (b) bad_any.store(true, std::memory_order_relaxed);
+        });
+      }
+      bad = bad_any.load(std::memory_order_relaxed);
+    }
+    HERO_CHECK_MSG(!bad, "cannot integer-encode " << shape_to_string(w.shape())
+                                                  << ": input contains a non-finite value or "
+                                                     "a grid offset beyond int64 range");
+    out.packed = pack_codes(codes, out.code_bits);
+    return out;
+  }
+
   std::string describe() const override {
     std::string name = scheme_ == Scheme::kSymmetric ? "sym" : "asym";
     return name + (per_channel_ ? "/per-channel" : "/per-tensor");
@@ -194,6 +352,12 @@ HERO_REGISTER_QUANTIZER(
     std::vector<std::string>{"per_channel"}, std::vector<std::string>{"asymmetric"})
 
 }  // namespace
+
+QuantizedTensor Quantizer::encode(const Tensor& /*w*/, int /*bits*/) const {
+  throw Error("quantizer '" + describe() +
+              "' does not support integer encoding; it cannot be exported into a "
+              "deployment artifact");
+}
 
 QuantizerRegistry& QuantizerRegistry::instance() {
   static QuantizerRegistry registry;
@@ -233,6 +397,14 @@ bool QuantizerRegistry::accepts_key(const std::string& name, const std::string& 
   if (it == entries_.end()) return false;
   const auto& keys = it->second.accepted_keys;
   return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+std::vector<std::string> QuantizerRegistry::accepted_keys(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown quantizer '" + name + "' (registered: " + join_names(names()) + ")");
+  }
+  return it->second.accepted_keys;
 }
 
 std::vector<std::string> QuantizerRegistry::names() const {

@@ -17,6 +17,11 @@
 // over hero::runtime::parallel_for with thread-count-independent channel
 // chunks, so results are bit-identical at any --threads=N.
 //
+// For deployment, quantizers also expose encode(): the same grid as
+// quantize(), but returned as raw integer codes + scale/zero-point metadata
+// (quant/encoding.hpp) ready for bit-packing into an HPKG artifact
+// (src/deploy). decode(encode(w, b)) is bit-identical to quantize(w, b).
+//
 // A QuantPlan lifts single-tensor quantizers to whole models: one
 // LayerQuantSpec (quantizer + bits) per is_weight parameter, in
 // Module::weight_parameters() order. Plans come from the planners in
@@ -34,19 +39,10 @@
 
 #include "common/spec.hpp"
 #include "nn/module.hpp"
+#include "quant/encoding.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hero::quant {
-
-enum class Scheme {
-  kSymmetric,   ///< signed grid over [-max|w|, +max|w|]; 0 is a grid point
-  kAsymmetric,  ///< affine grid over [min(w), max(w)], zero-point nudged
-};
-
-enum class Granularity {
-  kPerTensor,   ///< one scale for the whole tensor
-  kPerChannel,  ///< one scale per output channel (conv dim 0 / linear dim 1)
-};
 
 /// Error statistics of one quantization round trip.
 struct QuantStats {
@@ -65,6 +61,14 @@ class Quantizer {
   /// deployed-weight value). Throws hero::Error on bits outside [1, 16] or
   /// non-finite inputs; fills `stats` (if non-null) with round-trip error.
   virtual Tensor quantize(const Tensor& w, int bits, QuantStats* stats = nullptr) const = 0;
+
+  /// Integer-encodes `w` for deployment: raw codes + per-group scale and
+  /// zero-point (quant/encoding.hpp), with decode(encode(w, bits))
+  /// bit-identical to quantize(w, bits). The default implementation throws
+  /// hero::Error — a quantizer without an integer form (e.g. a future
+  /// codebook rule) still works for fake-quant sweeps but cannot be exported
+  /// into a deployment artifact.
+  virtual QuantizedTensor encode(const Tensor& w, int bits) const;
 
   /// Short label for reports, e.g. "sym/per-channel".
   virtual std::string describe() const = 0;
@@ -93,6 +97,10 @@ class QuantizerRegistry {
 
   bool contains(const std::string& name) const;
   bool accepts_key(const std::string& name, const std::string& key) const;
+
+  /// The config keys the (possibly aliased) quantizer accepts — for
+  /// listings and generic --help output. Throws on unknown names.
+  std::vector<std::string> accepted_keys(const std::string& name) const;
 
   /// Canonical (non-alias) registered names, sorted.
   std::vector<std::string> names() const;

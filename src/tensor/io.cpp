@@ -1,5 +1,6 @@
 #include "tensor/io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -14,33 +15,57 @@ namespace {
 constexpr char kMagic[4] = {'H', 'T', 'S', 'R'};
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+using io::read_pod;
+using io::write_pod;
+
+}  // namespace
+
+std::int64_t stream_remaining_bytes(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !in.good()) return -1;
+  return static_cast<std::int64_t>(end - pos);
 }
 
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  HERO_CHECK_MSG(in.good(), "tensor stream truncated");
-  return value;
+Shape read_checked_shape(std::istream& in, const std::string& what) {
+  const auto rank = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(rank <= 8, "implausible " << what << " rank " << rank);
+  Shape shape(rank);
+  std::int64_t numel = 1;
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(in);
+    HERO_CHECK_MSG(d >= 0, "serialized " << what << " has a negative extent " << d);
+    // Overflow-safe product check BEFORE anything allocates: a corrupt
+    // header must not turn into a multi-terabyte (or wrapped-negative)
+    // buffer.
+    HERO_CHECK_MSG(d == 0 || numel <= kMaxTensorElems / d,
+                   "serialized " << what << " extents " << shape_to_string(shape)
+                                 << " overflow the element cap");
+    numel *= d;
+  }
+  return shape;
 }
 
 void write_string(std::ostream& out, const std::string& s) {
+  HERO_CHECK_MSG(s.size() <= kMaxStringLen,
+                 "refusing to serialize a string of " << s.size() << " bytes (cap "
+                                                      << kMaxStringLen << ")");
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string read_string(std::istream& in) {
+std::string read_string(std::istream& in, std::uint32_t max_len) {
   const auto n = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(n <= max_len, "serialized string length " << n << " exceeds the " << max_len
+                                                           << "-byte cap (corrupt stream?)");
   std::string s(n, '\0');
   in.read(s.data(), n);
   HERO_CHECK_MSG(in.good(), "tensor stream truncated in string");
   return s;
 }
-
-}  // namespace
 
 void save_tensor(std::ostream& out, const Tensor& t) {
   out.write(kMagic, sizeof(kMagic));
@@ -58,10 +83,16 @@ Tensor load_tensor(std::istream& in) {
   HERO_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0, "bad tensor magic");
   const auto version = read_pod<std::uint32_t>(in);
   HERO_CHECK_MSG(version == kVersion, "unsupported tensor version " << version);
-  const auto rank = read_pod<std::uint32_t>(in);
-  HERO_CHECK_MSG(rank <= 8, "implausible tensor rank " << rank);
-  Shape shape(rank);
-  for (auto& d : shape) d = read_pod<std::int64_t>(in);
+  const Shape shape = read_checked_shape(in, "tensor");
+  const std::int64_t numel = shape_numel(shape);
+  // A declared payload must fit in the bytes the stream actually has —
+  // otherwise a 60-byte hostile header could make Tensor allocate gigabytes
+  // only to fail on the read.
+  const std::int64_t remaining = stream_remaining_bytes(in);
+  HERO_CHECK_MSG(remaining < 0 ||
+                     numel <= remaining / static_cast<std::int64_t>(sizeof(float)),
+                 "serialized tensor declares " << numel << " floats but only " << remaining
+                                               << " bytes remain in the stream");
   Tensor t(shape);
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
@@ -84,7 +115,9 @@ std::vector<NamedTensor> load_tensors(const std::string& path) {
   HERO_CHECK_MSG(in.good(), "cannot open checkpoint for reading: " << path);
   const auto count = read_pod<std::uint32_t>(in);
   std::vector<NamedTensor> tensors;
-  tensors.reserve(count);
+  // Cap the reserve: a corrupt count must not pre-allocate gigabytes. The
+  // loop still reads `count` entries and fails on the first truncation.
+  tensors.reserve(std::min<std::uint32_t>(count, 4096));
   for (std::uint32_t i = 0; i < count; ++i) {
     NamedTensor nt;
     nt.name = read_string(in);

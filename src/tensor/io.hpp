@@ -2,18 +2,72 @@
 //
 // Format: "HTSR" magic, u32 version, u32 rank, i64 extents, then float32
 // payload, little-endian. Checkpoints store a sequence of named tensors.
+//
+// Loaders are hardened against hostile or corrupt files: negative extents,
+// extent products that overflow int64 (or exceed the kMaxTensorElems sanity
+// cap), and string lengths beyond kMaxStringLen are all rejected with
+// hero::Error before any allocation happens — a truncated or bit-flipped
+// checkpoint fails loudly instead of requesting a multi-terabyte buffer.
 #pragma once
 
-#include <iosfwd>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hero {
 
+/// Upper bound on a single serialized tensor's element count (2^40 elems =
+/// 4 TiB of float32 — far beyond anything this repo produces, small enough
+/// to reject absurd extents from corrupt headers).
+inline constexpr std::int64_t kMaxTensorElems = 1LL << 40;
+
+/// Upper bound on a serialized string's length (tensor names, model specs).
+inline constexpr std::uint32_t kMaxStringLen = 1u << 20;
+
 void save_tensor(std::ostream& out, const Tensor& t);
 Tensor load_tensor(std::istream& in);
+
+/// Length-prefixed string primitives shared by the checkpoint and deployment
+/// artifact formats: u32 length + raw bytes. read_string rejects lengths
+/// beyond `max_len` before allocating.
+void write_string(std::ostream& out, const std::string& s);
+std::string read_string(std::istream& in, std::uint32_t max_len = kMaxStringLen);
+
+/// Little-endian POD primitives shared by every hero binary format
+/// (checkpoints here, HPKG artifacts in src/deploy) — one definition, so the
+/// truncation handling never drifts between serializers.
+namespace io {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  HERO_CHECK_MSG(in.good(), "binary stream truncated");
+  return value;
+}
+
+}  // namespace io
+
+/// Bytes between the current read position and EOF when the stream is
+/// seekable (files, stringstreams); -1 when the size cannot be determined.
+/// Loaders use this to reject declared payloads larger than the stream
+/// BEFORE allocating — a tiny hostile file cannot request gigabytes.
+std::int64_t stream_remaining_bytes(std::istream& in);
+
+/// Reads u32 rank (≤ 8) + i64 extents, rejecting negative extents and
+/// products beyond kMaxTensorElems before anything is allocated. `what`
+/// names the consumer in error messages.
+Shape read_checked_shape(std::istream& in, const std::string& what);
 
 /// Named tensor collection, the checkpoint unit for models/optimizers.
 struct NamedTensor {

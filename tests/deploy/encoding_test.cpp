@@ -1,0 +1,191 @@
+// Integer-encoding contract tests: pack/unpack round trips at every bit
+// width (with odd lengths exercising the tail byte), and the deployment
+// keystone — decode(encode(w, bits)) bit-identical to the fake-quant
+// quantize(w, bits) for every scheme, granularity, and bit width.
+#include "quant/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "quant/quantizer.hpp"
+#include "support/thread_budget_guard.hpp"
+
+namespace hero::quant {
+namespace {
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(PackCodes, ExhaustiveRoundTripBits1To8OddLengths) {
+  Rng rng(11);
+  for (int bits = 1; bits <= 8; ++bits) {
+    const std::uint32_t limit = 1u << bits;
+    // Odd lengths make the final byte partially filled — the tail-handling
+    // case a stride-8 length never hits.
+    for (const std::int64_t len : {1, 3, 7, 13, 31, 63, 64, 65, 257}) {
+      std::vector<std::uint32_t> codes(static_cast<std::size_t>(len));
+      for (auto& c : codes) c = rng.next_below(limit);
+      const std::vector<std::uint8_t> packed = pack_codes(codes, bits);
+      EXPECT_EQ(packed.size(), static_cast<std::size_t>((len * bits + 7) / 8))
+          << "bits=" << bits << " len=" << len;
+      EXPECT_EQ(unpack_codes(packed, bits, len), codes) << "bits=" << bits << " len=" << len;
+    }
+  }
+}
+
+TEST(PackCodes, EveryCodeValueSurvivesEveryBitWidth) {
+  for (int bits = 1; bits <= 8; ++bits) {
+    const std::uint32_t limit = 1u << bits;
+    std::vector<std::uint32_t> codes;
+    for (std::uint32_t v = 0; v < limit; ++v) codes.push_back(v);
+    EXPECT_EQ(unpack_codes(pack_codes(codes, bits), bits,
+                           static_cast<std::int64_t>(codes.size())),
+              codes)
+        << "bits=" << bits;
+  }
+}
+
+TEST(PackCodes, RejectsOversizedCodeAndShortBuffer) {
+  EXPECT_THROW(pack_codes({4u}, 2), Error);   // 4 needs 3 bits
+  EXPECT_THROW(pack_codes({1u}, 0), Error);   // bits out of range
+  EXPECT_THROW(unpack_codes({0xff}, 4, 3), Error);  // 3 nibbles need 2 bytes
+}
+
+TEST(PackCodes, FourBitWeightsReallyCostFourBits) {
+  std::vector<std::uint32_t> codes(1000, 9u);
+  EXPECT_EQ(pack_codes(codes, 4).size(), 500u);
+}
+
+/// Shapes covering per-tensor, conv-slab (axis 0) and linear-column (axis 1)
+/// granularities, plus rank-1 (per-channel falls back to per-tensor).
+const Shape kShapes[] = {{37}, {6, 9}, {4, 3, 3, 3}, {5, 1}, {1, 8}};
+
+TEST(Encoding, DecodeEncodeBitIdenticalToFakeQuant) {
+  Rng rng(7);
+  for (const Scheme scheme : {Scheme::kSymmetric, Scheme::kAsymmetric}) {
+    for (const bool per_channel : {false, true}) {
+      const auto q = make_uniform_quantizer(
+          scheme, per_channel ? Granularity::kPerChannel : Granularity::kPerTensor);
+      for (const Shape& shape : kShapes) {
+        for (int bits = 1; bits <= 8; ++bits) {
+          const Tensor w = Tensor::randn(shape, rng);
+          const Tensor fake = q->quantize(w, bits);
+          const QuantizedTensor enc = q->encode(w, bits);
+          EXPECT_EQ(enc.bits, bits);
+          EXPECT_EQ(enc.packed.size(),
+                    static_cast<std::size_t>((w.numel() * enc.code_bits + 7) / 8));
+          EXPECT_TRUE(same_bits(decode(enc), fake))
+              << q->describe() << " bits=" << bits << " shape=" << shape_to_string(shape);
+        }
+      }
+    }
+  }
+}
+
+TEST(Encoding, SymmetricOneBitWidensToTwoCodeBits) {
+  Rng rng(8);
+  const auto q = make_uniform_quantizer(Scheme::kSymmetric, Granularity::kPerTensor);
+  const Tensor w = Tensor::randn({50}, rng);
+  const QuantizedTensor enc = q->encode(w, 1);
+  EXPECT_EQ(enc.code_bits, 2);  // {-max|w|, 0, +max|w|} has three points
+  EXPECT_TRUE(same_bits(decode(enc), q->quantize(w, 1)));
+}
+
+TEST(Encoding, ConstantAndZeroTensorsDecodeExactly) {
+  const auto q = make_uniform_quantizer(Scheme::kAsymmetric, Granularity::kPerTensor);
+  for (const float value : {0.0f, 3.25f, -17.5f}) {
+    const Tensor w = Tensor::full({9}, value);
+    const Tensor back = decode(q->encode(w, 4));
+    EXPECT_TRUE(same_bits(back, w)) << "constant " << value;
+  }
+}
+
+TEST(Encoding, ConstantZeroRunWithNegativeZerosStaysBitIdentical) {
+  // A constant-zero run mixing +0.0 and -0.0: the single per-run code cannot
+  // carry individual zero signs, so quantize canonicalizes them — and
+  // decode(encode(w)) must match it bit for bit, both schemes.
+  Tensor w = Tensor::zeros({6});
+  w.data()[1] = -0.0f;
+  w.data()[4] = -0.0f;
+  Tensor all_negative = Tensor::full({5}, -0.0f);
+  for (const Scheme scheme : {Scheme::kSymmetric, Scheme::kAsymmetric}) {
+    const auto q = make_uniform_quantizer(scheme, Granularity::kPerTensor);
+    for (const Tensor& t : {w, all_negative}) {
+      const Tensor fake = q->quantize(t, 4);
+      EXPECT_TRUE(same_bits(decode(q->encode(t, 4)), fake))
+          << (scheme == Scheme::kSymmetric ? "sym" : "asym");
+    }
+  }
+}
+
+TEST(Encoding, PerChannelMetadataShape) {
+  Rng rng(9);
+  const auto q = make_uniform_quantizer(Scheme::kSymmetric, Granularity::kPerChannel);
+  const QuantizedTensor conv = q->encode(Tensor::randn({4, 3, 3, 3}, rng), 4);
+  EXPECT_EQ(conv.axis, 0);
+  EXPECT_EQ(conv.groups(), 4);
+  const QuantizedTensor lin = q->encode(Tensor::randn({6, 9}, rng), 4);
+  EXPECT_EQ(lin.axis, 1);
+  EXPECT_EQ(lin.groups(), 9);
+}
+
+TEST(Encoding, EncodeRejectsNonFiniteInput) {
+  const auto q = make_uniform_quantizer(Scheme::kSymmetric, Granularity::kPerTensor);
+  Tensor w = Tensor::ones({4});
+  w.data()[2] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(q->encode(w, 4), Error);
+}
+
+TEST(Encoding, ThreadedDecodeBitIdenticalToSerial) {
+  testing_support::ThreadBudgetGuard guard;
+  Rng rng(10);
+  // Big enough that per-channel chunks actually split across threads.
+  const auto q = make_uniform_quantizer(Scheme::kAsymmetric, Granularity::kPerChannel);
+  const Tensor w = Tensor::randn({64, 257}, rng);
+  const QuantizedTensor enc_serial = [&] {
+    runtime::set_num_threads(1);
+    return q->encode(w, 5);
+  }();
+  runtime::set_num_threads(1);
+  const Tensor serial = decode(enc_serial);
+  runtime::set_num_threads(4);
+  const QuantizedTensor enc_threaded = q->encode(w, 5);
+  EXPECT_EQ(enc_threaded.packed, enc_serial.packed);
+  EXPECT_EQ(enc_threaded.scales, enc_serial.scales);
+  EXPECT_EQ(enc_threaded.zero_points, enc_serial.zero_points);
+  const Tensor threaded = decode(enc_serial);
+  EXPECT_TRUE(same_bits(threaded, serial));
+}
+
+TEST(Encoding, DecodeRejectsInconsistentMetadata) {
+  Rng rng(12);
+  const auto q = make_uniform_quantizer(Scheme::kSymmetric, Granularity::kPerChannel);
+  const QuantizedTensor good = q->encode(Tensor::randn({4, 3, 3, 3}, rng), 4);
+
+  QuantizedTensor missing_groups = good;
+  missing_groups.scales.pop_back();
+  missing_groups.zero_points.pop_back();
+  EXPECT_THROW(decode(missing_groups), Error);
+
+  QuantizedTensor short_payload = good;
+  short_payload.packed.resize(short_payload.packed.size() / 2);
+  EXPECT_THROW(decode(short_payload), Error);
+
+  QuantizedTensor bad_axis = good;
+  bad_axis.axis = 2;
+  EXPECT_THROW(decode(bad_axis), Error);
+
+  QuantizedTensor negative_extent = good;
+  negative_extent.shape[1] = -3;
+  EXPECT_THROW(decode(negative_extent), Error);
+}
+
+}  // namespace
+}  // namespace hero::quant

@@ -1,0 +1,141 @@
+// InferenceSession tests: autograd-free serving semantics (no graph, eval
+// mode, deterministic), stats accounting, accuracy parity with the
+// fake-quant sweep, and thread-count bit-identity of served logits.
+#include "deploy/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "optim/methods.hpp"
+#include "quant/planner.hpp"
+#include "quant/quantize.hpp"
+#include "support/thread_budget_guard.hpp"
+
+namespace hero::deploy {
+namespace {
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// One exported micro_resnet artifact on a tiny benchmark, shared setup.
+struct Fixture {
+  data::Benchmark bench = data::make_benchmark("c10", 40, 24, 4);
+  std::shared_ptr<nn::Module> model;
+  quant::QuantPlan plan;
+  ModelArtifact artifact;
+
+  Fixture() {
+    Rng rng(2);
+    model = nn::make_model("micro_resnet", bench.spec.channels, bench.train.classes, rng);
+    model->set_training(true);
+    model->forward(ag::Variable::constant(bench.train.features.narrow(0, 0, 8)));
+    model->set_training(false);
+    plan = quant::plan_quantization(*model, "uniform:sym:bits=4");
+    artifact = pack_model(*model, plan,
+                          nn::canonical_model_spec("micro_resnet", bench.spec.channels,
+                                                   bench.train.classes),
+                          "uniform:sym:bits=4");
+  }
+};
+
+TEST(InferenceSession, PredictIsAutogradFreeAndDeterministic) {
+  Fixture fx;
+  InferenceSession session(fx.artifact);
+  EXPECT_TRUE(ag::grad_enabled());  // session must not leak its guard
+  const Tensor a = session.predict(fx.bench.test.features);
+  EXPECT_TRUE(ag::grad_enabled());
+  const Tensor b = session.predict(fx.bench.test.features);
+  EXPECT_TRUE(same_bits(a, b));
+  EXPECT_EQ(a.dim(0), fx.bench.test.size());
+  EXPECT_EQ(a.dim(1), fx.bench.test.classes);
+}
+
+TEST(InferenceSession, LogitsMatchScopedQuantizationBitForBit) {
+  Fixture fx;
+  Tensor expected;
+  {
+    quant::ScopedWeightQuantization scoped(*fx.model, fx.plan);
+    ag::NoGradGuard no_grad;
+    expected = fx.model->forward(ag::Variable::constant(fx.bench.test.features)).value();
+  }
+  InferenceSession session(fx.artifact);
+  EXPECT_TRUE(same_bits(session.predict(fx.bench.test.features), expected));
+}
+
+TEST(InferenceSession, EvaluateMatchesFakeQuantEvaluate) {
+  Fixture fx;
+  double expected;
+  {
+    quant::ScopedWeightQuantization scoped(*fx.model, fx.plan);
+    expected = optim::evaluate(*fx.model, fx.bench.test).accuracy;
+  }
+  InferenceSession session(fx.artifact);
+  const InferenceEval served = session.evaluate(fx.bench.test, /*batch_size=*/7);
+  EXPECT_EQ(served.examples, fx.bench.test.size());
+  EXPECT_NEAR(served.accuracy, expected, 1e-12);
+}
+
+TEST(InferenceSession, StatsAccumulateAcrossPredicts) {
+  Fixture fx;
+  InferenceSession session(fx.artifact);
+  EXPECT_EQ(session.stats().batches, 0);
+  session.predict(fx.bench.test.features.narrow(0, 0, 5));
+  session.predict(fx.bench.test.features.narrow(0, 0, 9));
+  EXPECT_EQ(session.stats().batches, 2);
+  EXPECT_EQ(session.stats().examples, 14);
+  EXPECT_GT(session.stats().total_seconds, 0.0);
+  EXPECT_GT(session.stats().throughput(), 0.0);
+  EXPECT_LE(session.stats().best_batch_seconds, session.stats().last_batch_seconds +
+                                                    session.stats().total_seconds);
+  session.reset_stats();
+  EXPECT_EQ(session.stats().batches, 0);
+  EXPECT_EQ(session.stats().examples, 0);
+}
+
+TEST(InferenceSession, FileAndInMemoryArtifactsServeIdentically) {
+  Fixture fx;
+  const std::string path = testing::TempDir() + "session_roundtrip.hpkg";
+  {
+    std::ofstream out(path, std::ios::binary);
+    save_artifact(out, fx.artifact);
+  }
+  InferenceSession from_file(path);
+  InferenceSession from_memory(fx.artifact);
+  EXPECT_EQ(from_file.model_spec(), from_memory.model_spec());
+  EXPECT_EQ(from_file.plan_label(), "uniform:sym:bits=4");
+  EXPECT_DOUBLE_EQ(from_file.average_bits(), from_memory.average_bits());
+  EXPECT_TRUE(same_bits(from_file.predict(fx.bench.test.features),
+                        from_memory.predict(fx.bench.test.features)));
+  std::remove(path.c_str());
+}
+
+TEST(InferenceSession, ServedLogitsBitIdenticalAcrossThreadCounts) {
+  testing_support::ThreadBudgetGuard guard;
+  Fixture fx;
+  runtime::set_num_threads(1);
+  InferenceSession serial(fx.artifact);
+  const Tensor expected = serial.predict(fx.bench.test.features);
+  runtime::set_num_threads(4);
+  InferenceSession threaded(fx.artifact);
+  EXPECT_TRUE(same_bits(threaded.predict(fx.bench.test.features), expected));
+}
+
+TEST(InferenceSession, RejectsEmptyBatchAndBadBatchSize) {
+  Fixture fx;
+  InferenceSession session(fx.artifact);
+  EXPECT_THROW(session.predict(Tensor::zeros({0, 3, 8, 8})), Error);
+  EXPECT_THROW(session.evaluate(fx.bench.test, 0), Error);
+}
+
+}  // namespace
+}  // namespace hero::deploy

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "autograd/functional.hpp"
 #include "common/check.hpp"
@@ -105,6 +108,103 @@ TEST(Models, ForwardIsFiniteOnRandomInput) {
     for (std::int64_t i = 0; i < y.numel(); ++i) {
       ASSERT_TRUE(std::isfinite(y.value().data()[i])) << name;
     }
+  }
+}
+
+// ---- Model registry + spec round trips -------------------------------------
+
+/// Every make_model shorthand (one per factory in models.hpp).
+const char* kFactoryNames[] = {"mlp", "micro_resnet", "micro_resnet_wide", "micro_mobilenet",
+                               "mini_vgg"};
+
+TEST(ModelRegistry, CanonicalSpecRebuildsIdenticalArchitecture) {
+  for (const char* name : kFactoryNames) {
+    const std::int64_t input_dim = std::string(name) == "mlp" ? 2 : 3;
+    Rng rng_a(21);
+    Rng rng_b(21);
+    auto direct = make_model(name, input_dim, 7, rng_a);
+    auto respelled = make_model_from_spec(canonical_model_spec(name, input_dim, 7), rng_b);
+    const auto sa = direct->state_dict();
+    const auto sb = respelled->state_dict();
+    ASSERT_EQ(sa.size(), sb.size()) << name;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].name, sb[i].name) << name;
+      EXPECT_EQ(sa[i].tensor.shape(), sb[i].tensor.shape()) << name;
+      // Same seed, same construction path — init must match bit for bit.
+      EXPECT_TRUE(allclose(sa[i].tensor, sb[i].tensor, 0.0f, 0.0f)) << name;
+    }
+  }
+}
+
+TEST(ModelRegistry, RejectsUnknownFamilyAndUnknownKeys) {
+  Rng rng(22);
+  EXPECT_THROW(make_model_from_spec("transformer:heads=8", rng), Error);
+  EXPECT_THROW(make_model_from_spec("mlp:dims=2|4,classes=3,dropout=0.5", rng), Error);
+  EXPECT_THROW(make_model_from_spec("mlp:dims=2|banana,classes=3", rng), Error);
+  EXPECT_THROW(make_model_from_spec("micro_resnet:in=0,classes=3", rng), Error);
+  EXPECT_TRUE(ModelRegistry::instance().contains("mini_vgg"));
+  EXPECT_FALSE(ModelRegistry::instance().contains("transformer"));
+  EXPECT_EQ(ModelRegistry::instance().names().size(), 4u);
+  EXPECT_FALSE(ModelRegistry::instance().describe("mlp").empty());
+}
+
+TEST(Models, StateDictFileRoundTripEveryFactory) {
+  // The deployment prerequisite: state_dict → save_tensors → fresh model →
+  // load_state_dict preserves names, shapes, parameters, AND BatchNorm
+  // buffers bit for bit, for every model factory.
+  for (const char* name : kFactoryNames) {
+    const std::int64_t input_dim = std::string(name) == "mlp" ? 2 : 3;
+    Rng rng(31);
+    auto original = make_model(name, input_dim, 5, rng);
+
+    // Move BatchNorm running statistics off their init values so the buffer
+    // half of the round trip is actually exercised.
+    Rng data_rng(32);
+    const Tensor batch = std::string(name) == "mlp" ? Tensor::randn({6, 2}, data_rng)
+                                                    : Tensor::randn({6, 3, 8, 8}, data_rng);
+    original->set_training(true);
+    original->forward(Variable::constant(batch));
+    original->set_training(false);
+
+    const std::string path = testing::TempDir() + std::string("roundtrip_") + name + ".ckpt";
+    save_module(path, *original);
+
+    Rng other_rng(99);  // different init — everything must come from the file
+    auto fresh = make_model(name, input_dim, 5, other_rng);
+    load_module(path, *fresh);
+    fresh->set_training(false);  // match original's eval mode for the forward check
+
+    const auto sa = original->state_dict();
+    const auto sb = fresh->state_dict();
+    ASSERT_EQ(sa.size(), sb.size()) << name;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].name, sb[i].name) << name;
+      ASSERT_EQ(sa[i].tensor.shape(), sb[i].tensor.shape()) << name << " " << sa[i].name;
+      EXPECT_TRUE(allclose(sa[i].tensor, sb[i].tensor, 0.0f, 0.0f))
+          << name << " " << sa[i].name;
+    }
+    // And the reloaded model computes the same eval-mode function.
+    const Variable ya = original->forward(Variable::constant(batch));
+    const Variable yb = fresh->forward(Variable::constant(batch));
+    EXPECT_TRUE(allclose(ya.value(), yb.value(), 0.0f, 0.0f)) << name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Models, NamedParametersMatchStateDictPaths) {
+  Rng rng(33);
+  auto model = make_model("micro_resnet", 3, 5, rng);
+  const auto named = model->named_parameters();
+  const auto params = model->parameters();
+  ASSERT_EQ(named.size(), params.size());
+  const auto state = model->state_dict();
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    EXPECT_EQ(named[i].second, params[i]) << "order must match parameters()";
+    const auto it =
+        std::find_if(state.begin(), state.end(),
+                     [&](const NamedTensor& nt) { return nt.name == named[i].first; });
+    ASSERT_NE(it, state.end()) << named[i].first;
+    EXPECT_EQ(it->tensor.shape(), named[i].second->var.shape());
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -64,6 +65,103 @@ TEST(TensorIo, NamedCheckpointRoundTrip) {
 
 TEST(TensorIo, MissingFileThrows) {
   EXPECT_THROW(load_tensors("/nonexistent/path/x.bin"), Error);
+}
+
+// ---- Hostile/corrupt-file hardening ----------------------------------------
+// A flipped bit in a header must fail loudly BEFORE any allocation, never
+// turn into a multi-terabyte buffer request or a wrapped-negative numel.
+
+namespace hostile {
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Hand-crafts an HTSR tensor header with the given extents (no payload).
+std::stringstream tensor_header(const std::vector<std::int64_t>& extents) {
+  std::stringstream ss;
+  ss.write("HTSR", 4);
+  put<std::uint32_t>(ss, 1);  // version
+  put<std::uint32_t>(ss, static_cast<std::uint32_t>(extents.size()));
+  for (const std::int64_t d : extents) put(ss, d);
+  return ss;
+}
+
+}  // namespace hostile
+
+TEST(TensorIo, RejectsNegativeExtent) {
+  auto ss = hostile::tensor_header({3, -5});
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(TensorIo, RejectsExtentProductOverflow) {
+  // Each extent fits int64 comfortably; the product overflows. The check
+  // must trip before Tensor allocates.
+  auto ss = hostile::tensor_header({1LL << 31, 1LL << 31, 1LL << 31});
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(TensorIo, RejectsAbsurdSingleExtent) {
+  auto ss = hostile::tensor_header({(1LL << 40) + 1});
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(TensorIo, RejectsPayloadLargerThanStream) {
+  // Extents within the element cap, but the declared 4 GiB payload is not in
+  // the (empty) stream: the budget check must trip BEFORE Tensor allocates.
+  auto ss = hostile::tensor_header({1LL << 30});
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(TensorIo, RejectsImplausibleRank) {
+  std::stringstream ss;
+  ss.write("HTSR", 4);
+  hostile::put<std::uint32_t>(ss, 1);
+  hostile::put<std::uint32_t>(ss, 200);  // rank
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(TensorIo, RejectsHugeStringLength) {
+  // A checkpoint whose first name claims ~4 GiB: read_string must reject the
+  // length against kMaxStringLen instead of allocating it.
+  const std::string path = testing::TempDir() + "hostile_ckpt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    hostile::put<std::uint32_t>(out, 1);           // tensor count
+    hostile::put<std::uint32_t>(out, 0xfffffff0u); // name length
+    out.write("boom", 4);
+  }
+  EXPECT_THROW(load_tensors(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, RejectsTruncatedString) {
+  std::stringstream ss;
+  hostile::put<std::uint32_t>(ss, 64);  // claims 64 bytes, provides 3
+  ss.write("abc", 3);
+  EXPECT_THROW(read_string(ss), Error);
+}
+
+TEST(TensorIo, ReadStringHonoursCustomCap) {
+  std::stringstream ss;
+  write_string(ss, "hello");
+  EXPECT_THROW(read_string(ss, 3), Error);
+  std::stringstream ok;
+  write_string(ok, "hello");
+  EXPECT_EQ(read_string(ok, 5), "hello");
+}
+
+TEST(TensorIo, CorruptCountDoesNotPreallocateGigabytes) {
+  // count = u32 max: the loop must fail on the first truncated entry rather
+  // than reserving count * sizeof(NamedTensor) up front.
+  const std::string path = testing::TempDir() + "hostile_count.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    hostile::put<std::uint32_t>(out, 0xffffffffu);
+  }
+  EXPECT_THROW(load_tensors(path), Error);
+  std::remove(path.c_str());
 }
 
 }  // namespace
