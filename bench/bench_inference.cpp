@@ -42,12 +42,6 @@ double time_best(int reps, F&& fn) {
   return best;
 }
 
-bool same_bits(const Tensor& a, const Tensor& b) {
-  return a.shape() == b.shape() &&
-         std::memcmp(a.data(), b.data(),
-                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
-}
-
 struct ArtifactRow {
   std::string label;
   std::string path;
@@ -70,7 +64,8 @@ struct ThroughputRow {
 
 void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
                 const std::vector<ArtifactRow>& artifacts,
-                const std::vector<ThroughputRow>& throughput) {
+                const std::vector<ThroughputRow>& throughput,
+                const hero::deploy::InferenceStats& totals) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -99,7 +94,13 @@ void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
                  r.images_per_s(r.serial_s), r.images_per_s(r.parallel_s),
                  i + 1 < throughput.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"session_latency\": {\"batches\": %lld, \"p50_s\": %.6f, "
+               "\"p95_s\": %.6f, \"p99_s\": %.6f, \"best_s\": %.6f}\n",
+               static_cast<long long>(totals.batches), totals.p50_seconds(),
+               totals.p95_seconds(), totals.p99_seconds(), totals.best_batch_seconds);
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 
@@ -168,7 +169,7 @@ int main(int argc, char** argv) {
     deploy::InferenceSession session(row.path);
     const Tensor served_logits = session.predict(bench.test.features);
     row.served_accuracy = session.evaluate(bench.test).accuracy;
-    row.logits_identical = same_bits(served_logits, ref_logits) &&
+    row.logits_identical = bitwise_equal(served_logits, ref_logits) &&
                            std::fabs(row.served_accuracy - row.inmemory_accuracy) < 1e-9;
     all_identical = all_identical && row.logits_identical;
 
@@ -218,13 +219,18 @@ int main(int argc, char** argv) {
     print_row(cells);
     throughput.push_back(row);
   }
+  const deploy::InferenceStats totals = session.stats();
   std::printf("\nsession totals: %lld batches, %lld examples, %.0f images/s overall\n",
-              static_cast<long long>(session.stats().batches),
-              static_cast<long long>(session.stats().examples),
-              session.stats().throughput());
+              static_cast<long long>(totals.batches),
+              static_cast<long long>(totals.examples), totals.throughput());
+  // Per-batch latency percentiles from the session's deterministic
+  // reservoir — the same numbers bench_serving reports for batched traffic.
+  std::printf("batch latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, best %.3f ms\n",
+              1e3 * totals.p50_seconds(), 1e3 * totals.p95_seconds(),
+              1e3 * totals.p99_seconds(), 1e3 * totals.best_batch_seconds);
 
   const std::string json_path = env.csv_path("inference.json");
-  write_json(json_path, threads, fp32_bytes, artifacts, throughput);
+  write_json(json_path, threads, fp32_bytes, artifacts, throughput, totals);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!all_identical) {

@@ -1,0 +1,137 @@
+// Model-server walkthrough: the serving subsystem end to end (src/serve).
+//
+// A fleet story in one process. Two HPKG artifact variants of one model — a
+// cheap uniform 4-bit export and a Hessian-planned hawq:budget=5 export —
+// are installed into a ModelStore under a byte budget, a Server coalesces
+// concurrent single-example requests into micro-batches, and mid-traffic the
+// 4-bit model is HOT-SWAPPED to the hawq plan without dropping a request:
+// the store hands new acquires the new session while in-flight batches
+// retire on the weights they started with.
+//
+//   ./model_server [--requests=120] [--clients=6] [--workers=2]
+//                  [--max-batch=8] [--max-delay-us=200] [--help]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/listing.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "quant/planner.hpp"
+#include "serve/model_store.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hero;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("model_server: multi-model store + micro-batching server demo.\n\n"
+                  "flags:\n"
+                  "  --requests=N      closed-loop requests per client wave (default 120)\n"
+                  "  --clients=N       concurrent client threads (default 6)\n"
+                  "  --workers=N       scheduler workers (default 2)\n"
+                  "  --max-batch=N     examples coalesced per predict (default 8)\n"
+                  "  --max-delay-us=N  coalescing deadline (default 200)\n"
+                  "  --help            this text\n\n%s",
+                  core::describe_registries().c_str());
+      return 0;
+    }
+  }
+  const Flags flags(argc, argv);
+  const int requests = flags.get_int("requests", 120);
+  const int clients = flags.get_int("clients", 6);
+
+  serve::ServerConfig config;
+  config.workers = flags.get_int("workers", 2);
+  config.max_batch = flags.get_int("max-batch", 8);
+  config.max_delay_us = flags.get_int("max-delay-us", 200);
+
+  // A tiny image model with BN-warmed running stats, packed two ways.
+  const data::Benchmark bench = data::make_benchmark("c10", 128, 96, 11);
+  Rng rng(3);
+  auto model = nn::make_model("micro_resnet", bench.spec.channels,
+                              bench.train.classes, rng);
+  model->set_training(true);
+  model->forward(ag::Variable::constant(bench.train.features.narrow(0, 0, 16)));
+  model->set_training(false);
+  const std::string model_spec =
+      nn::canonical_model_spec("micro_resnet", bench.spec.channels, bench.train.classes);
+
+  quant::PlannerContext ctx;
+  ctx.calib = &bench.train;
+  const quant::QuantPlan u4 = quant::plan_quantization(*model, "uniform:sym:bits=4", ctx);
+  const quant::QuantPlan hawq = quant::plan_quantization(*model, "hawq:budget=5", ctx);
+  const deploy::ModelArtifact artifact_u4 =
+      deploy::pack_model(*model, u4, model_spec, "uniform:sym:bits=4");
+  const deploy::ModelArtifact artifact_hawq =
+      deploy::pack_model(*model, hawq, model_spec, "hawq:budget=5");
+
+  serve::ModelStore store;
+  store.install("edge", artifact_u4);
+  std::printf("store: installed 'edge' (%s, %.2f avg bits, %zu resident bytes)\n",
+              store.stats("edge").plan_label.c_str(), store.stats("edge").average_bits,
+              store.stats("edge").resident_bytes);
+
+  serve::Server server(store, config);
+  std::printf("server: %d workers, max_batch=%lld, max_delay_us=%lld\n\n",
+              config.workers, static_cast<long long>(config.max_batch),
+              static_cast<long long>(config.max_delay_us));
+
+  // Closed-loop clients stream single-example requests; halfway through,
+  // the main thread hot-swaps 'edge' from the 4-bit to the hawq artifact.
+  std::atomic<int> delivered{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int i = c; i < requests; i += clients) {
+        const Tensor x = bench.test.features.narrow(0, i % bench.test.size(), 1);
+        try {
+          const Tensor logits = server.submit("edge", x).get();
+          (void)logits;
+          delivered.fetch_add(1);
+        } catch (const std::exception& e) {
+          failed.fetch_add(1);
+          std::fprintf(stderr, "request %d failed: %s\n", i, e.what());
+        }
+      }
+    });
+  }
+  while (delivered.load() + failed.load() < requests / 2) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  store.install("edge", artifact_hawq);
+  std::printf("hot-swap at ~%d delivered requests: 'edge' now %s (%.2f avg bits)\n",
+              delivered.load(), store.stats("edge").plan_label.c_str(),
+              store.stats("edge").average_bits);
+  for (std::thread& t : client_threads) t.join();
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("\ntraffic: %lld submitted, %lld completed, %lld failed\n",
+              static_cast<long long>(stats.submitted),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.failed));
+  std::printf("batching: %lld predicts for %lld examples (mean batch %.2f rows; "
+              "%lld full, %lld deadline-released)\n",
+              static_cast<long long>(stats.batches),
+              static_cast<long long>(stats.batched_rows), stats.mean_batch_rows(),
+              static_cast<long long>(stats.full_batches),
+              static_cast<long long>(stats.deadline_batches));
+  const serve::ModelStats model_stats = store.stats("edge");
+  std::printf("store: %lld acquires, %lld hot-swaps, plan now '%s'\n",
+              static_cast<long long>(model_stats.acquires),
+              static_cast<long long>(model_stats.swaps),
+              model_stats.plan_label.c_str());
+
+  if (delivered.load() != requests || failed.load() != 0) {
+    std::fprintf(stderr, "ERROR: dropped or failed requests under hot-swap\n");
+    return 1;
+  }
+  std::printf("\nevery request was answered across the hot-swap — zero drops.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "common/reservoir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hero::common {
+
+Reservoir::Reservoir(std::size_t capacity) : capacity_(capacity) {
+  HERO_CHECK_MSG(capacity >= 2, "Reservoir capacity must be >= 2, got " << capacity);
+  samples_.reserve(capacity_);
+}
+
+void Reservoir::add(double value) {
+  // Systematic sampling: observation indices 0, stride, 2*stride, ... are
+  // retained. Keeping phase 0 means the retained set after a decimation is
+  // exactly what this reservoir would have retained had it started with the
+  // doubled stride, so the policy is self-consistent as well as
+  // deterministic.
+  if (seen_ % stride_ == 0) {
+    samples_.push_back(value);
+    if (samples_.size() == capacity_) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
+      samples_.resize(kept);
+      stride_ *= 2;
+    }
+  }
+  ++seen_;
+}
+
+double Reservoir::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: smallest value with at least p% of samples <= it.
+  const double rank = std::ceil(clamped / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t index =
+      rank < 1.0 ? 0 : std::min(sorted.size() - 1, static_cast<std::size_t>(rank) - 1);
+  return sorted[index];
+}
+
+void Reservoir::reset() {
+  samples_.clear();
+  stride_ = 1;
+  seen_ = 0;
+}
+
+}  // namespace hero::common

@@ -1,0 +1,54 @@
+// Bounded deterministic reservoir for latency percentiles.
+//
+// Serving stats need p50/p95/p99 over an unbounded observation stream with a
+// bounded memory footprint. Classic reservoir sampling is randomized, which
+// would make repeated runs (and the bit-identity audits built on them) see
+// different retained samples. This reservoir is deterministic: it records
+// every `stride`-th observation, and whenever the retained buffer reaches
+// capacity it decimates — keeps every second retained sample and doubles the
+// stride. The retained set is therefore a fixed-phase systematic sample of
+// the observation sequence, identical for identical input sequences, and at
+// most `capacity` values are ever held.
+//
+// Percentiles use the nearest-rank method over the retained samples, so with
+// fewer than `capacity` observations they are exact order statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hero::common {
+
+class Reservoir {
+ public:
+  /// `capacity` >= 2 bounds the retained sample count.
+  explicit Reservoir(std::size_t capacity = 512);
+
+  /// Observes one value. O(1) amortized; deterministic retention.
+  void add(double value);
+
+  /// Nearest-rank percentile over the retained samples, p in [0, 100]
+  /// (p <= 0 -> minimum, p >= 100 -> maximum). Returns 0.0 when empty.
+  double percentile(double p) const;
+
+  /// Total values observed (including ones not retained).
+  std::uint64_t count() const { return seen_; }
+  /// Values currently retained (<= capacity()).
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Current systematic-sampling stride (1 until the first decimation).
+  std::uint64_t stride() const { return stride_; }
+  /// Retained samples in observation order (for tests and JSON dumps).
+  const std::vector<double>& samples() const { return samples_; }
+
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t seen_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace hero::common

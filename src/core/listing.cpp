@@ -6,6 +6,7 @@
 #include "optim/registry.hpp"
 #include "quant/planner.hpp"
 #include "quant/quantizer.hpp"
+#include "serve/server.hpp"
 
 namespace hero::core {
 
@@ -46,6 +47,19 @@ std::string describe_registries() {
     os << "  " << name << " — " << models.describe(name)
        << keys_suffix(models.accepted_keys(name)) << "\n";
   }
+
+  // Serving is knob-driven rather than registry-driven, but it belongs in
+  // the same "what can this binary be asked to build?" listing: these are
+  // the defaults bench_serving/model_server flags override.
+  const serve::ServerConfig defaults;
+  const serve::ModelStore::Config store_defaults;
+  os << "serving (src/serve: ModelStore + micro-batching Server):\n";
+  os << "  server knobs — workers=" << defaults.workers
+     << ", max_batch=" << defaults.max_batch
+     << ", max_delay_us=" << defaults.max_delay_us
+     << ", max_queue_rows=" << defaults.max_queue_rows << "\n";
+  os << "  store knobs — max_bytes=" << store_defaults.max_bytes
+     << " (LRU over decoded fp32 footprints)\n";
   return os.str();
 }
 

@@ -13,22 +13,27 @@ namespace {
 
 void init_from_artifact(const ModelArtifact& artifact, std::shared_ptr<nn::Module>& model,
                         std::string& model_spec, std::string& plan_label,
-                        double& average_bits) {
+                        double& average_bits, std::size_t& resident_bytes) {
   model = build_model(artifact);  // decodes every packed weight exactly once
   model_spec = artifact.model_spec;
   plan_label = artifact.plan_label;
   average_bits = artifact.average_bits();
+  resident_bytes = 0;
+  for (const NamedTensor& entry : model->state_dict()) {
+    resident_bytes += static_cast<std::size_t>(entry.tensor.numel()) * sizeof(float);
+  }
 }
 
 }  // namespace
 
 InferenceSession::InferenceSession(const std::string& artifact_path) {
   init_from_artifact(load_model(artifact_path), model_, model_spec_, plan_label_,
-                     average_bits_);
+                     average_bits_, resident_bytes_);
 }
 
 InferenceSession::InferenceSession(const ModelArtifact& artifact) {
-  init_from_artifact(artifact, model_, model_spec_, plan_label_, average_bits_);
+  init_from_artifact(artifact, model_, model_spec_, plan_label_, average_bits_,
+                     resident_bytes_);
 }
 
 Tensor InferenceSession::predict(const Tensor& features) {
@@ -45,12 +50,17 @@ Tensor InferenceSession::predict(const Tensor& features) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats_.batches += 1;
-  stats_.examples += features.dim(0);
-  stats_.total_seconds += seconds;
-  stats_.last_batch_seconds = seconds;
-  stats_.best_batch_seconds =
-      stats_.batches == 1 ? seconds : std::min(stats_.best_batch_seconds, seconds);
+  {
+    // Sessions are shared across serve::Server scheduler workers; only the
+    // counters need the lock, the forward itself is read-only in eval mode.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.batches += 1;
+    stats_.examples += features.dim(0);
+    stats_.total_seconds += seconds;
+    stats_.last_batch_seconds = seconds;
+    stats_.best_batch_seconds = std::min(stats_.best_batch_seconds, seconds);
+    stats_.batch_seconds.add(seconds);
+  }
   return logits;
 }
 

@@ -18,21 +18,29 @@
 // tests/deploy/inference_test.cpp) — serving changes nothing but speed.
 #pragma once
 
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/reservoir.hpp"
 #include "data/dataset.hpp"
 #include "deploy/artifact.hpp"
 
 namespace hero::deploy {
 
-/// Cumulative serving counters, updated by every predict() call.
+/// Cumulative serving counters, updated by every predict() call. Snapshots
+/// returned by InferenceSession::stats() are plain values — safe to read
+/// while other threads keep serving.
 struct InferenceStats {
   std::int64_t batches = 0;
   std::int64_t examples = 0;
   double total_seconds = 0.0;
   double last_batch_seconds = 0.0;
-  double best_batch_seconds = 0.0;  ///< fastest single batch so far
+  /// Fastest single batch so far; +inf until the first predict() completes.
+  double best_batch_seconds = std::numeric_limits<double>::infinity();
+  /// Per-batch predict() latencies, bounded deterministic retention.
+  common::Reservoir batch_seconds{512};
 
   double throughput() const {  ///< examples per second over the session
     return total_seconds > 0.0 ? static_cast<double>(examples) / total_seconds : 0.0;
@@ -40,6 +48,9 @@ struct InferenceStats {
   double mean_latency() const {  ///< seconds per batch
     return batches > 0 ? total_seconds / static_cast<double>(batches) : 0.0;
   }
+  double p50_seconds() const { return batch_seconds.percentile(50.0); }
+  double p95_seconds() const { return batch_seconds.percentile(95.0); }
+  double p99_seconds() const { return batch_seconds.percentile(99.0); }
 };
 
 /// Accuracy summary of evaluate() (loss-free: serving has no labels graph).
@@ -57,15 +68,28 @@ class InferenceSession {
 
   /// Batched forward pass: features [N, ...] → logits [N, classes], no
   /// autograd graph, eval mode, timed into stats(). Throws on an empty
-  /// batch.
+  /// batch. Safe to call from several threads at once (eval-mode forward is
+  /// read-only and stats updates are locked) — the serve::Server shares one
+  /// session across its scheduler workers.
   Tensor predict(const Tensor& features);
 
   /// Top-1 accuracy of predict() over a dataset, in `batch_size` chunks —
   /// the number to compare against the fake-quant sweep's.
   InferenceEval evaluate(const data::Dataset& dataset, std::int64_t batch_size = 256);
 
-  const InferenceStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = InferenceStats{}; }
+  /// Snapshot of the cumulative counters (copied under the stats lock).
+  InferenceStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_ = InferenceStats{};
+  }
+
+  /// Approximate resident footprint of the rebuilt model: every state_dict
+  /// tensor at fp32. The serve::ModelStore budgets its LRU on this.
+  std::size_t resident_bytes() const { return resident_bytes_; }
 
   const std::string& model_spec() const { return model_spec_; }
   const std::string& plan_label() const { return plan_label_; }
@@ -80,6 +104,8 @@ class InferenceSession {
   std::string model_spec_;
   std::string plan_label_;
   double average_bits_ = 0.0;
+  std::size_t resident_bytes_ = 0;
+  mutable std::mutex stats_mutex_;  // guards stats_ only; forward is lock-free
   InferenceStats stats_;
 };
 

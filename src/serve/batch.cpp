@@ -1,0 +1,72 @@
+#include "serve/batch.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::serve {
+
+namespace {
+
+bool trailing_dims_match(const Shape& a, const Shape& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t d = 1; d < a.size(); ++d) {
+    if (a[d] != b[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MicroBatchPlan plan_micro_batch(const std::vector<PendingView>& pending,
+                                std::size_t first, std::int64_t max_batch) {
+  HERO_CHECK_MSG(first < pending.size(),
+                 "plan_micro_batch: first=" << first << " out of range (pending "
+                                            << pending.size() << ")");
+  HERO_CHECK_MSG(max_batch > 0, "plan_micro_batch: max_batch must be positive");
+  const PendingView& head = pending[first];
+  MicroBatchPlan plan;
+  plan.indices.push_back(first);
+  plan.rows = head.rows();
+  for (std::size_t i = first + 1; i < pending.size() && plan.rows < max_batch; ++i) {
+    const PendingView& candidate = pending[i];
+    if (*candidate.model != *head.model) continue;
+    if (!trailing_dims_match(*candidate.shape, *head.shape)) continue;
+    // Stop at the first compatible request that does not fit instead of
+    // scanning past it: batches stay a FIFO prefix per model, so no request
+    // is ever overtaken by a later one for the same model and shape.
+    if (plan.rows + candidate.rows() > max_batch) {
+      plan.blocked = true;
+      break;
+    }
+    plan.indices.push_back(i);
+    plan.rows += candidate.rows();
+  }
+  return plan;
+}
+
+Tensor coalesce_features(const std::vector<Tensor>& parts) {
+  HERO_CHECK_MSG(!parts.empty(), "coalesce_features: no parts");
+  if (parts.size() == 1) return parts.front();
+  return concat(parts, /*axis=*/0);
+}
+
+std::vector<Tensor> split_rows(const Tensor& batched,
+                               const std::vector<std::int64_t>& rows) {
+  std::int64_t total = 0;
+  for (const std::int64_t r : rows) {
+    HERO_CHECK_MSG(r > 0, "split_rows: non-positive row count " << r);
+    total += r;
+  }
+  HERO_CHECK_MSG(batched.ndim() >= 1 && batched.dim(0) == total,
+                 "split_rows: row counts sum to " << total << " but batch has shape "
+                                                  << shape_to_string(batched.shape()));
+  std::vector<Tensor> out;
+  out.reserve(rows.size());
+  std::int64_t start = 0;
+  for (const std::int64_t r : rows) {
+    out.push_back(batched.narrow(0, start, r).clone());
+    start += r;
+  }
+  return out;
+}
+
+}  // namespace hero::serve

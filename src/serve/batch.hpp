@@ -1,0 +1,71 @@
+// Micro-batch planning and assembly: the pure half of the scheduler.
+//
+// The Server's workers coalesce queued requests into one predict() call.
+// Everything that decides *which* requests join a batch and *how* the batched
+// logits map back to per-request responses lives here as plain functions over
+// plain data, so the policy is unit-testable without threads:
+//
+//  * plan_micro_batch — FIFO gather of compatible requests for one model,
+//    capped at max_batch total examples (a first request already larger than
+//    max_batch is taken alone — bursts are served, not wedged).
+//  * coalesce_features / split_rows — concat along dim 0 and the inverse
+//    narrow+clone. Row-partitioned kernels (matmul accumulates each output
+//    row serially; im2col/BatchNorm-eval are per-example) make row i of a
+//    batched forward bit-identical to the same example served alone, which
+//    is what lets the scheduler batch at all without changing a single
+//    response bit (pinned by tests/serve/serving_parity_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hero::serve {
+
+/// Non-owning scheduler view of one queued request — two pointers, so the
+/// Server can re-plan on every wake without copying strings or shapes while
+/// it holds the queue lock. Pointees must outlive the planning call (the
+/// Server rebuilds views under the lock on each pass).
+struct PendingView {
+  const std::string* model;
+  const Shape* shape;  ///< feature shape; dim 0 is the example count
+  std::int64_t rows() const { return shape->empty() ? 0 : shape->front(); }
+};
+
+/// Result of one planning pass.
+struct MicroBatchPlan {
+  std::vector<std::size_t> indices;  ///< ascending positions joining the batch
+  std::int64_t rows = 0;             ///< total examples across `indices`
+  /// True when the FIFO scan stopped at a same-model, shape-compatible
+  /// request that no longer fits. Such a plan can NEVER grow — later
+  /// arrivals queue behind the blocker — so the scheduler must release it
+  /// immediately instead of idling until the deadline.
+  bool blocked = false;
+};
+
+/// Plans the next micro-batch for pending[first]'s model:
+///  * only requests with the same model AND the same trailing feature
+///    extents join (mismatched shapes get their own later batch);
+///  * requests join in FIFO order while the total example count stays
+///    <= max_batch, stopping at the first compatible request that would
+///    overflow (batches are FIFO prefixes per model — no overtaking);
+///    pending[first] always joins, even when it alone exceeds max_batch;
+///  * requests for other models are skipped, not barriers — they belong to
+///    other workers' batches.
+MicroBatchPlan plan_micro_batch(const std::vector<PendingView>& pending,
+                                std::size_t first, std::int64_t max_batch);
+
+/// Concatenates per-request feature tensors [n_i, ...] into one
+/// [sum n_i, ...] batch. A single part is returned as-is (no copy): a
+/// batch-of-1 stays the exact tensor the caller submitted.
+Tensor coalesce_features(const std::vector<Tensor>& parts);
+
+/// Splits batched logits [sum n_i, ...] back into per-request tensors of
+/// `rows[i]` examples each (deep copies, so responses do not pin the batch
+/// buffer). Throws when the row counts do not cover the batch exactly.
+std::vector<Tensor> split_rows(const Tensor& batched,
+                               const std::vector<std::int64_t>& rows);
+
+}  // namespace hero::serve

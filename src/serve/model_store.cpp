@@ -1,0 +1,155 @@
+#include "serve/model_store.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hero::serve {
+
+namespace {
+
+std::string known_names(const std::vector<std::string>& names) {
+  if (names.empty()) return "(store is empty)";
+  std::string joined;
+  for (const std::string& n : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += n;
+  }
+  return joined;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(Config config) : config_(config) {
+  HERO_CHECK_MSG(config_.max_bytes > 0, "ModelStore max_bytes must be positive");
+}
+
+std::size_t ModelStore::install(const std::string& name,
+                                const deploy::ModelArtifact& artifact) {
+  HERO_CHECK_MSG(!name.empty(), "ModelStore model name must be non-empty");
+  // Decode outside the lock: rebuilding a model is the expensive part and a
+  // hot-swap must not stall concurrent acquires of other models.
+  auto session = std::make_shared<deploy::InferenceSession>(artifact);
+  const std::size_t bytes = session->resident_bytes();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_stats_.installs += 1;
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.stats.name == name; });
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.stats.name = name;
+    entries_.push_back(std::move(entry));
+    it = entries_.end() - 1;
+  } else {
+    store_stats_.swaps += 1;
+    it->stats.swaps += 1;
+  }
+  it->session = std::move(session);  // old session drains via live handles
+  it->last_used = ++clock_;
+  it->stats.plan_label = it->session->plan_label();
+  it->stats.average_bits = it->session->average_bits();
+  it->stats.resident_bytes = bytes;
+  // Peak records the transient occupancy BEFORE eviction trims back to the
+  // budget — that is the high-water mark the host actually had to hold.
+  store_stats_.peak_resident_bytes =
+      std::max(store_stats_.peak_resident_bytes, resident_bytes_locked());
+  enforce_budget_locked(name);
+  store_stats_.resident_bytes = resident_bytes_locked();
+  return bytes;
+}
+
+std::size_t ModelStore::load(const std::string& name, const std::string& path) {
+  return install(name, deploy::load_model(path));
+}
+
+SessionHandle ModelStore::acquire(const std::string& name) {
+  SessionHandle handle = try_acquire(name);
+  if (handle == nullptr) {
+    throw Error("ModelStore: unknown model '" + name + "' (loaded: " +
+                known_names(names()) + ")");
+  }
+  return handle;
+}
+
+SessionHandle ModelStore::try_acquire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.stats.name == name) {
+      entry.last_used = ++clock_;
+      entry.stats.acquires += 1;
+      return entry.session;
+    }
+  }
+  store_stats_.misses += 1;
+  return nullptr;
+}
+
+bool ModelStore::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.stats.name == name; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  store_stats_.evictions += 1;
+  store_stats_.resident_bytes = resident_bytes_locked();
+  return true;
+}
+
+bool ModelStore::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.stats.name == name; });
+}
+
+std::vector<std::string> ModelStore::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const Entry& e : entries_) ordered.push_back(&e);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Entry* a, const Entry* b) { return a->last_used > b->last_used; });
+  std::vector<std::string> out;
+  out.reserve(ordered.size());
+  for (const Entry* e : ordered) out.push_back(e->stats.name);
+  return out;
+}
+
+std::size_t ModelStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_locked();
+}
+
+ModelStats ModelStore::stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.stats.name == name) return entry.stats;
+  }
+  throw Error("ModelStore: no stats for unknown model '" + name + "'");
+}
+
+StoreStats ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_stats_;
+}
+
+void ModelStore::enforce_budget_locked(const std::string& keep) {
+  while (entries_.size() > 1 && resident_bytes_locked() > config_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->stats.name == keep) continue;
+      if (victim == entries_.end() || it->last_used < victim->last_used) victim = it;
+    }
+    if (victim == entries_.end()) return;  // only `keep` is left
+    entries_.erase(victim);
+    store_stats_.evictions += 1;
+  }
+}
+
+std::size_t ModelStore::resident_bytes_locked() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) total += e.stats.resident_bytes;
+  return total;
+}
+
+}  // namespace hero::serve

@@ -1,0 +1,123 @@
+// Multi-model store: named HPKG artifacts as refcounted, hot-swappable
+// InferenceSessions under an LRU byte budget.
+//
+// The serving fleet naturally hosts several artifact variants of one model at
+// once (a HAWQ mixed-precision plan next to uniform 4/8-bit exports), plus
+// unrelated models. The store is the single owner of those sessions:
+//
+//  * acquire() hands out a shared_ptr handle and bumps the entry's LRU
+//    clock. A handle pins its session for as long as the caller holds it —
+//    requests in flight keep serving the weights they started with even if
+//    the entry is evicted or hot-swapped underneath them.
+//  * install() with an existing name is a HOT-SWAP: the entry's session is
+//    replaced atomically (w.r.t. the store lock); subsequent acquires see the
+//    new artifact, old handles drain on the old one. No request is ever
+//    dropped or served a half-updated model.
+//  * Eviction is LRU by resident bytes (InferenceSession::resident_bytes —
+//    the decoded fp32 footprint, which is what actually occupies serving
+//    RAM). Installing over budget evicts least-recently-acquired entries,
+//    never the entry just installed: one model larger than the whole budget
+//    still serves, it just keeps the store at a single entry.
+//
+// All methods are thread-safe; the lock covers only map bookkeeping, never a
+// forward pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "deploy/inference.hpp"
+
+namespace hero::serve {
+
+/// Refcounted view of one loaded model; keeps the session (and its decoded
+/// weights) alive independently of store eviction and hot-swaps.
+using SessionHandle = std::shared_ptr<deploy::InferenceSession>;
+
+/// Per-model counters, reset when the name is evicted (not by hot-swaps).
+struct ModelStats {
+  std::string name;
+  std::string plan_label;   ///< provenance of the currently installed artifact
+  double average_bits = 0.0;
+  std::size_t resident_bytes = 0;
+  std::int64_t acquires = 0;  ///< successful acquire()/try_acquire() calls
+  std::int64_t swaps = 0;     ///< hot-swaps (installs over an existing name)
+};
+
+/// Store-wide counters.
+struct StoreStats {
+  std::int64_t installs = 0;   ///< install() calls (fresh names and swaps)
+  std::int64_t swaps = 0;      ///< installs that replaced an existing name
+  /// Entries removed — by LRU pressure to fit the byte budget, or by an
+  /// explicit evict() call.
+  std::int64_t evictions = 0;
+  std::int64_t misses = 0;     ///< try_acquire()/acquire() of an unknown name
+  std::size_t resident_bytes = 0;
+  std::size_t peak_resident_bytes = 0;
+};
+
+class ModelStore {
+ public:
+  struct Config {
+    /// LRU budget over the summed resident_bytes of all entries.
+    std::size_t max_bytes = std::size_t{256} * 1024 * 1024;
+  };
+
+  ModelStore() : ModelStore(Config{}) {}
+  explicit ModelStore(Config config);
+
+  /// Loads (or hot-swaps) `name` from an in-memory artifact. Returns the
+  /// entry's resident bytes. Evicts LRU entries (never `name` itself) until
+  /// the budget holds.
+  std::size_t install(const std::string& name, const deploy::ModelArtifact& artifact);
+
+  /// load_model(path) + install().
+  std::size_t load(const std::string& name, const std::string& path);
+
+  /// Handle to a loaded model; bumps its LRU recency. Throws hero::Error for
+  /// an unknown name.
+  SessionHandle acquire(const std::string& name);
+
+  /// Like acquire(), but returns nullptr (and counts a miss) when absent —
+  /// the Server uses this so an unknown model fails one request, not a
+  /// worker.
+  SessionHandle try_acquire(const std::string& name);
+
+  /// Removes `name` if present; in-flight handles stay valid. Returns
+  /// whether an entry was removed (counted as an eviction).
+  bool evict(const std::string& name);
+
+  bool contains(const std::string& name) const;
+  /// Loaded names, most-recently-acquired first.
+  std::vector<std::string> names() const;
+  std::size_t resident_bytes() const;
+  std::size_t max_bytes() const { return config_.max_bytes; }
+
+  /// Per-model counters; throws hero::Error for an unknown name.
+  ModelStats stats(const std::string& name) const;
+  StoreStats stats() const;
+
+ private:
+  struct Entry {
+    SessionHandle session;
+    std::uint64_t last_used = 0;  ///< LRU clock value of the latest acquire
+    ModelStats stats;
+  };
+
+  /// Evicts least-recently-used entries until the budget holds; never evicts
+  /// `keep`. Caller holds mutex_.
+  void enforce_budget_locked(const std::string& keep);
+  std::size_t resident_bytes_locked() const;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // few models; linear scans beat a map here
+  std::uint64_t clock_ = 0;
+  StoreStats store_stats_;
+};
+
+}  // namespace hero::serve

@@ -1,0 +1,213 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "serve/batch.hpp"
+
+namespace hero::serve {
+
+Server::Server(ModelStore& store, ServerConfig config) : store_(store), config_(config) {
+  HERO_CHECK_MSG(config_.workers >= 1, "Server needs at least one worker, got "
+                                           << config_.workers);
+  HERO_CHECK_MSG(config_.max_batch >= 1, "Server max_batch must be >= 1, got "
+                                             << config_.max_batch);
+  HERO_CHECK_MSG(config_.max_delay_us >= 0, "Server max_delay_us must be >= 0");
+  HERO_CHECK_MSG(config_.max_queue_rows > config_.max_batch,
+                 "Server max_queue_rows (" << config_.max_queue_rows
+                                           << ") must exceed max_batch ("
+                                           << config_.max_batch << ")");
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Tensor> Server::submit(const std::string& model, const Tensor& features) {
+  HERO_CHECK_MSG(features.ndim() >= 1 && features.dim(0) > 0,
+                 "submit needs a non-empty batch, got shape "
+                     << shape_to_string(features.shape()));
+  const std::int64_t rows = features.dim(0);
+  Request request;
+  request.model = model;
+  request.features = features;
+  request.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(config_.max_delay_us);
+  std::future<Tensor> future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Backpressure: block while the backlog is at the bound. An oversize
+  // request (rows > max_queue_rows) is admitted whenever the backlog is
+  // below the bound — waiting for an exactly-empty queue could starve it
+  // forever under sustained small-request traffic, and the bound is only
+  // exceeded by that one request.
+  space_cv_.wait(lock, [&] {
+    return stopping_ || (rows > config_.max_queue_rows
+                             ? queued_rows_ < config_.max_queue_rows
+                             : queued_rows_ + rows <= config_.max_queue_rows);
+  });
+  if (stopping_) throw Error("Server: submit after shutdown");
+  queue_.push_back(std::move(request));
+  queued_rows_ += rows;
+  stats_.submitted += 1;
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
+  lock.unlock();
+  // notify_all, not notify_one: the arrival that completes a forming batch
+  // must reach the worker parked in the coalescing wait_until below, and a
+  // single notify can be swallowed by an idle worker whose claimable-work
+  // predicate is false (the hot model is claimed). Worker counts are small.
+  work_cv_.notify_all();
+  return future;
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Server::shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    to_join.swap(workers_);
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : to_join) t.join();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t Server::first_unclaimed_locked() const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (claimed_.find(queue_[i].model) == claimed_.end()) return i;
+  }
+  return queue_.size();
+}
+
+void Server::worker_loop() {
+  std::vector<PendingView> pending;  // reused scratch; non-owning views
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stopping_ || first_unclaimed_locked() < queue_.size(); });
+    const std::size_t first = first_unclaimed_locked();
+    if (first == queue_.size()) {
+      // Stopping, and every queued request (if any) is claimed by another
+      // worker that will retire it. Done.
+      if (stopping_) return;
+      continue;
+    }
+    const std::string model = queue_[first].model;
+    claimed_.insert(model);
+
+    // Coalescing wait: keep the claim until the batch is full, it can no
+    // longer grow (a same-model follower does not fit), the oldest claimed
+    // request's deadline expires, or the server is stopping. New arrivals
+    // notify work_cv_ and re-enter the planning below. Views are rebuilt on
+    // every pass (the queue mutates while we sleep) but copy nothing.
+    MicroBatchPlan plan;
+    bool full = false;
+    for (;;) {
+      pending.clear();
+      pending.reserve(queue_.size());
+      std::size_t head = queue_.size();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        pending.push_back(PendingView{&queue_[i].model, &queue_[i].features.shape()});
+        if (head == queue_.size() && queue_[i].model == model) head = i;
+      }
+      plan = plan_micro_batch(pending, head, config_.max_batch);
+      full = plan.rows >= config_.max_batch;
+      if (full || plan.blocked || stopping_ || config_.max_delay_us == 0) break;
+      const auto deadline = queue_[head].deadline;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      work_cv_.wait_until(lock, deadline);
+    }
+
+    // Extract the batch (descending index order keeps earlier indices
+    // stable). The claim is HELD through execution: it is what makes the
+    // documented per-model FIFO completion order real — the next batch for
+    // this model cannot start (let alone finish) before this one resolves.
+    std::vector<Request> batch;
+    batch.reserve(plan.indices.size());
+    for (auto it = plan.indices.rbegin(); it != plan.indices.rend(); ++it) {
+      batch.push_back(std::move(queue_[*it]));
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    std::reverse(batch.begin(), batch.end());  // back to FIFO order
+    queued_rows_ -= plan.rows;
+    in_flight_ += static_cast<std::int64_t>(batch.size());
+    stats_.batches += 1;
+    stats_.batched_rows += plan.rows;
+    // "Full" covers both releases where waiting could not have helped: at
+    // width, or frozen behind a follower that does not fit. A partial batch
+    // released with no wait at all (adaptive mode, shutdown drain) is a
+    // flush, not a deadline firing.
+    if (full || plan.blocked) {
+      stats_.full_batches += 1;
+    } else if (config_.max_delay_us == 0 || stopping_) {
+      stats_.flushed_batches += 1;
+    } else {
+      stats_.deadline_batches += 1;
+    }
+    lock.unlock();
+    space_cv_.notify_all();
+    work_cv_.notify_all();  // other models may be claimable
+
+    execute(std::move(batch));
+    lock.lock();
+    claimed_.erase(model);
+    work_cv_.notify_all();  // this model's remaining requests are claimable
+  }
+}
+
+void Server::execute(std::vector<Request> batch) {
+  std::size_t resolved = 0;
+  try {
+    SessionHandle session = store_.try_acquire(batch.front().model);
+    HERO_CHECK_MSG(session != nullptr,
+                   "Server: model '" << batch.front().model << "' is not loaded");
+    if (batch.size() == 1) {
+      // A batch of one IS the direct unbatched predict — no concat/split.
+      batch.front().promise.set_value(session->predict(batch.front().features));
+      resolved = 1;
+    } else {
+      std::vector<Tensor> features;
+      std::vector<std::int64_t> rows;
+      features.reserve(batch.size());
+      rows.reserve(batch.size());
+      for (const Request& r : batch) {
+        features.push_back(r.features);
+        rows.push_back(r.features.dim(0));
+      }
+      const Tensor logits = session->predict(coalesce_features(features));
+      std::vector<Tensor> parts = split_rows(logits, rows);
+      for (; resolved < batch.size(); ++resolved) {
+        batch[resolved].promise.set_value(std::move(parts[resolved]));
+      }
+    }
+  } catch (...) {
+    // Whatever has not been resolved with a value fails with the error —
+    // zero drops: every accepted request resolves exactly once.
+    for (std::size_t i = resolved; i < batch.size(); ++i) {
+      batch[i].promise.set_exception(std::current_exception());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ -= static_cast<std::int64_t>(batch.size());
+    stats_.completed += static_cast<std::int64_t>(resolved);
+    stats_.failed += static_cast<std::int64_t>(batch.size() - resolved);
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace hero::serve

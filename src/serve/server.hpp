@@ -1,0 +1,146 @@
+// Concurrent request front-end with a dynamic micro-batching scheduler.
+//
+// submit() enqueues a single-example (or small-batch) request and returns a
+// future. A pool of scheduler workers drains the queue per model:
+//
+//   submit(model, x) ──► FIFO queue ──► worker claims the oldest unclaimed
+//   model, gathers compatible requests (serve/batch.hpp) until the batch
+//   holds max_batch examples OR the oldest request's max_delay_us deadline
+//   expires, then runs ONE InferenceSession::predict on the coalesced batch
+//   (kernels dispatch on the hero::runtime thread pool) and splits the
+//   logits back into per-request futures.
+//
+// Guarantees:
+//  * Bit-identity — every response is bit-identical to a direct unbatched
+//    predict() of the same features: batch-of-1 requests ARE a direct
+//    predict, and multi-request batches rely on the kernels' row
+//    independence (pinned end-to-end by tests/serve/serving_parity_test.cpp
+//    and bench_serving's exit-1 parity gate).
+//  * Zero drops — every accepted submit() resolves, with a value or an
+//    exception (unknown model, forward failure). Destruction and shutdown()
+//    drain the queue first; hot-swapping a model mid-load retires in-flight
+//    batches on the session they acquired.
+//  * Per-model ordering — one worker at a time forms AND executes the batch
+//    for a given model (the claim is held until the batch resolves), and
+//    batches are FIFO prefixes over shape-compatible requests, so
+//    same-model requests with the same trailing feature extents complete in
+//    submission order. Requests with different trailing extents go into
+//    separate batches and carry no ordering guarantee relative to each
+//    other; different models batch and execute independently and
+//    concurrently.
+//
+// Backpressure: the queue is bounded (max_queue_rows examples); submit()
+// blocks until space frees, which is what a closed-loop client wants.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/model_store.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::serve {
+
+struct ServerConfig {
+  /// Scheduler worker threads (batch formation + predict dispatch).
+  int workers = 2;
+  /// Maximum examples coalesced into one predict() call.
+  std::int64_t max_batch = 16;
+  /// How long the oldest queued request may wait for batch-mates before its
+  /// batch executes regardless of fill. 0 = execute as soon as a worker is
+  /// free (still coalesces whatever is already queued).
+  std::int64_t max_delay_us = 1000;
+  /// Queue bound in examples; submit() blocks while the backlog is at the
+  /// bound. Must exceed max_batch.
+  std::int64_t max_queue_rows = 4096;
+};
+
+/// Scheduler counters (snapshot; taken under the queue lock).
+struct ServerStats {
+  std::int64_t submitted = 0;       ///< accepted submit() calls
+  std::int64_t completed = 0;       ///< futures resolved with a value
+  std::int64_t failed = 0;          ///< futures resolved with an exception
+  std::int64_t batches = 0;         ///< predict() calls issued
+  std::int64_t batched_rows = 0;    ///< examples across those batches
+  std::int64_t deadline_batches = 0;  ///< batches released by max_delay_us firing
+  /// Batches released because waiting could not grow them: at max_batch, or
+  /// frozen behind a same-model follower that does not fit.
+  std::int64_t full_batches = 0;
+  /// Partial batches released without any wait: adaptive mode
+  /// (max_delay_us == 0) or the shutdown drain.
+  std::int64_t flushed_batches = 0;
+  std::int64_t max_queue_depth = 0;   ///< peak queued requests
+  double mean_batch_rows() const {
+    return batches > 0 ? static_cast<double>(batched_rows) / static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+class Server {
+ public:
+  /// The store outlives the server; models may be installed/evicted/swapped
+  /// while serving.
+  Server(ModelStore& store, ServerConfig config);
+  explicit Server(ModelStore& store) : Server(store, ServerConfig{}) {}
+  /// Drains the queue (every pending future resolves), then joins workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one request for `model`; features are [n, ...] with n >= 1.
+  /// Returns the future logits ([n, classes]). Blocks while the queue is at
+  /// max_queue_rows; throws hero::Error after shutdown() or on an empty
+  /// batch.
+  std::future<Tensor> submit(const std::string& model, const Tensor& features);
+
+  /// Blocks until every request submitted so far has resolved.
+  void drain();
+
+  /// Stops accepting requests, drains, and joins the workers. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    std::string model;
+    Tensor features;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void worker_loop();
+  /// Oldest queued request whose model is unclaimed; queue_.size() if none.
+  std::size_t first_unclaimed_locked() const;
+  /// Executes one coalesced batch outside the lock; resolves its promises.
+  void execute(std::vector<Request> batch);
+
+  ModelStore& store_;
+  const ServerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: queue grew / stop / unclaim
+  std::condition_variable space_cv_;  // producers: queue shrank
+  std::condition_variable idle_cv_;   // drain(): all resolved
+  std::deque<Request> queue_;
+  std::int64_t queued_rows_ = 0;
+  std::unordered_set<std::string> claimed_;  // models with a forming batch
+  std::int64_t in_flight_ = 0;               // requests extracted, not yet resolved
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hero::serve

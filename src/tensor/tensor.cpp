@@ -626,6 +626,12 @@ Tensor broadcast_to(const Tensor& t, const Shape& target) {
   return add(t, Tensor::zeros(target));
 }
 
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
 Tensor concat(const std::vector<Tensor>& parts, std::int64_t axis) {
   HERO_CHECK(!parts.empty());
   const Tensor& first = parts.front();

@@ -171,6 +171,11 @@ Tensor sum_to(const Tensor& t, const Shape& target);
 Tensor broadcast_to(const Tensor& t, const Shape& target);
 /// Concatenates tensors along `axis`; all other extents must match.
 Tensor concat(const std::vector<Tensor>& parts, std::int64_t axis);
+
+/// True when both tensors have the same shape and byte-for-byte identical
+/// storage (NaNs compare equal to themselves, -0.0 != +0.0 — this is the
+/// parity primitive behind the deployment/serving bit-identity gates).
+bool bitwise_equal(const Tensor& a, const Tensor& b);
 /// One-hot encodes integer labels (given as floats) into [n, classes].
 Tensor one_hot(const Tensor& labels, std::int64_t classes);
 

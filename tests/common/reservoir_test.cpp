@@ -1,0 +1,93 @@
+// Deterministic bounded reservoir: exact order statistics below capacity,
+// bounded memory and reproducible retention above it.
+#include "common/reservoir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hero::common {
+namespace {
+
+TEST(Reservoir, ExactPercentilesBelowCapacity) {
+  Reservoir r(256);
+  for (int i = 100; i >= 1; --i) r.add(static_cast<double>(i));  // 1..100 shuffled-ish
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.size(), 100u);
+  // Nearest-rank over the full sample = exact order statistics.
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(r.percentile(95.0), 95.0);
+  EXPECT_DOUBLE_EQ(r.percentile(99.0), 99.0);
+  EXPECT_DOUBLE_EQ(r.percentile(100.0), 100.0);
+}
+
+TEST(Reservoir, EmptyReturnsZeroAndResetWorks) {
+  Reservoir r(16);
+  EXPECT_DOUBLE_EQ(r.percentile(50.0), 0.0);
+  r.add(3.0);
+  EXPECT_DOUBLE_EQ(r.percentile(50.0), 3.0);
+  r.reset();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.stride(), 1u);
+  EXPECT_DOUBLE_EQ(r.percentile(50.0), 0.0);
+}
+
+TEST(Reservoir, BoundedMemoryUnderLongStreams) {
+  Reservoir r(64);
+  for (int i = 0; i < 100000; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.count(), 100000u);
+  EXPECT_LT(r.size(), 64u);  // decimation keeps the buffer strictly below capacity
+  EXPECT_GE(r.size(), 16u);  // ...but it stays a useful sample
+  EXPECT_GT(r.stride(), 1u);
+}
+
+TEST(Reservoir, DeterministicAcrossInstances) {
+  Reservoir a(32), b(32);
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.uniform(0.0, 1.0));
+  for (const double v : values) a.add(v);
+  for (const double v : values) b.add(v);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.percentile(99.0), b.percentile(99.0));
+}
+
+TEST(Reservoir, SystematicSampleTracksDistribution) {
+  // A monotone stream: after decimation the p50 of the retained sample must
+  // stay near the true median (systematic sampling is unbiased for order).
+  Reservoir r(128);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) r.add(static_cast<double>(i));
+  const double p50 = r.percentile(50.0);
+  EXPECT_GT(p50, 0.40 * n);
+  EXPECT_LT(p50, 0.60 * n);
+  const double p99 = r.percentile(99.0);
+  EXPECT_GT(p99, 0.90 * n);
+}
+
+TEST(Reservoir, RetentionIsPhaseZeroSystematic) {
+  // capacity 4: observations 0,1,2,3 decimate at size 4 to {0,2} with
+  // stride 2; observation 4 is retained (4 % 2 == 0), 5 is skipped.
+  Reservoir r(4);
+  for (int i = 0; i < 6; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.stride(), 2u);
+  EXPECT_EQ(r.samples(), std::vector<double>({0.0, 2.0, 4.0}));
+  // Observation 6 refills to capacity and triggers the second decimation:
+  // phase-0 systematic sampling at the doubled stride.
+  r.add(6.0);
+  EXPECT_EQ(r.stride(), 4u);
+  EXPECT_EQ(r.samples(), std::vector<double>({0.0, 4.0}));
+}
+
+TEST(Reservoir, RejectsTinyCapacity) { EXPECT_THROW(Reservoir r(1), Error); }
+
+}  // namespace
+}  // namespace hero::common

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/check.hpp"
 #include "data/synthetic.hpp"
@@ -89,17 +93,59 @@ TEST(InferenceSession, StatsAccumulateAcrossPredicts) {
   Fixture fx;
   InferenceSession session(fx.artifact);
   EXPECT_EQ(session.stats().batches, 0);
+  // Before the first batch the best latency is the +inf identity of min —
+  // not a fake 0 that would survive as "fastest batch ever".
+  EXPECT_TRUE(std::isinf(session.stats().best_batch_seconds));
   session.predict(fx.bench.test.features.narrow(0, 0, 5));
   session.predict(fx.bench.test.features.narrow(0, 0, 9));
-  EXPECT_EQ(session.stats().batches, 2);
-  EXPECT_EQ(session.stats().examples, 14);
-  EXPECT_GT(session.stats().total_seconds, 0.0);
-  EXPECT_GT(session.stats().throughput(), 0.0);
-  EXPECT_LE(session.stats().best_batch_seconds, session.stats().last_batch_seconds +
-                                                    session.stats().total_seconds);
+  const InferenceStats stats = session.stats();
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.examples, 14);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.throughput(), 0.0);
+  EXPECT_TRUE(std::isfinite(stats.best_batch_seconds));
+  EXPECT_LE(stats.best_batch_seconds, stats.last_batch_seconds);
+  EXPECT_LE(stats.best_batch_seconds, stats.total_seconds);
+  // Latency percentiles come from the deterministic reservoir: two batches
+  // observed, so p50 is the faster one and p99 the slower one.
+  EXPECT_EQ(stats.batch_seconds.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.p50_seconds(), stats.best_batch_seconds);
+  EXPECT_GE(stats.p99_seconds(), stats.p50_seconds());
+  EXPECT_LE(stats.p99_seconds(), stats.total_seconds);
   session.reset_stats();
   EXPECT_EQ(session.stats().batches, 0);
   EXPECT_EQ(session.stats().examples, 0);
+  EXPECT_EQ(session.stats().batch_seconds.count(), 0u);
+}
+
+TEST(InferenceSession, ConcurrentPredictsKeepStatsConsistent) {
+  // The serve::Server shares one session across scheduler workers; counters
+  // must survive concurrent predict() calls (the TSan CI job runs this test
+  // to prove there is no data race, not just a consistent total).
+  Fixture fx;
+  InferenceSession session(fx.artifact);
+  const Tensor expected = session.predict(fx.bench.test.features.narrow(0, 0, 3));
+  session.reset_stats();
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRepeats; ++i) {
+        const Tensor logits = session.predict(fx.bench.test.features.narrow(0, 0, 3));
+        if (!same_bits(logits, expected)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const InferenceStats stats = session.stats();
+  EXPECT_EQ(stats.batches, kThreads * kRepeats);
+  EXPECT_EQ(stats.examples, 3 * kThreads * kRepeats);
+  EXPECT_EQ(stats.batch_seconds.count(),
+            static_cast<std::uint64_t>(kThreads * kRepeats));
+  EXPECT_GT(stats.p50_seconds(), 0.0);
 }
 
 TEST(InferenceSession, FileAndInMemoryArtifactsServeIdentically) {

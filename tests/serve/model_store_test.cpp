@@ -1,0 +1,134 @@
+// ModelStore: refcounted handles, LRU-by-bytes eviction, hot-swap semantics.
+#include "serve/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "serve_test_util.hpp"
+
+namespace hero::serve {
+namespace {
+
+using serve_testing::ServeFixture;
+using serve_testing::same_bits;
+
+TEST(ModelStore, InstallAcquireRoundTrip) {
+  ServeFixture fx;
+  ModelStore store;
+  const std::size_t bytes = store.install("m", fx.artifact("uniform:sym:bits=4"));
+  EXPECT_GT(bytes, 0u);
+  EXPECT_TRUE(store.contains("m"));
+  EXPECT_EQ(store.resident_bytes(), bytes);
+
+  deploy::InferenceSession direct(fx.artifact("uniform:sym:bits=4"));
+  const Tensor x = fx.bench.test.features.narrow(0, 0, 3);
+  SessionHandle handle = store.acquire("m");
+  ASSERT_NE(handle, nullptr);
+  EXPECT_TRUE(same_bits(handle->predict(x), direct.predict(x)));
+
+  const ModelStats stats = store.stats("m");
+  EXPECT_EQ(stats.name, "m");
+  EXPECT_EQ(stats.plan_label, "uniform:sym:bits=4");
+  EXPECT_EQ(stats.acquires, 1);
+  EXPECT_EQ(stats.swaps, 0);
+  EXPECT_EQ(stats.resident_bytes, bytes);
+  EXPECT_NEAR(stats.average_bits, 4.0, 1e-9);
+}
+
+TEST(ModelStore, UnknownNameThrowsAndCountsMiss) {
+  ModelStore store;
+  EXPECT_THROW(store.acquire("ghost"), Error);
+  EXPECT_EQ(store.try_acquire("ghost"), nullptr);
+  EXPECT_THROW(store.stats("ghost"), Error);
+  EXPECT_EQ(store.stats().misses, 2);  // acquire() counts via try_acquire()
+  EXPECT_FALSE(store.evict("ghost"));
+}
+
+TEST(ModelStore, LruEvictionPrefersLeastRecentlyAcquired) {
+  ServeFixture fx;
+  const deploy::ModelArtifact artifact = fx.artifact("uniform:sym:bits=4");
+  const std::size_t one = deploy::InferenceSession(artifact).resident_bytes();
+
+  ModelStore::Config config;
+  config.max_bytes = one * 2 + one / 2;  // room for two entries, not three
+  ModelStore store(config);
+  store.install("a", artifact);
+  store.install("b", artifact);
+  EXPECT_EQ(store.resident_bytes(), 2 * one);
+  (void)store.acquire("a");  // "b" is now the least recently used
+  store.install("c", artifact);
+
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_TRUE(store.contains("c"));
+  EXPECT_EQ(store.stats().evictions, 1);
+  EXPECT_EQ(store.resident_bytes(), 2 * one);
+  EXPECT_EQ(store.stats().peak_resident_bytes, 3 * one);
+  EXPECT_EQ(store.names(), (std::vector<std::string>{"c", "a"}));
+}
+
+TEST(ModelStore, HandleSurvivesEviction) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  SessionHandle handle = store.acquire("m");
+  const Tensor x = fx.bench.test.features.narrow(0, 0, 2);
+  const Tensor before = handle->predict(x);
+  EXPECT_TRUE(store.evict("m"));
+  EXPECT_FALSE(store.contains("m"));
+  // The refcounted handle still serves the evicted session.
+  EXPECT_TRUE(same_bits(handle->predict(x), before));
+}
+
+TEST(ModelStore, HotSwapKeepsInFlightHandlesOnOldWeights) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  const Tensor x = fx.bench.test.features.narrow(0, 0, 4);
+
+  SessionHandle old_handle = store.acquire("m");
+  const Tensor old_logits = old_handle->predict(x);
+
+  store.install("m", fx.artifact("uniform:sym:bits=8"));  // hot-swap
+  SessionHandle new_handle = store.acquire("m");
+  const Tensor new_logits = new_handle->predict(x);
+
+  // The swap is visible to new acquires (8-bit grid => different logits)...
+  EXPECT_FALSE(same_bits(new_logits, old_logits));
+  EXPECT_NEAR(store.stats("m").average_bits, 8.0, 1e-9);
+  // ...while the in-flight handle keeps serving the exact old weights.
+  EXPECT_TRUE(same_bits(old_handle->predict(x), old_logits));
+
+  const ModelStats stats = store.stats("m");
+  EXPECT_EQ(stats.swaps, 1);
+  EXPECT_EQ(stats.plan_label, "uniform:sym:bits=8");
+  EXPECT_EQ(store.stats().installs, 2);
+  EXPECT_EQ(store.stats().swaps, 1);
+  EXPECT_EQ(store.stats().evictions, 0);
+}
+
+TEST(ModelStore, SingleModelLargerThanBudgetStaysResident) {
+  ServeFixture fx;
+  ModelStore::Config config;
+  config.max_bytes = 1;  // nothing fits, but the newest entry is never evicted
+  ModelStore store(config);
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  EXPECT_TRUE(store.contains("m"));
+  store.install("n", fx.artifact("uniform:sym:bits=8"));
+  // Installing a second model over budget keeps only the newcomer.
+  EXPECT_TRUE(store.contains("n"));
+  EXPECT_FALSE(store.contains("m"));
+  EXPECT_EQ(store.stats().evictions, 1);
+}
+
+TEST(ModelStore, RejectsEmptyNameAndZeroBudget) {
+  ServeFixture fx;
+  ModelStore store;
+  EXPECT_THROW(store.install("", fx.artifact("uniform:sym:bits=4")), Error);
+  ModelStore::Config config;
+  config.max_bytes = 0;
+  EXPECT_THROW(ModelStore bad(config), Error);
+}
+
+}  // namespace
+}  // namespace hero::serve

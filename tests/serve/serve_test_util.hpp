@@ -1,0 +1,47 @@
+// Shared setup for the serving tests: one tiny trained-ish micro_resnet on
+// the c10 analog, packable under any planner spec. Artifacts built from the
+// same model + plan decode to bit-identical weights everywhere, which is what
+// the parity tests lean on.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "autograd/variable.hpp"
+#include "data/synthetic.hpp"
+#include "deploy/artifact.hpp"
+#include "nn/models.hpp"
+#include "quant/planner.hpp"
+
+namespace hero::serve_testing {
+
+struct ServeFixture {
+  data::Benchmark bench = data::make_benchmark("c10", 40, 24, 4);
+  std::shared_ptr<nn::Module> model;
+
+  explicit ServeFixture(std::uint64_t model_seed = 2) {
+    Rng rng(model_seed);
+    model = nn::make_model("micro_resnet", bench.spec.channels, bench.train.classes, rng);
+    // One training-mode forward populates the BatchNorm running stats the
+    // eval-mode serving path normalizes with.
+    model->set_training(true);
+    model->forward(ag::Variable::constant(bench.train.features.narrow(0, 0, 8)));
+    model->set_training(false);
+  }
+
+  std::string model_spec() const {
+    return nn::canonical_model_spec("micro_resnet", bench.spec.channels,
+                                    bench.train.classes);
+  }
+
+  /// Packs the fixture model under `planner_spec` (e.g. "uniform:sym:bits=4").
+  deploy::ModelArtifact artifact(const std::string& planner_spec) {
+    const quant::QuantPlan plan = quant::plan_quantization(*model, planner_spec);
+    return deploy::pack_model(*model, plan, model_spec(), planner_spec);
+  }
+};
+
+/// The library's parity primitive under the name the test bodies read best.
+inline bool same_bits(const Tensor& a, const Tensor& b) { return bitwise_equal(a, b); }
+
+}  // namespace hero::serve_testing

@@ -1,0 +1,274 @@
+// Scheduler behaviour: batch planning rules (pure), coalescing/deadline
+// releases, burst handling, failure isolation, shutdown semantics.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/batch.hpp"
+#include "serve_test_util.hpp"
+
+namespace hero::serve {
+namespace {
+
+using serve_testing::ServeFixture;
+using serve_testing::same_bits;
+
+/// Owning fixture for the non-owning PendingView planning interface.
+struct PendingFixture {
+  std::vector<std::string> models;
+  std::vector<Shape> shapes;
+  std::vector<PendingView> views;
+
+  PendingFixture(std::initializer_list<std::pair<const char*, Shape>> entries) {
+    models.reserve(entries.size());
+    shapes.reserve(entries.size());
+    for (const auto& [model, shape] : entries) {
+      models.emplace_back(model);
+      shapes.push_back(shape);
+    }
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      views.push_back(PendingView{&models[i], &shapes[i]});
+    }
+  }
+};
+
+TEST(PlanMicroBatch, GathersFifoPrefixUpToMaxBatch) {
+  const PendingFixture fx{{"m", {2, 3, 8, 8}}, {"m", {1, 3, 8, 8}}, {"m", {3, 3, 8, 8}},
+                          {"m", {1, 3, 8, 8}}};
+  MicroBatchPlan plan = plan_micro_batch(fx.views, 0, 6);
+  EXPECT_EQ(plan.indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(plan.rows, 6);
+  EXPECT_FALSE(plan.blocked);  // stopped at width, not behind a blocker
+  plan = plan_micro_batch(fx.views, 0, 16);
+  EXPECT_EQ(plan.indices, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.rows, 7);
+  EXPECT_FALSE(plan.blocked);  // queue exhausted: deadline wait may still help
+  plan = plan_micro_batch(fx.views, 0, 2);
+  EXPECT_EQ(plan.indices, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.rows, 2);
+}
+
+TEST(PlanMicroBatch, SkipsOtherModelsButNotOwnOverflow) {
+  const PendingFixture fx{
+      {"m", {2, 4}}, {"other", {9, 4}}, {"m", {2, 4}}, {"m", {4, 4}}, {"m", {1, 4}}};
+  // Other models are skipped, not barriers.
+  EXPECT_EQ(plan_micro_batch(fx.views, 0, 4).indices, (std::vector<std::size_t>{0, 2}));
+  // A same-model request that would overflow STOPS the gather (FIFO prefix,
+  // no overtaking): index 4 fits but may not jump over index 3 — and the
+  // plan reports itself blocked, because no future arrival can unfreeze it.
+  MicroBatchPlan plan = plan_micro_batch(fx.views, 0, 6);
+  EXPECT_EQ(plan.indices, (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(plan.blocked);
+  EXPECT_EQ(plan_micro_batch(fx.views, 0, 8).indices,
+            (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(PlanMicroBatch, HeadOverMaxBatchIsTakenAlone) {
+  const PendingFixture fx{{"m", {10, 4}}, {"m", {1, 4}}};
+  const MicroBatchPlan plan = plan_micro_batch(fx.views, 0, 4);
+  EXPECT_EQ(plan.indices, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.rows, 10);
+}
+
+TEST(PlanMicroBatch, ShapeMismatchedRequestsDoNotCoalesce) {
+  const PendingFixture fx{
+      {"m", {1, 3, 8, 8}}, {"m", {1, 3, 12, 12}}, {"m", {1, 3, 8, 8}}};
+  EXPECT_EQ(plan_micro_batch(fx.views, 0, 8).indices, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan_micro_batch(fx.views, 1, 8).indices, (std::vector<std::size_t>{1}));
+}
+
+TEST(BatchAssembly, CoalesceAndSplitRoundTrip) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn({2, 7}, rng);
+  const Tensor b = Tensor::randn({1, 7}, rng);
+  const Tensor c = Tensor::randn({3, 7}, rng);
+  const Tensor batched = coalesce_features({a, b, c});
+  ASSERT_EQ(batched.dim(0), 6);
+  const std::vector<Tensor> parts = split_rows(batched, {2, 1, 3});
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_TRUE(same_bits(parts[0], a));
+  EXPECT_TRUE(same_bits(parts[1], b));
+  EXPECT_TRUE(same_bits(parts[2], c));
+  // Responses must not pin the batch buffer.
+  EXPECT_FALSE(parts[0].shares_storage_with(batched));
+  // A single part passes through without a copy.
+  EXPECT_TRUE(coalesce_features({a}).shares_storage_with(a));
+  EXPECT_THROW(split_rows(batched, {2, 1}), Error);
+  EXPECT_THROW(split_rows(batched, {2, 0, 4}), Error);
+}
+
+TEST(Server, SingleRequestIsServedAndBitIdentical) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  deploy::InferenceSession direct(fx.artifact("uniform:sym:bits=4"));
+  const Tensor x = fx.bench.test.features.narrow(0, 0, 1);
+
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.max_delay_us = 500;
+  Server server(store, config);
+  std::future<Tensor> response = server.submit("m", x);
+  EXPECT_TRUE(same_bits(response.get(), direct.predict(x)));
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.batched_rows, 1);
+  EXPECT_EQ(stats.deadline_batches, 1);  // 1 < max_batch: released by deadline
+}
+
+TEST(Server, BurstCoalescesIntoFullBatches) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  deploy::InferenceSession direct(fx.artifact("uniform:sym:bits=4"));
+
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.max_delay_us = 200 * 1000;  // far longer than the submit loop
+  Server server(store, config);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.submit("m", fx.bench.test.features.narrow(0, i, 1)));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(same_bits(futures[static_cast<std::size_t>(i)].get(),
+                          direct.predict(fx.bench.test.features.narrow(0, i, 1))))
+        << "request " << i << " diverged from the direct unbatched predict";
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(stats.batched_rows, kRequests);
+  // All 8 queue within the generous deadline: two full batches of 4.
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.full_batches, 2);
+}
+
+TEST(Server, OverMaxBatchBurstIsServedAlone) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  deploy::InferenceSession direct(fx.artifact("uniform:sym:bits=4"));
+  const Tensor burst = fx.bench.test.features.narrow(0, 0, 10);
+
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  Server server(store, config);
+  EXPECT_TRUE(same_bits(server.submit("m", burst).get(), direct.predict(burst)));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.batched_rows, 10);
+  EXPECT_EQ(stats.full_batches, 1);
+}
+
+TEST(Server, FrozenPlanReleasesWithoutWaitingForDeadline) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  deploy::InferenceSession direct(fx.artifact("uniform:sym:bits=4"));
+
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.max_delay_us = 60 * 1000 * 1000;  // 60 s: a deadline wait would hang the test
+  Server server(store, config);
+
+  // Request A (2 rows) is followed by B (4 rows): A+B overflow, so A's plan
+  // is frozen — it must execute immediately, not after the 60 s deadline;
+  // B then fills a batch on its own.
+  const Tensor a = fx.bench.test.features.narrow(0, 0, 2);
+  const Tensor b = fx.bench.test.features.narrow(0, 2, 4);
+  std::future<Tensor> fa = server.submit("m", a);
+  std::future<Tensor> fb = server.submit("m", b);
+  EXPECT_TRUE(same_bits(fa.get(), direct.predict(a)));
+  EXPECT_TRUE(same_bits(fb.get(), direct.predict(b)));
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.deadline_batches, 0);
+  EXPECT_EQ(stats.full_batches, 2);
+}
+
+TEST(Server, UnknownModelFailsTheRequestNotTheServer) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.workers = 1;
+  Server server(store, config);
+  const Tensor x = fx.bench.test.features.narrow(0, 0, 1);
+  EXPECT_THROW(server.submit("ghost", x).get(), Error);
+  // The worker survives; the loaded model still serves.
+  EXPECT_EQ(server.submit("m", x).get().dim(0), 1);
+  server.drain();  // stats are published after the futures resolve
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(Server, DrainCompletesEverything) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.workers = 2;
+  config.max_batch = 4;
+  config.max_delay_us = 100;
+  Server server(store, config);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(server.submit("m", fx.bench.test.features.narrow(0, i % 20, 1)));
+  }
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 12);
+  EXPECT_EQ(stats.completed + stats.failed, 12);
+  EXPECT_EQ(stats.failed, 0);
+  for (auto& f : futures) EXPECT_EQ(f.get().dim(0), 1);
+}
+
+TEST(Server, ShutdownDrainsAndRejectsNewWork) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.workers = 1;
+  config.max_delay_us = 50 * 1000;
+  Server server(store, config);
+  // Submitted before shutdown: must resolve even though its coalescing
+  // deadline is far away (shutdown releases partial batches).
+  std::future<Tensor> pending = server.submit("m", fx.bench.test.features.narrow(0, 0, 1));
+  server.shutdown();
+  EXPECT_EQ(pending.get().dim(0), 1);
+  EXPECT_THROW(server.submit("m", fx.bench.test.features.narrow(0, 0, 1)), Error);
+  EXPECT_EQ(server.stats().completed, 1);
+}
+
+TEST(Server, RejectsEmptyBatchAndBadConfig) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  Server server(store);
+  EXPECT_THROW(server.submit("m", Tensor::zeros({0, 3, 8, 8})), Error);
+  ServerConfig bad;
+  bad.workers = 0;
+  EXPECT_THROW(Server s(store, bad), Error);
+  ServerConfig bad_queue;
+  bad_queue.max_queue_rows = bad_queue.max_batch;
+  EXPECT_THROW(Server s(store, bad_queue), Error);
+}
+
+}  // namespace
+}  // namespace hero::serve
