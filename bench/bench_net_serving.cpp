@@ -1,0 +1,347 @@
+// Open-loop network serving bench: seeded arrival traces over real TCP.
+//
+// Drives the full serving stack — net::Client > loopback TCP > net::NetServer
+// admission control > serve::Server micro-batching — with an OPEN-loop trace
+// (net/traffic.hpp): requests fire at pre-generated arrival times whether or
+// not earlier ones answered, which is the load shape that exposes queueing
+// delay, admission rejections, and SLA-priority behaviour (closed-loop
+// clients self-throttle and hide all three; bench_serving covers that side).
+//
+// The fleet is three quantization variants of one MLP, one per SLA class:
+//   mlp-u4    latency     (claims first, 1/8 coalescing delay)
+//   mlp-u8    standard
+//   mlp-hawq5 throughput  (yields workers, full delay)
+// Each class gets its own connection; per-connection latency reservoirs are
+// merged (common::Reservoir::merge) into the client-side percentile report.
+//
+// Faithfulness gates (exit 1, CI relies on them):
+//  * every answered response bit-identical to the direct unbatched
+//    InferenceSession::predict of the same features — across 3 mid-trace
+//    hot-swaps of mlp-u4 and the graceful drain;
+//  * zero dropped/unresolved requests (rejections are ANSWERS — counted and
+//    reported separately, they are the admission-control design working).
+//
+// Writes <out>/net_serving.json for the CI perf-trajectory artifact.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+#include "common/reservoir.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/traffic.hpp"
+#include "serve/model_store.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hero;
+
+constexpr const char* kModelNames[] = {"mlp-u4", "mlp-u8", "mlp-hawq5"};
+constexpr serve::SlaClass kModelSla[] = {serve::SlaClass::kLatency,
+                                         serve::SlaClass::kStandard,
+                                         serve::SlaClass::kThroughput};
+constexpr std::size_t kModelCount = sizeof(kModelNames) / sizeof(kModelNames[0]);
+
+struct TraceRequest {
+  std::size_t model = 0;
+  Tensor features;
+  Tensor reference;  ///< direct unbatched predict() — the bit-identity baseline
+};
+
+struct ClassOutcome {
+  std::int64_t sent = 0;
+  std::int64_t answered = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failed = 0;   ///< non-rejection errors (should be zero)
+  std::int64_t dropped = 0;  ///< futures that never resolved (must be zero)
+  std::int64_t mismatches = 0;
+  common::Reservoir latency_us{512};
+};
+
+void print_pct_row(const char* label, const ClassOutcome& c) {
+  char buf[64];
+  std::vector<std::string> cells{label, std::to_string(c.sent),
+                                 std::to_string(c.answered), std::to_string(c.rejected)};
+  for (const double p : {50.0, 95.0, 99.0}) {
+    std::snprintf(buf, sizeof buf, "%.3f", c.latency_us.percentile(p) / 1e3);
+    cells.push_back(buf);
+  }
+  hero::bench::print_row(cells);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hero::bench;
+  BenchEnv env = make_env(argc, argv);
+  const Flags flags(argc, argv);
+  const int workers = flags.get_int("workers", 4);
+  const std::int64_t max_batch = flags.get_int("max-batch", 16);
+  // Duration knobs take unit-suffixed spellings ("500us", "2ms", "1s").
+  const std::int64_t max_delay_us = flags.get_duration_us("max-delay", 2000);
+  const std::int64_t drain_timeout_us =
+      flags.get_duration_us("drain-timeout", 5'000'000);
+  const std::int64_t max_inflight = flags.get_int("max-inflight", 256);
+  const double rate_rps = flags.get_double("rate", 400.0);
+  const std::string trace_kind = flags.get("trace", "bursty");
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 29));
+  const auto requests = static_cast<std::int64_t>(env.scaled(600));
+  HERO_CHECK_MSG(workers >= 1 && max_batch >= 1 && rate_rps > 0.0,
+                 "workers, max-batch must be >= 1 and rate > 0");
+
+  // Same fleet as bench_serving: a flattened-MLP forward is
+  // dispatch-overhead-bound at batch 1, the workload micro-batching serves.
+  const data::Benchmark bench = data::make_benchmark("c10", env.scaled64(256), 384, 29);
+  const std::int64_t flat_dim = bench.spec.channels * bench.spec.size * bench.spec.size;
+  data::Dataset flat_train = bench.train;
+  flat_train.features = bench.train.features.reshape({bench.train.size(), flat_dim});
+  data::Dataset flat_test = bench.test;
+  flat_test.features = bench.test.features.reshape({bench.test.size(), flat_dim});
+
+  Rng model_rng(17);
+  auto model = nn::make_model("mlp", flat_dim, bench.train.classes, model_rng);
+  const std::string model_spec =
+      nn::canonical_model_spec("mlp", flat_dim, bench.train.classes);
+  model->set_training(false);
+
+  quant::PlannerContext ctx;
+  ctx.calib = &flat_train;
+  const char* planners[kModelCount] = {"uniform:sym:bits=4", "uniform:sym:bits=8",
+                                       "hawq:budget=5"};
+  std::vector<deploy::ModelArtifact> artifacts;
+  std::vector<std::unique_ptr<deploy::InferenceSession>> direct;
+  for (std::size_t m = 0; m < kModelCount; ++m) {
+    const quant::QuantPlan plan = quant::plan_quantization(*model, planners[m], ctx);
+    artifacts.push_back(deploy::pack_model(*model, plan, model_spec, planners[m]));
+    direct.push_back(std::make_unique<deploy::InferenceSession>(artifacts.back()));
+  }
+
+  // Seeded arrival trace + seeded request bodies: the whole offered load is
+  // reproducible from --seed/--rate/--trace.
+  net::TraceConfig trace_config;
+  trace_config.kind = net::parse_trace_kind(trace_kind);
+  trace_config.rate_rps = rate_rps;
+  trace_config.count = requests;
+  trace_config.seed = seed;
+  const std::vector<std::int64_t> arrivals = net::make_arrivals_us(trace_config);
+
+  Rng trace_rng(seed + 1);
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<std::size_t>(requests));
+  for (std::int64_t i = 0; i < requests; ++i) {
+    TraceRequest request;
+    request.model = static_cast<std::size_t>(
+        trace_rng.uniform(0.0, static_cast<double>(kModelCount)));
+    const auto rows = static_cast<std::int64_t>(trace_rng.uniform(1.0, 5.0));
+    const auto start = static_cast<std::int64_t>(
+        trace_rng.uniform(0.0, static_cast<double>(flat_test.size() - rows)));
+    request.features = flat_test.features.narrow(0, start, rows);
+    request.reference = direct[request.model]->predict(request.features);
+    trace.push_back(std::move(request));
+  }
+
+  std::printf("net serving bench: %s x {u4, u8, hawq5} over TCP, %lld requests, "
+              "%s trace @ %.0f req/s, threads=%d\n\n",
+              model_spec.c_str(), static_cast<long long>(requests), trace_kind.c_str(),
+              rate_rps, env.threads);
+
+  // The serving stack under test.
+  serve::ModelStore store;
+  for (std::size_t m = 0; m < kModelCount; ++m) store.install(kModelNames[m], artifacts[m]);
+  serve::ServerConfig server_config;
+  server_config.workers = workers;
+  server_config.max_batch = max_batch;
+  server_config.max_delay_us = max_delay_us;
+  server_config.adaptive_delay = true;  // open-loop load is what it exists for
+  serve::Server server(store, server_config);
+  for (std::size_t m = 0; m < kModelCount; ++m) server.set_sla(kModelNames[m], kModelSla[m]);
+
+  net::NetServerConfig net_config;
+  net_config.max_inflight = max_inflight;
+  net_config.drain_timeout_us = drain_timeout_us;
+  net::NetServer net(server, net_config);
+
+  // One connection per SLA class, each with its own latency reservoir.
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (std::size_t m = 0; m < kModelCount; ++m) {
+    clients.push_back(std::make_unique<net::Client>(net.port()));
+  }
+
+  // Open-loop dispatcher: fire at trace arrival times, never wait for
+  // completions. The swapper hot-swaps mlp-u4 (same artifact: swap machinery
+  // without a parity change) at dispatched quarters — mid-trace by
+  // construction.
+  std::vector<std::future<Tensor>> futures(static_cast<std::size_t>(requests));
+  std::atomic<std::int64_t> dispatched{0};
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::thread swapper([&] {
+    for (int quarter = 1; quarter <= 3; ++quarter) {
+      const std::int64_t threshold = requests * quarter / 4;
+      while (dispatched.load() < threshold) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      store.install(kModelNames[0], artifacts[0]);
+    }
+  });
+  for (std::int64_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(wall0 + std::chrono::microseconds(
+                                              arrivals[static_cast<std::size_t>(i)]));
+    const TraceRequest& r = trace[static_cast<std::size_t>(i)];
+    futures[static_cast<std::size_t>(i)] =
+        clients[r.model]->predict_async(kModelNames[r.model], r.features);
+    dispatched.fetch_add(1);
+  }
+  swapper.join();
+
+  // Graceful drain while the tail is in flight: wait only until the server
+  // has READ every dispatched frame (so none can be lost to the read-side
+  // half-close), then shut down — admitted requests must all still answer.
+  const auto read_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (net.stats().requests < requests &&
+         std::chrono::steady_clock::now() < read_deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  net.shutdown();
+  const auto wall1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+
+  // Audit: every future must be resolved (value or typed error) — zero
+  // drops; every value must be bit-identical to the direct predict.
+  std::vector<ClassOutcome> outcomes(kModelCount);
+  for (std::int64_t i = 0; i < requests; ++i) {
+    const TraceRequest& r = trace[static_cast<std::size_t>(i)];
+    ClassOutcome& out = outcomes[r.model];
+    out.sent += 1;
+    auto& future = futures[static_cast<std::size_t>(i)];
+    if (future.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+      out.dropped += 1;
+      continue;
+    }
+    try {
+      const Tensor logits = future.get();
+      out.answered += 1;
+      if (!bitwise_equal(logits, r.reference)) out.mismatches += 1;
+    } catch (const net::NetError& e) {
+      if (e.code() == net::ErrorCode::kRejected) {
+        out.rejected += 1;
+      } else {
+        out.failed += 1;
+        std::fprintf(stderr, "request %lld failed: %s\n", static_cast<long long>(i),
+                     e.what());
+      }
+    } catch (const std::exception& e) {
+      out.failed += 1;
+      std::fprintf(stderr, "request %lld failed: %s\n", static_cast<long long>(i),
+                   e.what());
+    }
+  }
+  for (std::size_t m = 0; m < kModelCount; ++m) {
+    outcomes[m].latency_us = clients[m]->latency_us();
+    clients[m]->close();
+  }
+
+  // Merged client-side percentiles: per-connection reservoirs folded in a
+  // fixed class order (Reservoir::merge is order-fixed, so this is
+  // deterministic too).
+  ClassOutcome total;
+  for (const ClassOutcome& out : outcomes) {
+    total.sent += out.sent;
+    total.answered += out.answered;
+    total.rejected += out.rejected;
+    total.failed += out.failed;
+    total.dropped += out.dropped;
+    total.mismatches += out.mismatches;
+    total.latency_us.merge(out.latency_us);
+  }
+  const double offered = net::offered_rate_rps(arrivals);
+  const double achieved =
+      wall_s > 0.0 ? static_cast<double>(total.answered) / wall_s : 0.0;
+
+  print_header({"class", "sent", "answered", "rejected", "p50 ms", "p95 ms", "p99 ms"});
+  for (std::size_t m = 0; m < kModelCount; ++m) {
+    print_pct_row(serve::sla_name(kModelSla[m]), outcomes[m]);
+  }
+  print_pct_row("merged", total);
+
+  const serve::ServerStats sstats = server.stats();
+  const net::NetServerStats nstats = net.stats();
+  std::printf("\noffered %.1f req/s, achieved %.1f req/s (wall %.2fs); "
+              "rejected %lld (front-end budget + queue bound), "
+              "queue high-water %lld reqs / %lld rows, 3 hot-swaps\n",
+              offered, achieved, wall_s, static_cast<long long>(total.rejected),
+              static_cast<long long>(sstats.max_queue_depth),
+              static_cast<long long>(sstats.max_queued_rows));
+
+  const std::string json_path = env.csv_path("net_serving.json");
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"trace\": \"%s\",\n  \"offered_rps\": %.2f,\n"
+                 "  \"achieved_rps\": %.2f,\n  \"wall_s\": %.4f,\n"
+                 "  \"requests\": %lld,\n  \"classes\": [\n",
+                 trace_kind.c_str(), offered, achieved, wall_s,
+                 static_cast<long long>(requests));
+    for (std::size_t m = 0; m < kModelCount; ++m) {
+      const ClassOutcome& out = outcomes[m];
+      std::fprintf(f,
+                   "    {\"class\": \"%s\", \"model\": \"%s\", \"sent\": %lld, "
+                   "\"answered\": %lld, \"rejected\": %lld, \"p50_ms\": %.3f, "
+                   "\"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                   serve::sla_name(kModelSla[m]), kModelNames[m],
+                   static_cast<long long>(out.sent), static_cast<long long>(out.answered),
+                   static_cast<long long>(out.rejected),
+                   out.latency_us.percentile(50.0) / 1e3,
+                   out.latency_us.percentile(95.0) / 1e3,
+                   out.latency_us.percentile(99.0) / 1e3, m + 1 < kModelCount ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"merged_p50_ms\": %.3f,\n  \"merged_p95_ms\": %.3f,\n"
+                 "  \"merged_p99_ms\": %.3f,\n  \"rejected\": %lld,\n"
+                 "  \"failed\": %lld,\n  \"dropped\": %lld,\n  \"mismatches\": %lld,\n"
+                 "  \"server_rejected\": %lld,\n  \"max_queue_depth\": %lld,\n"
+                 "  \"max_queued_rows\": %lld,\n  \"net_protocol_errors\": %lld,\n"
+                 "  \"swaps\": 3\n}\n",
+                 total.latency_us.percentile(50.0) / 1e3,
+                 total.latency_us.percentile(95.0) / 1e3,
+                 total.latency_us.percentile(99.0) / 1e3,
+                 static_cast<long long>(total.rejected),
+                 static_cast<long long>(total.failed),
+                 static_cast<long long>(total.dropped),
+                 static_cast<long long>(total.mismatches),
+                 static_cast<long long>(sstats.rejected),
+                 static_cast<long long>(sstats.max_queue_depth),
+                 static_cast<long long>(sstats.max_queued_rows),
+                 static_cast<long long>(nstats.protocol_errors));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+  }
+
+  if (total.mismatches != 0) {
+    std::fprintf(stderr, "ERROR: %lld TCP responses are not bit-identical to the "
+                         "direct unbatched predict\n",
+                 static_cast<long long>(total.mismatches));
+    return 1;
+  }
+  if (total.dropped != 0) {
+    std::fprintf(stderr, "ERROR: %lld requests never resolved (dropped)\n",
+                 static_cast<long long>(total.dropped));
+    return 1;
+  }
+  if (total.failed != 0) {
+    std::fprintf(stderr, "ERROR: %lld requests failed with a non-rejection error\n",
+                 static_cast<long long>(total.failed));
+    return 1;
+  }
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "bench_common.hpp"
 #include "common/check.hpp"
 #include "common/reservoir.hpp"
+#include "net/traffic.hpp"
 #include "serve/model_store.hpp"
 #include "serve/server.hpp"
 
@@ -151,9 +152,101 @@ RunRow run_closed_loop(const std::vector<TraceRequest>& trace,
   return row;
 }
 
+/// Outcome of the optional open-loop run (--open-loop=1).
+struct OpenLoopRow {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t answered = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failed = 0;
+  std::int64_t mismatches = 0;
+  serve::ServerStats server;
+};
+
+/// Open-loop mode: requests fire at seeded trace arrival times through the
+/// admission-controlled try_submit path — completions, not blocking futures
+/// — so saturation shows up as ServerStats::rejected and queue high-waters
+/// instead of client self-throttling (bench_net_serving drives the same
+/// shape over real TCP; this is the in-process scheduler view).
+OpenLoopRow run_open_loop(const std::vector<TraceRequest>& trace,
+                          const std::vector<deploy::ModelArtifact>& artifacts,
+                          serve::ServerConfig config, double rate_rps,
+                          std::uint64_t seed) {
+  serve::ModelStore store;
+  for (std::size_t m = 0; m < kModelCount; ++m) store.install(kModelNames[m], artifacts[m]);
+  config.adaptive_delay = true;  // the controller's home turf
+  serve::Server server(store, config);
+  const serve::SlaClass slas[kModelCount] = {serve::SlaClass::kLatency,
+                                             serve::SlaClass::kStandard,
+                                             serve::SlaClass::kThroughput};
+  for (std::size_t m = 0; m < kModelCount; ++m) server.set_sla(kModelNames[m], slas[m]);
+
+  net::TraceConfig trace_config;
+  trace_config.kind = net::TraceKind::kPoisson;
+  trace_config.rate_rps = rate_rps;
+  trace_config.count = static_cast<std::int64_t>(trace.size());
+  trace_config.seed = seed;
+  const std::vector<std::int64_t> arrivals = net::make_arrivals_us(trace_config);
+
+  const std::size_t n = trace.size();
+  enum : std::uint8_t { kPending = 0, kOk, kMismatch, kFailed, kRejected };
+  std::vector<std::uint8_t> state(n, kPending);
+  std::vector<double> latency_us(n, 0.0);
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(wall0 + std::chrono::microseconds(arrivals[i]));
+    const auto t0 = std::chrono::steady_clock::now();
+    // Completions run on worker threads; each writes only its own slot, and
+    // Server::drain() below orders those writes before the reads.
+    const bool admitted = server.try_submit(
+        kModelNames[trace[i].model], trace[i].features,
+        [&, i, t0](Tensor logits, std::exception_ptr error) {
+          const auto t1 = std::chrono::steady_clock::now();
+          if (error != nullptr) {
+            state[i] = kFailed;
+            return;
+          }
+          latency_us[i] =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          state[i] = bitwise_equal(logits, trace[i].reference) ? kOk : kMismatch;
+        });
+    if (!admitted) state[i] = kRejected;
+  }
+  server.drain();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  OpenLoopRow row;
+  row.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  row.offered_rps = net::offered_rate_rps(arrivals);
+  // Deterministic reservoir fed in request order, as in the closed loop.
+  common::Reservoir reservoir(512);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (state[i]) {
+      case kOk: row.answered += 1; reservoir.add(latency_us[i]); break;
+      case kMismatch: row.answered += 1; row.mismatches += 1; break;
+      case kFailed: row.failed += 1; break;
+      case kRejected: row.rejected += 1; break;
+      default: row.failed += 1; break;  // pending after drain = a real bug
+    }
+  }
+  row.achieved_rps =
+      row.wall_s > 0.0 ? static_cast<double>(row.answered) / row.wall_s : 0.0;
+  row.p50_ms = reservoir.percentile(50.0) / 1e3;
+  row.p95_ms = reservoir.percentile(95.0) / 1e3;
+  row.p99_ms = reservoir.percentile(99.0) / 1e3;
+  row.server = server.stats();
+  return row;
+}
+
 void write_json(const std::string& path, int threads, int clients, std::size_t requests,
                 std::int64_t max_delay_us, const std::vector<RunRow>& rows,
-                double speedup, bool parity_ok, std::int64_t dropped) {
+                double speedup, bool parity_ok, std::int64_t dropped,
+                const OpenLoopRow* open_loop) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -171,6 +264,8 @@ void write_json(const std::string& path, int threads, int clients, std::size_t r
                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                  "\"batches\": %lld, \"mean_batch_rows\": %.2f, "
                  "\"full_batches\": %lld, \"deadline_batches\": %lld, "
+                 "\"rejected\": %lld, \"max_queue_depth\": %lld, "
+                 "\"max_queued_rows\": %lld, "
                  "\"swaps\": %lld, \"mismatches\": %lld, \"failed\": %lld, "
                  "\"dropped\": %lld}%s\n",
                  r.workers, static_cast<long long>(r.max_batch), r.wall_s,
@@ -178,14 +273,34 @@ void write_json(const std::string& path, int threads, int clients, std::size_t r
                  static_cast<long long>(r.server.batches), r.server.mean_batch_rows(),
                  static_cast<long long>(r.server.full_batches),
                  static_cast<long long>(r.server.deadline_batches),
+                 static_cast<long long>(r.server.rejected),
+                 static_cast<long long>(r.server.max_queue_depth),
+                 static_cast<long long>(r.server.max_queued_rows),
                  static_cast<long long>(r.swaps), static_cast<long long>(r.mismatches),
                  static_cast<long long>(r.failed), static_cast<long long>(r.dropped),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"speedup_vs_unbatched\": %.3f,\n  \"parity_ok\": %s,\n"
-               "  \"dropped\": %lld\n}\n",
+               "  \"dropped\": %lld",
                speedup, parity_ok ? "true" : "false", static_cast<long long>(dropped));
+  if (open_loop != nullptr) {
+    std::fprintf(f,
+                 ",\n  \"open_loop\": {\"offered_rps\": %.2f, \"achieved_rps\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"answered\": %lld, \"rejected\": %lld, \"failed\": %lld, "
+                 "\"mismatches\": %lld, \"max_queue_depth\": %lld, "
+                 "\"max_queued_rows\": %lld}",
+                 open_loop->offered_rps, open_loop->achieved_rps, open_loop->p50_ms,
+                 open_loop->p95_ms, open_loop->p99_ms,
+                 static_cast<long long>(open_loop->answered),
+                 static_cast<long long>(open_loop->rejected),
+                 static_cast<long long>(open_loop->failed),
+                 static_cast<long long>(open_loop->mismatches),
+                 static_cast<long long>(open_loop->server.max_queue_depth),
+                 static_cast<long long>(open_loop->server.max_queued_rows));
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -210,6 +325,11 @@ int main(int argc, char** argv) {
   // multicore hosts, where >= 2x is the target.
   const double min_mean_rows = flags.get_double("min-mean-rows", 0.0);
   const double min_speedup = flags.get_double("min-speedup", 0.0);
+  // --open-loop=1 adds a run where requests fire at seeded Poisson arrival
+  // times through try_submit (no client self-throttling): offered vs
+  // achieved rate, admission rejections, and queue high-waters.
+  const bool open_loop = flags.get_bool("open-loop", false);
+  const double open_rate = flags.get_double("rate", 400.0);
   const std::size_t requests = static_cast<std::size_t>(env.scaled(400));
   HERO_CHECK_MSG(workers >= 1 && max_batch >= 1 && clients >= 1,
                  "workers, max-batch, and clients must all be >= 1");
@@ -346,9 +466,28 @@ int main(int argc, char** argv) {
                 "applies on multicore hosts (e.g. the 4-vCPU CI runners).\n");
   }
 
+  OpenLoopRow open_row;
+  if (open_loop) {
+    serve::ServerConfig config;
+    config.workers = workers;
+    config.max_batch = max_batch;
+    config.max_delay_us = std::max<std::int64_t>(max_delay_us, 500);
+    open_row = run_open_loop(trace, artifacts, config, open_rate, /*seed=*/41);
+    std::printf("\nopen loop @ %.0f req/s offered: achieved %.1f req/s, "
+                "p50/p95/p99 %.3f/%.3f/%.3f ms, rejected %lld, "
+                "queue high-water %lld reqs / %lld rows\n",
+                open_row.offered_rps, open_row.achieved_rps, open_row.p50_ms,
+                open_row.p95_ms, open_row.p99_ms,
+                static_cast<long long>(open_row.rejected),
+                static_cast<long long>(open_row.server.max_queue_depth),
+                static_cast<long long>(open_row.server.max_queued_rows));
+    parity_ok = parity_ok && open_row.mismatches == 0;
+    failed += open_row.failed;
+  }
+
   const std::string json_path = env.csv_path("serving.json");
   write_json(json_path, env.threads, clients, requests, max_delay_us, rows, speedup,
-             parity_ok, dropped);
+             parity_ok, dropped, open_loop ? &open_row : nullptr);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!parity_ok) {

@@ -67,6 +67,19 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
               "' (accepted: " + std::string(kBoolSpellings) + ")");
 }
 
+std::int64_t Flags::get_duration_us(const std::string& name,
+                                    std::int64_t fallback_us) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback_us;
+  if (const auto us = parse_duration_us(v)) return *us;
+  std::fprintf(stderr,
+               "warning: flag --%s has a malformed duration '%s' (accepted: %s); "
+               "using %lld us\n",
+               name.c_str(), v.c_str(), kDurationSpellings,
+               static_cast<long long>(fallback_us));
+  return fallback_us;
+}
+
 double Flags::scale() const { return get_double("scale", get_double("bench-scale", 1.0)); }
 
 }  // namespace hero

@@ -7,6 +7,7 @@
 // constructor warns about them on stderr.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace hero {
@@ -23,6 +24,11 @@ class Flags {
   /// Parses 1/0, true/false, yes/no, on/off (case-insensitive); throws
   /// hero::Error on any other value.
   bool get_bool(const std::string& name, bool fallback) const;
+  /// Parses a duration flag ("500us", "2ms", "1.5s") into microseconds.
+  /// A malformed value (including a unitless number) earns a stderr warning
+  /// and the fallback — duration knobs tune serving behavior, so a typo'd
+  /// unit degrades to the default instead of killing a long bench run.
+  std::int64_t get_duration_us(const std::string& name, std::int64_t fallback_us) const;
 
   /// Global multiplier applied by benches to epochs / dataset sizes.
   /// Controlled by --scale or HERO_BENCH_SCALE; defaults to 1.0.

@@ -15,6 +15,38 @@ std::optional<bool> parse_bool(const std::string& value) {
   return std::nullopt;
 }
 
+std::optional<std::int64_t> parse_duration_us(const std::string& value) {
+  // Split "<number><unit>": the longest prefix that parses as a double,
+  // then a mandatory us/ms/s suffix (case-insensitive, no spaces).
+  std::size_t consumed = 0;
+  double magnitude = 0.0;
+  try {
+    magnitude = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed == 0 || magnitude < 0.0) return std::nullopt;
+  std::string unit;
+  for (std::size_t i = consumed; i < value.size(); ++i) {
+    unit += static_cast<char>(std::tolower(static_cast<unsigned char>(value[i])));
+  }
+  double scale = 0.0;
+  if (unit == "us") {
+    scale = 1.0;
+  } else if (unit == "ms") {
+    scale = 1e3;
+  } else if (unit == "s") {
+    scale = 1e6;
+  } else {
+    return std::nullopt;  // missing or unknown unit — a bare number is ambiguous
+  }
+  const double us = magnitude * scale;
+  if (us > static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(us + 0.5);
+}
+
 std::string format_float_exact(float value) {
   std::ostringstream os;
   os.precision(std::numeric_limits<float>::max_digits10);

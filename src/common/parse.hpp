@@ -1,6 +1,7 @@
 // Small shared string-parsing helpers used by flag and config readers.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -12,6 +13,17 @@ inline constexpr const char* kBoolSpellings = "1/0, true/false, yes/no, on/off";
 /// Parses 1/0, true/false, yes/no, on/off (case-insensitive); nullopt on
 /// anything else.
 std::optional<bool> parse_bool(const std::string& value);
+
+/// The duration spellings parse_duration_us accepts, for diagnostics.
+inline constexpr const char* kDurationSpellings =
+    "<number>us, <number>ms, <number>s (e.g. 500us, 2ms, 1.5s)";
+
+/// Parses a duration with an explicit unit suffix — "500us", "2ms", "1s",
+/// fractional values allowed ("0.5ms") — into whole microseconds (rounded to
+/// nearest). The unit is required: a bare number is ambiguous across knobs
+/// whose natural scales differ by 10^6, so it parses as nullopt like any
+/// other malformed value. Negative durations are rejected.
+std::optional<std::int64_t> parse_duration_us(const std::string& value);
 
 /// Formats a float so that std::stof round-trips to the identical value
 /// (max_digits10 precision); used wherever numeric config travels as text.

@@ -30,6 +30,52 @@ void Reservoir::add(double value) {
   ++seen_;
 }
 
+namespace {
+
+/// Keeps every `ratio`-th sample starting at phase 0. `ratio` is a power of
+/// two (stride quotients always are), so this reproduces exactly what the
+/// reservoir would have retained at the coarser stride.
+void decimate_to(std::vector<double>& samples, std::uint64_t ratio) {
+  if (ratio <= 1) return;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < samples.size(); i += static_cast<std::size_t>(ratio)) {
+    samples[kept++] = samples[i];
+  }
+  samples.resize(kept);
+}
+
+}  // namespace
+
+void Reservoir::merge(const Reservoir& other) {
+  if (other.samples_.empty()) {
+    seen_ += other.seen_;
+    return;
+  }
+  const std::uint64_t stride = std::max(stride_, other.stride_);
+  decimate_to(samples_, stride / stride_);
+  std::vector<double> theirs = other.samples_;
+  decimate_to(theirs, stride / other.stride_);
+  stride_ = stride;
+  // Zip in observation order: sample k of either side stands for observation
+  // k*stride of its stream, so interleaving keeps the merged list ordered by
+  // (observation index, operand) — a fixed order, hence a fixed retained set.
+  std::vector<double> merged;
+  merged.reserve(samples_.size() + theirs.size());
+  const std::size_t common = std::min(samples_.size(), theirs.size());
+  for (std::size_t k = 0; k < common; ++k) {
+    merged.push_back(samples_[k]);
+    merged.push_back(theirs[k]);
+  }
+  for (std::size_t k = common; k < samples_.size(); ++k) merged.push_back(samples_[k]);
+  for (std::size_t k = common; k < theirs.size(); ++k) merged.push_back(theirs[k]);
+  samples_ = std::move(merged);
+  while (samples_.size() >= capacity_) {
+    decimate_to(samples_, 2);
+    stride_ *= 2;
+  }
+  seen_ += other.seen_;
+}
+
 double Reservoir::percentile(double p) const {
   if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;

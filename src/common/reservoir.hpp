@@ -28,6 +28,19 @@ class Reservoir {
   /// Observes one value. O(1) amortized; deterministic retention.
   void add(double value);
 
+  /// Folds another reservoir's retained samples into this one — the
+  /// aggregation step for per-connection latency reservoirs reporting one
+  /// client-side percentile set. Deterministic and order-fixed: both sides
+  /// are first decimated to the larger of the two strides (strides are
+  /// powers of two, so decimation keeps the fixed-phase property), then the
+  /// retained lists are zipped in observation order (this reservoir's k-th
+  /// sample before other's k-th), decimating again while at capacity.
+  /// `a.merge(b)` and `b.merge(a)` retain the same multiset whenever no
+  /// capacity decimation fires during the merge; with decimation the
+  /// retained subset depends on the operand order, which is why the order
+  /// is part of the contract. count() grows by other.count().
+  void merge(const Reservoir& other);
+
   /// Nearest-rank percentile over the retained samples, p in [0, 100]
   /// (p <= 0 -> minimum, p >= 100 -> maximum). Returns 0.0 when empty.
   double percentile(double p) const;

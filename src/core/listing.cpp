@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "net/server.hpp"
+#include "net/traffic.hpp"
 #include "nn/models.hpp"
 #include "optim/registry.hpp"
 #include "quant/planner.hpp"
@@ -57,9 +59,30 @@ std::string describe_registries() {
   os << "  server knobs — workers=" << defaults.workers
      << ", max_batch=" << defaults.max_batch
      << ", max_delay_us=" << defaults.max_delay_us
-     << ", max_queue_rows=" << defaults.max_queue_rows << "\n";
+     << ", max_queue_rows=" << defaults.max_queue_rows
+     << ", adaptive_delay=" << (defaults.adaptive_delay ? "on" : "off") << "\n";
+  os << "  admission — submit() blocks at the queue bound, try_submit() rejects "
+        "(ServerStats rejected/max_queue_depth/max_queued_rows)\n";
+  os << "  sla classes — ";
+  for (const serve::SlaClass sla :
+       {serve::SlaClass::kThroughput, serve::SlaClass::kStandard,
+        serve::SlaClass::kLatency}) {
+    os << serve::sla_name(sla) << (sla == serve::SlaClass::kLatency ? "" : ", ");
+  }
+  os << " (claim priority + coalescing-delay scaling; set_sla per model)\n";
   os << "  store knobs — max_bytes=" << store_defaults.max_bytes
      << " (LRU over decoded fp32 footprints)\n";
+  const net::NetServerConfig net_defaults;
+  os << "net front-end (src/net: HNET/" << net::kVersion
+     << " wire protocol on 127.0.0.1):\n";
+  os << "  net knobs — max_inflight=" << net_defaults.max_inflight
+     << ", drain_timeout_us=" << net_defaults.drain_timeout_us
+     << ", max_frame_body=" << net::kMaxFrameBody << " bytes\n";
+  os << "  traffic traces (bench_net_serving --trace) — ";
+  for (const net::TraceKind kind : {net::TraceKind::kPoisson, net::TraceKind::kBursty}) {
+    os << net::trace_kind_name(kind) << (kind == net::TraceKind::kBursty ? "" : ", ");
+  }
+  os << " (seeded, open-loop)\n";
   return os.str();
 }
 

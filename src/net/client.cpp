@@ -1,0 +1,166 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+namespace hero::net {
+
+Client::Client(std::uint16_t port, std::size_t reservoir_capacity)
+    : socket_(connect_loopback(port)), latency_us_(reservoir_capacity) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Client::~Client() { close(); }
+
+std::future<Tensor> Client::predict_async(const std::string& model,
+                                          const Tensor& features) {
+  RequestFrame frame;
+  frame.model = model;
+  frame.features = features;
+
+  std::future<Tensor> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      throw NetError(ErrorCode::kBadFrame, "client connection is closed");
+    }
+    frame.id = next_id_++;
+    Pending pending;
+    pending.sent = std::chrono::steady_clock::now();
+    future = pending.promise.get_future();
+    pending_.emplace(frame.id, std::move(pending));
+  }
+
+  try {
+    const std::string bytes = encode_request(frame);
+    std::lock_guard<std::mutex> write_lock(write_mutex_);
+    socket_.send_all(bytes);
+  } catch (...) {
+    // The reader may also be failing this pending entry on transport loss;
+    // whoever erases it first owns the promise.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(frame.id);
+    if (it != pending_.end()) {
+      it->second.promise.set_exception(std::current_exception());
+      pending_.erase(it);
+    }
+  }
+  return future;
+}
+
+Tensor Client::predict(const std::string& model, const Tensor& features) {
+  return predict_async(model, features).get();
+}
+
+void Client::reader_loop() {
+  char header_bytes[kHeaderBytes];
+  try {
+    for (;;) {
+      if (!socket_.recv_exact(header_bytes, kHeaderBytes)) {
+        fail_all_pending(NetError(ErrorCode::kBadFrame, "server closed the connection"));
+        return;
+      }
+      const FrameHeader header = decode_header(header_bytes);
+      std::string body(header.body_bytes, '\0');
+      if (header.body_bytes > 0 && !socket_.recv_exact(body.data(), body.size())) {
+        throw NetError(ErrorCode::kBadFrame, "frame body missing (server closed)");
+      }
+      const auto received = std::chrono::steady_clock::now();
+
+      if (header.type == FrameType::kResponse) {
+        ResponseFrame frame = decode_response_body(header, body);
+        std::promise<Tensor> promise;
+        bool matched = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = pending_.find(frame.id);
+          if (it != pending_.end()) {
+            matched = true;
+            promise = std::move(it->second.promise);
+            const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                received - it->second.sent);
+            latency_us_.add(static_cast<double>(us.count()));
+            pending_.erase(it);
+            responses_ += 1;
+          }
+        }
+        if (matched) promise.set_value(std::move(frame.logits));
+        // An unmatched id is a server bug, not a client crash; drop it.
+      } else if (header.type == FrameType::kError) {
+        ErrorFrame frame = decode_error_body(header, body);
+        std::promise<Tensor> promise;
+        bool matched = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          errors_ += 1;
+          if (frame.code == ErrorCode::kRejected) rejected_ += 1;
+          auto it = pending_.find(frame.id);
+          if (it != pending_.end()) {
+            matched = true;
+            promise = std::move(it->second.promise);
+            pending_.erase(it);
+          }
+        }
+        if (matched) {
+          promise.set_exception(std::make_exception_ptr(NetError(
+              frame.code, std::string(error_code_name(frame.code)) + ": " +
+                              frame.message)));
+        }
+        // id 0 (header never parsed server-side) matches nothing: the
+        // connection is about to die and the EOF path fails the rest.
+      } else {
+        throw NetError(ErrorCode::kBadFrame, "unexpected request frame from server");
+      }
+    }
+  } catch (const NetError& e) {
+    fail_all_pending(e);
+  } catch (const std::exception& e) {
+    fail_all_pending(NetError(ErrorCode::kBadFrame, e.what()));
+  }
+}
+
+void Client::fail_all_pending(const NetError& error) {
+  std::unordered_map<std::uint64_t, Pending> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(pending_);
+  }
+  for (auto& [id, entry] : pending) {
+    (void)id;
+    entry.promise.set_exception(std::make_exception_ptr(error));
+  }
+}
+
+void Client::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  // Wake the reader (EOF on its next recv); it fails whatever is pending.
+  socket_.shutdown_write();
+  socket_.shutdown_read();
+  if (reader_.joinable()) reader_.join();
+  socket_.close();
+}
+
+common::Reservoir Client::latency_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_us_;
+}
+
+std::int64_t Client::responses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return responses_;
+}
+
+std::int64_t Client::errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return errors_;
+}
+
+std::int64_t Client::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace hero::net

@@ -1,0 +1,87 @@
+// Pipelined HNET client: the load-generation half of the wire protocol.
+//
+// One TCP connection, many requests in flight: predict_async() frames a
+// request, sends it (writes serialized on a mutex), and returns a future the
+// reader thread resolves when the matching response id arrives — responses
+// may return in any order (the scheduler batches per model), so an open-loop
+// driver can fire requests at trace arrival times without ever blocking on
+// an earlier completion.
+//
+// The reader thread also keeps the client-side latency book: each response's
+// send→receive time lands in a per-connection common::Reservoir (in
+// microseconds), so per-connection percentile sets can be merged into one
+// client-side p50/p95/p99 report (Reservoir::merge).
+//
+// Server error frames surface as NetError with the frame's code — a
+// rejection (admission control) is distinguishable from an unknown model or
+// an internal failure. A transport loss fails every pending future with
+// NetError(kBadFrame); nothing ever hangs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/reservoir.hpp"
+#include "net/socket.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::net {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port and starts the reader thread.
+  explicit Client(std::uint16_t port, std::size_t reservoir_capacity = 512);
+  /// close(): pending futures fail with NetError.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request; the future resolves with the logits or a NetError.
+  /// Thread-safe; requests from several threads interleave cleanly.
+  std::future<Tensor> predict_async(const std::string& model, const Tensor& features);
+
+  /// Blocking convenience: predict_async().get().
+  Tensor predict(const std::string& model, const Tensor& features);
+
+  /// Half-closes the connection and joins the reader; idempotent. Pending
+  /// futures resolve with NetError(kBadFrame).
+  void close();
+
+  /// Snapshot of this connection's response-latency reservoir (µs).
+  common::Reservoir latency_us() const;
+  std::int64_t responses() const;  ///< response frames received
+  std::int64_t errors() const;     ///< error frames received (any code)
+  std::int64_t rejected() const;   ///< error frames with code kRejected
+
+ private:
+  struct Pending {
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point sent;
+  };
+
+  void reader_loop();
+  /// Fails every pending future with `error`; called once at teardown.
+  void fail_all_pending(const NetError& error);
+
+  Socket socket_;
+  std::mutex write_mutex_;  // one frame at a time on the wire
+
+  mutable std::mutex mutex_;  // pending_, reservoir, counters
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+  common::Reservoir latency_us_;
+  std::int64_t responses_ = 0;
+  std::int64_t errors_ = 0;
+  std::int64_t rejected_ = 0;
+  bool closed_ = false;
+
+  std::thread reader_;
+};
+
+}  // namespace hero::net

@@ -1,0 +1,143 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "tensor/io.hpp"
+
+namespace hero::net {
+
+namespace {
+
+using io::read_pod;
+using io::write_pod;
+
+/// Model names ride in request frames; keep them shorter than full string
+/// payloads so a hostile frame cannot park a megabyte in every request slot.
+constexpr std::uint32_t kMaxModelNameLen = 1024;
+
+std::string finish_frame(FrameType type, std::uint64_t id, std::string body) {
+  HERO_CHECK_MSG(body.size() <= kMaxFrameBody,
+                 "frame body of " << body.size() << " bytes exceeds the "
+                                  << kMaxFrameBody << "-byte cap");
+  std::ostringstream header;
+  header.write(kMagic, sizeof(kMagic));
+  write_pod(header, kVersion);
+  write_pod(header, static_cast<std::uint32_t>(type));
+  write_pod(header, id);
+  write_pod(header, static_cast<std::uint32_t>(body.size()));
+  return header.str() + body;
+}
+
+/// Wraps a body in an istringstream and checks it is fully consumed after
+/// `parse` ran — trailing bytes mean a corrupt or hostile frame.
+template <typename Parse>
+auto parse_body(const std::string& body, const char* what, Parse parse) {
+  std::istringstream in(body);
+  auto result = parse(in);
+  // tellg() lands at the consumed-byte count while the stream is good; a
+  // parse that read exactly to the end leaves no remainder.
+  const auto pos = in.tellg();
+  const bool consumed =
+      pos == std::istringstream::pos_type(-1)
+          ? in.eof()
+          : static_cast<std::size_t>(pos) == body.size();
+  HERO_CHECK_MSG(consumed, what << " frame body carries trailing bytes");
+  return result;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "bad_frame";
+    case ErrorCode::kUnknownModel: return "unknown_model";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string encode_request(const RequestFrame& frame) {
+  HERO_CHECK_MSG(frame.model.size() <= kMaxModelNameLen,
+                 "model name of " << frame.model.size() << " bytes exceeds the "
+                                  << kMaxModelNameLen << "-byte cap");
+  std::ostringstream body;
+  write_string(body, frame.model);
+  save_tensor(body, frame.features);
+  return finish_frame(FrameType::kRequest, frame.id, body.str());
+}
+
+std::string encode_response(const ResponseFrame& frame) {
+  std::ostringstream body;
+  save_tensor(body, frame.logits);
+  return finish_frame(FrameType::kResponse, frame.id, body.str());
+}
+
+std::string encode_error(const ErrorFrame& frame) {
+  std::ostringstream body;
+  write_pod(body, static_cast<std::uint32_t>(frame.code));
+  write_string(body, frame.message);
+  return finish_frame(FrameType::kError, frame.id, body.str());
+}
+
+FrameHeader decode_header(const char* bytes) {
+  HERO_CHECK_MSG(std::memcmp(bytes, kMagic, sizeof(kMagic)) == 0,
+                 "bad frame magic (not an HNET stream)");
+  std::istringstream in(std::string(bytes + sizeof(kMagic),
+                                    kHeaderBytes - sizeof(kMagic)));
+  const auto version = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(version == kVersion, "unsupported HNET protocol version " << version);
+  const auto type = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(type >= static_cast<std::uint32_t>(FrameType::kRequest) &&
+                     type <= static_cast<std::uint32_t>(FrameType::kError),
+                 "unknown HNET frame type " << type);
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type);
+  header.id = read_pod<std::uint64_t>(in);
+  header.body_bytes = read_pod<std::uint32_t>(in);
+  HERO_CHECK_MSG(header.body_bytes <= kMaxFrameBody,
+                 "frame declares a " << header.body_bytes
+                                     << "-byte body, above the " << kMaxFrameBody
+                                     << "-byte cap (hostile length prefix?)");
+  return header;
+}
+
+RequestFrame decode_request_body(const FrameHeader& header, const std::string& body) {
+  HERO_CHECK_MSG(header.type == FrameType::kRequest, "not a request frame");
+  return parse_body(body, "request", [&](std::istream& in) {
+    RequestFrame frame;
+    frame.id = header.id;
+    frame.model = read_string(in, kMaxModelNameLen);
+    frame.features = load_tensor(in);
+    return frame;
+  });
+}
+
+ResponseFrame decode_response_body(const FrameHeader& header, const std::string& body) {
+  HERO_CHECK_MSG(header.type == FrameType::kResponse, "not a response frame");
+  return parse_body(body, "response", [&](std::istream& in) {
+    ResponseFrame frame;
+    frame.id = header.id;
+    frame.logits = load_tensor(in);
+    return frame;
+  });
+}
+
+ErrorFrame decode_error_body(const FrameHeader& header, const std::string& body) {
+  HERO_CHECK_MSG(header.type == FrameType::kError, "not an error frame");
+  return parse_body(body, "error", [&](std::istream& in) {
+    ErrorFrame frame;
+    frame.id = header.id;
+    const auto code = read_pod<std::uint32_t>(in);
+    HERO_CHECK_MSG(code >= static_cast<std::uint32_t>(ErrorCode::kBadFrame) &&
+                       code <= static_cast<std::uint32_t>(ErrorCode::kInternal),
+                   "unknown HNET error code " << code);
+    frame.code = static_cast<ErrorCode>(code);
+    frame.message = read_string(in);
+    return frame;
+  });
+}
+
+}  // namespace hero::net

@@ -1,0 +1,114 @@
+// HNET v1: the length-prefixed binary wire protocol of the serving
+// front-end.
+//
+// Every frame is a fixed 24-byte header followed by a body:
+//
+//   offset  size  field
+//        0     4  magic "HNET"
+//        4     4  u32 protocol version (1)
+//        8     4  u32 frame type (request / response / error)
+//       12     8  u64 request id (client-chosen; echoed in the reply)
+//       20     4  u32 body length in bytes (<= kMaxFrameBody)
+//       24     -  body, little-endian
+//
+//   request body:  length-prefixed model name (tensor/io write_string)
+//                  + feature tensor (tensor/io save_tensor: "HTSR" magic,
+//                    checked shape, fp32 payload)
+//   response body: logits tensor (save_tensor)
+//   error body:    u32 error code + length-prefixed message
+//
+// Decoding reuses the hostile-input-hardened tensor/io readers: negative or
+// overflowing extents, oversized strings, and truncated payloads are all
+// rejected with hero::Error before anything allocates, and a body with
+// trailing bytes is rejected too — a malformed frame can fail its connection
+// with a clean error frame but can never crash the server or commit it to a
+// multi-gigabyte allocation (pinned by tests/net/protocol_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::net {
+
+inline constexpr char kMagic[4] = {'H', 'N', 'E', 'T'};
+inline constexpr std::uint32_t kVersion = 1;
+/// Header bytes on the wire: magic + version + type + id + body length.
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 4;
+/// Body-size cap. Far above any batch this repo serves, small enough that a
+/// hostile length prefix cannot request an absurd buffer.
+inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;
+
+enum class FrameType : std::uint32_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+/// Error codes carried by error frames. The client surfaces them as typed
+/// exceptions; the bench tallies rejections separately from failures.
+enum class ErrorCode : std::uint32_t {
+  kBadFrame = 1,      ///< malformed header or body; the connection closes
+  kUnknownModel = 2,  ///< model name not installed in the store
+  kRejected = 3,      ///< admission control: server saturated, retry later
+  kShuttingDown = 4,  ///< server is draining; no new work accepted
+  kInternal = 5,      ///< forward pass or scheduler failure
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// Exception carried by client-side failures: wraps the server's error frame
+/// (or a transport failure, code kBadFrame) with its code.
+class NetError : public Error {
+ public:
+  NetError(ErrorCode code, const std::string& what) : Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  std::uint64_t id = 0;
+  std::uint32_t body_bytes = 0;
+};
+
+struct RequestFrame {
+  std::uint64_t id = 0;
+  std::string model;
+  Tensor features;
+};
+
+struct ResponseFrame {
+  std::uint64_t id = 0;
+  Tensor logits;
+};
+
+struct ErrorFrame {
+  std::uint64_t id = 0;  ///< 0 when the offending request id never parsed
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Serializes one whole frame (header + body) into a send-ready byte string.
+std::string encode_request(const RequestFrame& frame);
+std::string encode_response(const ResponseFrame& frame);
+std::string encode_error(const ErrorFrame& frame);
+
+/// Parses and validates a header from exactly kHeaderBytes bytes: magic,
+/// version, known frame type, body length under kMaxFrameBody. Throws
+/// hero::Error on any violation — the transport layer turns that into one
+/// error frame and a closed connection.
+FrameHeader decode_header(const char* bytes);
+
+/// Parses a frame body previously sized by its header. Hardened: throws
+/// hero::Error on truncation, hostile tensor extents, oversized strings, or
+/// trailing bytes.
+RequestFrame decode_request_body(const FrameHeader& header, const std::string& body);
+ResponseFrame decode_response_body(const FrameHeader& header, const std::string& body);
+ErrorFrame decode_error_body(const FrameHeader& header, const std::string& body);
+
+}  // namespace hero::net

@@ -1,0 +1,243 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace hero::net {
+
+NetServer::NetServer(serve::Server& server, NetServerConfig config)
+    : server_(server), config_(config), listener_(config.port) {
+  HERO_CHECK_MSG(config_.max_inflight >= 1,
+                 "NetServer max_inflight must be >= 1, got " << config_.max_inflight);
+  HERO_CHECK_MSG(config_.drain_timeout_us >= 0,
+                 "NetServer drain_timeout_us must be >= 0");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+void NetServer::accept_loop() {
+  for (;;) {
+    Socket socket = listener_.accept();
+    if (!socket.valid()) return;  // listener closed: shutdown
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(socket);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;  // conn's socket closes on scope exit
+      stats_.connections += 1;
+      connections_.push_back(conn);
+      reader_threads_.emplace_back([this, conn] { reader_loop(std::move(conn)); });
+    }
+  }
+}
+
+void NetServer::reader_loop(ConnectionPtr conn) {
+  char header_bytes[kHeaderBytes];
+  for (;;) {
+    std::uint64_t frame_id = 0;  // best-effort id for the error frame
+    try {
+      if (!conn->socket.recv_exact(header_bytes, kHeaderBytes)) return;  // clean EOF
+      const FrameHeader header = decode_header(header_bytes);
+      frame_id = header.id;
+      std::string body(header.body_bytes, '\0');
+      if (header.body_bytes > 0 &&
+          !conn->socket.recv_exact(body.data(), body.size())) {
+        throw NetError(ErrorCode::kBadFrame, "frame body missing (peer closed)");
+      }
+      if (!handle_frame(conn, header, body)) return;
+    } catch (const std::exception& e) {
+      // One malformed frame fails ONE connection: answer with a clean error
+      // frame (id 0 when the header itself never parsed) and stop reading.
+      // A transport error lands here too; the send below is best-effort.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.protocol_errors += 1;
+      }
+      send_error(conn, frame_id, ErrorCode::kBadFrame, e.what());
+      // Both directions: the peer must see EOF, not a silent stall. (The
+      // clean-EOF drain path above keeps the write side open instead, so
+      // admitted responses still flush.)
+      conn->socket.shutdown_read();
+      conn->socket.shutdown_write();
+      return;
+    }
+  }
+}
+
+bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& header,
+                             const std::string& body) {
+  if (header.type != FrameType::kRequest) {
+    // Protocol violation: let the reader's catch answer and close.
+    throw NetError(ErrorCode::kBadFrame, "server accepts only request frames");
+  }
+  RequestFrame request = decode_request_body(header, body);  // throws on hostile body
+
+  // Admission gate 1: the front-end's own in-flight budget. Checked before
+  // the scheduler sees the request so a flood cannot pin unbounded feature
+  // tensors in scheduler queues OR front-end closures.
+  bool reject_stopping = false;
+  bool reject_budget = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.requests += 1;
+    if (stopping_) {
+      reject_stopping = true;
+    } else if (inflight_ >= config_.max_inflight) {
+      stats_.rejected += 1;
+      reject_budget = true;
+    } else {
+      inflight_ += 1;
+      stats_.max_inflight = std::max(stats_.max_inflight, inflight_);
+    }
+  }
+  if (reject_stopping) {
+    send_error(conn, header.id, ErrorCode::kShuttingDown, "server is draining");
+    return false;
+  }
+  if (reject_budget) {
+    send_error(conn, header.id, ErrorCode::kRejected,
+               "front-end in-flight budget exhausted, retry later");
+    return true;  // the connection stays usable; rejection is per-request
+  }
+
+  const auto release_inflight = [this] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_ -= 1;
+    if (inflight_ == 0) drain_cv_.notify_all();
+  };
+
+  // Advisory unknown-model pre-check: a crisp error code without a
+  // scheduler round trip. The submit path stays the authority — a racing
+  // install may still serve the request, a racing evict fails it with
+  // kUnknownModel through the completion below.
+  if (!server_.store().contains(request.model)) {
+    release_inflight();
+    send_error(conn, header.id, ErrorCode::kUnknownModel,
+               "model '" + request.model + "' is not loaded");
+    return true;
+  }
+
+  const std::uint64_t id = header.id;
+  auto completion = [this, conn, id, release_inflight](Tensor logits,
+                                                       std::exception_ptr error) {
+    // Runs on a scheduler worker thread; must not throw (serve::Server
+    // contract) — every path below catches its own failures.
+    if (error == nullptr) {
+      ResponseFrame frame;
+      frame.id = id;
+      frame.logits = std::move(logits);
+      try {
+        send_frame(conn, encode_response(frame));
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.responses += 1;
+      } catch (const std::exception&) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.write_failures += 1;
+      }
+    } else {
+      std::string message = "forward pass failed";
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        message = e.what();
+      }
+      // The scheduler reports an evicted/unknown model as "... is not
+      // loaded"; surface that as the typed code the client can act on.
+      const ErrorCode code = message.find("is not loaded") != std::string::npos
+                                 ? ErrorCode::kUnknownModel
+                                 : ErrorCode::kInternal;
+      send_error(conn, id, code, message);
+    }
+    release_inflight();
+  };
+
+  // Admission gate 2: the scheduler's queue bound. try_submit never blocks;
+  // a full queue is an explicit reject the client hears about immediately.
+  bool admitted = false;
+  try {
+    admitted = server_.try_submit(request.model, request.features, std::move(completion));
+  } catch (const std::exception& e) {
+    release_inflight();
+    send_error(conn, header.id, ErrorCode::kShuttingDown, e.what());
+    return false;
+  }
+  if (!admitted) {
+    release_inflight();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.rejected += 1;
+    }
+    send_error(conn, header.id, ErrorCode::kRejected,
+               "scheduler queue is full, retry later");
+  }
+  return true;
+}
+
+void NetServer::send_frame(const ConnectionPtr& conn, const std::string& bytes) {
+  std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+  conn->socket.send_all(bytes);
+}
+
+void NetServer::send_error(const ConnectionPtr& conn, std::uint64_t id, ErrorCode code,
+                           const std::string& message) {
+  ErrorFrame frame;
+  frame.id = id;
+  frame.code = code;
+  frame.message = message;
+  try {
+    send_frame(conn, encode_error(frame));
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.errors_sent += 1;
+  } catch (const std::exception&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.write_failures += 1;
+  }
+}
+
+void NetServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Wake the accept thread first, close the fd only after the join: close()
+  // writes the fd member the accept loop is still reading.
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // Half-close read sides: every reader sees EOF at its next frame boundary
+  // and stops admitting; responses for already-admitted requests still
+  // flush through the write sides.
+  std::vector<ConnectionPtr> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections = connections_;
+  }
+  for (const ConnectionPtr& conn : connections) conn->socket.shutdown_read();
+  for (std::thread& t : reader_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_cv_.wait_for(lock, std::chrono::microseconds(config_.drain_timeout_us),
+                       [&] { return inflight_ == 0; });
+  }
+  for (const ConnectionPtr& conn : connections) {
+    std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+    conn->socket.close();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.clear();
+  reader_threads_.clear();
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hero::net

@@ -1,0 +1,134 @@
+// TCP front-end: HNET frames in, serve::Server micro-batches underneath.
+//
+//   client ──TCP──► Connection reader ──try_submit()──► serve::Server
+//                         │                                  │ completion
+//                         │   error frame (reject/unknown)   ▼ (worker thread)
+//                         └◄──────────── response / error frame writes
+//
+// One reader thread per connection parses length-prefixed frames
+// (net/protocol.hpp) and feeds the scheduler through the
+// admission-controlled try_submit path; completions serialize their
+// response frames over the connection's write mutex from the scheduler's
+// worker threads, so responses return in completion order (micro-batching
+// and SLA priorities decide that order, not the socket).
+//
+// Admission control is two explicit gates, both answered with an error
+// frame instead of blocking the connection:
+//  * a front-end budget (max_inflight admitted-but-unanswered requests
+//    across all connections) — bounds the memory a flood of open-loop
+//    clients can pin regardless of scheduler queue state;
+//  * the scheduler's own queue bound (try_submit returns false) — the
+//    saturation signal, counted in ServerStats::rejected.
+//
+// Graceful drain: shutdown() (and the destructor) stops accepting
+// connections, half-closes every connection's read side so no new request
+// enters, then waits — bounded by drain_timeout_us — until every admitted
+// request has been answered before closing sockets. In-flight requests
+// always resolve; a ModelStore hot-swap mid-drain is safe for the same
+// reason it is safe mid-load (sessions are refcounted; old handles retire
+// on the weights they started with).
+//
+// A malformed frame (bad magic/version, hostile length prefix, garbage
+// tensor payload) fails ITS connection: the reader answers with one
+// ErrorCode::kBadFrame frame (request id 0 when the header never parsed)
+// and closes, leaving every other connection undisturbed — pinned by
+// tests/net/net_server_test.cpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "serve/server.hpp"
+
+namespace hero::net {
+
+struct NetServerConfig {
+  /// Listen port on 127.0.0.1; 0 = ephemeral (read it back via port()).
+  std::uint16_t port = 0;
+  /// Admitted-but-unanswered request budget across all connections; the
+  /// front-end's own backstop on pinned memory. Requests over the budget
+  /// are rejected with an error frame.
+  std::int64_t max_inflight = 256;
+  /// How long shutdown() waits for admitted requests to answer before
+  /// closing sockets anyway (the scheduler's own drain keeps resolving
+  /// them; only the wire write can be lost past this point).
+  std::int64_t drain_timeout_us = 5'000'000;
+};
+
+/// Front-end counters (snapshot under the server lock).
+struct NetServerStats {
+  std::int64_t connections = 0;      ///< accepted TCP connections
+  std::int64_t requests = 0;         ///< well-formed request frames read
+  std::int64_t responses = 0;        ///< response frames written
+  std::int64_t rejected = 0;         ///< admission error frames (either gate)
+  std::int64_t errors_sent = 0;      ///< error frames written, every code
+  std::int64_t protocol_errors = 0;  ///< malformed frames (connection closed)
+  std::int64_t write_failures = 0;   ///< frames lost to a vanished client
+  std::int64_t max_inflight = 0;     ///< high-water of admitted in-flight
+};
+
+class NetServer {
+ public:
+  /// Binds and starts serving immediately. The serve::Server (and its
+  /// ModelStore) must outlive this front-end.
+  NetServer(serve::Server& server, NetServerConfig config);
+  explicit NetServer(serve::Server& server) : NetServer(server, NetServerConfig{}) {}
+  /// Graceful drain, then close (shutdown()).
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port — the kernel's pick when config.port was 0.
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting work, drains admitted requests (bounded by
+  /// drain_timeout_us), closes every connection. Idempotent.
+  void shutdown();
+
+  NetServerStats stats() const;
+  const NetServerConfig& config() const { return config_; }
+
+ private:
+  /// Shared per-connection state; completions keep it (and the socket)
+  /// alive until the last response frame has been written.
+  struct Connection {
+    Socket socket;
+    std::mutex write_mutex;  ///< serializes frames from worker threads
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  void accept_loop();
+  void reader_loop(ConnectionPtr conn);
+  /// Parses and dispatches one request frame; returns false when the
+  /// connection must close (protocol violation).
+  bool handle_frame(const ConnectionPtr& conn, const FrameHeader& header,
+                    const std::string& body);
+  /// Writes a frame under the connection's write mutex; a vanished client
+  /// costs one write_failures count, never an exception.
+  void send_frame(const ConnectionPtr& conn, const std::string& bytes);
+  void send_error(const ConnectionPtr& conn, std::uint64_t id, ErrorCode code,
+                  const std::string& message);
+
+  serve::Server& server_;
+  const NetServerConfig config_;
+  Listener listener_;
+
+  mutable std::mutex mutex_;  // stats, registry, in-flight budget
+  std::condition_variable drain_cv_;
+  std::int64_t inflight_ = 0;
+  bool stopping_ = false;
+  NetServerStats stats_;
+  std::vector<ConnectionPtr> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace hero::net

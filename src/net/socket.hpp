@@ -1,0 +1,91 @@
+// Minimal RAII TCP plumbing for the serving front-end (POSIX, loopback).
+//
+// Deliberately small: a move-only connected-socket wrapper with
+// whole-message send/recv (EINTR-safe, SIGPIPE-suppressed), and a listener
+// bound to 127.0.0.1 with ephemeral-port support (port 0 → the kernel picks;
+// port() reports it, which is what lets tests and CI run without a fixed
+// port). Transport failures throw hero::net::NetError; a clean peer
+// shutdown surfaces as recv_exact() returning false at a frame boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace hero::net {
+
+/// Move-only owner of one connected TCP socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Sends the whole buffer; throws NetError(kBadFrame) when the peer is
+  /// gone. SIGPIPE is suppressed (MSG_NOSIGNAL) — a dead client must fail
+  /// one write, never the process.
+  void send_all(const char* data, std::size_t len);
+  void send_all(const std::string& data) { send_all(data.data(), data.size()); }
+
+  /// Reads exactly `len` bytes. Returns false on a clean EOF before the
+  /// first byte (peer closed between frames); throws NetError(kBadFrame) on
+  /// a mid-message truncation or transport error.
+  bool recv_exact(char* data, std::size_t len);
+
+  /// Half-closes: further recv on the peer sees EOF. shutdown_read unblocks
+  /// a thread parked in recv_exact (used for graceful drain: stop reading
+  /// new requests while responses still flush).
+  void shutdown_read();
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on 127.0.0.1. The serving tier fronts a reverse proxy
+/// in any real deployment; binding loopback keeps the bench/test surface
+/// honest without exposing an interface.
+class Listener {
+ public:
+  /// Binds and listens; port 0 asks the kernel for an ephemeral port.
+  explicit Listener(std::uint16_t port);
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound port (the kernel's pick when constructed with 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Returns an invalid Socket when the
+  /// listener was shut down (the accept loop's stop signal).
+  Socket accept();
+
+  /// Wakes a blocked accept() (it returns an invalid Socket) without
+  /// touching the fd value — safe to call while another thread is inside
+  /// accept(). Pair with close() once that thread is joined.
+  void shutdown();
+
+  /// Unblocks accept(); idempotent.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port; throws NetError on refusal.
+Socket connect_loopback(std::uint16_t port);
+
+}  // namespace hero::net

@@ -1,0 +1,114 @@
+#include "net/traffic.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hero::net {
+
+namespace {
+
+/// Unit-mean exponential variate. uniform() is in [0, 1), so the argument of
+/// log is in (0, 1] and the result finite.
+double exponential(Rng& rng) { return -std::log(1.0 - rng.uniform()); }
+
+std::int64_t to_us(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPoisson: return "poisson";
+    case TraceKind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+TraceKind parse_trace_kind(const std::string& name) {
+  if (name == "poisson") return TraceKind::kPoisson;
+  if (name == "bursty") return TraceKind::kBursty;
+  throw Error("unknown trace kind '" + name + "' (expected poisson or bursty)");
+}
+
+std::vector<std::int64_t> make_arrivals_us(const TraceConfig& config) {
+  HERO_CHECK_MSG(config.rate_rps > 0.0,
+                 "trace rate_rps must be > 0, got " << config.rate_rps);
+  HERO_CHECK_MSG(config.count >= 1, "trace count must be >= 1, got " << config.count);
+
+  Rng rng(config.seed);
+  std::vector<std::int64_t> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(config.count));
+
+  if (config.kind == TraceKind::kPoisson) {
+    double t = 0.0;
+    for (std::int64_t i = 0; i < config.count; ++i) {
+      t += exponential(rng) / config.rate_rps;
+      arrivals.push_back(to_us(t));
+    }
+    return arrivals;
+  }
+
+  // Bursty: inhomogeneous Poisson with a piecewise-constant on-off rate,
+  // sampled by inversion — draw a unit-exponential hazard and advance time
+  // through the phase schedule until the integrated rate consumes it. The
+  // OFF rate is solved so the long-run average equals rate_rps:
+  //   duty * peak * rate + (1 - duty) * off = rate.
+  HERO_CHECK_MSG(config.burst_period_s > 0.0,
+                 "burst_period_s must be > 0, got " << config.burst_period_s);
+  HERO_CHECK_MSG(config.burst_duty > 0.0 && config.burst_duty < 1.0,
+                 "burst_duty must be in (0, 1), got " << config.burst_duty);
+  HERO_CHECK_MSG(config.burst_peak > 1.0,
+                 "burst_peak must be > 1, got " << config.burst_peak);
+  const double off_scale =
+      (1.0 - config.burst_peak * config.burst_duty) / (1.0 - config.burst_duty);
+  HERO_CHECK_MSG(off_scale > 0.0,
+                 "bursty shape needs burst_peak * burst_duty < 1 so the OFF-phase "
+                 "rate stays positive; got peak "
+                     << config.burst_peak << " duty " << config.burst_duty);
+  const double on_rate = config.burst_peak * config.rate_rps;
+  const double off_rate = off_scale * config.rate_rps;
+  const double on_len = config.burst_duty * config.burst_period_s;
+
+  // Phase position is tracked as (whole periods, offset in [0, period))
+  // rather than one running double: `t += phase_end - pos` stalls forever
+  // once the remaining slice drops below t's ULP, whereas assigning the
+  // boundary exactly always makes progress — each loop pass either finishes
+  // the hazard or consumes a full phase's positive budget.
+  std::int64_t periods = 0;
+  double pos = 0.0;
+  for (std::int64_t i = 0; i < config.count; ++i) {
+    double hazard = exponential(rng);
+    for (;;) {
+      const bool on = pos < on_len;
+      const double rate = on ? on_rate : off_rate;
+      const double phase_end = on ? on_len : config.burst_period_s;
+      const double budget = (phase_end - pos) * rate;  // hazard left in phase
+      if (budget >= hazard) {
+        pos += hazard / rate;
+        break;
+      }
+      hazard -= budget;
+      if (on) {
+        pos = on_len;
+      } else {
+        pos = 0.0;
+        periods += 1;
+      }
+    }
+    arrivals.push_back(
+        to_us(static_cast<double>(periods) * config.burst_period_s + pos));
+  }
+  return arrivals;
+}
+
+double offered_rate_rps(const std::vector<std::int64_t>& arrivals_us) {
+  if (arrivals_us.size() < 2) return 0.0;
+  const std::int64_t span = arrivals_us.back() - arrivals_us.front();
+  if (span <= 0) return 0.0;
+  return static_cast<double>(arrivals_us.size() - 1) * 1e6 / static_cast<double>(span);
+}
+
+}  // namespace hero::net

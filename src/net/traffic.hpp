@@ -1,0 +1,65 @@
+// Open-loop traffic engine: seeded arrival-trace generation.
+//
+// Closed-loop load (each client waits for its response before sending the
+// next request) self-throttles: a slow server sees a slow client, and tail
+// latency looks flat no matter how saturated the scheduler is — the
+// coordinated-omission trap. Open-loop load fires requests at
+// pre-determined arrival times regardless of completions, which is what
+// exposes queueing delay, admission rejections, and SLA-priority behaviour.
+//
+// make_arrivals_us() materializes a whole trace up front as microsecond
+// offsets from t=0, deterministic per (config, seed) on every platform
+// (hero::Rng is PCG32): the same trace can be replayed against different
+// server configs and the offered load compared bit-for-bit.
+//
+// Two processes:
+//  * kPoisson — exponential inter-arrival gaps at rate_rps; the memoryless
+//    baseline for serving benchmarks.
+//  * kBursty — an on-off modulated Poisson process: a square wave of period
+//    burst_period_s spends burst_duty of each period in the ON phase at
+//    burst_peak × rate_rps and the rest in the OFF phase at the complementary
+//    rate chosen so the long-run average stays rate_rps. Bursts are what
+//    make admission control and the adaptive delay controller earn their
+//    keep; a pure Poisson trace rarely does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hero::net {
+
+enum class TraceKind { kPoisson, kBursty };
+
+const char* trace_kind_name(TraceKind kind);
+/// Parses "poisson" / "bursty"; throws hero::Error on anything else.
+TraceKind parse_trace_kind(const std::string& name);
+
+struct TraceConfig {
+  TraceKind kind = TraceKind::kPoisson;
+  /// Long-run average offered rate, requests per second. Must be > 0.
+  double rate_rps = 200.0;
+  /// Number of arrivals to generate. Must be >= 1.
+  std::int64_t count = 1000;
+  std::uint64_t seed = 0;
+  /// Bursty only: on-off square-wave period in seconds (> 0).
+  double burst_period_s = 0.5;
+  /// Bursty only: fraction of each period spent in the ON phase, in (0, 1).
+  double burst_duty = 0.5;
+  /// Bursty only: ON-phase rate multiplier (> 1, and burst_peak * burst_duty
+  /// < 1 so the OFF-phase rate stays positive).
+  double burst_peak = 1.8;
+};
+
+/// Generates `config.count` arrival offsets in microseconds from t=0,
+/// non-decreasing, deterministic per (config, seed). Throws hero::Error on
+/// invalid parameters (non-positive rate/count, bursty shape with a
+/// non-positive OFF rate).
+std::vector<std::int64_t> make_arrivals_us(const TraceConfig& config);
+
+/// The realized offered rate of a trace in requests/second: count divided by
+/// the span to the last arrival. Returns 0 for traces shorter than 2
+/// arrivals or a zero span.
+double offered_rate_rps(const std::vector<std::int64_t>& arrivals_us);
+
+}  // namespace hero::net

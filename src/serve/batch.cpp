@@ -16,6 +16,49 @@ bool trailing_dims_match(const Shape& a, const Shape& b) {
 
 }  // namespace
 
+const char* sla_name(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kThroughput: return "throughput";
+    case SlaClass::kStandard: return "standard";
+    case SlaClass::kLatency: return "latency";
+  }
+  return "standard";
+}
+
+SlaClass parse_sla_class(const std::string& name) {
+  if (name == "throughput") return SlaClass::kThroughput;
+  if (name == "standard") return SlaClass::kStandard;
+  if (name == "latency") return SlaClass::kLatency;
+  throw Error("unknown SLA class '" + name +
+              "' (accepted: latency, standard, throughput)");
+}
+
+std::int64_t sla_delay_us(SlaClass sla, std::int64_t max_delay_us) {
+  return sla == SlaClass::kLatency ? max_delay_us / 8 : max_delay_us;
+}
+
+std::int64_t adaptive_delay_us(std::int64_t max_delay_us, std::int64_t queued_rows,
+                               std::int64_t max_batch) {
+  HERO_CHECK_MSG(max_batch > 0, "adaptive_delay_us: max_batch must be positive");
+  if (queued_rows <= 0) return max_delay_us;
+  if (queued_rows >= max_batch) return 0;
+  return max_delay_us * (max_batch - queued_rows) / max_batch;
+}
+
+std::size_t select_claim(const std::vector<PendingView>& pending,
+                         const std::unordered_set<std::string>& claimed) {
+  std::size_t best = pending.size();
+  int best_priority = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (claimed.find(*pending[i].model) != claimed.end()) continue;
+    if (best == pending.size() || pending[i].priority > best_priority) {
+      best = i;
+      best_priority = pending[i].priority;
+    }
+  }
+  return best;
+}
+
 MicroBatchPlan plan_micro_batch(const std::vector<PendingView>& pending,
                                 std::size_t first, std::int64_t max_batch) {
   HERO_CHECK_MSG(first < pending.size(),

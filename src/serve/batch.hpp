@@ -18,21 +18,66 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace hero::serve {
 
-/// Non-owning scheduler view of one queued request — two pointers, so the
-/// Server can re-plan on every wake without copying strings or shapes while
-/// it holds the queue lock. Pointees must outlive the planning call (the
-/// Server rebuilds views under the lock on each pass).
+/// Per-model service-level class. The scheduler consults it twice: when a
+/// free worker picks which model's batch to form next (priority tiers —
+/// select_claim), and when sizing the coalescing delay the batch head may
+/// wait (sla_delay_us). A latency-class model's oldest request therefore
+/// cannot starve behind a throughput-class batch: the next free worker
+/// claims it first, and it waits a fraction of the configured delay.
+enum class SlaClass : int {
+  kThroughput = 0,  ///< batch-filling bulk traffic; yields workers, full delay
+  kStandard = 1,    ///< the default tier
+  kLatency = 2,     ///< interactive traffic; claims first, 1/8 of the delay
+};
+
+/// Claim priority of an SLA tier (higher claims first).
+inline int sla_priority(SlaClass sla) { return static_cast<int>(sla); }
+
+/// Human name ("latency"); parse_sla_class inverts it (throws hero::Error on
+/// an unknown spelling) — the spelling bench/server flags use.
+const char* sla_name(SlaClass sla);
+SlaClass parse_sla_class(const std::string& name);
+
+/// Coalescing-delay ceiling for a batch headed by a request of class `sla`:
+/// latency-class batches wait at most 1/8 of the configured delay (a fast
+/// flush still coalesces whatever already queued), everything else the full
+/// ceiling.
+std::int64_t sla_delay_us(SlaClass sla, std::int64_t max_delay_us);
+
+/// Adaptive delay controller: scales the delay ceiling down linearly as the
+/// total queued backlog approaches one full batch — when queued_rows >=
+/// max_batch the backlog IS the next batch and waiting buys nothing, so the
+/// effective delay reaches 0; an empty queue earns the full ceiling. Pure,
+/// so the control law is testable without threads.
+std::int64_t adaptive_delay_us(std::int64_t max_delay_us, std::int64_t queued_rows,
+                               std::int64_t max_batch);
+
+/// Non-owning scheduler view of one queued request — two pointers and the
+/// request's SLA priority snapshot, so the Server can re-plan on every wake
+/// without copying strings or shapes while it holds the queue lock. Pointees
+/// must outlive the planning call (the Server rebuilds views under the lock
+/// on each pass).
 struct PendingView {
   const std::string* model;
   const Shape* shape;  ///< feature shape; dim 0 is the example count
+  int priority = sla_priority(SlaClass::kStandard);
   std::int64_t rows() const { return shape->empty() ? 0 : shape->front(); }
 };
+
+/// Which queued request should the next free worker claim? The highest
+/// SLA-priority tier wins; FIFO (lowest index) breaks ties within a tier;
+/// requests whose model is in `claimed` are skipped (another worker is
+/// already forming that model's batch). Returns pending.size() when every
+/// queued model is claimed.
+std::size_t select_claim(const std::vector<PendingView>& pending,
+                         const std::unordered_set<std::string>& claimed);
 
 /// Result of one planning pass.
 struct MicroBatchPlan {

@@ -26,35 +26,73 @@ Server::Server(ModelStore& store, ServerConfig config) : store_(store), config_(
 
 Server::~Server() { shutdown(); }
 
-std::future<Tensor> Server::submit(const std::string& model, const Tensor& features) {
+namespace {
+
+void check_features(const Tensor& features) {
   HERO_CHECK_MSG(features.ndim() >= 1 && features.dim(0) > 0,
                  "submit needs a non-empty batch, got shape "
                      << shape_to_string(features.shape()));
-  const std::int64_t rows = features.dim(0);
-  Request request;
-  request.model = model;
-  request.features = features;
-  request.deadline = std::chrono::steady_clock::now() +
-                     std::chrono::microseconds(config_.max_delay_us);
-  std::future<Tensor> future = request.promise.get_future();
+}
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  // Backpressure: block while the backlog is at the bound. An oversize
-  // request (rows > max_queue_rows) is admitted whenever the backlog is
-  // below the bound — waiting for an exactly-empty queue could starve it
-  // forever under sustained small-request traffic, and the bound is only
-  // exceeded by that one request.
-  space_cv_.wait(lock, [&] {
-    return stopping_ || (rows > config_.max_queue_rows
-                             ? queued_rows_ < config_.max_queue_rows
-                             : queued_rows_ + rows <= config_.max_queue_rows);
-  });
-  if (stopping_) throw Error("Server: submit after shutdown");
+/// Whether `rows` more examples fit under the queue bound. An oversize
+/// request (rows > bound) is admitted whenever the backlog is below the
+/// bound — waiting for an exactly-empty queue could starve it forever under
+/// sustained small-request traffic, and the bound is only exceeded by that
+/// one request.
+bool fits_queue(std::int64_t rows, std::int64_t queued_rows, std::int64_t bound) {
+  return rows > bound ? queued_rows < bound : queued_rows + rows <= bound;
+}
+
+/// Resolves one request with a value or an error, through whichever channel
+/// it carries (future or completion callback).
+void resolve_value(Server::Completion& done, std::promise<Tensor>& promise,
+                   Tensor logits) {
+  if (done) {
+    done(std::move(logits), nullptr);
+  } else {
+    promise.set_value(std::move(logits));
+  }
+}
+
+void resolve_error(Server::Completion& done, std::promise<Tensor>& promise,
+                   std::exception_ptr error) {
+  if (done) {
+    done(Tensor(), error);
+  } else {
+    promise.set_exception(error);
+  }
+}
+
+}  // namespace
+
+void Server::enqueue_locked(Request request, std::int64_t rows) {
+  if (const auto it = sla_.find(request.model); it != sla_.end()) {
+    request.sla = it->second;
+  }
   queue_.push_back(std::move(request));
   queued_rows_ += rows;
   stats_.submitted += 1;
   stats_.max_queue_depth =
       std::max(stats_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
+  stats_.max_queued_rows = std::max(stats_.max_queued_rows, queued_rows_);
+}
+
+std::future<Tensor> Server::submit(const std::string& model, const Tensor& features) {
+  check_features(features);
+  const std::int64_t rows = features.dim(0);
+  Request request;
+  request.model = model;
+  request.features = features;
+  request.arrival = std::chrono::steady_clock::now();
+  std::future<Tensor> future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Backpressure: block while the backlog is at the bound.
+  space_cv_.wait(lock, [&] {
+    return stopping_ || fits_queue(rows, queued_rows_, config_.max_queue_rows);
+  });
+  if (stopping_) throw Error("Server: submit after shutdown");
+  enqueue_locked(std::move(request), rows);
   lock.unlock();
   // notify_all, not notify_one: the arrival that completes a forming batch
   // must reach the worker parked in the coalescing wait_until below, and a
@@ -62,6 +100,43 @@ std::future<Tensor> Server::submit(const std::string& model, const Tensor& featu
   // predicate is false (the hot model is claimed). Worker counts are small.
   work_cv_.notify_all();
   return future;
+}
+
+bool Server::try_submit(const std::string& model, const Tensor& features,
+                        Completion done) {
+  check_features(features);
+  HERO_CHECK_MSG(done != nullptr, "try_submit needs a completion callback");
+  const std::int64_t rows = features.dim(0);
+  Request request;
+  request.model = model;
+  request.features = features;
+  request.done = std::move(done);
+  request.arrival = std::chrono::steady_clock::now();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw Error("Server: submit after shutdown");
+  // Admission control: no room under the bound means REJECT — the open-loop
+  // caller gets an immediate, explicit refusal to turn into an error frame,
+  // and the scheduler's own latency promises stay intact for the admitted.
+  if (!fits_queue(rows, queued_rows_, config_.max_queue_rows)) {
+    stats_.rejected += 1;
+    return false;
+  }
+  enqueue_locked(std::move(request), rows);
+  lock.unlock();
+  work_cv_.notify_all();
+  return true;
+}
+
+void Server::set_sla(const std::string& model, SlaClass sla) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sla_[model] = sla;
+}
+
+SlaClass Server::sla(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sla_.find(model);
+  return it == sla_.end() ? SlaClass::kStandard : it->second;
 }
 
 void Server::drain() {
@@ -86,21 +161,38 @@ ServerStats Server::stats() const {
   return stats_;
 }
 
-std::size_t Server::first_unclaimed_locked() const {
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    if (claimed_.find(queue_[i].model) == claimed_.end()) return i;
+std::int64_t Server::effective_delay_us_locked(const Request& head) const {
+  std::int64_t delay = sla_delay_us(head.sla, config_.max_delay_us);
+  if (config_.adaptive_delay) {
+    delay = std::min(delay, adaptive_delay_us(config_.max_delay_us, queued_rows_,
+                                              config_.max_batch));
   }
-  return queue_.size();
+  return delay;
 }
 
 void Server::worker_loop() {
   std::vector<PendingView> pending;  // reused scratch; non-owning views
+  // Rebuilds the scheduler views from the queue (cheap: pointers + the SLA
+  // priority snapshot). Called on every wake — the queue mutates while we
+  // sleep — and reused by both claim selection and batch planning.
+  const auto rebuild_views = [&] {
+    pending.clear();
+    pending.reserve(queue_.size());
+    for (const Request& r : queue_) {
+      pending.push_back(
+          PendingView{&r.model, &r.features.shape(), sla_priority(r.sla)});
+    }
+  };
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock,
-                  [&] { return stopping_ || first_unclaimed_locked() < queue_.size(); });
-    const std::size_t first = first_unclaimed_locked();
-    if (first == queue_.size()) {
+    work_cv_.wait(lock, [&] {
+      if (stopping_) return true;
+      rebuild_views();
+      return select_claim(pending, claimed_) < pending.size();
+    });
+    rebuild_views();
+    const std::size_t first = select_claim(pending, claimed_);
+    if (first == pending.size()) {
       // Stopping, and every queued request (if any) is claimed by another
       // worker that will retire it. Done.
       if (stopping_) return;
@@ -110,24 +202,29 @@ void Server::worker_loop() {
     claimed_.insert(model);
 
     // Coalescing wait: keep the claim until the batch is full, it can no
-    // longer grow (a same-model follower does not fit), the oldest claimed
-    // request's deadline expires, or the server is stopping. New arrivals
-    // notify work_cv_ and re-enter the planning below. Views are rebuilt on
-    // every pass (the queue mutates while we sleep) but copy nothing.
+    // longer grow (a same-model follower does not fit), the head request's
+    // effective-delay deadline expires, or the server is stopping. New
+    // arrivals notify work_cv_ and re-enter the planning below; the
+    // effective delay is re-evaluated with them, so the adaptive controller
+    // tracks the live queue depth. Views are rebuilt on every pass but copy
+    // nothing.
     MicroBatchPlan plan;
     bool full = false;
+    std::int64_t delay_us = config_.max_delay_us;
     for (;;) {
-      pending.clear();
-      pending.reserve(queue_.size());
+      rebuild_views();
       std::size_t head = queue_.size();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
-        pending.push_back(PendingView{&queue_[i].model, &queue_[i].features.shape()});
-        if (head == queue_.size() && queue_[i].model == model) head = i;
+        if (queue_[i].model == model) {
+          head = i;
+          break;
+        }
       }
       plan = plan_micro_batch(pending, head, config_.max_batch);
       full = plan.rows >= config_.max_batch;
-      if (full || plan.blocked || stopping_ || config_.max_delay_us == 0) break;
-      const auto deadline = queue_[head].deadline;
+      delay_us = effective_delay_us_locked(queue_[head]);
+      if (full || plan.blocked || stopping_ || delay_us == 0) break;
+      const auto deadline = queue_[head].arrival + std::chrono::microseconds(delay_us);
       if (std::chrono::steady_clock::now() >= deadline) break;
       work_cv_.wait_until(lock, deadline);
     }
@@ -149,11 +246,11 @@ void Server::worker_loop() {
     stats_.batched_rows += plan.rows;
     // "Full" covers both releases where waiting could not have helped: at
     // width, or frozen behind a follower that does not fit. A partial batch
-    // released with no wait at all (adaptive mode, shutdown drain) is a
-    // flush, not a deadline firing.
+    // released with no wait at all (zero effective delay — configured or
+    // adaptive — and the shutdown drain) is a flush, not a deadline firing.
     if (full || plan.blocked) {
       stats_.full_batches += 1;
-    } else if (config_.max_delay_us == 0 || stopping_) {
+    } else if (delay_us == 0 || stopping_) {
       stats_.flushed_batches += 1;
     } else {
       stats_.deadline_batches += 1;
@@ -177,7 +274,8 @@ void Server::execute(std::vector<Request> batch) {
                    "Server: model '" << batch.front().model << "' is not loaded");
     if (batch.size() == 1) {
       // A batch of one IS the direct unbatched predict — no concat/split.
-      batch.front().promise.set_value(session->predict(batch.front().features));
+      Tensor logits = session->predict(batch.front().features);
+      resolve_value(batch.front().done, batch.front().promise, std::move(logits));
       resolved = 1;
     } else {
       std::vector<Tensor> features;
@@ -191,14 +289,15 @@ void Server::execute(std::vector<Request> batch) {
       const Tensor logits = session->predict(coalesce_features(features));
       std::vector<Tensor> parts = split_rows(logits, rows);
       for (; resolved < batch.size(); ++resolved) {
-        batch[resolved].promise.set_value(std::move(parts[resolved]));
+        resolve_value(batch[resolved].done, batch[resolved].promise,
+                      std::move(parts[resolved]));
       }
     }
   } catch (...) {
     // Whatever has not been resolved with a value fails with the error —
     // zero drops: every accepted request resolves exactly once.
     for (std::size_t i = resolved; i < batch.size(); ++i) {
-      batch[i].promise.set_exception(std::current_exception());
+      resolve_error(batch[i].done, batch[i].promise, std::current_exception());
     }
   }
   {

@@ -3,12 +3,14 @@
 // submit() enqueues a single-example (or small-batch) request and returns a
 // future. A pool of scheduler workers drains the queue per model:
 //
-//   submit(model, x) ──► FIFO queue ──► worker claims the oldest unclaimed
-//   model, gathers compatible requests (serve/batch.hpp) until the batch
-//   holds max_batch examples OR the oldest request's max_delay_us deadline
-//   expires, then runs ONE InferenceSession::predict on the coalesced batch
-//   (kernels dispatch on the hero::runtime thread pool) and splits the
-//   logits back into per-request futures.
+//   submit(model, x) ──► FIFO queue ──► worker claims the unclaimed model
+//   with the highest SLA priority (FIFO within a tier — serve::select_claim),
+//   gathers compatible requests (serve/batch.hpp) until the batch holds
+//   max_batch examples OR the head request's effective-delay deadline
+//   expires (SLA-scaled max_delay_us, optionally shrunk by the adaptive
+//   queue-depth controller), then runs ONE InferenceSession::predict on the
+//   coalesced batch (kernels dispatch on the hero::runtime thread pool) and
+//   splits the logits back into per-request futures or completions.
 //
 // Guarantees:
 //  * Bit-identity — every response is bit-identical to a direct unbatched
@@ -29,21 +31,38 @@
 //    other; different models batch and execute independently and
 //    concurrently.
 //
-// Backpressure: the queue is bounded (max_queue_rows examples); submit()
-// blocks until space frees, which is what a closed-loop client wants.
+// Backpressure and admission: the queue is bounded (max_queue_rows
+// examples). submit() blocks until space frees — what a closed-loop client
+// wants. try_submit() REJECTS instead (returns false, counts
+// ServerStats::rejected) — what a network front-end wants: open-loop traffic
+// does not self-throttle, so when the server saturates the right answer is
+// an explicit error frame back to the client, not an unbounded in-process
+// pile-up (src/net/server.cpp is the consumer).
+//
+// SLA classes: set_sla() assigns a model a SlaClass (serve/batch.hpp). A
+// free worker claims the highest-priority queued model first and
+// latency-class batch heads wait only 1/8 of max_delay_us, so interactive
+// models cannot starve behind throughput-class batches. With
+// ServerConfig::adaptive_delay the delay ceiling additionally shrinks
+// linearly with the queued backlog (adaptive_delay_us): at or beyond one
+// full batch of queued rows the scheduler stops waiting entirely.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "serve/batch.hpp"
 #include "serve/model_store.hpp"
 #include "tensor/tensor.hpp"
 
@@ -59,8 +78,12 @@ struct ServerConfig {
   /// free (still coalesces whatever is already queued).
   std::int64_t max_delay_us = 1000;
   /// Queue bound in examples; submit() blocks while the backlog is at the
-  /// bound. Must exceed max_batch.
+  /// bound, try_submit() rejects. Must exceed max_batch.
   std::int64_t max_queue_rows = 4096;
+  /// Adaptive coalescing-delay controller: scale the delay ceiling down as
+  /// the queued backlog grows (serve::adaptive_delay_us). Off by default —
+  /// a fixed deadline is easier to reason about for closed-loop benches.
+  bool adaptive_delay = false;
 };
 
 /// Scheduler counters (snapshot; taken under the queue lock).
@@ -74,10 +97,16 @@ struct ServerStats {
   /// Batches released because waiting could not grow them: at max_batch, or
   /// frozen behind a same-model follower that does not fit.
   std::int64_t full_batches = 0;
-  /// Partial batches released without any wait: adaptive mode
-  /// (max_delay_us == 0) or the shutdown drain.
+  /// Partial batches released without any wait: zero effective delay
+  /// (max_delay_us == 0 or the adaptive controller at saturation) or the
+  /// shutdown drain.
   std::int64_t flushed_batches = 0;
-  std::int64_t max_queue_depth = 0;   ///< peak queued requests
+  /// try_submit() calls turned away because the queue bound was hit — the
+  /// admission-control observable: a growing `rejected` under open-loop
+  /// load means offered rate exceeds capacity at this queue bound.
+  std::int64_t rejected = 0;
+  std::int64_t max_queue_depth = 0;   ///< peak queued requests (high-water)
+  std::int64_t max_queued_rows = 0;   ///< peak queued examples (high-water)
   double mean_batch_rows() const {
     return batches > 0 ? static_cast<double>(batched_rows) / static_cast<double>(batches)
                        : 0.0;
@@ -96,11 +125,30 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  /// Completion callback for try_submit: exactly one of (logits, error) is
+  /// meaningful — error == nullptr on success. Runs on a scheduler worker
+  /// thread and MUST NOT throw (a throwing completion would fail the other
+  /// requests sharing its batch).
+  using Completion = std::function<void(Tensor logits, std::exception_ptr error)>;
+
   /// Enqueues one request for `model`; features are [n, ...] with n >= 1.
   /// Returns the future logits ([n, classes]). Blocks while the queue is at
   /// max_queue_rows; throws hero::Error after shutdown() or on an empty
   /// batch.
   std::future<Tensor> submit(const std::string& model, const Tensor& features);
+
+  /// Admission-controlled enqueue for front-ends that must not block: when
+  /// the queue bound has no room the request is REJECTED — returns false,
+  /// counts ServerStats::rejected, and `done` is never invoked. On
+  /// admission, `done` fires exactly once from a worker thread with the
+  /// logits or the failure. Throws hero::Error after shutdown().
+  bool try_submit(const std::string& model, const Tensor& features, Completion done);
+
+  /// Assigns `model` an SLA class consulted for claim priority and delay
+  /// sizing (class snapshots are taken per-request at submission). Models
+  /// default to SlaClass::kStandard.
+  void set_sla(const std::string& model, SlaClass sla);
+  SlaClass sla(const std::string& model) const;
 
   /// Blocks until every request submitted so far has resolved.
   void drain();
@@ -111,18 +159,28 @@ class Server {
 
   ServerStats stats() const;
   const ServerConfig& config() const { return config_; }
+  /// The store this server schedules over — front-ends use it to pre-check
+  /// model names (advisory: installs/evictions race with it, and the submit
+  /// path stays the authority).
+  ModelStore& store() { return store_; }
 
  private:
   struct Request {
     std::string model;
     Tensor features;
-    std::promise<Tensor> promise;
-    std::chrono::steady_clock::time_point deadline;
+    std::promise<Tensor> promise;  ///< unused when `done` is set
+    Completion done;               ///< callback path (network front-end)
+    std::chrono::steady_clock::time_point arrival;
+    SlaClass sla = SlaClass::kStandard;  ///< snapshot at submission
   };
 
   void worker_loop();
-  /// Oldest queued request whose model is unclaimed; queue_.size() if none.
-  std::size_t first_unclaimed_locked() const;
+  /// Appends an admitted request under mutex_: stamps the SLA snapshot from
+  /// sla_ and bumps counters/high-waters.
+  void enqueue_locked(Request request, std::int64_t rows);
+  /// Effective coalescing-delay ceiling for a batch headed by `head` given
+  /// the current backlog (SLA scaling + optional adaptive controller).
+  std::int64_t effective_delay_us_locked(const Request& head) const;
   /// Executes one coalesced batch outside the lock; resolves its promises.
   void execute(std::vector<Request> batch);
 
@@ -133,6 +191,7 @@ class Server {
   std::condition_variable work_cv_;   // workers: queue grew / stop / unclaim
   std::condition_variable space_cv_;  // producers: queue shrank
   std::condition_variable idle_cv_;   // drain(): all resolved
+  std::unordered_map<std::string, SlaClass> sla_;  // per-model SLA classes
   std::deque<Request> queue_;
   std::int64_t queued_rows_ = 0;
   std::unordered_set<std::string> claimed_;  // models with a forming batch

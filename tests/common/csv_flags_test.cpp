@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/flags.hpp"
+#include "common/parse.hpp"
 
 namespace hero {
 namespace {
@@ -110,6 +111,40 @@ TEST(Flags, WarnsOnMalformedArguments) {
   EXPECT_NE(err.find("--no-value"), std::string::npos);
   EXPECT_EQ(err.find("--epochs=3"), std::string::npos);  // well-formed: no warning
   EXPECT_EQ(flags.get_int("epochs", 0), 3);              // still parsed
+}
+
+TEST(ParseDuration, AcceptsUnitSuffixes) {
+  EXPECT_EQ(parse_duration_us("500us"), 500);
+  EXPECT_EQ(parse_duration_us("2ms"), 2000);
+  EXPECT_EQ(parse_duration_us("1s"), 1'000'000);
+  EXPECT_EQ(parse_duration_us("1.5s"), 1'500'000);
+  EXPECT_EQ(parse_duration_us("0.5ms"), 500);
+  EXPECT_EQ(parse_duration_us("0us"), 0);
+  EXPECT_EQ(parse_duration_us("2MS"), 2000);  // case-insensitive unit
+}
+
+TEST(ParseDuration, RejectsBareNumbersAndGarbage) {
+  // A unitless number is ambiguous across knobs whose scales differ by 10^6.
+  EXPECT_EQ(parse_duration_us("250"), std::nullopt);
+  EXPECT_EQ(parse_duration_us(""), std::nullopt);
+  EXPECT_EQ(parse_duration_us("ms"), std::nullopt);
+  EXPECT_EQ(parse_duration_us("abc"), std::nullopt);
+  EXPECT_EQ(parse_duration_us("10m"), std::nullopt);   // unknown unit
+  EXPECT_EQ(parse_duration_us("-1ms"), std::nullopt);  // negative duration
+  EXPECT_EQ(parse_duration_us("1e300s"), std::nullopt);  // int64 overflow
+}
+
+TEST(Flags, GetDurationParsesAndWarnsOnMalformed) {
+  const char* argv[] = {"prog", "--max-delay=2ms", "--drain-timeout=oops"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_duration_us("max-delay", 1), 2000);
+  EXPECT_EQ(flags.get_duration_us("missing", 77), 77);
+
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(flags.get_duration_us("drain-timeout", 5'000'000), 5'000'000);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("drain-timeout"), std::string::npos);
+  EXPECT_NE(err.find("oops"), std::string::npos);
 }
 
 TEST(Flags, DefaultScaleIsOne) {

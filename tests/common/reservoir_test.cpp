@@ -89,5 +89,73 @@ TEST(Reservoir, RetentionIsPhaseZeroSystematic) {
 
 TEST(Reservoir, RejectsTinyCapacity) { EXPECT_THROW(Reservoir r(1), Error); }
 
+TEST(Reservoir, MergeZipsInObservationOrderBelowCapacity) {
+  Reservoir a(16), b(16);
+  for (const double v : {1.0, 2.0, 3.0}) a.add(v);
+  for (const double v : {10.0, 20.0}) b.add(v);
+  a.merge(b);
+  // Both strides are 1 and the result fits: the merge is an exact zip —
+  // this reservoir's k-th sample before other's k-th.
+  EXPECT_EQ(a.samples(), std::vector<double>({1.0, 10.0, 2.0, 20.0, 3.0}));
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.stride(), 1u);
+  EXPECT_DOUBLE_EQ(a.percentile(100.0), 20.0);
+}
+
+TEST(Reservoir, MergeAlignsMismatchedStrides) {
+  // a has decimated twice (stride 4, samples {0, 4} after 7 adds — see
+  // RetentionIsPhaseZeroSystematic); b is still at stride 1.
+  Reservoir a(4);
+  for (int i = 0; i < 7; ++i) a.add(static_cast<double>(i));
+  ASSERT_EQ(a.stride(), 4u);
+  Reservoir b(8);
+  for (const double v : {100.0, 101.0, 102.0, 103.0}) b.add(v);
+  a.merge(b);
+  // b is first decimated to the coarser stride (every 4th: {100}), then
+  // zipped: a0, b0, a1.
+  EXPECT_EQ(a.samples(), std::vector<double>({0.0, 100.0, 4.0}));
+  EXPECT_EQ(a.stride(), 4u);
+  EXPECT_EQ(a.count(), 11u);
+}
+
+TEST(Reservoir, MergeIsDeterministicAndOrderFixed) {
+  const auto build = [](int offset) {
+    Reservoir r(32);
+    for (int i = 0; i < 50; ++i) r.add(static_cast<double>(offset + i));
+    return r;
+  };
+  Reservoir a1 = build(0), a2 = build(0);
+  const Reservoir b = build(1000);
+  a1.merge(b);
+  a2.merge(b);
+  EXPECT_EQ(a1.samples(), a2.samples());  // same inputs, same retained set
+  EXPECT_EQ(a1.stride(), a2.stride());
+
+  // Operand order is part of the contract: b.merge(a) interleaves the other
+  // way, so the retained lists differ even over the same observations.
+  Reservoir a3 = build(0), b3 = build(1000);
+  b3.merge(a3);
+  EXPECT_NE(a1.samples(), b3.samples());
+  EXPECT_EQ(a1.count(), b3.count());
+}
+
+TEST(Reservoir, MergeStaysBoundedAndMergesEmpties) {
+  Reservoir a(32), b(32), empty(32);
+  for (int i = 0; i < 1000; ++i) a.add(static_cast<double>(i));
+  for (int i = 0; i < 1000; ++i) b.add(static_cast<double>(i + 5000));
+  a.merge(b);
+  EXPECT_LT(a.size(), 32u);
+  EXPECT_EQ(a.count(), 2000u);
+  // The merged percentile spans both streams.
+  EXPECT_LT(a.percentile(10.0), 1000.0);
+  EXPECT_GT(a.percentile(90.0), 5000.0);
+
+  a.merge(empty);  // no samples, but the observation count still folds in
+  EXPECT_EQ(a.count(), 2000u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2000u);
+  EXPECT_GT(empty.size(), 0u);
+}
+
 }  // namespace
 }  // namespace hero::common

@@ -1,0 +1,234 @@
+// End-to-end TCP front-end behaviour on loopback: bit-identity against the
+// direct predict path, typed error frames (unknown model, admission reject),
+// hostile frames failing exactly one connection, and graceful drain across a
+// hot-swap.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "serve/model_store.hpp"
+#include "serve/server.hpp"
+#include "serve/serve_test_util.hpp"
+
+namespace hero::net {
+namespace {
+
+using serve_testing::ServeFixture;
+using serve_testing::same_bits;
+
+ErrorCode code_of(std::future<Tensor>& future) {
+  try {
+    future.get();
+  } catch (const NetError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a NetError";
+  return ErrorCode::kInternal;
+}
+
+TEST(NetServer, RoundTripIsBitIdenticalToDirectPredict) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::ServerConfig config;
+  config.workers = 2;
+  config.max_delay_us = 200;
+  serve::Server server(store, config);
+  NetServer net(server);
+
+  Client client(net.port());
+  std::vector<std::future<Tensor>> futures;
+  const int requests = 24;
+  for (int i = 0; i < requests; ++i) {
+    futures.push_back(
+        client.predict_async("m", fx.bench.train.features.narrow(0, i, 1)));
+  }
+  const auto direct = store.acquire("m");
+  for (int i = 0; i < requests; ++i) {
+    const Tensor logits = futures[static_cast<std::size_t>(i)].get();
+    const Tensor expected = direct->predict(fx.bench.train.features.narrow(0, i, 1));
+    EXPECT_TRUE(same_bits(logits, expected)) << "request " << i;
+  }
+  EXPECT_EQ(client.responses(), requests);
+  EXPECT_EQ(client.errors(), 0);
+  EXPECT_EQ(client.latency_us().count(), static_cast<std::uint64_t>(requests));
+
+  client.close();
+  net.shutdown();
+  const NetServerStats stats = net.stats();
+  EXPECT_EQ(stats.connections, 1);
+  EXPECT_EQ(stats.requests, requests);
+  EXPECT_EQ(stats.responses, requests);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(NetServer, UnknownModelEarnsTypedErrorAndConnectionSurvives) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::Server server(store);
+  NetServer net(server);
+
+  Client client(net.port());
+  auto bad = client.predict_async("nope", fx.bench.train.features.narrow(0, 0, 1));
+  EXPECT_EQ(code_of(bad), ErrorCode::kUnknownModel);
+  // Same connection still serves real requests afterwards.
+  auto good = client.predict_async("m", fx.bench.train.features.narrow(0, 0, 1));
+  EXPECT_TRUE(same_bits(good.get(),
+                        store.acquire("m")->predict(
+                            fx.bench.train.features.narrow(0, 0, 1))));
+}
+
+TEST(NetServer, FrontEndBudgetRejectsWithErrorFrame) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  // A queue bound the front-end budget cannot reach: gate 1 fires first.
+  config.max_queue_rows = 4096;
+  config.max_delay_us = 400'000;  // park the worker coalescing
+  serve::Server server(store, config);
+  NetServerConfig net_config;
+  net_config.max_inflight = 1;
+  NetServer net(server, net_config);
+
+  Client client(net.port());
+  // First request occupies the single in-flight slot (the worker is waiting
+  // out a 2s coalesce window, so it cannot complete yet).
+  auto first = client.predict_async("m", fx.bench.train.features.narrow(0, 0, 1));
+  // Wait until the server has admitted it (stats.requests == 1, inflight 1).
+  while (net.stats().requests < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto second = client.predict_async("m", fx.bench.train.features.narrow(0, 1, 1));
+  EXPECT_EQ(code_of(second), ErrorCode::kRejected);
+  EXPECT_GE(net.stats().rejected, 1);
+  EXPECT_EQ(client.rejected(), 1);
+  // The first request still resolves (batch deadline or shutdown drain).
+  server.drain();
+  EXPECT_NO_THROW(first.get());
+  // The connection survived the rejection.
+  auto third = client.predict_async("m", fx.bench.train.features.narrow(0, 2, 1));
+  EXPECT_NO_THROW(third.get());
+}
+
+TEST(NetServer, HostileFrameFailsOnlyItsConnection) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::Server server(store);
+  NetServer net(server);
+
+  Client healthy(net.port());
+
+  // Raw socket speaking garbage: expect one kBadFrame error frame back,
+  // then EOF.
+  {
+    Socket hostile = connect_loopback(net.port());
+    std::string junk(kHeaderBytes, '\xee');
+    hostile.send_all(junk);
+    char reply_header[kHeaderBytes];
+    ASSERT_TRUE(hostile.recv_exact(reply_header, kHeaderBytes));
+    const FrameHeader header = decode_header(reply_header);
+    EXPECT_EQ(header.type, FrameType::kError);
+    EXPECT_EQ(header.id, 0u);  // the hostile header never parsed
+    std::string body(header.body_bytes, '\0');
+    ASSERT_TRUE(hostile.recv_exact(body.data(), body.size()));
+    EXPECT_EQ(decode_error_body(header, body).code, ErrorCode::kBadFrame);
+    // The server closed its side: next read is EOF.
+    char byte;
+    EXPECT_FALSE(hostile.recv_exact(&byte, 1));
+  }
+
+  // A well-formed header with a garbage body also fails cleanly — and with
+  // the request id echoed, since the header did parse.
+  {
+    Socket hostile = connect_loopback(net.port());
+    RequestFrame frame{77, "m", fx.bench.train.features.narrow(0, 0, 1)};
+    std::string bytes = encode_request(frame);
+    for (std::size_t i = kHeaderBytes + 8; i < bytes.size(); ++i) bytes[i] = '\x5a';
+    hostile.send_all(bytes);
+    char reply_header[kHeaderBytes];
+    ASSERT_TRUE(hostile.recv_exact(reply_header, kHeaderBytes));
+    const FrameHeader header = decode_header(reply_header);
+    EXPECT_EQ(header.type, FrameType::kError);
+    EXPECT_EQ(header.id, 77u);
+  }
+
+  // The healthy connection never noticed.
+  auto logits = healthy.predict("m", fx.bench.train.features.narrow(0, 0, 1));
+  EXPECT_TRUE(same_bits(logits, store.acquire("m")->predict(
+                                    fx.bench.train.features.narrow(0, 0, 1))));
+  EXPECT_GE(net.stats().protocol_errors, 2);
+}
+
+TEST(NetServer, DrainResolvesEverythingAndRefusesNewWork) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::ServerConfig config;
+  config.workers = 2;
+  config.max_delay_us = 5000;
+  serve::Server server(store, config);
+  auto net = std::make_unique<NetServer>(server);
+  const std::uint16_t port = net->port();
+
+  Client client(port);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(
+        client.predict_async("m", fx.bench.train.features.narrow(0, i, 1)));
+  }
+  net->shutdown();
+  // Every request the server admitted resolves with a value; ones that hit
+  // the draining gate resolve with kShuttingDown; transport loss after the
+  // drain window surfaces as kBadFrame. Nothing may hang or vanish.
+  int ok = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ok += 1;
+    } catch (const NetError&) {
+    }
+  }
+  const NetServerStats stats = net->stats();
+  EXPECT_EQ(ok, stats.responses);
+  // New connections are refused outright (listener closed).
+  EXPECT_THROW(Client reject(port), Error);
+  net.reset();
+}
+
+TEST(NetServer, ServesBitIdenticallyAcrossHotSwap) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::Server server(store);
+  NetServer net(server);
+  Client client(net.port());
+
+  const Tensor x = fx.bench.train.features.narrow(0, 0, 2);
+  const Tensor before = client.predict("m", x);
+  EXPECT_TRUE(same_bits(before, store.acquire("m")->predict(x)));
+
+  store.install("m", fx.artifact("uniform:sym:bits=8"));  // hot-swap
+  const Tensor after = client.predict("m", x);
+  EXPECT_TRUE(same_bits(after, store.acquire("m")->predict(x)));
+  // u4 vs u8 quantization really changed the weights the swap serves.
+  EXPECT_FALSE(same_bits(before, after));
+}
+
+}  // namespace
+}  // namespace hero::net

@@ -1,0 +1,225 @@
+// Scheduling policy added for the network front-end: SLA tiers (claim
+// priority + delay scaling), the adaptive delay controller, and the
+// admission-controlled try_submit path — pure laws first, then the threaded
+// behaviours pinned deterministically.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/batch.hpp"
+#include "serve/model_store.hpp"
+#include "serve/serve_test_util.hpp"
+#include "serve/server.hpp"
+
+namespace hero::serve {
+namespace {
+
+using serve_testing::ServeFixture;
+using serve_testing::same_bits;
+
+TEST(SlaPolicy, NamesRoundTrip) {
+  for (const SlaClass sla :
+       {SlaClass::kThroughput, SlaClass::kStandard, SlaClass::kLatency}) {
+    EXPECT_EQ(parse_sla_class(sla_name(sla)), sla);
+  }
+  EXPECT_THROW(parse_sla_class("gold"), Error);
+}
+
+TEST(SlaPolicy, DelayScaling) {
+  EXPECT_EQ(sla_delay_us(SlaClass::kThroughput, 8000), 8000);
+  EXPECT_EQ(sla_delay_us(SlaClass::kStandard, 8000), 8000);
+  EXPECT_EQ(sla_delay_us(SlaClass::kLatency, 8000), 1000);  // 1/8
+  EXPECT_EQ(sla_delay_us(SlaClass::kLatency, 0), 0);
+}
+
+TEST(SlaPolicy, AdaptiveDelayControlLaw) {
+  // Empty queue: full ceiling. One full batch queued (or more): zero wait.
+  // Linear in between.
+  EXPECT_EQ(adaptive_delay_us(1000, 0, 16), 1000);
+  EXPECT_EQ(adaptive_delay_us(1000, 8, 16), 500);
+  EXPECT_EQ(adaptive_delay_us(1000, 16, 16), 0);
+  EXPECT_EQ(adaptive_delay_us(1000, 64, 16), 0);
+  EXPECT_EQ(adaptive_delay_us(0, 4, 16), 0);
+}
+
+/// Owning fixture for the non-owning PendingView interface.
+struct ClaimFixture {
+  std::vector<std::string> models;
+  std::vector<Shape> shapes;
+  std::vector<PendingView> views;
+
+  explicit ClaimFixture(std::initializer_list<std::pair<const char*, SlaClass>> entries) {
+    models.reserve(entries.size());
+    for (const auto& [model, sla] : entries) {
+      models.emplace_back(model);
+      shapes.push_back(Shape{1, 4});
+    }
+    std::size_t i = 0;
+    for (const auto& [model, sla] : entries) {
+      views.push_back(PendingView{&models[i], &shapes[i], sla_priority(sla)});
+      ++i;
+    }
+  }
+};
+
+TEST(SelectClaim, HighestPriorityWinsFifoWithinTier) {
+  const ClaimFixture fx{{"bulk", SlaClass::kThroughput},
+                        {"std-a", SlaClass::kStandard},
+                        {"fast", SlaClass::kLatency},
+                        {"std-b", SlaClass::kStandard}};
+  EXPECT_EQ(select_claim(fx.views, {}), 2u);            // latency tier first
+  EXPECT_EQ(select_claim(fx.views, {"fast"}), 1u);      // then FIFO standard
+  EXPECT_EQ(select_claim(fx.views, {"fast", "std-a", "std-b"}), 0u);
+  EXPECT_EQ(select_claim(fx.views, {"fast", "std-a", "std-b", "bulk"}),
+            fx.views.size());  // everything claimed
+}
+
+TEST(Server, TrySubmitRejectsDeterministicallyAtQueueBound) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("park", fx.artifact("uniform:sym:bits=4"));
+  store.install("b", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 16;
+  config.max_queue_rows = 17;
+  config.max_delay_us = 60'000'000;
+  Server server(store, config);
+
+  // Park the single worker: "park" has one request and no batch-mates ever
+  // arrive, so its claim coalesces against the 60s ceiling while the request
+  // stays queued (extraction happens at execution).
+  auto parked = server.submit("park", fx.bench.train.features.narrow(0, 0, 1));
+  // 16 single-row "b" requests nobody claims (the only worker is busy)
+  // saturate the bound: 1 parked row + 16 = max_queue_rows.
+  std::vector<std::future<Tensor>> fill;
+  for (int i = 1; i <= 16; ++i) {
+    fill.push_back(server.submit("b", fx.bench.train.features.narrow(0, i, 1)));
+  }
+  // Queue is exactly at the bound: try_submit must reject, not block.
+  const bool admitted = server.try_submit(
+      "b", fx.bench.train.features.narrow(0, 17, 1),
+      [](Tensor, std::exception_ptr) {});
+  EXPECT_FALSE(admitted);
+  EXPECT_GE(server.stats().rejected, 1);
+  EXPECT_EQ(server.stats().max_queued_rows, 17);
+
+  // Shutdown drains: the parked partial batch flushes, then "b" executes.
+  // Zero drops — every accepted submit resolves.
+  server.shutdown();
+  EXPECT_NO_THROW(parked.get());
+  for (auto& f : fill) EXPECT_NO_THROW(f.get());
+}
+
+TEST(Server, TrySubmitCompletionDeliversBitIdenticalLogits) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.max_delay_us = 0;
+  Server server(store, config);
+
+  const Tensor x = fx.bench.train.features.narrow(0, 0, 2);
+  std::promise<Tensor> got;
+  ASSERT_TRUE(server.try_submit("m", x, [&](Tensor logits, std::exception_ptr error) {
+    if (error) {
+      got.set_exception(error);
+    } else {
+      got.set_value(std::move(logits));
+    }
+  }));
+  auto future = got.get_future();
+  EXPECT_TRUE(same_bits(future.get(), store.acquire("m")->predict(x)));
+
+  // Unknown model flows through the same completion with an exception.
+  std::promise<bool> failed;
+  ASSERT_TRUE(server.try_submit("nope", x, [&](Tensor, std::exception_ptr error) {
+    failed.set_value(error != nullptr);
+  }));
+  EXPECT_TRUE(failed.get_future().get());
+  server.shutdown();
+  EXPECT_THROW(server.try_submit("m", x, [](Tensor, std::exception_ptr) {}), Error);
+}
+
+TEST(Server, LatencyClassClaimsBeforeEarlierThroughputQueue) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("park", fx.artifact("uniform:sym:bits=4"));
+  store.install("bulk", fx.artifact("uniform:sym:bits=4"));
+  store.install("fast", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 2;
+  config.max_delay_us = 60'000'000;
+  Server server(store, config);
+  server.set_sla("bulk", SlaClass::kThroughput);
+  server.set_sla("fast", SlaClass::kLatency);
+  EXPECT_EQ(server.sla("fast"), SlaClass::kLatency);
+  EXPECT_EQ(server.sla("unset"), SlaClass::kStandard);
+
+  // Park the single worker coalescing a "park" batch (needs 2 rows to fill).
+  auto parked = server.submit("park", fx.bench.train.features.narrow(0, 0, 1));
+  // Queue bulk BEFORE fast, each already a full 2-row batch so neither waits
+  // on the coalescing deadline once claimed. When the worker frees, it must
+  // claim fast first despite bulk's earlier queue position.
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto record = [&](const char* name) {
+    return [&, name](Tensor, std::exception_ptr) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.emplace_back(name);
+    };
+  };
+  ASSERT_TRUE(
+      server.try_submit("bulk", fx.bench.train.features.narrow(0, 4, 2), record("bulk")));
+  ASSERT_TRUE(
+      server.try_submit("fast", fx.bench.train.features.narrow(0, 6, 2), record("fast")));
+  // Release the worker: fill the "park" batch to max_batch.
+  auto release = server.submit("park", fx.bench.train.features.narrow(0, 3, 1));
+  parked.get();
+  release.get();
+  server.drain();
+  ASSERT_EQ(order.size(), 2u);
+  // One worker serves both queued batches strictly after "park": the claim
+  // order IS the completion order.
+  EXPECT_EQ(order[0], "fast");
+  EXPECT_EQ(order[1], "bulk");
+}
+
+TEST(Server, AdaptiveDelayFlushesUnderBacklogPressure) {
+  ServeFixture fx;
+  ModelStore store;
+  store.install("m1", fx.artifact("uniform:sym:bits=4"));
+  store.install("m2", fx.artifact("uniform:sym:bits=4"));
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.max_delay_us = 60'000'000;  // without the controller this parks
+  config.adaptive_delay = true;
+  Server server(store, config);
+
+  // m1's 2-row batch is NOT full, but the total backlog (2 m1 rows + 2 m2
+  // rows = max_batch) drives the adaptive delay to zero, so m1's partial
+  // batch flushes instead of waiting out the 60s ceiling — the controller
+  // reads whole-queue pressure, not per-model fill.
+  auto a0 = server.submit("m1", fx.bench.train.features.narrow(0, 0, 1));
+  auto a1 = server.submit("m1", fx.bench.train.features.narrow(0, 1, 1));
+  auto b0 = server.submit("m2", fx.bench.train.features.narrow(0, 2, 1));
+  auto b1 = server.submit("m2", fx.bench.train.features.narrow(0, 3, 1));
+  EXPECT_EQ(a0.wait_for(std::chrono::seconds(20)), std::future_status::ready);
+  EXPECT_EQ(a1.wait_for(std::chrono::seconds(20)), std::future_status::ready);
+  // m2's batch re-parks once the backlog shrinks; shutdown's drain flushes
+  // it. Zero drops either way.
+  server.shutdown();
+  EXPECT_NO_THROW(b0.get());
+  EXPECT_NO_THROW(b1.get());
+  EXPECT_GE(server.stats().flushed_batches, 1);
+}
+
+}  // namespace
+}  // namespace hero::serve
