@@ -183,6 +183,7 @@ int main(int argc, char** argv) {
   std::vector<std::future<Tensor>> futures(static_cast<std::size_t>(requests));
   std::atomic<std::int64_t> dispatched{0};
   const auto wall0 = std::chrono::steady_clock::now();
+  // hero-lint: allow(raw-thread) — hot-swap driver for the bench scenario.
   std::thread swapper([&] {
     for (int quarter = 1; quarter <= 3; ++quarter) {
       const std::int64_t threshold = requests * quarter / 4;

@@ -79,6 +79,7 @@ RunRow run_closed_loop(const std::vector<TraceRequest>& trace,
   std::atomic<std::int64_t> failures{0};
 
   const auto wall0 = std::chrono::steady_clock::now();
+  // hero-lint: allow(raw-thread) — closed-loop load generators, not compute.
   std::vector<std::thread> client_threads;
   client_threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
@@ -105,6 +106,7 @@ RunRow run_closed_loop(const std::vector<TraceRequest>& trace,
   // swap path (new session, old handles drain) without changing a response
   // bit, so the parity gate stays exact while swaps land under load.
   std::int64_t swaps = 0;
+  // hero-lint: allow(raw-thread) — hot-swap driver for the bench scenario.
   std::thread swapper([&] {
     for (int quarter = 1; quarter <= 3; ++quarter) {
       const std::int64_t threshold =
@@ -118,7 +120,7 @@ RunRow run_closed_loop(const std::vector<TraceRequest>& trace,
     }
   });
 
-  for (std::thread& t : client_threads) t.join();
+  for (std::thread& t : client_threads) t.join();  // hero-lint: allow(raw-thread)
   swapper.join();
   server.drain();
   const auto wall1 = std::chrono::steady_clock::now();

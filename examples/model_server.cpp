@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   // the main thread hot-swaps 'edge' from the 4-bit to the hawq artifact.
   std::atomic<int> delivered{0};
   std::atomic<int> failed{0};
+  // hero-lint: allow(raw-thread) — simulated clients for the demo, not compute.
   std::vector<std::thread> client_threads;
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
   std::printf("hot-swap at ~%d delivered requests: 'edge' now %s (%.2f avg bits)\n",
               delivered.load(), store.stats("edge").plan_label.c_str(),
               store.stats("edge").average_bits);
-  for (std::thread& t : client_threads) t.join();
+  for (std::thread& t : client_threads) t.join();  // hero-lint: allow(raw-thread)
   server.drain();
 
   const serve::ServerStats stats = server.stats();

@@ -20,7 +20,9 @@ void Reservoir::add(double value) {
   // deterministic.
   if (seen_ % stride_ == 0) {
     samples_.push_back(value);
-    if (samples_.size() == capacity_) {
+    // >= rather than ==: merge's degenerate case (capacity 2, both operands
+    // already down to one sample) can leave the list exactly at capacity.
+    if (samples_.size() >= capacity_) {
       std::size_t kept = 0;
       for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
       samples_.resize(kept);
@@ -51,10 +53,20 @@ void Reservoir::merge(const Reservoir& other) {
     seen_ += other.seen_;
     return;
   }
-  const std::uint64_t stride = std::max(stride_, other.stride_);
+  std::uint64_t stride = std::max(stride_, other.stride_);
   decimate_to(samples_, stride / stride_);
   std::vector<double> theirs = other.samples_;
   decimate_to(theirs, stride / other.stride_);
+  // Rebound BEFORE zipping, halving each stream separately: the zipped list
+  // has one operand at even positions and the other at odd, so a phase-0
+  // decimation of the zipped list would keep only even positions — i.e.
+  // drop the merged-in operand entirely and bias every later percentile.
+  while (samples_.size() + theirs.size() >= capacity_ &&
+         (samples_.size() > 1 || theirs.size() > 1)) {
+    decimate_to(samples_, 2);
+    decimate_to(theirs, 2);
+    stride *= 2;
+  }
   stride_ = stride;
   // Zip in observation order: sample k of either side stands for observation
   // k*stride of its stream, so interleaving keeps the merged list ordered by
@@ -69,10 +81,6 @@ void Reservoir::merge(const Reservoir& other) {
   for (std::size_t k = common; k < samples_.size(); ++k) merged.push_back(samples_[k]);
   for (std::size_t k = common; k < theirs.size(); ++k) merged.push_back(theirs[k]);
   samples_ = std::move(merged);
-  while (samples_.size() >= capacity_) {
-    decimate_to(samples_, 2);
-    stride_ *= 2;
-  }
   seen_ += other.seen_;
 }
 

@@ -1,0 +1,118 @@
+// Annotated synchronization primitives for the concurrent subsystems.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no Clang capability
+// attributes, so Clang's -Wthread-safety analysis cannot see through them.
+// These zero-overhead wrappers restore visibility:
+//
+//   common::Mutex       std::mutex as a HERO_CAPABILITY — HERO_GUARDED_BY
+//                       members and HERO_REQUIRES helpers can name it.
+//   common::MutexLock   std::lock_guard equivalent (scoped, non-movable).
+//   common::UniqueLock  std::unique_lock equivalent: relockable mid-scope
+//                       (lock()/unlock() re-annotate the capability state)
+//                       and the handle common::CondVar waits on.
+//   common::CondVar     std::condition_variable over UniqueLock. Waits are
+//                       intentionally predicate-free: a lambda predicate is a
+//                       separate function body to the analysis, which loses
+//                       the capability context — callers write
+//                       `while (!ready_locked()) cv.wait(lock);` with the
+//                       predicate as a HERO_REQUIRES member instead.
+//
+// Everything inlines to the std primitive it wraps; g++ builds compile the
+// identical synchronization with the annotations erased.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace hero::common {
+
+/// std::mutex annotated as a Clang capability.
+class HERO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HERO_ACQUIRE() { mutex_.lock(); }
+  void unlock() HERO_RELEASE() { mutex_.unlock(); }
+  bool try_lock() HERO_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The wrapped mutex, for interop that stays inside this header (CondVar,
+  /// UniqueLock). Annotated code should never need it directly.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock for the full scope — std::lock_guard with the scoped-capability
+/// annotation so guarded accesses inside the scope check out.
+class HERO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HERO_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() HERO_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Relockable RAII lock — std::unique_lock with scoped-capability
+/// annotations. Construction acquires; lock()/unlock() move the capability
+/// in and out mid-scope (the serve::Server worker loop drops the queue lock
+/// around a forward pass); destruction releases if held.
+class HERO_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) HERO_ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~UniqueLock() HERO_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() HERO_ACQUIRE() { lock_.lock(); }
+  void unlock() HERO_RELEASE() { lock_.unlock(); }
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+  /// For CondVar only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over UniqueLock. wait() releases and reacquires the
+/// lock internally; to the thread-safety analysis the capability is held
+/// throughout, which is exactly the invariant the caller's code observes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(UniqueLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.native(), timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hero::common

@@ -1,0 +1,67 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// The repo's core guarantee — bit-identical results at any thread count —
+// rests on a lock discipline that runtime tests and TSan can only check on
+// exercised interleavings. These macros make the discipline COMPILE-TIME
+// checkable: the clang CI job builds with -Werror=thread-safety, so a method
+// that touches guarded state without holding its mutex, or re-acquires a
+// lock it already holds, fails the build rather than a lucky test run.
+//
+// Usage pattern (see common/sync.hpp for the annotated primitives):
+//
+//   common::Mutex mutex_;
+//   std::int64_t queued_ HERO_GUARDED_BY(mutex_);
+//   void enqueue_locked(Request r) HERO_REQUIRES(mutex_);  // private helper
+//   void submit(Request r) HERO_EXCLUDES(mutex_);          // public wrapper
+//
+// Public methods lock (typically via common::MutexLock) and delegate to
+// private *_locked() helpers annotated with HERO_REQUIRES; the analysis then
+// proves every access to a HERO_GUARDED_BY member happens under its lock.
+//
+// The macros expand to Clang capability attributes under __clang__ and to
+// nothing elsewhere, so g++ builds are unaffected.
+#pragma once
+
+#if defined(__clang__)
+#define HERO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HERO_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability (lockable): common::Mutex.
+#define HERO_CAPABILITY(x) HERO_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor: common::MutexLock / common::UniqueLock.
+#define HERO_SCOPED_CAPABILITY HERO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define HERO_GUARDED_BY(x) HERO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose POINTEE is guarded by the given mutex.
+#define HERO_PT_GUARDED_BY(x) HERO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given mutex(es); the
+/// convention for private *_locked() helpers.
+#define HERO_REQUIRES(...) HERO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and returns holding them.
+#define HERO_ACQUIRE(...) HERO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es).
+#define HERO_RELEASE(...) HERO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex when it returns the given value.
+#define HERO_TRY_ACQUIRE(...) HERO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the given mutex(es); put
+/// this on public locking wrappers to catch self-deadlocking re-entry.
+#define HERO_EXCLUDES(...) HERO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function whose return value is protected by the given mutex.
+#define HERO_RETURN_CAPABILITY(x) HERO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for code whose safety argument the analysis cannot express
+/// (e.g. the thread pool's epoch-protocol job slot). Use sparingly; every
+/// use should carry a comment explaining the actual synchronization.
+#define HERO_NO_THREAD_SAFETY_ANALYSIS HERO_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -39,9 +39,9 @@ bool ThreadPool::on_pool_thread() { return tl_in_parallel_region; }
 void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain, RangeFn fn,
                      void* ctx) {
   if (begin >= end) return;
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  common::MutexLock run_lock(run_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     fn_ = fn;
     ctx_ = ctx;
     begin_ = begin;
@@ -56,8 +56,8 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain, R
   drain();  // the caller works too
   // Wait for every worker to check in, even ones that found no chunks left:
   // only then may the caller's stack frame (ctx) go out of scope.
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return finished_ == workers_.size(); });
+  common::UniqueLock lock(mutex_);
+  while (finished_ != workers_.size()) done_cv_.wait(lock);
   fn_ = nullptr;
   ctx_ = nullptr;
 }
@@ -76,14 +76,14 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock, [this, seen] { return stop_ || epoch_ != seen; });
+      common::UniqueLock lock(mutex_);
+      while (!stop_ && epoch_ == seen) wake_cv_.wait(lock);
       if (stop_) return;
       seen = epoch_;
     }
     drain();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       ++finished_;
     }
     done_cv_.notify_one();
@@ -94,9 +94,9 @@ namespace runtime {
 
 namespace {
 
-std::mutex g_pool_mutex;
+common::Mutex g_pool_mutex;
 std::atomic<int> g_threads{0};  // 0 = not yet resolved
-std::unique_ptr<ThreadPool> g_pool;
+std::unique_ptr<ThreadPool> g_pool HERO_GUARDED_BY(g_pool_mutex);
 
 int default_threads() {
   if (const char* env = std::getenv("HERO_THREADS"); env != nullptr) {
@@ -112,7 +112,7 @@ int default_threads() {
 int num_threads() {
   int t = g_threads.load(std::memory_order_acquire);
   if (t == 0) {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    common::MutexLock lock(g_pool_mutex);
     t = g_threads.load(std::memory_order_relaxed);
     if (t == 0) {
       t = default_threads();
@@ -123,7 +123,7 @@ int num_threads() {
 }
 
 void set_num_threads(int n) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  common::MutexLock lock(g_pool_mutex);
   const int resolved = n >= 1 ? n : default_threads();
   if (resolved == g_threads.load(std::memory_order_relaxed) && g_pool) return;
   g_pool.reset();
@@ -137,7 +137,7 @@ void warm_up() {
 bool in_parallel_region() { return ThreadPool::on_pool_thread(); }
 
 ThreadPool& detail::pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  common::MutexLock lock(g_pool_mutex);
   if (!g_pool) {
     int t = g_threads.load(std::memory_order_relaxed);
     if (t == 0) {

@@ -22,12 +22,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace hero {
 
@@ -59,12 +59,17 @@ class ThreadPool {
   void worker_loop();
   void drain();
 
+  // Immutable after construction; worker_loop never touches the vector.
   std::vector<std::thread> workers_;
-  std::mutex run_mutex_;  // serializes concurrent run() callers
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  // The reused job slot; written under mutex_ before epoch_ is bumped.
+  common::Mutex run_mutex_;  // serializes concurrent run() callers
+  common::Mutex mutex_;
+  common::CondVar wake_cv_;
+  common::CondVar done_cv_;
+  // The reused job slot. NOT guarded_by(mutex_): run() writes these under
+  // mutex_ BEFORE bumping epoch_, and workers read them lock-free after
+  // observing the epoch change under mutex_ — the mutex release/acquire pair
+  // is the happens-before edge, the epoch is the validity token. drain()
+  // therefore reads them without annotations.
   RangeFn fn_ = nullptr;
   void* ctx_ = nullptr;
   std::int64_t begin_ = 0;
@@ -72,9 +77,9 @@ class ThreadPool {
   std::int64_t grain_ = 1;
   std::int64_t chunk_count_ = 0;
   std::atomic<std::int64_t> next_chunk_{0};
-  std::uint64_t epoch_ = 0;
-  std::size_t finished_ = 0;  // workers done with the current epoch
-  bool stop_ = false;
+  std::uint64_t epoch_ HERO_GUARDED_BY(mutex_) = 0;
+  std::size_t finished_ HERO_GUARDED_BY(mutex_) = 0;  // workers done with the epoch
+  bool stop_ HERO_GUARDED_BY(mutex_) = false;
 };
 
 namespace runtime {

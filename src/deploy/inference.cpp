@@ -53,7 +53,7 @@ Tensor InferenceSession::predict(const Tensor& features) {
   {
     // Sessions are shared across serve::Server scheduler workers; only the
     // counters need the lock, the forward itself is read-only in eval mode.
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    common::MutexLock lock(stats_mutex_);
     stats_.batches += 1;
     stats_.examples += features.dim(0);
     stats_.total_seconds += seconds;

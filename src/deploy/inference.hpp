@@ -20,10 +20,10 @@
 
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/reservoir.hpp"
+#include "common/sync.hpp"
 #include "data/dataset.hpp"
 #include "deploy/artifact.hpp"
 
@@ -71,19 +71,19 @@ class InferenceSession {
   /// batch. Safe to call from several threads at once (eval-mode forward is
   /// read-only and stats updates are locked) — the serve::Server shares one
   /// session across its scheduler workers.
-  Tensor predict(const Tensor& features);
+  Tensor predict(const Tensor& features) HERO_EXCLUDES(stats_mutex_);
 
   /// Top-1 accuracy of predict() over a dataset, in `batch_size` chunks —
   /// the number to compare against the fake-quant sweep's.
   InferenceEval evaluate(const data::Dataset& dataset, std::int64_t batch_size = 256);
 
   /// Snapshot of the cumulative counters (copied under the stats lock).
-  InferenceStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  InferenceStats stats() const HERO_EXCLUDES(stats_mutex_) {
+    common::MutexLock lock(stats_mutex_);
     return stats_;
   }
-  void reset_stats() {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  void reset_stats() HERO_EXCLUDES(stats_mutex_) {
+    common::MutexLock lock(stats_mutex_);
     stats_ = InferenceStats{};
   }
 
@@ -105,8 +105,8 @@ class InferenceSession {
   std::string plan_label_;
   double average_bits_ = 0.0;
   std::size_t resident_bytes_ = 0;
-  mutable std::mutex stats_mutex_;  // guards stats_ only; forward is lock-free
-  InferenceStats stats_;
+  mutable common::Mutex stats_mutex_;  // guards stats_ only; forward is lock-free
+  InferenceStats stats_ HERO_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace hero::deploy

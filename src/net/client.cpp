@@ -19,7 +19,7 @@ std::future<Tensor> Client::predict_async(const std::string& model,
 
   std::future<Tensor> future;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (closed_) {
       throw NetError(ErrorCode::kBadFrame, "client connection is closed");
     }
@@ -32,12 +32,12 @@ std::future<Tensor> Client::predict_async(const std::string& model,
 
   try {
     const std::string bytes = encode_request(frame);
-    std::lock_guard<std::mutex> write_lock(write_mutex_);
+    common::MutexLock write_lock(write_mutex_);
     socket_.send_all(bytes);
   } catch (...) {
     // The reader may also be failing this pending entry on transport loss;
     // whoever erases it first owns the promise.
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     auto it = pending_.find(frame.id);
     if (it != pending_.end()) {
       it->second.promise.set_exception(std::current_exception());
@@ -71,7 +71,7 @@ void Client::reader_loop() {
         std::promise<Tensor> promise;
         bool matched = false;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           auto it = pending_.find(frame.id);
           if (it != pending_.end()) {
             matched = true;
@@ -90,7 +90,7 @@ void Client::reader_loop() {
         std::promise<Tensor> promise;
         bool matched = false;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           errors_ += 1;
           if (frame.code == ErrorCode::kRejected) rejected_ += 1;
           auto it = pending_.find(frame.id);
@@ -121,9 +121,10 @@ void Client::reader_loop() {
 void Client::fail_all_pending(const NetError& error) {
   std::unordered_map<std::uint64_t, Pending> pending;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     pending.swap(pending_);
   }
+  // hero-lint: allow(unordered-iter) — every promise gets the same error; order unobservable.
   for (auto& [id, entry] : pending) {
     (void)id;
     entry.promise.set_exception(std::make_exception_ptr(error));
@@ -132,7 +133,7 @@ void Client::fail_all_pending(const NetError& error) {
 
 void Client::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (closed_) return;
     closed_ = true;
   }
@@ -144,22 +145,22 @@ void Client::close() {
 }
 
 common::Reservoir Client::latency_us() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return latency_us_;
 }
 
 std::int64_t Client::responses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return responses_;
 }
 
 std::int64_t Client::errors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return errors_;
 }
 
 std::int64_t Client::rejected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return rejected_;
 }
 

@@ -21,12 +21,12 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "common/reservoir.hpp"
+#include "common/sync.hpp"
 #include "net/socket.hpp"
 #include "tensor/tensor.hpp"
 
@@ -44,20 +44,21 @@ class Client {
 
   /// Sends one request; the future resolves with the logits or a NetError.
   /// Thread-safe; requests from several threads interleave cleanly.
-  std::future<Tensor> predict_async(const std::string& model, const Tensor& features);
+  std::future<Tensor> predict_async(const std::string& model, const Tensor& features)
+      HERO_EXCLUDES(mutex_);
 
   /// Blocking convenience: predict_async().get().
   Tensor predict(const std::string& model, const Tensor& features);
 
   /// Half-closes the connection and joins the reader; idempotent. Pending
   /// futures resolve with NetError(kBadFrame).
-  void close();
+  void close() HERO_EXCLUDES(mutex_);
 
   /// Snapshot of this connection's response-latency reservoir (µs).
-  common::Reservoir latency_us() const;
-  std::int64_t responses() const;  ///< response frames received
-  std::int64_t errors() const;     ///< error frames received (any code)
-  std::int64_t rejected() const;   ///< error frames with code kRejected
+  common::Reservoir latency_us() const HERO_EXCLUDES(mutex_);
+  std::int64_t responses() const HERO_EXCLUDES(mutex_);  ///< response frames received
+  std::int64_t errors() const HERO_EXCLUDES(mutex_);     ///< error frames (any code)
+  std::int64_t rejected() const HERO_EXCLUDES(mutex_);   ///< kRejected error frames
 
  private:
   struct Pending {
@@ -67,19 +68,19 @@ class Client {
 
   void reader_loop();
   /// Fails every pending future with `error`; called once at teardown.
-  void fail_all_pending(const NetError& error);
+  void fail_all_pending(const NetError& error) HERO_EXCLUDES(mutex_);
 
   Socket socket_;
-  std::mutex write_mutex_;  // one frame at a time on the wire
+  common::Mutex write_mutex_;  // one frame at a time on the wire
 
-  mutable std::mutex mutex_;  // pending_, reservoir, counters
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::uint64_t next_id_ = 1;
-  common::Reservoir latency_us_;
-  std::int64_t responses_ = 0;
-  std::int64_t errors_ = 0;
-  std::int64_t rejected_ = 0;
-  bool closed_ = false;
+  mutable common::Mutex mutex_;  // pending_, reservoir, counters
+  std::unordered_map<std::uint64_t, Pending> pending_ HERO_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ HERO_GUARDED_BY(mutex_) = 1;
+  common::Reservoir latency_us_ HERO_GUARDED_BY(mutex_);
+  std::int64_t responses_ HERO_GUARDED_BY(mutex_) = 0;
+  std::int64_t errors_ HERO_GUARDED_BY(mutex_) = 0;
+  std::int64_t rejected_ HERO_GUARDED_BY(mutex_) = 0;
+  bool closed_ HERO_GUARDED_BY(mutex_) = false;
 
   std::thread reader_;
 };

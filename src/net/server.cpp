@@ -26,7 +26,7 @@ void NetServer::accept_loop() {
     auto conn = std::make_shared<Connection>();
     conn->socket = std::move(socket);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (stopping_) return;  // conn's socket closes on scope exit
       stats_.connections += 1;
       connections_.push_back(conn);
@@ -54,7 +54,7 @@ void NetServer::reader_loop(ConnectionPtr conn) {
       // frame (id 0 when the header itself never parsed) and stop reading.
       // A transport error lands here too; the send below is best-effort.
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         stats_.protocol_errors += 1;
       }
       send_error(conn, frame_id, ErrorCode::kBadFrame, e.what());
@@ -82,7 +82,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   bool reject_stopping = false;
   bool reject_budget = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stats_.requests += 1;
     if (stopping_) {
       reject_stopping = true;
@@ -104,12 +104,6 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
     return true;  // the connection stays usable; rejection is per-request
   }
 
-  const auto release_inflight = [this] {
-    std::lock_guard<std::mutex> lock(mutex_);
-    inflight_ -= 1;
-    if (inflight_ == 0) drain_cv_.notify_all();
-  };
-
   // Advisory unknown-model pre-check: a crisp error code without a
   // scheduler round trip. The submit path stays the authority — a racing
   // install may still serve the request, a racing evict fails it with
@@ -122,8 +116,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   }
 
   const std::uint64_t id = header.id;
-  auto completion = [this, conn, id, release_inflight](Tensor logits,
-                                                       std::exception_ptr error) {
+  auto completion = [this, conn, id](Tensor logits, std::exception_ptr error) {
     // Runs on a scheduler worker thread; must not throw (serve::Server
     // contract) — every path below catches its own failures.
     if (error == nullptr) {
@@ -132,10 +125,10 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
       frame.logits = std::move(logits);
       try {
         send_frame(conn, encode_response(frame));
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         stats_.responses += 1;
       } catch (const std::exception&) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         stats_.write_failures += 1;
       }
     } else {
@@ -168,7 +161,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   if (!admitted) {
     release_inflight();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       stats_.rejected += 1;
     }
     send_error(conn, header.id, ErrorCode::kRejected,
@@ -177,8 +170,14 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   return true;
 }
 
+void NetServer::release_inflight() {
+  common::MutexLock lock(mutex_);
+  inflight_ -= 1;
+  if (inflight_ == 0) drain_cv_.notify_all();
+}
+
 void NetServer::send_frame(const ConnectionPtr& conn, const std::string& bytes) {
-  std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+  common::MutexLock write_lock(conn->write_mutex);
   conn->socket.send_all(bytes);
 }
 
@@ -190,17 +189,17 @@ void NetServer::send_error(const ConnectionPtr& conn, std::uint64_t id, ErrorCod
   frame.message = message;
   try {
     send_frame(conn, encode_error(frame));
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stats_.errors_sent += 1;
   } catch (const std::exception&) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stats_.write_failures += 1;
   }
 }
 
 void NetServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -209,34 +208,47 @@ void NetServer::shutdown() {
   listener_.shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
+  // Take ownership of the connection registry and reader threads under the
+  // lock, then operate on the local copies. The previous revision walked
+  // reader_threads_ (and cleared both vectors at the end) without mutex_ —
+  // safe only by the accident that the accept thread was already joined;
+  // the thread-safety analysis rejects it, and swapping out under the lock
+  // makes shutdown() obviously race-free against accept_loop().
+  std::vector<ConnectionPtr> connections;
+  std::vector<std::thread> readers;
+  {
+    common::MutexLock lock(mutex_);
+    connections = connections_;
+    readers.swap(reader_threads_);
+  }
   // Half-close read sides: every reader sees EOF at its next frame boundary
   // and stops admitting; responses for already-admitted requests still
   // flush through the write sides.
-  std::vector<ConnectionPtr> connections;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    connections = connections_;
-  }
   for (const ConnectionPtr& conn : connections) conn->socket.shutdown_read();
-  for (std::thread& t : reader_threads_) {
+  for (std::thread& t : readers) {
     if (t.joinable()) t.join();
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    drain_cv_.wait_for(lock, std::chrono::microseconds(config_.drain_timeout_us),
-                       [&] { return inflight_ == 0; });
+    common::UniqueLock lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(config_.drain_timeout_us);
+    while (inflight_ != 0) {
+      if (drain_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          inflight_ != 0) {
+        break;  // drain timeout: the scheduler keeps resolving, writes may drop
+      }
+    }
   }
   for (const ConnectionPtr& conn : connections) {
-    std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+    common::MutexLock write_lock(conn->write_mutex);
     conn->socket.close();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   connections_.clear();
-  reader_threads_.clear();
 }
 
 NetServerStats NetServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -35,14 +35,13 @@
 // tests/net/net_server_test.cpp.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/socket.hpp"
 #include "serve/server.hpp"
 
@@ -90,9 +89,9 @@ class NetServer {
 
   /// Stops accepting work, drains admitted requests (bounded by
   /// drain_timeout_us), closes every connection. Idempotent.
-  void shutdown();
+  void shutdown() HERO_EXCLUDES(mutex_);
 
-  NetServerStats stats() const;
+  NetServerStats stats() const HERO_EXCLUDES(mutex_);
   const NetServerConfig& config() const { return config_; }
 
  private:
@@ -100,7 +99,7 @@ class NetServer {
   /// alive until the last response frame has been written.
   struct Connection {
     Socket socket;
-    std::mutex write_mutex;  ///< serializes frames from worker threads
+    common::Mutex write_mutex;  ///< serializes frames from worker threads
   };
   using ConnectionPtr = std::shared_ptr<Connection>;
 
@@ -110,6 +109,9 @@ class NetServer {
   /// connection must close (protocol violation).
   bool handle_frame(const ConnectionPtr& conn, const FrameHeader& header,
                     const std::string& body);
+  /// Releases one admitted request's in-flight slot; wakes the drain wait
+  /// when the last one resolves.
+  void release_inflight() HERO_EXCLUDES(mutex_);
   /// Writes a frame under the connection's write mutex; a vanished client
   /// costs one write_failures count, never an exception.
   void send_frame(const ConnectionPtr& conn, const std::string& bytes);
@@ -120,13 +122,13 @@ class NetServer {
   const NetServerConfig config_;
   Listener listener_;
 
-  mutable std::mutex mutex_;  // stats, registry, in-flight budget
-  std::condition_variable drain_cv_;
-  std::int64_t inflight_ = 0;
-  bool stopping_ = false;
-  NetServerStats stats_;
-  std::vector<ConnectionPtr> connections_;
-  std::vector<std::thread> reader_threads_;
+  mutable common::Mutex mutex_;  // stats, registry, in-flight budget
+  common::CondVar drain_cv_;
+  std::int64_t inflight_ HERO_GUARDED_BY(mutex_) = 0;
+  bool stopping_ HERO_GUARDED_BY(mutex_) = false;
+  NetServerStats stats_ HERO_GUARDED_BY(mutex_);
+  std::vector<ConnectionPtr> connections_ HERO_GUARDED_BY(mutex_);
+  std::vector<std::thread> reader_threads_ HERO_GUARDED_BY(mutex_);
 
   std::thread accept_thread_;
 };

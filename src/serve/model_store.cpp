@@ -32,7 +32,7 @@ std::size_t ModelStore::install(const std::string& name,
   auto session = std::make_shared<deploy::InferenceSession>(artifact);
   const std::size_t bytes = session->resident_bytes();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   store_stats_.installs += 1;
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const Entry& e) { return e.stats.name == name; });
@@ -73,7 +73,7 @@ SessionHandle ModelStore::acquire(const std::string& name) {
 }
 
 SessionHandle ModelStore::try_acquire(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (Entry& entry : entries_) {
     if (entry.stats.name == name) {
       entry.last_used = ++clock_;
@@ -86,7 +86,7 @@ SessionHandle ModelStore::try_acquire(const std::string& name) {
 }
 
 bool ModelStore::evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const Entry& e) { return e.stats.name == name; });
   if (it == entries_.end()) return false;
@@ -97,13 +97,13 @@ bool ModelStore::evict(const std::string& name) {
 }
 
 bool ModelStore::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return std::any_of(entries_.begin(), entries_.end(),
                      [&](const Entry& e) { return e.stats.name == name; });
 }
 
 std::vector<std::string> ModelStore::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<const Entry*> ordered;
   ordered.reserve(entries_.size());
   for (const Entry& e : entries_) ordered.push_back(&e);
@@ -116,12 +116,12 @@ std::vector<std::string> ModelStore::names() const {
 }
 
 std::size_t ModelStore::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return resident_bytes_locked();
 }
 
 ModelStats ModelStore::stats(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const Entry& entry : entries_) {
     if (entry.stats.name == name) return entry.stats;
   }
@@ -129,7 +129,7 @@ ModelStats ModelStore::stats(const std::string& name) const {
 }
 
 StoreStats ModelStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return store_stats_;
 }
 

@@ -26,10 +26,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "deploy/inference.hpp"
 
 namespace hero::serve {
@@ -73,33 +73,35 @@ class ModelStore {
   /// Loads (or hot-swaps) `name` from an in-memory artifact. Returns the
   /// entry's resident bytes. Evicts LRU entries (never `name` itself) until
   /// the budget holds.
-  std::size_t install(const std::string& name, const deploy::ModelArtifact& artifact);
+  std::size_t install(const std::string& name, const deploy::ModelArtifact& artifact)
+      HERO_EXCLUDES(mutex_);
 
   /// load_model(path) + install().
-  std::size_t load(const std::string& name, const std::string& path);
+  std::size_t load(const std::string& name, const std::string& path)
+      HERO_EXCLUDES(mutex_);
 
   /// Handle to a loaded model; bumps its LRU recency. Throws hero::Error for
   /// an unknown name.
-  SessionHandle acquire(const std::string& name);
+  SessionHandle acquire(const std::string& name) HERO_EXCLUDES(mutex_);
 
   /// Like acquire(), but returns nullptr (and counts a miss) when absent —
   /// the Server uses this so an unknown model fails one request, not a
   /// worker.
-  SessionHandle try_acquire(const std::string& name);
+  SessionHandle try_acquire(const std::string& name) HERO_EXCLUDES(mutex_);
 
   /// Removes `name` if present; in-flight handles stay valid. Returns
   /// whether an entry was removed (counted as an eviction).
-  bool evict(const std::string& name);
+  bool evict(const std::string& name) HERO_EXCLUDES(mutex_);
 
-  bool contains(const std::string& name) const;
+  bool contains(const std::string& name) const HERO_EXCLUDES(mutex_);
   /// Loaded names, most-recently-acquired first.
-  std::vector<std::string> names() const;
-  std::size_t resident_bytes() const;
+  std::vector<std::string> names() const HERO_EXCLUDES(mutex_);
+  std::size_t resident_bytes() const HERO_EXCLUDES(mutex_);
   std::size_t max_bytes() const { return config_.max_bytes; }
 
   /// Per-model counters; throws hero::Error for an unknown name.
-  ModelStats stats(const std::string& name) const;
-  StoreStats stats() const;
+  ModelStats stats(const std::string& name) const HERO_EXCLUDES(mutex_);
+  StoreStats stats() const HERO_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -109,15 +111,16 @@ class ModelStore {
   };
 
   /// Evicts least-recently-used entries until the budget holds; never evicts
-  /// `keep`. Caller holds mutex_.
-  void enforce_budget_locked(const std::string& keep);
-  std::size_t resident_bytes_locked() const;
+  /// `keep`.
+  void enforce_budget_locked(const std::string& keep) HERO_REQUIRES(mutex_);
+  std::size_t resident_bytes_locked() const HERO_REQUIRES(mutex_);
 
   Config config_;
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;  // few models; linear scans beat a map here
-  std::uint64_t clock_ = 0;
-  StoreStats store_stats_;
+  mutable common::Mutex mutex_;
+  // Few models; linear scans beat a map here.
+  std::vector<Entry> entries_ HERO_GUARDED_BY(mutex_);
+  std::uint64_t clock_ HERO_GUARDED_BY(mutex_) = 0;
+  StoreStats store_stats_ HERO_GUARDED_BY(mutex_);
 };
 
 }  // namespace hero::serve

@@ -18,6 +18,9 @@ Server::Server(ModelStore& store, ServerConfig config) : store_(store), config_(
                  "Server max_queue_rows (" << config_.max_queue_rows
                                            << ") must exceed max_batch ("
                                            << config_.max_batch << ")");
+  // workers_ is guarded state (shutdown() swaps it out under the lock); the
+  // spawned threads block on mutex_ in worker_loop until we release it.
+  common::MutexLock lock(mutex_);
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -32,15 +35,6 @@ void check_features(const Tensor& features) {
   HERO_CHECK_MSG(features.ndim() >= 1 && features.dim(0) > 0,
                  "submit needs a non-empty batch, got shape "
                      << shape_to_string(features.shape()));
-}
-
-/// Whether `rows` more examples fit under the queue bound. An oversize
-/// request (rows > bound) is admitted whenever the backlog is below the
-/// bound — waiting for an exactly-empty queue could starve it forever under
-/// sustained small-request traffic, and the bound is only exceeded by that
-/// one request.
-bool fits_queue(std::int64_t rows, std::int64_t queued_rows, std::int64_t bound) {
-  return rows > bound ? queued_rows < bound : queued_rows + rows <= bound;
 }
 
 /// Resolves one request with a value or an error, through whichever channel
@@ -65,6 +59,16 @@ void resolve_error(Server::Completion& done, std::promise<Tensor>& promise,
 
 }  // namespace
 
+/// Whether `rows` more examples fit under the queue bound. An oversize
+/// request (rows > bound) is admitted whenever the backlog is below the
+/// bound — waiting for an exactly-empty queue could starve it forever under
+/// sustained small-request traffic, and the bound is only exceeded by that
+/// one request.
+bool Server::has_space_locked(std::int64_t rows) const {
+  const std::int64_t bound = config_.max_queue_rows;
+  return rows > bound ? queued_rows_ < bound : queued_rows_ + rows <= bound;
+}
+
 void Server::enqueue_locked(Request request, std::int64_t rows) {
   if (const auto it = sla_.find(request.model); it != sla_.end()) {
     request.sla = it->second;
@@ -86,11 +90,9 @@ std::future<Tensor> Server::submit(const std::string& model, const Tensor& featu
   request.arrival = std::chrono::steady_clock::now();
   std::future<Tensor> future = request.promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::UniqueLock lock(mutex_);
   // Backpressure: block while the backlog is at the bound.
-  space_cv_.wait(lock, [&] {
-    return stopping_ || fits_queue(rows, queued_rows_, config_.max_queue_rows);
-  });
+  while (!stopping_ && !has_space_locked(rows)) space_cv_.wait(lock);
   if (stopping_) throw Error("Server: submit after shutdown");
   enqueue_locked(std::move(request), rows);
   lock.unlock();
@@ -113,12 +115,12 @@ bool Server::try_submit(const std::string& model, const Tensor& features,
   request.done = std::move(done);
   request.arrival = std::chrono::steady_clock::now();
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::UniqueLock lock(mutex_);
   if (stopping_) throw Error("Server: submit after shutdown");
   // Admission control: no room under the bound means REJECT — the open-loop
   // caller gets an immediate, explicit refusal to turn into an error frame,
   // and the scheduler's own latency promises stay intact for the admitted.
-  if (!fits_queue(rows, queued_rows_, config_.max_queue_rows)) {
+  if (!has_space_locked(rows)) {
     stats_.rejected += 1;
     return false;
   }
@@ -129,25 +131,25 @@ bool Server::try_submit(const std::string& model, const Tensor& features,
 }
 
 void Server::set_sla(const std::string& model, SlaClass sla) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   sla_[model] = sla;
 }
 
 SlaClass Server::sla(const std::string& model) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = sla_.find(model);
   return it == sla_.end() ? SlaClass::kStandard : it->second;
 }
 
 void Server::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  common::UniqueLock lock(mutex_);
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.wait(lock);
 }
 
 void Server::shutdown() {
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
     to_join.swap(workers_);
   }
@@ -157,7 +159,7 @@ void Server::shutdown() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -170,27 +172,28 @@ std::int64_t Server::effective_delay_us_locked(const Request& head) const {
   return delay;
 }
 
+void Server::rebuild_views_locked(std::vector<PendingView>& pending) const {
+  pending.clear();
+  pending.reserve(queue_.size());
+  for (const Request& r : queue_) {
+    pending.push_back(PendingView{&r.model, &r.features.shape(), sla_priority(r.sla)});
+  }
+}
+
+bool Server::claimable_or_stopping_locked(std::vector<PendingView>& pending) const {
+  if (stopping_) return true;
+  // Views are rebuilt on every wake — the queue mutates while we sleep —
+  // and reused by both claim selection and batch planning.
+  rebuild_views_locked(pending);
+  return select_claim(pending, claimed_) < pending.size();
+}
+
 void Server::worker_loop() {
   std::vector<PendingView> pending;  // reused scratch; non-owning views
-  // Rebuilds the scheduler views from the queue (cheap: pointers + the SLA
-  // priority snapshot). Called on every wake — the queue mutates while we
-  // sleep — and reused by both claim selection and batch planning.
-  const auto rebuild_views = [&] {
-    pending.clear();
-    pending.reserve(queue_.size());
-    for (const Request& r : queue_) {
-      pending.push_back(
-          PendingView{&r.model, &r.features.shape(), sla_priority(r.sla)});
-    }
-  };
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::UniqueLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      if (stopping_) return true;
-      rebuild_views();
-      return select_claim(pending, claimed_) < pending.size();
-    });
-    rebuild_views();
+    while (!claimable_or_stopping_locked(pending)) work_cv_.wait(lock);
+    rebuild_views_locked(pending);
     const std::size_t first = select_claim(pending, claimed_);
     if (first == pending.size()) {
       // Stopping, and every queued request (if any) is claimed by another
@@ -212,7 +215,7 @@ void Server::worker_loop() {
     bool full = false;
     std::int64_t delay_us = config_.max_delay_us;
     for (;;) {
-      rebuild_views();
+      rebuild_views_locked(pending);
       std::size_t head = queue_.size();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
         if (queue_[i].model == model) {
@@ -301,7 +304,7 @@ void Server::execute(std::vector<Request> batch) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     in_flight_ -= static_cast<std::int64_t>(batch.size());
     stats_.completed += static_cast<std::int64_t>(resolved);
     stats_.failed += static_cast<std::int64_t>(batch.size() - resolved);

@@ -49,19 +49,18 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "serve/batch.hpp"
 #include "serve/model_store.hpp"
 #include "tensor/tensor.hpp"
@@ -135,29 +134,31 @@ class Server {
   /// Returns the future logits ([n, classes]). Blocks while the queue is at
   /// max_queue_rows; throws hero::Error after shutdown() or on an empty
   /// batch.
-  std::future<Tensor> submit(const std::string& model, const Tensor& features);
+  std::future<Tensor> submit(const std::string& model, const Tensor& features)
+      HERO_EXCLUDES(mutex_);
 
   /// Admission-controlled enqueue for front-ends that must not block: when
   /// the queue bound has no room the request is REJECTED — returns false,
   /// counts ServerStats::rejected, and `done` is never invoked. On
   /// admission, `done` fires exactly once from a worker thread with the
   /// logits or the failure. Throws hero::Error after shutdown().
-  bool try_submit(const std::string& model, const Tensor& features, Completion done);
+  bool try_submit(const std::string& model, const Tensor& features, Completion done)
+      HERO_EXCLUDES(mutex_);
 
   /// Assigns `model` an SLA class consulted for claim priority and delay
   /// sizing (class snapshots are taken per-request at submission). Models
   /// default to SlaClass::kStandard.
-  void set_sla(const std::string& model, SlaClass sla);
-  SlaClass sla(const std::string& model) const;
+  void set_sla(const std::string& model, SlaClass sla) HERO_EXCLUDES(mutex_);
+  SlaClass sla(const std::string& model) const HERO_EXCLUDES(mutex_);
 
   /// Blocks until every request submitted so far has resolved.
-  void drain();
+  void drain() HERO_EXCLUDES(mutex_);
 
   /// Stops accepting requests, drains, and joins the workers. Idempotent;
   /// the destructor calls it.
-  void shutdown();
+  void shutdown() HERO_EXCLUDES(mutex_);
 
-  ServerStats stats() const;
+  ServerStats stats() const HERO_EXCLUDES(mutex_);
   const ServerConfig& config() const { return config_; }
   /// The store this server schedules over — front-ends use it to pre-check
   /// model names (advisory: installs/evictions race with it, and the submit
@@ -177,29 +178,41 @@ class Server {
   void worker_loop();
   /// Appends an admitted request under mutex_: stamps the SLA snapshot from
   /// sla_ and bumps counters/high-waters.
-  void enqueue_locked(Request request, std::int64_t rows);
+  void enqueue_locked(Request request, std::int64_t rows) HERO_REQUIRES(mutex_);
   /// Effective coalescing-delay ceiling for a batch headed by `head` given
   /// the current backlog (SLA scaling + optional adaptive controller).
-  std::int64_t effective_delay_us_locked(const Request& head) const;
+  std::int64_t effective_delay_us_locked(const Request& head) const HERO_REQUIRES(mutex_);
+  /// Rebuilds the scheduler's non-owning views of the queue into `pending`
+  /// (cheap: pointers + the SLA priority snapshot). The views dangle as soon
+  /// as mutex_ is released — they are claim-selection scratch, never stored.
+  void rebuild_views_locked(std::vector<PendingView>& pending) const HERO_REQUIRES(mutex_);
+  /// Worker wake predicate: stopping, or some unclaimed model is queued.
+  bool claimable_or_stopping_locked(std::vector<PendingView>& pending) const
+      HERO_REQUIRES(mutex_);
+  /// Whether `rows` more examples fit under the queue bound (admission rule
+  /// shared by submit's backpressure wait and try_submit's reject).
+  bool has_space_locked(std::int64_t rows) const HERO_REQUIRES(mutex_);
   /// Executes one coalesced batch outside the lock; resolves its promises.
-  void execute(std::vector<Request> batch);
+  void execute(std::vector<Request> batch) HERO_EXCLUDES(mutex_);
 
   ModelStore& store_;
   const ServerConfig config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers: queue grew / stop / unclaim
-  std::condition_variable space_cv_;  // producers: queue shrank
-  std::condition_variable idle_cv_;   // drain(): all resolved
-  std::unordered_map<std::string, SlaClass> sla_;  // per-model SLA classes
-  std::deque<Request> queue_;
-  std::int64_t queued_rows_ = 0;
-  std::unordered_set<std::string> claimed_;  // models with a forming batch
-  std::int64_t in_flight_ = 0;               // requests extracted, not yet resolved
-  bool stopping_ = false;
-  ServerStats stats_;
+  mutable common::Mutex mutex_;
+  common::CondVar work_cv_;   // workers: queue grew / stop / unclaim
+  common::CondVar space_cv_;  // producers: queue shrank
+  common::CondVar idle_cv_;   // drain(): all resolved
+  std::unordered_map<std::string, SlaClass> sla_ HERO_GUARDED_BY(mutex_);
+  std::deque<Request> queue_ HERO_GUARDED_BY(mutex_);
+  std::int64_t queued_rows_ HERO_GUARDED_BY(mutex_) = 0;
+  /// Models with a forming batch.
+  std::unordered_set<std::string> claimed_ HERO_GUARDED_BY(mutex_);
+  /// Requests extracted, not yet resolved.
+  std::int64_t in_flight_ HERO_GUARDED_BY(mutex_) = 0;
+  bool stopping_ HERO_GUARDED_BY(mutex_) = false;
+  ServerStats stats_ HERO_GUARDED_BY(mutex_);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ HERO_GUARDED_BY(mutex_);
 };
 
 }  // namespace hero::serve

@@ -92,8 +92,8 @@ const OpCase kCases[] = {
 };
 
 INSTANTIATE_TEST_SUITE_P(Primitives, OpGradcheck, testing::ValuesIn(kCases),
-                         [](const testing::TestParamInfo<OpCase>& info) {
-                           return info.param.name;
+                         [](const testing::TestParamInfo<OpCase>& param_info) {
+                           return param_info.param.name;
                          });
 
 // Convolution-shaped primitives need 4-D inputs; separate cases.
@@ -146,8 +146,8 @@ const ConvCase kConvCases[] = {
 };
 
 INSTANTIATE_TEST_SUITE_P(ConvPrimitives, ConvGradcheck, testing::ValuesIn(kConvCases),
-                         [](const testing::TestParamInfo<ConvCase>& info) {
-                           return info.param.name;
+                         [](const testing::TestParamInfo<ConvCase>& param_info) {
+                           return param_info.param.name;
                          });
 
 TEST(MaxPoolGradcheck, MatchesFiniteDifference) {

@@ -157,8 +157,8 @@ const HvpCase kHvpCases[] = {
 };
 
 INSTANTIATE_TEST_SUITE_P(Compositions, HvpCheck, testing::ValuesIn(kHvpCases),
-                         [](const testing::TestParamInfo<HvpCase>& info) {
-                           return info.param.name;
+                         [](const testing::TestParamInfo<HvpCase>& param_info) {
+                           return param_info.param.name;
                          });
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Fuzz target: HNET frame decoding (src/net/protocol.hpp).
+//
+// Input = one wire frame: kHeaderBytes of header + body. The contract under
+// test is the one the reader loop relies on: arbitrary hostile bytes either
+// decode or throw hero::Error/NetError — never crash, never allocate
+// unbounded memory (kMaxFrameBody), never read past the buffer.
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/check.hpp"
+#include "net/protocol.hpp"
+
+#include "standalone_driver.hpp"
+
+namespace {
+
+/// Runs every body decoder against (header, body); each either returns or
+/// throws hero::Error. Anything else escapes and counts as a finding.
+void poke_decoders(const hero::net::FrameHeader& header, const std::string& body) {
+  try {
+    (void)hero::net::decode_request_body(header, body);
+  } catch (const hero::Error&) {
+  }
+  try {
+    (void)hero::net::decode_response_body(header, body);
+  } catch (const hero::Error&) {
+  }
+  try {
+    (void)hero::net::decode_error_body(header, body);
+  } catch (const hero::Error&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace hero::net;
+  if (size < kHeaderBytes) return 0;
+  const char* bytes = reinterpret_cast<const char*>(data);
+
+  // Pass 1: the bytes exactly as a hostile peer would send them.
+  try {
+    const FrameHeader header = decode_header(bytes);
+    poke_decoders(header, std::string(bytes + kHeaderBytes, size - kHeaderBytes));
+  } catch (const hero::Error&) {
+  }
+
+  // Pass 2: graft a valid magic + version so the fuzzer spends its budget in
+  // the type/length validation and the body decoders instead of dying at the
+  // magic comparison.
+  std::string patched(bytes, size);
+  std::memcpy(patched.data(), kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  std::memcpy(patched.data() + sizeof(kMagic), &version, sizeof(version));
+  try {
+    const FrameHeader header = decode_header(patched.data());
+    poke_decoders(header, patched.substr(kHeaderBytes));
+  } catch (const hero::Error&) {
+  }
+  return 0;
+}
+
+#ifndef HERO_FUZZ_LIBFUZZER
+namespace hero_fuzz {
+
+void write_corpus(const std::filesystem::path& dir) {
+  using namespace hero::net;
+  RequestFrame request;
+  request.id = 7;
+  request.model = "edge";
+  request.features = hero::Tensor::full({2, 3}, 0.5F);
+  const std::string request_bytes = encode_request(request);
+  emit_seed(dir, "request_valid.bin", request_bytes);
+  // Truncated body: the framing fault the reader must answer, not crash on.
+  emit_seed(dir, "request_truncated.bin",
+            request_bytes.substr(0, request_bytes.size() - 5));
+
+  ResponseFrame response;
+  response.id = 7;
+  response.logits = hero::Tensor::full({2, 2}, -1.25F);
+  emit_seed(dir, "response_valid.bin", encode_response(response));
+
+  ErrorFrame error;
+  error.id = 9;
+  error.code = ErrorCode::kRejected;
+  error.message = "scheduler queue is full, retry later";
+  emit_seed(dir, "error_valid.bin", encode_error(error));
+
+  // Wrong magic: must die at the header check.
+  std::string bad_magic = request_bytes;
+  bad_magic[0] = 'X';
+  emit_seed(dir, "bad_magic.bin", bad_magic);
+
+  // Hostile length prefix: header promises a huge body that is not there —
+  // the kMaxFrameBody cap is the defense under test.
+  std::string hostile_len = request_bytes.substr(0, kHeaderBytes);
+  const std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(hostile_len.data() + kHeaderBytes - sizeof(huge), &huge, sizeof(huge));
+  emit_seed(dir, "hostile_length.bin", hostile_len);
+
+  // Unknown frame type in an otherwise valid header.
+  std::string bad_type = request_bytes;
+  const std::uint32_t type = 0xAB;
+  std::memcpy(bad_type.data() + 8, &type, sizeof(type));
+  emit_seed(dir, "bad_type.bin", bad_type);
+}
+
+}  // namespace hero_fuzz
+#endif
+
+HERO_FUZZ_MAIN

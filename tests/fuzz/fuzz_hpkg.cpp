@@ -1,0 +1,64 @@
+// Fuzz target: HPKG artifact loading (src/deploy/artifact.hpp).
+//
+// Input = one artifact file image. load_artifact's documented contract is
+// that hostile or truncated files fail with hero::Error before any
+// proportional allocation happens — never a crash, never bad_alloc from a
+// hostile count/extent, never uninitialized tensor contents.
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "deploy/artifact.hpp"
+
+#include "standalone_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    (void)hero::deploy::load_artifact(in);
+  } catch (const hero::Error&) {
+  }
+  return 0;
+}
+
+#ifndef HERO_FUZZ_LIBFUZZER
+namespace hero_fuzz {
+
+void write_corpus(const std::filesystem::path& dir) {
+  // A small valid artifact (no packed layers, one full-precision tensor)
+  // gives the fuzzer the whole happy path to mutate from.
+  hero::deploy::ModelArtifact artifact;
+  artifact.model_spec = "mlp:in=4,hidden=8,out=2";
+  artifact.plan_label = "uniform:bits=4";
+  artifact.full_precision.push_back(
+      {"fc1.bias", hero::Tensor::full({8}, 0.125F)});
+  std::ostringstream out;
+  hero::deploy::save_artifact(out, artifact);
+  const std::string valid = out.str();
+  emit_seed(dir, "artifact_valid.bin", valid);
+
+  emit_seed(dir, "artifact_truncated.bin", valid.substr(0, valid.size() / 2));
+
+  std::string bad_magic = valid;
+  bad_magic[0] = 'X';
+  emit_seed(dir, "artifact_bad_magic.bin", bad_magic);
+
+  std::string bad_version = valid;
+  bad_version[4] = '\xFF';
+  emit_seed(dir, "artifact_bad_version.bin", bad_version);
+
+  // Flip a byte in the middle: typically corrupts a length prefix or count,
+  // the validation the loader must catch before allocating.
+  std::string corrupted = valid;
+  corrupted[valid.size() / 2] = static_cast<char>(corrupted[valid.size() / 2] ^ 0x5A);
+  emit_seed(dir, "artifact_corrupted.bin", corrupted);
+
+  emit_seed(dir, "artifact_empty.bin", "");
+}
+
+}  // namespace hero_fuzz
+#endif
+
+HERO_FUZZ_MAIN

@@ -1,0 +1,113 @@
+// Standalone replay driver for the fuzz harnesses.
+//
+// Each fuzz_*.cpp defines the libFuzzer entry point
+// LLVMFuzzerTestOneInput(data, size). Compiled with -fsanitize=fuzzer (the
+// clang CI job, HERO_FUZZ_LIBFUZZER defined) libFuzzer provides main and
+// this header is inert. Compiled normally, HERO_FUZZ_MAIN expands to a plain
+// main() that replays every file in the corpus paths given on argv — the
+// ctest regression smoke that runs under every compiler and sanitizer job —
+// and regenerates the checked-in seed corpus with `--write-corpus DIR`
+// (each harness supplies hero_fuzz::write_corpus).
+#pragma once
+
+#ifdef HERO_FUZZ_LIBFUZZER
+
+#define HERO_FUZZ_MAIN
+
+#else  // standalone replay binary
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace hero_fuzz {
+
+/// Defined by the including harness: writes this target's seed inputs.
+void write_corpus(const std::filesystem::path& dir);
+
+/// Writes one seed file (helper for write_corpus implementations).
+inline void emit_seed(const std::filesystem::path& dir, const std::string& name,
+                      const std::string& bytes) {
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::cerr << "failed to write seed " << (dir / name) << "\n";
+    std::exit(2);
+  }
+}
+
+inline int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "cannot read corpus input " << path << "\n";
+    return -1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 1;
+}
+
+inline int run_main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  int replayed = 0;
+  bool wrote_corpus = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--write-corpus") {
+      if (i + 1 >= argc) {
+        std::cerr << "--write-corpus needs a directory\n";
+        return 2;
+      }
+      const fs::path dir = argv[++i];
+      fs::create_directories(dir);
+      write_corpus(dir);
+      wrote_corpus = true;
+      std::cout << "seed corpus written to " << dir << "\n";
+      continue;
+    }
+    const fs::path path = arg;
+    if (fs::is_directory(path)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& file : files) {
+        const int r = replay_file(file);
+        if (r < 0) return 1;
+        replayed += r;
+      }
+    } else if (fs::is_regular_file(path)) {
+      const int r = replay_file(path);
+      if (r < 0) return 1;
+      replayed += r;
+    } else {
+      std::cerr << "no such corpus path: " << path << "\n";
+      return 1;
+    }
+  }
+  // An uncaught exception above would have aborted; reaching here means
+  // every input was survived. An empty replay is a configuration error
+  // (missing checked-in corpus), not a pass.
+  if (replayed == 0 && argc > 1 && !wrote_corpus) {
+    std::cerr << "no corpus inputs replayed\n";
+    return 1;
+  }
+  std::cout << "replayed " << replayed << " corpus input(s)\n";
+  return 0;
+}
+
+}  // namespace hero_fuzz
+
+#define HERO_FUZZ_MAIN \
+  int main(int argc, char** argv) { return hero_fuzz::run_main(argc, argv); }
+
+#endif  // HERO_FUZZ_LIBFUZZER

@@ -14,16 +14,6 @@
 namespace hero::hessian {
 namespace {
 
-/// Loss increase of the quadratic surrogate at perturbation delta.
-double loss_increase(const std::vector<double>& g, const std::vector<double>& h,
-                     const std::vector<double>& delta) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    acc += g[i] * delta[i] + 0.5 * h[i] * delta[i] * delta[i];
-  }
-  return acc;
-}
-
 /// Theorem 3, Eq. (6): lower bound on ||delta*||_2.
 double bound_l2(double g_norm, double v, double c) {
   if (v <= 0.0) return c / g_norm;  // limit v -> 0 of the bound

@@ -1,0 +1,11 @@
+// hero-lint fixture: seeded float-accum violation (accumulation into an
+// outer double from inside a parallel_for body — cross-chunk summation order
+// would depend on the thread count).
+template <typename F>
+void parallel_for(int begin, int end, int grain, F fn);
+
+double fixture_float_accum() {
+  double acc = 0.0;
+  parallel_for(0, 100, 8, [&](int i) { acc += static_cast<double>(i); });
+  return acc;
+}

@@ -1,0 +1,11 @@
+// hero-lint fixture: seeded naked-lock violations (manual mutex lock/unlock
+// instead of the RAII guards from common/sync.hpp).
+#include <mutex>
+
+int fixture_naked_lock() {
+  std::mutex state_mutex;
+  state_mutex.lock();
+  const int value = 42;
+  state_mutex.unlock();
+  return value;
+}

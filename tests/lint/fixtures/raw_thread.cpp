@@ -1,0 +1,8 @@
+// hero-lint fixture: seeded raw-thread violation (ad-hoc std::thread outside
+// the runtime/net/serve subsystems).
+#include <thread>
+
+void fixture_thread() {
+  std::thread worker([] {});
+  worker.join();
+}

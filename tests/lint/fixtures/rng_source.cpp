@@ -1,0 +1,9 @@
+// hero-lint fixture: seeded rng-source violations (time-seeded libc RNG).
+// Not compiled into any target; tests/lint drives the linter over this tree.
+#include <cstdlib>
+#include <ctime>
+
+int fixture_rng() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand();
+}

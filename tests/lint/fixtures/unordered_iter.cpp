@@ -1,0 +1,15 @@
+// hero-lint fixture: seeded unordered-iter violation (range-for over an
+// unordered_map — iteration order is implementation-defined).
+#include <string>
+#include <unordered_map>
+
+int fixture_unordered() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    (void)key;
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,253 @@
+// hero-lint's own test suite: every rule must fire on its seeded fixture,
+// suppressions and the baseline must silence exactly what they claim, and —
+// the gate CI leans on — the real tree must lint clean.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hero::lint {
+namespace {
+
+std::vector<std::string> rules_in(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- rule unit tests: inline sources with known line numbers ---------------
+
+TEST(RngSourceRule, FiresOnLibcAndStdRandomness) {
+  const std::string src =
+      "#include <random>\n"
+      "int f() {\n"
+      "  std::random_device rd;\n"       // line 3
+      "  std::mt19937 gen(rd());\n"      // line 4
+      "  return std::rand();\n"          // line 5
+      "}\n";
+  const auto findings = lint_source("src/opt/sketchy.cpp", src);
+  ASSERT_GE(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "rng-source");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].line, 4);
+  EXPECT_EQ(findings[2].line, 5);
+}
+
+TEST(RngSourceRule, FiresOnTimeSeeding) {
+  const auto findings =
+      lint_source("src/opt/seed.cpp", "unsigned f() { return time(nullptr); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-source");
+}
+
+TEST(RngSourceRule, ExemptsTheRngSubsystemItself) {
+  const std::string src = "int f() { return std::rand(); }\n";
+  EXPECT_TRUE(lint_source("src/common/rng.cpp", src).empty());
+  EXPECT_FALSE(lint_source("src/opt/other.cpp", src).empty());
+}
+
+TEST(RngSourceRule, IgnoresCommentsAndStrings) {
+  const std::string src =
+      "// std::rand() would be wrong here\n"
+      "const char* kMsg = \"do not call rand()\";\n"
+      "int runtime_grand(int x);\n";  // 'grand(' must not match 'rand('
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+TEST(RawThreadRule, FiresOutsideTheWhitelist) {
+  const std::string src = "#include <thread>\nstd::thread t;\n";
+  const auto findings = lint_source("src/opt/bad.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-thread");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(RawThreadRule, AllowsTheConcurrencySubsystems) {
+  const std::string src = "std::thread t;\n";
+  EXPECT_TRUE(lint_source("src/net/server.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/serve/server.hpp", src).empty());
+  EXPECT_TRUE(lint_source("src/common/thread_pool.cpp", src).empty());
+}
+
+TEST(RawThreadRule, AllowsStaticsAndThisThread) {
+  const std::string src =
+      "auto n = std::thread::hardware_concurrency();\n"
+      "void nap() { std::this_thread::yield(); }\n";
+  EXPECT_TRUE(lint_source("src/opt/fine.cpp", src).empty());
+}
+
+TEST(UnorderedIterRule, FiresOnRangeForOverDeclaredContainer) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "int f(const std::unordered_map<int, int>& weights) {\n"
+      "  int sum = 0;\n"
+      "  for (const auto& [k, v] : weights) sum += v;\n"  // line 4
+      "  return sum;\n"
+      "}\n";
+  const auto findings = lint_source("src/a.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(UnorderedIterRule, IgnoresOrderedContainersAndLookups) {
+  const std::string src =
+      "#include <map>\n#include <unordered_map>\n#include <vector>\n"
+      "int f(std::map<int,int>& m, std::vector<int>& v,\n"
+      "      std::unordered_map<int,int>& u) {\n"
+      "  int sum = 0;\n"
+      "  for (auto& [k, x] : m) sum += x;\n"     // ordered: fine
+      "  for (int x : v) sum += x;\n"            // vector: fine
+      "  sum += u.count(3);\n"                   // lookup, no iteration
+      "  for (int i = 0; i < 4; ++i) sum += i;\n"  // classic for
+      "  return sum;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+TEST(NakedLockRule, FiresOnManualMutexCalls) {
+  const std::string src =
+      "#include <mutex>\n"
+      "std::mutex state_mutex;\n"
+      "void f() {\n"
+      "  state_mutex.lock();\n"    // line 4
+      "  state_mutex.unlock();\n"  // line 5
+      "}\n";
+  const auto findings = lint_source("src/a.cpp", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "naked-lock");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+TEST(NakedLockRule, AllowsScopedGuardsAndTheSyncLayer) {
+  // UniqueLock relocking is the sanctioned mid-scope pattern — the object is
+  // a scoped capability, so `lock.lock()` is not a naked mutex call.
+  const std::string src =
+      "void f(common::UniqueLock& lock) { lock.unlock(); lock.lock(); }\n";
+  EXPECT_TRUE(lint_source("src/serve/server.cpp", src).empty());
+  // The RAII layer itself is the one place mutex_.lock() must live.
+  const std::string sync = "void lock() { mutex_.lock(); }\n";
+  EXPECT_TRUE(lint_source("src/common/sync.hpp", sync).empty());
+  EXPECT_FALSE(lint_source("src/opt/other.hpp", sync).empty());
+}
+
+TEST(FloatAccumRule, FiresOnOuterAccumulatorInParallelBody) {
+  const std::string src =
+      "double f() {\n"
+      "  double acc = 0.0;\n"
+      "  parallel_for(0, 100, 8, [&](std::int64_t i) {\n"
+      "    acc += static_cast<double>(i);\n"  // line 4
+      "  });\n"
+      "  return acc;\n"
+      "}\n";
+  const auto findings = lint_source("src/a.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "float-accum");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(FloatAccumRule, AllowsChunkLocalPartialsAndSubscripts) {
+  const std::string src =
+      "void f(float* out, const float* in) {\n"
+      "  double total = 0.0;\n"
+      "  parallel_for(0, 100, 8, [&](std::int64_t i) {\n"
+      "    double partial = 0.0;\n"     // chunk-local: the sanctioned pattern
+      "    partial += in[i];\n"
+      "    out[i] += partial;\n"        // subscripted store, not a scalar
+      "  });\n"
+      "  total += 1.0;\n"               // outside any parallel_for body
+      "  (void)total;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+// --- suppressions and baseline ---------------------------------------------
+
+TEST(Suppressions, SameLineAndPreviousLineAllow) {
+  const std::string same =
+      "std::thread t;  // hero-lint: allow(raw-thread)\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", same).empty());
+  const std::string above =
+      "// hero-lint: allow(raw-thread) — bench load generator\n"
+      "std::thread t;\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", above).empty());
+}
+
+TEST(Suppressions, WrongRuleOrWrongLineDoesNotSilence) {
+  const std::string wrong_rule =
+      "std::thread t;  // hero-lint: allow(rng-source)\n";
+  EXPECT_EQ(lint_source("src/a.cpp", wrong_rule).size(), 1u);
+  const std::string too_far =
+      "// hero-lint: allow(raw-thread)\n"
+      "\n"
+      "std::thread t;\n";
+  EXPECT_EQ(lint_source("src/a.cpp", too_far).size(), 1u);
+}
+
+TEST(Baseline, ParsesAppliesAndRejectsGarbage) {
+  const auto entries = parse_baseline(
+      "# comment\n"
+      "\n"
+      "src/net/client.cpp:unordered-iter  # trailing comment\n"
+      "bench/bench_serving.cpp:raw-thread\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].file, "src/net/client.cpp");
+  EXPECT_EQ(entries[0].rule, "unordered-iter");
+
+  std::vector<Finding> findings = {
+      {"src/net/client.cpp", 10, "unordered-iter", "m"},
+      {"src/net/client.cpp", 11, "raw-thread", "m"},  // different rule: kept
+      {"src/other.cpp", 12, "unordered-iter", "m"},   // different file: kept
+  };
+  const auto kept = apply_baseline(findings, entries);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].rule, "raw-thread");
+  EXPECT_EQ(kept[1].file, "src/other.cpp");
+
+  EXPECT_THROW(parse_baseline("no-colon-here\n"), hero::Error);
+  EXPECT_THROW(parse_baseline("src/a.cpp:not-a-rule\n"), hero::Error);
+}
+
+// --- fixture + clean-tree integration (HERO_SOURCE_DIR from CMake) ---------
+
+TEST(Fixtures, EveryRuleFiresOnItsSeededFixture) {
+  const auto findings =
+      lint_tree(HERO_SOURCE_DIR, {"tests/lint/fixtures"});
+  for (const std::string& rule : rule_names()) {
+    EXPECT_TRUE(has_rule(findings, rule)) << "rule never fired: " << rule;
+  }
+  // Findings point into the fixture files, with sane line numbers.
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.file.find("tests/lint/fixtures/"), std::string::npos) << f.file;
+    EXPECT_GT(f.line, 0);
+  }
+}
+
+TEST(CleanTree, RealSourcesLintCleanAgainstBaseline) {
+  std::vector<Finding> findings =
+      lint_tree(HERO_SOURCE_DIR, {"src", "bench", "examples"});
+  const auto baseline_path = std::filesystem::path(HERO_SOURCE_DIR) / "tools" /
+                             "hero-lint" / "baseline.txt";
+  if (std::filesystem::exists(baseline_path)) {
+    findings = apply_baseline(findings, load_baseline(baseline_path.string()));
+  }
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << format_finding(f);
+  }
+  EXPECT_EQ(rules_in(findings).size(), 0u);
+}
+
+}  // namespace
+}  // namespace hero::lint

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -209,6 +210,75 @@ TEST(NetServer, DrainResolvesEverythingAndRefusesNewWork) {
   // New connections are refused outright (listener closed).
   EXPECT_THROW(Client reject(port), Error);
   net.reset();
+}
+
+// Regression pin for the shutdown() lock discipline: the connection registry
+// and reader-thread vector are swapped out UNDER mutex_ before any join or
+// socket close. The pre-annotation revision walked both off-lock — safe only
+// by the accident of the accept-thread join order; with connection churn and
+// a stats() poller racing shutdown, TSan (CI) flags any regression and the
+// joins/closes here would touch freed or rebinding vector storage.
+TEST(NetServer, ShutdownRacesConnectionChurnAndStatsPolling) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::ServerConfig config;
+  config.workers = 2;
+  config.max_delay_us = 100;
+  serve::Server server(store, config);
+  auto net = std::make_unique<NetServer>(server);
+  const std::uint16_t port = net->port();
+
+  // Connection churn: clients connect, fire, and disconnect in a loop, so
+  // accept_loop keeps registering readers while shutdown() swaps them out.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int t = 0; t < 3; ++t) {
+    churn.emplace_back([&, t] {
+      while (!stop.load()) {
+        try {
+          Client client(port);
+          std::vector<std::future<Tensor>> futures;
+          for (int i = 0; i < 4; ++i) {
+            const std::int64_t row = (t * 4 + i) % 16;
+            futures.push_back(
+                client.predict_async("m", fx.bench.train.features.narrow(0, row, 1)));
+          }
+          for (auto& f : futures) {
+            try {
+              f.get();
+            } catch (const NetError&) {
+              // Draining / transport loss: resolved, which is all we require.
+            }
+          }
+          client.close();
+        } catch (const std::exception&) {
+          return;  // listener closed: the server is gone
+        }
+      }
+    });
+  }
+  std::thread stats_poller([&] {
+    while (!stop.load()) {
+      (void)net->stats();
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  net->shutdown();  // races the churn above; must join every reader it saw
+  stop.store(true);
+  for (std::thread& t : churn) t.join();
+  stats_poller.join();
+
+  const NetServerStats stats = net->stats();
+  EXPECT_GE(stats.connections, 1);
+  // Every admitted request was answered or its write failed on a vanished
+  // client; the books must balance — nothing silently dropped.
+  EXPECT_LE(stats.responses, stats.requests);
+  EXPECT_GE(stats.responses + stats.errors_sent + stats.write_failures, 0);
+  net.reset();
+  server.shutdown();
 }
 
 TEST(NetServer, ServesBitIdenticallyAcrossHotSwap) {

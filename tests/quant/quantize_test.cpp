@@ -211,10 +211,10 @@ struct QuantCase {
   Granularity granularity;
 };
 
-std::string case_name(const testing::TestParamInfo<QuantCase>& info) {
-  std::string name = "b" + std::to_string(info.param.bits);
-  name += info.param.scheme == Scheme::kSymmetric ? "_sym" : "_asym";
-  name += info.param.granularity == Granularity::kPerTensor ? "_tensor" : "_channel";
+std::string case_name(const testing::TestParamInfo<QuantCase>& param_info) {
+  std::string name = "b" + std::to_string(param_info.param.bits);
+  name += param_info.param.scheme == Scheme::kSymmetric ? "_sym" : "_asym";
+  name += param_info.param.granularity == Granularity::kPerTensor ? "_tensor" : "_channel";
   return name;
 }
 

@@ -1,0 +1,474 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace hero::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: blank out comments, string literals, and char
+// literals (newlines preserved so offsets/lines survive), while harvesting
+// `hero-lint: allow(<rule>)` markers from the comment text. Rules then scan
+// the blanked text and never trip on prose or literals.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+  std::string text;  // same length as the input; literals/comments -> spaces
+  std::map<int, std::set<std::string>> allows;  // line -> suppressed rules
+};
+
+void harvest_allows(const std::string& comment, int start_line, Stripped& out) {
+  static const std::regex kAllow(R"(hero-lint:\s*allow\(([a-z0-9-]+)\))");
+  int line = start_line;
+  std::size_t from = 0;
+  for (std::smatch m; std::regex_search(comment.begin() + static_cast<std::ptrdiff_t>(from),
+                                        comment.end(), m, kAllow);) {
+    const std::size_t match_pos = from + static_cast<std::size_t>(m.position(0));
+    line = start_line + static_cast<int>(
+                            std::count(comment.begin(),
+                                       comment.begin() + static_cast<std::ptrdiff_t>(match_pos),
+                                       '\n'));
+    out.allows[line].insert(m.str(1));
+    from = match_pos + static_cast<std::size_t>(m.length(0));
+  }
+}
+
+Stripped strip_source(const std::string& src) {
+  Stripped out;
+  out.text.assign(src.size(), ' ');
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto keep = [&](std::size_t at) { out.text[at] = src[at]; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      out.text[i] = '\n';
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {  // line comment
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      harvest_allows(src.substr(start, i - start), line, out);
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {  // block comment
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          out.text[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      harvest_allows(src.substr(start, i - start), start_line, out);
+    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"') {  // raw string
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string close = ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+      const std::size_t end = src.find(close, d);
+      i = end == std::string::npos ? n : end + close.size();
+      for (std::size_t k = d; k < i && k < n; ++k) {
+        if (src[k] == '\n') {
+          out.text[k] = '\n';
+          ++line;
+        }
+      }
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      keep(i);  // keep the quotes so "" still reads as an empty literal
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\n') {  // unterminated literal: bail at line end
+          break;
+        }
+        i += src[i] == '\\' ? 2 : 1;
+      }
+      if (i < n && src[i] == quote) {
+        keep(i);
+        ++i;
+      }
+    } else {
+      keep(i);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+int line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<int>(it - starts.begin());
+}
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// Balanced scan from an opener at `open` to its closer; npos when
+/// unbalanced. Works for () {} <> on stripped text (no literals left).
+std::size_t match_delim(const std::string& text, std::size_t open, char lhs, char rhs) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == lhs) ++depth;
+    if (text[i] == rhs && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each appends Findings (suppressions applied by the caller).
+// ---------------------------------------------------------------------------
+
+using RuleFn = void (*)(const std::string& path, const Stripped& src,
+                        const std::vector<std::size_t>& starts,
+                        std::vector<Finding>& out);
+
+void add(std::vector<Finding>& out, const std::string& path, int line,
+         const char* rule, std::string message) {
+  out.push_back(Finding{path, line, rule, std::move(message)});
+}
+
+void for_each_match(const std::string& text, const std::regex& re,
+                    const std::function<void(const std::smatch&, std::size_t)>& fn) {
+  auto begin = std::sregex_iterator(text.begin(), text.end(), re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    fn(*it, static_cast<std::size_t>(it->position(0)));
+  }
+}
+
+/// rng-source: all randomness flows through hero::Rng (src/common/rng.*).
+void rule_rng_source(const std::string& path, const Stripped& src,
+                     const std::vector<std::size_t>& starts, std::vector<Finding>& out) {
+  if (path_contains(path, "common/rng")) return;  // the one sanctioned home
+  static const std::regex kBad(
+      R"((random_device\b)|((^|[^\w])(s?rand|[dlm]rand48)\s*\()|(\bmt19937(_64)?\b)|(\bdefault_random_engine\b)|(\bminstd_rand)|((^|[^\w.>])time\s*\(\s*(nullptr|NULL|0)?\s*\)))");
+  for_each_match(src.text, kBad, [&](const std::smatch& m, std::size_t pos) {
+    // The boundary groups may swallow a leading char; point at the token.
+    const std::string tok = m.str(0);
+    const std::size_t skip = tok.find_first_not_of(" \t\n;,({");
+    add(out, path, line_of(starts, pos + (skip == std::string::npos ? 0 : skip)),
+        "rng-source",
+        "non-deterministic RNG/time seed; route randomness through hero::Rng "
+        "(src/common/rng) so runs reproduce from one seed");
+  });
+}
+
+/// raw-thread: std::thread construction only inside the concurrency
+/// subsystems (common/thread_pool, runtime, net/, serve/).
+void rule_raw_thread(const std::string& path, const Stripped& src,
+                     const std::vector<std::size_t>& starts, std::vector<Finding>& out) {
+  if (path_contains(path, "common/thread_pool") || path_contains(path, "src/runtime") ||
+      path_contains(path, "src/net/") || path_contains(path, "src/serve/")) {
+    return;
+  }
+  static const std::regex kThread(R"(std\s*::\s*j?thread\b)");
+  for_each_match(src.text, kThread, [&](const std::smatch& m, std::size_t pos) {
+    // std::thread::hardware_concurrency and other statics are fine — only
+    // the type used as a value (members, locals, vectors) is the violation.
+    std::size_t after = pos + m.str(0).size();
+    while (after < src.text.size() &&
+           std::isspace(static_cast<unsigned char>(src.text[after])) != 0) {
+      ++after;
+    }
+    if (after + 1 < src.text.size() && src.text[after] == ':' &&
+        src.text[after + 1] == ':') {
+      return;
+    }
+    add(out, path, line_of(starts, pos), "raw-thread",
+        "raw std::thread outside the runtime/net/serve subsystems; use the "
+        "deterministic pool (hero::runtime::parallel_for) instead");
+  });
+}
+
+/// unordered-iter: range-for over a declared unordered_{map,set} variable.
+void rule_unordered_iter(const std::string& path, const Stripped& src,
+                         const std::vector<std::size_t>& starts,
+                         std::vector<Finding>& out) {
+  // Pass 1: names declared with an unordered container type anywhere in the
+  // file (members, locals, parameters).
+  std::set<std::string> unordered_names;
+  static const std::regex kDecl(R"(unordered_(?:map|set)\s*<)");
+  for_each_match(src.text, kDecl, [&](const std::smatch& m, std::size_t pos) {
+    const std::size_t open = pos + m.str(0).size() - 1;
+    const std::size_t close = match_delim(src.text, open, '<', '>');
+    if (close == std::string::npos) return;
+    std::size_t i = close + 1;
+    while (i < src.text.size() &&
+           (std::isspace(static_cast<unsigned char>(src.text[i])) != 0 ||
+            src.text[i] == '&' || src.text[i] == '*')) {
+      ++i;
+    }
+    std::string name;
+    while (i < src.text.size() && is_ident_char(src.text[i])) name += src.text[i++];
+    if (!name.empty() && name != "const") unordered_names.insert(name);
+  });
+  if (unordered_names.empty()) return;
+
+  // Pass 2: range-for whose range expression ends in one of those names.
+  static const std::regex kFor(R"(\bfor\s*\()");
+  for_each_match(src.text, kFor, [&](const std::smatch& m, std::size_t pos) {
+    const std::size_t open = pos + m.str(0).size() - 1;
+    const std::size_t close = match_delim(src.text, open, '(', ')');
+    if (close == std::string::npos) return;
+    const std::string header = src.text.substr(open + 1, close - open - 1);
+    // Range-for: a single ':' not part of '::', at paren depth 0.
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      const char c = header[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ';') return;  // classic for loop
+      if (c == ':' && depth == 0) {
+        if ((i + 1 < header.size() && header[i + 1] == ':') ||
+            (i > 0 && header[i - 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) return;
+    static const std::regex kTrailingName(R"(([A-Za-z_]\w*)\s*$)");
+    std::smatch name_match;
+    const std::string range_expr = header.substr(colon + 1);
+    if (!std::regex_search(range_expr, name_match, kTrailingName)) return;
+    if (unordered_names.count(name_match.str(1)) == 0) return;
+    add(out, path, line_of(starts, pos), "unordered-iter",
+        "iteration over unordered_map/unordered_set '" + name_match.str(1) +
+            "' is implementation-ordered; iterate a sorted view or switch "
+            "containers if results depend on order");
+  });
+}
+
+/// naked-lock: mutex.lock()/unlock() outside the RAII layer (common/sync).
+void rule_naked_lock(const std::string& path, const Stripped& src,
+                     const std::vector<std::size_t>& starts, std::vector<Finding>& out) {
+  if (path_contains(path, "common/sync")) return;  // the RAII layer itself
+  static const std::regex kNaked(
+      R"(([A-Za-z_]\w*)\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\))");
+  for_each_match(src.text, kNaked, [&](const std::smatch& m, std::size_t pos) {
+    std::string owner = m.str(1);
+    std::transform(owner.begin(), owner.end(), owner.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (owner.find("mutex") == std::string::npos &&
+        owner.find("mtx") == std::string::npos) {
+      return;  // UniqueLock relocking etc. — scoped objects are fine
+    }
+    add(out, path, line_of(starts, pos), "naked-lock",
+        "naked " + m.str(1) + "." + m.str(2) +
+            "(); hold mutexes through common::MutexLock/common::UniqueLock so "
+            "every exit path releases");
+  });
+  static const std::regex kPthread(R"(\bpthread_mutex_(?:lock|unlock)\s*\()");
+  for_each_match(src.text, kPthread, [&](const std::smatch&, std::size_t pos) {
+    add(out, path, line_of(starts, pos), "naked-lock",
+        "pthread mutex calls bypass the annotated RAII layer (common/sync.hpp)");
+  });
+}
+
+/// float-accum: `x += ...` inside a parallel_for body where x is a
+/// float/double declared outside the body — cross-chunk order would leak in.
+void rule_float_accum(const std::string& path, const Stripped& src,
+                      const std::vector<std::size_t>& starts, std::vector<Finding>& out) {
+  // Names with a floating-point declaration anywhere in the file.
+  std::set<std::string> float_names;
+  static const std::regex kFloatDecl(R"(\b(?:float|double)\s+([A-Za-z_]\w*)\s*[=;{])");
+  for_each_match(src.text, kFloatDecl, [&](const std::smatch& m, std::size_t) {
+    float_names.insert(m.str(1));
+  });
+  if (float_names.empty()) return;
+
+  static const std::regex kCall(R"(\bparallel_for\s*\()");
+  for_each_match(src.text, kCall, [&](const std::smatch& m, std::size_t pos) {
+    const std::size_t open = pos + m.str(0).size() - 1;
+    const std::size_t close = match_delim(src.text, open, '(', ')');
+    if (close == std::string::npos) return;
+    // Lambda bodies live inside the call parens; a declaration's parameter
+    // list has no braces, so declarations of parallel_for itself skip free.
+    std::size_t cursor = open + 1;
+    while (cursor < close) {
+      const std::size_t body_open = src.text.find('{', cursor);
+      if (body_open == std::string::npos || body_open >= close) break;
+      const std::size_t body_close = match_delim(src.text, body_open, '{', '}');
+      if (body_close == std::string::npos || body_close > close) break;
+      const std::string body =
+          src.text.substr(body_open, body_close - body_open + 1);
+      static const std::regex kAccum(R"((^|[^\w.\]>])([A-Za-z_]\w*)\s*[+\-]=)");
+      for_each_match(body, kAccum, [&](const std::smatch& am, std::size_t apos) {
+        const std::string name = am.str(2);
+        if (float_names.count(name) == 0) return;
+        // Chunk-local partials declared inside the body are the sanctioned
+        // pattern — only accumulation into an OUTER float crosses chunks.
+        const std::regex local_decl(R"(\b(?:float|double|auto)\s+(?:&\s*)?)" + name +
+                                    R"(\b)");
+        if (std::regex_search(body, local_decl)) return;
+        add(out, path, line_of(starts, body_open + apos), "float-accum",
+            "float accumulation into outer '" + name +
+                "' inside a parallel_for body; accumulate into chunk-local "
+                "partials (or parallel_reduce_sum) to keep summation order "
+                "thread-count-invariant");
+      });
+      cursor = body_close + 1;
+    }
+  });
+}
+
+constexpr RuleFn kRules[] = {rule_rng_source, rule_raw_thread, rule_unordered_iter,
+                             rule_naked_lock, rule_float_accum};
+
+bool suppressed(const Stripped& src, const Finding& f) {
+  for (int line : {f.line, f.line - 1}) {
+    const auto it = src.allows.find(line);
+    if (it != src.allows.end() && it->second.count(f.rule) != 0) return true;
+  }
+  return false;
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx",
+                                              ".hpp", ".h",  ".hh"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "rng-source", "raw-thread", "unordered-iter", "naked-lock", "float-accum"};
+  return kNames;
+}
+
+std::vector<Finding> lint_source(const std::string& path, const std::string& content) {
+  const std::string norm = normalize(path);
+  const Stripped src = strip_source(content);
+  const std::vector<std::size_t> starts = line_starts(src.text);
+  std::vector<Finding> raw;
+  for (const RuleFn rule : kRules) rule(norm, src, starts, raw);
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (!suppressed(src, f)) kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  const auto& known = rule_names();
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    const std::size_t sep = line.rfind(':');
+    HERO_CHECK_MSG(sep != std::string::npos && sep > 0 && sep + 1 < line.size(),
+                   "baseline line " << lineno << ": expected <path>:<rule>, got '"
+                                    << line << "'");
+    BaselineEntry entry{normalize(line.substr(0, sep)), line.substr(sep + 1)};
+    HERO_CHECK_MSG(std::find(known.begin(), known.end(), entry.rule) != known.end(),
+                   "baseline line " << lineno << ": unknown rule '" << entry.rule
+                                    << "'");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<BaselineEntry> load_baseline(const std::string& baseline_path) {
+  std::ifstream in(baseline_path, std::ios::binary);
+  HERO_CHECK_MSG(in.good(), "cannot read baseline file '" << baseline_path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_baseline(buf.str());
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::vector<BaselineEntry>& baseline) {
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    const std::string file = normalize(f.file);
+    const bool grandfathered =
+        std::any_of(baseline.begin(), baseline.end(), [&](const BaselineEntry& b) {
+          return b.file == file && b.rule == f.rule;
+        });
+    if (!grandfathered) kept.push_back(f);
+  }
+  return kept;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && lintable_extension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    HERO_CHECK_MSG(in.good(), "cannot read source file '" << file.string() << "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::relative(file, fs::path(root)).generic_string();
+    for (Finding& f : lint_source(rel, buf.str())) {
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+std::string format_finding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace hero::lint

@@ -1,0 +1,85 @@
+// hero-lint: project-invariant linter for the determinism discipline.
+//
+// Clang's -Wthread-safety proves the lock discipline; hero-lint enforces the
+// invariants the compiler cannot see, with a token/line-level scanner (no
+// libclang dependency) over src/ bench/ examples/:
+//
+//   rng-source      No rand()/srand()/std::random_device/std RNG engines or
+//                   time-seeded randomness outside src/common/rng — every
+//                   stochastic choice must flow through hero::Rng so runs
+//                   are reproducible from a single seed.
+//   raw-thread      No raw std::thread construction outside the concurrency
+//                   subsystems (common/thread_pool, net/, serve/) — ad-hoc
+//                   threads bypass the deterministic pool and its chunk
+//                   discipline.
+//   unordered-iter  No iteration over unordered_map/unordered_set —
+//                   iteration order is implementation-defined, so any
+//                   result-affecting loop over one breaks bit-identity
+//                   across platforms and library versions.
+//   naked-lock      No direct mutex.lock()/mutex.unlock() calls — RAII
+//                   guards only (common::MutexLock / common::UniqueLock), so
+//                   every exit path releases and the thread-safety analysis
+//                   can follow.
+//   float-accum     No `scalar += ...` accumulation into a float/double
+//                   declared OUTSIDE a parallel_for body — cross-chunk
+//                   accumulation order depends on the thread count; use
+//                   parallel_reduce_sum or the chunk-local partials pattern.
+//
+// False positives are silenced either inline —
+//
+//   // hero-lint: allow(unordered-iter) — order is unobservable here
+//
+// on the offending line or the line above — or via the checked-in baseline
+// file (tools/hero-lint/baseline.txt), one `path:rule` per line, which
+// grandfathers a whole (file, rule) pair. CI runs the binary with exit-1 on
+// any new finding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hero::lint {
+
+struct Finding {
+  std::string file;     ///< path as given to lint_source (repo-relative in CI)
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< e.g. "rng-source"
+  std::string message;  ///< human-readable explanation
+};
+
+/// One `path:rule` baseline entry: grandfathers every finding of `rule` in
+/// `path` (exact path match after forward-slash normalization).
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+};
+
+/// The rule identifiers accepted by allow(<rule>) and baseline entries.
+const std::vector<std::string>& rule_names();
+
+/// Lints one translation unit. `path` decides per-rule exemptions (the
+/// common/rng and thread-subsystem whitelists), so pass repo-relative paths.
+/// Inline `hero-lint: allow(<rule>)` suppressions are already applied.
+std::vector<Finding> lint_source(const std::string& path, const std::string& content);
+
+/// Reads a baseline file (`path:rule` lines, `#` comments). Throws
+/// hero::Error on a malformed line or an unknown rule name.
+std::vector<BaselineEntry> load_baseline(const std::string& baseline_path);
+
+/// Parses baseline text (exposed for tests).
+std::vector<BaselineEntry> parse_baseline(const std::string& text);
+
+/// Drops findings matched by a baseline entry.
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::vector<BaselineEntry>& baseline);
+
+/// Walks `dirs` (repo-relative, e.g. {"src", "bench", "examples"}) under
+/// `root`, lints every C++ source/header, and returns the findings sorted by
+/// (file, line). Nonexistent dirs are skipped.
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& dirs);
+
+/// `file:line: [rule] message` — the one-line report format.
+std::string format_finding(const Finding& finding);
+
+}  // namespace hero::lint

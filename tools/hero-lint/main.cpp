@@ -1,0 +1,91 @@
+// hero-lint CLI: walks src/ bench/ examples/ and exits 1 on any finding not
+// covered by an inline `hero-lint: allow(<rule>)` or the baseline file.
+//
+//   hero-lint [--root=DIR] [--baseline=FILE] [--no-baseline] [--list-rules]
+//             [DIR...]
+//
+//   --root=DIR       repo root to lint (default: current directory)
+//   --baseline=FILE  baseline file (default: <root>/tools/hero-lint/baseline.txt
+//                    when it exists)
+//   --no-baseline    ignore the baseline: report everything
+//   --list-rules     print the rule identifiers and exit
+//   DIR...           directories under root to walk (default: src bench examples)
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+bool take_value_flag(const std::string& arg, const char* flag, std::string& value) {
+  const std::size_t len = std::strlen(flag);
+  if (arg.compare(0, len, flag) != 0 || arg.size() <= len || arg[len] != '=') {
+    return false;
+  }
+  value = arg.substr(len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool use_baseline = true;
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : hero::lint::rule_names()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--no-baseline") {
+      use_baseline = false;
+    } else if (take_value_flag(arg, "--root", root) ||
+               take_value_flag(arg, "--baseline", baseline_path)) {
+      // handled
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "hero-lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "bench", "examples"};
+
+  try {
+    std::vector<hero::lint::Finding> findings = hero::lint::lint_tree(root, dirs);
+    const std::size_t total = findings.size();
+    if (use_baseline) {
+      if (baseline_path.empty()) {
+        const auto default_path =
+            std::filesystem::path(root) / "tools" / "hero-lint" / "baseline.txt";
+        if (std::filesystem::exists(default_path)) {
+          baseline_path = default_path.string();
+        }
+      }
+      if (!baseline_path.empty()) {
+        findings = hero::lint::apply_baseline(
+            findings, hero::lint::load_baseline(baseline_path));
+      }
+    }
+    for (const hero::lint::Finding& f : findings) {
+      std::cout << hero::lint::format_finding(f) << "\n";
+    }
+    if (findings.empty()) {
+      std::cout << "hero-lint: clean (" << total << " finding(s) total, "
+                << total - findings.size() << " baselined)\n";
+      return 0;
+    }
+    std::cerr << "hero-lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "hero-lint: error: " << e.what() << "\n";
+    return 2;
+  }
+}
