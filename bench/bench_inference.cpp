@@ -1,30 +1,62 @@
 // Deployment bench: HPKG artifact compression + autograd-free serving
-// throughput (src/deploy).
+// throughput (src/deploy), now with the graph-IR optimizing executor
+// (src/ir) gated against the legacy Module replay.
 //
-// Three questions, answered in one run:
+// Four questions, answered in one run:
 //  1. How small is the shipped model? fp32 checkpoint bytes vs HPKG artifact
 //     bytes at uniform 8-bit, uniform 4-bit, and hawq:budget=5.
 //  2. Is serving faithful? For every artifact, the reloaded
 //     InferenceSession's logits must be BIT-IDENTICAL to the in-memory
-//     ScopedWeightQuantization forward under the same plan, and the served
-//     accuracy must match the fake-quant eval (exit 1 otherwise — CI relies
-//     on this as the export/reload correctness gate).
-//  3. How fast does it serve? images/s of batched predict() vs batch size,
-//     --threads=1 (serial kernels) vs --threads=N (thread-pool kernels).
+//     ScopedWeightQuantization forward under the same plan — on BOTH
+//     executors (executor=ir and executor=module), and the IR executor must
+//     reproduce the module replay for EVERY registered model spec (exit 1
+//     otherwise — CI relies on this as the export/reload correctness gate).
+//  3. Does the hot path stop allocating? Global operator new is replaced
+//     with a counting wrapper; once warm, predict() must show ZERO
+//     allocation growth between calls on both executors (the IR arena plan
+//     and the module path's im2col scratch pool; exit 1 on growth).
+//  4. How fast does it serve? images/s of batched predict(), module replay
+//     vs IR executor, --threads=1 vs --threads=N.
 //
 // Writes <out>/inference.json for the CI perf-trajectory artifact.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/check.hpp"
 #include "deploy/inference.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+// free() pairs with the malloc() in the replaced operator new above; the
+// compiler only sees "free of a new pointer" and cannot know both global
+// operators are replaced together.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -42,6 +74,17 @@ double time_best(int reps, F&& fn) {
   return best;
 }
 
+/// Heap allocations of one fn() call, after two warm-up calls. Serial
+/// kernels (threads=1 is set by the caller) keep the count deterministic.
+template <class F>
+std::size_t count_allocs(F&& fn) {
+  fn();
+  fn();
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  fn();
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
 struct ArtifactRow {
   std::string label;
   std::string path;
@@ -53,19 +96,28 @@ struct ArtifactRow {
   double inmemory_accuracy = 0.0;
 };
 
+struct SpecRow {
+  std::string spec;
+  int nodes = 0;       ///< live IR nodes after rewriting
+  int pattern_hits = 0;
+  bool bit_identical = false;
+};
+
 struct ThroughputRow {
   std::int64_t batch = 0;
-  double serial_s = 0.0;    ///< best predict() latency at --threads=1
-  double parallel_s = 0.0;  ///< best predict() latency at --threads=N
+  double module_s = 0.0;  ///< best legacy-replay predict() at --threads=N
+  double ir_s = 0.0;      ///< best IR-executor predict() at --threads=N
+  double ir_serial_s = 0.0;  ///< best IR-executor predict() at --threads=1
   double images_per_s(double seconds) const {
     return seconds > 0.0 ? static_cast<double>(batch) / seconds : 0.0;
   }
 };
 
 void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
-                const std::vector<ArtifactRow>& artifacts,
+                const std::vector<ArtifactRow>& artifacts, const std::vector<SpecRow>& specs,
                 const std::vector<ThroughputRow>& throughput,
-                const hero::deploy::InferenceStats& totals) {
+                const deploy::InferenceSession& session, std::size_t alloc_growth_ir,
+                std::size_t alloc_growth_module, const deploy::InferenceStats& totals) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -73,6 +125,22 @@ void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
   }
   std::fprintf(f, "{\n  \"threads\": %d,\n  \"fp32_checkpoint_bytes\": %zu,\n", threads,
                fp32_bytes);
+  std::fprintf(f, "  \"executor\": \"%s\",\n", session.executor_name());
+  std::fprintf(f, "  \"pattern_hits\": {");
+  const auto& hits = session.ir_pattern_hits();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    std::fprintf(f, "\"%s\": %d%s", hits[i].name.c_str(), hits[i].hits,
+                 i + 1 < hits.size() ? ", " : "");
+  }
+  const ir::ArenaStats arena = session.arena_stats();
+  std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "  \"arena\": {\"high_water_bytes\": %zu, \"total_bytes\": %zu, "
+               "\"contexts\": %zu, \"slots\": %zu},\n",
+               arena.high_water_bytes, arena.total_bytes, arena.contexts,
+               arena.high_water_slots);
+  std::fprintf(f, "  \"alloc_growth_ir\": %zu,\n  \"alloc_growth_module\": %zu,\n",
+               alloc_growth_ir, alloc_growth_module);
   std::fprintf(f, "  \"artifacts\": [\n");
   for (std::size_t i = 0; i < artifacts.size(); ++i) {
     const ArtifactRow& r = artifacts[i];
@@ -84,14 +152,25 @@ void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
                  r.logits_identical ? "true" : "false", r.served_accuracy,
                  r.inmemory_accuracy, i + 1 < artifacts.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"spec_parity\": [\n");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SpecRow& r = specs[i];
+    std::fprintf(f,
+                 "    {\"spec\": \"%s\", \"ir_nodes\": %d, \"pattern_hits\": %d, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.spec.c_str(), r.nodes, r.pattern_hits, r.bit_identical ? "true" : "false",
+                 i + 1 < specs.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n  \"throughput\": [\n");
   for (std::size_t i = 0; i < throughput.size(); ++i) {
     const ThroughputRow& r = throughput[i];
     std::fprintf(f,
-                 "    {\"batch\": %lld, \"serial_s\": %.6f, \"parallel_s\": %.6f, "
-                 "\"images_per_s_serial\": %.1f, \"images_per_s_parallel\": %.1f}%s\n",
-                 static_cast<long long>(r.batch), r.serial_s, r.parallel_s,
-                 r.images_per_s(r.serial_s), r.images_per_s(r.parallel_s),
+                 "    {\"batch\": %lld, \"module_s\": %.6f, \"ir_s\": %.6f, "
+                 "\"ir_serial_s\": %.6f, \"images_per_s_module\": %.1f, "
+                 "\"images_per_s_ir\": %.1f, \"ir_speedup\": %.3f}%s\n",
+                 static_cast<long long>(r.batch), r.module_s, r.ir_s, r.ir_serial_s,
+                 r.images_per_s(r.module_s), r.images_per_s(r.ir_s),
+                 r.ir_s > 0.0 ? r.module_s / r.ir_s : 0.0,
                  i + 1 < throughput.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -102,6 +181,12 @@ void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
                totals.p95_seconds(), totals.p99_seconds(), totals.best_batch_seconds);
   std::fprintf(f, "}\n");
   std::fclose(f);
+}
+
+deploy::SessionOptions module_options() {
+  deploy::SessionOptions options;
+  options.executor = deploy::ExecutorKind::kModule;
+  return options;
 }
 
 }  // namespace
@@ -166,10 +251,16 @@ int main(int argc, char** argv) {
       model->set_training(true);
     }
 
-    deploy::InferenceSession session(row.path);
+    // Both executors must reproduce the reference bit for bit: the default
+    // IR session AND an explicit legacy-module session.
+    deploy::InferenceSession session(row.path);  // default: executor=ir
+    deploy::InferenceSession module_session(row.path, module_options());
     const Tensor served_logits = session.predict(bench.test.features);
+    const Tensor module_logits = module_session.predict(bench.test.features);
     row.served_accuracy = session.evaluate(bench.test).accuracy;
     row.logits_identical = bitwise_equal(served_logits, ref_logits) &&
+                           bitwise_equal(module_logits, ref_logits) &&
+                           std::strcmp(session.executor_name(), "ir") == 0 &&
                            std::fabs(row.served_accuracy - row.inmemory_accuracy) < 1e-9;
     all_identical = all_identical && row.logits_identical;
 
@@ -186,15 +277,52 @@ int main(int argc, char** argv) {
     artifacts.push_back(std::move(row));
   }
 
+  // IR-vs-module parity for EVERY registered model spec: compile each
+  // architecture to the IR and pin predict() bit-identical to the legacy
+  // replay (the tentpole's correctness gate, batch shapes unseen at compile).
+  std::printf("\n");
+  print_header({"model spec", "ir nodes", "pattern hits", "bit-identical"});
+  std::vector<SpecRow> specs;
+  for (const char* name :
+       {"mlp", "micro_resnet", "micro_resnet_wide", "micro_mobilenet", "mini_vgg"}) {
+    const bool is_mlp = std::strcmp(name, "mlp") == 0;
+    const std::int64_t input_dim = is_mlp ? 2 : 3;
+    Rng model_rng(41);
+    auto spec_model = nn::make_model(name, input_dim, 10, model_rng);
+    const quant::QuantPlan plan =
+        quant::plan_quantization(*spec_model, "uniform:sym:bits=8", ctx);
+    const deploy::ModelArtifact artifact = deploy::pack_model(
+        *spec_model, plan, nn::canonical_model_spec(name, input_dim, 10), "bench");
+    deploy::InferenceSession ir_session(artifact);
+    deploy::InferenceSession module_session(artifact, module_options());
+    Rng data_rng(43);
+    const Tensor features = is_mlp ? Tensor::randn({6, 2}, data_rng)
+                                   : Tensor::randn({6, 3, 8, 8}, data_rng);
+    SpecRow row;
+    row.spec = name;
+    row.bit_identical =
+        std::strcmp(ir_session.executor_name(), "ir") == 0 &&
+        bitwise_equal(ir_session.predict(features), module_session.predict(features));
+    if (ir_session.compiled() != nullptr) {
+      row.nodes = static_cast<int>(ir_session.compiled()->graph.schedule().size());
+    }
+    for (const ir::PatternHit& hit : ir_session.ir_pattern_hits()) row.pattern_hits += hit.hits;
+    all_identical = all_identical && row.bit_identical;
+    print_row({row.spec, std::to_string(row.nodes), std::to_string(row.pattern_hits),
+               row.bit_identical ? "yes" : "NO"});
+    specs.push_back(std::move(row));
+  }
+
   // Serving throughput from the 4-bit artifact: batched predict() latency,
-  // serial kernels vs the thread pool.
+  // legacy module replay vs the IR executor.
   const auto four_bit =
       std::find_if(artifacts.begin(), artifacts.end(),
                    [](const ArtifactRow& r) { return r.label == "uniform-4bit"; });
   HERO_CHECK_MSG(four_bit != artifacts.end(), "uniform-4bit row missing from plans[]");
   std::printf("\n");
-  print_header({"batch", "images/s t1", "images/s tN", "speedup"});
-  deploy::InferenceSession session(four_bit->path);
+  print_header({"batch", "images/s module", "images/s ir", "ir speedup"});
+  deploy::InferenceSession session(four_bit->path);  // IR (the default)
+  deploy::InferenceSession module_session(four_bit->path, module_options());
   std::vector<ThroughputRow> throughput;
   for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{8}, std::int64_t{32},
                                    std::int64_t{128}}) {
@@ -202,25 +330,47 @@ int main(int argc, char** argv) {
     ThroughputRow row;
     row.batch = batch;
     runtime::set_num_threads(1);
-    session.predict(features);  // warm
-    row.serial_s = time_best(reps, [&] { session.predict(features); });
+    session.predict(features);  // warm (plans the arena for this shape)
+    row.ir_serial_s = time_best(reps, [&] { session.predict(features); });
     runtime::set_num_threads(threads);
     runtime::warm_up();
+    module_session.predict(features);
+    row.module_s = time_best(reps, [&] { module_session.predict(features); });
     session.predict(features);
-    row.parallel_s = time_best(reps, [&] { session.predict(features); });
+    row.ir_s = time_best(reps, [&] { session.predict(features); });
     char buf[64];
     std::vector<std::string> cells{std::to_string(batch)};
-    std::snprintf(buf, sizeof buf, "%.0f", row.images_per_s(row.serial_s));
+    std::snprintf(buf, sizeof buf, "%.0f", row.images_per_s(row.module_s));
     cells.push_back(buf);
-    std::snprintf(buf, sizeof buf, "%.0f", row.images_per_s(row.parallel_s));
+    std::snprintf(buf, sizeof buf, "%.0f", row.images_per_s(row.ir_s));
     cells.push_back(buf);
-    std::snprintf(buf, sizeof buf, "%.2fx", row.serial_s / row.parallel_s);
+    std::snprintf(buf, sizeof buf, "%.2fx", row.ir_s > 0.0 ? row.module_s / row.ir_s : 0.0);
     cells.push_back(buf);
     print_row(cells);
     throughput.push_back(row);
   }
+
+  // Zero-steady-state-allocation gate, serial kernels for a deterministic
+  // count: once a shape's plan is warm, the IR arena (and the module path's
+  // im2col scratch pool) must stop growing the heap entirely.
+  runtime::set_num_threads(1);
+  const Tensor alloc_batch = bench.test.features.narrow(0, 0, 8);
+  const std::size_t ir_baseline = count_allocs([&] { session.predict(alloc_batch); });
+  const std::size_t ir_second = count_allocs([&] { session.predict(alloc_batch); });
+  const std::size_t module_baseline =
+      count_allocs([&] { module_session.predict(alloc_batch); });
+  const std::size_t module_second =
+      count_allocs([&] { module_session.predict(alloc_batch); });
+  runtime::set_num_threads(threads);
+  const std::size_t alloc_growth_ir = ir_second - std::min(ir_second, ir_baseline);
+  const std::size_t alloc_growth_module =
+      module_second - std::min(module_second, module_baseline);
+  std::printf("\nalloc growth once warm: ir %zu (steady %zu allocs/call), module %zu "
+              "(steady %zu allocs/call)\n",
+              alloc_growth_ir, ir_second, alloc_growth_module, module_second);
+
   const deploy::InferenceStats totals = session.stats();
-  std::printf("\nsession totals: %lld batches, %lld examples, %.0f images/s overall\n",
+  std::printf("session totals: %lld batches, %lld examples, %.0f images/s overall\n",
               static_cast<long long>(totals.batches),
               static_cast<long long>(totals.examples), totals.throughput());
   // Per-batch latency percentiles from the session's deterministic
@@ -228,14 +378,24 @@ int main(int argc, char** argv) {
   std::printf("batch latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, best %.3f ms\n",
               1e3 * totals.p50_seconds(), 1e3 * totals.p95_seconds(),
               1e3 * totals.p99_seconds(), 1e3 * totals.best_batch_seconds);
+  const ir::ArenaStats arena = session.arena_stats();
+  std::printf("ir arena: %zu contexts, high-water %zu bytes (%zu slots), total %zu bytes\n",
+              arena.contexts, arena.high_water_bytes, arena.high_water_slots,
+              arena.total_bytes);
 
   const std::string json_path = env.csv_path("inference.json");
-  write_json(json_path, threads, fp32_bytes, artifacts, throughput, totals);
+  write_json(json_path, threads, fp32_bytes, artifacts, specs, throughput, session,
+             alloc_growth_ir, alloc_growth_module, totals);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!all_identical) {
-    std::fprintf(stderr, "ERROR: a reloaded artifact is not bit-identical to the in-memory "
-                         "quantized model\n");
+    std::fprintf(stderr, "ERROR: an executor diverged from the in-memory quantized model "
+                         "(see bit-identical column)\n");
+    return 1;
+  }
+  if (alloc_growth_ir != 0 || alloc_growth_module != 0) {
+    std::fprintf(stderr, "ERROR: warm predict() still grows the heap (ir %zu, module %zu)\n",
+                 alloc_growth_ir, alloc_growth_module);
     return 1;
   }
   return 0;

@@ -67,8 +67,11 @@ struct RunRow {
 /// 3/4 of delivered traffic — parity stays exact and zero requests may drop.
 RunRow run_closed_loop(const std::vector<TraceRequest>& trace,
                        const std::vector<deploy::ModelArtifact>& artifacts,
-                       const serve::ServerConfig& config, int clients) {
-  serve::ModelStore store;
+                       const serve::ServerConfig& config,
+                       const deploy::SessionOptions& session_options, int clients) {
+  serve::ModelStore::Config store_config;
+  store_config.session = session_options;
+  serve::ModelStore store(store_config);
   for (std::size_t m = 0; m < kModelCount; ++m) store.install(kModelNames[m], artifacts[m]);
   serve::Server server(store, config);
 
@@ -176,9 +179,12 @@ struct OpenLoopRow {
 /// shape over real TCP; this is the in-process scheduler view).
 OpenLoopRow run_open_loop(const std::vector<TraceRequest>& trace,
                           const std::vector<deploy::ModelArtifact>& artifacts,
-                          serve::ServerConfig config, double rate_rps,
+                          serve::ServerConfig config,
+                          const deploy::SessionOptions& session_options, double rate_rps,
                           std::uint64_t seed) {
-  serve::ModelStore store;
+  serve::ModelStore::Config store_config;
+  store_config.session = session_options;
+  serve::ModelStore store(store_config);
   for (std::size_t m = 0; m < kModelCount; ++m) store.install(kModelNames[m], artifacts[m]);
   config.adaptive_delay = true;  // the controller's home turf
   serve::Server server(store, config);
@@ -246,7 +252,8 @@ OpenLoopRow run_open_loop(const std::vector<TraceRequest>& trace,
 }
 
 void write_json(const std::string& path, int threads, int clients, std::size_t requests,
-                std::int64_t max_delay_us, const std::vector<RunRow>& rows,
+                std::int64_t max_delay_us, const char* executor,
+                const std::vector<RunRow>& rows,
                 double speedup, bool parity_ok, std::int64_t dropped,
                 const OpenLoopRow* open_loop) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -256,8 +263,9 @@ void write_json(const std::string& path, int threads, int clients, std::size_t r
   }
   std::fprintf(f,
                "{\n  \"threads\": %d,\n  \"clients\": %d,\n  \"requests\": %zu,\n"
-               "  \"max_delay_us\": %lld,\n  \"rows\": [\n",
-               threads, clients, requests, static_cast<long long>(max_delay_us));
+               "  \"max_delay_us\": %lld,\n  \"executor\": \"%s\",\n  \"rows\": [\n",
+               threads, clients, requests, static_cast<long long>(max_delay_us),
+               executor);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RunRow& r = rows[i];
     std::fprintf(f,
@@ -332,6 +340,10 @@ int main(int argc, char** argv) {
   // achieved rate, admission rejections, and queue high-waters.
   const bool open_loop = flags.get_bool("open-loop", false);
   const double open_rate = flags.get_double("rate", 400.0);
+  // --executor=module|ir picks the engine every served session runs on;
+  // parity gates hold for both because IR rewrites are bit-preserving.
+  deploy::SessionOptions session_options;
+  session_options.executor = deploy::parse_executor(flags.get("executor", "ir"));
   const std::size_t requests = static_cast<std::size_t>(env.scaled(400));
   HERO_CHECK_MSG(workers >= 1 && max_batch >= 1 && clients >= 1,
                  "workers, max-batch, and clients must all be >= 1");
@@ -365,11 +377,13 @@ int main(int argc, char** argv) {
   for (std::size_t m = 0; m < kModelCount; ++m) {
     const quant::QuantPlan plan = quant::plan_quantization(*model, planners[m], ctx);
     artifacts.push_back(deploy::pack_model(*model, plan, model_spec, planners[m]));
-    direct.push_back(std::make_unique<deploy::InferenceSession>(artifacts.back()));
+    direct.push_back(
+        std::make_unique<deploy::InferenceSession>(artifacts.back(), session_options));
   }
   std::printf("serving bench: %s x {u4, u8, hawq5}, %zu requests, "
-              "%d clients, threads=%d\n\n",
-              model_spec.c_str(), requests, clients, env.threads);
+              "%d clients, threads=%d, executor=%s\n\n",
+              model_spec.c_str(), requests, clients, env.threads,
+              direct.front()->executor_name());
 
   // Deterministic seeded request trace: mixed models, mixed 1-4 example
   // requests, mixed feature offsets. References are direct UNBATCHED
@@ -413,7 +427,7 @@ int main(int argc, char** argv) {
                 "mean rows", "batches"});
   std::vector<RunRow> rows;
   for (const serve::ServerConfig& config : configs) {
-    RunRow row = run_closed_loop(trace, artifacts, config, clients);
+    RunRow row = run_closed_loop(trace, artifacts, config, session_options, clients);
     char buf[64];
     std::vector<std::string> cells{std::to_string(row.workers),
                                    std::to_string(row.max_batch)};
@@ -474,7 +488,8 @@ int main(int argc, char** argv) {
     config.workers = workers;
     config.max_batch = max_batch;
     config.max_delay_us = std::max<std::int64_t>(max_delay_us, 500);
-    open_row = run_open_loop(trace, artifacts, config, open_rate, /*seed=*/41);
+    open_row = run_open_loop(trace, artifacts, config, session_options, open_rate,
+                             /*seed=*/41);
     std::printf("\nopen loop @ %.0f req/s offered: achieved %.1f req/s, "
                 "p50/p95/p99 %.3f/%.3f/%.3f ms, rejected %lld, "
                 "queue high-water %lld reqs / %lld rows\n",
@@ -488,8 +503,9 @@ int main(int argc, char** argv) {
   }
 
   const std::string json_path = env.csv_path("serving.json");
-  write_json(json_path, env.threads, clients, requests, max_delay_us, rows, speedup,
-             parity_ok, dropped, open_loop ? &open_row : nullptr);
+  write_json(json_path, env.threads, clients, requests, max_delay_us,
+             direct.front()->executor_name(), rows, speedup, parity_ok, dropped,
+             open_loop ? &open_row : nullptr);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!parity_ok) {

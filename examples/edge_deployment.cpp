@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
                   "hawq:budget=5; empty disables)\n"
                   "  --export=PATH           HPKG artifact path (default edge_model.hpkg; "
                   "empty disables export)\n"
+                  "  --executor=module|ir    serving engine for the reloaded session "
+                  "(default ir)\n"
                   "  --help                  this text\n\n%s",
                   core::describe_registries().c_str());
       return 0;
@@ -48,6 +50,8 @@ int main(int argc, char** argv) {
   // Any registered planner spec works here; empty disables the mixed row.
   const std::string plan_spec = flags.get("quant-plan", "hawq:budget=5");
   const std::string export_path = flags.get("export", "edge_model.hpkg");
+  deploy::SessionOptions session_options;
+  session_options.executor = deploy::parse_executor(flags.get("executor", "ir"));
 
   // The device's power states map to uniform weight precisions.
   struct PowerState {
@@ -121,7 +125,7 @@ int main(int argc, char** argv) {
             "micro_mobilenet", bench.spec.channels, bench.train.classes);
         const std::size_t artifact_bytes =
             deploy::save_model(export_path, *model, plan, model_spec, plan_spec);
-        deploy::InferenceSession session(export_path);
+        deploy::InferenceSession session(export_path, session_options);
         const Tensor served_logits = session.predict(bench.test.features);
         session.reset_stats();  // report serving numbers for evaluate() only
         const deploy::InferenceEval served = session.evaluate(bench.test);

@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
                   "  --workers=N       scheduler workers (default 2)\n"
                   "  --max-batch=N     examples coalesced per predict (default 8)\n"
                   "  --max-delay-us=N  coalescing deadline (default 200)\n"
+                  "  --executor=module|ir  serving engine for installed sessions "
+                  "(default ir)\n"
                   "  --help            this text\n\n%s",
                   core::describe_registries().c_str());
       return 0;
@@ -70,11 +72,14 @@ int main(int argc, char** argv) {
   const deploy::ModelArtifact artifact_hawq =
       deploy::pack_model(*model, hawq, model_spec, "hawq:budget=5");
 
-  serve::ModelStore store;
+  serve::ModelStore::Config store_config;
+  store_config.session.executor = deploy::parse_executor(flags.get("executor", "ir"));
+  serve::ModelStore store(store_config);
   store.install("edge", artifact_u4);
-  std::printf("store: installed 'edge' (%s, %.2f avg bits, %zu resident bytes)\n",
+  std::printf("store: installed 'edge' (%s, %.2f avg bits, %zu resident bytes, "
+              "executor=%s)\n",
               store.stats("edge").plan_label.c_str(), store.stats("edge").average_bits,
-              store.stats("edge").resident_bytes);
+              store.stats("edge").resident_bytes, store.stats("edge").executor.c_str());
 
   serve::Server server(store, config);
   std::printf("server: %d workers, max_batch=%lld, max_delay_us=%lld\n\n",

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "deploy/inference.hpp"
+#include "ir/backend.hpp"
+#include "ir/patterns.hpp"
 #include "net/server.hpp"
 #include "net/traffic.hpp"
 #include "nn/models.hpp"
@@ -49,6 +52,18 @@ std::string describe_registries() {
     os << "  " << name << " — " << models.describe(name)
        << keys_suffix(models.accepted_keys(name)) << "\n";
   }
+
+  const deploy::SessionOptions session_defaults;
+  os << "ir (src/ir: inference graph IR + optimizing executor):\n";
+  os << "  executor knob (--executor=module|ir) — default "
+     << deploy::executor_kind_name(session_defaults.executor)
+     << "; every rewrite is bit-preserving vs the module replay\n";
+  os << "  patterns (artifact-load rewrites, pipeline order):\n";
+  for (const ir::Pattern& pattern : ir::patterns()) {
+    os << "    " << pattern.name << " — " << pattern.description << "\n";
+  }
+  os << "  backends — " << join_names(ir::BackendRegistry::instance().names())
+     << " (default " << session_defaults.ir_backend << ")\n";
 
   // Serving is knob-driven rather than registry-driven, but it belongs in
   // the same "what can this binary be asked to build?" listing: these are

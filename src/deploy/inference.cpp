@@ -6,8 +6,20 @@
 #include "autograd/functional.hpp"
 #include "autograd/variable.hpp"
 #include "common/check.hpp"
+#include "ir/compile.hpp"
+#include "tensor/conv_ops.hpp"
 
 namespace hero::deploy {
+
+ExecutorKind parse_executor(const std::string& name) {
+  if (name == "module") return ExecutorKind::kModule;
+  if (name == "ir") return ExecutorKind::kIr;
+  throw Error("unknown executor '" + name + "' (expected module|ir)");
+}
+
+const char* executor_kind_name(ExecutorKind kind) {
+  return kind == ExecutorKind::kIr ? "ir" : "module";
+}
 
 namespace {
 
@@ -26,14 +38,34 @@ void init_from_artifact(const ModelArtifact& artifact, std::shared_ptr<nn::Modul
 
 }  // namespace
 
-InferenceSession::InferenceSession(const std::string& artifact_path) {
+InferenceSession::InferenceSession(const std::string& artifact_path,
+                                   const SessionOptions& options)
+    : options_(options) {
   init_from_artifact(load_model(artifact_path), model_, model_spec_, plan_label_,
                      average_bits_, resident_bytes_);
+  init_executor();
 }
 
-InferenceSession::InferenceSession(const ModelArtifact& artifact) {
+InferenceSession::InferenceSession(const ModelArtifact& artifact, const SessionOptions& options)
+    : options_(options) {
   init_from_artifact(artifact, model_, model_spec_, plan_label_, average_bits_,
                      resident_bytes_);
+  init_executor();
+}
+
+void InferenceSession::init_executor() {
+  if (options_.executor != ExecutorKind::kIr) return;
+  ir::CompileOptions copts;
+  copts.run_patterns = options_.ir_patterns;
+  try {
+    compiled_ = std::make_unique<ir::Compiled>(ir::compile(*model_, model_spec_, copts));
+    executor_ = std::make_unique<ir::Executor>(*compiled_, options_.ir_backend);
+  } catch (const Error&) {
+    // Module tree with no IR lowering (custom layer kinds): serve through
+    // the legacy replay instead of refusing the artifact.
+    executor_.reset();
+    compiled_.reset();
+  }
 }
 
 Tensor InferenceSession::predict(const Tensor& features) {
@@ -42,10 +74,14 @@ Tensor InferenceSession::predict(const Tensor& features) {
                      << shape_to_string(features.shape()));
   const auto t0 = std::chrono::steady_clock::now();
   Tensor logits;
-  {
+  if (executor_ != nullptr) {
+    logits = executor_->run(features);
+  } else {
     // No graph recording: forward ops become constants (no parents, no
-    // backward closures) — inference allocates activations only.
+    // backward closures) — inference allocates activations only, and conv
+    // patch buffers recycle through the per-thread scratch pool.
     ag::NoGradGuard no_grad;
+    ScopedIm2colScratch scratch;
     logits = model_->forward(ag::Variable::constant(features)).value();
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -62,6 +98,30 @@ Tensor InferenceSession::predict(const Tensor& features) {
     stats_.batch_seconds.add(seconds);
   }
   return logits;
+}
+
+Tensor InferenceSession::predict_reference(const Tensor& features) {
+  HERO_CHECK_MSG(features.ndim() >= 1 && features.dim(0) > 0,
+                 "predict needs a non-empty batch, got shape "
+                     << shape_to_string(features.shape()));
+  ag::NoGradGuard no_grad;
+  ScopedIm2colScratch scratch;
+  return model_->forward(ag::Variable::constant(features)).value();
+}
+
+std::size_t InferenceSession::resident_bytes() const {
+  std::size_t bytes = resident_bytes_;
+  if (executor_ != nullptr) bytes += executor_->arena_stats().total_bytes;
+  return bytes;
+}
+
+const std::vector<ir::PatternHit>& InferenceSession::ir_pattern_hits() const {
+  static const std::vector<ir::PatternHit> kEmpty;
+  return compiled_ != nullptr ? compiled_->pattern_hits : kEmpty;
+}
+
+ir::ArenaStats InferenceSession::arena_stats() const {
+  return executor_ != nullptr ? executor_->arena_stats() : ir::ArenaStats{};
 }
 
 InferenceEval InferenceSession::evaluate(const data::Dataset& dataset,

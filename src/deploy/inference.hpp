@@ -26,8 +26,32 @@
 #include "common/sync.hpp"
 #include "data/dataset.hpp"
 #include "deploy/artifact.hpp"
+#include "ir/executor.hpp"
 
 namespace hero::deploy {
+
+/// Which engine serves predict() calls.
+enum class ExecutorKind {
+  /// Legacy Module replay: autograd-free forward() under NoGradGuard (with
+  /// the session-scoped im2col scratch pool).
+  kModule,
+  /// Graph IR compiled at load time, pattern-rewritten (constant folding,
+  /// BN folding, matmul fusion) and run through the backend registry over an
+  /// arena plan. Bit-identical to kModule; allocation-free once warm.
+  kIr,
+};
+
+/// Parses "module" / "ir"; throws hero::Error on anything else.
+ExecutorKind parse_executor(const std::string& name);
+const char* executor_kind_name(ExecutorKind kind);
+
+struct SessionOptions {
+  ExecutorKind executor = ExecutorKind::kIr;
+  /// Run the IR pattern pipeline (false = faithful unfused graph; parity
+  /// tests use it to separate lowering bugs from rewrite bugs).
+  bool ir_patterns = true;
+  std::string ir_backend = "ref_fp32";
+};
 
 /// Cumulative serving counters, updated by every predict() call. Snapshots
 /// returned by InferenceSession::stats() are plain values — safe to read
@@ -61,10 +85,15 @@ struct InferenceEval {
 
 class InferenceSession {
  public:
-  /// Loads an artifact file, rebuilds the model, dequantizes once.
-  explicit InferenceSession(const std::string& artifact_path);
+  /// Loads an artifact file, rebuilds the model, dequantizes once. With the
+  /// default options this also compiles the model spec to the inference IR
+  /// and plans the optimizing executor; a module tree without an IR lowering
+  /// falls back to ExecutorKind::kModule silently (executor_name() tells).
+  explicit InferenceSession(const std::string& artifact_path,
+                            const SessionOptions& options = {});
   /// Serves an already-loaded artifact (e.g. straight from pack_model).
-  explicit InferenceSession(const ModelArtifact& artifact);
+  explicit InferenceSession(const ModelArtifact& artifact,
+                            const SessionOptions& options = {});
 
   /// Batched forward pass: features [N, ...] → logits [N, classes], no
   /// autograd graph, eval mode, timed into stats(). Throws on an empty
@@ -87,9 +116,26 @@ class InferenceSession {
     stats_ = InferenceStats{};
   }
 
-  /// Approximate resident footprint of the rebuilt model: every state_dict
-  /// tensor at fp32. The serve::ModelStore budgets its LRU on this.
-  std::size_t resident_bytes() const { return resident_bytes_; }
+  /// Always the legacy Module replay, whatever the configured executor —
+  /// the ground truth the IR path is gated bit-identical against. Not timed
+  /// into stats().
+  Tensor predict_reference(const Tensor& features);
+
+  /// Approximate resident footprint: every state_dict tensor at fp32, plus
+  /// the IR executor's arena bytes (grows as input shapes are first seen).
+  /// The serve::ModelStore budgets its LRU on this.
+  std::size_t resident_bytes() const;
+
+  /// The engine actually serving ("ir" or "module" — reflects fallback).
+  const char* executor_name() const {
+    return executor_kind_name(executor_ != nullptr ? ExecutorKind::kIr : ExecutorKind::kModule);
+  }
+  /// Pattern-rewrite hits from IR compilation (empty on the module path).
+  const std::vector<ir::PatternHit>& ir_pattern_hits() const;
+  /// Arena footprint of the IR executor (all zeros on the module path).
+  ir::ArenaStats arena_stats() const;
+  /// Compiled graph, for dumps/diagnostics; nullptr on the module path.
+  const ir::Compiled* compiled() const { return compiled_.get(); }
 
   const std::string& model_spec() const { return model_spec_; }
   const std::string& plan_label() const { return plan_label_; }
@@ -100,11 +146,16 @@ class InferenceSession {
   nn::Module& model() { return *model_; }
 
  private:
+  void init_executor();
+
   std::shared_ptr<nn::Module> model_;
+  SessionOptions options_;
+  std::unique_ptr<ir::Compiled> compiled_;
+  std::unique_ptr<ir::Executor> executor_;
   std::string model_spec_;
   std::string plan_label_;
   double average_bits_ = 0.0;
-  std::size_t resident_bytes_ = 0;
+  std::size_t resident_bytes_ = 0;  ///< state_dict tensors only
   mutable common::Mutex stats_mutex_;  // guards stats_ only; forward is lock-free
   InferenceStats stats_ HERO_GUARDED_BY(stats_mutex_);
 };

@@ -1,0 +1,397 @@
+// Reference fp32 backend ("ref_fp32"): the kernels behind the IR executor's
+// bit-identity contract. Every kernel reproduces the legacy Module replay's
+// per-element float operation sequence exactly:
+//  * matmul runs the shared hero::matmul_into kernel (ascending-k
+//    accumulation, row-partitioned) into the arena slot;
+//  * fused epilogues (bias / BatchNorm / activation) apply the same float
+//    ops per element that the legacy broadcast passes apply, just in one
+//    in-place sweep — per-element rounding is pass-structure-independent
+//    because no op accumulates ACROSS elements;
+//  * reductions (depthwise patch sum, global average pool) accumulate in the
+//    same ascending order the legacy Tensor::sum uses.
+// This file is compiled with -ffp-contract=off (CMakeLists) so the fused
+// expressions can never be FMA-contracted into differently-rounded results.
+#include "ir/backend.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace hero::ir {
+
+void Backend::set_impl(OpKind op, std::unique_ptr<OpImpl> impl) {
+  const std::size_t at = static_cast<std::size_t>(op);
+  if (impls_.size() <= at) impls_.resize(at + 1);
+  impls_[at] = std::move(impl);
+}
+
+const OpImpl* Backend::impl(OpKind op) const {
+  const std::size_t at = static_cast<std::size_t>(op);
+  return at < impls_.size() ? impls_[at].get() : nullptr;
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(std::unique_ptr<Backend> backend) {
+  common::MutexLock lock(mutex_);
+  for (const auto& b : backends_) {
+    HERO_CHECK_MSG(b->name() != backend->name(),
+                   "backend '" << backend->name() << "' already registered");
+  }
+  backends_.push_back(std::move(backend));
+}
+
+const Backend& BackendRegistry::get(const std::string& name) const {
+  common::MutexLock lock(mutex_);
+  for (const auto& b : backends_) {
+    if (b->name() == name) return *b;
+  }
+  throw Error("unknown IR backend '" + name + "'");
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  common::MutexLock lock(mutex_);
+  for (const auto& b : backends_) {
+    if (b->name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  common::MutexLock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->name());
+  return out;
+}
+
+namespace {
+
+constexpr std::int64_t kElementwiseGrain = 1 << 15;
+
+inline float apply_act(Activation act, float v) {
+  switch (act) {
+    case Activation::kRelu: return v > 0.0f ? v : 0.0f;
+    case Activation::kTanh: return std::tanh(v);
+    case Activation::kNone: break;
+  }
+  return v;
+}
+
+// In-place fused epilogue over a [rows, cols] producer result. Order matches
+// the legacy layer composition: bias add, then eval BatchNorm, then the
+// activation. Elementwise over positions, so any row partition is
+// bit-identical.
+void apply_epilogue(const OpArgs& args) {
+  const Node& n = *args.node;
+  if (!n.attrs.has_bias && !n.attrs.has_bn && n.attrs.act == Activation::kNone) return;
+  Tensor& out = *args.out;
+  const std::int64_t rows = out.dim(0);
+  const std::int64_t cols = out.dim(1);
+  const float* bias = n.attrs.has_bias ? args.inputs[n.bias_input()]->data() : nullptr;
+  const float* bn_mean = nullptr;
+  const float* bn_denom = nullptr;
+  const float* bn_gamma = nullptr;
+  const float* bn_beta = nullptr;
+  if (n.attrs.has_bn) {
+    const std::size_t b = n.bn_input();
+    bn_mean = args.inputs[b]->data();
+    bn_denom = args.inputs[b + 1]->data();
+    bn_gamma = args.inputs[b + 2]->data();
+    bn_beta = args.inputs[b + 3]->data();
+  }
+  const Activation act = n.attrs.act;
+  float* po = out.data();
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(1, cols));
+  runtime::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* row = po + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        float v = row[c];
+        if (bias != nullptr) v = v + bias[c];
+        if (bn_mean != nullptr) {
+          v = ((v - bn_mean[c]) / bn_denom[c]) * bn_gamma[c] + bn_beta[c];
+        }
+        row[c] = apply_act(act, v);
+      }
+    }
+  });
+}
+
+struct MatmulImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    matmul_into(*args.inputs[0], *args.inputs[1], *args.out);
+    apply_epilogue(args);
+  }
+};
+
+struct DepthwiseImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    // Fused broadcast-multiply + patch-axis sum: out[r, c] accumulates
+    // cols[r, c, kk] * w[0, c, kk] in ascending kk — the exact order the
+    // legacy mul + sum_axes({2}) pair rounds in.
+    const Tensor& cols = *args.inputs[0];
+    const Tensor& w = *args.inputs[1];
+    Tensor& out = *args.out;
+    const std::int64_t rows = cols.dim(0);
+    const std::int64_t channels = cols.dim(1);
+    const std::int64_t kk = cols.dim(2);
+    HERO_CHECK_MSG(w.ndim() == 3 && w.dim(1) == channels && w.dim(2) == kk,
+                   "depthwise: weight shape " << shape_to_string(w.shape()));
+    const float* pc = cols.data();
+    const float* pw = w.data();
+    float* po = out.data();
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, kElementwiseGrain / std::max<std::int64_t>(1, channels * kk));
+    runtime::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float* crow = pc + r * channels * kk;
+        float* orow = po + r * channels;
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const float* patch = crow + c * kk;
+          const float* wrow = pw + c * kk;
+          float acc = 0.0f;
+          for (std::int64_t i = 0; i < kk; ++i) acc += patch[i] * wrow[i];
+          orow[c] = acc;
+        }
+      }
+    });
+    apply_epilogue(args);
+  }
+};
+
+struct Im2colImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    im2col_into(*args.inputs[0], *args.geom, *args.out);
+  }
+};
+
+struct PermuteImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    const Tensor& in = *args.inputs[0];
+    Tensor& out = *args.out;
+    const Shape& ss = in.shape();
+    const std::vector<std::int64_t>& perm = args.node->attrs.dims;
+    const std::int64_t rank = in.ndim();
+    HERO_CHECK_MSG(static_cast<std::int64_t>(perm.size()) == rank, "permute rank mismatch");
+    // weight[j]: destination stride contributed by source axis j.
+    std::int64_t dstride[8];
+    std::int64_t weight[8];
+    HERO_CHECK_MSG(rank <= 8, "permute: rank > 8 unsupported");
+    std::int64_t stride = 1;
+    for (std::int64_t a = rank - 1; a >= 0; --a) {
+      dstride[a] = stride;
+      stride *= ss[static_cast<std::size_t>(perm[static_cast<std::size_t>(a)])];
+    }
+    for (std::int64_t a = 0; a < rank; ++a) {
+      weight[perm[static_cast<std::size_t>(a)]] = dstride[a];
+    }
+    const float* pi = in.data();
+    float* po = out.data();
+    const std::int64_t dim0 = rank > 0 ? ss[0] : 1;
+    const std::int64_t inner = dim0 > 0 ? in.numel() / dim0 : 0;
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(1, inner));
+    // Pure position moves: each source element writes one destination slot,
+    // so the batch partition is trivially bit-identical.
+    runtime::parallel_for(0, dim0, grain, [&](std::int64_t n0, std::int64_t n1) {
+      std::int64_t idx[8] = {0};
+      for (std::int64_t n = n0; n < n1; ++n) {
+        for (std::int64_t a = 1; a < rank; ++a) idx[a] = 0;
+        const float* src = pi + n * inner;
+        const std::int64_t base = n * weight[0];
+        for (std::int64_t flat = 0; flat < inner; ++flat) {
+          std::int64_t at = base;
+          for (std::int64_t a = 1; a < rank; ++a) at += idx[a] * weight[a];
+          po[at] = src[flat];
+          for (std::int64_t a = rank - 1; a >= 1; --a) {
+            if (++idx[a] < ss[static_cast<std::size_t>(a)]) break;
+            idx[a] = 0;
+          }
+        }
+      }
+    });
+  }
+};
+
+struct BatchNormImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    const Tensor& x = *args.inputs[0];
+    const float* mean = args.inputs[1]->data();
+    const float* denom = args.inputs[2]->data();
+    const float* gamma = args.inputs[3]->data();
+    const float* beta = args.inputs[4]->data();
+    Tensor& out = *args.out;
+    HERO_CHECK_MSG(x.ndim() == 4, "batchnorm op expects [N, C, H, W]");
+    const std::int64_t channels = x.dim(1);
+    const std::int64_t hw = x.dim(2) * x.dim(3);
+    const float* pi = x.data();
+    float* po = out.data();
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(1, hw));
+    runtime::parallel_for(0, x.dim(0) * channels, grain, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const std::int64_t c = p % channels;
+        const float m = mean[c];
+        const float d = denom[c];
+        const float g = gamma[c];
+        const float b = beta[c];
+        const float* src = pi + p * hw;
+        float* dst = po + p * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          dst[i] = ((src[i] - m) / d) * g + b;
+        }
+      }
+    });
+  }
+};
+
+struct SqrtAddScalarImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    const Tensor& in = *args.inputs[0];
+    const float eps = args.node->attrs.scalar;
+    const float* pi = in.data();
+    float* po = args.out->data();
+    runtime::parallel_for(0, in.numel(), kElementwiseGrain,
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              po[i] = std::sqrt(pi[i] + eps);
+                            }
+                          });
+  }
+};
+
+struct ReluImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    const Tensor& in = *args.inputs[0];
+    const float* pi = in.data();
+    float* po = args.out->data();
+    runtime::parallel_for(0, in.numel(), kElementwiseGrain,
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              po[i] = pi[i] > 0.0f ? pi[i] : 0.0f;
+                            }
+                          });
+  }
+};
+
+struct TanhImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    const Tensor& in = *args.inputs[0];
+    const float* pi = in.data();
+    float* po = args.out->data();
+    runtime::parallel_for(0, in.numel(), kElementwiseGrain,
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) po[i] = std::tanh(pi[i]);
+                          });
+  }
+};
+
+struct AddImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    const Tensor& a = *args.inputs[0];
+    const Tensor& b = *args.inputs[1];
+    Tensor& out = *args.out;
+    const Activation act = args.node->attrs.act;
+    float* po = out.data();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    if (a.shape() == b.shape()) {
+      runtime::parallel_for(0, a.numel(), kElementwiseGrain,
+                            [&](std::int64_t i0, std::int64_t i1) {
+                              for (std::int64_t i = i0; i < i1; ++i) {
+                                po[i] = apply_act(act, pa[i] + pb[i]);
+                              }
+                            });
+      return;
+    }
+    // [R, C] + [C]: the unfused bias-broadcast shape (pattern-off runs).
+    HERO_CHECK_MSG(a.ndim() == 2 && b.ndim() == 1 && a.dim(1) == b.dim(0),
+                   "add op: unsupported broadcast " << shape_to_string(a.shape()) << " + "
+                                                    << shape_to_string(b.shape()));
+    const std::int64_t rows = a.dim(0);
+    const std::int64_t cols = a.dim(1);
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(1, cols));
+    runtime::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float* arow = pa + r * cols;
+        float* orow = po + r * cols;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          orow[c] = apply_act(act, arow[c] + pb[c]);
+        }
+      }
+    });
+  }
+};
+
+struct MaxPoolImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    maxpool2d_into(*args.inputs[0], args.node->attrs.kernel, args.node->attrs.stride,
+                   *args.out);
+  }
+};
+
+struct AvgPoolImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    avgpool2d_into(*args.inputs[0], args.node->attrs.kernel, args.node->attrs.stride,
+                   *args.out);
+  }
+};
+
+struct GlobalAvgPoolImpl final : OpImpl {
+  void run(const OpArgs& args) const override {
+    // Ascending (h, w) float accumulation then one multiply — the order the
+    // legacy mean_axes (sum_axes + mul_scalar) rounds in.
+    const Tensor& in = *args.inputs[0];
+    Tensor& out = *args.out;
+    HERO_CHECK_MSG(in.ndim() == 4, "global_avg_pool expects [N, C, H, W]");
+    const std::int64_t hw = in.dim(2) * in.dim(3);
+    const float inv = 1.0f / static_cast<float>(hw);
+    const float* pi = in.data();
+    float* po = out.data();
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kElementwiseGrain / std::max<std::int64_t>(1, hw));
+    runtime::parallel_for(0, in.dim(0) * in.dim(1), grain,
+                          [&](std::int64_t p0, std::int64_t p1) {
+                            for (std::int64_t p = p0; p < p1; ++p) {
+                              const float* src = pi + p * hw;
+                              float acc = 0.0f;
+                              for (std::int64_t i = 0; i < hw; ++i) acc += src[i];
+                              po[p] = acc * inv;
+                            }
+                          });
+  }
+};
+
+std::unique_ptr<Backend> make_ref_fp32() {
+  auto b = std::make_unique<Backend>("ref_fp32");
+  b->set_impl(OpKind::kMatmul, std::make_unique<MatmulImpl>());
+  b->set_impl(OpKind::kDepthwise, std::make_unique<DepthwiseImpl>());
+  b->set_impl(OpKind::kIm2col, std::make_unique<Im2colImpl>());
+  b->set_impl(OpKind::kPermute, std::make_unique<PermuteImpl>());
+  b->set_impl(OpKind::kBatchNorm, std::make_unique<BatchNormImpl>());
+  b->set_impl(OpKind::kSqrtAddScalar, std::make_unique<SqrtAddScalarImpl>());
+  b->set_impl(OpKind::kRelu, std::make_unique<ReluImpl>());
+  b->set_impl(OpKind::kTanh, std::make_unique<TanhImpl>());
+  b->set_impl(OpKind::kAdd, std::make_unique<AddImpl>());
+  b->set_impl(OpKind::kMaxPool, std::make_unique<MaxPoolImpl>());
+  b->set_impl(OpKind::kAvgPool, std::make_unique<AvgPoolImpl>());
+  b->set_impl(OpKind::kGlobalAvgPool, std::make_unique<GlobalAvgPoolImpl>());
+  // kReshape: alias-only, no kernel — the executor shares storage instead.
+  return b;
+}
+
+struct RefFp32Registration {
+  RefFp32Registration() { BackendRegistry::instance().add(make_ref_fp32()); }
+};
+const RefFp32Registration ref_fp32_registration;
+
+}  // namespace
+
+}  // namespace hero::ir

@@ -1,0 +1,72 @@
+// Op/backend split: OpImpl is the "Opx" side of the IR — one kernel object
+// per (backend, OpKind). The executor resolves each scheduled node to an
+// OpImpl once per plan, then dispatches through the vtable on the hot path;
+// a new target (SIMD int8, GPU) registers a Backend with its own impls and
+// slots in without touching the graph, patterns, scheduler, or store.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "ir/graph.hpp"
+#include "tensor/conv_ops.hpp"
+
+namespace hero::ir {
+
+/// Everything a kernel sees: resolved input tensors (consts and arena-backed
+/// activations), the destination tensor, the node (attrs + epilogue layout),
+/// and plan-time conv geometry for window ops. Kernels must fully write
+/// out[0, numel) — destinations are recycled arena slots with stale bytes.
+struct OpArgs {
+  const Node* node = nullptr;
+  const Tensor* const* inputs = nullptr;
+  std::size_t num_inputs = 0;
+  Tensor* out = nullptr;
+  const Conv2dGeom* geom = nullptr;  ///< kIm2col/kMaxPool/kAvgPool only
+};
+
+class OpImpl {
+ public:
+  virtual ~OpImpl() = default;
+  /// Must be thread-safe and allocation-free: predict() calls run
+  /// concurrently and the zero-steady-state-alloc gate covers every kernel.
+  virtual void run(const OpArgs& args) const = 0;
+};
+
+/// A named, complete-enough set of kernels. Ops without an impl (alias-only
+/// kReshape) are skipped by the executor.
+class Backend {
+ public:
+  explicit Backend(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  void set_impl(OpKind op, std::unique_ptr<OpImpl> impl);
+  /// nullptr when this backend has no kernel for `op`.
+  const OpImpl* impl(OpKind op) const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<OpImpl>> impls_;  // indexed by OpKind
+};
+
+/// Process-wide backend directory; "ref_fp32" self-registers at static-init
+/// time (the bit-identical reference kernels every other backend is gated
+/// against). Backends are never removed, so Backend pointers stay valid.
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  void add(std::unique_ptr<Backend> backend) HERO_EXCLUDES(mutex_);
+  /// Throws hero::Error for an unknown name.
+  const Backend& get(const std::string& name) const HERO_EXCLUDES(mutex_);
+  bool contains(const std::string& name) const HERO_EXCLUDES(mutex_);
+  std::vector<std::string> names() const HERO_EXCLUDES(mutex_);
+
+ private:
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Backend>> backends_ HERO_GUARDED_BY(mutex_);
+};
+
+}  // namespace hero::ir

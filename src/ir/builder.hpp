@@ -1,0 +1,62 @@
+// GraphBuilder: the lowering surface nn::Module implementations talk to.
+//
+// Layers call one builder helper each from their Module::lower override; the
+// builder expands it into the UNFUSED op sequence that mirrors the legacy
+// autograd forward exactly (conv = im2col + matmul + bias-add + reshape +
+// permute, batchnorm = sqrt_add_scalar denominator + batchnorm op, ...).
+// Keeping the pre-pattern graph faithful to the Module replay is what makes
+// "pattern off" runs a bit-identical reference and gives the rewrite
+// pipeline real work to show in golden dumps.
+//
+// This header is included from src/nn and therefore must not depend on nn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace hero::ir {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Graph& graph) : graph_(graph) {}
+
+  /// Declares the batched feature input and makes it current.
+  ValueId input(std::string name = "x");
+
+  /// The value the next layer consumes; branch-and-join blocks (residuals)
+  /// save and restore it around their branches.
+  ValueId current() const { return cur_; }
+  void set_current(ValueId v) { cur_ = v; }
+
+  // Each helper consumes current() and leaves its result current.
+  void linear(const Tensor& weight, const Tensor* bias);
+  void conv2d(const Tensor& weight, const Tensor* bias, std::int64_t kernel,
+              std::int64_t stride, std::int64_t pad);
+  void depthwise_conv2d(const Tensor& weight, std::int64_t kernel, std::int64_t stride,
+                        std::int64_t pad);
+  void batchnorm2d(const Tensor& mean, const Tensor& var, const Tensor& gamma,
+                   const Tensor& beta, float eps);
+  void relu();
+  void tanh_op();
+  void maxpool(std::int64_t kernel, std::int64_t stride);
+  void avgpool(std::int64_t kernel, std::int64_t stride);
+  void global_avg_pool();
+  void flatten();
+
+  /// Residual join: current() becomes a + b.
+  void add(ValueId a, ValueId b);
+
+  /// Marks current() as the graph output.
+  void finish();
+
+ private:
+  std::string tag(const char* kind);
+
+  Graph& graph_;
+  ValueId cur_ = -1;
+  int layer_index_ = 0;  // running suffix for diagnostic value names
+};
+
+}  // namespace hero::ir

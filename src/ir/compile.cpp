@@ -1,0 +1,23 @@
+#include "ir/compile.hpp"
+
+#include "ir/builder.hpp"
+#include "nn/module.hpp"
+
+namespace hero::ir {
+
+Compiled compile(nn::Module& model, std::string model_spec, const CompileOptions& opts) {
+  Compiled c;
+  c.model_spec = std::move(model_spec);
+  GraphBuilder b(c.graph);
+  b.input();
+  model.lower(b);
+  b.finish();
+  if (opts.run_patterns) {
+    c.pattern_hits = run_patterns(c.graph, opts.pattern_subset);
+  } else {
+    c.graph.prune_dead();
+  }
+  return c;
+}
+
+}  // namespace hero::ir

@@ -1,0 +1,39 @@
+// Compiles a rebuilt nn::Module tree into the inference IR and runs the
+// pattern-rewrite pipeline — the artifact-load-time half of the optimizing
+// executor. The resulting Compiled graph is immutable afterwards; per-shape
+// execution plans are built from it by ir::Executor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "ir/patterns.hpp"
+
+namespace hero::nn {
+class Module;
+}
+
+namespace hero::ir {
+
+struct CompileOptions {
+  /// Run the rewrite pipeline (false = faithful unfused mirror of the
+  /// Module replay, used by golden dumps and pattern-off parity tests).
+  bool run_patterns = true;
+  /// Restrict to a named subset of patterns (empty = all registered).
+  std::vector<std::string> pattern_subset;
+};
+
+struct Compiled {
+  Graph graph;
+  std::vector<PatternHit> pattern_hits;
+  std::string model_spec;
+};
+
+/// Lowers `model` (eval-mode; weight constants alias its current parameter
+/// tensors) and applies patterns. Throws hero::Error when the module tree
+/// contains a kind without an IR lowering — callers fall back to the legacy
+/// module executor.
+Compiled compile(nn::Module& model, std::string model_spec, const CompileOptions& opts = {});
+
+}  // namespace hero::ir

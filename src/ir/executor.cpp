@@ -1,0 +1,476 @@
+#include "ir/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace hero::ir {
+
+namespace {
+
+/// Returned tensors pin their pool entry until the caller drops them; a few
+/// entries absorb callers that briefly hold several results at once.
+constexpr std::size_t kOutputPoolCap = 8;
+
+}  // namespace
+
+// ---- Shape inference --------------------------------------------------------
+
+ShapeInfo infer_shapes(const Graph& g, const Shape& input_shape) {
+  ShapeInfo si;
+  si.value_shapes.resize(g.num_values());
+  si.node_geom.resize(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_values(); ++v) {
+    const Value& val = g.value(static_cast<ValueId>(v));
+    if (val.is_const) si.value_shapes[v] = val.constant.shape();
+  }
+  HERO_CHECK_MSG(g.input() >= 0, "graph has no input");
+  si.value_shapes[static_cast<std::size_t>(g.input())] = input_shape;
+
+  for (NodeId id : g.schedule()) {
+    const Node& n = g.node(id);
+    const Shape& a = si.value_shapes[static_cast<std::size_t>(n.inputs[0])];
+    Shape out;
+    switch (n.op) {
+      case OpKind::kMatmul: {
+        const Shape& b = si.value_shapes[static_cast<std::size_t>(n.inputs[1])];
+        HERO_CHECK_MSG(a.size() == 2 && b.size() == 2 && a[1] == b[0],
+                       "matmul: " << shape_to_string(a) << " x " << shape_to_string(b));
+        out = {a[0], b[1]};
+        break;
+      }
+      case OpKind::kDepthwise: {
+        const Shape& w = si.value_shapes[static_cast<std::size_t>(n.inputs[1])];
+        HERO_CHECK_MSG(a.size() == 3 && w.size() == 3 && a[1] == w[1] && a[2] == w[2],
+                       "depthwise: " << shape_to_string(a) << " x " << shape_to_string(w));
+        out = {a[0], a[1]};
+        break;
+      }
+      case OpKind::kIm2col: {
+        const Conv2dGeom geom = make_geom(a, n.attrs.kernel, n.attrs.kernel, n.attrs.stride,
+                                          n.attrs.pad);
+        si.node_geom[static_cast<std::size_t>(id)] = geom;
+        out = {geom.batch * geom.out_h() * geom.out_w(),
+               geom.channels * geom.kernel_h * geom.kernel_w};
+        break;
+      }
+      case OpKind::kReshape: {
+        if (n.attrs.reshape == ReshapeKind::kExplicit) {
+          out = resolve_reshape_dims(a, n.attrs.dims);
+        } else {
+          HERO_CHECK_MSG(n.attrs.geom_node >= 0, "conv_nhwc reshape missing geom node");
+          const Conv2dGeom& geom = si.node_geom[static_cast<std::size_t>(n.attrs.geom_node)];
+          HERO_CHECK_MSG(a.size() == 2, "conv_nhwc reshape expects a matrix input");
+          out = {geom.batch, geom.out_h(), geom.out_w(), a[1]};
+          HERO_CHECK_MSG(shape_numel(out) == shape_numel(a),
+                         "conv_nhwc reshape numel mismatch");
+        }
+        break;
+      }
+      case OpKind::kPermute: {
+        HERO_CHECK_MSG(n.attrs.dims.size() == a.size(), "permute rank mismatch");
+        out.resize(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          out[i] = a[static_cast<std::size_t>(n.attrs.dims[i])];
+        }
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        const Shape& m = si.value_shapes[static_cast<std::size_t>(n.inputs[1])];
+        HERO_CHECK_MSG(a.size() == 4 && shape_numel(m) == a[1],
+                       "batchnorm: input " << shape_to_string(a) << ", stats "
+                                           << shape_to_string(m));
+        out = a;
+        break;
+      }
+      case OpKind::kSqrtAddScalar:
+      case OpKind::kRelu:
+      case OpKind::kTanh:
+        out = a;
+        break;
+      case OpKind::kAdd: {
+        const Shape& b = si.value_shapes[static_cast<std::size_t>(n.inputs[1])];
+        HERO_CHECK_MSG(a == b || (a.size() == 2 && b.size() == 1 && a[1] == b[0]),
+                       "add: " << shape_to_string(a) << " + " << shape_to_string(b));
+        out = a;
+        break;
+      }
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool: {
+        const Conv2dGeom geom = make_geom(a, n.attrs.kernel, n.attrs.kernel, n.attrs.stride,
+                                          /*pad=*/0);
+        si.node_geom[static_cast<std::size_t>(id)] = geom;
+        out = {geom.batch, geom.channels, geom.out_h(), geom.out_w()};
+        break;
+      }
+      case OpKind::kGlobalAvgPool:
+        HERO_CHECK_MSG(a.size() == 4, "global_avg_pool expects [N, C, H, W]");
+        out = {a[0], a[1]};
+        break;
+    }
+    si.value_shapes[static_cast<std::size_t>(n.out)] = std::move(out);
+  }
+  return si;
+}
+
+// ---- Arena planning ---------------------------------------------------------
+
+std::int64_t ArenaPlan::arena_floats() const {
+  std::int64_t total = 0;
+  for (std::int64_t f : slot_floats) total += f;
+  return total;
+}
+
+ArenaPlan plan_arena(const Graph& g, const std::vector<Shape>& value_shapes) {
+  const std::size_t nv = g.num_values();
+  HERO_CHECK_MSG(value_shapes.size() == nv, "plan_arena: shape table size mismatch");
+  const std::vector<NodeId> sched = g.schedule();
+
+  // Const-ness propagates through reshape: reshape-of-const is a pure alias
+  // of the weight tensor, so it gets no group (and no slot).
+  std::vector<char> constish(nv, 0);
+  for (std::size_t v = 0; v < nv; ++v) constish[v] = g.value(static_cast<ValueId>(v)).is_const;
+  for (NodeId id : sched) {
+    const Node& n = g.node(id);
+    if (n.op == OpKind::kReshape && constish[static_cast<std::size_t>(n.inputs[0])]) {
+      constish[static_cast<std::size_t>(n.out)] = 1;
+    }
+  }
+
+  // Union-find over non-const values; live reshape nodes alias out <-> in.
+  std::vector<int> parent(nv);
+  for (std::size_t v = 0; v < nv; ++v) parent[v] = static_cast<int>(v);
+  auto find = [&parent](int v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  for (NodeId id : sched) {
+    const Node& n = g.node(id);
+    if (n.op != OpKind::kReshape || constish[static_cast<std::size_t>(n.inputs[0])]) continue;
+    parent[static_cast<std::size_t>(find(n.out))] = find(n.inputs[0]);
+  }
+
+  ArenaPlan plan;
+  plan.group_of_value.assign(nv, -1);
+  std::vector<int> group_of_root(nv, -1);
+  int num_groups = 0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    if (constish[v]) continue;
+    const int root = find(static_cast<int>(v));
+    if (group_of_root[static_cast<std::size_t>(root)] < 0) {
+      group_of_root[static_cast<std::size_t>(root)] = num_groups++;
+    }
+    plan.group_of_value[v] = group_of_root[static_cast<std::size_t>(root)];
+  }
+  if (g.input() >= 0) plan.input_group = plan.group_of_value[static_cast<std::size_t>(g.input())];
+  if (g.output() >= 0) {
+    plan.output_group = plan.group_of_value[static_cast<std::size_t>(g.output())];
+  }
+
+  // Live interval per group over schedule positions. The graph input is
+  // defined before the first node; the output stays live past the last.
+  constexpr int kUnset = std::numeric_limits<int>::max();
+  struct Interval {
+    int def = kUnset;
+    int last = -1;
+    std::int64_t floats = 0;
+  };
+  std::vector<Interval> iv(static_cast<std::size_t>(num_groups));
+  if (plan.input_group >= 0) iv[static_cast<std::size_t>(plan.input_group)].def = -1;
+  for (std::size_t pos = 0; pos < sched.size(); ++pos) {
+    const Node& n = g.node(sched[pos]);
+    for (ValueId in : n.inputs) {
+      const int grp = plan.group_of_value[static_cast<std::size_t>(in)];
+      if (grp >= 0) {
+        iv[static_cast<std::size_t>(grp)].last =
+            std::max(iv[static_cast<std::size_t>(grp)].last, static_cast<int>(pos));
+      }
+    }
+    const int grp = plan.group_of_value[static_cast<std::size_t>(n.out)];
+    if (grp >= 0) {
+      iv[static_cast<std::size_t>(grp)].def =
+          std::min(iv[static_cast<std::size_t>(grp)].def, static_cast<int>(pos));
+    }
+  }
+  if (plan.output_group >= 0) iv[static_cast<std::size_t>(plan.output_group)].last = kUnset;
+  for (std::size_t v = 0; v < nv; ++v) {
+    const int grp = plan.group_of_value[v];
+    if (grp < 0) continue;
+    iv[static_cast<std::size_t>(grp)].floats =
+        std::max(iv[static_cast<std::size_t>(grp)].floats, shape_numel(value_shapes[v]));
+  }
+
+  // Greedy slot sharing in definition order: a slot is reusable once the
+  // interval it last hosted ended STRICTLY before this group's definition
+  // (equal positions clash — the defining node still reads the old tenant).
+  plan.slot_of_group.assign(static_cast<std::size_t>(num_groups), -1);
+  struct Slot {
+    int busy_until = -1;
+    std::int64_t floats = 0;
+  };
+  std::vector<Slot> slots;
+  std::vector<int> order;
+  for (int grp = 0; grp < num_groups; ++grp) {
+    const Interval& i = iv[static_cast<std::size_t>(grp)];
+    if (i.def == kUnset || i.last < 0) continue;  // dead or unused value
+    if (grp == plan.input_group || grp == plan.output_group) continue;  // unslotted
+    order.push_back(grp);
+  }
+  std::sort(order.begin(), order.end(), [&iv](int a, int b) {
+    return iv[static_cast<std::size_t>(a)].def < iv[static_cast<std::size_t>(b)].def;
+  });
+  for (const int grp : order) {
+    const Interval& i = iv[static_cast<std::size_t>(grp)];
+    int best = -1;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].busy_until >= i.def) continue;
+      if (best < 0) {
+        best = static_cast<int>(s);
+        continue;
+      }
+      // Best fit: smallest sufficient capacity, else the largest free slot
+      // (least growth when every free slot is too small).
+      const std::int64_t bc = slots[static_cast<std::size_t>(best)].floats;
+      const std::int64_t sc = slots[s].floats;
+      const bool best_fits = bc >= i.floats;
+      const bool s_fits = sc >= i.floats;
+      if ((s_fits && (!best_fits || sc < bc)) || (!s_fits && !best_fits && sc > bc)) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) {
+      best = static_cast<int>(slots.size());
+      slots.push_back({});
+    }
+    Slot& slot = slots[static_cast<std::size_t>(best)];
+    slot.busy_until = std::max(slot.busy_until, i.last);
+    slot.floats = std::max(slot.floats, i.floats);
+    plan.slot_of_group[static_cast<std::size_t>(grp)] = best;
+  }
+  plan.slot_floats.reserve(slots.size());
+  for (const Slot& s : slots) plan.slot_floats.push_back(s.floats);
+  return plan;
+}
+
+// ---- Execution contexts -----------------------------------------------------
+
+struct Executor::ExecContext {
+  bool in_use = false;
+
+  std::vector<Tensor> tensors;        ///< per value; never resized after build
+  std::vector<Conv2dGeom> node_geom;  ///< per node (kIm2col/pool windows)
+
+  struct Step {
+    const OpImpl* impl = nullptr;
+    std::vector<const Tensor*> inputs;
+    OpArgs args;
+  };
+  std::vector<Step> steps;
+
+  std::vector<ValueId> input_group_values;   ///< rebound to caller storage
+  std::vector<ValueId> output_group_values;  ///< rebound to the output pool
+  bool output_aliases_input = false;         ///< degenerate all-reshape graph
+
+  /// Parked storages the group tensors point at between calls, so a context
+  /// never pins a caller's input or a returned output alive.
+  std::shared_ptr<std::vector<float>> input_placeholder;
+  std::shared_ptr<std::vector<float>> output_placeholder;
+  std::int64_t output_floats = 0;
+  std::vector<std::shared_ptr<std::vector<float>>> out_pool;
+
+  std::int64_t arena_floats = 0;
+  std::size_t slots = 0;
+};
+
+std::unique_ptr<Executor::ExecContext> Executor::build_context(const Shape& input_shape) const {
+  auto ctx = std::make_unique<ExecContext>();
+  ShapeInfo si = infer_shapes(graph_, input_shape);
+  const ArenaPlan plan = plan_arena(graph_, si.value_shapes);
+  const std::vector<Shape>& shapes = si.value_shapes;
+  ctx->node_geom = std::move(si.node_geom);
+  ctx->arena_floats = plan.arena_floats();
+  ctx->slots = plan.slot_floats.size();
+
+  std::vector<std::shared_ptr<std::vector<float>>> slot_storage;
+  slot_storage.reserve(plan.slot_floats.size());
+  for (const std::int64_t floats : plan.slot_floats) {
+    slot_storage.push_back(
+        std::make_shared<std::vector<float>>(static_cast<std::size_t>(floats)));
+  }
+
+  auto group_floats = [&](int grp) {
+    std::int64_t floats = 1;
+    for (std::size_t v = 0; v < graph_.num_values(); ++v) {
+      if (plan.group_of_value[v] == grp) floats = std::max(floats, shape_numel(shapes[v]));
+    }
+    return floats;
+  };
+  HERO_CHECK_MSG(plan.input_group >= 0 && plan.output_group >= 0,
+                 "graph input/output must be non-const values");
+  ctx->output_aliases_input = plan.output_group == plan.input_group;
+  ctx->input_placeholder = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(group_floats(plan.input_group)));
+  if (!ctx->output_aliases_input) {
+    ctx->output_floats = group_floats(plan.output_group);
+    ctx->output_placeholder =
+        std::make_shared<std::vector<float>>(static_cast<std::size_t>(ctx->output_floats));
+  }
+
+  ctx->tensors.resize(graph_.num_values());
+  for (std::size_t v = 0; v < graph_.num_values(); ++v) {
+    const Value& val = graph_.value(static_cast<ValueId>(v));
+    if (val.is_const) {
+      ctx->tensors[v] = val.constant;  // aliases the weight storage
+      continue;
+    }
+    const int grp = plan.group_of_value[v];
+    if (grp < 0) continue;  // reshape-of-const alias; bound in the walk below
+    const int slot = plan.slot_of_group[static_cast<std::size_t>(grp)];
+    if (slot >= 0) {
+      ctx->tensors[v] = Tensor::wrap(shapes[v], slot_storage[static_cast<std::size_t>(slot)]);
+    } else if (grp == plan.input_group) {
+      ctx->tensors[v] = Tensor::wrap(shapes[v], ctx->input_placeholder);
+      ctx->input_group_values.push_back(static_cast<ValueId>(v));
+    } else if (grp == plan.output_group) {
+      ctx->tensors[v] = Tensor::wrap(shapes[v], ctx->output_placeholder);
+      ctx->output_group_values.push_back(static_cast<ValueId>(v));
+    }
+    // else: dead value — never touched, default tensor is fine.
+  }
+
+  ctx->steps.reserve(schedule_.size());
+  for (const NodeId id : schedule_) {
+    const Node& n = graph_.node(id);
+    if (n.op == OpKind::kReshape) {
+      const std::size_t out = static_cast<std::size_t>(n.out);
+      if (plan.group_of_value[out] < 0) {
+        // Reshape of a constant: alias the weight storage under the new shape.
+        ctx->tensors[out] = Tensor::wrap(
+            shapes[out], ctx->tensors[static_cast<std::size_t>(n.inputs[0])].storage());
+      }
+      continue;  // non-const reshapes already share their group's storage
+    }
+    ctx->steps.emplace_back();
+    ExecContext::Step& step = ctx->steps.back();
+    step.impl = backend_->impl(n.op);
+    step.inputs.reserve(n.inputs.size());
+    for (const ValueId in : n.inputs) {
+      step.inputs.push_back(&ctx->tensors[static_cast<std::size_t>(in)]);
+    }
+    step.args.node = &graph_.node(id);
+    step.args.inputs = step.inputs.data();
+    step.args.num_inputs = step.inputs.size();
+    step.args.out = &ctx->tensors[static_cast<std::size_t>(n.out)];
+    if (n.op == OpKind::kIm2col) {
+      step.args.geom = &ctx->node_geom[static_cast<std::size_t>(id)];
+    }
+  }
+  return ctx;
+}
+
+// ---- Executor ---------------------------------------------------------------
+
+Executor::Executor(const Compiled& compiled, const std::string& backend)
+    : graph_(compiled.graph),
+      schedule_(graph_.schedule()),
+      backend_name_(backend),
+      backend_(&BackendRegistry::instance().get(backend)) {
+  HERO_CHECK_MSG(graph_.output() >= 0, "compiled graph has no output");
+  for (const NodeId id : schedule_) {
+    const Node& n = graph_.node(id);
+    if (n.op == OpKind::kReshape) continue;
+    HERO_CHECK_MSG(backend_->impl(n.op) != nullptr,
+                   "backend '" << backend_name_ << "' has no kernel for "
+                               << op_kind_name(n.op));
+  }
+}
+
+Executor::~Executor() = default;
+
+Tensor Executor::run(const Tensor& input) {
+  ExecContext* ctx = nullptr;
+  {
+    common::MutexLock lock(mutex_);
+    std::vector<std::unique_ptr<ExecContext>>& list = contexts_[input.shape()];
+    for (const auto& c : list) {
+      if (!c->in_use) {
+        ctx = c.get();
+        break;
+      }
+    }
+    if (ctx == nullptr) {
+      // First call for this shape (or all its contexts are mid-run on other
+      // threads): build a fresh plan. Steady state never reaches this.
+      list.push_back(build_context(input.shape()));
+      ctx = list.back().get();
+      stats_.contexts += 1;
+      const std::size_t bytes = static_cast<std::size_t>(ctx->arena_floats) * sizeof(float);
+      stats_.total_bytes += bytes;
+      if (bytes > stats_.high_water_bytes) {
+        stats_.high_water_bytes = bytes;
+        stats_.high_water_slots = ctx->slots;
+      }
+    }
+    ctx->in_use = true;
+  }
+
+  Tensor result;
+  try {
+    for (const ValueId v : ctx->input_group_values) {
+      ctx->tensors[static_cast<std::size_t>(v)].rebind_storage(input.storage());
+    }
+    if (!ctx->output_aliases_input) {
+      std::shared_ptr<std::vector<float>> out_storage;
+      for (const auto& pooled : ctx->out_pool) {
+        if (pooled.use_count() == 1) {  // previous result was dropped
+          out_storage = pooled;
+          break;
+        }
+      }
+      if (out_storage == nullptr) {
+        out_storage =
+            std::make_shared<std::vector<float>>(static_cast<std::size_t>(ctx->output_floats));
+        if (ctx->out_pool.size() < kOutputPoolCap) ctx->out_pool.push_back(out_storage);
+      }
+      for (const ValueId v : ctx->output_group_values) {
+        ctx->tensors[static_cast<std::size_t>(v)].rebind_storage(out_storage);
+      }
+    }
+
+    for (const ExecContext::Step& step : ctx->steps) step.impl->run(step.args);
+
+    result = ctx->tensors[static_cast<std::size_t>(graph_.output())];
+    if (ctx->output_aliases_input) result = result.clone();
+
+    // Park the group tensors so the context pins neither the caller's input
+    // nor the returned output (the pool's use_count()==1 recycling test).
+    for (const ValueId v : ctx->input_group_values) {
+      ctx->tensors[static_cast<std::size_t>(v)].rebind_storage(ctx->input_placeholder);
+    }
+    if (!ctx->output_aliases_input) {
+      for (const ValueId v : ctx->output_group_values) {
+        ctx->tensors[static_cast<std::size_t>(v)].rebind_storage(ctx->output_placeholder);
+      }
+    }
+  } catch (...) {
+    common::MutexLock lock(mutex_);
+    ctx->in_use = false;
+    throw;
+  }
+
+  common::MutexLock lock(mutex_);
+  ctx->in_use = false;
+  return result;
+}
+
+ArenaStats Executor::arena_stats() const {
+  common::MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hero::ir

@@ -1,0 +1,103 @@
+// IR executor: per-input-shape execution plans over an arena buffer plan.
+//
+// A Compiled graph is symbolic — activation shapes are not stored in the IR,
+// so the executor specializes per concrete input shape: it infers every
+// value's shape (and conv window geometry), plans a liveness-based arena
+// (values whose live ranges do not overlap share a slot; reshape aliases
+// share by construction), resolves each node to its backend kernel once, and
+// caches the whole thing as an ExecContext. Steady-state run() then performs
+// ZERO activation allocations: the graph input rebinds to the caller's
+// storage, intermediates live in pre-sized arena slots, and the output is
+// bound to a recycled per-context storage pool (an entry is free again once
+// the caller drops the returned tensor).
+//
+// Thread safety: run() is safe to call concurrently. Each call checks out an
+// ExecContext under the executor mutex (building a fresh one when all
+// contexts for that shape are busy) and runs unlocked; kernels themselves
+// parallelize internally via runtime::parallel_for, so results are
+// bit-identical at any thread-pool size.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "ir/backend.hpp"
+#include "ir/compile.hpp"
+#include "ir/graph.hpp"
+#include "tensor/conv_ops.hpp"
+
+namespace hero::ir {
+
+/// Per-value shapes and per-node window geometry for one concrete input
+/// shape. Throws hero::Error on rank/extent mismatches (bad model input).
+struct ShapeInfo {
+  std::vector<Shape> value_shapes;    ///< indexed by ValueId
+  std::vector<Conv2dGeom> node_geom;  ///< indexed by NodeId; kIm2col only
+};
+ShapeInfo infer_shapes(const Graph& g, const Shape& input_shape);
+
+/// Liveness-based arena assignment (exposed as a free function so tests can
+/// assert the invariants directly: no two simultaneously-live groups share a
+/// slot; reshape aliases always share).
+struct ArenaPlan {
+  /// Alias group per value (-1 for constants). kReshape unions its output
+  /// with its input, so aliases land in one group by construction.
+  std::vector<int> group_of_value;
+  /// Arena slot per group; -1 for the unslotted input group (bound to caller
+  /// storage) and output group (bound to the recycled output pool).
+  std::vector<int> slot_of_group;
+  /// Capacity of each slot in floats (max numel over its tenants).
+  std::vector<std::int64_t> slot_floats;
+
+  std::int64_t arena_floats() const;
+  int input_group = -1;
+  int output_group = -1;
+};
+ArenaPlan plan_arena(const Graph& g, const std::vector<Shape>& value_shapes);
+
+struct ArenaStats {
+  std::size_t contexts = 0;          ///< cached per-shape execution plans
+  std::size_t high_water_bytes = 0;  ///< largest single-context arena
+  std::size_t total_bytes = 0;       ///< arena bytes across all contexts
+  std::size_t high_water_slots = 0;  ///< slot count of that largest arena
+};
+
+/// Executes a Compiled graph through a named backend. Holds its own copy of
+/// the graph (constant tensors alias, they are not deep-copied).
+class Executor {
+ public:
+  /// Throws hero::Error when the backend is unknown or lacks a kernel for
+  /// any op in the graph.
+  explicit Executor(const Compiled& compiled, const std::string& backend = "ref_fp32");
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs the graph on `input`, returning a tensor backed by this executor's
+  /// recycled output pool (drop it to free the slot; clone() to detach).
+  /// Bit-identical to the legacy Module replay of the same model.
+  Tensor run(const Tensor& input) HERO_EXCLUDES(mutex_);
+
+  const std::string& backend_name() const { return backend_name_; }
+  const Graph& graph() const { return graph_; }
+  ArenaStats arena_stats() const HERO_EXCLUDES(mutex_);
+
+ private:
+  struct ExecContext;
+
+  std::unique_ptr<ExecContext> build_context(const Shape& input_shape) const;
+
+  Graph graph_;
+  std::vector<NodeId> schedule_;
+  std::string backend_name_;
+  const Backend* backend_ = nullptr;
+
+  mutable common::Mutex mutex_;
+  std::map<Shape, std::vector<std::unique_ptr<ExecContext>>> contexts_ HERO_GUARDED_BY(mutex_);
+  ArenaStats stats_ HERO_GUARDED_BY(mutex_);
+};
+
+}  // namespace hero::ir

@@ -1,0 +1,211 @@
+#include "ir/graph.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero::ir {
+
+const char* op_kind_name(OpKind op) {
+  switch (op) {
+    case OpKind::kMatmul: return "matmul";
+    case OpKind::kDepthwise: return "depthwise";
+    case OpKind::kIm2col: return "im2col";
+    case OpKind::kReshape: return "reshape";
+    case OpKind::kPermute: return "permute";
+    case OpKind::kBatchNorm: return "batchnorm";
+    case OpKind::kSqrtAddScalar: return "sqrt_add_scalar";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kTanh: return "tanh";
+    case OpKind::kAdd: return "add";
+    case OpKind::kMaxPool: return "maxpool";
+    case OpKind::kAvgPool: return "avgpool";
+    case OpKind::kGlobalAvgPool: return "global_avg_pool";
+  }
+  return "?";
+}
+
+Shape resolve_reshape_dims(const Shape& input, const std::vector<std::int64_t>& dims) {
+  Shape out;
+  out.reserve(dims.size());
+  std::int64_t known = 1;
+  std::int64_t infer_at = -1;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    std::int64_t d = dims[i];
+    if (d == 0) {
+      HERO_CHECK_MSG(i < input.size(), "reshape: axis " << i << " exceeds input rank");
+      d = input[i];
+    }
+    if (d == -1) {
+      HERO_CHECK_MSG(infer_at == -1, "reshape: more than one inferred extent");
+      infer_at = static_cast<std::int64_t>(i);
+      out.push_back(-1);
+      continue;
+    }
+    known *= d;
+    out.push_back(d);
+  }
+  const std::int64_t total = shape_numel(input);
+  if (infer_at >= 0) {
+    HERO_CHECK_MSG(known > 0 && total % known == 0,
+                   "reshape: cannot infer extent for " << total << " elements");
+    out[static_cast<std::size_t>(infer_at)] = total / known;
+  } else {
+    HERO_CHECK_MSG(known == total, "reshape: element count mismatch");
+  }
+  return out;
+}
+
+ValueId Graph::new_value(std::string name) {
+  Value v;
+  v.id = static_cast<ValueId>(values_.size());
+  v.name = std::move(name);
+  values_.push_back(std::move(v));
+  return values_.back().id;
+}
+
+ValueId Graph::add_input(std::string name) {
+  HERO_CHECK_MSG(input_ == -1, "graph already has an input");
+  input_ = new_value(std::move(name));
+  return input_;
+}
+
+ValueId Graph::add_const(Tensor value, std::string name) {
+  const ValueId id = new_value(std::move(name));
+  values_[static_cast<std::size_t>(id)].is_const = true;
+  values_[static_cast<std::size_t>(id)].constant = std::move(value);
+  return id;
+}
+
+ValueId Graph::add_node(OpKind op, std::vector<ValueId> inputs, NodeAttrs attrs,
+                        std::string name) {
+  for (ValueId in : inputs) {
+    HERO_CHECK_MSG(in >= 0 && static_cast<std::size_t>(in) < values_.size(),
+                   "add_node: unknown input value " << in);
+  }
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.op = op;
+  n.inputs = std::move(inputs);
+  n.attrs = std::move(attrs);
+  n.out = new_value(std::move(name));
+  values_[static_cast<std::size_t>(n.out)].producer = n.id;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().out;
+}
+
+void Graph::set_output(ValueId v) {
+  HERO_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < values_.size(),
+                 "set_output: unknown value " << v);
+  output_ = v;
+}
+
+std::vector<NodeId> Graph::schedule() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    if (!n.dead) order.push_back(n.id);
+  }
+  return order;
+}
+
+std::vector<int> Graph::use_counts() const {
+  std::vector<int> uses(values_.size(), 0);
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    for (ValueId in : n.inputs) ++uses[static_cast<std::size_t>(in)];
+  }
+  if (output_ >= 0) ++uses[static_cast<std::size_t>(output_)];
+  return uses;
+}
+
+void Graph::replace_uses(ValueId from, ValueId to) {
+  for (Node& n : nodes_) {
+    if (n.dead) continue;
+    for (ValueId& in : n.inputs) {
+      if (in == from) in = to;
+    }
+  }
+  if (output_ == from) output_ = to;
+}
+
+int Graph::prune_dead() {
+  // A node is live iff its value feeds the output through live consumers.
+  // Insertion order is topological, so one backward sweep settles liveness.
+  std::vector<bool> value_live(values_.size(), false);
+  if (output_ >= 0) value_live[static_cast<std::size_t>(output_)] = true;
+  int killed = 0;
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    Node& n = *it;
+    if (n.dead) continue;
+    if (value_live[static_cast<std::size_t>(n.out)]) {
+      for (ValueId in : n.inputs) value_live[static_cast<std::size_t>(in)] = true;
+    } else {
+      n.dead = true;
+      ++killed;
+    }
+  }
+  return killed;
+}
+
+std::string Graph::dump() const {
+  std::ostringstream os;
+  os << "graph {\n";
+  for (const Value& v : values_) {
+    if (v.id == input_) {
+      os << "  %" << v.id << " = input \"" << v.name << "\"\n";
+    } else if (v.is_const) {
+      os << "  %" << v.id << " = const " << shape_to_string(v.constant.shape()) << " \""
+         << v.name << "\"\n";
+    }
+  }
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    os << "  %" << n.out << " = " << op_kind_name(n.op) << "(";
+    const std::size_t plain =
+        (n.op == OpKind::kMatmul || n.op == OpKind::kDepthwise)
+            ? 2
+            : n.inputs.size();
+    for (std::size_t i = 0; i < plain && i < n.inputs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "%" << n.inputs[i];
+    }
+    os << ")";
+    if (n.attrs.has_bias) os << " +bias(%" << n.inputs[n.bias_input()] << ")";
+    if (n.attrs.has_bn) {
+      const std::size_t b = n.bn_input();
+      os << " +bn(%" << n.inputs[b] << ", %" << n.inputs[b + 1] << ", %" << n.inputs[b + 2]
+         << ", %" << n.inputs[b + 3] << ")";
+    }
+    switch (n.op) {
+      case OpKind::kIm2col:
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool:
+        os << " k=" << n.attrs.kernel << " s=" << n.attrs.stride;
+        if (n.op == OpKind::kIm2col) os << " p=" << n.attrs.pad;
+        break;
+      case OpKind::kReshape:
+        if (n.attrs.reshape == ReshapeKind::kConvNhwc) {
+          os << " conv_nhwc";
+        } else {
+          os << " dims=" << shape_to_string(n.attrs.dims);
+        }
+        break;
+      case OpKind::kPermute:
+        os << " perm=" << shape_to_string(n.attrs.dims);
+        break;
+      case OpKind::kSqrtAddScalar:
+        os << " eps=" << n.attrs.scalar;
+        break;
+      default:
+        break;
+    }
+    if (n.attrs.act == Activation::kRelu) os << " +relu";
+    if (n.attrs.act == Activation::kTanh) os << " +tanh";
+    os << "\n";
+  }
+  os << "  return %" << output_ << "\n}\n";
+  return os.str();
+}
+
+}  // namespace hero::ir

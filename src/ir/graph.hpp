@@ -1,0 +1,158 @@
+// Inference graph IR: the serving-side program representation.
+//
+// A Graph is a small SSA-style dataflow program over float tensors: Values
+// (graph input, weight constants, activations) produced by Nodes (ops).
+// It is compiled once per HPKG artifact load from the model spec's Module
+// tree (popart-style Op/Opx separation: this file is the "Op" side — pure
+// structure and metadata, no kernels), rewritten by the pattern pipeline
+// (src/ir/patterns.*), and executed through a pluggable backend registry
+// (src/ir/backend.*) under an arena buffer plan (src/ir/executor.*).
+//
+// Design constraints that shaped the IR:
+//  * Shapes are NOT stored on activation Values. The same compiled graph
+//    serves any batch size and image extent, so activation shapes (and conv
+//    geometry) are inferred per concrete input shape at plan time
+//    (executor.cpp); only constants carry concrete tensors here.
+//  * Node order IS the schedule. The builder appends in execution order and
+//    patterns only rewire consumers to earlier producers, so insertion order
+//    stays topological; schedule() filters dead nodes.
+//  * Fused epilogues (bias / batchnorm / activation on matmul & depthwise)
+//    are attribute flags plus extra inputs on the producer node, not new op
+//    kinds — the executor applies them as in-place passes whose per-element
+//    float op order is EXACTLY the legacy Module replay's, which is what
+//    keeps `executor=ir` bit-identical to `executor=module`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hero::ir {
+
+using ValueId = std::int32_t;
+using NodeId = std::int32_t;
+
+enum class OpKind {
+  kMatmul,         ///< [M,K]x[K,N] (+ optional bias/bn/act epilogue)
+  kDepthwise,      ///< fused mul+sum over patch axis: [R,C,KK]x[1,C,KK]->[R,C]
+  kIm2col,         ///< [N,C,H,W] -> [N*OH*OW, C*KH*KW] patch rows
+  kReshape,        ///< storage alias; extents from attrs (see ReshapeKind)
+  kPermute,        ///< data movement by axis permutation
+  kBatchNorm,      ///< eval-mode: ((x - mean) / denom) * gamma + beta, C = dim 1
+  kSqrtAddScalar,  ///< sqrt(x + eps): the BN denominator, const-foldable
+  kRelu,
+  kTanh,
+  kAdd,            ///< elementwise/broadcast add (+ optional act epilogue)
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,  ///< [N,C,H,W] -> [N,C] mean over H,W
+};
+
+const char* op_kind_name(OpKind op);
+
+/// Resolves a kReshape(kExplicit) dims spec against a concrete input shape:
+/// 0 copies the input extent at that axis, a single -1 is inferred from the
+/// remaining extents. Throws hero::Error when the element counts disagree.
+Shape resolve_reshape_dims(const Shape& input, const std::vector<std::int64_t>& dims);
+
+/// Fused activation applied as the last epilogue pass of a producer node.
+enum class Activation { kNone, kRelu, kTanh };
+
+/// How a kReshape node's concrete target extents are obtained at plan time.
+enum class ReshapeKind {
+  /// attrs.dims, where 0 copies the input extent at that axis and a single
+  /// -1 is inferred from the remaining extents.
+  kExplicit,
+  /// [N*OH*OW, C] -> [N, OH, OW, C]; N/OH/OW come from the im2col node named
+  /// by attrs.geom_node (the conv that produced this activation).
+  kConvNhwc,
+};
+
+struct NodeAttrs {
+  std::int64_t kernel = 0;  ///< im2col / pool window extent
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  /// kReshape(kExplicit) target extents, or kPermute axis order.
+  std::vector<std::int64_t> dims;
+  ReshapeKind reshape = ReshapeKind::kExplicit;
+  NodeId geom_node = -1;  ///< kReshape(kConvNhwc): source im2col node
+  float scalar = 0.0f;    ///< kSqrtAddScalar epsilon
+  Activation act = Activation::kNone;  ///< matmul/depthwise/add epilogue
+  /// Epilogue input layout on kMatmul/kDepthwise: inputs are
+  /// [a, b] [, bias] [, bn_mean, bn_denom, bn_gamma, bn_beta].
+  bool has_bias = false;
+  bool has_bn = false;
+};
+
+struct Value {
+  ValueId id = -1;
+  std::string name;     ///< diagnostic label ("x", "conv0.weight", "conv0.out")
+  NodeId producer = -1; ///< node writing this value; -1 for inputs/consts
+  bool is_const = false;
+  Tensor constant;      ///< concrete tensor when is_const
+};
+
+struct Node {
+  NodeId id = -1;
+  OpKind op = OpKind::kMatmul;
+  std::vector<ValueId> inputs;
+  ValueId out = -1;
+  NodeAttrs attrs;
+  bool dead = false;  ///< rewritten away; skipped by schedule() and dump()
+
+  /// First epilogue input index past [a, b] operands (kMatmul/kDepthwise).
+  std::size_t bias_input() const { return 2; }
+  std::size_t bn_input() const { return attrs.has_bias ? 3 : 2; }
+};
+
+class Graph {
+ public:
+  /// The single graph input (batched features). Must be called exactly once.
+  ValueId add_input(std::string name);
+  ValueId add_const(Tensor value, std::string name);
+  /// Appends a node (execution order = insertion order) producing one fresh
+  /// value, returned.
+  ValueId add_node(OpKind op, std::vector<ValueId> inputs, NodeAttrs attrs, std::string name);
+  void set_output(ValueId v);
+
+  ValueId input() const { return input_; }
+  ValueId output() const { return output_; }
+
+  const Value& value(ValueId id) const { return values_[static_cast<std::size_t>(id)]; }
+  Value& value(ValueId id) { return values_[static_cast<std::size_t>(id)]; }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t num_values() const { return values_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Live nodes in execution order.
+  std::vector<NodeId> schedule() const;
+
+  /// Number of live nodes consuming each value (graph output counts as one
+  /// extra use — it must stay materialized).
+  std::vector<int> use_counts() const;
+
+  /// Rewires every live consumer (and the graph output) from `from` to `to`.
+  void replace_uses(ValueId from, ValueId to);
+
+  /// Marks nodes whose value never reaches the output as dead. Returns the
+  /// number of nodes newly killed.
+  int prune_dead();
+
+  /// Stable textual form for golden tests and diagnostics: one line per live
+  /// node plus input/const declarations and the return value.
+  std::string dump() const;
+
+ private:
+  ValueId new_value(std::string name);
+
+  std::vector<Value> values_;
+  std::vector<Node> nodes_;
+  ValueId input_ = -1;
+  ValueId output_ = -1;
+};
+
+}  // namespace hero::ir

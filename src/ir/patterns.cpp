@@ -1,0 +1,184 @@
+#include "ir/patterns.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::ir {
+
+namespace {
+
+bool is_const(const Graph& g, ValueId v) { return g.value(v).is_const; }
+
+// Walks backwards through the single-use alias/data-movement chain that
+// separates a conv's matmul from its NCHW consumers: reshape(conv_nhwc) and
+// permute({0,3,1,2}). Both only move elements — per-element, BatchNorm and
+// activations commute with them bit-identically, and the channel axis (NCHW
+// dim 1) maps exactly onto the matmul/depthwise output column. Returns the
+// producer node id at the head of the chain, or -1.
+NodeId through_layout_chain(const Graph& g, ValueId v, const std::vector<int>& uses) {
+  while (true) {
+    const NodeId p = g.value(v).producer;
+    if (p < 0) return -1;
+    const Node& n = g.node(p);
+    if (n.dead) return -1;
+    // every chain link must feed only the op we are folding through
+    if (uses[static_cast<std::size_t>(v)] != 1) return -1;
+    if (n.op == OpKind::kReshape && n.attrs.reshape == ReshapeKind::kConvNhwc) {
+      v = n.inputs[0];
+      continue;
+    }
+    if (n.op == OpKind::kPermute && n.attrs.dims == std::vector<std::int64_t>{0, 3, 1, 2}) {
+      v = n.inputs[0];
+      continue;
+    }
+    return p;
+  }
+}
+
+// --- const_fold: evaluate nodes whose inputs are all constants ---------------
+// The evaluation uses the SAME tensor kernels the unfolded graph (and the
+// legacy forward) would run, so folded constants are bit-identical to
+// recomputing them every call.
+int apply_const_fold(Graph& g) {
+  int hits = 0;
+  for (const NodeId id : g.schedule()) {
+    Node& n = g.node(id);
+    bool all_const = !n.inputs.empty();
+    for (ValueId in : n.inputs) all_const = all_const && is_const(g, in);
+    if (!all_const) continue;
+    Tensor folded;
+    const Tensor& a = g.value(n.inputs[0]).constant;
+    switch (n.op) {
+      case OpKind::kReshape:
+        if (n.attrs.reshape != ReshapeKind::kExplicit) continue;
+        folded = a.reshape(resolve_reshape_dims(a.shape(), n.attrs.dims));
+        break;
+      case OpKind::kPermute:
+        folded = a.permute(n.attrs.dims);
+        break;
+      case OpKind::kSqrtAddScalar:
+        // Same two elementwise passes the legacy BatchNorm eval runs.
+        folded = hero::sqrt(add_scalar(a, n.attrs.scalar));
+        break;
+      default:
+        continue;
+    }
+    Value& out = g.value(n.out);
+    out.is_const = true;
+    out.constant = std::move(folded);
+    out.producer = -1;
+    n.dead = true;
+    ++hits;
+  }
+  return hits;
+}
+
+// --- fuse_matmul_bias: add(matmul(a, b), bias-vector) -> matmul epilogue -----
+int apply_fuse_matmul_bias(Graph& g) {
+  int hits = 0;
+  for (const NodeId id : g.schedule()) {
+    Node& add_n = g.node(id);
+    if (add_n.op != OpKind::kAdd || add_n.attrs.act != Activation::kNone) continue;
+    const std::vector<int> uses = g.use_counts();
+    const ValueId y = add_n.inputs[0];
+    const ValueId b = add_n.inputs[1];
+    if (!is_const(g, b) || g.value(b).constant.ndim() != 1) continue;
+    const NodeId p = g.value(y).producer;
+    if (p < 0 || uses[static_cast<std::size_t>(y)] != 1) continue;
+    Node& mm = g.node(p);
+    if (mm.dead || mm.op != OpKind::kMatmul) continue;
+    if (mm.attrs.has_bias || mm.attrs.has_bn || mm.attrs.act != Activation::kNone) continue;
+    mm.inputs.push_back(b);
+    mm.attrs.has_bias = true;
+    add_n.dead = true;
+    g.replace_uses(add_n.out, y);
+    ++hits;
+  }
+  return hits;
+}
+
+// --- fold_bn: batchnorm(layout_chain(matmul/depthwise)) -> producer epilogue -
+int apply_fold_bn(Graph& g) {
+  int hits = 0;
+  for (const NodeId id : g.schedule()) {
+    Node& bn = g.node(id);
+    if (bn.op != OpKind::kBatchNorm || bn.dead) continue;
+    const std::vector<int> uses = g.use_counts();
+    const ValueId x = bn.inputs[0];
+    const NodeId p = through_layout_chain(g, x, uses);
+    if (p < 0) continue;
+    Node& prod = g.node(p);
+    if (prod.op != OpKind::kMatmul && prod.op != OpKind::kDepthwise) continue;
+    if (prod.attrs.has_bn || prod.attrs.act != Activation::kNone) continue;
+    // inputs 1..4 of the bn node: mean, denom, gamma, beta (denom is the
+    // const-folded sqrt(var + eps) — or its live producing node's value
+    // when const_fold did not run; either way it is a value we can wire in).
+    prod.inputs.push_back(bn.inputs[1]);
+    prod.inputs.push_back(bn.inputs[2]);
+    prod.inputs.push_back(bn.inputs[3]);
+    prod.inputs.push_back(bn.inputs[4]);
+    prod.attrs.has_bn = true;
+    bn.dead = true;
+    g.replace_uses(bn.out, x);
+    ++hits;
+  }
+  return hits;
+}
+
+// --- fuse_activation: relu/tanh into its matmul/depthwise/add producer -------
+int apply_fuse_activation(Graph& g) {
+  int hits = 0;
+  for (const NodeId id : g.schedule()) {
+    Node& act_n = g.node(id);
+    if ((act_n.op != OpKind::kRelu && act_n.op != OpKind::kTanh) || act_n.dead) continue;
+    const std::vector<int> uses = g.use_counts();
+    const ValueId x = act_n.inputs[0];
+    const NodeId p = through_layout_chain(g, x, uses);
+    if (p < 0) continue;
+    Node& prod = g.node(p);
+    if (prod.op != OpKind::kMatmul && prod.op != OpKind::kDepthwise &&
+        prod.op != OpKind::kAdd) {
+      continue;
+    }
+    if (prod.attrs.act != Activation::kNone) continue;
+    prod.attrs.act = act_n.op == OpKind::kRelu ? Activation::kRelu : Activation::kTanh;
+    act_n.dead = true;
+    g.replace_uses(act_n.out, x);
+    ++hits;
+  }
+  return hits;
+}
+
+}  // namespace
+
+const std::vector<Pattern>& patterns() {
+  static const std::vector<Pattern> kPatterns = {
+      {"const_fold",
+       "evaluate const-expr chains (conv weight reshape/transpose, BN sqrt(var+eps)) once at "
+       "load time",
+       &apply_const_fold},
+      {"fuse_matmul_bias", "fold a const bias-vector add into the matmul epilogue",
+       &apply_fuse_matmul_bias},
+      {"fold_bn",
+       "fold eval-mode BatchNorm through conv layout ops into the matmul/depthwise epilogue",
+       &apply_fold_bn},
+      {"fuse_activation", "fuse relu/tanh into its matmul/depthwise/add producer",
+       &apply_fuse_activation},
+  };
+  return kPatterns;
+}
+
+std::vector<PatternHit> run_patterns(Graph& graph, const std::vector<std::string>& only) {
+  std::vector<PatternHit> hits;
+  for (const Pattern& p : patterns()) {
+    if (!only.empty()) {
+      bool wanted = false;
+      for (const std::string& name : only) wanted = wanted || name == p.name;
+      if (!wanted) continue;
+    }
+    hits.push_back({p.name, p.apply(graph)});
+  }
+  graph.prune_dead();
+  return hits;
+}
+
+}  // namespace hero::ir

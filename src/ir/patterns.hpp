@@ -1,0 +1,39 @@
+// Pattern-rewrite pipeline, run once per artifact load (ir/compile.cpp).
+//
+// Every rewrite here is BIT-PRESERVING: it never changes the per-element
+// float operation sequence, only when/where it runs. Folding a const-expr
+// chain runs the same kernels once at load time; fusing bias/BN/activation
+// into a matmul epilogue applies the same per-element ops in one in-place
+// pass instead of N broadcast passes with fresh allocations. That invariant
+// is what lets `executor=ir` default on while every deployment/serving
+// parity gate (bit-identical logits) keeps passing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace hero::ir {
+
+struct Pattern {
+  std::string name;
+  std::string description;
+  /// Applies the rewrite in place; returns the number of hits.
+  int (*apply)(Graph&);
+};
+
+/// Registered patterns in pipeline order (const_fold first so later matches
+/// see folded weights; fuse_activation last so it sees folded BN producers).
+const std::vector<Pattern>& patterns();
+
+struct PatternHit {
+  std::string name;
+  int hits = 0;
+};
+
+/// Runs `only` (or all registered patterns when empty) in registration
+/// order, then dead-code-eliminates. Returns per-pattern hit counts.
+std::vector<PatternHit> run_patterns(Graph& graph, const std::vector<std::string>& only = {});
+
+}  // namespace hero::ir

@@ -1,6 +1,7 @@
 #include "nn/blocks.hpp"
 
 #include "autograd/ops.hpp"
+#include "ir/builder.hpp"
 
 namespace hero::nn {
 
@@ -31,6 +32,25 @@ Variable ResidualBlock::forward(const Variable& x) {
   return ag::relu(ag::add(h, skip));
 }
 
+void ResidualBlock::lower(ir::GraphBuilder& builder) {
+  const ir::ValueId x = builder.current();
+  conv1_->lower(builder);
+  bn1_->lower(builder);
+  builder.relu();
+  conv2_->lower(builder);
+  bn2_->lower(builder);
+  const ir::ValueId h = builder.current();
+  ir::ValueId skip = x;
+  if (shortcut_conv_ != nullptr) {
+    builder.set_current(x);
+    shortcut_conv_->lower(builder);
+    shortcut_bn_->lower(builder);
+    skip = builder.current();
+  }
+  builder.add(h, skip);
+  builder.relu();
+}
+
 InvertedBottleneck::InvertedBottleneck(std::int64_t in_channels, std::int64_t out_channels,
                                        std::int64_t expansion, std::int64_t stride, Rng& rng)
     : Module("inverted_bottleneck"),
@@ -53,6 +73,19 @@ Variable InvertedBottleneck::forward(const Variable& x) {
   h = project_bn_->forward(project_conv_->forward(h));
   if (use_residual_) h = ag::add(h, x);
   return h;
+}
+
+void InvertedBottleneck::lower(ir::GraphBuilder& builder) {
+  const ir::ValueId x = builder.current();
+  expand_conv_->lower(builder);
+  expand_bn_->lower(builder);
+  builder.relu();
+  dw_conv_->lower(builder);
+  dw_bn_->lower(builder);
+  builder.relu();
+  project_conv_->lower(builder);
+  project_bn_->lower(builder);
+  if (use_residual_) builder.add(builder.current(), x);
 }
 
 }  // namespace hero::nn

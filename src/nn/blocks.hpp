@@ -15,6 +15,7 @@ class ResidualBlock : public Module {
   ResidualBlock(std::int64_t in_channels, std::int64_t out_channels, std::int64_t stride,
                 Rng& rng);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
  private:
   Module* conv1_;
@@ -33,6 +34,7 @@ class InvertedBottleneck : public Module {
   InvertedBottleneck(std::int64_t in_channels, std::int64_t out_channels,
                      std::int64_t expansion, std::int64_t stride, Rng& rng);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
  private:
   bool use_residual_;

@@ -5,6 +5,7 @@
 #include "autograd/functional.hpp"
 #include "autograd/ops.hpp"
 #include "common/check.hpp"
+#include "ir/builder.hpp"
 
 namespace hero::nn {
 
@@ -216,6 +217,46 @@ Variable Sequential::forward(const Variable& x) {
   Variable h = x;
   for (Module* layer : layers_) h = layer->forward(h);
   return h;
+}
+
+// ---- IR lowering ------------------------------------------------------------
+// Each override appends the op sequence its forward() runs, reading the
+// CURRENT parameter/buffer tensors (so deployment sessions lower the
+// dequantized weights). Kinds without an override inherit Module::lower's
+// throw and force the session back onto the legacy module executor.
+
+void Linear::lower(ir::GraphBuilder& builder) {
+  builder.linear(weight_->var.value(), bias_ != nullptr ? &bias_->var.value() : nullptr);
+}
+
+void Conv2d::lower(ir::GraphBuilder& builder) {
+  builder.conv2d(weight_->var.value(), bias_ != nullptr ? &bias_->var.value() : nullptr,
+                 kernel_, stride_, pad_);
+}
+
+void DepthwiseConv2d::lower(ir::GraphBuilder& builder) {
+  builder.depthwise_conv2d(weight_->var.value(), kernel_, stride_, pad_);
+}
+
+void BatchNorm2d::lower(ir::GraphBuilder& builder) {
+  builder.batchnorm2d(running_mean_->tensor, running_var_->tensor, gamma_->var.value(),
+                      beta_->var.value(), eps_);
+}
+
+void ReLU::lower(ir::GraphBuilder& builder) { builder.relu(); }
+
+void Tanh::lower(ir::GraphBuilder& builder) { builder.tanh_op(); }
+
+void MaxPool2d::lower(ir::GraphBuilder& builder) { builder.maxpool(kernel_, stride_); }
+
+void AvgPool2d::lower(ir::GraphBuilder& builder) { builder.avgpool(kernel_, stride_); }
+
+void GlobalAvgPool::lower(ir::GraphBuilder& builder) { builder.global_avg_pool(); }
+
+void Flatten::lower(ir::GraphBuilder& builder) { builder.flatten(); }
+
+void Sequential::lower(ir::GraphBuilder& builder) {
+  for (Module* layer : layers_) layer->lower(builder);
 }
 
 }  // namespace hero::nn

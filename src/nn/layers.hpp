@@ -16,6 +16,7 @@ class Linear : public Module {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool bias = true);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
   Parameter* weight() { return weight_; }
   Parameter* bias() { return bias_; }
@@ -33,6 +34,7 @@ class Conv2d : public Module {
   Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
          std::int64_t stride, std::int64_t pad, Rng& rng, bool bias = true);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
   Parameter* weight() { return weight_; }
 
@@ -53,6 +55,7 @@ class DepthwiseConv2d : public Module {
   DepthwiseConv2d(std::int64_t channels, std::int64_t kernel, std::int64_t stride,
                   std::int64_t pad, Rng& rng);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
   Parameter* weight() { return weight_; }
 
@@ -71,6 +74,7 @@ class BatchNorm2d : public Module {
  public:
   explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
   const Tensor& running_mean() const { return running_mean_->tensor; }
   const Tensor& running_var() const { return running_var_->tensor; }
@@ -105,18 +109,21 @@ class ReLU : public Module {
  public:
   ReLU() : Module("relu") {}
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 };
 
 class Tanh : public Module {
  public:
   Tanh() : Module("tanh") {}
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 };
 
 class MaxPool2d : public Module {
  public:
   MaxPool2d(std::int64_t kernel, std::int64_t stride);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
  private:
   std::int64_t kernel_;
@@ -127,6 +134,7 @@ class AvgPool2d : public Module {
  public:
   AvgPool2d(std::int64_t kernel, std::int64_t stride);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
  private:
   std::int64_t kernel_;
@@ -138,6 +146,7 @@ class GlobalAvgPool : public Module {
  public:
   GlobalAvgPool() : Module("global_avg_pool") {}
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 };
 
 /// Flattens [N, ...] -> [N, rest].
@@ -145,6 +154,7 @@ class Flatten : public Module {
  public:
   Flatten() : Module("flatten") {}
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 };
 
 /// Runs children in order.
@@ -154,6 +164,7 @@ class Sequential : public Module {
   /// Appends a layer; returns *this for chaining.
   Sequential& add(std::shared_ptr<Module> layer);
   Variable forward(const Variable& x) override;
+  void lower(ir::GraphBuilder& builder) override;
 
  private:
   std::vector<Module*> layers_;

@@ -6,6 +6,10 @@
 
 namespace hero::nn {
 
+void Module::lower(ir::GraphBuilder&) {
+  throw Error("module kind '" + kind_ + "' has no IR lowering");
+}
+
 std::vector<Parameter*> Module::parameters() {
   std::vector<Parameter*> out;
   collect_parameters(out);

@@ -14,6 +14,10 @@
 #include "autograd/variable.hpp"
 #include "tensor/io.hpp"
 
+namespace hero::ir {
+class GraphBuilder;
+}
+
 namespace hero::nn {
 
 using ag::Variable;
@@ -42,6 +46,14 @@ class Module {
   Module& operator=(const Module&) = delete;
 
   virtual Variable forward(const Variable& x) = 0;
+
+  /// Lowers this module's eval-mode forward into the inference IR (src/ir):
+  /// append the ops that transform builder.current() into this module's
+  /// output. Emitted weight constants alias the module's CURRENT parameter
+  /// tensors (post-dequantization for deployment sessions). The default
+  /// throws hero::Error — kinds without a lowering make the whole compile
+  /// fail and InferenceSession falls back to the legacy module executor.
+  virtual void lower(ir::GraphBuilder& builder);
 
   /// All parameters of this module and its children, in registration order.
   std::vector<Parameter*> parameters();

@@ -29,7 +29,7 @@ std::size_t ModelStore::install(const std::string& name,
   HERO_CHECK_MSG(!name.empty(), "ModelStore model name must be non-empty");
   // Decode outside the lock: rebuilding a model is the expensive part and a
   // hot-swap must not stall concurrent acquires of other models.
-  auto session = std::make_shared<deploy::InferenceSession>(artifact);
+  auto session = std::make_shared<deploy::InferenceSession>(artifact, config_.session);
   const std::size_t bytes = session->resident_bytes();
 
   common::MutexLock lock(mutex_);
@@ -48,6 +48,7 @@ std::size_t ModelStore::install(const std::string& name,
   it->session = std::move(session);  // old session drains via live handles
   it->last_used = ++clock_;
   it->stats.plan_label = it->session->plan_label();
+  it->stats.executor = it->session->executor_name();
   it->stats.average_bits = it->session->average_bits();
   it->stats.resident_bytes = bytes;
   // Peak records the transient occupancy BEFORE eviction trims back to the
@@ -78,6 +79,12 @@ SessionHandle ModelStore::try_acquire(const std::string& name) {
     if (entry.stats.name == name) {
       entry.last_used = ++clock_;
       entry.stats.acquires += 1;
+      // The IR executor's arenas grow as new input shapes are first served;
+      // re-reading keeps the LRU budget honest about real occupancy.
+      entry.stats.resident_bytes = entry.session->resident_bytes();
+      store_stats_.resident_bytes = resident_bytes_locked();
+      store_stats_.peak_resident_bytes =
+          std::max(store_stats_.peak_resident_bytes, store_stats_.resident_bytes);
       return entry.session;
     }
   }

@@ -42,7 +42,10 @@ using SessionHandle = std::shared_ptr<deploy::InferenceSession>;
 struct ModelStats {
   std::string name;
   std::string plan_label;   ///< provenance of the currently installed artifact
+  std::string executor;     ///< engine actually serving ("ir" or "module")
   double average_bits = 0.0;
+  /// Weights plus IR arena bytes; refreshed on every acquire because the
+  /// executor's arenas grow as new input shapes are first served.
   std::size_t resident_bytes = 0;
   std::int64_t acquires = 0;  ///< successful acquire()/try_acquire() calls
   std::int64_t swaps = 0;     ///< hot-swaps (installs over an existing name)
@@ -65,6 +68,9 @@ class ModelStore {
   struct Config {
     /// LRU budget over the summed resident_bytes of all entries.
     std::size_t max_bytes = std::size_t{256} * 1024 * 1024;
+    /// Session options every installed artifact is served with (executor
+    /// knob, IR pattern toggle, backend name).
+    deploy::SessionOptions session;
   };
 
   ModelStore() : ModelStore(Config{}) {}

@@ -28,11 +28,61 @@ Conv2dGeom make_geom(const Shape& input, std::int64_t kernel_h, std::int64_t ker
   return g;
 }
 
+namespace {
+
+// Per-thread recycling pool for im2col patch buffers, active while at least
+// one ScopedIm2colScratch is alive on this thread. Buffers persist across
+// scopes (the whole point: steady-state predict() reuses them); a buffer is
+// free for reuse when the pool holds the only reference.
+struct Im2colScratchPool {
+  int depth = 0;
+  std::vector<std::shared_ptr<std::vector<float>>> buffers;
+};
+
+Im2colScratchPool& scratch_pool() {
+  thread_local Im2colScratchPool pool;
+  return pool;
+}
+
+std::shared_ptr<std::vector<float>> acquire_scratch(std::size_t floats) {
+  Im2colScratchPool& pool = scratch_pool();
+  if (pool.depth == 0) return nullptr;
+  for (auto& buf : pool.buffers) {
+    if (buf.use_count() == 1) {
+      if (buf->size() < floats) buf->resize(floats);
+      return buf;
+    }
+  }
+  pool.buffers.push_back(std::make_shared<std::vector<float>>(floats));
+  return pool.buffers.back();
+}
+
+}  // namespace
+
+ScopedIm2colScratch::ScopedIm2colScratch() { ++scratch_pool().depth; }
+
+ScopedIm2colScratch::~ScopedIm2colScratch() { --scratch_pool().depth; }
+
+std::size_t ScopedIm2colScratch::pooled_buffers() { return scratch_pool().buffers.size(); }
+
 Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
   const std::int64_t patch = g.channels * g.kernel_h * g.kernel_w;
-  Tensor cols(Shape{g.batch * oh * ow, patch});
+  const Shape cols_shape{g.batch * oh * ow, patch};
+  auto pooled = acquire_scratch(static_cast<std::size_t>(shape_numel(cols_shape)));
+  Tensor cols = pooled ? Tensor::wrap(cols_shape, std::move(pooled)) : Tensor(cols_shape);
+  im2col_into(input, g, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& input, const Conv2dGeom& g, Tensor& cols) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t patch = g.channels * g.kernel_h * g.kernel_w;
+  HERO_CHECK_MSG(cols.ndim() == 2 && cols.dim(0) == g.batch * oh * ow && cols.dim(1) == patch,
+                 "im2col_into: cols shape " << shape_to_string(cols.shape())
+                                            << " does not match geometry");
   const float* src = input.data();
   float* dst = cols.data();
   // Partitioned over (batch, output row): every cols row is written by
@@ -59,7 +109,6 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
       }
     }
   });
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, const Conv2dGeom& g) {
@@ -102,9 +151,18 @@ Tensor col2im(const Tensor& cols, const Conv2dGeom& g) {
 
 Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride) {
   const Conv2dGeom g = make_geom(input.shape(), kernel, kernel, stride, /*pad=*/0);
+  Tensor out(Shape{g.batch, g.channels, g.out_h(), g.out_w()});
+  avgpool2d_into(input, kernel, stride, out);
+  return out;
+}
+
+void avgpool2d_into(const Tensor& input, std::int64_t kernel, std::int64_t stride, Tensor& out) {
+  const Conv2dGeom g = make_geom(input.shape(), kernel, kernel, stride, /*pad=*/0);
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
-  Tensor out(Shape{g.batch, g.channels, oh, ow});
+  HERO_CHECK_MSG(out.ndim() == 4 && out.dim(0) == g.batch && out.dim(1) == g.channels &&
+                     out.dim(2) == oh && out.dim(3) == ow,
+                 "avgpool2d_into: out shape mismatch");
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
   const float* src = input.data();
   float* dst = out.data();
@@ -123,7 +181,6 @@ Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride) 
       }
     }
   }
-  return out;
 }
 
 Tensor avgpool2d_backward(const Tensor& grad_out, const Conv2dGeom& g) {
@@ -152,6 +209,33 @@ Tensor avgpool2d_backward(const Tensor& grad_out, const Conv2dGeom& g) {
     }
   }
   return out;
+}
+
+void maxpool2d_into(const Tensor& input, std::int64_t kernel, std::int64_t stride, Tensor& out) {
+  const Conv2dGeom g = make_geom(input.shape(), kernel, kernel, stride, /*pad=*/0);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  HERO_CHECK_MSG(out.ndim() == 4 && out.dim(0) == g.batch && out.dim(1) == g.channels &&
+                     out.dim(2) == oh && out.dim(3) == ow,
+                 "maxpool2d_into: out shape mismatch");
+  const float* src = input.data();
+  float* dst = out.data();
+  std::int64_t out_i = 0;
+  for (std::int64_t nc = 0; nc < g.batch * g.channels; ++nc) {
+    const float* plane = src + nc * g.in_h * g.in_w;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            const std::int64_t at = (y * stride + ky) * g.in_w + (x * stride + kx);
+            if (plane[at] > best) best = plane[at];
+          }
+        }
+        dst[out_i++] = best;
+      }
+    }
+  }
 }
 
 MaxPoolResult maxpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride) {

@@ -37,12 +37,44 @@ Conv2dGeom make_geom(const Shape& input, std::int64_t kernel_h, std::int64_t ker
 /// (zero padding). Linear in the input.
 Tensor im2col(const Tensor& input, const Conv2dGeom& g);
 
+/// im2col writing into a caller-owned [N*OH*OW, C*KH*KW] tensor. Every
+/// element (including padding zeros) is written, so recycled arena/scratch
+/// buffers with stale contents are safe. Bit-identical to im2col().
+void im2col_into(const Tensor& input, const Conv2dGeom& g, Tensor& out);
+
+/// RAII scope that routes im2col() patch buffers through a per-thread
+/// recycling pool instead of fresh heap allocations. InferenceSession's
+/// legacy Module path activates this around each predict(): Module::forward
+/// cannot thread a scratch buffer through the autograd layer, but under
+/// ag::NoGradGuard the cols tensor dies right after the conv's matmul, so
+/// its storage is free for the next conv (use_count()==1 test). Buffers are
+/// per-thread (thread_local) and persist across scopes so steady-state
+/// predict() stops allocating patch buffers entirely.
+class ScopedIm2colScratch {
+ public:
+  ScopedIm2colScratch();
+  ~ScopedIm2colScratch();
+  ScopedIm2colScratch(const ScopedIm2colScratch&) = delete;
+  ScopedIm2colScratch& operator=(const ScopedIm2colScratch&) = delete;
+
+  /// Buffers currently pooled on this thread (tests).
+  static std::size_t pooled_buffers();
+};
+
 /// Transpose of im2col: folds patch rows back into [N, C, H, W],
 /// accumulating overlapping contributions.
 Tensor col2im(const Tensor& cols, const Conv2dGeom& g);
 
 /// Average pooling over kernel windows; returns [N, C, OH, OW].
 Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride);
+
+/// avgpool2d into a caller-owned [N, C, OH, OW] tensor (bit-identical).
+void avgpool2d_into(const Tensor& input, std::int64_t kernel, std::int64_t stride, Tensor& out);
+
+/// Forward-only max pooling into a caller-owned [N, C, OH, OW] tensor — no
+/// argmax side table (inference needs no backward scatter). Bit-identical to
+/// maxpool2d().output.
+void maxpool2d_into(const Tensor& input, std::int64_t kernel, std::int64_t stride, Tensor& out);
 
 /// Transpose of avgpool2d: spreads gradients back uniformly over windows.
 Tensor avgpool2d_backward(const Tensor& grad_out, const Conv2dGeom& g);

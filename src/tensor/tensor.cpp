@@ -159,6 +159,26 @@ Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
   return t;
 }
 
+Tensor Tensor::wrap(Shape shape, std::shared_ptr<std::vector<float>> storage) {
+  HERO_CHECK_MSG(storage != nullptr, "wrap: null storage");
+  HERO_CHECK_MSG(static_cast<std::int64_t>(storage->size()) >= shape_numel(shape),
+                 "wrap: storage of " << storage->size() << " floats too small for shape "
+                                     << shape_to_string(shape));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  t.storage_ = std::move(storage);
+  return t;
+}
+
+void Tensor::rebind_storage(std::shared_ptr<std::vector<float>> storage) {
+  HERO_CHECK_MSG(storage != nullptr, "rebind_storage: null storage");
+  HERO_CHECK_MSG(static_cast<std::int64_t>(storage->size()) >= numel_,
+                 "rebind_storage: storage of " << storage->size() << " floats too small for "
+                                               << shape_to_string(shape_));
+  storage_ = std::move(storage);
+}
+
 Tensor Tensor::randn(Shape shape, Rng& rng) {
   Tensor t(std::move(shape));
   float* p = t.data();
@@ -562,6 +582,12 @@ Tensor step_positive(const Tensor& a) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out(Shape{a.ndim() == 2 ? a.dim(0) : 0, b.ndim() == 2 ? b.dim(1) : 0});
+  matmul_into(a, b, out);
+  return out;
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   HERO_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2,
                  "matmul expects rank-2 operands, got " << shape_to_string(a.shape()) << " x "
                                                         << shape_to_string(b.shape()));
@@ -571,7 +597,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   HERO_CHECK_MSG(b.dim(0) == k, "matmul inner extents differ: " << shape_to_string(a.shape())
                                                                 << " x "
                                                                 << shape_to_string(b.shape()));
-  Tensor out(Shape{m, n});
+  HERO_CHECK_MSG(out.ndim() == 2 && out.dim(0) == m && out.dim(1) == n,
+                 "matmul_into: out shape " << shape_to_string(out.shape()) << " != ["
+                                           << m << ", " << n << "]");
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -585,6 +613,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   constexpr std::int64_t kKBlock = 64;
   const std::int64_t grain = std::max<std::int64_t>(1, 32768 / std::max<std::int64_t>(1, k * n));
   runtime::parallel_for(0, m, grain, [&](std::int64_t row0, std::int64_t row1) {
+    // out may be a recycled arena slot with stale contents; accumulation
+    // starts from an explicit zero (exact, order-independent).
+    std::fill(po + row0 * n, po + row1 * n, 0.0f);
     for (std::int64_t kb = 0; kb < k; kb += kKBlock) {
       const std::int64_t kend = std::min(k, kb + kKBlock);
       for (std::int64_t i = row0; i < row1; ++i) {
@@ -598,7 +629,6 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       }
     }
   });
-  return out;
 }
 
 Tensor sum_to(const Tensor& t, const Shape& target) {

@@ -57,6 +57,20 @@ class Tensor {
   static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
   /// arange(n): [0, 1, ..., n-1] as a 1-D tensor.
   static Tensor arange(std::int64_t n);
+  /// Aliases an existing storage buffer without copying. The buffer may be
+  /// LARGER than shape_numel(shape) — the arena planner hands out slots sized
+  /// for the largest tensor that ever occupies them. Tensors built this way
+  /// must only be written through kernels that address [0, numel) (fill_
+  /// touches the whole buffer, so it is off-limits for wrapped tensors).
+  static Tensor wrap(Shape shape, std::shared_ptr<std::vector<float>> storage);
+
+  /// The shared storage buffer (for scratch pools that recycle buffers once
+  /// use_count() drops back to the pool's own reference).
+  const std::shared_ptr<std::vector<float>>& storage() const { return storage_; }
+  /// Re-points this tensor at another buffer of at least numel() floats
+  /// without reallocating the Shape — the executor's zero-allocation output
+  /// rebind. Other tensors sharing the old buffer are unaffected.
+  void rebind_storage(std::shared_ptr<std::vector<float>> storage);
 
   // ---- Introspection ------------------------------------------------------
   const Shape& shape() const { return shape_; }
@@ -162,6 +176,10 @@ Tensor step_positive(const Tensor& a);
 // ---- Linear algebra ---------------------------------------------------------
 /// Matrix product of [M, K] x [K, N] -> [M, N].
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Same kernel writing into a caller-owned [M, N] tensor (zeroed first, then
+/// accumulated in the identical ascending-k order — bit-identical to
+/// matmul()). The IR executor uses this to run GEMMs into arena slots.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 // ---- Shape manipulation -----------------------------------------------------
 /// Sums `t` down to `target` (inverse of broadcasting); shapes must be

@@ -1,0 +1,187 @@
+// Executor-layer tests: per-shape inference, arena-planner liveness
+// invariants (slot sharing without overlap, reshape aliasing, unslotted
+// input/output groups), and executor error/statistics behavior.
+#include "ir/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "ir/compile.hpp"
+#include "ir/graph.hpp"
+#include "nn/models.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::ir {
+namespace {
+
+/// x -> matmul chain of `depth` layers, each [dim, dim].
+Graph make_chain(int depth, std::int64_t dim, std::vector<ValueId>* outs = nullptr) {
+  Graph g;
+  Rng rng(51);
+  ValueId cur = g.add_input("x");
+  for (int i = 0; i < depth; ++i) {
+    const ValueId w = g.add_const(Tensor::randn({dim, dim}, rng),
+                                  "w" + std::to_string(i));
+    cur = g.add_node(OpKind::kMatmul, {cur, w}, {}, "y" + std::to_string(i));
+    if (outs != nullptr) outs->push_back(cur);
+  }
+  g.set_output(cur);
+  return g;
+}
+
+TEST(InferShapes, MatmulChainAndMismatch) {
+  const Graph g = make_chain(2, 3);
+  const ShapeInfo info = infer_shapes(g, {5, 3});
+  EXPECT_EQ(info.value_shapes[static_cast<std::size_t>(g.output())], (Shape{5, 3}));
+  // Inner-dimension mismatch is a bad model input, reported as hero::Error.
+  EXPECT_THROW(infer_shapes(g, {5, 4}), Error);
+}
+
+TEST(InferShapes, ConvLayoutChain) {
+  Graph g;
+  Rng rng(53);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({27, 5}, rng), "w");
+  NodeAttrs ic;
+  ic.kernel = 3;
+  ic.stride = 1;
+  ic.pad = 1;
+  const ValueId cols = g.add_node(OpKind::kIm2col, {x}, ic, "cols");
+  const ValueId y = g.add_node(OpKind::kMatmul, {cols, w}, {}, "y");
+  NodeAttrs nhwc;
+  nhwc.reshape = ReshapeKind::kConvNhwc;
+  nhwc.geom_node = g.value(cols).producer;
+  const ValueId r = g.add_node(OpKind::kReshape, {y}, nhwc, "r");
+  NodeAttrs pm;
+  pm.dims = {0, 3, 1, 2};
+  const ValueId out = g.add_node(OpKind::kPermute, {r}, pm, "out");
+  g.set_output(out);
+
+  const ShapeInfo info = infer_shapes(g, {2, 3, 8, 8});
+  EXPECT_EQ(info.value_shapes[static_cast<std::size_t>(cols)], (Shape{128, 27}));
+  EXPECT_EQ(info.value_shapes[static_cast<std::size_t>(y)], (Shape{128, 5}));
+  EXPECT_EQ(info.value_shapes[static_cast<std::size_t>(r)], (Shape{2, 8, 8, 5}));
+  EXPECT_EQ(info.value_shapes[static_cast<std::size_t>(out)], (Shape{2, 5, 8, 8}));
+  // Window geometry was resolved for the im2col node.
+  const auto im2col_node = static_cast<std::size_t>(g.value(cols).producer);
+  EXPECT_EQ(info.node_geom[im2col_node].out_h(), 8);
+  EXPECT_EQ(info.node_geom[im2col_node].out_w(), 8);
+}
+
+TEST(PlanArena, NonOverlappingLiveRangesShareASlot) {
+  std::vector<ValueId> outs;
+  const Graph g = make_chain(4, 3, &outs);
+  const ShapeInfo info = infer_shapes(g, {5, 3});
+  const ArenaPlan plan = plan_arena(g, info.value_shapes);
+
+  const auto group = [&](ValueId v) {
+    return plan.group_of_value[static_cast<std::size_t>(v)];
+  };
+  // y0 dies when y1 is produced, so y2 can recycle y0's slot; adjacent
+  // values (producer reads while consumer writes) never share.
+  EXPECT_EQ(plan.slot_of_group[static_cast<std::size_t>(group(outs[0]))],
+            plan.slot_of_group[static_cast<std::size_t>(group(outs[2]))]);
+  EXPECT_NE(plan.slot_of_group[static_cast<std::size_t>(group(outs[0]))],
+            plan.slot_of_group[static_cast<std::size_t>(group(outs[1]))]);
+  // Two slots cover the whole four-layer chain: 2 * 5*3 floats.
+  EXPECT_EQ(plan.slot_floats.size(), 2u);
+  EXPECT_EQ(plan.arena_floats(), 30);
+
+  // Constants never join an alias group.
+  for (std::size_t v = 0; v < g.num_values(); ++v) {
+    if (g.value(static_cast<ValueId>(v)).is_const) {
+      EXPECT_EQ(plan.group_of_value[v], -1);
+    }
+  }
+}
+
+TEST(PlanArena, InputAndOutputGroupsStayUnslotted) {
+  std::vector<ValueId> outs;
+  const Graph g = make_chain(2, 3, &outs);
+  const ShapeInfo info = infer_shapes(g, {4, 3});
+  const ArenaPlan plan = plan_arena(g, info.value_shapes);
+
+  ASSERT_GE(plan.input_group, 0);
+  ASSERT_GE(plan.output_group, 0);
+  EXPECT_NE(plan.input_group, plan.output_group);
+  // Caller storage backs the input; the recycled pool backs the output —
+  // neither may claim an arena slot.
+  EXPECT_EQ(plan.slot_of_group[static_cast<std::size_t>(plan.input_group)], -1);
+  EXPECT_EQ(plan.slot_of_group[static_cast<std::size_t>(plan.output_group)], -1);
+  EXPECT_EQ(plan.group_of_value[static_cast<std::size_t>(g.input())], plan.input_group);
+  EXPECT_EQ(plan.group_of_value[static_cast<std::size_t>(g.output())],
+            plan.output_group);
+}
+
+TEST(PlanArena, ReshapeAliasesItsInputGroup) {
+  Graph g;
+  Rng rng(57);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({6, 6}, rng), "w");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  NodeAttrs rs;
+  rs.dims = {-1, 2, 3};
+  const ValueId r = g.add_node(OpKind::kReshape, {y}, rs, "r");
+  NodeAttrs pm;
+  pm.dims = {0, 2, 1};
+  const ValueId out = g.add_node(OpKind::kPermute, {r}, pm, "out");
+  g.set_output(out);
+
+  const ShapeInfo info = infer_shapes(g, {4, 6});
+  const ArenaPlan plan = plan_arena(g, info.value_shapes);
+  // The alias must not extend the arena: one slot for y/r, none for out
+  // (output group), none for x (input group).
+  EXPECT_EQ(plan.group_of_value[static_cast<std::size_t>(y)],
+            plan.group_of_value[static_cast<std::size_t>(r)]);
+  EXPECT_EQ(plan.slot_floats.size(), 1u);
+}
+
+TEST(Executor, RejectsUnknownBackend) {
+  Rng rng(59);
+  auto model = nn::make_model("mlp", 2, 4, rng);
+  model->set_training(false);
+  const Compiled compiled = compile(*model, nn::canonical_model_spec("mlp", 2, 4));
+  EXPECT_THROW(Executor(compiled, "no_such_backend"), Error);
+}
+
+TEST(Executor, CachesOneContextPerShape) {
+  Rng rng(61);
+  auto model = nn::make_model("mlp", 2, 4, rng);
+  model->set_training(false);
+  const Compiled compiled = compile(*model, nn::canonical_model_spec("mlp", 2, 4));
+  Executor executor(compiled);
+
+  Rng data_rng(63);
+  const Tensor a = Tensor::randn({3, 2}, data_rng);
+  const Tensor b = Tensor::randn({7, 2}, data_rng);
+  executor.run(a);
+  executor.run(a);
+  EXPECT_EQ(executor.arena_stats().contexts, 1u);
+  executor.run(b);
+  const ArenaStats stats = executor.arena_stats();
+  EXPECT_EQ(stats.contexts, 2u);
+  EXPECT_GT(stats.high_water_bytes, 0u);
+  EXPECT_GE(stats.total_bytes, stats.high_water_bytes);
+}
+
+TEST(Executor, SequentialCallsReuseTheOutputPool) {
+  Rng rng(67);
+  auto model = nn::make_model("mlp", 2, 4, rng);
+  model->set_training(false);
+  const Compiled compiled = compile(*model, nn::canonical_model_spec("mlp", 2, 4));
+  Executor executor(compiled);
+
+  Rng data_rng(69);
+  const Tensor x = Tensor::randn({5, 2}, data_rng);
+  const Tensor first = executor.run(x).clone();  // detach from the pool
+  for (int i = 0; i < 8; ++i) {
+    // Dropping each result frees its pool entry before the next call.
+    EXPECT_TRUE(bitwise_equal(executor.run(x), first));
+  }
+  EXPECT_EQ(executor.arena_stats().contexts, 1u);
+}
+
+}  // namespace
+}  // namespace hero::ir

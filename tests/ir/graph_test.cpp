@@ -1,0 +1,126 @@
+// Graph IR structure tests: golden textual dumps, reshape-dims resolution,
+// use counting, consumer rewiring, and dead-code elimination — the "Op" side
+// of the Op/backend split, with no kernels involved.
+#include "ir/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::ir {
+namespace {
+
+TEST(GraphDump, GoldenTextForHandBuiltChain) {
+  Graph g;
+  Rng rng(3);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 3}, rng), "w");
+  const ValueId b = g.add_const(Tensor::randn({3}, rng), "b");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  NodeAttrs add_attrs;
+  const ValueId z = g.add_node(OpKind::kAdd, {y, b}, add_attrs, "z");
+  NodeAttrs act_attrs;
+  const ValueId r = g.add_node(OpKind::kRelu, {z}, act_attrs, "r");
+  g.set_output(r);
+
+  EXPECT_EQ(g.dump(),
+            "graph {\n"
+            "  %0 = input \"x\"\n"
+            "  %1 = const [2, 3] \"w\"\n"
+            "  %2 = const [3] \"b\"\n"
+            "  %3 = matmul(%0, %1)\n"
+            "  %4 = add(%3, %2)\n"
+            "  %5 = relu(%4)\n"
+            "  return %5\n"
+            "}\n");
+}
+
+TEST(GraphDump, EpilogueFlagsAndWindowAttrs) {
+  Graph g;
+  Rng rng(5);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({27, 4}, rng), "w");
+  const ValueId bias = g.add_const(Tensor::randn({4}, rng), "bias");
+  NodeAttrs im2col;
+  im2col.kernel = 3;
+  im2col.stride = 1;
+  im2col.pad = 1;
+  const ValueId cols = g.add_node(OpKind::kIm2col, {x}, im2col, "cols");
+  NodeAttrs mm;
+  mm.has_bias = true;
+  mm.act = Activation::kRelu;
+  const ValueId y = g.add_node(OpKind::kMatmul, {cols, w, bias}, mm, "y");
+  NodeAttrs nhwc;
+  nhwc.reshape = ReshapeKind::kConvNhwc;
+  nhwc.geom_node = g.value(cols).producer;
+  const ValueId r = g.add_node(OpKind::kReshape, {y}, nhwc, "r");
+  NodeAttrs perm;
+  perm.dims = {0, 3, 1, 2};
+  const ValueId out = g.add_node(OpKind::kPermute, {r}, perm, "out");
+  g.set_output(out);
+
+  EXPECT_EQ(g.dump(),
+            "graph {\n"
+            "  %0 = input \"x\"\n"
+            "  %1 = const [27, 4] \"w\"\n"
+            "  %2 = const [4] \"bias\"\n"
+            "  %3 = im2col(%0) k=3 s=1 p=1\n"
+            "  %4 = matmul(%3, %1) +bias(%2) +relu\n"
+            "  %5 = reshape(%4) conv_nhwc\n"
+            "  %6 = permute(%5) perm=[0, 3, 1, 2]\n"
+            "  return %6\n"
+            "}\n");
+}
+
+TEST(ResolveReshapeDims, ZeroCopiesAndMinusOneInfers) {
+  EXPECT_EQ(resolve_reshape_dims({4, 3, 8, 8}, {0, -1}), (Shape{4, 192}));
+  EXPECT_EQ(resolve_reshape_dims({4, 6}, {2, 2, 6}), (Shape{2, 2, 6}));
+  EXPECT_EQ(resolve_reshape_dims({4, 6}, {0, 0}), (Shape{4, 6}));
+}
+
+TEST(ResolveReshapeDims, ThrowsOnElementCountMismatch) {
+  EXPECT_THROW(resolve_reshape_dims({4, 6}, {5, 5}), Error);
+  EXPECT_THROW(resolve_reshape_dims({4, 6}, {-1, -1}), Error);
+}
+
+TEST(GraphLiveness, UseCountsIncludeOutputAndSkipDeadNodes) {
+  Graph g;
+  Rng rng(7);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 2}, rng), "w");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  const ValueId z = g.add_node(OpKind::kRelu, {y}, {}, "z");
+  g.set_output(z);
+
+  std::vector<int> uses = g.use_counts();
+  EXPECT_EQ(uses[static_cast<std::size_t>(y)], 1);
+  EXPECT_EQ(uses[static_cast<std::size_t>(z)], 1);  // the graph output itself
+
+  // Rewire the output past the relu: the relu becomes dead weight.
+  g.replace_uses(z, y);
+  EXPECT_EQ(g.output(), y);
+  EXPECT_EQ(g.prune_dead(), 1);
+  EXPECT_EQ(g.schedule().size(), 1u);
+  EXPECT_EQ(g.schedule()[0], g.value(y).producer);
+  uses = g.use_counts();
+  EXPECT_EQ(uses[static_cast<std::size_t>(y)], 1);  // output only
+}
+
+TEST(GraphLiveness, PruneDeadKillsUnreachableChains) {
+  Graph g;
+  Rng rng(9);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 2}, rng), "w");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  // A side chain nothing consumes.
+  const ValueId s1 = g.add_node(OpKind::kRelu, {y}, {}, "s1");
+  g.add_node(OpKind::kTanh, {s1}, {}, "s2");
+  g.set_output(y);
+
+  EXPECT_EQ(g.prune_dead(), 2);
+  EXPECT_EQ(g.schedule().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hero::ir

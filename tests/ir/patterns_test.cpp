@@ -1,0 +1,230 @@
+// Pattern-rewrite golden tests: each rewrite's before/after IR text, its hit
+// count, and the invariants that keep the pipeline bit-preserving (folded
+// constants come from the same kernels, shared producers are never fused).
+#include "ir/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ir/compile.hpp"
+#include "ir/graph.hpp"
+#include "nn/models.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hero::ir {
+namespace {
+
+int hits_for(const std::vector<PatternHit>& hits, const std::string& name) {
+  for (const PatternHit& h : hits) {
+    if (h.name == name) return h.hits;
+  }
+  return -1;
+}
+
+TEST(ConstFold, FoldsPermuteOfConstToGoldenDump) {
+  Graph g;
+  Rng rng(11);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({3, 2}, rng), "w");
+  NodeAttrs perm;
+  perm.dims = {1, 0};
+  const ValueId wt = g.add_node(OpKind::kPermute, {w}, perm, "w.T");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, wt}, {}, "y");
+  g.set_output(y);
+
+  const std::vector<PatternHit> hits = run_patterns(g, {"const_fold"});
+  EXPECT_EQ(hits_for(hits, "const_fold"), 1);
+  EXPECT_EQ(g.dump(),
+            "graph {\n"
+            "  %0 = input \"x\"\n"
+            "  %1 = const [3, 2] \"w\"\n"
+            "  %2 = const [2, 3] \"w.T\"\n"
+            "  %3 = matmul(%0, %2)\n"
+            "  return %3\n"
+            "}\n");
+  // The folded constant is the permute kernel's own output, bit for bit.
+  EXPECT_TRUE(bitwise_equal(g.value(wt).constant,
+                            g.value(w).constant.permute({1, 0})));
+}
+
+TEST(ConstFold, FoldsBnDenominatorWithSameKernels) {
+  Graph g;
+  Rng rng(13);
+  const Tensor var = add_scalar(hero::abs(Tensor::randn({4}, rng)), 0.1f);
+  const ValueId x = g.add_input("x");
+  const ValueId v = g.add_const(var, "bn.var");
+  const ValueId w = g.add_const(Tensor::randn({2, 4}, rng), "w");
+  NodeAttrs eps;
+  eps.scalar = 0.5f;
+  const ValueId d = g.add_node(OpKind::kSqrtAddScalar, {v}, eps, "bn.denom");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  const ValueId z = g.add_node(OpKind::kAdd, {y, d}, {}, "z");
+  g.set_output(z);
+
+  const std::vector<PatternHit> hits = run_patterns(g, {"const_fold"});
+  EXPECT_EQ(hits_for(hits, "const_fold"), 1);
+  ASSERT_TRUE(g.value(d).is_const);
+  // Exactly sqrt(var + eps) through the legacy elementwise kernels.
+  EXPECT_TRUE(bitwise_equal(g.value(d).constant, hero::sqrt(add_scalar(var, 0.5f))));
+}
+
+TEST(FuseMatmulBias, FoldsConstVectorAddIntoEpilogue) {
+  Graph g;
+  Rng rng(17);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 3}, rng), "w");
+  const ValueId b = g.add_const(Tensor::randn({3}, rng), "b");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  const ValueId z = g.add_node(OpKind::kAdd, {y, b}, {}, "z");
+  g.set_output(z);
+
+  const std::vector<PatternHit> hits = run_patterns(g, {"fuse_matmul_bias"});
+  EXPECT_EQ(hits_for(hits, "fuse_matmul_bias"), 1);
+  EXPECT_EQ(g.dump(),
+            "graph {\n"
+            "  %0 = input \"x\"\n"
+            "  %1 = const [2, 3] \"w\"\n"
+            "  %2 = const [3] \"b\"\n"
+            "  %3 = matmul(%0, %1) +bias(%2)\n"
+            "  return %3\n"
+            "}\n");
+}
+
+TEST(FuseMatmulBias, SkipsSharedMatmulOutput) {
+  // The matmul's value feeds a second consumer, so folding the add into it
+  // would change what that consumer reads — the pattern must not fire.
+  Graph g;
+  Rng rng(19);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 3}, rng), "w");
+  const ValueId b = g.add_const(Tensor::randn({3}, rng), "b");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  const ValueId z = g.add_node(OpKind::kAdd, {y, b}, {}, "z");
+  const ValueId s = g.add_node(OpKind::kAdd, {z, y}, {}, "s");  // second use of y
+  g.set_output(s);
+
+  const std::vector<PatternHit> hits = run_patterns(g, {"fuse_matmul_bias"});
+  EXPECT_EQ(hits_for(hits, "fuse_matmul_bias"), 0);
+  EXPECT_FALSE(g.node(g.value(y).producer).attrs.has_bias);
+}
+
+TEST(FoldBn, FoldsThroughConvLayoutChainToGoldenDump) {
+  Graph g;
+  Rng rng(23);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({27, 4}, rng), "w");
+  const ValueId mean = g.add_const(Tensor::randn({4}, rng), "bn.mean");
+  const ValueId denom = g.add_const(add_scalar(hero::abs(Tensor::randn({4}, rng)), 1.0f),
+                                    "bn.denom");
+  const ValueId gamma = g.add_const(Tensor::randn({4}, rng), "bn.gamma");
+  const ValueId beta = g.add_const(Tensor::randn({4}, rng), "bn.beta");
+  NodeAttrs im2col;
+  im2col.kernel = 3;
+  im2col.stride = 1;
+  im2col.pad = 1;
+  const ValueId cols = g.add_node(OpKind::kIm2col, {x}, im2col, "cols");
+  const ValueId y = g.add_node(OpKind::kMatmul, {cols, w}, {}, "y");
+  NodeAttrs nhwc;
+  nhwc.reshape = ReshapeKind::kConvNhwc;
+  nhwc.geom_node = g.value(cols).producer;
+  const ValueId r = g.add_node(OpKind::kReshape, {y}, nhwc, "r");
+  NodeAttrs perm;
+  perm.dims = {0, 3, 1, 2};
+  const ValueId p = g.add_node(OpKind::kPermute, {r}, perm, "p");
+  const ValueId bn =
+      g.add_node(OpKind::kBatchNorm, {p, mean, denom, gamma, beta}, {}, "bn");
+  g.set_output(bn);
+
+  const std::vector<PatternHit> hits = run_patterns(g, {"fold_bn"});
+  EXPECT_EQ(hits_for(hits, "fold_bn"), 1);
+  EXPECT_EQ(g.dump(),
+            "graph {\n"
+            "  %0 = input \"x\"\n"
+            "  %1 = const [27, 4] \"w\"\n"
+            "  %2 = const [4] \"bn.mean\"\n"
+            "  %3 = const [4] \"bn.denom\"\n"
+            "  %4 = const [4] \"bn.gamma\"\n"
+            "  %5 = const [4] \"bn.beta\"\n"
+            "  %6 = im2col(%0) k=3 s=1 p=1\n"
+            "  %7 = matmul(%6, %1) +bn(%2, %3, %4, %5)\n"
+            "  %8 = reshape(%7) conv_nhwc\n"
+            "  %9 = permute(%8) perm=[0, 3, 1, 2]\n"
+            "  return %9\n"
+            "}\n");
+}
+
+TEST(FuseActivation, FusesReluIntoMatmulProducer) {
+  Graph g;
+  Rng rng(29);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 3}, rng), "w");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  const ValueId r = g.add_node(OpKind::kRelu, {y}, {}, "r");
+  g.set_output(r);
+
+  const std::vector<PatternHit> hits = run_patterns(g, {"fuse_activation"});
+  EXPECT_EQ(hits_for(hits, "fuse_activation"), 1);
+  EXPECT_EQ(g.dump(),
+            "graph {\n"
+            "  %0 = input \"x\"\n"
+            "  %1 = const [2, 3] \"w\"\n"
+            "  %2 = matmul(%0, %1) +relu\n"
+            "  return %2\n"
+            "}\n");
+}
+
+TEST(PatternPipeline, FullPipelineFusesLinearLayerInOnePass) {
+  // matmul -> +bias -> relu collapses to one node with both epilogues when
+  // the registered pipeline runs in order.
+  Graph g;
+  Rng rng(31);
+  const ValueId x = g.add_input("x");
+  const ValueId w = g.add_const(Tensor::randn({2, 3}, rng), "w");
+  const ValueId b = g.add_const(Tensor::randn({3}, rng), "b");
+  const ValueId y = g.add_node(OpKind::kMatmul, {x, w}, {}, "y");
+  const ValueId z = g.add_node(OpKind::kAdd, {y, b}, {}, "z");
+  const ValueId r = g.add_node(OpKind::kRelu, {z}, {}, "r");
+  g.set_output(r);
+
+  run_patterns(g);
+  EXPECT_EQ(g.schedule().size(), 1u);
+  const Node& mm = g.node(g.schedule()[0]);
+  EXPECT_EQ(mm.op, OpKind::kMatmul);
+  EXPECT_TRUE(mm.attrs.has_bias);
+  EXPECT_EQ(mm.attrs.act, Activation::kRelu);
+}
+
+TEST(PatternPipeline, RegisteredOrderEndsWithActivationFusion) {
+  const std::vector<Pattern>& pipeline = patterns();
+  ASSERT_EQ(pipeline.size(), 4u);
+  EXPECT_EQ(pipeline.front().name, "const_fold");
+  EXPECT_EQ(pipeline.back().name, "fuse_activation");
+}
+
+TEST(CompilePipeline, RealModelLosesAllStandaloneBnAndActivationNodes) {
+  Rng rng(37);
+  auto model = nn::make_model("micro_resnet", 3, 10, rng);
+  model->set_training(false);
+  Compiled compiled =
+      compile(*model, nn::canonical_model_spec("micro_resnet", 3, 10));
+
+  const std::string text = compiled.graph.dump();
+  EXPECT_EQ(text.find(" = batchnorm("), std::string::npos) << text;
+  EXPECT_EQ(text.find(" = sqrt_add_scalar("), std::string::npos) << text;
+  EXPECT_NE(text.find("+bn("), std::string::npos) << text;
+  EXPECT_NE(text.find("+relu"), std::string::npos) << text;
+  EXPECT_GT(hits_for(compiled.pattern_hits, "const_fold"), 0);
+  EXPECT_GT(hits_for(compiled.pattern_hits, "fold_bn"), 0);
+
+  // Pattern-off compile keeps the faithful unfused mirror.
+  CompileOptions off;
+  off.run_patterns = false;
+  Compiled unfused = compile(*model, compiled.model_spec, off);
+  EXPECT_NE(unfused.graph.dump().find(" = batchnorm("), std::string::npos);
+  EXPECT_TRUE(unfused.pattern_hits.empty());
+}
+
+}  // namespace
+}  // namespace hero::ir
