@@ -27,6 +27,8 @@
 #include "core/listing.hpp"
 #include "core/trainer.hpp"
 #include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/registry.hpp"
 
 namespace hero::bench {
@@ -68,6 +70,102 @@ inline BenchEnv make_env(int argc, char** argv) {
   runtime::set_num_threads(flags.get_int("threads", 0));
   env.threads = runtime::num_threads();
   return env;
+}
+
+/// What the observability run produced, for the bench JSON's "obs" block.
+struct ObsReport {
+  bool traced = false;
+  std::int64_t spans = 0;    ///< records drained into the trace file
+  std::int64_t dropped = 0;  ///< ring-overflow drops (trace lied by omission)
+};
+
+/// Observability wiring shared by the serving benches:
+///   --trace-out=PATH    install a process TraceSink; finish() drains it and
+///                       writes Chrome trace-event JSON (open in Perfetto)
+///   --metrics-out=PATH  finish() writes the registry snapshot JSON
+/// Tracing stays OFF unless --trace-out is given, so the zero-allocation
+/// warm-path gates measure the true default configuration.
+class ObsEnv {
+ public:
+  ObsEnv(int argc, char** argv) {
+    const Flags flags(argc, argv);
+    trace_path_ = flags.get("trace-out", "");
+    metrics_path_ = flags.get("metrics-out", "");
+    if (!trace_path_.empty()) {
+      sink_ = std::make_unique<obs::TraceSink>();
+      obs::set_trace_sink(sink_.get());
+    }
+  }
+  ~ObsEnv() {
+    if (sink_ != nullptr && obs::trace_sink() == sink_.get()) {
+      obs::set_trace_sink(nullptr);
+    }
+  }
+  ObsEnv(const ObsEnv&) = delete;
+  ObsEnv& operator=(const ObsEnv&) = delete;
+
+  bool tracing() const { return sink_ != nullptr; }
+
+  /// Uninstalls the sink, writes the trace/metrics files, reports totals.
+  /// Call once, after the workload quiesced (workers joined).
+  ObsReport finish() {
+    ObsReport report;
+    if (sink_ != nullptr) {
+      obs::set_trace_sink(nullptr);
+      const std::vector<obs::SpanRecord> records = sink_->drain_sorted();
+      report.traced = true;
+      report.spans = static_cast<std::int64_t>(records.size());
+      report.dropped = sink_->dropped();
+      obs::write_chrome_trace(trace_path_, records);
+      std::printf("trace: %lld spans (%lld dropped) -> %s\n",
+                  static_cast<long long>(report.spans),
+                  static_cast<long long>(report.dropped), trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      const std::string json = obs::metrics().snapshot().to_json();
+      if (std::FILE* f = std::fopen(metrics_path_.c_str(), "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("metrics: %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    return report;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::TraceSink> sink_;
+};
+
+/// Appends the "obs" JSON block shared by the serving benches: span totals
+/// plus per-stage latency percentiles read from the registry histograms.
+/// Caller supplies the indentation-free stream position after a trailing
+/// comma; the block does NOT end with a newline or comma.
+inline void write_obs_json_block(std::FILE* f, const ObsReport& report) {
+  std::fprintf(f, "  \"obs\": {\n");
+  std::fprintf(f, "    \"traced\": %s,\n", report.traced ? "true" : "false");
+  std::fprintf(f, "    \"spans\": %lld,\n", static_cast<long long>(report.spans));
+  std::fprintf(f, "    \"dropped\": %lld,\n", static_cast<long long>(report.dropped));
+  std::fprintf(f, "    \"stages\": {");
+  const obs::Snapshot snap = obs::metrics().snapshot();
+  const char* stages[] = {"net.decode_us", "serve.queue_us", "serve.execute_us",
+                          "deploy.predict_us", "ir.node_us"};
+  bool first = true;
+  for (const char* stage : stages) {
+    const obs::SnapshotEntry* e = snap.find(stage);
+    if (e == nullptr) continue;
+    std::fprintf(f, "%s\n      \"%s\": {\"count\": %lld, \"p50_us\": %lld, \"p95_us\": %lld}",
+                 first ? "" : ",", stage, static_cast<long long>(e->count),
+                 static_cast<long long>(e->percentile(50.0)),
+                 static_cast<long long>(e->percentile(95.0)));
+    first = false;
+  }
+  std::fprintf(f, "\n    }\n  }");
 }
 
 /// One training configuration: model x dataset x method.

@@ -117,7 +117,8 @@ void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
                 const std::vector<ArtifactRow>& artifacts, const std::vector<SpecRow>& specs,
                 const std::vector<ThroughputRow>& throughput,
                 const deploy::InferenceSession& session, std::size_t alloc_growth_ir,
-                std::size_t alloc_growth_module, const deploy::InferenceStats& totals) {
+                std::size_t alloc_growth_module, const deploy::InferenceStats& totals,
+                const bench::ObsReport& obs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -176,10 +177,11 @@ void write_json(const std::string& path, int threads, std::size_t fp32_bytes,
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"session_latency\": {\"batches\": %lld, \"p50_s\": %.6f, "
-               "\"p95_s\": %.6f, \"p99_s\": %.6f, \"best_s\": %.6f}\n",
+               "\"p95_s\": %.6f, \"p99_s\": %.6f, \"best_s\": %.6f},\n",
                static_cast<long long>(totals.batches), totals.p50_seconds(),
                totals.p95_seconds(), totals.p99_seconds(), totals.best_batch_seconds);
-  std::fprintf(f, "}\n");
+  bench::write_obs_json_block(f, obs);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -194,6 +196,10 @@ deploy::SessionOptions module_options() {
 int main(int argc, char** argv) {
   using namespace hero::bench;
   BenchEnv env = make_env(argc, argv);
+  // --trace-out/--metrics-out: per-IR-node and predict spans plus histogram
+  // dumps. Default OFF — the zero-allocation gate below measures the true
+  // untraced warm path (one relaxed load per predict, no clock reads).
+  ObsEnv obs_env(argc, argv);
   const int threads = env.threads;
   const int reps = std::max(2, env.scaled(6));
 
@@ -383,9 +389,11 @@ int main(int argc, char** argv) {
               arena.contexts, arena.high_water_bytes, arena.high_water_slots,
               arena.total_bytes);
 
+  const ObsReport obs = obs_env.finish();  // everything above is synchronous
+
   const std::string json_path = env.csv_path("inference.json");
   write_json(json_path, threads, fp32_bytes, artifacts, specs, throughput, session,
-             alloc_growth_ir, alloc_growth_module, totals);
+             alloc_growth_ir, alloc_growth_module, totals, obs);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!all_identical) {

@@ -83,6 +83,10 @@ void print_pct_row(const char* label, const ClassOutcome& c) {
 int main(int argc, char** argv) {
   using namespace hero::bench;
   BenchEnv env = make_env(argc, argv);
+  // --trace-out=PATH captures the full decode > admission > queue > batch >
+  // per-IR-node > response span tree for this run as Chrome trace-event JSON;
+  // --metrics-out=PATH dumps the registry snapshot. Both default off.
+  ObsEnv obs_env(argc, argv);
   const Flags flags(argc, argv);
   const int workers = flags.get_int("workers", 4);
   const std::int64_t max_batch = flags.get_int("max-batch", 16);
@@ -282,6 +286,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(sstats.max_queue_depth),
               static_cast<long long>(sstats.max_queued_rows));
 
+  // Join the scheduler workers before draining the sink: a worker records
+  // its serve.execute span only after the completion it delivered returns,
+  // so the trace is complete only once the workers are.
+  server.shutdown();
+  const ObsReport obs = obs_env.finish();
+
   const std::string json_path = env.csv_path("net_serving.json");
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f != nullptr) {
@@ -310,7 +320,7 @@ int main(int argc, char** argv) {
                  "  \"failed\": %lld,\n  \"dropped\": %lld,\n  \"mismatches\": %lld,\n"
                  "  \"server_rejected\": %lld,\n  \"max_queue_depth\": %lld,\n"
                  "  \"max_queued_rows\": %lld,\n  \"net_protocol_errors\": %lld,\n"
-                 "  \"swaps\": 3\n}\n",
+                 "  \"swaps\": 3,\n",
                  total.latency_us.percentile(50.0) / 1e3,
                  total.latency_us.percentile(95.0) / 1e3,
                  total.latency_us.percentile(99.0) / 1e3,
@@ -322,6 +332,8 @@ int main(int argc, char** argv) {
                  static_cast<long long>(sstats.max_queue_depth),
                  static_cast<long long>(sstats.max_queued_rows),
                  static_cast<long long>(nstats.protocol_errors));
+    write_obs_json_block(f, obs);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   } else {
@@ -342,6 +354,24 @@ int main(int argc, char** argv) {
   if (total.failed != 0) {
     std::fprintf(stderr, "ERROR: %lld requests failed with a non-rejection error\n",
                  static_cast<long long>(total.failed));
+    return 1;
+  }
+  // Registry-gauge parity gate: stats() serves every high-water from the
+  // metrics registry; the lock-guarded legacy shadows must agree bit-for-bit
+  // after a full open-loop run over real TCP.
+  const auto serve_legacy = server.legacy_high_waters();
+  if (nstats.max_inflight != net.legacy_max_inflight() ||
+      sstats.max_queue_depth != serve_legacy.first ||
+      sstats.max_queued_rows != serve_legacy.second) {
+    std::fprintf(stderr,
+                 "ERROR: registry-gauge high-waters diverged from the legacy values "
+                 "(inflight %lld vs %lld, depth %lld vs %lld, rows %lld vs %lld)\n",
+                 static_cast<long long>(nstats.max_inflight),
+                 static_cast<long long>(net.legacy_max_inflight()),
+                 static_cast<long long>(sstats.max_queue_depth),
+                 static_cast<long long>(serve_legacy.first),
+                 static_cast<long long>(sstats.max_queued_rows),
+                 static_cast<long long>(serve_legacy.second));
     return 1;
   }
   return 0;

@@ -59,6 +59,9 @@ struct RunRow {
   std::int64_t mismatches = 0;
   std::int64_t failed = 0;   ///< futures that resolved with an exception
   std::int64_t dropped = 0;  ///< futures that never resolved at all
+  /// 1 if the registry-gauge high-waters diverged from the lock-guarded
+  /// legacy shadows (Server::legacy_high_waters) — must stay 0.
+  std::int64_t gauge_mismatch = 0;
 };
 
 /// One closed-loop run: `clients` threads each drive their slice of the
@@ -147,6 +150,14 @@ RunRow run_closed_loop(const std::vector<TraceRequest>& trace,
   row.p95_ms = 1e3 * reservoir.percentile(95.0);
   row.p99_ms = 1e3 * reservoir.percentile(99.0);
   row.server = server.stats();
+  // Parity audit: stats() serves the high-waters from the metrics-registry
+  // gauges; the pre-registry lock-guarded values are kept in shadow and must
+  // agree bit-for-bit under real concurrent load.
+  const auto legacy = server.legacy_high_waters();
+  row.gauge_mismatch = (row.server.max_queue_depth != legacy.first ||
+                        row.server.max_queued_rows != legacy.second)
+                           ? 1
+                           : 0;
   row.swaps = swaps;
   row.mismatches = mismatches.load();
   // A request whose future threw was ANSWERED (with an error), not dropped;
@@ -169,6 +180,7 @@ struct OpenLoopRow {
   std::int64_t rejected = 0;
   std::int64_t failed = 0;
   std::int64_t mismatches = 0;
+  std::int64_t gauge_mismatch = 0;  ///< registry gauges vs legacy shadows
   serve::ServerStats server;
 };
 
@@ -248,6 +260,11 @@ OpenLoopRow run_open_loop(const std::vector<TraceRequest>& trace,
   row.p95_ms = reservoir.percentile(95.0) / 1e3;
   row.p99_ms = reservoir.percentile(99.0) / 1e3;
   row.server = server.stats();
+  const auto legacy = server.legacy_high_waters();
+  row.gauge_mismatch = (row.server.max_queue_depth != legacy.first ||
+                        row.server.max_queued_rows != legacy.second)
+                           ? 1
+                           : 0;
   return row;
 }
 
@@ -255,7 +272,7 @@ void write_json(const std::string& path, int threads, int clients, std::size_t r
                 std::int64_t max_delay_us, const char* executor,
                 const std::vector<RunRow>& rows,
                 double speedup, bool parity_ok, std::int64_t dropped,
-                const OpenLoopRow* open_loop) {
+                const OpenLoopRow* open_loop, const bench::ObsReport& obs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -310,6 +327,8 @@ void write_json(const std::string& path, int threads, int clients, std::size_t r
                  static_cast<long long>(open_loop->server.max_queue_depth),
                  static_cast<long long>(open_loop->server.max_queued_rows));
   }
+  std::fprintf(f, ",\n");
+  bench::write_obs_json_block(f, obs);
   std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
@@ -319,6 +338,9 @@ void write_json(const std::string& path, int threads, int clients, std::size_t r
 int main(int argc, char** argv) {
   using namespace hero::bench;
   BenchEnv env = make_env(argc, argv);
+  // --trace-out/--metrics-out: request-scoped tracing and a registry-snapshot
+  // dump. Tracing stays off (and the warm path allocation-free) by default.
+  ObsEnv obs_env(argc, argv);
   const Flags flags(argc, argv);
   const int workers = flags.get_int("workers", 4);
   const std::int64_t max_batch = flags.get_int("max-batch", 16);
@@ -502,10 +524,13 @@ int main(int argc, char** argv) {
     failed += open_row.failed;
   }
 
+  // Every server has drained by here, so the sink holds the complete trace.
+  const ObsReport obs = obs_env.finish();
+
   const std::string json_path = env.csv_path("serving.json");
   write_json(json_path, env.threads, clients, requests, max_delay_us,
              direct.front()->executor_name(), rows, speedup, parity_ok, dropped,
-             open_loop ? &open_row : nullptr);
+             open_loop ? &open_row : nullptr, obs);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!parity_ok) {
@@ -522,6 +547,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ERROR: %lld requests resolved with an exception (see stderr "
                          "above for the first failure)\n",
                  static_cast<long long>(failed));
+    return 1;
+  }
+  // Registry-gauge parity gate: the high-waters served through the metrics
+  // registry must reproduce the lock-guarded legacy values bit-for-bit on
+  // every run, closed- and open-loop alike.
+  std::int64_t gauge_mismatches = open_loop ? open_row.gauge_mismatch : 0;
+  for (const RunRow& row : rows) gauge_mismatches += row.gauge_mismatch;
+  if (gauge_mismatches != 0) {
+    std::fprintf(stderr,
+                 "ERROR: %lld runs saw the registry-gauge queue high-waters diverge "
+                 "from the legacy lock-guarded values\n",
+                 static_cast<long long>(gauge_mismatches));
     return 1;
   }
   // Coalescing gate: the widest batched config at the full worker count

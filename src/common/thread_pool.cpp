@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/trace.hpp"
+
 namespace hero {
 
 namespace {
@@ -39,6 +41,9 @@ bool ThreadPool::on_pool_thread() { return tl_in_parallel_region; }
 void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain, RangeFn fn,
                      void* ctx) {
   if (begin >= end) return;
+  // Caller-side job span over the whole dispatch (submit → last worker
+  // check-in), arg = range size. One relaxed load when tracing is off.
+  obs::Span job_span(obs::trace_sink(), "pool.job", "runtime", 0, 0, end - begin);
   common::MutexLock run_lock(run_mutex_);
   {
     common::MutexLock lock(mutex_);

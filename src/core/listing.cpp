@@ -8,6 +8,7 @@
 #include "net/server.hpp"
 #include "net/traffic.hpp"
 #include "nn/models.hpp"
+#include "obs/trace.hpp"
 #include "optim/registry.hpp"
 #include "quant/planner.hpp"
 #include "quant/quantizer.hpp"
@@ -98,6 +99,23 @@ std::string describe_registries() {
     os << net::trace_kind_name(kind) << (kind == net::TraceKind::kBursty ? "" : ", ");
   }
   os << " (seeded, open-loop)\n";
+
+  // Observability rides along everywhere above; list the instruments so a
+  // snapshot or trace reader knows what names to expect.
+  const obs::TraceSink::Config trace_defaults;
+  os << "observability (src/obs: metrics registry + request-scoped tracing):\n";
+  os << "  metrics — counters store.*, net.stats_queries; gauges "
+        "serve.queue.depth_max, serve.queue.rows_max, net.inflight_max; "
+        "latency histograms net.decode_us, serve.queue_us, serve.execute_us, "
+        "deploy.predict_us, ir.node_us\n";
+  os << "  spans — net.request > {net.decode, net.admission, serve.queue, "
+        "serve.coalesce, serve.execute > deploy.predict > per-IR-node}, "
+        "net.write; pool.job (runtime)\n";
+  os << "  trace sink knobs — ring_capacity=" << trace_defaults.ring_capacity
+     << " spans/thread (drop-oldest + drop counter), max_threads="
+     << trace_defaults.max_threads << "\n";
+  os << "  wire — kStatsRequest/kStatsResponse frames serve the snapshot "
+        "JSON; benches export Chrome trace JSON via --trace-out\n";
   return os.str();
 }
 

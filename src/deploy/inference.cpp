@@ -1,12 +1,13 @@
 #include "deploy/inference.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "autograd/functional.hpp"
 #include "autograd/variable.hpp"
 #include "common/check.hpp"
 #include "ir/compile.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/conv_ops.hpp"
 
 namespace hero::deploy {
@@ -44,6 +45,7 @@ InferenceSession::InferenceSession(const std::string& artifact_path,
   init_from_artifact(load_model(artifact_path), model_, model_spec_, plan_label_,
                      average_bits_, resident_bytes_);
   init_executor();
+  predict_us_ = obs::metrics().latency_histogram_us("deploy.predict_us");
 }
 
 InferenceSession::InferenceSession(const ModelArtifact& artifact, const SessionOptions& options)
@@ -51,6 +53,7 @@ InferenceSession::InferenceSession(const ModelArtifact& artifact, const SessionO
   init_from_artifact(artifact, model_, model_spec_, plan_label_, average_bits_,
                      resident_bytes_);
   init_executor();
+  predict_us_ = obs::metrics().latency_histogram_us("deploy.predict_us");
 }
 
 void InferenceSession::init_executor() {
@@ -68,14 +71,19 @@ void InferenceSession::init_executor() {
   }
 }
 
-Tensor InferenceSession::predict(const Tensor& features) {
+Tensor InferenceSession::predict(const Tensor& features,
+                                 const obs::SpanContext& trace) {
   HERO_CHECK_MSG(features.ndim() >= 1 && features.dim(0) > 0,
                  "predict needs a non-empty batch, got shape "
                      << shape_to_string(features.shape()));
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span(trace.sink, "deploy.predict", "deploy", trace.trace_id,
+                 trace.parent, features.dim(0));
+  const auto t0 = obs::now();
   Tensor logits;
   if (executor_ != nullptr) {
-    logits = executor_->run(features);
+    // span.context() is inert (null sink) when tracing is off, which keeps
+    // the executor on its uninstrumented tight loop.
+    logits = executor_->run(features, span.context());
   } else {
     // No graph recording: forward ops become constants (no parents, no
     // backward closures) — inference allocates activations only, and conv
@@ -84,8 +92,10 @@ Tensor InferenceSession::predict(const Tensor& features) {
     ScopedIm2colScratch scratch;
     logits = model_->forward(ag::Variable::constant(features)).value();
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const auto t1 = obs::now();
+  const std::int64_t elapsed_ns = obs::ns_between(t0, t1);
+  const double seconds = static_cast<double>(elapsed_ns) * 1e-9;
+  predict_us_->record(elapsed_ns / 1000);
   {
     // Sessions are shared across serve::Server scheduler workers; only the
     // counters need the lock, the forward itself is read-only in eval mode.

@@ -96,11 +96,19 @@ class InferenceSession {
                             const SessionOptions& options = {});
 
   /// Batched forward pass: features [N, ...] → logits [N, classes], no
-  /// autograd graph, eval mode, timed into stats(). Throws on an empty
-  /// batch. Safe to call from several threads at once (eval-mode forward is
-  /// read-only and stats updates are locked) — the serve::Server shares one
-  /// session across its scheduler workers.
-  Tensor predict(const Tensor& features) HERO_EXCLUDES(stats_mutex_);
+  /// autograd graph, eval mode, timed into stats() and the registry's
+  /// "deploy.predict_us" histogram. Throws on an empty batch. Safe to call
+  /// from several threads at once (eval-mode forward is read-only and stats
+  /// updates are locked) — the serve::Server shares one session across its
+  /// scheduler workers.
+  ///
+  /// `trace` scopes the call's spans: with an active sink this opens a
+  /// "deploy.predict" span and (on the IR engine) per-node children. The
+  /// default picks up the process-ambient sink — nullptr, i.e. free, unless
+  /// a bench installed one.
+  Tensor predict(const Tensor& features,
+                 const obs::SpanContext& trace = obs::SpanContext::ambient())
+      HERO_EXCLUDES(stats_mutex_);
 
   /// Top-1 accuracy of predict() over a dataset, in `batch_size` chunks —
   /// the number to compare against the fake-quant sweep's.
@@ -158,6 +166,7 @@ class InferenceSession {
   std::size_t resident_bytes_ = 0;  ///< state_dict tensors only
   mutable common::Mutex stats_mutex_;  // guards stats_ only; forward is lock-free
   InferenceStats stats_ HERO_GUARDED_BY(stats_mutex_);
+  obs::Histogram* predict_us_ = nullptr;  ///< pre-registered registry handle
 };
 
 }  // namespace hero::deploy

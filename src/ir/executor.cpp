@@ -379,7 +379,8 @@ Executor::Executor(const Compiled& compiled, const std::string& backend)
     : graph_(compiled.graph),
       schedule_(graph_.schedule()),
       backend_name_(backend),
-      backend_(&BackendRegistry::instance().get(backend)) {
+      backend_(&BackendRegistry::instance().get(backend)),
+      node_us_(obs::metrics().latency_histogram_us("ir.node_us")) {
   HERO_CHECK_MSG(graph_.output() >= 0, "compiled graph has no output");
   for (const NodeId id : schedule_) {
     const Node& n = graph_.node(id);
@@ -392,7 +393,7 @@ Executor::Executor(const Compiled& compiled, const std::string& backend)
 
 Executor::~Executor() = default;
 
-Tensor Executor::run(const Tensor& input) {
+Tensor Executor::run(const Tensor& input, const obs::SpanContext& trace) {
   ExecContext* ctx = nullptr;
   {
     common::MutexLock lock(mutex_);
@@ -442,7 +443,27 @@ Tensor Executor::run(const Tensor& input) {
       }
     }
 
-    for (const ExecContext::Step& step : ctx->steps) step.impl->run(step.args);
+    if (trace.sink == nullptr) {
+      // The steady-state serving loop: no clock reads, no instrumentation.
+      for (const ExecContext::Step& step : ctx->steps) step.impl->run(step.args);
+    } else {
+      std::int64_t index = 0;
+      for (const ExecContext::Step& step : ctx->steps) {
+        obs::SpanRecord rec;
+        rec.name = op_kind_name(step.args.node->op);
+        rec.category = "ir";
+        rec.id = trace.sink->next_span_id();
+        rec.parent = trace.parent;
+        rec.trace_id = trace.trace_id;
+        rec.tid = obs::current_tid();
+        rec.arg = index++;
+        rec.start_ns = obs::now_ns();
+        step.impl->run(step.args);
+        rec.end_ns = obs::now_ns();
+        trace.sink->record(rec);
+        node_us_->record((rec.end_ns - rec.start_ns) / 1000);
+      }
+    }
 
     result = ctx->tensors[static_cast<std::size_t>(graph_.output())];
     if (ctx->output_aliases_input) result = result.clone();

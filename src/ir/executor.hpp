@@ -27,6 +27,8 @@
 #include "ir/backend.hpp"
 #include "ir/compile.hpp"
 #include "ir/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/conv_ops.hpp"
 
 namespace hero::ir {
@@ -79,7 +81,17 @@ class Executor {
   /// Runs the graph on `input`, returning a tensor backed by this executor's
   /// recycled output pool (drop it to free the slot; clone() to detach).
   /// Bit-identical to the legacy Module replay of the same model.
-  Tensor run(const Tensor& input) HERO_EXCLUDES(mutex_);
+  Tensor run(const Tensor& input) HERO_EXCLUDES(mutex_) {
+    return run(input, obs::SpanContext{});
+  }
+
+  /// run() with per-node op timing: when `trace.sink` is non-null every
+  /// scheduled step is wrapped in a span named after its OpKind (category
+  /// "ir", arg = schedule index, parented under trace.parent) and its wall
+  /// time lands in the "ir.node_us" histogram. A null sink takes the
+  /// original tight loop — no clock reads, no per-node overhead.
+  Tensor run(const Tensor& input, const obs::SpanContext& trace)
+      HERO_EXCLUDES(mutex_);
 
   const std::string& backend_name() const { return backend_name_; }
   const Graph& graph() const { return graph_; }
@@ -94,6 +106,7 @@ class Executor {
   std::vector<NodeId> schedule_;
   std::string backend_name_;
   const Backend* backend_ = nullptr;
+  obs::Histogram* node_us_ = nullptr;  ///< pre-registered "ir.node_us" handle
 
   mutable common::Mutex mutex_;
   std::map<Shape, std::vector<std::unique_ptr<ExecContext>>> contexts_ HERO_GUARDED_BY(mutex_);

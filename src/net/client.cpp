@@ -25,7 +25,7 @@ std::future<Tensor> Client::predict_async(const std::string& model,
     }
     frame.id = next_id_++;
     Pending pending;
-    pending.sent = std::chrono::steady_clock::now();
+    pending.sent = obs::now();
     future = pending.promise.get_future();
     pending_.emplace(frame.id, std::move(pending));
   }
@@ -51,6 +51,38 @@ Tensor Client::predict(const std::string& model, const Tensor& features) {
   return predict_async(model, features).get();
 }
 
+std::future<std::string> Client::query_stats_async() {
+  std::uint64_t id = 0;
+  std::future<std::string> future;
+  {
+    common::MutexLock lock(mutex_);
+    if (closed_) {
+      throw NetError(ErrorCode::kBadFrame, "client connection is closed");
+    }
+    id = next_id_++;
+    std::promise<std::string> promise;
+    future = promise.get_future();
+    pending_stats_.emplace(id, std::move(promise));
+  }
+
+  try {
+    const std::string bytes = encode_stats_request(id);
+    common::MutexLock write_lock(write_mutex_);
+    socket_.send_all(bytes);
+  } catch (...) {
+    // Same ownership race as predict_async: whoever erases first answers.
+    common::MutexLock lock(mutex_);
+    auto it = pending_stats_.find(id);
+    if (it != pending_stats_.end()) {
+      it->second.set_exception(std::current_exception());
+      pending_stats_.erase(it);
+    }
+  }
+  return future;
+}
+
+std::string Client::query_stats() { return query_stats_async().get(); }
+
 void Client::reader_loop() {
   char header_bytes[kHeaderBytes];
   try {
@@ -64,7 +96,7 @@ void Client::reader_loop() {
       if (header.body_bytes > 0 && !socket_.recv_exact(body.data(), body.size())) {
         throw NetError(ErrorCode::kBadFrame, "frame body missing (server closed)");
       }
-      const auto received = std::chrono::steady_clock::now();
+      const auto received = obs::now();
 
       if (header.type == FrameType::kResponse) {
         ResponseFrame frame = decode_response_body(header, body);
@@ -85,10 +117,26 @@ void Client::reader_loop() {
         }
         if (matched) promise.set_value(std::move(frame.logits));
         // An unmatched id is a server bug, not a client crash; drop it.
+      } else if (header.type == FrameType::kStatsResponse) {
+        StatsResponseFrame frame = decode_stats_response_body(header, body);
+        std::promise<std::string> promise;
+        bool matched = false;
+        {
+          common::MutexLock lock(mutex_);
+          auto it = pending_stats_.find(frame.id);
+          if (it != pending_stats_.end()) {
+            matched = true;
+            promise = std::move(it->second);
+            pending_stats_.erase(it);
+          }
+        }
+        if (matched) promise.set_value(std::move(frame.json));
       } else if (header.type == FrameType::kError) {
         ErrorFrame frame = decode_error_body(header, body);
         std::promise<Tensor> promise;
+        std::promise<std::string> stats_promise;
         bool matched = false;
+        bool stats_matched = false;
         {
           common::MutexLock lock(mutex_);
           errors_ += 1;
@@ -98,13 +146,20 @@ void Client::reader_loop() {
             matched = true;
             promise = std::move(it->second.promise);
             pending_.erase(it);
+          } else if (auto sit = pending_stats_.find(frame.id);
+                     sit != pending_stats_.end()) {
+            // The id spaces are shared, so an error frame can answer a stats
+            // query too (e.g. the server rejecting a hostile stats body).
+            stats_matched = true;
+            stats_promise = std::move(sit->second);
+            pending_stats_.erase(sit);
           }
         }
-        if (matched) {
-          promise.set_exception(std::make_exception_ptr(NetError(
-              frame.code, std::string(error_code_name(frame.code)) + ": " +
-                              frame.message)));
-        }
+        const auto error = std::make_exception_ptr(NetError(
+            frame.code,
+            std::string(error_code_name(frame.code)) + ": " + frame.message));
+        if (matched) promise.set_exception(error);
+        if (stats_matched) stats_promise.set_exception(error);
         // id 0 (header never parsed server-side) matches nothing: the
         // connection is about to die and the EOF path fails the rest.
       } else {
@@ -120,14 +175,21 @@ void Client::reader_loop() {
 
 void Client::fail_all_pending(const NetError& error) {
   std::unordered_map<std::uint64_t, Pending> pending;
+  std::unordered_map<std::uint64_t, std::promise<std::string>> pending_stats;
   {
     common::MutexLock lock(mutex_);
     pending.swap(pending_);
+    pending_stats.swap(pending_stats_);
   }
   // hero-lint: allow(unordered-iter) — every promise gets the same error; order unobservable.
   for (auto& [id, entry] : pending) {
     (void)id;
     entry.promise.set_exception(std::make_exception_ptr(error));
+  }
+  // hero-lint: allow(unordered-iter) — same argument as above.
+  for (auto& [id, promise] : pending_stats) {
+    (void)id;
+    promise.set_exception(std::make_exception_ptr(error));
   }
 }
 

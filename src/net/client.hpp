@@ -28,6 +28,7 @@
 #include "common/reservoir.hpp"
 #include "common/sync.hpp"
 #include "net/socket.hpp"
+#include "obs/clock.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hero::net {
@@ -50,6 +51,12 @@ class Client {
   /// Blocking convenience: predict_async().get().
   Tensor predict(const std::string& model, const Tensor& features);
 
+  /// Sends a kStatsRequest frame; the future resolves with the server's
+  /// metrics-snapshot JSON (obs::Snapshot::to_json text) or a NetError.
+  std::future<std::string> query_stats_async() HERO_EXCLUDES(mutex_);
+  /// Blocking convenience: query_stats_async().get().
+  std::string query_stats();
+
   /// Half-closes the connection and joins the reader; idempotent. Pending
   /// futures resolve with NetError(kBadFrame).
   void close() HERO_EXCLUDES(mutex_);
@@ -63,7 +70,7 @@ class Client {
  private:
   struct Pending {
     std::promise<Tensor> promise;
-    std::chrono::steady_clock::time_point sent;
+    obs::Clock::time_point sent;
   };
 
   void reader_loop();
@@ -75,6 +82,10 @@ class Client {
 
   mutable common::Mutex mutex_;  // pending_, reservoir, counters
   std::unordered_map<std::uint64_t, Pending> pending_ HERO_GUARDED_BY(mutex_);
+  /// Stats queries share the request id space but resolve to JSON text, so
+  /// they keep their own promise map.
+  std::unordered_map<std::uint64_t, std::promise<std::string>> pending_stats_
+      HERO_GUARDED_BY(mutex_);
   std::uint64_t next_id_ HERO_GUARDED_BY(mutex_) = 1;
   common::Reservoir latency_us_ HERO_GUARDED_BY(mutex_);
   std::int64_t responses_ HERO_GUARDED_BY(mutex_) = 0;

@@ -82,6 +82,16 @@ std::string encode_error(const ErrorFrame& frame) {
   return finish_frame(FrameType::kError, frame.id, body.str());
 }
 
+std::string encode_stats_request(std::uint64_t id) {
+  return finish_frame(FrameType::kStatsRequest, id, std::string());
+}
+
+std::string encode_stats_response(const StatsResponseFrame& frame) {
+  std::ostringstream body;
+  write_string(body, frame.json);
+  return finish_frame(FrameType::kStatsResponse, frame.id, body.str());
+}
+
 FrameHeader decode_header(const char* bytes) {
   HERO_CHECK_MSG(std::memcmp(bytes, kMagic, sizeof(kMagic)) == 0,
                  "bad frame magic (not an HNET stream)");
@@ -91,7 +101,7 @@ FrameHeader decode_header(const char* bytes) {
   HERO_CHECK_MSG(version == kVersion, "unsupported HNET protocol version " << version);
   const auto type = read_pod<std::uint32_t>(in);
   HERO_CHECK_MSG(type >= static_cast<std::uint32_t>(FrameType::kRequest) &&
-                     type <= static_cast<std::uint32_t>(FrameType::kError),
+                     type <= static_cast<std::uint32_t>(FrameType::kStatsResponse),
                  "unknown HNET frame type " << type);
   FrameHeader header;
   header.type = static_cast<FrameType>(type);
@@ -121,6 +131,27 @@ ResponseFrame decode_response_body(const FrameHeader& header, const std::string&
     ResponseFrame frame;
     frame.id = header.id;
     frame.logits = load_tensor(in);
+    return frame;
+  });
+}
+
+void decode_stats_request_body(const FrameHeader& header, const std::string& body) {
+  HERO_CHECK_MSG(header.type == FrameType::kStatsRequest, "not a stats request frame");
+  // The strictest body check in the protocol: a stats request has nothing to
+  // say, so any payload byte means a corrupt or hostile stream.
+  HERO_CHECK_MSG(body.empty(),
+                 "stats request frame carries a " << body.size()
+                                                  << "-byte body (must be empty)");
+}
+
+StatsResponseFrame decode_stats_response_body(const FrameHeader& header,
+                                              const std::string& body) {
+  HERO_CHECK_MSG(header.type == FrameType::kStatsResponse,
+                 "not a stats response frame");
+  return parse_body(body, "stats response", [&](std::istream& in) {
+    StatsResponseFrame frame;
+    frame.id = header.id;
+    frame.json = read_string(in, kMaxFrameBody);
     return frame;
   });
 }

@@ -16,6 +16,8 @@
 //                    checked shape, fp32 payload)
 //   response body: logits tensor (save_tensor)
 //   error body:    u32 error code + length-prefixed message
+//   stats request body:  EMPTY (any payload is a hostile frame)
+//   stats response body: length-prefixed metrics-snapshot JSON text
 //
 // Decoding reuses the hostile-input-hardened tensor/io readers: negative or
 // overflowing extents, oversized strings, and truncated payloads are all
@@ -45,6 +47,10 @@ enum class FrameType : std::uint32_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
+  /// Asks the server for its live metrics snapshot; body must be empty.
+  kStatsRequest = 4,
+  /// Name-sorted metrics snapshot as JSON text (obs::Snapshot::to_json).
+  kStatsResponse = 5,
 };
 
 /// Error codes carried by error frames. The client surfaces them as typed
@@ -93,10 +99,17 @@ struct ErrorFrame {
   std::string message;
 };
 
+struct StatsResponseFrame {
+  std::uint64_t id = 0;
+  std::string json;  ///< metrics snapshot, obs::Snapshot::to_json() text
+};
+
 /// Serializes one whole frame (header + body) into a send-ready byte string.
 std::string encode_request(const RequestFrame& frame);
 std::string encode_response(const ResponseFrame& frame);
 std::string encode_error(const ErrorFrame& frame);
+std::string encode_stats_request(std::uint64_t id);
+std::string encode_stats_response(const StatsResponseFrame& frame);
 
 /// Parses and validates a header from exactly kHeaderBytes bytes: magic,
 /// version, known frame type, body length under kMaxFrameBody. Throws
@@ -110,5 +123,9 @@ FrameHeader decode_header(const char* bytes);
 RequestFrame decode_request_body(const FrameHeader& header, const std::string& body);
 ResponseFrame decode_response_body(const FrameHeader& header, const std::string& body);
 ErrorFrame decode_error_body(const FrameHeader& header, const std::string& body);
+/// A stats request carries no payload: any body byte is a hostile frame.
+void decode_stats_request_body(const FrameHeader& header, const std::string& body);
+StatsResponseFrame decode_stats_response_body(const FrameHeader& header,
+                                              const std::string& body);
 
 }  // namespace hero::net

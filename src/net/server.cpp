@@ -5,8 +5,34 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace hero::net {
+
+namespace {
+
+/// Closes a request's root span: net.request covers first header byte to the
+/// final frame write (response OR rejection), so every child span — decode,
+/// admission, queue wait, batch execute, write — nests under one umbrella.
+void emit_request_root(obs::TraceSink* sink, std::uint64_t trace_id,
+                       std::uint64_t root_id, std::int64_t start_ns,
+                       std::int64_t arg) {
+  if (sink == nullptr) return;
+  obs::SpanRecord root;
+  root.name = "net.request";
+  root.category = "net";
+  root.id = root_id;
+  root.parent = 0;
+  root.trace_id = trace_id;
+  root.tid = obs::current_tid();
+  root.start_ns = start_ns;
+  root.end_ns = obs::now_ns();
+  root.arg = arg;
+  sink->record(root);
+}
+
+}  // namespace
 
 NetServer::NetServer(serve::Server& server, NetServerConfig config)
     : server_(server), config_(config), listener_(config.port) {
@@ -14,6 +40,12 @@ NetServer::NetServer(serve::Server& server, NetServerConfig config)
                  "NetServer max_inflight must be >= 1, got " << config_.max_inflight);
   HERO_CHECK_MSG(config_.drain_timeout_us >= 0,
                  "NetServer drain_timeout_us must be >= 0");
+  // Single-active-owner gauge semantics (same contract as serve::Server):
+  // a new front-end resets its high-water so per-instance assertions hold.
+  inflight_max_ = obs::metrics().gauge("net.inflight_max");
+  inflight_max_->reset();
+  decode_us_ = obs::metrics().latency_histogram_us("net.decode_us");
+  stats_queries_ = obs::metrics().counter("net.stats_queries");
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -41,6 +73,9 @@ void NetServer::reader_loop(ConnectionPtr conn) {
     std::uint64_t frame_id = 0;  // best-effort id for the error frame
     try {
       if (!conn->socket.recv_exact(header_bytes, kHeaderBytes)) return;  // clean EOF
+      // One clock read per frame, and only with a sink installed: the
+      // timestamp anchors the net.decode / net.request spans.
+      const std::int64_t recv_ns = obs::trace_sink() != nullptr ? obs::now_ns() : 0;
       const FrameHeader header = decode_header(header_bytes);
       frame_id = header.id;
       std::string body(header.body_bytes, '\0');
@@ -48,7 +83,7 @@ void NetServer::reader_loop(ConnectionPtr conn) {
           !conn->socket.recv_exact(body.data(), body.size())) {
         throw NetError(ErrorCode::kBadFrame, "frame body missing (peer closed)");
       }
-      if (!handle_frame(conn, header, body)) return;
+      if (!handle_frame(conn, header, body, recv_ns)) return;
     } catch (const std::exception& e) {
       // One malformed frame fails ONE connection: answer with a clean error
       // frame (id 0 when the header itself never parsed) and stop reading.
@@ -69,12 +104,53 @@ void NetServer::reader_loop(ConnectionPtr conn) {
 }
 
 bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& header,
-                             const std::string& body) {
+                             const std::string& body, std::int64_t recv_ns) {
+  if (header.type == FrameType::kStatsRequest) {
+    // Over-the-wire metrics query, answered inline on the reader thread: the
+    // snapshot is lock-brief and never touches the scheduler. The hardened
+    // decoder rejects any payload byte before we do work.
+    decode_stats_request_body(header, body);
+    stats_queries_->increment();
+    StatsResponseFrame frame;
+    frame.id = header.id;
+    frame.json = obs::metrics().snapshot().to_json();
+    try {
+      send_frame(conn, encode_stats_response(frame));
+    } catch (const std::exception&) {
+      common::MutexLock lock(mutex_);
+      stats_.write_failures += 1;
+    }
+    return true;
+  }
   if (header.type != FrameType::kRequest) {
     // Protocol violation: let the reader's catch answer and close.
     throw NetError(ErrorCode::kBadFrame, "server accepts only request frames");
   }
   RequestFrame request = decode_request_body(header, body);  // throws on hostile body
+
+  // With a sink installed every request gets a fresh trace id and a
+  // net.request root; decode is recorded retroactively (it already happened)
+  // from the timestamp the reader took at the first header byte.
+  obs::TraceSink* const sink = recv_ns != 0 ? obs::trace_sink() : nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_id = 0;
+  if (sink != nullptr) {
+    trace_id = sink->next_trace_id();
+    root_id = sink->next_span_id();
+    obs::SpanRecord decode;
+    decode.name = "net.decode";
+    decode.category = "net";
+    decode.id = sink->next_span_id();
+    decode.parent = root_id;
+    decode.trace_id = trace_id;
+    decode.tid = obs::current_tid();
+    decode.start_ns = recv_ns;
+    decode.end_ns = obs::now_ns();
+    decode.arg = static_cast<std::int64_t>(body.size());
+    sink->record(decode);
+    decode_us_->record((decode.end_ns - decode.start_ns) / 1000);
+  }
+  obs::Span admission_span(sink, "net.admission", "net", trace_id, root_id);
 
   // Admission gate 1: the front-end's own in-flight budget. Checked before
   // the scheduler sees the request so a flood cannot pin unbounded feature
@@ -92,15 +168,20 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
     } else {
       inflight_ += 1;
       stats_.max_inflight = std::max(stats_.max_inflight, inflight_);
+      inflight_max_->update_max(inflight_);
     }
   }
   if (reject_stopping) {
+    admission_span.finish();
     send_error(conn, header.id, ErrorCode::kShuttingDown, "server is draining");
+    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
     return false;
   }
   if (reject_budget) {
+    admission_span.finish();
     send_error(conn, header.id, ErrorCode::kRejected,
                "front-end in-flight budget exhausted, retry later");
+    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
     return true;  // the connection stays usable; rejection is per-request
   }
 
@@ -109,22 +190,30 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   // install may still serve the request, a racing evict fails it with
   // kUnknownModel through the completion below.
   if (!server_.store().contains(request.model)) {
+    admission_span.finish();
     release_inflight();
     send_error(conn, header.id, ErrorCode::kUnknownModel,
                "model '" + request.model + "' is not loaded");
+    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
     return true;
   }
+  admission_span.finish();
 
   const std::uint64_t id = header.id;
-  auto completion = [this, conn, id](Tensor logits, std::exception_ptr error) {
+  auto completion = [this, conn, id, sink, trace_id, root_id,
+                     recv_ns](Tensor logits, std::exception_ptr error) {
     // Runs on a scheduler worker thread; must not throw (serve::Server
     // contract) — every path below catches its own failures.
+    std::int64_t rows = 0;
     if (error == nullptr) {
+      rows = logits.ndim() > 0 ? logits.dim(0) : 0;
       ResponseFrame frame;
       frame.id = id;
       frame.logits = std::move(logits);
       try {
+        obs::Span write_span(sink, "net.write", "net", trace_id, root_id, rows);
         send_frame(conn, encode_response(frame));
+        write_span.finish();
         common::MutexLock lock(mutex_);
         stats_.responses += 1;
       } catch (const std::exception&) {
@@ -145,6 +234,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
                                  : ErrorCode::kInternal;
       send_error(conn, id, code, message);
     }
+    emit_request_root(sink, trace_id, root_id, recv_ns, rows);
     release_inflight();
   };
 
@@ -152,10 +242,12 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   // a full queue is an explicit reject the client hears about immediately.
   bool admitted = false;
   try {
-    admitted = server_.try_submit(request.model, request.features, std::move(completion));
+    admitted = server_.try_submit(request.model, request.features, std::move(completion),
+                                  obs::SpanContext{sink, trace_id, root_id});
   } catch (const std::exception& e) {
     release_inflight();
     send_error(conn, header.id, ErrorCode::kShuttingDown, e.what());
+    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
     return false;
   }
   if (!admitted) {
@@ -166,6 +258,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
     }
     send_error(conn, header.id, ErrorCode::kRejected,
                "scheduler queue is full, retry later");
+    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
   }
   return true;
 }
@@ -230,8 +323,8 @@ void NetServer::shutdown() {
   }
   {
     common::UniqueLock lock(mutex_);
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(config_.drain_timeout_us);
+    const auto deadline =
+        obs::now() + std::chrono::microseconds(config_.drain_timeout_us);
     while (inflight_ != 0) {
       if (drain_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
           inflight_ != 0) {
@@ -249,7 +342,16 @@ void NetServer::shutdown() {
 
 NetServerStats NetServer::stats() const {
   common::MutexLock lock(mutex_);
-  return stats_;
+  NetServerStats snapshot = stats_;
+  // The registry gauge is the source of truth; the lock-guarded field stays
+  // maintained in shadow for the parity audit (legacy_max_inflight()).
+  snapshot.max_inflight = inflight_max_->value();
+  return snapshot;
+}
+
+std::int64_t NetServer::legacy_max_inflight() const {
+  common::MutexLock lock(mutex_);
+  return stats_.max_inflight;
 }
 
 }  // namespace hero::net

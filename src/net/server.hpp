@@ -33,6 +33,13 @@
 // ErrorCode::kBadFrame frame (request id 0 when the header never parsed)
 // and closes, leaving every other connection undisturbed — pinned by
 // tests/net/net_server_test.cpp.
+//
+// Observability: a kStatsRequest frame is answered inline with the process
+// metrics snapshot (obs::Snapshot::to_json) in a kStatsResponse frame; with
+// a trace sink installed every admitted request carries a net.request root
+// span with net.decode / net.admission / net.write children, and its
+// SpanContext rides into serve::Server::try_submit so queue, batch, and
+// per-IR-node spans share the same trace id.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +50,7 @@
 
 #include "common/sync.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 namespace hero::net {
@@ -60,7 +68,10 @@ struct NetServerConfig {
   std::int64_t drain_timeout_us = 5'000'000;
 };
 
-/// Front-end counters (snapshot under the server lock).
+/// Front-end counters (snapshot under the server lock). The in-flight
+/// high-water is served from the "net.inflight_max" registry gauge; the
+/// lock-guarded legacy value is kept in shadow and exposed through
+/// legacy_max_inflight() so the bench can audit bit-for-bit parity.
 struct NetServerStats {
   std::int64_t connections = 0;      ///< accepted TCP connections
   std::int64_t requests = 0;         ///< well-formed request frames read
@@ -92,6 +103,10 @@ class NetServer {
   void shutdown() HERO_EXCLUDES(mutex_);
 
   NetServerStats stats() const HERO_EXCLUDES(mutex_);
+  /// Lock-guarded shadow of the in-flight high-water, maintained alongside
+  /// the "net.inflight_max" gauge purely so benches can assert the registry
+  /// path reproduces the legacy value bit-for-bit.
+  std::int64_t legacy_max_inflight() const HERO_EXCLUDES(mutex_);
   const NetServerConfig& config() const { return config_; }
 
  private:
@@ -105,10 +120,12 @@ class NetServer {
 
   void accept_loop();
   void reader_loop(ConnectionPtr conn);
-  /// Parses and dispatches one request frame; returns false when the
-  /// connection must close (protocol violation).
+  /// Parses and dispatches one frame (request or stats query); returns false
+  /// when the connection must close (protocol violation). recv_ns is the
+  /// monotonic timestamp of the frame's first header byte (0 with tracing
+  /// off) — it anchors the net.decode and net.request spans.
   bool handle_frame(const ConnectionPtr& conn, const FrameHeader& header,
-                    const std::string& body);
+                    const std::string& body, std::int64_t recv_ns);
   /// Releases one admitted request's in-flight slot; wakes the drain wait
   /// when the last one resolves.
   void release_inflight() HERO_EXCLUDES(mutex_);
@@ -121,6 +138,13 @@ class NetServer {
   serve::Server& server_;
   const NetServerConfig config_;
   Listener listener_;
+
+  // Registry instruments ("net.*"), registered at construction; the gauge is
+  // the source of truth for the in-flight high-water, stats_.max_inflight
+  // stays as the parity shadow.
+  obs::Gauge* inflight_max_ = nullptr;
+  obs::Histogram* decode_us_ = nullptr;
+  obs::Counter* stats_queries_ = nullptr;
 
   mutable common::Mutex mutex_;  // stats, registry, in-flight budget
   common::CondVar drain_cv_;

@@ -1,0 +1,33 @@
+// The one monotonic clock the codebase reads.
+//
+// Every timing decision and every instrument in the tree goes through this
+// header: schedulers compute deadlines from obs::now(), spans and histograms
+// stamp obs::now_ns(). Centralizing the clock keeps all timestamps mutually
+// comparable (one epoch, one resolution) and lets hero-lint's timing-source
+// rule flag any raw std::chrono::steady_clock::now() outside src/obs — the
+// whitelisted home of the underlying read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hero::obs {
+
+/// Monotonic clock used for all scheduling deadlines and instrumentation.
+using Clock = std::chrono::steady_clock;
+
+inline Clock::time_point now() { return Clock::now(); }
+
+/// Nanoseconds since the (arbitrary) monotonic epoch; the span timestamp unit.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now().time_since_epoch())
+      .count();
+}
+
+/// Nanoseconds between two Clock time points.
+inline std::int64_t ns_between(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+}  // namespace hero::obs

@@ -1,0 +1,222 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    HERO_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds must be strictly ascending");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> default_latency_bounds_us() {
+  // ~2x ladder, 1us .. ~8.4s: wide enough for a per-node kernel and a whole
+  // drain, small enough that record()'s linear scan stays trivial.
+  std::vector<std::int64_t> bounds;
+  for (std::int64_t b = 1; b <= std::int64_t{8} * 1024 * 1024; b *= 2) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+std::int64_t SnapshotEntry::percentile(double p) const {
+  if (count <= 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile sample, 1-based ceiling — integer arithmetic so
+  // identical inputs give identical answers everywhere.
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, (count * static_cast<std::int64_t>(p * 100.0) + 9999) / 10000);
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // +inf bucket: report the last finite bound (the floor of the truth).
+      return b < bounds.size() ? bounds[b] : (bounds.empty() ? 0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+const SnapshotEntry* Snapshot::find(const std::string& name) const {
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SnapshotEntry& e = entries[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << e.name << "\",";
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        os << "\"kind\":\"counter\",\"value\":" << e.value;
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        os << "\"kind\":\"gauge\",\"value\":" << e.value;
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        os << "\"kind\":\"histogram\",\"count\":" << e.count
+           << ",\"sum\":" << e.sum << ",\"bounds\":[";
+        for (std::size_t b = 0; b < e.bounds.size(); ++b) {
+          if (b != 0) os << ",";
+          os << e.bounds[b];
+        }
+        os << "],\"buckets\":[";
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          if (b != 0) os << ",";
+          os << e.buckets[b];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+MetricsRegistry::Slot* MetricsRegistry::find_locked(const std::string& name,
+                                                    Kind kind) {
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    if (slot->name != name) continue;
+    HERO_CHECK_MSG(slot->kind == kind,
+                   "metric '" << name << "' already registered as a different "
+                                         "instrument kind");
+    return slot.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  common::MutexLock lock(mutex_);
+  if (Slot* slot = find_locked(name, Kind::kCounter)) {
+    return slot->counter.get();
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  slot->kind = Kind::kCounter;
+  slot->counter = std::make_unique<Counter>();
+  Counter* handle = slot->counter.get();
+  slots_.push_back(std::move(slot));
+  return handle;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  common::MutexLock lock(mutex_);
+  if (Slot* slot = find_locked(name, Kind::kGauge)) {
+    return slot->gauge.get();
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  slot->kind = Kind::kGauge;
+  slot->gauge = std::make_unique<Gauge>();
+  Gauge* handle = slot->gauge.get();
+  slots_.push_back(std::move(slot));
+  return handle;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> bounds) {
+  common::MutexLock lock(mutex_);
+  if (Slot* slot = find_locked(name, Kind::kHistogram)) {
+    HERO_CHECK_MSG(slot->histogram->bounds() == bounds,
+                   "histogram '" << name
+                                 << "' re-registered with different bounds");
+    return slot->histogram.get();
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  slot->kind = Kind::kHistogram;
+  slot->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* handle = slot->histogram.get();
+  slots_.push_back(std::move(slot));
+  return handle;
+}
+
+Histogram* MetricsRegistry::latency_histogram_us(const std::string& name) {
+  return histogram(name, default_latency_bounds_us());
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  {
+    common::MutexLock lock(mutex_);
+    snap.entries.reserve(slots_.size());
+    for (const std::unique_ptr<Slot>& slot : slots_) {
+      SnapshotEntry e;
+      e.name = slot->name;
+      switch (slot->kind) {
+        case Kind::kCounter:
+          e.kind = SnapshotEntry::Kind::kCounter;
+          e.value = slot->counter->value();
+          break;
+        case Kind::kGauge:
+          e.kind = SnapshotEntry::Kind::kGauge;
+          e.value = slot->gauge->value();
+          break;
+        case Kind::kHistogram: {
+          e.kind = SnapshotEntry::Kind::kHistogram;
+          const Histogram& h = *slot->histogram;
+          e.bounds = h.bounds();
+          e.buckets.reserve(h.bucket_count());
+          for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+            e.buckets.push_back(h.bucket(b));
+          }
+          e.count = h.count();
+          e.sum = h.sum();
+          e.value = e.sum;
+          break;
+        }
+      }
+      snap.entries.push_back(std::move(e));
+    }
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset_all() {
+  common::MutexLock lock(mutex_);
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    switch (slot->kind) {
+      case Kind::kCounter: slot->counter->reset(); break;
+      case Kind::kGauge: slot->gauge->reset(); break;
+      case Kind::kHistogram: slot->histogram->reset(); break;
+    }
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace hero::obs

@@ -1,0 +1,181 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The layers of the serving stack (net, serve, deploy, ir) each kept private
+// ad-hoc stat structs; this registry is the shared vocabulary. The contract
+// splits hot and cold paths:
+//
+//  * Registration (counter()/gauge()/histogram()) is the COLD path: it takes
+//    the registry mutex, may allocate, and hands back a stable pointer. Call
+//    it once at construction time and keep the handle.
+//  * Updates through a handle are the HOT path: relaxed atomic adds/stores,
+//    no locks, no allocation — safe inside the warm predict() loop that
+//    bench_inference's counting operator-new gate pins at zero allocations.
+//
+// All instrument values are int64 and every update is a commutative atomic
+// add (histograms count integer bucket hits and sum integer values), so a
+// snapshot taken after quiescence is BIT-IDENTICAL regardless of how many
+// threads produced the updates — the same determinism discipline the kernel
+// layer follows. snapshot() returns a name-sorted view suitable for golden
+// tests and for serving over the wire (HNET kStatsRequest).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace hero::obs {
+
+/// Monotonic event count. add() is allocation-free and lock-free.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins level, plus a monotonic-max update for high-water marks.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `value` if larger (relaxed CAS loop; lock-free).
+  void update_max(std::int64_t value) {
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !value_.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over int64 values (typically microseconds).
+///
+/// `bounds` are ascending INCLUSIVE upper bounds; an implicit +inf bucket
+/// catches the overflow, so there are bounds.size()+1 buckets. record() is a
+/// linear scan over a handful of bounds plus three relaxed atomic adds —
+/// allocation- and lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void record(std::int64_t value) {
+    std::size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t bucket_count() const { return bounds_.size() + 1; }
+  void reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  // unique_ptr<[]> rather than vector<atomic> so the type stays movable-free
+  // and the slot count is visibly fixed at construction.
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Default bucket bounds for microsecond latency histograms: ~2x steps from
+/// 1us to ~8s. Shared so every *_us histogram is cross-comparable.
+std::vector<std::int64_t> default_latency_bounds_us();
+
+/// One instrument's value as of a snapshot.
+struct SnapshotEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  ///< counter/gauge value; histogram: == sum
+
+  // Histogram-only payload.
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> buckets;  ///< bounds.size()+1 entries
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+
+  /// Bucket-resolution percentile (p in [0,100]): the upper bound of the
+  /// bucket containing the p-th sample (+inf bucket reports the last finite
+  /// bound). 0 when empty. Deterministic — pure integer arithmetic.
+  std::int64_t percentile(double p) const;
+};
+
+/// Stable, name-sorted view of every registered instrument.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  const SnapshotEntry* find(const std::string& name) const;
+  /// Compact JSON: {"metrics":[{"name":...,"kind":...,...},...]} with entries
+  /// in name order — byte-stable for golden tests given identical values.
+  std::string to_json() const;
+};
+
+/// Create-or-get registry of named instruments. Handles are stable for the
+/// registry's lifetime. A name may only ever be one instrument kind, and a
+/// histogram's bounds must match on re-registration (throws hero::Error
+/// otherwise — silent kind aliasing would corrupt the snapshot).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name) HERO_EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name) HERO_EXCLUDES(mutex_);
+  Histogram* histogram(const std::string& name,
+                       std::vector<std::int64_t> bounds) HERO_EXCLUDES(mutex_);
+  /// histogram() with default_latency_bounds_us().
+  Histogram* latency_histogram_us(const std::string& name)
+      HERO_EXCLUDES(mutex_);
+
+  Snapshot snapshot() const HERO_EXCLUDES(mutex_);
+  /// Zeroes every registered instrument (handles stay valid). Test/bench
+  /// seam — single-active-owner gauges also reset themselves on construct.
+  void reset_all() HERO_EXCLUDES(mutex_);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot* find_locked(const std::string& name, Kind kind) HERO_REQUIRES(mutex_);
+
+  mutable common::Mutex mutex_;
+  // Registration-ordered; snapshot sorts by name. Few dozen instruments —
+  // linear lookup on the cold path beats a map.
+  std::vector<std::unique_ptr<Slot>> slots_ HERO_GUARDED_BY(mutex_);
+};
+
+/// Process-wide registry every layer registers into by default.
+MetricsRegistry& metrics();
+
+}  // namespace hero::obs

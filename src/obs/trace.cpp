@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tid{1};
+std::atomic<std::uint64_t> g_next_sink_serial{1};
+std::atomic<TraceSink*> g_sink{nullptr};
+
+thread_local std::uint64_t tl_tid = 0;
+
+/// Thread-local ring claim: which ring of which sink INSTANCE this thread
+/// writes to. The serial (not just the pointer) is compared so a new sink
+/// constructed at a freed sink's address is not mistaken for the old one.
+struct ThreadRingSlot {
+  const TraceSink* sink = nullptr;
+  std::uint64_t serial = 0;
+  std::size_t index = 0;
+};
+thread_local ThreadRingSlot tl_ring;
+
+}  // namespace
+
+std::uint64_t current_tid() {
+  if (tl_tid == 0) tl_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tl_tid;
+}
+
+TraceSink* trace_sink() { return g_sink.load(std::memory_order_relaxed); }
+
+void set_trace_sink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink::TraceSink(Config config)
+    : config_(config),
+      serial_(g_next_sink_serial.fetch_add(1, std::memory_order_relaxed)),
+      rings_(std::max<std::size_t>(1, config.max_threads)) {
+  HERO_CHECK_MSG(config_.ring_capacity >= 1, "ring_capacity must be >= 1");
+  for (Ring& ring : rings_) {
+    common::MutexLock lock(ring.mutex);
+    ring.slots.resize(config_.ring_capacity);
+  }
+}
+
+TraceSink::Ring& TraceSink::ring_for_this_thread() {
+  if (tl_ring.sink != this || tl_ring.serial != serial_) {
+    // First record from this thread into this sink: claim the next ring.
+    // Beyond max_threads threads, claims wrap and rings are shared (each
+    // ring's mutex keeps that correct).
+    const std::size_t claim =
+        next_ring_.fetch_add(1, std::memory_order_relaxed);
+    tl_ring = ThreadRingSlot{this, serial_, claim % rings_.size()};
+  }
+  return rings_[tl_ring.index];
+}
+
+void TraceSink::record(const SpanRecord& rec) {
+  Ring& ring = ring_for_this_thread();
+  common::MutexLock lock(ring.mutex);
+  ring.slots[ring.head] = rec;
+  ring.head = (ring.head + 1) % ring.slots.size();
+  if (ring.size < ring.slots.size()) {
+    ++ring.size;
+  } else {
+    ++ring.dropped;  // just overwrote the oldest unread record
+  }
+}
+
+std::vector<SpanRecord> TraceSink::drain_sorted() {
+  std::vector<SpanRecord> out;
+  for (Ring& ring : rings_) {
+    common::MutexLock lock(ring.mutex);
+    const std::size_t cap = ring.slots.size();
+    // Oldest record sits at head when full, at 0 otherwise.
+    const std::size_t first = ring.size == cap ? ring.head : 0;
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      out.push_back(ring.slots[(first + i) % cap]);
+    }
+    ring.head = 0;
+    ring.size = 0;
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::int64_t TraceSink::dropped() const {
+  std::int64_t total = 0;
+  for (const Ring& ring : rings_) {
+    common::MutexLock lock(ring.mutex);
+    total += ring.dropped;
+  }
+  return total;
+}
+
+Span::Span(TraceSink* sink, const char* name, const char* category,
+           std::uint64_t trace_id, std::uint64_t parent, std::int64_t arg) {
+  if (sink == nullptr) return;
+  sink_ = sink;
+  record_.name = name;
+  record_.category = category;
+  record_.id = sink->next_span_id();
+  record_.parent = parent;
+  record_.trace_id = trace_id;
+  record_.tid = current_tid();
+  record_.arg = arg;
+  record_.start_ns = now_ns();
+}
+
+void Span::finish() {
+  if (sink_ == nullptr) return;
+  record_.end_ns = now_ns();
+  sink_->record(record_);
+  sink_ = nullptr;
+}
+
+namespace {
+
+/// Nanosecond offset as fixed-point microseconds ("12.345") — pure integer
+/// formatting, so export bytes are deterministic for identical records.
+void append_us(std::ostringstream& os, std::int64_t ns) {
+  os << ns / 1000 << "." << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& records) {
+  std::int64_t base = 0;
+  for (const SpanRecord& r : records) {
+    if (base == 0 || r.start_ns < base) base = r.start_ns;
+  }
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << r.name << "\",\"cat\":\"" << r.category
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << r.tid << ",\"ts\":";
+    append_us(os, r.start_ns - base);
+    os << ",\"dur\":";
+    append_us(os, r.end_ns - r.start_ns);
+    os << ",\"args\":{\"id\":" << r.id << ",\"parent\":" << r.parent
+       << ",\"trace\":" << r.trace_id << ",\"arg\":" << r.arg << "}}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& records) {
+  const std::string json = chrome_trace_json(records);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hero::obs

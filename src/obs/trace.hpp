@@ -1,0 +1,173 @@
+// Request-scoped tracing: RAII spans into per-thread bounded ring buffers,
+// exported as Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+//
+// Design constraints, in priority order:
+//
+//  1. OFF is free. Every hook in the stack is a `TraceSink*` that is nullptr
+//     by default; an inert Span is two pointer-sized stores and no clock
+//     reads. The warm predict() path stays zero-allocation either way
+//     (bench_inference's counting operator-new gate runs with tracing off,
+//     but even an active span never heap-allocates).
+//  2. ON is bounded. Records land in per-thread rings of fixed capacity
+//     preallocated at sink construction; overflow overwrites the OLDEST
+//     record and increments a drop counter — a trace can lie by omission,
+//     never by unbounded memory growth.
+//  3. Deterministic export. drain() merges rings sorted by (start, id) and
+//     the Chrome exporter rebases timestamps to the earliest span, so
+//     injected fixed-timestamp records produce byte-stable JSON for golden
+//     tests.
+//
+// Span names and categories are `const char*` STATIC STRING LITERALS by
+// contract — records copy the pointer, not the bytes (allocation-free), so a
+// dynamically built name would dangle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "obs/clock.hpp"
+
+namespace hero::obs {
+
+/// One completed span. POD; copied into rings by value.
+struct SpanRecord {
+  const char* name = "";      ///< static string literal only
+  const char* category = "";  ///< static string literal only
+  std::uint64_t id = 0;       ///< unique within the sink, 1-based
+  std::uint64_t parent = 0;   ///< parent span id, 0 = root
+  std::uint64_t trace_id = 0; ///< request correlation id, 0 = unscoped
+  std::uint64_t tid = 0;      ///< small per-thread ordinal (current_tid())
+  std::int64_t start_ns = 0;  ///< obs::now_ns() at open
+  std::int64_t end_ns = 0;    ///< obs::now_ns() at close
+  std::int64_t arg = 0;       ///< one free integer (rows, node index, bytes)
+};
+
+/// Small stable ordinal for the calling thread (1-based, process-wide).
+std::uint64_t current_tid();
+
+/// Collects SpanRecords into per-thread bounded rings.
+///
+/// record() is safe from any thread and never allocates: the caller's ring is
+/// resolved through a thread-local slot (re-resolved when the sink changes),
+/// and each ring takes only its own uncontended mutex — threads never share a
+/// ring unless more than `max_threads` distinct threads record, in which case
+/// rings are shared round-robin (still correct, just contended).
+class TraceSink {
+ public:
+  struct Config {
+    std::size_t ring_capacity = 4096;  ///< records per ring
+    std::size_t max_threads = 64;      ///< rings preallocated up front
+  };
+
+  TraceSink() : TraceSink(Config{}) {}
+  explicit TraceSink(Config config);
+
+  /// Appends one completed record; drops the oldest on a full ring.
+  void record(const SpanRecord& record);
+
+  std::uint64_t next_span_id() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t next_trace_id() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Copies out all buffered records sorted by (start_ns, id) and clears the
+  /// rings. Drop counters persist (dropped spans stay dropped). Cold path.
+  std::vector<SpanRecord> drain_sorted();
+
+  /// Total records overwritten before they could be drained.
+  std::int64_t dropped() const;
+
+  std::size_t ring_capacity() const { return config_.ring_capacity; }
+
+ private:
+  struct Ring {
+    mutable common::Mutex mutex;
+    std::vector<SpanRecord> slots HERO_GUARDED_BY(mutex);  ///< fixed capacity
+    std::size_t head HERO_GUARDED_BY(mutex) = 0;  ///< next write index
+    std::size_t size HERO_GUARDED_BY(mutex) = 0;
+    std::int64_t dropped HERO_GUARDED_BY(mutex) = 0;
+  };
+
+  Ring& ring_for_this_thread();
+
+  Config config_;
+  std::uint64_t serial_;  ///< distinguishes sinks reusing the same address
+  std::atomic<std::uint64_t> next_span_id_{1};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::atomic<std::size_t> next_ring_{0};
+  // Never resized after construction, so Ring addresses are stable and the
+  // vector itself needs no lock — each ring's own mutex covers its contents.
+  std::vector<Ring> rings_;
+};
+
+/// Process-default sink hooks. nullptr (tracing off) unless a bench or test
+/// installs one; read with a single relaxed atomic load on hot paths.
+TraceSink* trace_sink();
+void set_trace_sink(TraceSink* sink);
+
+class Span;
+
+/// Everything a callee needs to attach child spans to its caller's span:
+/// which sink, which request (trace_id), and which parent id. Passed by
+/// value down the request path; a default-constructed context is inert.
+struct SpanContext {
+  TraceSink* sink = nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent = 0;
+
+  bool active() const { return sink != nullptr; }
+  /// Context rooted at the process-default sink (new unscoped trace).
+  static SpanContext ambient() { return SpanContext{trace_sink(), 0, 0}; }
+  /// Same sink/trace, reparented under `span` (see Span::context()).
+};
+
+/// RAII span: opens at construction, records into the sink at destruction.
+/// A nullptr sink (or default construction) makes every member a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceSink* sink, const char* name, const char* category,
+       std::uint64_t trace_id = 0, std::uint64_t parent = 0,
+       std::int64_t arg = 0);
+  Span(const SpanContext& ctx, const char* name, const char* category,
+       std::int64_t arg = 0)
+      : Span(ctx.sink, name, category, ctx.trace_id, ctx.parent, arg) {}
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+  std::uint64_t id() const { return record_.id; }
+  std::uint64_t trace_id() const { return record_.trace_id; }
+  void set_arg(std::int64_t arg) { record_.arg = arg; }
+  /// Context for children of this span. Valid while the span is open.
+  SpanContext context() const {
+    return SpanContext{sink_, record_.trace_id, record_.id};
+  }
+
+  /// Stamps the end time and records; idempotent, implied by destruction.
+  void finish();
+
+ private:
+  TraceSink* sink_ = nullptr;
+  SpanRecord record_;
+};
+
+/// Chrome trace-event JSON ("traceEvents" array of complete "X" events) for
+/// a drained record list. Timestamps are rebased to the earliest start and
+/// printed as fixed-point microseconds, so identical records give identical
+/// bytes. Load the output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+std::string chrome_trace_json(const std::vector<SpanRecord>& records);
+
+/// chrome_trace_json() to a file; returns false (with a stderr warning) if
+/// the file cannot be written.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& records);
+
+}  // namespace hero::obs

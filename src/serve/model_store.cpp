@@ -22,6 +22,11 @@ std::string known_names(const std::vector<std::string>& names) {
 
 ModelStore::ModelStore(Config config) : config_(config) {
   HERO_CHECK_MSG(config_.max_bytes > 0, "ModelStore max_bytes must be positive");
+  acquires_ = obs::metrics().counter("store.acquires");
+  misses_ = obs::metrics().counter("store.misses");
+  installs_ = obs::metrics().counter("store.installs");
+  swaps_ = obs::metrics().counter("store.swaps");
+  evictions_ = obs::metrics().counter("store.evictions");
 }
 
 std::size_t ModelStore::install(const std::string& name,
@@ -34,6 +39,7 @@ std::size_t ModelStore::install(const std::string& name,
 
   common::MutexLock lock(mutex_);
   store_stats_.installs += 1;
+  installs_->increment();
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const Entry& e) { return e.stats.name == name; });
   if (it == entries_.end()) {
@@ -43,6 +49,7 @@ std::size_t ModelStore::install(const std::string& name,
     it = entries_.end() - 1;
   } else {
     store_stats_.swaps += 1;
+    swaps_->increment();
     it->stats.swaps += 1;
   }
   it->session = std::move(session);  // old session drains via live handles
@@ -79,6 +86,7 @@ SessionHandle ModelStore::try_acquire(const std::string& name) {
     if (entry.stats.name == name) {
       entry.last_used = ++clock_;
       entry.stats.acquires += 1;
+      acquires_->increment();
       // The IR executor's arenas grow as new input shapes are first served;
       // re-reading keeps the LRU budget honest about real occupancy.
       entry.stats.resident_bytes = entry.session->resident_bytes();
@@ -89,6 +97,7 @@ SessionHandle ModelStore::try_acquire(const std::string& name) {
     }
   }
   store_stats_.misses += 1;
+  misses_->increment();
   return nullptr;
 }
 
@@ -99,6 +108,7 @@ bool ModelStore::evict(const std::string& name) {
   if (it == entries_.end()) return false;
   entries_.erase(it);
   store_stats_.evictions += 1;
+  evictions_->increment();
   store_stats_.resident_bytes = resident_bytes_locked();
   return true;
 }
@@ -150,6 +160,7 @@ void ModelStore::enforce_budget_locked(const std::string& keep) {
     if (victim == entries_.end()) return;  // only `keep` is left
     entries_.erase(victim);
     store_stats_.evictions += 1;
+    evictions_->increment();
   }
 }
 

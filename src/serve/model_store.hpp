@@ -31,6 +31,7 @@
 
 #include "common/sync.hpp"
 #include "deploy/inference.hpp"
+#include "obs/metrics.hpp"
 
 namespace hero::serve {
 
@@ -122,6 +123,13 @@ class ModelStore {
   std::size_t resident_bytes_locked() const HERO_REQUIRES(mutex_);
 
   Config config_;
+  // Registry mirrors of the store counters ("store.*"), registered at
+  // construction so hot-path bumps are relaxed atomic adds only.
+  obs::Counter* acquires_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* installs_ = nullptr;
+  obs::Counter* swaps_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
   mutable common::Mutex mutex_;
   // Few models; linear scans beat a map here.
   std::vector<Entry> entries_ HERO_GUARDED_BY(mutex_);

@@ -11,6 +11,14 @@ namespace hero::serve {
 Server::Server(ModelStore& store, ServerConfig config) : store_(store), config_(config) {
   HERO_CHECK_MSG(config_.workers >= 1, "Server needs at least one worker, got "
                                            << config_.workers);
+  // Cold-path instrument registration; the gauges reset because this Server
+  // is now the single active owner of the serve.* high-water marks.
+  queue_depth_max_ = obs::metrics().gauge("serve.queue.depth_max");
+  queued_rows_max_ = obs::metrics().gauge("serve.queue.rows_max");
+  queue_depth_max_->reset();
+  queued_rows_max_->reset();
+  queue_us_ = obs::metrics().latency_histogram_us("serve.queue_us");
+  execute_us_ = obs::metrics().latency_histogram_us("serve.execute_us");
   HERO_CHECK_MSG(config_.max_batch >= 1, "Server max_batch must be >= 1, got "
                                              << config_.max_batch);
   HERO_CHECK_MSG(config_.max_delay_us >= 0, "Server max_delay_us must be >= 0");
@@ -76,18 +84,27 @@ void Server::enqueue_locked(Request request, std::int64_t rows) {
   queue_.push_back(std::move(request));
   queued_rows_ += rows;
   stats_.submitted += 1;
+  // Legacy shadows AND registry gauges get the same update; the bench
+  // parity audit asserts they never diverge.
   stats_.max_queue_depth =
       std::max(stats_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
   stats_.max_queued_rows = std::max(stats_.max_queued_rows, queued_rows_);
+  queue_depth_max_->update_max(static_cast<std::int64_t>(queue_.size()));
+  queued_rows_max_->update_max(queued_rows_);
 }
 
-std::future<Tensor> Server::submit(const std::string& model, const Tensor& features) {
+std::future<Tensor> Server::submit(const std::string& model, const Tensor& features,
+                                   const obs::SpanContext& trace) {
   check_features(features);
   const std::int64_t rows = features.dim(0);
   Request request;
   request.model = model;
   request.features = features;
-  request.arrival = std::chrono::steady_clock::now();
+  request.arrival = obs::now();
+  request.trace = trace;
+  if (request.trace.active() && request.trace.trace_id == 0) {
+    request.trace.trace_id = request.trace.sink->next_trace_id();
+  }
   std::future<Tensor> future = request.promise.get_future();
 
   common::UniqueLock lock(mutex_);
@@ -105,7 +122,7 @@ std::future<Tensor> Server::submit(const std::string& model, const Tensor& featu
 }
 
 bool Server::try_submit(const std::string& model, const Tensor& features,
-                        Completion done) {
+                        Completion done, const obs::SpanContext& trace) {
   check_features(features);
   HERO_CHECK_MSG(done != nullptr, "try_submit needs a completion callback");
   const std::int64_t rows = features.dim(0);
@@ -113,7 +130,11 @@ bool Server::try_submit(const std::string& model, const Tensor& features,
   request.model = model;
   request.features = features;
   request.done = std::move(done);
-  request.arrival = std::chrono::steady_clock::now();
+  request.arrival = obs::now();
+  request.trace = trace;
+  if (request.trace.active() && request.trace.trace_id == 0) {
+    request.trace.trace_id = request.trace.sink->next_trace_id();
+  }
 
   common::UniqueLock lock(mutex_);
   if (stopping_) throw Error("Server: submit after shutdown");
@@ -159,8 +180,21 @@ void Server::shutdown() {
 }
 
 ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    common::MutexLock lock(mutex_);
+    s = stats_;
+  }
+  // The registry gauges are the one source of truth for the high-waters;
+  // the shadow values under the lock remain only for the parity audit.
+  s.max_queue_depth = queue_depth_max_->value();
+  s.max_queued_rows = queued_rows_max_->value();
+  return s;
+}
+
+std::pair<std::int64_t, std::int64_t> Server::legacy_high_waters() const {
   common::MutexLock lock(mutex_);
-  return stats_;
+  return {stats_.max_queue_depth, stats_.max_queued_rows};
 }
 
 std::int64_t Server::effective_delay_us_locked(const Request& head) const {
@@ -228,7 +262,7 @@ void Server::worker_loop() {
       delay_us = effective_delay_us_locked(queue_[head]);
       if (full || plan.blocked || stopping_ || delay_us == 0) break;
       const auto deadline = queue_[head].arrival + std::chrono::microseconds(delay_us);
-      if (std::chrono::steady_clock::now() >= deadline) break;
+      if (obs::now() >= deadline) break;
       work_cv_.wait_until(lock, deadline);
     }
 
@@ -270,6 +304,55 @@ void Server::worker_loop() {
 }
 
 void Server::execute(std::vector<Request> batch) {
+  // Queue-wait accounting: one clock read serves the whole batch (the
+  // serve.queue_us histogram and the queue-wait spans share it).
+  const std::int64_t dequeue_ns = obs::now_ns();
+  std::int64_t batch_rows = 0;
+  const obs::SpanContext* traced = nullptr;
+  for (const Request& r : batch) {
+    const std::int64_t arrival_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            r.arrival.time_since_epoch())
+            .count();
+    queue_us_->record((dequeue_ns - arrival_ns) / 1000);
+    batch_rows += r.features.dim(0);
+    if (!r.trace.active()) continue;
+    if (traced == nullptr) traced = &r.trace;
+    // The queue wait happened in the past relative to this thread, so the
+    // span is recorded explicitly with the request's own arrival stamp.
+    obs::SpanRecord rec;
+    rec.name = "serve.queue";
+    rec.category = "serve";
+    rec.id = r.trace.sink->next_span_id();
+    rec.parent = r.trace.parent;
+    rec.trace_id = r.trace.trace_id;
+    rec.tid = obs::current_tid();
+    rec.arg = r.features.dim(0);
+    rec.start_ns = arrival_ns;
+    rec.end_ns = dequeue_ns;
+    r.trace.sink->record(rec);
+  }
+  if (traced != nullptr && batch.size() > 1) {
+    // Batch-scoped coalescing span: head arrival → extraction, parented
+    // under the first traced request (a sampled batch-level view).
+    obs::SpanRecord rec;
+    rec.name = "serve.coalesce";
+    rec.category = "serve";
+    rec.id = traced->sink->next_span_id();
+    rec.parent = traced->parent;
+    rec.trace_id = traced->trace_id;
+    rec.tid = obs::current_tid();
+    rec.arg = static_cast<std::int64_t>(batch.size());
+    rec.start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       batch.front().arrival.time_since_epoch())
+                       .count();
+    rec.end_ns = dequeue_ns;
+    traced->sink->record(rec);
+  }
+  obs::Span exec_span(traced != nullptr ? traced->sink : nullptr, "serve.execute",
+                      "serve", traced != nullptr ? traced->trace_id : 0,
+                      traced != nullptr ? traced->parent : 0, batch_rows);
+
   std::size_t resolved = 0;
   try {
     SessionHandle session = store_.try_acquire(batch.front().model);
@@ -277,7 +360,7 @@ void Server::execute(std::vector<Request> batch) {
                    "Server: model '" << batch.front().model << "' is not loaded");
     if (batch.size() == 1) {
       // A batch of one IS the direct unbatched predict — no concat/split.
-      Tensor logits = session->predict(batch.front().features);
+      Tensor logits = session->predict(batch.front().features, exec_span.context());
       resolve_value(batch.front().done, batch.front().promise, std::move(logits));
       resolved = 1;
     } else {
@@ -289,7 +372,8 @@ void Server::execute(std::vector<Request> batch) {
         features.push_back(r.features);
         rows.push_back(r.features.dim(0));
       }
-      const Tensor logits = session->predict(coalesce_features(features));
+      const Tensor logits =
+          session->predict(coalesce_features(features), exec_span.context());
       std::vector<Tensor> parts = split_rows(logits, rows);
       for (; resolved < batch.size(); ++resolved) {
         resolve_value(batch[resolved].done, batch[resolved].promise,
@@ -303,6 +387,8 @@ void Server::execute(std::vector<Request> batch) {
       resolve_error(batch[i].done, batch[i].promise, std::current_exception());
     }
   }
+  exec_span.finish();
+  execute_us_->record((obs::now_ns() - dequeue_ns) / 1000);
   {
     common::MutexLock lock(mutex_);
     in_flight_ -= static_cast<std::int64_t>(batch.size());

@@ -58,9 +58,13 @@
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/sync.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batch.hpp"
 #include "serve/model_store.hpp"
 #include "tensor/tensor.hpp"
@@ -104,6 +108,10 @@ struct ServerStats {
   /// admission-control observable: a growing `rejected` under open-loop
   /// load means offered rate exceeds capacity at this queue bound.
   std::int64_t rejected = 0;
+  /// High-water marks. Server::stats() fills these from the metrics-registry
+  /// gauges "serve.queue.depth_max" / "serve.queue.rows_max" — the registry
+  /// is the source of truth; legacy_high_waters() exposes the shadow values
+  /// kept under the queue lock for the bench parity audit.
   std::int64_t max_queue_depth = 0;   ///< peak queued requests (high-water)
   std::int64_t max_queued_rows = 0;   ///< peak queued examples (high-water)
   double mean_batch_rows() const {
@@ -134,7 +142,13 @@ class Server {
   /// Returns the future logits ([n, classes]). Blocks while the queue is at
   /// max_queue_rows; throws hero::Error after shutdown() or on an empty
   /// batch.
-  std::future<Tensor> submit(const std::string& model, const Tensor& features)
+  ///
+  /// `trace` scopes the request's spans (queue wait, coalesce, execute,
+  /// predict, per-IR-node): the net front-end passes its per-request
+  /// context; the default picks up the ambient sink (inert unless a bench
+  /// installed one) and a fresh trace id is assigned at admission.
+  std::future<Tensor> submit(const std::string& model, const Tensor& features,
+                             const obs::SpanContext& trace = obs::SpanContext::ambient())
       HERO_EXCLUDES(mutex_);
 
   /// Admission-controlled enqueue for front-ends that must not block: when
@@ -142,7 +156,8 @@ class Server {
   /// counts ServerStats::rejected, and `done` is never invoked. On
   /// admission, `done` fires exactly once from a worker thread with the
   /// logits or the failure. Throws hero::Error after shutdown().
-  bool try_submit(const std::string& model, const Tensor& features, Completion done)
+  bool try_submit(const std::string& model, const Tensor& features, Completion done,
+                  const obs::SpanContext& trace = obs::SpanContext::ambient())
       HERO_EXCLUDES(mutex_);
 
   /// Assigns `model` an SLA class consulted for claim priority and delay
@@ -159,6 +174,12 @@ class Server {
   void shutdown() HERO_EXCLUDES(mutex_);
 
   ServerStats stats() const HERO_EXCLUDES(mutex_);
+  /// The lock-maintained high-water shadows (max_queue_depth,
+  /// max_queued_rows) that predate the registry gauges. Kept so the bench
+  /// parity audit can assert gauge == legacy bit-for-bit; stats() itself
+  /// reads the gauges.
+  std::pair<std::int64_t, std::int64_t> legacy_high_waters() const
+      HERO_EXCLUDES(mutex_);
   const ServerConfig& config() const { return config_; }
   /// The store this server schedules over — front-ends use it to pre-check
   /// model names (advisory: installs/evictions race with it, and the submit
@@ -171,7 +192,8 @@ class Server {
     Tensor features;
     std::promise<Tensor> promise;  ///< unused when `done` is set
     Completion done;               ///< callback path (network front-end)
-    std::chrono::steady_clock::time_point arrival;
+    obs::Clock::time_point arrival;
+    obs::SpanContext trace;        ///< span scope (inert when tracing is off)
     SlaClass sla = SlaClass::kStandard;  ///< snapshot at submission
   };
 
@@ -211,6 +233,14 @@ class Server {
   std::int64_t in_flight_ HERO_GUARDED_BY(mutex_) = 0;
   bool stopping_ HERO_GUARDED_BY(mutex_) = false;
   ServerStats stats_ HERO_GUARDED_BY(mutex_);
+
+  // Registry instruments (cold-path registered in the constructor, which
+  // also RESETS the gauges — single-active-owner semantics: one live Server
+  // owns the serve.* gauges, matching how every test and bench runs).
+  obs::Gauge* queue_depth_max_ = nullptr;  ///< "serve.queue.depth_max"
+  obs::Gauge* queued_rows_max_ = nullptr;  ///< "serve.queue.rows_max"
+  obs::Histogram* queue_us_ = nullptr;     ///< "serve.queue_us" per request
+  obs::Histogram* execute_us_ = nullptr;   ///< "serve.execute_us" per batch
 
   std::vector<std::thread> workers_ HERO_GUARDED_BY(mutex_);
 };

@@ -1,0 +1,12 @@
+// hero-lint fixture: seeded timing-source violations (raw monotonic-clock
+// reads outside src/obs). Not compiled into any target; tests/lint drives
+// the linter over this tree.
+#include <chrono>
+
+long fixture_timing() {
+  const auto t0 = std::chrono::steady_clock::now();
+  using bad_clock = std::chrono::high_resolution_clock;
+  const auto t1 = bad_clock::now();
+  (void)t1;
+  return t0.time_since_epoch().count();
+}

@@ -173,6 +173,38 @@ TEST(FloatAccumRule, AllowsChunkLocalPartialsAndSubscripts) {
   EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
 }
 
+TEST(TimingSourceRule, FiresOnRawClockReads) {
+  const std::string src =
+      "#include <chrono>\n"
+      "long f() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"          // line 3
+      "  auto u = std::chrono::high_resolution_clock::now();\n"  // line 4
+      "  return (u - t).count();\n"
+      "}\n";
+  const auto findings = lint_source("src/serve/server.cpp", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "timing-source");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].line, 4);
+}
+
+TEST(TimingSourceRule, ExemptsObsAndBenches) {
+  const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/obs/clock.hpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/bench_serving.cpp", src).empty());
+  EXPECT_FALSE(lint_source("src/net/client.cpp", src).empty());
+}
+
+TEST(TimingSourceRule, AllowsSteadyClockTypeUses) {
+  // Using the clock as a TYPE (time_point members, durations) is fine — only
+  // the ::now() read must route through obs; high_resolution_clock is banned
+  // outright (it aliases an unspecified clock).
+  const std::string src =
+      "std::chrono::steady_clock::time_point deadline;\n"
+      "using D = std::chrono::steady_clock::duration;\n";
+  EXPECT_TRUE(lint_source("src/net/client.hpp", src).empty());
+}
+
 // --- suppressions and baseline ---------------------------------------------
 
 TEST(Suppressions, SameLineAndPreviousLineAllow) {

@@ -18,6 +18,7 @@
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "serve/model_store.hpp"
 #include "serve/server.hpp"
 #include "serve/serve_test_util.hpp"
@@ -279,6 +280,97 @@ TEST(NetServer, ShutdownRacesConnectionChurnAndStatsPolling) {
   EXPECT_GE(stats.responses + stats.errors_sent + stats.write_failures, 0);
   net.reset();
   server.shutdown();
+}
+
+TEST(NetServer, StatsQueryRoundTripsTheMetricsSnapshot) {
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::Server server(store);
+  NetServer net(server);
+  Client client(net.port());
+
+  // Serve a little traffic first so the counters have something to say.
+  for (int i = 0; i < 4; ++i) {
+    (void)client.predict("m", fx.bench.train.features.narrow(0, i, 1));
+  }
+  const std::string json = client.query_stats();
+  // The snapshot is the process registry: names registered by every layer of
+  // the stack must appear, with the net gauge live.
+  EXPECT_NE(json.find("\"name\":\"net.inflight_max\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"serve.queue.depth_max\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"deploy.predict_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"store.acquires\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single-line wire payload
+
+  // Pipelined with normal requests on the same connection.
+  auto logits = client.predict_async("m", fx.bench.train.features.narrow(0, 0, 1));
+  auto stats_again = client.query_stats_async();
+  EXPECT_NO_THROW(logits.get());
+  EXPECT_NE(stats_again.get().find("net.stats_queries"), std::string::npos);
+
+  // Registry gauge and the legacy lock-guarded high-water agree bit-for-bit.
+  EXPECT_EQ(net.stats().max_inflight, net.legacy_max_inflight());
+  EXPECT_GE(net.stats().max_inflight, 1);
+}
+
+TEST(NetServer, TracedRequestCoversDecodeToWrite) {
+  obs::TraceSink sink;
+  obs::set_trace_sink(&sink);
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::Server server(store);
+  NetServer net(server);
+  {
+    Client client(net.port());
+    (void)client.predict("m", fx.bench.train.features.narrow(0, 0, 1));
+  }
+  net.shutdown();
+  // Join the scheduler workers too: serve.execute records only after the
+  // completion (which shutdown's drain waits on) has been delivered.
+  server.shutdown();
+  obs::set_trace_sink(nullptr);
+
+  const std::vector<obs::SpanRecord> records = sink.drain_sorted();
+  const auto count_of = [&](const std::string& name) {
+    std::size_t n = 0;
+    for (const obs::SpanRecord& r : records) {
+      if (name == r.name) ++n;
+    }
+    return n;
+  };
+  // One request → exactly one root and one of each stage (the IR path emits
+  // one span per node, so just require presence there).
+  EXPECT_EQ(count_of("net.request"), 1u);
+  EXPECT_EQ(count_of("net.decode"), 1u);
+  EXPECT_EQ(count_of("net.admission"), 1u);
+  EXPECT_EQ(count_of("net.write"), 1u);
+  EXPECT_EQ(count_of("serve.queue"), 1u);
+  EXPECT_EQ(count_of("serve.execute"), 1u);
+  EXPECT_EQ(count_of("deploy.predict"), 1u);
+
+  // Every span of the request shares the root's trace id, and the root
+  // brackets all of them in time.
+  const obs::SpanRecord* root = nullptr;
+  for (const obs::SpanRecord& r : records) {
+    if (std::string("net.request") == r.name) root = &r;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(root->trace_id, 0u);
+  for (const obs::SpanRecord& r : records) {
+    if (r.trace_id != root->trace_id) continue;
+    // Every stage starts inside the root. End times may overhang slightly:
+    // serve.execute closes only after it has DELIVERED the completion (which
+    // writes the response and closes the root), so only the stages that
+    // finish before the write are bracketed on both sides.
+    EXPECT_GE(r.start_ns, root->start_ns) << r.name;
+    if (std::string(r.name) == "net.decode" || std::string(r.name) == "net.admission" ||
+        std::string(r.name) == "serve.queue" || std::string(r.name) == "deploy.predict") {
+      EXPECT_LE(r.end_ns, root->end_ns) << r.name;
+    }
+  }
+  EXPECT_EQ(sink.dropped(), 0);
 }
 
 TEST(NetServer, ServesBitIdenticallyAcrossHotSwap) {

@@ -66,6 +66,23 @@ TEST(Protocol, ResponseAndErrorRoundTrip) {
   EXPECT_EQ(decoded.message, "queue full");
 }
 
+TEST(Protocol, StatsRoundTrip) {
+  const auto [qh, qbody] = split_frame(encode_stats_request(11));
+  EXPECT_EQ(qh.type, FrameType::kStatsRequest);
+  EXPECT_EQ(qh.id, 11u);
+  EXPECT_TRUE(qbody.empty());
+  decode_stats_request_body(qh, qbody);  // must not throw
+
+  StatsResponseFrame response;
+  response.id = 11;
+  response.json = "{\"metrics\":[]}";
+  const auto [rh, rbody] = split_frame(encode_stats_response(response));
+  EXPECT_EQ(rh.type, FrameType::kStatsResponse);
+  const StatsResponseFrame decoded = decode_stats_response_body(rh, rbody);
+  EXPECT_EQ(decoded.id, 11u);
+  EXPECT_EQ(decoded.json, response.json);
+}
+
 TEST(Protocol, RejectsBadMagic) {
   std::string bytes = encode_request({1, "m", make_features(1, 1)});
   bytes[0] = 'X';
@@ -122,6 +139,33 @@ TEST(Protocol, RejectsTrailingBytes) {
   auto [rh, rbody] = split_frame(encode_response({1, make_features(1, 1)}));
   rbody.push_back('\0');
   EXPECT_THROW(decode_response_body(rh, rbody), Error);
+}
+
+TEST(Protocol, RejectsStatsFramesWithHostileBodies) {
+  // A stats request says nothing: ANY payload byte is a hostile frame.
+  auto [qh, qbody] = split_frame(encode_stats_request(3));
+  qbody = "x";
+  EXPECT_THROW(decode_stats_request_body(qh, qbody), Error);
+
+  // A stats response with trailing bytes after the JSON string is rejected
+  // the same way every other body is.
+  auto [rh, rbody] = split_frame(encode_stats_response({3, "{}"}));
+  rbody += "extra";
+  EXPECT_THROW(decode_stats_response_body(rh, rbody), Error);
+  // Truncation fails inside the hardened string reader.
+  auto [th, tbody] = split_frame(encode_stats_response({3, "{\"a\":1}"}));
+  tbody.resize(tbody.size() - 2);
+  EXPECT_THROW(decode_stats_response_body(th, tbody), Error);
+}
+
+TEST(Protocol, StatsFrameTypesAreInHeaderRange) {
+  // Types 4 and 5 now decode; 6 is the first unknown type again.
+  std::string bytes = encode_stats_request(1);
+  EXPECT_EQ(decode_header(bytes.data()).type, FrameType::kStatsRequest);
+  bytes[8] = 5;
+  EXPECT_EQ(decode_header(bytes.data()).type, FrameType::kStatsResponse);
+  bytes[8] = 6;
+  EXPECT_THROW(decode_header(bytes.data()), Error);
 }
 
 TEST(Protocol, RejectsOversizedModelName) {

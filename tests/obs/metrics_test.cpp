@@ -1,0 +1,183 @@
+// Metrics registry invariants: inclusive bucket boundaries, kind safety,
+// name-sorted snapshots, and — the property the whole design leans on —
+// bit-identical snapshots regardless of how many threads produced the
+// updates (every instrument is an int64 with commutative relaxed adds).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hero::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Gauge, SetAndMonotonicMax) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.update_max(3);  // lower: no change
+  EXPECT_EQ(g.value(), 7);
+  g.update_max(19);
+  EXPECT_EQ(g.value(), 19);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpperBounds) {
+  Histogram h({10, 20});
+  ASSERT_EQ(h.bucket_count(), 3u);  // two finite buckets + the +inf bucket
+  h.record(1);    // <= 10
+  h.record(10);   // == bound: INCLUSIVE, still the first bucket
+  h.record(11);   // (10, 20]
+  h.record(20);   // == bound: second bucket
+  h.record(21);   // > last bound: +inf bucket
+  h.record(999);  // +inf bucket
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 2);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 1 + 10 + 11 + 20 + 21 + 999);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.bucket(0), 0);
+}
+
+TEST(HistogramTest, RejectsNonAscendingBounds) {
+  EXPECT_THROW(Histogram({5, 5}), hero::Error);
+  EXPECT_THROW(Histogram({10, 5}), hero::Error);
+}
+
+TEST(Registry, KindAliasingAndBoundsMismatchThrow) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), hero::Error);
+  EXPECT_THROW(reg.histogram("x", {1, 2}), hero::Error);
+  reg.histogram("h", {1, 2});
+  EXPECT_THROW(reg.histogram("h", {1, 2, 3}), hero::Error);
+  // Matching re-registration returns the SAME handle.
+  EXPECT_EQ(reg.counter("x"), reg.counter("x"));
+  EXPECT_EQ(reg.histogram("h", {1, 2}), reg.histogram("h", {1, 2}));
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta");
+  reg.gauge("alpha");
+  reg.histogram("mid", {1});
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "alpha");
+  EXPECT_EQ(snap.entries[1].name, "mid");
+  EXPECT_EQ(snap.entries[2].name, "zeta");
+  EXPECT_NE(snap.find("mid"), nullptr);
+  EXPECT_EQ(snap.find("nope"), nullptr);
+}
+
+/// The golden-test property: the same multiset of updates produces the same
+/// snapshot bytes whether one thread or four applied them.
+TEST(Registry, SnapshotBitIdenticalAcrossThreadCounts) {
+  const auto apply = [](MetricsRegistry& reg, int threads) {
+    Counter* hits = reg.counter("hits");
+    Gauge* high = reg.gauge("high");
+    Histogram* lat = reg.histogram("lat_us", {8, 64, 512});
+    constexpr int kTotal = 4000;
+    const auto worker = [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) {
+        hits->increment();
+        high->update_max(i % 700);
+        lat->record(i % 1000);
+      }
+    };
+    if (threads == 1) {
+      worker(0, kTotal);
+      return;
+    }
+    std::vector<std::thread> pool;
+    const int chunk = kTotal / threads;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t * chunk, t == threads - 1 ? kTotal : (t + 1) * chunk);
+    }
+    for (std::thread& t : pool) t.join();
+  };
+
+  MetricsRegistry serial;
+  apply(serial, 1);
+  MetricsRegistry parallel;
+  apply(parallel, 4);
+  EXPECT_EQ(serial.snapshot().to_json(), parallel.snapshot().to_json());
+}
+
+TEST(Registry, ResetAllZeroesEveryInstrument) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  Gauge* g = reg.gauge("g");
+  Histogram* h = reg.histogram("h", {10});
+  c->add(5);
+  g->set(9);
+  h->record(3);
+  reg.reset_all();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(h->bucket(0), 0);
+}
+
+TEST(SnapshotEntryTest, PercentileWalksBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat", {10, 100, 1000});
+  for (int i = 0; i < 90; ++i) h->record(5);     // 90 samples in (..,10]
+  for (int i = 0; i < 9; ++i) h->record(50);     // 9 in (10,100]
+  h->record(5000);                               // 1 in +inf
+  const Snapshot snap = reg.snapshot();
+  const SnapshotEntry* e = snap.find("lat");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->percentile(50.0), 10);    // median lands in the first bucket
+  EXPECT_EQ(e->percentile(95.0), 100);   // rank 95 lands in the second
+  EXPECT_EQ(e->percentile(100.0), 1000); // +inf reports the last finite bound
+  // Empty histogram: percentile is 0, not garbage.
+  reg.histogram("empty", {10});
+  EXPECT_EQ(reg.snapshot().find("empty")->percentile(50.0), 0);
+}
+
+TEST(SnapshotJson, ShapePerKind) {
+  MetricsRegistry reg;
+  reg.counter("c")->add(2);
+  reg.gauge("g")->set(3);
+  reg.histogram("h", {1, 2})->record(2);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_EQ(json,
+            "{\"metrics\":["
+            "{\"name\":\"c\",\"kind\":\"counter\",\"value\":2},"
+            "{\"name\":\"g\",\"kind\":\"gauge\",\"value\":3},"
+            "{\"name\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":2,"
+            "\"bounds\":[1,2],\"buckets\":[0,1,0]}"
+            "]}");
+}
+
+TEST(DefaultLatencyBounds, AscendingPowerLadder) {
+  const std::vector<std::int64_t> bounds = default_latency_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 1);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i], bounds[i - 1] * 2);
+  }
+  EXPECT_GE(bounds.back(), std::int64_t{8} * 1000 * 1000);  // covers ~8s
+}
+
+}  // namespace
+}  // namespace hero::obs

@@ -1,0 +1,182 @@
+// TraceSink invariants: bounded rings drop the OLDEST record and count the
+// drop, drains merge deterministically, inert spans cost nothing, and the
+// Chrome exporter produces byte-stable JSON for fixed-timestamp records.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hero::obs {
+namespace {
+
+SpanRecord make_record(std::uint64_t id, std::int64_t start_ns,
+                       std::int64_t end_ns) {
+  SpanRecord rec;
+  rec.name = "r";
+  rec.category = "test";
+  rec.id = id;
+  rec.tid = 1;
+  rec.start_ns = start_ns;
+  rec.end_ns = end_ns;
+  return rec;
+}
+
+TEST(SpanTest, InertWithoutASink) {
+  Span defaulted;
+  EXPECT_FALSE(defaulted.active());
+  Span null_sink(nullptr, "x", "test");
+  EXPECT_FALSE(null_sink.active());
+  EXPECT_EQ(null_sink.id(), 0u);
+  // An inert span's context is inert too: children stay off.
+  EXPECT_FALSE(null_sink.context().active());
+  null_sink.finish();  // no-op, no crash
+}
+
+TEST(SpanTest, RecordsOnFinishWithParentage) {
+  TraceSink sink;
+  Span parent(&sink, "parent", "test", /*trace_id=*/7, /*parent=*/0, /*arg=*/3);
+  ASSERT_TRUE(parent.active());
+  const SpanContext ctx = parent.context();
+  EXPECT_EQ(ctx.sink, &sink);
+  EXPECT_EQ(ctx.trace_id, 7u);
+  EXPECT_EQ(ctx.parent, parent.id());
+  {
+    Span child(ctx, "child", "test");
+    EXPECT_NE(child.id(), parent.id());
+    EXPECT_EQ(child.trace_id(), 7u);
+  }  // child records at scope exit
+  parent.finish();
+  parent.finish();  // idempotent: must not double-record
+
+  const std::vector<SpanRecord> records = sink.drain_sorted();
+  ASSERT_EQ(records.size(), 2u);
+  // Parent opened first, so it sorts first by start_ns.
+  EXPECT_STREQ(records[0].name, "parent");
+  EXPECT_EQ(records[0].arg, 3);
+  EXPECT_STREQ(records[1].name, "child");
+  EXPECT_EQ(records[1].parent, records[0].id);
+  EXPECT_EQ(records[1].trace_id, records[0].trace_id);
+  for (const SpanRecord& r : records) {
+    EXPECT_GE(r.end_ns, r.start_ns);
+    EXPECT_GT(r.tid, 0u);
+  }
+}
+
+TEST(TraceSinkTest, RingOverflowDropsOldestAndCounts) {
+  TraceSink::Config config;
+  config.ring_capacity = 4;
+  config.max_threads = 1;
+  TraceSink sink(config);
+  for (std::uint64_t i = 1; i <= 7; ++i) {
+    sink.record(make_record(i, static_cast<std::int64_t>(i * 100),
+                            static_cast<std::int64_t>(i * 100 + 10)));
+  }
+  EXPECT_EQ(sink.dropped(), 3);
+  const std::vector<SpanRecord> records = sink.drain_sorted();
+  ASSERT_EQ(records.size(), 4u);
+  // The four NEWEST survive (ids 4..7); the oldest three were overwritten.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, i + 4);
+  }
+  // Drop counters persist across drains; the rings themselves are empty.
+  EXPECT_EQ(sink.dropped(), 3);
+  EXPECT_TRUE(sink.drain_sorted().empty());
+}
+
+TEST(TraceSinkTest, DrainMergesSortedByStartThenId) {
+  TraceSink sink;
+  sink.record(make_record(3, 300, 310));
+  sink.record(make_record(1, 100, 110));
+  sink.record(make_record(5, 100, 120));  // same start as id 1: id breaks tie
+  sink.record(make_record(2, 200, 210));
+  const std::vector<SpanRecord> records = sink.drain_sorted();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_EQ(records[1].id, 5u);
+  EXPECT_EQ(records[2].id, 2u);
+  EXPECT_EQ(records[3].id, 3u);
+}
+
+TEST(TraceSinkTest, ManyThreadsShareRingsCorrectly) {
+  TraceSink::Config config;
+  config.ring_capacity = 64;
+  config.max_threads = 2;  // force ring sharing across 4 threads
+  TraceSink sink(config);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&sink, t] {
+      for (std::uint64_t i = 0; i < 32; ++i) {
+        sink.record(make_record(static_cast<std::uint64_t>(t) * 100 + i,
+                                static_cast<std::int64_t>(i + 1), 1000));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(sink.dropped(), 0);
+  EXPECT_EQ(sink.drain_sorted().size(), 128u);
+}
+
+TEST(ProcessSink, AmbientContextFollowsTheInstalledSink) {
+  EXPECT_EQ(trace_sink(), nullptr);  // default: tracing off
+  EXPECT_FALSE(SpanContext::ambient().active());
+  TraceSink sink;
+  set_trace_sink(&sink);
+  EXPECT_EQ(trace_sink(), &sink);
+  EXPECT_EQ(SpanContext::ambient().sink, &sink);
+  set_trace_sink(nullptr);
+  EXPECT_FALSE(SpanContext::ambient().active());
+}
+
+TEST(ChromeTrace, GoldenJsonForFixedRecords) {
+  std::vector<SpanRecord> records;
+  SpanRecord a;
+  a.name = "a";
+  a.category = "c";
+  a.id = 1;
+  a.parent = 0;
+  a.trace_id = 1;
+  a.tid = 1;
+  a.start_ns = 1000;
+  a.end_ns = 2500;
+  a.arg = 3;
+  SpanRecord b;
+  b.name = "b";
+  b.category = "c";
+  b.id = 2;
+  b.parent = 1;
+  b.trace_id = 1;
+  b.tid = 2;
+  b.start_ns = 1500;
+  b.end_ns = 1800;
+  b.arg = 0;
+  records.push_back(a);
+  records.push_back(b);
+  // Timestamps rebase to the earliest start and print as fixed-point
+  // microseconds — byte-stable across platforms and locales.
+  EXPECT_EQ(chrome_trace_json(records),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+            "\"ts\":0.000,\"dur\":1.500,"
+            "\"args\":{\"id\":1,\"parent\":0,\"trace\":1,\"arg\":3}},"
+            "{\"name\":\"b\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+            "\"ts\":0.500,\"dur\":0.300,"
+            "\"args\":{\"id\":2,\"parent\":1,\"trace\":1,\"arg\":0}}"
+            "]}\n");
+  EXPECT_EQ(chrome_trace_json({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST(Ids, SpanAndTraceIdsAreUniqueAndOneBased) {
+  TraceSink sink;
+  EXPECT_EQ(sink.next_span_id(), 1u);
+  EXPECT_EQ(sink.next_span_id(), 2u);
+  EXPECT_EQ(sink.next_trace_id(), 1u);
+  EXPECT_EQ(sink.next_trace_id(), 2u);
+}
+
+}  // namespace
+}  // namespace hero::obs

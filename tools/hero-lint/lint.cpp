@@ -345,8 +345,26 @@ void rule_float_accum(const std::string& path, const Stripped& src,
   });
 }
 
+/// timing-source: raw monotonic-clock reads outside src/obs (the sanctioned
+/// wrapper, obs::now()/obs::now_ns()) and bench/ (drivers time themselves).
+/// One clock source keeps every span and histogram on the same timeline and
+/// keeps clock reads visible to the zero-alloc/zero-overhead audits.
+void rule_timing_source(const std::string& path, const Stripped& src,
+                        const std::vector<std::size_t>& starts,
+                        std::vector<Finding>& out) {
+  if (path_contains(path, "src/obs/") || path_contains(path, "bench/")) return;
+  static const std::regex kBad(
+      R"((steady_clock\s*::\s*now\s*\()|(\bhigh_resolution_clock\b))");
+  for_each_match(src.text, kBad, [&](const std::smatch&, std::size_t pos) {
+    add(out, path, line_of(starts, pos), "timing-source",
+        "raw std::chrono clock read; use obs::now()/obs::now_ns() "
+        "(src/obs/clock.hpp) so spans and histograms share one monotonic "
+        "timeline");
+  });
+}
+
 constexpr RuleFn kRules[] = {rule_rng_source, rule_raw_thread, rule_unordered_iter,
-                             rule_naked_lock, rule_float_accum};
+                             rule_naked_lock, rule_float_accum, rule_timing_source};
 
 bool suppressed(const Stripped& src, const Finding& f) {
   for (int line : {f.line, f.line - 1}) {
@@ -366,7 +384,8 @@ bool lintable_extension(const std::filesystem::path& p) {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "rng-source", "raw-thread", "unordered-iter", "naked-lock", "float-accum"};
+      "rng-source",  "raw-thread",  "unordered-iter",
+      "naked-lock",  "float-accum", "timing-source"};
   return kNames;
 }
 
