@@ -77,6 +77,10 @@ struct ObsReport {
   bool traced = false;
   std::int64_t spans = 0;    ///< records drained into the trace file
   std::int64_t dropped = 0;  ///< ring-overflow drops (trace lied by omission)
+  /// The drained records themselves (what the trace file serialized) so the
+  /// bench can audit structure — e.g. the merged-trace gate that proves a
+  /// client span and the server's span tree share one trace id.
+  std::vector<obs::SpanRecord> records;
 };
 
 /// Observability wiring shared by the serving benches:
@@ -112,7 +116,8 @@ class ObsEnv {
     ObsReport report;
     if (sink_ != nullptr) {
       obs::set_trace_sink(nullptr);
-      const std::vector<obs::SpanRecord> records = sink_->drain_sorted();
+      report.records = sink_->drain_sorted();
+      const std::vector<obs::SpanRecord>& records = report.records;
       report.traced = true;
       report.spans = static_cast<std::int64_t>(records.size());
       report.dropped = sink_->dropped();

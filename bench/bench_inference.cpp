@@ -34,6 +34,8 @@
 #include "bench_common.hpp"
 #include "common/check.hpp"
 #include "deploy/inference.hpp"
+#include "obs/clock.hpp"
+#include "obs/window.hpp"
 
 namespace {
 
@@ -375,6 +377,29 @@ int main(int argc, char** argv) {
               "(steady %zu allocs/call)\n",
               alloc_growth_ir, ir_second, alloc_growth_module, module_second);
 
+  // The telemetry plane holds the same bar: snapshot_into() reuses the
+  // caller's buffers and WindowedRegistry rolls into a fixed ring, so once
+  // warm, a polling loop (hero-top, the stats endpoint's window roller) must
+  // not grow the heap either.
+  obs::Snapshot warm_snapshot;
+  obs::metrics().snapshot_into(warm_snapshot);  // first fill sizes the buffers
+  const std::size_t snapshot_allocs =
+      count_allocs([&] { obs::metrics().snapshot_into(warm_snapshot); });
+  obs::WindowedRegistry alloc_windows(obs::metrics(),
+                                      obs::WindowConfig{1'000'000, 4});
+  std::int64_t synthetic_now = obs::now_ns();
+  // Wrap the ring once fully so every slot's buffers have been sized.
+  for (int i = 0; i < 8; ++i) {
+    synthetic_now += 1'000'000;
+    alloc_windows.roll(synthetic_now);
+  }
+  const std::size_t roll_allocs = count_allocs([&] {
+    synthetic_now += 1'000'000;  // each call closes exactly one window
+    alloc_windows.roll(synthetic_now);
+  });
+  std::printf("telemetry allocs once warm: snapshot_into %zu, window roll %zu\n",
+              snapshot_allocs, roll_allocs);
+
   const deploy::InferenceStats totals = session.stats();
   std::printf("session totals: %lld batches, %lld examples, %.0f images/s overall\n",
               static_cast<long long>(totals.batches),
@@ -404,6 +429,13 @@ int main(int argc, char** argv) {
   if (alloc_growth_ir != 0 || alloc_growth_module != 0) {
     std::fprintf(stderr, "ERROR: warm predict() still grows the heap (ir %zu, module %zu)\n",
                  alloc_growth_ir, alloc_growth_module);
+    return 1;
+  }
+  if (snapshot_allocs != 0 || roll_allocs != 0) {
+    std::fprintf(stderr,
+                 "ERROR: warm telemetry still allocates (snapshot_into %zu, "
+                 "window roll %zu)\n",
+                 snapshot_allocs, roll_allocs);
     return 1;
   }
   return 0;

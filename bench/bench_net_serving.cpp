@@ -19,7 +19,18 @@
 //    InferenceSession::predict of the same features — across 3 mid-trace
 //    hot-swaps of mlp-u4 and the graceful drain;
 //  * zero dropped/unresolved requests (rejections are ANSWERS — counted and
-//    reported separately, they are the admission-control design working).
+//    reported separately, they are the admission-control design working);
+//  * windowed-telemetry parity: per-class sliding histograms from the
+//    bench's WindowedRegistry must bit-match an offline recomputation from
+//    the retained cumulative snapshots;
+//  * SLO: the latency class at this (low) load must report attainment 1.0
+//    (--slo-gate=0 disarms for overload experiments);
+//  * with --trace-out: the merged trace must hold at least one request whose
+//    client span and server span tree share a trace id and nest correctly.
+//
+// --port-file=PATH writes the bound port once serving (hero-top smoke);
+// --linger=DUR keeps the server up that long after the trace drains so an
+// external poller can query live stats.
 //
 // Writes <out>/net_serving.json for the CI perf-trajectory artifact.
 #include <algorithm>
@@ -38,8 +49,11 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/traffic.hpp"
+#include "obs/clock.hpp"
+#include "obs/window.hpp"
 #include "serve/model_store.hpp"
 #include "serve/server.hpp"
+#include "serve/slo.hpp"
 
 namespace {
 
@@ -98,6 +112,10 @@ int main(int argc, char** argv) {
   const double rate_rps = flags.get_double("rate", 400.0);
   const std::string trace_kind = flags.get("trace", "bursty");
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 29));
+  const std::int64_t window_us = flags.get_duration_us("window", 250'000);
+  const bool slo_gate = flags.get_bool("slo-gate", true);
+  const std::string port_file = flags.get("port-file", "");
+  const std::int64_t linger_us = flags.get_duration_us("linger", 0);
   const auto requests = static_cast<std::int64_t>(env.scaled(600));
   HERO_CHECK_MSG(workers >= 1 && max_batch >= 1 && rate_rps > 0.0,
                  "workers, max-batch must be >= 1 and rate > 0");
@@ -174,6 +192,23 @@ int main(int argc, char** argv) {
   net_config.drain_timeout_us = drain_timeout_us;
   net::NetServer net(server, net_config);
 
+  // The bench's own windowed view over the process registry, rolled from the
+  // dispatch loop (so window granularity tracks the arrival cadence, not the
+  // server's stats-read cadence). The parity and SLO gates below score it.
+  obs::WindowedRegistry windows(
+      obs::metrics(), obs::WindowConfig{window_us * 1000, /*windows=*/64});
+  windows.roll(obs::now_ns());  // establish the baseline before any traffic
+
+  if (!port_file.empty()) {
+    // Written only after NetServer bound: existence == the port is live.
+    if (std::FILE* pf = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(pf, "%u\n", static_cast<unsigned>(net.port()));
+      std::fclose(pf);
+    } else {
+      std::fprintf(stderr, "warning: cannot write port file %s\n", port_file.c_str());
+    }
+  }
+
   // One connection per SLA class, each with its own latency reservoir.
   std::vector<std::unique_ptr<net::Client>> clients;
   for (std::size_t m = 0; m < kModelCount; ++m) {
@@ -204,6 +239,7 @@ int main(int argc, char** argv) {
     futures[static_cast<std::size_t>(i)] =
         clients[r.model]->predict_async(kModelNames[r.model], r.features);
     dispatched.fetch_add(1);
+    windows.roll(obs::now_ns());  // cheap no-op unless a boundary passed
   }
   swapper.join();
 
@@ -214,6 +250,12 @@ int main(int argc, char** argv) {
   while (net.stats().requests < requests &&
          std::chrono::steady_clock::now() < read_deadline) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  if (linger_us > 0) {
+    // Keep serving (stats queries included) so an external poller — the CI
+    // hero-top smoke — can watch a live server with real traffic behind it.
+    std::printf("lingering %.1fs for external pollers...\n", linger_us / 1e6);
+    std::this_thread::sleep_for(std::chrono::microseconds(linger_us));
   }
   net.shutdown();
   const auto wall1 = std::chrono::steady_clock::now();
@@ -290,7 +332,100 @@ int main(int argc, char** argv) {
   // its serve.execute span only after the completion it delivered returns,
   // so the trace is complete only once the workers are.
   server.shutdown();
+  // Pull every trailing response into a CLOSED window before gating.
+  windows.flush(obs::now_ns());
   const ObsReport obs = obs_env.finish();
+
+  // Windowed-telemetry parity: the sliding per-class histogram summed from
+  // per-window deltas must bit-match cumulative_end(newest) minus
+  // cumulative_start(oldest) recomputed offline from the retained snapshots
+  // (pure int64 arithmetic on both sides, so equality is exact).
+  std::int64_t window_mismatches = 0;
+  std::vector<serve::SloReport> slo_reports;
+  const std::vector<obs::WindowStats> closed_windows = windows.windows();
+  for (std::size_t m = 0; m < kModelCount; ++m) {
+    const serve::SlaClass sla = kModelSla[m];
+    const std::string name = serve::slo_histogram_name(sla);
+    const obs::SnapshotEntry sliding =
+        windows.sliding_histogram(name, windows.closed());
+    obs::SnapshotEntry offline;
+    if (!closed_windows.empty()) {
+      const obs::SnapshotEntry* end_entry =
+          closed_windows.back().cumulative_end.find(name);
+      const obs::SnapshotEntry* start_entry =
+          closed_windows.front().cumulative_start.find(name);
+      if (end_entry != nullptr) {
+        offline = *end_entry;
+        for (std::size_t b = 0; b < offline.buckets.size(); ++b) {
+          const std::int64_t base =
+              start_entry != nullptr && b < start_entry->buckets.size()
+                  ? start_entry->buckets[b]
+                  : 0;
+          offline.buckets[b] -= base;
+        }
+        offline.count -= start_entry != nullptr ? start_entry->count : 0;
+        offline.sum -= start_entry != nullptr ? start_entry->sum : 0;
+      }
+    }
+    const bool match = sliding.count == offline.count &&
+                       sliding.sum == offline.sum &&
+                       sliding.buckets == offline.buckets;
+    if (!match) {
+      window_mismatches += 1;
+      std::fprintf(stderr,
+                   "window parity MISMATCH for %s: sliding count %lld sum %lld "
+                   "vs offline count %lld sum %lld\n",
+                   name.c_str(), static_cast<long long>(sliding.count),
+                   static_cast<long long>(sliding.sum),
+                   static_cast<long long>(offline.count),
+                   static_cast<long long>(offline.sum));
+    }
+    slo_reports.push_back(serve::compute_slo(sliding, sla));
+  }
+
+  std::printf("\nSLO over %zu closed %.0fms windows (objective %.0f%% within target):\n",
+              windows.closed(), window_us / 1e3, serve::kSloObjective * 100.0);
+  print_header({"class", "target p99 ms", "count", "within", "attainment", "burn"});
+  for (const serve::SloReport& r : slo_reports) {
+    char attain[32], burn[32], target[32];
+    std::snprintf(attain, sizeof attain, "%.4f", r.attainment);
+    std::snprintf(burn, sizeof burn, "%.2f", r.budget_burn);
+    std::snprintf(target, sizeof target, "%.1f", r.target_p99_us / 1e3);
+    print_row({serve::sla_name(r.sla), target, std::to_string(r.count),
+               std::to_string(r.within), attain, burn});
+  }
+
+  // Cross-process trace audit: with tracing on, at least one request must
+  // appear end-to-end — a client.request span (pid kClientPid) whose id the
+  // server's net.request root (pid kServerPid) carries as its parent, both on
+  // one trace id, the server starting no earlier than the client. The skew
+  // between the two durations is the wire+queue time the server cannot see.
+  std::int64_t propagated_pairs = 0;
+  double skew_sum_us = 0.0;
+  if (obs.traced) {
+    for (const obs::SpanRecord& client_span : obs.records) {
+      if (std::string("client.request") != client_span.name) continue;
+      if (client_span.pid != obs::kClientPid) continue;
+      for (const obs::SpanRecord& root : obs.records) {
+        if (std::string("net.request") != root.name) continue;
+        if (root.pid != obs::kServerPid) continue;
+        if (root.trace_id != client_span.trace_id ||
+            root.parent != client_span.id) {
+          continue;
+        }
+        if (root.start_ns < client_span.start_ns) continue;  // must nest
+        propagated_pairs += 1;
+        skew_sum_us += ((client_span.end_ns - client_span.start_ns) -
+                        (root.end_ns - root.start_ns)) /
+                       1e3;
+        break;
+      }
+    }
+    std::printf("\nmerged trace: %lld client/server span pairs share a trace id "
+                "(mean client-server skew %.1f us)\n",
+                static_cast<long long>(propagated_pairs),
+                propagated_pairs > 0 ? skew_sum_us / propagated_pairs : 0.0);
+  }
 
   const std::string json_path = env.csv_path("net_serving.json");
   std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -332,6 +467,21 @@ int main(int argc, char** argv) {
                  static_cast<long long>(sstats.max_queue_depth),
                  static_cast<long long>(sstats.max_queued_rows),
                  static_cast<long long>(nstats.protocol_errors));
+    std::fprintf(f, "  \"windows_closed\": %lld,\n  \"window_parity_mismatches\": %lld,\n",
+                 static_cast<long long>(windows.closed()),
+                 static_cast<long long>(window_mismatches));
+    std::fprintf(f, "  \"propagated_trace_pairs\": %lld,\n  \"slo\": [\n",
+                 static_cast<long long>(propagated_pairs));
+    for (std::size_t m = 0; m < slo_reports.size(); ++m) {
+      const serve::SloReport& r = slo_reports[m];
+      std::fprintf(f,
+                   "    {\"class\": \"%s\", \"target_p99_us\": %lld, \"count\": %lld, "
+                   "\"within\": %lld, \"attainment\": %.6f, \"burn\": %.6f}%s\n",
+                   serve::sla_name(r.sla), static_cast<long long>(r.target_p99_us),
+                   static_cast<long long>(r.count), static_cast<long long>(r.within),
+                   r.attainment, r.budget_burn, m + 1 < slo_reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
     write_obs_json_block(f, obs);
     std::fprintf(f, "\n}\n");
     std::fclose(f);
@@ -372,6 +522,37 @@ int main(int argc, char** argv) {
                  static_cast<long long>(serve_legacy.first),
                  static_cast<long long>(sstats.max_queued_rows),
                  static_cast<long long>(serve_legacy.second));
+    return 1;
+  }
+  // Windowed-parity gate: the live sliding histograms must be re-derivable
+  // bit-for-bit from the retained cumulative snapshots.
+  if (window_mismatches != 0) {
+    std::fprintf(stderr,
+                 "ERROR: %lld sliding-window histograms diverged from the "
+                 "offline recomputation\n",
+                 static_cast<long long>(window_mismatches));
+    return 1;
+  }
+  // SLO gate: at this bench's low offered load the latency class must attain
+  // its p99 target on every answered request. Disarm with --slo-gate=0 when
+  // deliberately driving the stack past saturation.
+  if (slo_gate) {
+    const serve::SloReport& latency = slo_reports[0];  // kModelSla[0] == kLatency
+    if (outcomes[0].answered > 0 &&
+        (latency.count == 0 || latency.attainment < 1.0)) {
+      std::fprintf(stderr,
+                   "ERROR: latency-class SLO attainment %.6f (count %lld) at low "
+                   "load — expected 1.0\n",
+                   latency.attainment, static_cast<long long>(latency.count));
+      return 1;
+    }
+  }
+  // Cross-process propagation gate: a traced run must show at least one
+  // request end to end across both pids of the merged trace.
+  if (obs.traced && total.answered > 0 && propagated_pairs == 0) {
+    std::fprintf(stderr,
+                 "ERROR: merged trace holds no client/server span pair sharing "
+                 "a trace id\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,346 @@
+#include "common/json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace hero::common {
+
+namespace {
+
+/// Containers nested past this depth are rejected: a hostile payload of
+/// 100k '[' characters must not walk the parser off the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    HERO_CHECK_MSG(pos_ == text_.size(),
+                   "JSON document carries trailing bytes at offset " << pos_);
+    return value;
+  }
+
+ private:
+  JsonValue parse_value(int depth) {
+    HERO_CHECK_MSG(depth < kMaxDepth, "JSON nesting exceeds " << kMaxDepth
+                                                              << " levels");
+    skip_whitespace();
+    HERO_CHECK_MSG(pos_ < text_.size(), "JSON document ends mid-value");
+    switch (text_[pos_]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue::make_bool(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    ++pos_;  // consume '{'
+    std::map<std::string, JsonValue> members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      HERO_CHECK_MSG(peek() == '"',
+                     "JSON object key must be a string at offset " << pos_);
+      std::string key = parse_string();
+      skip_whitespace();
+      HERO_CHECK_MSG(peek() == ':',
+                     "JSON object missing ':' at offset " << pos_);
+      ++pos_;
+      // Duplicate keys: last one wins (matches common decoder behavior; the
+      // stack's own serializers never emit duplicates).
+      members[std::move(key)] = parse_value(depth + 1);
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      HERO_CHECK_MSG(c == '}', "JSON object not closed at offset " << pos_);
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    ++pos_;  // consume '['
+    std::vector<JsonValue> items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      HERO_CHECK_MSG(c == ']', "JSON array not closed at offset " << pos_);
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // consume '"'
+    std::string out;
+    for (;;) {
+      HERO_CHECK_MSG(pos_ < text_.size(), "JSON string not terminated");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        parse_escape(out);
+        continue;
+      }
+      HERO_CHECK_MSG(c >= 0x20,
+                     "JSON string holds an unescaped control byte at offset "
+                         << pos_);
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  void parse_escape(std::string& out) {
+    ++pos_;  // consume '\'
+    HERO_CHECK_MSG(pos_ < text_.size(), "JSON escape cut short");
+    const char c = text_[pos_++];
+    switch (c) {
+      case '"': out.push_back('"'); return;
+      case '\\': out.push_back('\\'); return;
+      case '/': out.push_back('/'); return;
+      case 'b': out.push_back('\b'); return;
+      case 'f': out.push_back('\f'); return;
+      case 'n': out.push_back('\n'); return;
+      case 'r': out.push_back('\r'); return;
+      case 't': out.push_back('\t'); return;
+      case 'u': {
+        std::uint32_t code = parse_hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          // High surrogate: the low half must follow immediately.
+          HERO_CHECK_MSG(pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                             text_[pos_ + 1] == 'u',
+                         "JSON lone high surrogate at offset " << pos_);
+          pos_ += 2;
+          const std::uint32_t low = parse_hex4();
+          HERO_CHECK_MSG(low >= 0xDC00 && low <= 0xDFFF,
+                         "JSON invalid surrogate pair at offset " << pos_);
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else {
+          HERO_CHECK_MSG(!(code >= 0xDC00 && code <= 0xDFFF),
+                         "JSON lone low surrogate at offset " << pos_);
+        }
+        append_utf8(out, code);
+        return;
+      }
+      default:
+        HERO_CHECK_MSG(false, "JSON unknown escape '\\" << c << "' at offset "
+                                                        << pos_ - 1);
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    HERO_CHECK_MSG(pos_ + 4 <= text_.size(), "JSON \\u escape cut short");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code += static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code += static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code += static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        HERO_CHECK_MSG(false, "JSON bad hex digit in \\u escape at offset "
+                                  << pos_ - 1);
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    HERO_CHECK_MSG(pos_ < text_.size() && is_digit(text_[pos_]),
+                   "JSON malformed number at offset " << start);
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros: "0" may not be followed by a digit
+      HERO_CHECK_MSG(pos_ >= text_.size() || !is_digit(text_[pos_]),
+                     "JSON number has a leading zero at offset " << start);
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      HERO_CHECK_MSG(pos_ < text_.size() && is_digit(text_[pos_]),
+                     "JSON number has a bare decimal point at offset " << start);
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      HERO_CHECK_MSG(pos_ < text_.size() && is_digit(text_[pos_]),
+                     "JSON number has an empty exponent at offset " << start);
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    HERO_CHECK_MSG(end == token.c_str() + token.size() && errno != ERANGE,
+                   "JSON number '" << token << "' does not parse");
+    return JsonValue::make_number(value);
+  }
+
+  void expect_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      HERO_CHECK_MSG(pos_ < text_.size() && text_[pos_] == *p,
+                     "JSON malformed literal (expected '" << literal
+                                                          << "') at offset "
+                                                          << pos_);
+      ++pos_;
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  HERO_CHECK_MSG(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  HERO_CHECK_MSG(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& JsonValue::as_string() const {
+  HERO_CHECK_MSG(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  HERO_CHECK_MSG(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  HERO_CHECK_MSG(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  HERO_CHECK_MSG(value != nullptr, "JSON object has no member '" << key << "'");
+  return *value;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(v);
+  return out;
+}
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hero::common

@@ -1,0 +1,75 @@
+// Minimal JSON reader for tooling that consumes the stack's own telemetry
+// (hero-top polling the extended stats payload, tests asserting its schema).
+//
+// Scope is deliberately narrow: parse a complete, self-contained document
+// into an immutable value tree. No writer (producers serialize by hand for
+// byte-stability), no streaming, no non-standard extensions. Hostile input
+// is a first-class concern — the stats payload crosses a TCP socket — so the
+// parser rejects malformed text with hero::Error instead of crashing:
+// trailing bytes, unterminated strings/containers, bad escapes, lone
+// surrogates, numbers that do not round-trip, and nesting past a fixed depth
+// cap all throw.
+//
+// Objects keep their members in a std::map, so iteration order is sorted by
+// key — deterministic output for any tool that re-renders a document.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hero::common {
+
+/// One parsed JSON value. A tagged union in spirit; only the members for the
+/// active kind are meaningful (the rest stay default-constructed).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw hero::Error when the kind does not match.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number() truncated toward zero — counters and percentiles in the
+  /// stats payload are integers serialized without a fraction.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup: nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// find() that throws hero::Error when the member is absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Builders used by the parser (and by tests constructing fixtures).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document (any value type at the top level).
+/// Throws hero::Error on any deviation from RFC 8259 syntax, on trailing
+/// non-whitespace bytes, and on nesting deeper than 64 levels.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace hero::common

@@ -1,8 +1,41 @@
 #include "net/client.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace hero::net {
+
+namespace {
+
+std::int64_t to_ns(obs::Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// Records the client-side view of one request once its reply landed. The
+/// span was "opened" at send time inside predict_async; this writes the
+/// completed record, guarded against the sink having been swapped out while
+/// the request was in flight.
+void emit_client_span(obs::TraceSink* sink, std::uint64_t trace_id,
+                      std::uint64_t span_id, obs::Clock::time_point sent,
+                      obs::Clock::time_point received, std::int64_t arg) {
+  if (sink == nullptr || obs::trace_sink() != sink) return;
+  obs::SpanRecord rec;
+  rec.name = "client.request";
+  rec.category = "client";
+  rec.id = span_id;
+  rec.parent = 0;
+  rec.trace_id = trace_id;
+  rec.tid = obs::current_tid();
+  rec.pid = obs::kClientPid;
+  rec.start_ns = to_ns(sent);
+  rec.end_ns = to_ns(received);
+  rec.arg = arg;
+  sink->record(rec);
+}
+
+}  // namespace
 
 Client::Client(std::uint16_t port, std::size_t reservoir_capacity)
     : socket_(connect_loopback(port)), latency_us_(reservoir_capacity) {
@@ -26,6 +59,15 @@ std::future<Tensor> Client::predict_async(const std::string& model,
     frame.id = next_id_++;
     Pending pending;
     pending.sent = obs::now();
+    if (obs::TraceSink* sink = obs::trace_sink()) {
+      // Open the client-side span and propagate its context on the wire;
+      // the reader thread records it when the reply lands.
+      pending.sink = sink;
+      pending.trace_id = sink->next_trace_id();
+      pending.span_id = sink->next_span_id();
+      frame.trace_id = pending.trace_id;
+      frame.parent_span = pending.span_id;
+    }
     future = pending.promise.get_future();
     pending_.emplace(frame.id, std::move(pending));
   }
@@ -102,6 +144,7 @@ void Client::reader_loop() {
         ResponseFrame frame = decode_response_body(header, body);
         std::promise<Tensor> promise;
         bool matched = false;
+        Pending traced;
         {
           common::MutexLock lock(mutex_);
           auto it = pending_.find(frame.id);
@@ -111,11 +154,19 @@ void Client::reader_loop() {
             const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                 received - it->second.sent);
             latency_us_.add(static_cast<double>(us.count()));
+            traced.sent = it->second.sent;
+            traced.sink = it->second.sink;
+            traced.trace_id = it->second.trace_id;
+            traced.span_id = it->second.span_id;
             pending_.erase(it);
             responses_ += 1;
           }
         }
-        if (matched) promise.set_value(std::move(frame.logits));
+        if (matched) {
+          emit_client_span(traced.sink, traced.trace_id, traced.span_id,
+                           traced.sent, received, /*arg=*/0);
+          promise.set_value(std::move(frame.logits));
+        }
         // An unmatched id is a server bug, not a client crash; drop it.
       } else if (header.type == FrameType::kStatsResponse) {
         StatsResponseFrame frame = decode_stats_response_body(header, body);
@@ -137,6 +188,7 @@ void Client::reader_loop() {
         std::promise<std::string> stats_promise;
         bool matched = false;
         bool stats_matched = false;
+        Pending traced;
         {
           common::MutexLock lock(mutex_);
           errors_ += 1;
@@ -145,6 +197,10 @@ void Client::reader_loop() {
           if (it != pending_.end()) {
             matched = true;
             promise = std::move(it->second.promise);
+            traced.sent = it->second.sent;
+            traced.sink = it->second.sink;
+            traced.trace_id = it->second.trace_id;
+            traced.span_id = it->second.span_id;
             pending_.erase(it);
           } else if (auto sit = pending_stats_.find(frame.id);
                      sit != pending_stats_.end()) {
@@ -158,7 +214,14 @@ void Client::reader_loop() {
         const auto error = std::make_exception_ptr(NetError(
             frame.code,
             std::string(error_code_name(frame.code)) + ": " + frame.message));
-        if (matched) promise.set_exception(error);
+        if (matched) {
+          // The failed request still gets its client span (arg = error code)
+          // so rejected traffic is visible in the merged trace.
+          emit_client_span(traced.sink, traced.trace_id, traced.span_id,
+                           traced.sent, received,
+                           static_cast<std::int64_t>(frame.code));
+          promise.set_exception(error);
+        }
         if (stats_matched) stats_promise.set_exception(error);
         // id 0 (header never parsed server-side) matches nothing: the
         // connection is about to die and the EOF path fails the rest.

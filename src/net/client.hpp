@@ -16,6 +16,14 @@
 // rejection (admission control) is distinguishable from an unknown model or
 // an internal failure. A transport loss fails every pending future with
 // NetError(kBadFrame); nothing ever hangs.
+//
+// When a process trace sink is installed (obs::set_trace_sink), every
+// predict carries the trace-context wire extension: the client allocates a
+// trace id + a "client.request" span id, the server parents its span tree
+// under them, and the reader thread records the client span (pid
+// obs::kClientPid) when the response or error frame lands — one merged
+// Chrome trace shows the request end to end, including the client-observed
+// vs server-observed latency skew.
 #pragma once
 
 #include <chrono>
@@ -29,6 +37,7 @@
 #include "common/sync.hpp"
 #include "net/socket.hpp"
 #include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hero::net {
@@ -71,6 +80,12 @@ class Client {
   struct Pending {
     std::promise<Tensor> promise;
     obs::Clock::time_point sent;
+    // Trace propagation (zero/null when tracing was off at send time). The
+    // sink pointer is re-checked against the installed sink at emission so
+    // a sink uninstalled mid-flight is never written to.
+    obs::TraceSink* sink = nullptr;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
   };
 
   void reader_loop();

@@ -66,6 +66,11 @@ std::string encode_request(const RequestFrame& frame) {
   std::ostringstream body;
   write_string(body, frame.model);
   save_tensor(body, frame.features);
+  if (frame.has_trace()) {
+    body.write(kTraceContextMagic, sizeof(kTraceContextMagic));
+    write_pod(body, frame.trace_id);
+    write_pod(body, frame.parent_span);
+  }
   return finish_frame(FrameType::kRequest, frame.id, body.str());
 }
 
@@ -121,6 +126,21 @@ RequestFrame decode_request_body(const FrameHeader& header, const std::string& b
     frame.id = header.id;
     frame.model = read_string(in, kMaxModelNameLen);
     frame.features = load_tensor(in);
+    // Optional trace-context extension. Bytes after the tensor must be a
+    // complete, well-formed extension: anything else is hostile (truncation
+    // and trailing bytes surface through read_pod / parse_body).
+    if (in.peek() != std::istream::traits_type::eof()) {
+      char magic[sizeof(kTraceContextMagic)] = {};
+      in.read(magic, sizeof(magic));
+      HERO_CHECK_MSG(in.good() && std::memcmp(magic, kTraceContextMagic,
+                                              sizeof(magic)) == 0,
+                     "request frame carries bytes after the tensor that are "
+                     "not a trace-context extension");
+      frame.trace_id = read_pod<std::uint64_t>(in);
+      frame.parent_span = read_pod<std::uint64_t>(in);
+      HERO_CHECK_MSG(frame.trace_id != 0,
+                     "trace-context extension carries a zero trace id");
+    }
     return frame;
   });
 }

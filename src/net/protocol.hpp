@@ -14,6 +14,12 @@
 //   request body:  length-prefixed model name (tensor/io write_string)
 //                  + feature tensor (tensor/io save_tensor: "HTSR" magic,
 //                    checked shape, fp32 payload)
+//                  + OPTIONAL trace-context extension: "TRCX" magic
+//                    + u64 trace id (non-zero) + u64 parent span id.
+//                    Absent = the pre-extension wire format; when present it
+//                    must be complete and final (a truncated extension, a
+//                    wrong magic, a zero trace id, or bytes after it are all
+//                    hostile and reject the frame).
 //   response body: logits tensor (save_tensor)
 //   error body:    u32 error code + length-prefixed message
 //   stats request body:  EMPTY (any payload is a hostile frame)
@@ -82,10 +88,21 @@ struct FrameHeader {
   std::uint32_t body_bytes = 0;
 };
 
+/// Magic tag opening the optional trace-context extension of a request body.
+inline constexpr char kTraceContextMagic[4] = {'T', 'R', 'C', 'X'};
+
 struct RequestFrame {
   std::uint64_t id = 0;
   std::string model;
   Tensor features;
+  /// Cross-process trace propagation: a non-zero trace_id asks the server to
+  /// tag its spans for this request with the CLIENT's trace id, parented
+  /// under the client's request span — one end-to-end trace across both
+  /// processes. Zero (the default) keeps the old wire format on encode.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  bool has_trace() const { return trace_id != 0; }
 };
 
 struct ResponseFrame {

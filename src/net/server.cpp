@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
+#include "serve/slo.hpp"
 
 namespace hero::net {
 
@@ -15,21 +18,31 @@ namespace {
 /// Closes a request's root span: net.request covers first header byte to the
 /// final frame write (response OR rejection), so every child span — decode,
 /// admission, queue wait, batch execute, write — nests under one umbrella.
+/// `parent` is 0 for a server-originated trace, or the CLIENT's request-span
+/// id when the frame carried the trace-context extension.
 void emit_request_root(obs::TraceSink* sink, std::uint64_t trace_id,
-                       std::uint64_t root_id, std::int64_t start_ns,
-                       std::int64_t arg) {
+                       std::uint64_t root_id, std::uint64_t parent,
+                       std::int64_t start_ns, std::int64_t arg) {
   if (sink == nullptr) return;
   obs::SpanRecord root;
   root.name = "net.request";
   root.category = "net";
   root.id = root_id;
-  root.parent = 0;
+  root.parent = parent;
   root.trace_id = trace_id;
   root.tid = obs::current_tid();
   root.start_ns = start_ns;
   root.end_ns = obs::now_ns();
   root.arg = arg;
   sink->record(root);
+}
+
+/// Locale-independent "%.3f" — rates in the stats JSON must serialize to
+/// identical bytes for identical windows.
+void append_fixed3(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
 }
 
 }  // namespace
@@ -46,6 +59,18 @@ NetServer::NetServer(serve::Server& server, NetServerConfig config)
   inflight_max_->reset();
   decode_us_ = obs::metrics().latency_histogram_us("net.decode_us");
   stats_queries_ = obs::metrics().counter("net.stats_queries");
+  requests_total_ = obs::metrics().counter("net.requests");
+  responses_total_ = obs::metrics().counter("net.responses");
+  rejected_total_ = obs::metrics().counter("net.rejected");
+  for (const serve::SlaClass sla :
+       {serve::SlaClass::kThroughput, serve::SlaClass::kStandard,
+        serve::SlaClass::kLatency}) {
+    class_us_[static_cast<int>(sla)] =
+        obs::metrics().latency_histogram_us(serve::slo_histogram_name(sla));
+  }
+  windows_ = std::make_unique<obs::WindowedRegistry>(
+      obs::metrics(),
+      obs::WindowConfig{config_.stats_window_ns, config_.stats_windows});
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -73,9 +98,10 @@ void NetServer::reader_loop(ConnectionPtr conn) {
     std::uint64_t frame_id = 0;  // best-effort id for the error frame
     try {
       if (!conn->socket.recv_exact(header_bytes, kHeaderBytes)) return;  // clean EOF
-      // One clock read per frame, and only with a sink installed: the
-      // timestamp anchors the net.decode / net.request spans.
-      const std::int64_t recv_ns = obs::trace_sink() != nullptr ? obs::now_ns() : 0;
+      // One clock read per frame, unconditionally: the timestamp anchors the
+      // net.decode / net.request spans when tracing is on, and ALWAYS feeds
+      // the per-SLA-class request-latency histograms the SLO layer scores.
+      const std::int64_t recv_ns = obs::now_ns();
       const FrameHeader header = decode_header(header_bytes);
       frame_id = header.id;
       std::string body(header.body_bytes, '\0');
@@ -113,7 +139,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
     stats_queries_->increment();
     StatsResponseFrame frame;
     frame.id = header.id;
-    frame.json = obs::metrics().snapshot().to_json();
+    frame.json = build_stats_json();
     try {
       send_frame(conn, encode_stats_response(frame));
     } catch (const std::exception&) {
@@ -127,15 +153,28 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
     throw NetError(ErrorCode::kBadFrame, "server accepts only request frames");
   }
   RequestFrame request = decode_request_body(header, body);  // throws on hostile body
+  requests_total_->increment();
+  // SLA snapshot for the latency histogram this request's wire time lands
+  // in; unknown models score as kStandard (they answer fast with an error).
+  const serve::SlaClass sla = server_.sla(request.model);
+  obs::Histogram* const class_us = class_us_[static_cast<int>(sla)];
 
-  // With a sink installed every request gets a fresh trace id and a
-  // net.request root; decode is recorded retroactively (it already happened)
-  // from the timestamp the reader took at the first header byte.
-  obs::TraceSink* const sink = recv_ns != 0 ? obs::trace_sink() : nullptr;
+  // With a sink installed every request gets a net.request root span. A
+  // frame carrying the trace-context extension ADOPTS the client's trace id
+  // and parents the root under the client's span — otherwise the trace id
+  // is freshly minted here. decode is recorded retroactively (it already
+  // happened) from the timestamp the reader took at the first header byte.
+  obs::TraceSink* const sink = obs::trace_sink();
   std::uint64_t trace_id = 0;
   std::uint64_t root_id = 0;
+  std::uint64_t root_parent = 0;
   if (sink != nullptr) {
-    trace_id = sink->next_trace_id();
+    if (request.has_trace()) {
+      trace_id = request.trace_id;
+      root_parent = request.parent_span;
+    } else {
+      trace_id = sink->next_trace_id();
+    }
     root_id = sink->next_span_id();
     obs::SpanRecord decode;
     decode.name = "net.decode";
@@ -174,14 +213,15 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   if (reject_stopping) {
     admission_span.finish();
     send_error(conn, header.id, ErrorCode::kShuttingDown, "server is draining");
-    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
+    emit_request_root(sink, trace_id, root_id, root_parent, recv_ns, 0);
     return false;
   }
   if (reject_budget) {
     admission_span.finish();
+    rejected_total_->increment();
     send_error(conn, header.id, ErrorCode::kRejected,
                "front-end in-flight budget exhausted, retry later");
-    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
+    emit_request_root(sink, trace_id, root_id, root_parent, recv_ns, 0);
     return true;  // the connection stays usable; rejection is per-request
   }
 
@@ -194,14 +234,14 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
     release_inflight();
     send_error(conn, header.id, ErrorCode::kUnknownModel,
                "model '" + request.model + "' is not loaded");
-    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
+    emit_request_root(sink, trace_id, root_id, root_parent, recv_ns, 0);
     return true;
   }
   admission_span.finish();
 
   const std::uint64_t id = header.id;
-  auto completion = [this, conn, id, sink, trace_id, root_id,
-                     recv_ns](Tensor logits, std::exception_ptr error) {
+  auto completion = [this, conn, id, sink, trace_id, root_id, root_parent,
+                     recv_ns, class_us](Tensor logits, std::exception_ptr error) {
     // Runs on a scheduler worker thread; must not throw (serve::Server
     // contract) — every path below catches its own failures.
     std::int64_t rows = 0;
@@ -214,6 +254,10 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
         obs::Span write_span(sink, "net.write", "net", trace_id, root_id, rows);
         send_frame(conn, encode_response(frame));
         write_span.finish();
+        // Wire latency for the SLO layer: first header byte → response
+        // written, recorded into this request's SLA-class histogram.
+        responses_total_->increment();
+        class_us->record((obs::now_ns() - recv_ns) / 1000);
         common::MutexLock lock(mutex_);
         stats_.responses += 1;
       } catch (const std::exception&) {
@@ -234,7 +278,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
                                  : ErrorCode::kInternal;
       send_error(conn, id, code, message);
     }
-    emit_request_root(sink, trace_id, root_id, recv_ns, rows);
+    emit_request_root(sink, trace_id, root_id, root_parent, recv_ns, rows);
     release_inflight();
   };
 
@@ -247,7 +291,7 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
   } catch (const std::exception& e) {
     release_inflight();
     send_error(conn, header.id, ErrorCode::kShuttingDown, e.what());
-    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
+    emit_request_root(sink, trace_id, root_id, root_parent, recv_ns, 0);
     return false;
   }
   if (!admitted) {
@@ -256,9 +300,10 @@ bool NetServer::handle_frame(const ConnectionPtr& conn, const FrameHeader& heade
       common::MutexLock lock(mutex_);
       stats_.rejected += 1;
     }
+    rejected_total_->increment();
     send_error(conn, header.id, ErrorCode::kRejected,
                "scheduler queue is full, retry later");
-    emit_request_root(sink, trace_id, root_id, recv_ns, 0);
+    emit_request_root(sink, trace_id, root_id, root_parent, recv_ns, 0);
   }
   return true;
 }
@@ -352,6 +397,67 @@ NetServerStats NetServer::stats() const {
 std::int64_t NetServer::legacy_max_inflight() const {
   common::MutexLock lock(mutex_);
   return stats_.max_inflight;
+}
+
+std::string NetServer::build_stats_json() {
+  // Windows roll ON READ: each stats query advances the windowed view to the
+  // current boundary, so a poller at any cadence sees fresh closed windows
+  // without the server running a background thread.
+  windows_->roll(obs::now_ns());
+  const obs::Snapshot snap = obs::metrics().snapshot();
+  const std::string metrics_json = snap.to_json();
+
+  std::ostringstream os;
+  // Reuse the registry's own serialization for the "metrics" key: strip its
+  // outer braces and extend the object, so the schema stays a strict superset
+  // of the pre-windowed stats response.
+  os << "{" << metrics_json.substr(1, metrics_json.size() - 2);
+
+  os << ",\"windows\":{\"window_ns\":" << windows_->window_ns()
+     << ",\"capacity\":" << windows_->capacity()
+     << ",\"closed\":" << windows_->closed() << ",\"rates\":[";
+  const char* const rate_names[] = {"net.requests", "net.responses",
+                                    "net.rejected"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << rate_names[i] << "\",\"per_s\":";
+    append_fixed3(os, windows_->rate_per_s(rate_names[i]));
+    os << "}";
+  }
+  os << "],\"sliding\":[";
+
+  // Per-class sliding percentiles and SLO scores come from the SAME
+  // histogram view: the sliding sum over the retained windows, or — before
+  // any window has closed — the cumulative snapshot, so a fresh server still
+  // answers with meaningful numbers.
+  std::vector<serve::SloReport> reports;
+  bool first = true;
+  for (const serve::SlaClass sla :
+       {serve::SlaClass::kThroughput, serve::SlaClass::kStandard,
+        serve::SlaClass::kLatency}) {
+    const std::string name = serve::slo_histogram_name(sla);
+    obs::SnapshotEntry hist;
+    if (windows_->closed() > 0) {
+      hist = windows_->sliding_histogram(name, windows_->capacity());
+    } else if (const obs::SnapshotEntry* entry = snap.find(name)) {
+      hist = *entry;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"count\":" << hist.count
+       << ",\"p50_us\":" << hist.percentile(50.0)
+       << ",\"p95_us\":" << hist.percentile(95.0)
+       << ",\"p99_us\":" << hist.percentile(99.0) << "}";
+    reports.push_back(serve::compute_slo(hist, sla));
+  }
+  os << "]}";
+
+  os << ",\"slo\":" << serve::slo_json(reports);
+
+  obs::TraceSink* const sink = obs::trace_sink();
+  os << ",\"trace\":{\"dropped\":" << (sink != nullptr ? sink->dropped() : 0)
+     << "}}";
+  return os.str();
 }
 
 }  // namespace hero::net

@@ -34,12 +34,19 @@
 // and closes, leaving every other connection undisturbed — pinned by
 // tests/net/net_server_test.cpp.
 //
-// Observability: a kStatsRequest frame is answered inline with the process
-// metrics snapshot (obs::Snapshot::to_json) in a kStatsResponse frame; with
-// a trace sink installed every admitted request carries a net.request root
-// span with net.decode / net.admission / net.write children, and its
-// SpanContext rides into serve::Server::try_submit so queue, batch, and
-// per-IR-node spans share the same trace id.
+// Observability: a kStatsRequest frame is answered inline with the EXTENDED
+// stats JSON (build_stats_json): the process metrics snapshot plus a
+// "windows" block (per-window rates and sliding percentiles from an owned
+// obs::WindowedRegistry, rolled on each stats read), an "slo" block
+// (per-SLA-class attainment and error-budget burn over the sliding
+// horizon), and a "trace" block (ring drop counter). Schema documented in
+// README "Observability". With a trace sink installed every admitted
+// request carries a net.request root span with net.decode / net.admission /
+// net.write children, and its SpanContext rides into
+// serve::Server::try_submit so queue, batch, and per-IR-node spans share
+// the same trace id. A request frame carrying the trace-context wire
+// extension ADOPTS the client's trace id and parents the net.request root
+// under the client's span — the cross-process propagation path.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +58,7 @@
 #include "common/sync.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/window.hpp"
 #include "serve/server.hpp"
 
 namespace hero::net {
@@ -66,6 +74,10 @@ struct NetServerConfig {
   /// closing sockets anyway (the scheduler's own drain keeps resolving
   /// them; only the wire write can be lost past this point).
   std::int64_t drain_timeout_us = 5'000'000;
+  /// Windowed-telemetry shape for the extended stats JSON: fixed-duration
+  /// windows rolled on each stats read, ring of this many retained.
+  std::int64_t stats_window_ns = 1'000'000'000;
+  std::size_t stats_windows = 8;
 };
 
 /// Front-end counters (snapshot under the server lock). The in-flight
@@ -139,12 +151,26 @@ class NetServer {
   const NetServerConfig config_;
   Listener listener_;
 
+  /// Builds the extended stats JSON served in kStatsResponse frames:
+  /// {"metrics":[...],"windows":{...},"slo":[...],"trace":{...}}.
+  std::string build_stats_json();
+
   // Registry instruments ("net.*"), registered at construction; the gauge is
   // the source of truth for the in-flight high-water, stats_.max_inflight
   // stays as the parity shadow.
   obs::Gauge* inflight_max_ = nullptr;
   obs::Histogram* decode_us_ = nullptr;
   obs::Counter* stats_queries_ = nullptr;
+  // Live-telemetry feeds: registry counters mirroring the request/response/
+  // reject tallies (so the windowed layer can rate them) and per-SLA-class
+  // request-latency histograms (decode start → response written) the SLO
+  // layer scores against sla_target_p99_us.
+  obs::Counter* requests_total_ = nullptr;   ///< "net.requests"
+  obs::Counter* responses_total_ = nullptr;  ///< "net.responses"
+  obs::Counter* rejected_total_ = nullptr;   ///< "net.rejected"
+  obs::Histogram* class_us_[3] = {nullptr, nullptr, nullptr};
+  /// Windowed view over the process registry, rolled on stats reads.
+  std::unique_ptr<obs::WindowedRegistry> windows_;
 
   mutable common::Mutex mutex_;  // stats, registry, in-flight budget
   common::CondVar drain_cv_;

@@ -112,6 +112,16 @@ MetricsRegistry::Slot* MetricsRegistry::find_locked(const std::string& name,
   return nullptr;
 }
 
+void MetricsRegistry::index_last_locked() {
+  // Linear insertion keeps sorted_ in name order without handing the mutex
+  // requirement to a comparator lambda; registration is the cold path.
+  const std::size_t added = slots_.size() - 1;
+  const std::string& name = slots_[added]->name;
+  std::size_t pos = 0;
+  while (pos < sorted_.size() && slots_[sorted_[pos]]->name < name) ++pos;
+  sorted_.insert(sorted_.begin() + static_cast<std::ptrdiff_t>(pos), added);
+}
+
 Counter* MetricsRegistry::counter(const std::string& name) {
   common::MutexLock lock(mutex_);
   if (Slot* slot = find_locked(name, Kind::kCounter)) {
@@ -123,6 +133,7 @@ Counter* MetricsRegistry::counter(const std::string& name) {
   slot->counter = std::make_unique<Counter>();
   Counter* handle = slot->counter.get();
   slots_.push_back(std::move(slot));
+  index_last_locked();
   return handle;
 }
 
@@ -137,6 +148,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
   slot->gauge = std::make_unique<Gauge>();
   Gauge* handle = slot->gauge.get();
   slots_.push_back(std::move(slot));
+  index_last_locked();
   return handle;
 }
 
@@ -155,6 +167,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   slot->histogram = std::make_unique<Histogram>(std::move(bounds));
   Histogram* handle = slot->histogram.get();
   slots_.push_back(std::move(slot));
+  index_last_locked();
   return handle;
 }
 
@@ -164,43 +177,53 @@ Histogram* MetricsRegistry::latency_histogram_us(const std::string& name) {
 
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
-  {
-    common::MutexLock lock(mutex_);
-    snap.entries.reserve(slots_.size());
-    for (const std::unique_ptr<Slot>& slot : slots_) {
-      SnapshotEntry e;
-      e.name = slot->name;
-      switch (slot->kind) {
-        case Kind::kCounter:
-          e.kind = SnapshotEntry::Kind::kCounter;
-          e.value = slot->counter->value();
-          break;
-        case Kind::kGauge:
-          e.kind = SnapshotEntry::Kind::kGauge;
-          e.value = slot->gauge->value();
-          break;
-        case Kind::kHistogram: {
-          e.kind = SnapshotEntry::Kind::kHistogram;
-          const Histogram& h = *slot->histogram;
-          e.bounds = h.bounds();
-          e.buckets.reserve(h.bucket_count());
-          for (std::size_t b = 0; b < h.bucket_count(); ++b) {
-            e.buckets.push_back(h.bucket(b));
-          }
-          e.count = h.count();
-          e.sum = h.sum();
-          e.value = e.sum;
-          break;
+  snapshot_into(snap);
+  return snap;
+}
+
+void MetricsRegistry::snapshot_into(Snapshot& out) const {
+  common::MutexLock lock(mutex_);
+  // sorted_ already orders slots by name, so entry i maps to the same
+  // instrument on every call for a stable registry: strings and vectors in
+  // `out` are overwritten in place with equal-shaped content and no
+  // reallocation happens after the first fill.
+  out.entries.resize(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const Slot& slot = *slots_[sorted_[i]];
+    SnapshotEntry& e = out.entries[i];
+    if (e.name != slot.name) e.name = slot.name;
+    switch (slot.kind) {
+      case Kind::kCounter:
+        e.kind = SnapshotEntry::Kind::kCounter;
+        e.value = slot.counter->value();
+        e.bounds.clear();
+        e.buckets.clear();
+        e.count = 0;
+        e.sum = 0;
+        break;
+      case Kind::kGauge:
+        e.kind = SnapshotEntry::Kind::kGauge;
+        e.value = slot.gauge->value();
+        e.bounds.clear();
+        e.buckets.clear();
+        e.count = 0;
+        e.sum = 0;
+        break;
+      case Kind::kHistogram: {
+        e.kind = SnapshotEntry::Kind::kHistogram;
+        const Histogram& h = *slot.histogram;
+        if (e.bounds != h.bounds()) e.bounds = h.bounds();
+        e.buckets.resize(h.bucket_count());
+        for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+          e.buckets[b] = h.bucket(b);
         }
+        e.count = h.count();
+        e.sum = h.sum();
+        e.value = e.sum;
+        break;
       }
-      snap.entries.push_back(std::move(e));
     }
   }
-  std::sort(snap.entries.begin(), snap.entries.end(),
-            [](const SnapshotEntry& a, const SnapshotEntry& b) {
-              return a.name < b.name;
-            });
-  return snap;
 }
 
 void MetricsRegistry::reset_all() {

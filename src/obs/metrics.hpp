@@ -153,6 +153,12 @@ class MetricsRegistry {
       HERO_EXCLUDES(mutex_);
 
   Snapshot snapshot() const HERO_EXCLUDES(mutex_);
+  /// snapshot() into a caller-owned buffer. Entry strings and bucket vectors
+  /// are reused in place, so once `out` has been filled for a stable
+  /// instrument set, re-snapshotting makes ZERO heap allocations — the
+  /// contract the window roller and hero-top's polling loop rely on
+  /// (pinned by bench_inference's counting operator-new gate).
+  void snapshot_into(Snapshot& out) const HERO_EXCLUDES(mutex_);
   /// Zeroes every registered instrument (handles stay valid). Test/bench
   /// seam — single-active-owner gauges also reset themselves on construct.
   void reset_all() HERO_EXCLUDES(mutex_);
@@ -168,11 +174,17 @@ class MetricsRegistry {
   };
 
   Slot* find_locked(const std::string& name, Kind kind) HERO_REQUIRES(mutex_);
+  /// Inserts the just-registered slots_.back() into sorted_.
+  void index_last_locked() HERO_REQUIRES(mutex_);
 
   mutable common::Mutex mutex_;
   // Registration-ordered; snapshot sorts by name. Few dozen instruments —
   // linear lookup on the cold path beats a map.
   std::vector<std::unique_ptr<Slot>> slots_ HERO_GUARDED_BY(mutex_);
+  // Indices into slots_ in name order, maintained at registration time so
+  // snapshot_into() can walk instruments pre-sorted: entry i always receives
+  // the SAME instrument, which is what makes buffer reuse allocation-free.
+  std::vector<std::size_t> sorted_ HERO_GUARDED_BY(mutex_);
 };
 
 /// Process-wide registry every layer registers into by default.

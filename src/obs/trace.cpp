@@ -139,16 +139,39 @@ void append_us(std::ostringstream& os, std::int64_t ns) {
 
 std::string chrome_trace_json(const std::vector<SpanRecord>& records) {
   std::int64_t base = 0;
+  std::vector<std::uint32_t> pids;
   for (const SpanRecord& r : records) {
     if (base == 0 || r.start_ns < base) base = r.start_ns;
+    if (std::find(pids.begin(), pids.end(), r.pid) == pids.end()) {
+      pids.push_back(r.pid);
+    }
   }
+  std::sort(pids.begin(), pids.end());
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const SpanRecord& r = records[i];
-    if (i != 0) os << ",";
+  // Process-name metadata first, one per distinct pid, so Perfetto labels
+  // the client and server timelines of a merged cross-process trace.
+  bool first = true;
+  for (const std::uint32_t pid : pids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"";
+    if (pid == kServerPid) {
+      os << "hero-server";
+    } else if (pid == kClientPid) {
+      os << "hero-client";
+    } else {
+      os << "process-" << pid;
+    }
+    os << "\"}}";
+  }
+  for (const SpanRecord& r : records) {
+    if (!first) os << ",";
+    first = false;
     os << "{\"name\":\"" << r.name << "\",\"cat\":\"" << r.category
-       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << r.tid << ",\"ts\":";
+       << "\",\"ph\":\"X\",\"pid\":" << r.pid << ",\"tid\":" << r.tid
+       << ",\"ts\":";
     append_us(os, r.start_ns - base);
     os << ",\"dur\":";
     append_us(os, r.end_ns - r.start_ns);

@@ -32,6 +32,12 @@
 
 namespace hero::obs {
 
+/// Logical process ids for the Chrome export. Cross-process propagation
+/// shares ONE trace id between a client and a server; the exporter keys the
+/// two sides apart by pid so a merged trace.json shows both timelines.
+inline constexpr std::uint32_t kServerPid = 1;
+inline constexpr std::uint32_t kClientPid = 2;
+
 /// One completed span. POD; copied into rings by value.
 struct SpanRecord {
   const char* name = "";      ///< static string literal only
@@ -40,6 +46,7 @@ struct SpanRecord {
   std::uint64_t parent = 0;   ///< parent span id, 0 = root
   std::uint64_t trace_id = 0; ///< request correlation id, 0 = unscoped
   std::uint64_t tid = 0;      ///< small per-thread ordinal (current_tid())
+  std::uint32_t pid = kServerPid;  ///< logical process for the merged export
   std::int64_t start_ns = 0;  ///< obs::now_ns() at open
   std::int64_t end_ns = 0;    ///< obs::now_ns() at close
   std::int64_t arg = 0;       ///< one free integer (rows, node index, bytes)

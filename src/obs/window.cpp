@@ -1,0 +1,199 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hero::obs {
+
+namespace {
+
+/// Copy-assign that reuses dst's heap storage (vector/string assignment
+/// keeps existing capacity), so steady-state window closes stay
+/// allocation-free once every buffer has reached its final shape.
+void assign_entry(SnapshotEntry& dst, const SnapshotEntry& src) {
+  if (dst.name != src.name) dst.name = src.name;
+  dst.kind = src.kind;
+  dst.value = src.value;
+  dst.bounds = src.bounds;
+  dst.buckets = src.buckets;
+  dst.count = src.count;
+  dst.sum = src.sum;
+}
+
+void assign_snapshot(Snapshot& dst, const Snapshot& src) {
+  dst.entries.resize(src.entries.size());
+  for (std::size_t i = 0; i < src.entries.size(); ++i) {
+    assign_entry(dst.entries[i], src.entries[i]);
+  }
+}
+
+/// dst = end - start, entry-wise. Both snapshots are name-sorted; a name in
+/// `end` missing from `start` (instrument registered mid-window) differences
+/// against zero. Counters and histograms subtract; gauges keep the end
+/// level (a level has no meaningful delta).
+void compute_delta(Snapshot& dst, const Snapshot& start, const Snapshot& end) {
+  dst.entries.resize(end.entries.size());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < end.entries.size(); ++i) {
+    const SnapshotEntry& e = end.entries[i];
+    while (j < start.entries.size() && start.entries[j].name < e.name) ++j;
+    const SnapshotEntry* s =
+        (j < start.entries.size() && start.entries[j].name == e.name)
+            ? &start.entries[j]
+            : nullptr;
+    SnapshotEntry& d = dst.entries[i];
+    assign_entry(d, e);
+    if (s == nullptr) continue;  // new instrument: delta == full value
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        d.value = e.value - s->value;
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        break;  // level at close, already assigned
+      case SnapshotEntry::Kind::kHistogram:
+        for (std::size_t b = 0; b < d.buckets.size(); ++b) {
+          d.buckets[b] = e.buckets[b] - (b < s->buckets.size() ? s->buckets[b] : 0);
+        }
+        d.count = e.count - s->count;
+        d.sum = e.sum - s->sum;
+        d.value = d.sum;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+WindowedRegistry::WindowedRegistry(const MetricsRegistry& registry,
+                                   WindowConfig config)
+    : registry_(registry), config_(config) {
+  HERO_CHECK_MSG(config_.window_ns >= 1, "window_ns must be >= 1");
+  HERO_CHECK_MSG(config_.windows >= 1, "window count must be >= 1");
+  common::MutexLock lock(mutex_);
+  ring_.resize(config_.windows);
+}
+
+void WindowedRegistry::close_one_locked(std::int64_t index,
+                                        bool carries_delta) {
+  WindowStats& w = ring_[ring_head_];
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  if (ring_size_ < ring_.size()) ++ring_size_;
+  ++total_closed_;
+  w.index = index;
+  w.start_ns = index * config_.window_ns;
+  w.end_ns = (index + 1) * config_.window_ns;
+  if (carries_delta) {
+    assign_snapshot(w.cumulative_start, prev_);
+    assign_snapshot(w.cumulative_end, scratch_);
+  } else {
+    // Fully skipped window: nothing happened in it by convention, so both
+    // boundaries see the current cumulative state.
+    assign_snapshot(w.cumulative_start, scratch_);
+    assign_snapshot(w.cumulative_end, scratch_);
+  }
+  compute_delta(w.delta, w.cumulative_start, w.cumulative_end);
+}
+
+void WindowedRegistry::roll(std::int64_t now_ns) {
+  HERO_CHECK_MSG(now_ns >= 0, "roll timestamps must be non-negative");
+  common::MutexLock lock(mutex_);
+  const std::int64_t current = now_ns / config_.window_ns;
+  if (!started_) {
+    // Baseline: remember where the clock stands; nothing to close yet.
+    started_ = true;
+    open_index_ = current;
+    registry_.snapshot_into(prev_);
+    return;
+  }
+  if (current <= open_index_) return;  // still inside the open window
+  registry_.snapshot_into(scratch_);
+  // All activity since the previous roll is attributed to the window that
+  // was open then; windows skipped entirely close empty. Materialize at
+  // most `capacity` windows — older ones would be evicted immediately.
+  std::int64_t first = open_index_;
+  if (current - first > static_cast<std::int64_t>(ring_.size())) {
+    first = current - static_cast<std::int64_t>(ring_.size());
+  }
+  for (std::int64_t j = first; j < current; ++j) {
+    close_one_locked(j, /*carries_delta=*/j == open_index_);
+  }
+  assign_snapshot(prev_, scratch_);
+  open_index_ = current;
+}
+
+std::size_t WindowedRegistry::closed() const {
+  common::MutexLock lock(mutex_);
+  return ring_size_;
+}
+
+std::int64_t WindowedRegistry::total_closed() const {
+  common::MutexLock lock(mutex_);
+  return total_closed_;
+}
+
+const WindowStats& WindowedRegistry::newest_locked(std::size_t back) const {
+  const std::size_t newest = (ring_head_ + ring_.size() - 1) % ring_.size();
+  return ring_[(newest + ring_.size() - back) % ring_.size()];
+}
+
+WindowStats WindowedRegistry::window(std::size_t i) const {
+  common::MutexLock lock(mutex_);
+  HERO_CHECK_MSG(i < ring_size_, "window index " << i << " out of range (closed="
+                                                << ring_size_ << ")");
+  return newest_locked(ring_size_ - 1 - i);
+}
+
+std::vector<WindowStats> WindowedRegistry::windows() const {
+  common::MutexLock lock(mutex_);
+  std::vector<WindowStats> out;
+  out.reserve(ring_size_);
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    out.push_back(newest_locked(ring_size_ - 1 - i));
+  }
+  return out;
+}
+
+double WindowedRegistry::rate_per_s(const std::string& name) const {
+  common::MutexLock lock(mutex_);
+  if (ring_size_ == 0) return 0.0;
+  const SnapshotEntry* e = newest_locked(0).delta.find(name);
+  if (e == nullptr) return 0.0;
+  const std::int64_t events =
+      e->kind == SnapshotEntry::Kind::kHistogram ? e->count : e->value;
+  return static_cast<double>(events) * 1e9 /
+         static_cast<double>(config_.window_ns);
+}
+
+SnapshotEntry WindowedRegistry::sliding_histogram(const std::string& name,
+                                                  std::size_t n) const {
+  common::MutexLock lock(mutex_);
+  SnapshotEntry out;
+  out.name = name;
+  out.kind = SnapshotEntry::Kind::kHistogram;
+  const std::size_t take = std::min(n, ring_size_);
+  for (std::size_t back = 0; back < take; ++back) {
+    const SnapshotEntry* e = newest_locked(back).delta.find(name);
+    if (e == nullptr || e->kind != SnapshotEntry::Kind::kHistogram) continue;
+    if (out.bounds.empty()) {
+      out.bounds = e->bounds;
+      out.buckets.assign(e->buckets.size(), 0);
+    }
+    for (std::size_t b = 0; b < e->buckets.size() && b < out.buckets.size();
+         ++b) {
+      out.buckets[b] += e->buckets[b];
+    }
+    out.count += e->count;
+    out.sum += e->sum;
+  }
+  out.value = out.sum;
+  return out;
+}
+
+std::int64_t WindowedRegistry::sliding_percentile(const std::string& name,
+                                                  double p,
+                                                  std::size_t n) const {
+  return sliding_histogram(name, n).percentile(p);
+}
+
+}  // namespace hero::obs

@@ -1,0 +1,125 @@
+// Windowed aggregation over a MetricsRegistry: the live-telemetry layer.
+//
+// The registry's instruments are cumulative-since-start, which is the right
+// shape for determinism gates but useless for "what is the p95 RIGHT NOW".
+// WindowedRegistry closes that gap without touching the hot path: it
+// periodically snapshots the registry and differences consecutive snapshots
+// into a bounded ring of fixed-duration windows.
+//
+// Design constraints, in priority order:
+//
+//  1. No background thread. Windows roll ON READ: every call to roll(now_ns)
+//     closes any windows whose end boundary `now_ns` has passed. Boundaries
+//     are floor(now_ns / window_ns) — deterministic functions of the
+//     caller-provided clock, so tests drive synthetic timestamps and get
+//     byte-stable window contents.
+//  2. Zero hot-path cost. The instruments are untouched; only the roller
+//     pays (a registry snapshot per closed boundary, into reused buffers —
+//     allocation-free after warmup, pinned by bench_inference's gate).
+//  3. Recomputable. Every closed window retains the cumulative snapshots at
+//     its open and close, so a sliding histogram summed from per-window
+//     deltas can be re-derived offline as cumulative_end(newest) minus
+//     cumulative_start(oldest) — bit-exact, since all arithmetic is int64.
+//     bench_net_serving exit-1 gates exactly that parity.
+//
+// Attribution convention: all activity observed between two rolls lands in
+// the window that was OPEN at the previous roll; fully skipped windows close
+// empty. With a frequently-polling roller this is exact to one poll interval;
+// after a long idle gap the stale activity ages out of the ring just like
+// any other old window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "obs/metrics.hpp"
+
+namespace hero::obs {
+
+struct WindowConfig {
+  std::int64_t window_ns = 1'000'000'000;  ///< window duration (1s default)
+  std::size_t windows = 8;                 ///< closed windows retained
+};
+
+/// One CLOSED window: [index*window_ns, (index+1)*window_ns).
+struct WindowStats {
+  std::int64_t index = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  /// Per-window view: counters and histogram buckets/count/sum are deltas
+  /// over the window; gauges carry their level at window close.
+  Snapshot delta;
+  Snapshot cumulative_start;  ///< registry cumulative at window open
+  Snapshot cumulative_end;    ///< registry cumulative at window close
+};
+
+class WindowedRegistry {
+ public:
+  explicit WindowedRegistry(const MetricsRegistry& registry,
+                            WindowConfig config = WindowConfig{});
+  WindowedRegistry(const WindowedRegistry&) = delete;
+  WindowedRegistry& operator=(const WindowedRegistry&) = delete;
+
+  /// Closes every window whose end boundary <= now_ns. The first call only
+  /// establishes the baseline (nothing closes). Allocation-free after
+  /// warmup for a stable instrument set. Cheap no-op when no boundary has
+  /// passed.
+  void roll(std::int64_t now_ns) HERO_EXCLUDES(mutex_);
+
+  /// Force-closes the window containing now_ns even though its boundary has
+  /// not passed — the "end of run" read that pulls trailing activity into a
+  /// closed window before gating on it.
+  void flush(std::int64_t now_ns) { roll(now_ns + config_.window_ns); }
+
+  std::int64_t window_ns() const { return config_.window_ns; }
+  std::size_t capacity() const { return config_.windows; }
+
+  /// Closed windows currently retained (<= capacity()).
+  std::size_t closed() const HERO_EXCLUDES(mutex_);
+  /// Closed windows ever materialized, including evicted ones.
+  std::int64_t total_closed() const HERO_EXCLUDES(mutex_);
+
+  /// Copy of retained window i, 0 = oldest. Throws hero::Error if out of
+  /// range. Cold path (copies three snapshots).
+  WindowStats window(std::size_t i) const HERO_EXCLUDES(mutex_);
+  /// Copies of all retained windows, oldest first. Cold path.
+  std::vector<WindowStats> windows() const HERO_EXCLUDES(mutex_);
+
+  /// Events per second of `name` over the NEWEST closed window: counter
+  /// delta (or histogram count delta) divided by the window duration.
+  /// 0 when no window has closed or the instrument is unknown.
+  double rate_per_s(const std::string& name) const HERO_EXCLUDES(mutex_);
+
+  /// Histogram deltas of `name` summed over the newest min(n, closed())
+  /// windows. count == 0 when nothing closed or the name is unknown.
+  SnapshotEntry sliding_histogram(const std::string& name,
+                                  std::size_t n) const HERO_EXCLUDES(mutex_);
+  /// sliding_histogram(name, n).percentile(p) — the "sliding p95".
+  std::int64_t sliding_percentile(const std::string& name, double p,
+                                  std::size_t n) const HERO_EXCLUDES(mutex_);
+
+ private:
+  void close_one_locked(std::int64_t index, bool carries_delta)
+      HERO_REQUIRES(mutex_);
+  const WindowStats& newest_locked(std::size_t back) const
+      HERO_REQUIRES(mutex_);
+
+  const MetricsRegistry& registry_;
+  const WindowConfig config_;
+
+  mutable common::Mutex mutex_;
+  bool started_ HERO_GUARDED_BY(mutex_) = false;
+  std::int64_t open_index_ HERO_GUARDED_BY(mutex_) = 0;
+  std::int64_t total_closed_ HERO_GUARDED_BY(mutex_) = 0;
+  // Fixed ring of `config_.windows` slots, reused in place so steady-state
+  // rolling is allocation-free.
+  std::vector<WindowStats> ring_ HERO_GUARDED_BY(mutex_);
+  std::size_t ring_head_ HERO_GUARDED_BY(mutex_) = 0;  ///< next write slot
+  std::size_t ring_size_ HERO_GUARDED_BY(mutex_) = 0;
+  Snapshot prev_ HERO_GUARDED_BY(mutex_);     ///< cumulative at last boundary
+  Snapshot scratch_ HERO_GUARDED_BY(mutex_);  ///< reused snapshot buffer
+};
+
+}  // namespace hero::obs

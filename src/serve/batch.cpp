@@ -33,6 +33,18 @@ SlaClass parse_sla_class(const std::string& name) {
               "' (accepted: latency, standard, throughput)");
 }
 
+std::int64_t sla_target_p99_us(SlaClass sla) {
+  // Power-of-two µs values: each is an exact bucket bound of
+  // obs::default_latency_bounds_us(), so "within target" is a whole-bucket
+  // predicate and attainment is bit-deterministic.
+  switch (sla) {
+    case SlaClass::kLatency: return std::int64_t{1} << 19;     // ~0.52s
+    case SlaClass::kStandard: return std::int64_t{1} << 21;    // ~2.1s
+    case SlaClass::kThroughput: return std::int64_t{1} << 23;  // ~8.4s
+  }
+  return std::int64_t{1} << 21;
+}
+
 std::int64_t sla_delay_us(SlaClass sla, std::int64_t max_delay_us) {
   return sla == SlaClass::kLatency ? max_delay_us / 8 : max_delay_us;
 }

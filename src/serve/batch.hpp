@@ -45,6 +45,15 @@ inline int sla_priority(SlaClass sla) { return static_cast<int>(sla); }
 const char* sla_name(SlaClass sla);
 SlaClass parse_sla_class(const std::string& name);
 
+/// The latency OBJECTIVE of an SLA class: the p99 request latency (µs,
+/// client-facing, decode→response) the tier promises. Values are bounds of
+/// obs::default_latency_bounds_us() so bucket-resolution attainment checks
+/// are exact, and generous enough that a correctly scheduled low-load run
+/// attains 1.0 even on noisy CI runners (bench_net_serving exit-1 gates
+/// that). The SLO layer (serve/slo.hpp) turns windowed histograms plus this
+/// target into attainment and error-budget burn.
+std::int64_t sla_target_p99_us(SlaClass sla);
+
 /// Coalescing-delay ceiling for a batch headed by a request of class `sla`:
 /// latency-class batches wait at most 1/8 of the configured delay (a fast
 /// flush still coalesces whatever already queued), everything else the full

@@ -17,6 +17,12 @@ Server::Server(ModelStore& store, ServerConfig config) : store_(store), config_(
   queued_rows_max_ = obs::metrics().gauge("serve.queue.rows_max");
   queue_depth_max_->reset();
   queued_rows_max_->reset();
+  // Live backlog levels (last-write-wins), the queue-depth feed for
+  // hero-top; reset for the same single-active-owner reason.
+  queue_depth_ = obs::metrics().gauge("serve.queue.depth");
+  queue_rows_ = obs::metrics().gauge("serve.queue.rows");
+  queue_depth_->reset();
+  queue_rows_->reset();
   queue_us_ = obs::metrics().latency_histogram_us("serve.queue_us");
   execute_us_ = obs::metrics().latency_histogram_us("serve.execute_us");
   HERO_CHECK_MSG(config_.max_batch >= 1, "Server max_batch must be >= 1, got "
@@ -81,6 +87,17 @@ void Server::enqueue_locked(Request request, std::int64_t rows) {
   if (const auto it = sla_.find(request.model); it != sla_.end()) {
     request.sla = it->second;
   }
+  // Per-model request tally, registered on the model's first request (the
+  // registry mutex nests under mutex_ only on this cold path).
+  auto counter_it = model_requests_.find(request.model);
+  if (counter_it == model_requests_.end()) {
+    counter_it = model_requests_
+                     .emplace(request.model,
+                              obs::metrics().counter("serve.model." +
+                                                     request.model + ".requests"))
+                     .first;
+  }
+  counter_it->second->increment();
   queue_.push_back(std::move(request));
   queued_rows_ += rows;
   stats_.submitted += 1;
@@ -91,6 +108,8 @@ void Server::enqueue_locked(Request request, std::int64_t rows) {
   stats_.max_queued_rows = std::max(stats_.max_queued_rows, queued_rows_);
   queue_depth_max_->update_max(static_cast<std::int64_t>(queue_.size()));
   queued_rows_max_->update_max(queued_rows_);
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  queue_rows_->set(queued_rows_);
 }
 
 std::future<Tensor> Server::submit(const std::string& model, const Tensor& features,
@@ -278,6 +297,8 @@ void Server::worker_loop() {
     }
     std::reverse(batch.begin(), batch.end());  // back to FIFO order
     queued_rows_ -= plan.rows;
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    queue_rows_->set(queued_rows_);
     in_flight_ += static_cast<std::int64_t>(batch.size());
     stats_.batches += 1;
     stats_.batched_rows += plan.rows;

@@ -239,8 +239,14 @@ class Server {
   // owns the serve.* gauges, matching how every test and bench runs).
   obs::Gauge* queue_depth_max_ = nullptr;  ///< "serve.queue.depth_max"
   obs::Gauge* queued_rows_max_ = nullptr;  ///< "serve.queue.rows_max"
+  obs::Gauge* queue_depth_ = nullptr;      ///< "serve.queue.depth" (live)
+  obs::Gauge* queue_rows_ = nullptr;       ///< "serve.queue.rows" (live)
   obs::Histogram* queue_us_ = nullptr;     ///< "serve.queue_us" per request
   obs::Histogram* execute_us_ = nullptr;   ///< "serve.execute_us" per batch
+  /// Per-model request counters ("serve.model.<name>.requests"), registered
+  /// lazily at first enqueue so hero-top can rate every served model.
+  std::unordered_map<std::string, obs::Counter*> model_requests_
+      HERO_GUARDED_BY(mutex_);
 
   std::vector<std::thread> workers_ HERO_GUARDED_BY(mutex_);
 };

@@ -1,0 +1,80 @@
+#include "serve/slo.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hero::serve {
+
+namespace {
+
+/// "%.6f" via snprintf: locale-independent fixed-point, so identical
+/// reports serialize to identical bytes.
+void append_fixed6(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  os << buf;
+}
+
+}  // namespace
+
+const char* slo_histogram_name(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kThroughput: return "net.request_us.throughput";
+    case SlaClass::kStandard: return "net.request_us.standard";
+    case SlaClass::kLatency: return "net.request_us.latency";
+  }
+  return "net.request_us.standard";
+}
+
+SloReport compute_slo(const obs::SnapshotEntry& hist, SlaClass sla,
+                      std::int64_t target_p99_us) {
+  HERO_CHECK_MSG(target_p99_us > 0, "SLO target must be positive");
+  SloReport report;
+  report.sla = sla;
+  report.target_p99_us = target_p99_us;
+  report.count = hist.count;
+  // Samples are "within" when their whole bucket is at or under the target
+  // (bounds are inclusive upper bounds). A target between bounds therefore
+  // rounds DOWN to the last covered bucket — conservative — but the default
+  // targets are exact bounds, so nothing is lost there. The +inf bucket is
+  // never within.
+  for (std::size_t b = 0; b < hist.bounds.size() && b < hist.buckets.size();
+       ++b) {
+    if (hist.bounds[b] > target_p99_us) break;
+    report.within += hist.buckets[b];
+  }
+  report.p99_us = hist.percentile(99.0);
+  if (report.count > 0) {
+    report.attainment =
+        static_cast<double>(report.within) / static_cast<double>(report.count);
+  }
+  report.budget_burn = (1.0 - report.attainment) / (1.0 - kSloObjective);
+  return report;
+}
+
+SloReport compute_slo(const obs::SnapshotEntry& hist, SlaClass sla) {
+  return compute_slo(hist, sla, sla_target_p99_us(sla));
+}
+
+std::string slo_json(const std::vector<SloReport>& reports) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SloReport& r = reports[i];
+    if (i != 0) os << ",";
+    os << "{\"class\":\"" << sla_name(r.sla)
+       << "\",\"target_p99_us\":" << r.target_p99_us
+       << ",\"count\":" << r.count << ",\"within\":" << r.within
+       << ",\"p99_us\":" << r.p99_us << ",\"attainment\":";
+    append_fixed6(os, r.attainment);
+    os << ",\"burn\":";
+    append_fixed6(os, r.budget_burn);
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hero::serve

@@ -1,0 +1,65 @@
+// SLO accounting: objective attainment and error-budget burn per SLA class.
+//
+// An SLA class (serve/batch.hpp) promises a p99 latency target
+// (sla_target_p99_us). This layer measures how the served traffic did
+// against that promise from a latency histogram — typically the sliding
+// windowed per-class histogram `net.request_us.<class>` that NetServer
+// records, so the report answers "are we meeting the objective NOW", not
+// "since the process started".
+//
+// All the arithmetic is bucket-resolution and integer-exact: `within` counts
+// samples in buckets whose INCLUSIVE upper bound is <= the target (targets
+// are bucket bounds by construction), so two hosts fed identical histograms
+// report identical attainment. An empty histogram vacuously attains 1.0 —
+// no traffic, no violated promises.
+//
+// Error-budget burn follows the SRE convention against a 99% objective:
+// burn = (1 - attainment) / 0.01. burn <= 1 means the tier is inside its
+// budget; burn 5.0 means violations are landing 5x faster than the budget
+// allows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/batch.hpp"
+
+namespace hero::serve {
+
+/// Fraction of the (1 - objective) error budget allowed to miss: the
+/// objective is "99% of requests within target".
+inline constexpr double kSloObjective = 0.99;
+
+struct SloReport {
+  SlaClass sla = SlaClass::kStandard;
+  std::int64_t target_p99_us = 0;
+  std::int64_t count = 0;   ///< samples measured
+  std::int64_t within = 0;  ///< samples at or under the target
+  std::int64_t p99_us = 0;  ///< measured p99 (bucket upper bound)
+  double attainment = 1.0;  ///< within / count; 1.0 when count == 0
+  double budget_burn = 0.0; ///< (1 - attainment) / (1 - kSloObjective)
+};
+
+/// Metrics-registry histogram name carrying the class's request latency
+/// (recorded by NetServer): "net.request_us.<sla_name>". Returns a static
+/// string literal.
+const char* slo_histogram_name(SlaClass sla);
+
+/// Scores `hist` (a *_us latency histogram or windowed delta of one)
+/// against `target_p99_us`.
+SloReport compute_slo(const obs::SnapshotEntry& hist, SlaClass sla,
+                      std::int64_t target_p99_us);
+
+/// compute_slo with the class's default target (sla_target_p99_us).
+SloReport compute_slo(const obs::SnapshotEntry& hist, SlaClass sla);
+
+/// Compact JSON array for the extended stats payload:
+/// [{"class":"latency","target_p99_us":...,"count":...,"within":...,
+///   "p99_us":...,"attainment":0.991234,"burn":0.876600},...]
+/// Ratios print with six fixed decimals so the bytes are deterministic for
+/// identical reports.
+std::string slo_json(const std::vector<SloReport>& reports);
+
+}  // namespace hero::serve

@@ -1,0 +1,101 @@
+// common::parse_json contract: full RFC 8259 acceptance for the documents
+// the stack's own serializers emit, and hard rejection (hero::Error, never a
+// crash) of the hostile shapes a network payload can take.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace hero::common {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_EQ(parse_json("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("2.5e2").as_number(), 250.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  0  ").as_int(), 0);  // surrounding whitespace ok
+}
+
+TEST(Json, ParsesContainersAndLookups) {
+  const JsonValue doc = parse_json(
+      R"({"metrics":[{"name":"net.requests","value":3}],"windows":{"closed":2},"empty":[],"none":null})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& metrics = doc.at("metrics");
+  ASSERT_TRUE(metrics.is_array());
+  ASSERT_EQ(metrics.as_array().size(), 1u);
+  EXPECT_EQ(metrics.as_array()[0].at("name").as_string(), "net.requests");
+  EXPECT_EQ(metrics.as_array()[0].at("value").as_int(), 3);
+  EXPECT_EQ(doc.at("windows").at("closed").as_int(), 2);
+  EXPECT_TRUE(doc.at("empty").as_array().empty());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW(doc.at("absent"), hero::Error);
+  // Objects iterate in sorted key order (std::map) — deterministic re-render.
+  const auto& members = doc.as_object();
+  EXPECT_EQ(members.begin()->first, "empty");
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n")").as_string(), "a\"b\\c/d\n");
+  EXPECT_EQ(parse_json(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1F600 as a 4-byte UTF-8 sequence.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, KindMismatchesThrow) {
+  const JsonValue n = parse_json("3");
+  EXPECT_THROW(n.as_string(), hero::Error);
+  EXPECT_THROW(n.as_array(), hero::Error);
+  EXPECT_THROW(n.as_object(), hero::Error);
+  EXPECT_THROW(parse_json("\"s\"").as_number(), hero::Error);
+  EXPECT_EQ(parse_json("3").find("k"), nullptr);  // find on non-object: null
+}
+
+TEST(Json, RejectsHostileDocuments) {
+  const char* bad[] = {
+      "",                        // empty
+      "  ",                      // whitespace only
+      "{",                       // unterminated object
+      "[1,2",                    // unterminated array
+      "\"abc",                   // unterminated string
+      "{\"a\":1,}",              // trailing comma
+      "[1,,2]",                  // empty element
+      "{\"a\" 1}",               // missing colon
+      "{1:2}",                   // non-string key
+      "tru",                     // cut literal
+      "nulll",                   // trailing bytes after literal
+      "1 2",                     // trailing bytes after number
+      "{} {}",                   // two documents
+      "01",                      // leading zero
+      "1.",                      // bare decimal point
+      "1e",                      // empty exponent
+      "+1",                      // leading plus
+      "\"\\x41\"",               // unknown escape
+      "\"\\u12g4\"",             // bad hex digit
+      "\"\\ud83d\"",             // lone high surrogate
+      "\"\\ude00\"",             // lone low surrogate
+      "\"\t\"",                  // raw control byte in string
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_json(text), hero::Error) << "accepted: " << text;
+  }
+  // Nesting bomb: 100k open brackets must throw at the depth cap, not crash.
+  EXPECT_THROW(parse_json(std::string(100'000, '[')), hero::Error);
+}
+
+TEST(Json, DuplicateKeysLastOneWins) {
+  EXPECT_EQ(parse_json(R"({"k":1,"k":2})").at("k").as_int(), 2);
+}
+
+}  // namespace
+}  // namespace hero::common

@@ -104,6 +104,28 @@ void write_corpus(const std::filesystem::path& dir) {
   const std::uint32_t type = 0xAB;
   std::memcpy(bad_type.data() + 8, &type, sizeof(type));
   emit_seed(dir, "bad_type.bin", bad_type);
+
+  // Trace-context extension seeds: the optional trailer is the newest parse
+  // surface, so point the fuzzer straight at its edges.
+  RequestFrame traced = request;
+  traced.trace_id = 0x1122334455667788ULL;
+  traced.parent_span = 0x99AABBCCDDEEFF00ULL;
+  const std::string traced_bytes = encode_request(traced);
+  emit_seed(dir, "request_with_trace.bin", traced_bytes);
+  // Extension cut mid-u64: read_pod must throw, not read past the buffer.
+  emit_seed(dir, "trace_truncated.bin",
+            traced_bytes.substr(0, traced_bytes.size() - 11));
+  // Valid-length trailer with the wrong magic: hostile trailing bytes.
+  std::string trace_bad_magic = traced_bytes;
+  trace_bad_magic[traced_bytes.size() - 20] = 'Z';
+  emit_seed(dir, "trace_bad_magic.bin", trace_bad_magic);
+  // Bytes after a complete extension: the body must consume exactly.
+  emit_seed(dir, "trace_trailing.bin", traced_bytes + std::string(3, '\0'));
+  // Zero trace id spelled out on the wire: the "no trace" sentinel is
+  // never a legal extension payload.
+  std::string trace_zero_id = traced_bytes;
+  std::memset(trace_zero_id.data() + traced_bytes.size() - 16, 0, 8);
+  emit_seed(dir, "trace_zero_id.bin", trace_zero_id);
 }
 
 }  // namespace hero_fuzz

@@ -1,0 +1,11 @@
+// hero-lint fixture: a raw clock read the way a monitoring CLI under tools/
+// might be tempted to write one. tools/ is deliberately absent from the
+// timing-source allowlist, so this must keep firing — hero-top itself polls
+// on obs::now(). Not compiled into any target; tests/lint drives the linter
+// over this tree.
+#include <chrono>
+
+long fixture_tools_clock() {
+  const auto poll_started = std::chrono::steady_clock::now();
+  return poll_started.time_since_epoch().count();
+}

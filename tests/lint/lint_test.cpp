@@ -195,6 +195,21 @@ TEST(TimingSourceRule, ExemptsObsAndBenches) {
   EXPECT_FALSE(lint_source("src/net/client.cpp", src).empty());
 }
 
+TEST(TimingSourceRule, AllowlistIsDataDrivenAndExcludesTools) {
+  const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  // Exactly the published prefixes pass — the rule consults the list, not
+  // hard-coded conditionals.
+  ASSERT_FALSE(timing_source_allowlist().empty());
+  for (const std::string& prefix : timing_source_allowlist()) {
+    EXPECT_TRUE(lint_source(prefix + "anything.cpp", src).empty()) << prefix;
+  }
+  // tools/ is deliberately off the list: hero-top polls on obs::now(), and a
+  // raw clock read sneaking into a CLI must fire like anywhere else.
+  const auto findings = lint_source("tools/hero-top/main.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "timing-source");
+}
+
 TEST(TimingSourceRule, AllowsSteadyClockTypeUses) {
   // Using the clock as a TYPE (time_point members, durations) is fine — only
   // the ::now() read must route through obs; high_resolution_clock is banned
@@ -269,7 +284,7 @@ TEST(Fixtures, EveryRuleFiresOnItsSeededFixture) {
 
 TEST(CleanTree, RealSourcesLintCleanAgainstBaseline) {
   std::vector<Finding> findings =
-      lint_tree(HERO_SOURCE_DIR, {"src", "bench", "examples"});
+      lint_tree(HERO_SOURCE_DIR, {"src", "bench", "examples", "tools"});
   const auto baseline_path = std::filesystem::path(HERO_SOURCE_DIR) / "tools" /
                              "hero-lint" / "baseline.txt";
   if (std::filesystem::exists(baseline_path)) {

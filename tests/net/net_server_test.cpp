@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/json.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/model_store.hpp"
 #include "serve/server.hpp"
@@ -314,6 +316,70 @@ TEST(NetServer, StatsQueryRoundTripsTheMetricsSnapshot) {
   EXPECT_GE(net.stats().max_inflight, 1);
 }
 
+TEST(NetServer, StatsJsonCarriesWindowsSloAndTraceSections) {
+  // The registry is process-global and other tests in this binary serve
+  // traffic too; zero it so the per-class counts below are exact.
+  obs::metrics().reset_all();
+  ServeFixture fx;
+  serve::ModelStore store;
+  store.install("m", fx.artifact("uniform:sym:bits=4"));
+  serve::Server server(store);
+  NetServer net(server);
+  Client client(net.port());
+  for (int i = 0; i < 3; ++i) {
+    (void)client.predict("m", fx.bench.train.features.narrow(0, i, 1));
+  }
+
+  // The payload must be a WELL-FORMED document, not just greppable text —
+  // this is the schema hero-top consumes.
+  const common::JsonValue doc = common::parse_json(client.query_stats());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("metrics").is_array());
+  EXPECT_FALSE(doc.at("metrics").as_array().empty());
+
+  const common::JsonValue& windows = doc.at("windows");
+  EXPECT_GT(windows.at("window_ns").as_int(), 0);
+  EXPECT_GT(windows.at("capacity").as_int(), 0);
+  EXPECT_GE(windows.at("closed").as_int(), 0);
+  for (const common::JsonValue& rate : windows.at("rates").as_array()) {
+    EXPECT_FALSE(rate.at("name").as_string().empty());
+    EXPECT_GE(rate.at("per_s").as_number(), 0.0);
+  }
+  // One sliding-percentile row per SLA class, in a fixed order.
+  const auto& sliding = windows.at("sliding").as_array();
+  ASSERT_EQ(sliding.size(), 3u);
+  for (const common::JsonValue& row : sliding) {
+    EXPECT_GE(row.at("count").as_int(), 0);
+    EXPECT_LE(row.at("p50_us").as_number(), row.at("p99_us").as_number());
+  }
+
+  const auto& slo = doc.at("slo").as_array();
+  ASSERT_EQ(slo.size(), 3u);
+  bool saw_default_class = false;
+  for (const common::JsonValue& report : slo) {
+    const std::string cls = report.at("class").as_string();
+    EXPECT_TRUE(cls == "latency" || cls == "standard" || cls == "throughput");
+    EXPECT_GT(report.at("target_p99_us").as_int(), 0);
+    EXPECT_GE(report.at("attainment").as_number(), 0.0);
+    EXPECT_LE(report.at("attainment").as_number(), 1.0);
+    EXPECT_GE(report.at("burn").as_number(), 0.0);
+    // All traffic above went to the default (standard) class and none of it
+    // can have missed a multi-second target on loopback.
+    if (cls == "standard") {
+      saw_default_class = true;
+      EXPECT_EQ(report.at("count").as_int(), 3);
+      EXPECT_DOUBLE_EQ(report.at("attainment").as_number(), 1.0);
+    } else {
+      EXPECT_EQ(report.at("count").as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_default_class);
+
+  EXPECT_GE(doc.at("trace").at("dropped").as_int(), 0);
+  net.shutdown();
+  server.shutdown();
+}
+
 TEST(NetServer, TracedRequestCoversDecodeToWrite) {
   obs::TraceSink sink;
   obs::set_trace_sink(&sink);
@@ -349,21 +415,36 @@ TEST(NetServer, TracedRequestCoversDecodeToWrite) {
   EXPECT_EQ(count_of("serve.queue"), 1u);
   EXPECT_EQ(count_of("serve.execute"), 1u);
   EXPECT_EQ(count_of("deploy.predict"), 1u);
+  // The client's own request span rides the SAME trace (cross-process
+  // propagation through the wire extension).
+  EXPECT_EQ(count_of("client.request"), 1u);
 
   // Every span of the request shares the root's trace id, and the root
   // brackets all of them in time.
   const obs::SpanRecord* root = nullptr;
+  const obs::SpanRecord* client_span = nullptr;
   for (const obs::SpanRecord& r : records) {
     if (std::string("net.request") == r.name) root = &r;
+    if (std::string("client.request") == r.name) client_span = &r;
   }
   ASSERT_NE(root, nullptr);
+  ASSERT_NE(client_span, nullptr);
   EXPECT_NE(root->trace_id, 0u);
+  // Propagation contract: the client minted the trace id, the server root
+  // parents under the client's span, and the client span (which opens before
+  // the bytes even hit the wire) starts no later than the server root.
+  EXPECT_EQ(client_span->trace_id, root->trace_id);
+  EXPECT_EQ(root->parent, client_span->id);
+  EXPECT_EQ(client_span->pid, obs::kClientPid);
+  EXPECT_EQ(root->pid, obs::kServerPid);
+  EXPECT_LE(client_span->start_ns, root->start_ns);
   for (const obs::SpanRecord& r : records) {
     if (r.trace_id != root->trace_id) continue;
-    // Every stage starts inside the root. End times may overhang slightly:
-    // serve.execute closes only after it has DELIVERED the completion (which
-    // writes the response and closes the root), so only the stages that
-    // finish before the write are bracketed on both sides.
+    if (&r == client_span) continue;  // the one span that BRACKETS the root
+    // Every server-side stage starts inside the root. End times may overhang
+    // slightly: serve.execute closes only after it has DELIVERED the
+    // completion (which writes the response and closes the root), so only the
+    // stages that finish before the write are bracketed on both sides.
     EXPECT_GE(r.start_ns, root->start_ns) << r.name;
     if (std::string(r.name) == "net.decode" || std::string(r.name) == "net.admission" ||
         std::string(r.name) == "serve.queue" || std::string(r.name) == "deploy.predict") {

@@ -141,6 +141,69 @@ TEST(Protocol, RejectsTrailingBytes) {
   EXPECT_THROW(decode_response_body(rh, rbody), Error);
 }
 
+TEST(Protocol, TraceContextRoundTrips) {
+  RequestFrame frame{9, "m", make_features(2, 3)};
+  frame.trace_id = 0xDEADBEEFCAFEull;
+  frame.parent_span = 77;
+  auto [plain_header, plain_body] =
+      split_frame(encode_request({9, "m", make_features(2, 3)}));
+  (void)plain_header;
+  auto [header, body] = split_frame(encode_request(frame));
+  // The extension is exactly magic + two u64s appended to the old body
+  // (the header differs only in the longer body_len it promises).
+  ASSERT_EQ(body.size(), plain_body.size() + 4 + 8 + 8);
+  EXPECT_EQ(body.compare(0, plain_body.size(), plain_body), 0);
+  EXPECT_EQ(body.substr(plain_body.size(), 4), "TRCX");
+  const RequestFrame decoded = decode_request_body(header, body);
+  EXPECT_TRUE(decoded.has_trace());
+  EXPECT_EQ(decoded.trace_id, frame.trace_id);
+  EXPECT_EQ(decoded.parent_span, 77u);
+}
+
+TEST(Protocol, AbsentTraceContextIsTheOldWireFormat) {
+  auto [header, body] = split_frame(encode_request({4, "m", make_features(1, 1)}));
+  const RequestFrame decoded = decode_request_body(header, body);
+  EXPECT_FALSE(decoded.has_trace());
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.parent_span, 0u);
+}
+
+TEST(Protocol, RejectsTruncatedTraceContext) {
+  RequestFrame frame{5, "m", make_features(1, 2)};
+  frame.trace_id = 1;
+  auto [header, body] = split_frame(encode_request(frame));
+  for (const std::size_t chop : {1u, 8u, 16u, 19u}) {
+    std::string cut = body.substr(0, body.size() - chop);
+    EXPECT_THROW(decode_request_body(header, cut), Error) << "chop " << chop;
+  }
+}
+
+TEST(Protocol, RejectsCorruptTraceContextMagic) {
+  RequestFrame frame{5, "m", make_features(1, 2)};
+  frame.trace_id = 1;
+  auto [header, body] = split_frame(encode_request(frame));
+  body[body.size() - 20] ^= 0x40;  // "TRCX" -> "\x14RCX"
+  EXPECT_THROW(decode_request_body(header, body), Error);
+}
+
+TEST(Protocol, RejectsZeroTraceIdInExtension) {
+  // Hand-craft: valid magic, but an all-zero trace id — the sentinel for
+  // "no trace" must never arrive spelled out on the wire.
+  auto [header, body] = split_frame(encode_request({5, "m", make_features(1, 2)}));
+  body += "TRCX";
+  body.append(8, '\0');                      // trace id 0
+  body += std::string("\x05\0\0\0\0\0\0\0", 8);  // parent span 5
+  EXPECT_THROW(decode_request_body(header, body), Error);
+}
+
+TEST(Protocol, RejectsTrailingBytesAfterTraceContext) {
+  RequestFrame frame{5, "m", make_features(1, 2)};
+  frame.trace_id = 1;
+  auto [header, body] = split_frame(encode_request(frame));
+  body.push_back('\0');
+  EXPECT_THROW(decode_request_body(header, body), Error);
+}
+
 TEST(Protocol, RejectsStatsFramesWithHostileBodies) {
   // A stats request says nothing: ANY payload byte is a hostile frame.
   auto [qh, qbody] = split_frame(encode_stats_request(3));

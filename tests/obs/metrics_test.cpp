@@ -122,6 +122,41 @@ TEST(Registry, SnapshotBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.snapshot().to_json(), parallel.snapshot().to_json());
 }
 
+TEST(Registry, SnapshotIntoReusesBuffersAndMatchesSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("zeta")->add(4);
+  reg.gauge("alpha")->set(2);
+  reg.histogram("mid", {1, 8})->record(3);
+
+  Snapshot buffer;
+  reg.snapshot_into(buffer);  // first fill sizes the buffers
+  EXPECT_EQ(buffer.to_json(), reg.snapshot().to_json());
+
+  // Entry i must keep receiving the SAME instrument across refills — that
+  // stability is what makes buffer reuse allocation-free. Capture the string
+  // data pointers, mutate values, refill, and require the pointers unmoved.
+  std::vector<const char*> name_ptrs;
+  for (const SnapshotEntry& e : buffer.entries) name_ptrs.push_back(e.name.data());
+  reg.counter("zeta")->add(1);
+  reg.histogram("mid", {1, 8})->record(100);
+  reg.snapshot_into(buffer);
+  ASSERT_EQ(buffer.entries.size(), 3u);
+  for (std::size_t i = 0; i < buffer.entries.size(); ++i) {
+    EXPECT_EQ(buffer.entries[i].name.data(), name_ptrs[i]);
+  }
+  EXPECT_EQ(buffer.to_json(), reg.snapshot().to_json());
+
+  // A registration AFTER the first fill lands in name order on refill.
+  reg.counter("beta")->add(7);
+  reg.snapshot_into(buffer);
+  ASSERT_EQ(buffer.entries.size(), 4u);
+  EXPECT_EQ(buffer.entries[0].name, "alpha");
+  EXPECT_EQ(buffer.entries[1].name, "beta");
+  EXPECT_EQ(buffer.entries[2].name, "mid");
+  EXPECT_EQ(buffer.entries[3].name, "zeta");
+  EXPECT_EQ(buffer.to_json(), reg.snapshot().to_json());
+}
+
 TEST(Registry, ResetAllZeroesEveryInstrument) {
   MetricsRegistry reg;
   Counter* c = reg.counter("c");

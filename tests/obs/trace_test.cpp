@@ -153,15 +153,32 @@ TEST(ChromeTrace, GoldenJsonForFixedRecords) {
   b.start_ns = 1500;
   b.end_ns = 1800;
   b.arg = 0;
+  SpanRecord c = b;  // a client-side view of the same trace, distinct pid
+  c.name = "c";
+  c.id = 3;
+  c.parent = 0;
+  c.tid = 3;
+  c.pid = kClientPid;
+  c.start_ns = 1200;
+  c.end_ns = 2000;
   records.push_back(a);
+  records.push_back(c);
   records.push_back(b);
   // Timestamps rebase to the earliest start and print as fixed-point
-  // microseconds — byte-stable across platforms and locales.
+  // microseconds — byte-stable across platforms and locales. Metadata
+  // process_name events lead, one per distinct pid in ascending order.
   EXPECT_EQ(chrome_trace_json(records),
             "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"args\":{\"name\":\"hero-server\"}},"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+            "\"args\":{\"name\":\"hero-client\"}},"
             "{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
             "\"ts\":0.000,\"dur\":1.500,"
             "\"args\":{\"id\":1,\"parent\":0,\"trace\":1,\"arg\":3}},"
+            "{\"name\":\"c\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":2,\"tid\":3,"
+            "\"ts\":0.200,\"dur\":0.800,"
+            "\"args\":{\"id\":3,\"parent\":0,\"trace\":1,\"arg\":0}},"
             "{\"name\":\"b\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
             "\"ts\":0.500,\"dur\":0.300,"
             "\"args\":{\"id\":2,\"parent\":1,\"trace\":1,\"arg\":0}}"

@@ -1,0 +1,248 @@
+// WindowedRegistry invariants, driven entirely by synthetic timestamps: the
+// roll-on-read design makes window boundaries a pure function of the clock
+// values the caller passes, so every scenario here is byte-deterministic —
+// including the property the bench gate leans on, that a sliding histogram
+// summed from per-window deltas is re-derivable from the retained cumulative
+// snapshots bit-for-bit.
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace hero::obs {
+namespace {
+
+constexpr std::int64_t kWin = 1000;  // 1µs windows: index = now_ns / 1000
+
+TEST(WindowedRegistry, RejectsDegenerateConfigs) {
+  MetricsRegistry reg;
+  EXPECT_THROW(WindowedRegistry(reg, WindowConfig{0, 4}), hero::Error);
+  EXPECT_THROW(WindowedRegistry(reg, WindowConfig{kWin, 0}), hero::Error);
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  EXPECT_THROW(w.roll(-1), hero::Error);
+  EXPECT_THROW(w.window(0), hero::Error);  // nothing closed yet
+}
+
+TEST(WindowedRegistry, FirstRollIsBaselineOnly) {
+  MetricsRegistry reg;
+  reg.counter("c")->add(41);  // pre-baseline activity must never show up
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  w.roll(100);
+  EXPECT_EQ(w.closed(), 0u);
+  EXPECT_EQ(w.total_closed(), 0);
+  EXPECT_EQ(w.rate_per_s("c"), 0.0);
+}
+
+TEST(WindowedRegistry, DeltasRatesAndBoundaries) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  Gauge* g = reg.gauge("g");
+  Histogram* h = reg.histogram("h", {10, 100});
+  c->add(41);
+  g->set(3);
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  w.roll(100);  // baseline inside window 0
+
+  c->add(5);
+  g->set(9);
+  h->record(7);
+  h->record(50);
+  w.roll(kWin + 500);  // boundary of window 0 passed: it closes
+
+  ASSERT_EQ(w.closed(), 1u);
+  const WindowStats window = w.window(0);
+  EXPECT_EQ(window.index, 0);
+  EXPECT_EQ(window.start_ns, 0);
+  EXPECT_EQ(window.end_ns, kWin);
+  // Counter: delta over the window, not the cumulative value.
+  EXPECT_EQ(window.delta.find("c")->value, 5);
+  EXPECT_EQ(window.cumulative_start.find("c")->value, 41);
+  EXPECT_EQ(window.cumulative_end.find("c")->value, 46);
+  // Gauge: the level at close — a level has no meaningful delta.
+  EXPECT_EQ(window.delta.find("g")->value, 9);
+  // Histogram: bucket/count/sum deltas.
+  const SnapshotEntry* hd = window.delta.find("h");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 2);
+  EXPECT_EQ(hd->sum, 57);
+  EXPECT_EQ(hd->buckets, (std::vector<std::int64_t>{1, 1, 0}));
+  // Rates: events in the newest window divided by the window duration.
+  EXPECT_DOUBLE_EQ(w.rate_per_s("c"), 5.0 * 1e9 / kWin);
+  EXPECT_DOUBLE_EQ(w.rate_per_s("h"), 2.0 * 1e9 / kWin);  // histogram: count
+  EXPECT_EQ(w.rate_per_s("unknown"), 0.0);
+}
+
+/// The attribution convention: everything that happened since the previous
+/// roll lands in the window that was OPEN at that roll; windows skipped
+/// entirely close empty.
+TEST(WindowedRegistry, StraddlingActivityLandsInTheWindowOpenAtLastRoll) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  WindowedRegistry w(reg, WindowConfig{kWin, 8});
+  w.roll(0);
+  c->add(3);             // happens "somewhere" before the next roll...
+  w.roll(2 * kWin + 500);  // ...which only comes in window 2
+
+  ASSERT_EQ(w.closed(), 2u);
+  EXPECT_EQ(w.window(0).index, 0);
+  EXPECT_EQ(w.window(0).delta.find("c")->value, 3);  // open at the last roll
+  EXPECT_EQ(w.window(1).index, 1);
+  EXPECT_EQ(w.window(1).delta.find("c")->value, 0);  // fully skipped: empty
+}
+
+TEST(WindowedRegistry, RollInsideOpenWindowIsANoOp) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  w.roll(0);
+  c->add(1);
+  w.roll(200);
+  w.roll(900);
+  EXPECT_EQ(w.closed(), 0u);  // boundary never passed
+  w.roll(kWin);               // exactly at the boundary: window 0 closes
+  ASSERT_EQ(w.closed(), 1u);
+  EXPECT_EQ(w.window(0).delta.find("c")->value, 1);
+}
+
+TEST(WindowedRegistry, RingWrapsAndEvictsOldestAfterLongIdleGap) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  w.roll(0);
+  c->add(9);
+  // A gap far past the ring capacity: only the last `capacity` windows
+  // materialize (older ones would be evicted immediately), all empty — the
+  // pre-gap activity is older than the retained horizon and ages out.
+  w.roll(100 * kWin);
+  ASSERT_EQ(w.closed(), 4u);
+  EXPECT_EQ(w.total_closed(), 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.window(i).index, 96 + static_cast<std::int64_t>(i));
+    EXPECT_EQ(w.window(i).delta.find("c")->value, 0);
+  }
+  // The layer keeps working after the gap: fresh activity lands in the
+  // now-open window and evicts the oldest slot on close.
+  c->add(2);
+  w.roll(101 * kWin);
+  ASSERT_EQ(w.closed(), 4u);
+  EXPECT_EQ(w.total_closed(), 5);
+  EXPECT_EQ(w.window(3).index, 100);
+  EXPECT_EQ(w.window(3).delta.find("c")->value, 2);
+  EXPECT_EQ(w.window(0).index, 97);  // index 96 was evicted
+}
+
+TEST(WindowedRegistry, FlushClosesTheOpenWindowEarly) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  w.roll(0);
+  c->add(7);
+  w.flush(500);  // window 0's boundary has NOT passed yet
+  ASSERT_EQ(w.closed(), 1u);
+  EXPECT_EQ(w.window(0).delta.find("c")->value, 7);
+}
+
+TEST(WindowedRegistry, InstrumentRegisteredMidWindowDeltasAgainstZero) {
+  MetricsRegistry reg;
+  WindowedRegistry w(reg, WindowConfig{kWin, 4});
+  w.roll(0);
+  reg.counter("late")->add(11);  // born after the baseline snapshot
+  w.roll(kWin + 1);
+  ASSERT_EQ(w.closed(), 1u);
+  EXPECT_EQ(w.window(0).delta.find("late")->value, 11);
+}
+
+/// The bench gate's property, in miniature: the sliding histogram summed
+/// from per-window deltas equals cumulative_end(newest) minus
+/// cumulative_start(oldest) recomputed offline — exact int64 equality.
+TEST(WindowedRegistry, SlidingHistogramMatchesOfflineRecompute) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat", {10, 100, 1000});
+  WindowedRegistry w(reg, WindowConfig{kWin, 8});
+  w.roll(0);
+  const std::vector<std::vector<std::int64_t>> per_window = {
+      {5, 7, 2000}, {50, 5}, {}, {999, 1, 1, 12}};
+  std::int64_t now = 0;
+  for (const std::vector<std::int64_t>& values : per_window) {
+    for (const std::int64_t v : values) h->record(v);
+    now += kWin;
+    w.roll(now + 1);  // close the window the values landed in
+  }
+  ASSERT_EQ(w.closed(), per_window.size());
+
+  const SnapshotEntry sliding = w.sliding_histogram("lat", w.closed());
+  EXPECT_EQ(sliding.count, 9);
+  EXPECT_EQ(sliding.sum, 5 + 7 + 2000 + 50 + 5 + 999 + 1 + 1 + 12);
+
+  const std::vector<WindowStats> all = w.windows();
+  const SnapshotEntry* newest_end = all.back().cumulative_end.find("lat");
+  const SnapshotEntry* oldest_start = all.front().cumulative_start.find("lat");
+  ASSERT_NE(newest_end, nullptr);
+  ASSERT_NE(oldest_start, nullptr);
+  EXPECT_EQ(sliding.count, newest_end->count - oldest_start->count);
+  EXPECT_EQ(sliding.sum, newest_end->sum - oldest_start->sum);
+  for (std::size_t b = 0; b < sliding.buckets.size(); ++b) {
+    EXPECT_EQ(sliding.buckets[b],
+              newest_end->buckets[b] - oldest_start->buckets[b]);
+  }
+
+  // A narrower horizon takes only the newest n windows.
+  const SnapshotEntry last_two = w.sliding_histogram("lat", 2);
+  EXPECT_EQ(last_two.count, 4);  // {} + {999, 1, 1, 12}
+  EXPECT_EQ(last_two.sum, 999 + 1 + 1 + 12);
+  // And the percentile helper reads the summed buckets.
+  EXPECT_EQ(w.sliding_percentile("lat", 50.0, w.closed()), 10);
+  EXPECT_EQ(w.sliding_histogram("unknown", 4).count, 0);
+}
+
+/// Same multiset of updates between the same roll points must produce
+/// byte-identical windows whether one thread or four applied them — the
+/// registry's commutative-atomics discipline carried into the windowed view.
+TEST(WindowedRegistry, PerWindowSnapshotsAreThreadCountInvariant) {
+  const auto run = [](int threads) {
+    MetricsRegistry reg;
+    Counter* hits = reg.counter("hits");
+    Histogram* lat = reg.histogram("lat", {8, 64, 512});
+    WindowedRegistry w(reg, WindowConfig{kWin, 8});
+    w.roll(0);
+    std::int64_t now = 0;
+    for (int window = 0; window < 3; ++window) {
+      constexpr int kTotal = 1200;
+      const auto worker = [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          hits->increment();
+          lat->record((i * 37) % 1000);
+        }
+      };
+      if (threads == 1) {
+        worker(0, kTotal);
+      } else {
+        std::vector<std::thread> pool;
+        const int chunk = kTotal / threads;
+        for (int t = 0; t < threads; ++t) {
+          pool.emplace_back(worker, t * chunk,
+                            t == threads - 1 ? kTotal : (t + 1) * chunk);
+        }
+        for (std::thread& t : pool) t.join();  // quiesce before the roll
+      }
+      now += kWin;
+      w.roll(now + 1);
+    }
+    std::string serialized;
+    for (const WindowStats& window : w.windows()) {
+      serialized += window.delta.to_json();
+      serialized += window.cumulative_end.to_json();
+    }
+    return serialized;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace hero::obs

@@ -1,0 +1,107 @@
+// SLO layer: per-SLA-class latency objectives scored from histogram
+// snapshots. The arithmetic is integral (whole-bucket within-target
+// predicate) so every assertion here is exact.
+#include "serve/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batch.hpp"
+
+namespace hero::serve {
+namespace {
+
+obs::SnapshotEntry make_hist(std::vector<std::int64_t> bounds,
+                             std::vector<std::int64_t> buckets) {
+  obs::SnapshotEntry e;
+  e.kind = obs::SnapshotEntry::Kind::kHistogram;
+  e.bounds = std::move(bounds);
+  e.buckets = std::move(buckets);
+  for (const std::int64_t b : e.buckets) e.count += b;
+  return e;
+}
+
+TEST(Slo, HistogramNamesArePerClass) {
+  EXPECT_STREQ(slo_histogram_name(SlaClass::kLatency), "net.request_us.latency");
+  EXPECT_STREQ(slo_histogram_name(SlaClass::kStandard), "net.request_us.standard");
+  EXPECT_STREQ(slo_histogram_name(SlaClass::kThroughput),
+               "net.request_us.throughput");
+}
+
+/// The default targets are EXACT default-latency-histogram bucket bounds, so
+/// "within target" is a whole-bucket predicate — bit-deterministic.
+TEST(Slo, DefaultTargetsAreHistogramBucketBounds) {
+  const std::vector<std::int64_t> bounds = obs::default_latency_bounds_us();
+  const std::int64_t latency = sla_target_p99_us(SlaClass::kLatency);
+  const std::int64_t standard = sla_target_p99_us(SlaClass::kStandard);
+  const std::int64_t throughput = sla_target_p99_us(SlaClass::kThroughput);
+  EXPECT_LT(latency, standard);
+  EXPECT_LT(standard, throughput);
+  for (const std::int64_t target : {latency, standard, throughput}) {
+    EXPECT_NE(std::find(bounds.begin(), bounds.end(), target), bounds.end())
+        << target << " is not a default bucket bound";
+  }
+}
+
+TEST(Slo, CountsWholeBucketsWithinTarget) {
+  // bounds {10,100,1000} + inf; 90 fast, 9 mid, 1 slow, 2 in +inf.
+  const obs::SnapshotEntry hist = make_hist({10, 100, 1000}, {90, 9, 1, 2});
+  const SloReport report = compute_slo(hist, SlaClass::kLatency, 100);
+  EXPECT_EQ(report.count, 102);
+  EXPECT_EQ(report.within, 99);  // the two buckets bounded at or under 100
+  EXPECT_EQ(report.target_p99_us, 100);
+  EXPECT_DOUBLE_EQ(report.attainment, 99.0 / 102.0);
+  EXPECT_DOUBLE_EQ(report.budget_burn,
+                   (1.0 - 99.0 / 102.0) / (1.0 - kSloObjective));
+  EXPECT_EQ(report.p99_us, hist.percentile(99.0));
+}
+
+TEST(Slo, TargetBetweenBoundsRoundsDownConservatively) {
+  const obs::SnapshotEntry hist = make_hist({10, 100}, {5, 5, 0});
+  // Target 50 covers only the bucket bounded at 10 — samples in (10,100]
+  // MIGHT be within 50, but the bucket cannot prove it, so they count out.
+  EXPECT_EQ(compute_slo(hist, SlaClass::kLatency, 50).within, 5);
+}
+
+TEST(Slo, InfBucketIsNeverWithin) {
+  const obs::SnapshotEntry hist = make_hist({10}, {0, 4});
+  const SloReport report = compute_slo(hist, SlaClass::kLatency, 10);
+  EXPECT_EQ(report.within, 0);
+  EXPECT_DOUBLE_EQ(report.attainment, 0.0);
+  EXPECT_DOUBLE_EQ(report.budget_burn, 1.0 / (1.0 - kSloObjective));
+}
+
+TEST(Slo, EmptyHistogramAttainsByConvention) {
+  const obs::SnapshotEntry hist = make_hist({10, 100}, {0, 0, 0});
+  const SloReport report = compute_slo(hist, SlaClass::kStandard);
+  EXPECT_EQ(report.count, 0);
+  EXPECT_DOUBLE_EQ(report.attainment, 1.0);  // no request missed its target
+  EXPECT_DOUBLE_EQ(report.budget_burn, 0.0);
+}
+
+TEST(Slo, RejectsNonPositiveTargets) {
+  const obs::SnapshotEntry hist = make_hist({10}, {1, 0});
+  EXPECT_THROW(compute_slo(hist, SlaClass::kLatency, 0), hero::Error);
+  EXPECT_THROW(compute_slo(hist, SlaClass::kLatency, -5), hero::Error);
+}
+
+TEST(Slo, JsonIsByteStable) {
+  const obs::SnapshotEntry hist = make_hist({10, 100}, {99, 1, 0});
+  std::vector<SloReport> reports;
+  reports.push_back(compute_slo(hist, SlaClass::kLatency, 100));
+  EXPECT_EQ(slo_json(reports),
+            // p99 rank is 99 of 100 — still inside the first bucket, so the
+            // reported p99 is its bound, 10.
+            "[{\"class\":\"latency\",\"target_p99_us\":100,\"count\":100,"
+            "\"within\":100,\"p99_us\":10,\"attainment\":1.000000,"
+            "\"burn\":0.000000}]");
+  EXPECT_EQ(slo_json({}), "[]");
+}
+
+}  // namespace
+}  // namespace hero::serve

@@ -345,14 +345,16 @@ void rule_float_accum(const std::string& path, const Stripped& src,
   });
 }
 
-/// timing-source: raw monotonic-clock reads outside src/obs (the sanctioned
-/// wrapper, obs::now()/obs::now_ns()) and bench/ (drivers time themselves).
-/// One clock source keeps every span and histogram on the same timeline and
-/// keeps clock reads visible to the zero-alloc/zero-overhead audits.
+/// timing-source: raw monotonic-clock reads anywhere not on the published
+/// allowlist (timing_source_allowlist below). One clock source keeps every
+/// span and histogram on the same timeline and keeps clock reads visible to
+/// the zero-alloc/zero-overhead audits.
 void rule_timing_source(const std::string& path, const Stripped& src,
                         const std::vector<std::size_t>& starts,
                         std::vector<Finding>& out) {
-  if (path_contains(path, "src/obs/") || path_contains(path, "bench/")) return;
+  for (const std::string& prefix : timing_source_allowlist()) {
+    if (path_contains(path, prefix.c_str())) return;
+  }
   static const std::regex kBad(
       R"((steady_clock\s*::\s*now\s*\()|(\bhigh_resolution_clock\b))");
   for_each_match(src.text, kBad, [&](const std::smatch&, std::size_t pos) {
@@ -381,6 +383,13 @@ bool lintable_extension(const std::filesystem::path& p) {
 }
 
 }  // namespace
+
+const std::vector<std::string>& timing_source_allowlist() {
+  // src/obs IS the sanctioned wrapper; bench drivers time themselves.
+  // Deliberately NOT on the list: tools/ — hero-top polls on obs::now().
+  static const std::vector<std::string> kAllowed = {"src/obs/", "bench/"};
+  return kAllowed;
+}
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {

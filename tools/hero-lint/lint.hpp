@@ -2,7 +2,7 @@
 //
 // Clang's -Wthread-safety proves the lock discipline; hero-lint enforces the
 // invariants the compiler cannot see, with a token/line-level scanner (no
-// libclang dependency) over src/ bench/ examples/:
+// libclang dependency) over src/ bench/ examples/ tools/:
 //
 //   rng-source      No rand()/srand()/std::random_device/std RNG engines or
 //                   time-seeded randomness outside src/common/rng — every
@@ -56,6 +56,12 @@ struct BaselineEntry {
 
 /// The rule identifiers accepted by allow(<rule>) and baseline entries.
 const std::vector<std::string>& rule_names();
+
+/// Path prefixes exempt from timing-source, as data rather than ad-hoc
+/// conditionals: src/obs/ (the sanctioned clock wrapper itself) and bench/
+/// (drivers time themselves). Everything else under the linted dirs —
+/// tools/ included — must read the clock through obs::now()/obs::now_ns().
+const std::vector<std::string>& timing_source_allowlist();
 
 /// Lints one translation unit. `path` decides per-rule exemptions (the
 /// common/rng and thread-subsystem whitelists), so pass repo-relative paths.

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       dirs.push_back(arg);
     }
   }
-  if (dirs.empty()) dirs = {"src", "bench", "examples"};
+  if (dirs.empty()) dirs = {"src", "bench", "examples", "tools"};
 
   try {
     std::vector<hero::lint::Finding> findings = hero::lint::lint_tree(root, dirs);

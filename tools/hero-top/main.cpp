@@ -1,0 +1,208 @@
+// hero-top: a polling terminal dashboard for a running HNET server.
+//
+//   hero-top --port=N [--interval=1s] [--count=0] [--once] [--json]
+//   hero-top --port-file=PATH ...
+//
+//   --port=N         server port on 127.0.0.1
+//   --port-file=PATH read the port from a file (a server/bench writes it
+//                    there once bound; hero-top waits for it to appear)
+//   --interval=DUR   poll cadence, duration syntax ("250ms", "1s"); default 1s
+//   --count=N        number of polls, 0 = until interrupted
+//   --once           exactly one poll, no screen clearing (== --count=1)
+//   --json           print the server's raw stats JSON (validated) instead of
+//                    the rendered dashboard — `--once --json` is the CI smoke
+//
+// Each poll sends one kStatsRequest over a persistent connection and renders
+// the extended payload: per-window request/response/reject rates, sliding
+// per-SLA-class percentiles, SLO attainment and error-budget burn, live
+// queue depths, per-model request counters, and the trace-ring drop counter.
+// The server rolls its windows on every stats read, so the cadence chosen
+// here IS the freshness of the windowed numbers.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/json.hpp"
+#include "net/client.hpp"
+#include "obs/clock.hpp"
+
+namespace {
+
+using hero::common::JsonValue;
+
+/// Waits (bounded) for a port file to appear and parses its first integer.
+/// A server under test writes the file only after bind(), so existence means
+/// the port is live.
+std::uint16_t read_port_file(const std::string& path) {
+  const auto deadline = hero::obs::now() + std::chrono::seconds(30);
+  for (;;) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0 && port < 65536) {
+      return static_cast<std::uint16_t>(port);
+    }
+    if (hero::obs::now() >= deadline) {
+      throw hero::Error("port file '" + path + "' did not appear with a valid port");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void print_row(const char* label, const std::string& value) {
+  std::printf("  %-28s %s\n", label, value.c_str());
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+/// Looks up one instrument's value in the "metrics" array (0 when absent).
+std::int64_t metric_value(const JsonValue& metrics, const std::string& name) {
+  for (const JsonValue& entry : metrics.as_array()) {
+    if (entry.at("name").as_string() == name) {
+      return entry.at("value").as_int();
+    }
+  }
+  return 0;
+}
+
+void render(const JsonValue& doc) {
+  const JsonValue& metrics = doc.at("metrics");
+  const JsonValue& windows = doc.at("windows");
+  const JsonValue& slo = doc.at("slo");
+  const JsonValue& trace = doc.at("trace");
+
+  const double window_s = windows.at("window_ns").as_number() / 1e9;
+  std::printf("hero-top — window %ss × %lld (%lld closed)\n",
+              fixed(window_s, 3).c_str(),
+              static_cast<long long>(windows.at("capacity").as_int()),
+              static_cast<long long>(windows.at("closed").as_int()));
+
+  std::printf("\nrates (newest window)\n");
+  for (const JsonValue& rate : windows.at("rates").as_array()) {
+    print_row(rate.at("name").as_string().c_str(),
+              fixed(rate.at("per_s").as_number(), 3) + "/s");
+  }
+
+  std::printf("\nsliding latency (µs, over retained windows)\n");
+  std::printf("  %-28s %10s %10s %10s %10s\n", "class", "count", "p50", "p95",
+              "p99");
+  for (const JsonValue& h : windows.at("sliding").as_array()) {
+    std::printf("  %-28s %10lld %10lld %10lld %10lld\n",
+                h.at("name").as_string().c_str(),
+                static_cast<long long>(h.at("count").as_int()),
+                static_cast<long long>(h.at("p50_us").as_int()),
+                static_cast<long long>(h.at("p95_us").as_int()),
+                static_cast<long long>(h.at("p99_us").as_int()));
+  }
+
+  std::printf("\nSLO (objective: p99 within target for 99%% of requests)\n");
+  std::printf("  %-12s %14s %8s %12s %8s\n", "class", "target_p99_us", "count",
+              "attainment", "burn");
+  for (const JsonValue& r : slo.as_array()) {
+    std::printf("  %-12s %14lld %8lld %12s %8s\n",
+                r.at("class").as_string().c_str(),
+                static_cast<long long>(r.at("target_p99_us").as_int()),
+                static_cast<long long>(r.at("count").as_int()),
+                fixed(r.at("attainment").as_number(), 4).c_str(),
+                fixed(r.at("burn").as_number(), 2).c_str());
+  }
+
+  std::printf("\nqueues & totals\n");
+  print_row("serve.queue.depth",
+            std::to_string(metric_value(metrics, "serve.queue.depth")));
+  print_row("serve.queue.rows",
+            std::to_string(metric_value(metrics, "serve.queue.rows")));
+  print_row("net.inflight_max",
+            std::to_string(metric_value(metrics, "net.inflight_max")));
+  print_row("net.requests",
+            std::to_string(metric_value(metrics, "net.requests")));
+  print_row("net.rejected",
+            std::to_string(metric_value(metrics, "net.rejected")));
+
+  // Per-model request counters are registered lazily as "serve.model.<name>.
+  // requests" — surface every one present in the snapshot.
+  std::printf("\nper-model requests\n");
+  bool any_model = false;
+  for (const JsonValue& entry : metrics.as_array()) {
+    const std::string& name = entry.at("name").as_string();
+    if (name.rfind("serve.model.", 0) == 0) {
+      print_row(name.c_str(), std::to_string(entry.at("value").as_int()));
+      any_model = true;
+    }
+  }
+  if (!any_model) std::printf("  (none yet)\n");
+
+  std::printf("\ntrace\n");
+  print_row("spans dropped", std::to_string(trace.at("dropped").as_int()));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Boolean switches take the conventional bare spelling (--once, --json) in
+  // addition to Flags' --key=value form; strip them before Flags parses the
+  // rest so they do not earn an unknown-argument warning.
+  bool bare_once = false;
+  bool bare_json = false;
+  std::vector<char*> kept{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      bare_once = true;
+    } else if (arg == "--json") {
+      bare_json = true;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  hero::Flags flags(static_cast<int>(kept.size()), kept.data());
+  try {
+    const std::string port_file = flags.get("port-file", "");
+    const int port_flag = flags.get_int("port", 0);
+    const bool once = bare_once || flags.get_bool("once", false);
+    const bool raw_json = bare_json || flags.get_bool("json", false);
+    const std::int64_t interval_us = flags.get_duration_us("interval", 1'000'000);
+    std::int64_t count = flags.get_int("count", 0);
+    if (once) count = 1;
+
+    std::uint16_t port = 0;
+    if (!port_file.empty()) {
+      port = read_port_file(port_file);
+    } else if (port_flag > 0 && port_flag < 65536) {
+      port = static_cast<std::uint16_t>(port_flag);
+    } else {
+      std::cerr << "hero-top: pass --port=N or --port-file=PATH\n";
+      return 2;
+    }
+
+    hero::net::Client client(port);
+    for (std::int64_t poll = 0; count == 0 || poll < count; ++poll) {
+      if (poll > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+      }
+      const std::string payload = client.query_stats();
+      // Parse unconditionally: even in --json mode the payload is validated
+      // before being echoed, so a malformed server response exits non-zero.
+      const JsonValue doc = hero::common::parse_json(payload);
+      if (raw_json) {
+        std::cout << payload << "\n";
+        continue;
+      }
+      if (count != 1) std::printf("\x1b[2J\x1b[H");  // clear between polls
+      render(doc);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hero-top: error: " << e.what() << "\n";
+    return 1;
+  }
+}
